@@ -1,0 +1,107 @@
+// Ablation: the paper's Section II trade-off, quantified. Candidate codes:
+//   9C fixed        -- the paper's table, decoder independent of TD
+//   9C freq-directed-- Table VII re-assignment (same decoder size, rewired)
+//   {0,1} Huffman   -- same 9-class partition, per-TD optimal lengths
+//   {0,1,A,B} Huff  -- 25 classes with the alternating half patterns the
+//                      paper considered and rejected
+// For each: CR on the benchmark sets AND the decoder controller cost from
+// generic FSM synthesis -- reproducing "may slightly improve the
+// compression ratio but results in a more complicated and expensive
+// decoder. ... nine codes provide the best tradeoff."
+#include <iostream>
+
+#include "bench_common.h"
+#include "codec/nine_coded.h"
+#include "codec/pattern_codec.h"
+#include "report/table.h"
+#include "synth/code_synth.h"
+
+namespace {
+
+/// Decoder controller cost for a trained PatternCodec.
+std::size_t pattern_codec_fsm_gates(const nc::codec::PatternCodec& codec) {
+  const std::size_t per_half = codec.patterns().size() + 1;
+  std::vector<nc::synth::CodeLeaf> leaves;
+  for (std::size_t cls = 0; cls < codec.class_count(); ++cls) {
+    if (!codec.table().has_code(cls)) continue;  // class never occurs
+    nc::synth::CodeLeaf leaf;
+    leaf.word = nc::codec::Codeword{
+        static_cast<std::uint32_t>(codec.table().code(cls)),
+        codec.table().length(cls)};
+    leaf.plan_a = static_cast<unsigned>(cls / per_half);
+    leaf.plan_b = static_cast<unsigned>(cls % per_half);
+    leaves.push_back(leaf);
+  }
+  return nc::synth::synthesize_code_fsm(leaves,
+                                        static_cast<unsigned>(per_half))
+      .total_gate_equivalents();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t k = 8;
+
+  nc::report::Table out(
+      "ABLATION -- compression vs decoder cost across code variants (K=8)");
+  out.set_header({"circuit", "9C fixed", "9C freq-dir", "Huff{01}",
+                  "Huff{01AB}"});
+
+  double sum[4] = {0, 0, 0, 0};
+  std::size_t worst_gates[4] = {0, 0, 0, 0};
+  for (const auto& profile : nc::gen::iscas89_profiles()) {
+    const nc::bits::TritVector td =
+        nc::bench::benchmark_cubes(profile).flatten();
+
+    const nc::codec::NineCoded fixed(k);
+    const nc::codec::NineCoded tuned = nc::codec::NineCoded::tuned_for(td, k);
+    const auto h01 = nc::codec::PatternCodec::trained(
+        td, k, nc::codec::nine_coded_patterns());
+    const auto h01ab = nc::codec::PatternCodec::trained(
+        td, k, nc::codec::extended_patterns());
+
+    const double crs[4] = {
+        nc::codec::compression_ratio_percent(td.size(),
+                                             fixed.encode(td).size()),
+        nc::codec::compression_ratio_percent(td.size(),
+                                             tuned.encode(td).size()),
+        nc::codec::compression_ratio_percent(td.size(), h01.encode(td).size()),
+        nc::codec::compression_ratio_percent(td.size(),
+                                             h01ab.encode(td).size()),
+    };
+    out.row().add(profile.name);
+    for (int i = 0; i < 4; ++i) {
+      out.add(crs[i], 2);
+      sum[i] += crs[i];
+    }
+
+    const std::size_t gates[4] = {
+        nc::synth::synthesize_code_fsm(
+            nc::synth::leaves_for_table(fixed.table()), 3)
+            .total_gate_equivalents(),
+        nc::synth::synthesize_code_fsm(
+            nc::synth::leaves_for_table(tuned.table()), 3)
+            .total_gate_equivalents(),
+        pattern_codec_fsm_gates(h01),
+        pattern_codec_fsm_gates(h01ab),
+    };
+    for (int i = 0; i < 4; ++i)
+      worst_gates[i] = std::max(worst_gates[i], gates[i]);
+  }
+  const double n = static_cast<double>(nc::gen::iscas89_profiles().size());
+  out.separator().row().add("Avg CR%");
+  for (double s : sum) out.add(s / n, 2);
+  out.row().add("FSM gates (max)");
+  for (std::size_t g : worst_gates) out.add(g);
+  out.print(std::cout);
+
+  const double gain = (sum[3] - sum[0]) / n;
+  const double cost = static_cast<double>(worst_gates[3]) /
+                      static_cast<double>(worst_gates[0]);
+  std::cout << "\nextended {01AB} code: " << (gain >= 0 ? "+" : "") << gain
+            << " CR points on average for " << cost
+            << "x the controller gates -- the paper's call: nine codewords "
+               "are the sweet spot. Note the trained variants also tie the "
+               "decoder to the test set, which fixed 9C avoids.\n";
+  return 0;
+}

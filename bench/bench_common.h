@@ -1,0 +1,23 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "gen/cube_gen.h"
+
+namespace nc::bench {
+
+/// The block sizes swept in Tables II/III/VII.
+inline const std::vector<std::size_t>& table_k_sweep() {
+  static const std::vector<std::size_t> ks = {4, 8, 12, 16, 20, 24, 28, 32};
+  return ks;
+}
+
+/// One calibrated test set per ISCAS'89 profile, deterministic.
+inline bits::TestSet benchmark_cubes(const gen::BenchmarkProfile& profile) {
+  return gen::calibrated_cubes(profile, /*seed=*/1);
+}
+
+}  // namespace nc::bench

@@ -1,0 +1,52 @@
+// Reproduces Table VI: occurrence count N_i of each codeword per circuit
+// (K=8). Expected shape: C1 dominates everywhere (it has the 1-bit
+// codeword), C2 second, C9 usually third -- the justification for the
+// default length assignment -- with occasional circuits violating the order
+// (the hook for Table VII's frequency-directed re-assignment).
+#include <algorithm>
+#include <array>
+#include <iostream>
+
+#include "bench_common.h"
+#include "codec/nine_coded.h"
+#include "report/table.h"
+
+int main() {
+  const nc::codec::NineCoded coder(8);
+
+  nc::report::Table out("TABLE VI -- codeword statistics N1..N9 (K=8)");
+  out.set_header({"circuit", "N1", "N2", "N3", "N4", "N5", "N6", "N7", "N8",
+                  "N9", "order holds"});
+
+  std::array<std::size_t, nc::codec::kNumClasses> total{};
+  for (const auto& profile : nc::gen::iscas89_profiles()) {
+    const auto stats =
+        coder.analyze(nc::bench::benchmark_cubes(profile).flatten());
+    out.row().add(profile.name);
+    for (std::size_t c = 0; c < nc::codec::kNumClasses; ++c) {
+      out.add(stats.counts[c]);
+      total[c] += stats.counts[c];
+    }
+    // "order holds": the core claim -- C1 dominates and C2 is second (the
+    // two shortest codewords). Whether C9 or a C5..C8 case comes third
+    // varies by test set; a violation is exactly what Table VII's
+    // frequency-directed re-assignment monetizes.
+    const auto& n = stats.counts;
+    const std::size_t rest =
+        std::max({n[2], n[3], n[4], n[5], n[6], n[7], n[8]});
+    const bool holds = n[0] >= n[1] && n[1] >= rest;
+    out.add(holds ? "yes" : "no");
+  }
+  out.separator().row().add("Total");
+  for (std::size_t c = 0; c < nc::codec::kNumClasses; ++c) out.add(total[c]);
+  const std::size_t rest = std::max(
+      {total[2], total[3], total[4], total[5], total[6], total[7], total[8]});
+  const bool agg = total[0] >= total[1] && total[1] >= rest;
+  out.add(agg ? "yes" : "no");
+  out.print(std::cout);
+
+  std::cout << "\npaper: C1 always occurs most (1-bit codeword), C2 second; "
+               "the third place (C9 in the paper, C5/C6 on these synthetic "
+               "sets) is what Table VII's re-assignment optimizes.\n";
+  return agg ? 0 : 1;
+}

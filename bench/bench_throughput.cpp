@@ -1,0 +1,68 @@
+// Software throughput of the coders (google-benchmark). Not a paper table;
+// documents that the encoder is linear-time and fast enough for the
+// multi-Mbit industrial sweeps of Table VIII.
+#include <benchmark/benchmark.h>
+
+#include "baselines/fdr.h"
+#include "baselines/golomb.h"
+#include "codec/nine_coded.h"
+#include "gen/cube_gen.h"
+
+namespace {
+
+const nc::bits::TritVector& sample_td() {
+  static const nc::bits::TritVector td = [] {
+    nc::gen::CubeGenConfig cfg;
+    cfg.patterns = 200;
+    cfg.width = 1000;
+    cfg.x_fraction = 0.85;
+    cfg.seed = 42;
+    return nc::gen::generate_cubes(cfg).flatten();
+  }();
+  return td;
+}
+
+void BM_NineCodedEncode(benchmark::State& state) {
+  const nc::codec::NineCoded coder(static_cast<std::size_t>(state.range(0)));
+  const auto& td = sample_td();
+  for (auto _ : state) benchmark::DoNotOptimize(coder.encode(td));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(td.size()) / 8);
+}
+BENCHMARK(BM_NineCodedEncode)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_NineCodedDecode(benchmark::State& state) {
+  const nc::codec::NineCoded coder(static_cast<std::size_t>(state.range(0)));
+  const auto& td = sample_td();
+  const auto te = coder.encode(td);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(coder.decode(te, td.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(td.size()) / 8);
+}
+BENCHMARK(BM_NineCodedDecode)->Arg(8)->Arg(32);
+
+void BM_NineCodedAnalyze(benchmark::State& state) {
+  const nc::codec::NineCoded coder(8);
+  const auto& td = sample_td();
+  for (auto _ : state) benchmark::DoNotOptimize(coder.analyze(td));
+}
+BENCHMARK(BM_NineCodedAnalyze);
+
+void BM_FdrEncode(benchmark::State& state) {
+  const nc::baselines::Fdr coder;
+  const auto& td = sample_td();
+  for (auto _ : state) benchmark::DoNotOptimize(coder.encode(td));
+}
+BENCHMARK(BM_FdrEncode);
+
+void BM_GolombEncode(benchmark::State& state) {
+  const nc::baselines::Golomb coder(4);
+  const auto& td = sample_td();
+  for (auto _ : state) benchmark::DoNotOptimize(coder.encode(td));
+}
+BENCHMARK(BM_GolombEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+#include "atpg/atpg.h"
+
+#include <random>
+
+#include "atpg/podem.h"
+#include "sim/fault_sim.h"
+
+namespace nc::atpg {
+
+using bits::TestSet;
+using bits::Trit;
+using bits::TritVector;
+
+AtpgResult generate_tests(const circuit::Netlist& netlist,
+                          const std::vector<sim::Fault>& faults,
+                          const AtpgConfig& config) {
+  AtpgResult result;
+  result.target_faults = faults.size();
+  result.tests = TestSet(0, netlist.pattern_width());
+
+  Podem podem(netlist, config.max_backtracks);
+  sim::FaultSimulator fsim(netlist);
+  std::vector<bool> alive(faults.size(), true);
+
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (!alive[f]) continue;
+    const PodemResult pr = podem.generate(faults[f]);
+    switch (pr.outcome) {
+      case PodemOutcome::kTestFound: {
+        result.tests.append_pattern(pr.cube);
+        if (config.fault_dropping) {
+          result.detected +=
+              fsim.drop_detected(pr.cube, faults, alive);
+        } else {
+          alive[f] = false;
+          ++result.detected;
+        }
+        // PODEM guarantees detection, but 3-valued fault sim may be too
+        // conservative to confirm it (X masking); count the target anyway.
+        if (alive[f]) {
+          alive[f] = false;
+          ++result.detected;
+        }
+        break;
+      }
+      case PodemOutcome::kUntestable:
+        alive[f] = false;
+        ++result.untestable;
+        break;
+      case PodemOutcome::kAborted:
+        alive[f] = false;
+        ++result.aborted;
+        break;
+    }
+  }
+
+  if (config.compact) result.tests = compact_merge(result.tests);
+  return result;
+}
+
+AtpgResult generate_tests(const circuit::Netlist& netlist,
+                          const AtpgConfig& config) {
+  return generate_tests(netlist, sim::collapsed_fault_list(netlist), config);
+}
+
+TestSet compact_merge(const TestSet& cubes) {
+  std::vector<TritVector> pool;
+  pool.reserve(cubes.pattern_count());
+  for (std::size_t i = 0; i < cubes.pattern_count(); ++i)
+    pool.push_back(cubes.pattern(i));
+
+  std::vector<bool> dead(pool.size(), false);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      if (dead[j]) continue;
+      if (!pool[i].compatible_with(pool[j])) continue;
+      // Merge j into i: union of care bits.
+      for (std::size_t b = 0; b < pool[i].size(); ++b)
+        if (pool[i].get(b) == Trit::X) pool[i].set(b, pool[j].get(b));
+      dead[j] = true;
+    }
+  }
+
+  TestSet out(0, cubes.pattern_length());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    if (!dead[i]) out.append_pattern(pool[i]);
+  return out;
+}
+
+TestSet compact_reverse_order(const circuit::Netlist& netlist,
+                              const std::vector<sim::Fault>& faults,
+                              const TestSet& cubes) {
+  sim::FaultSimulator fsim(netlist);
+  std::vector<bool> alive(faults.size(), true);
+  std::vector<std::size_t> kept;
+  for (std::size_t i = cubes.pattern_count(); i-- > 0;) {
+    if (fsim.drop_detected(cubes.pattern(i), faults, alive) > 0)
+      kept.push_back(i);
+  }
+  TestSet out(0, cubes.pattern_length());
+  // Preserve the original application order of the kept cubes.
+  for (std::size_t i = kept.size(); i-- > 0;)
+    out.append_pattern(cubes.pattern(kept[i]));
+  return out;
+}
+
+TestSet random_fill(const TestSet& cubes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  TestSet out = cubes;
+  for (std::size_t p = 0; p < out.pattern_count(); ++p)
+    for (std::size_t c = 0; c < out.pattern_length(); ++c)
+      if (out.at(p, c) == Trit::X)
+        out.set(p, c, bits::trit_from_bit(rng() & 1u));
+  return out;
+}
+
+}  // namespace nc::atpg

@@ -1,0 +1,73 @@
+// ATPG driver: PODEM over a collapsed fault list with on-the-fly fault
+// dropping, static cube compaction, and fill utilities.
+//
+// The output is a `TestSet` of *cubes* -- patterns with X bits -- which is
+// the precomputed test data TD that the 9C technique compresses. The paper's
+// flow (Section I): a core vendor runs ATPG, don't-cares survive into TD,
+// the compressor exploits them, and leftover X's can later be random-filled
+// to catch non-modeled faults.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "circuit/netlist.h"
+#include "sim/fault.h"
+
+namespace nc::atpg {
+
+struct AtpgConfig {
+  std::size_t max_backtracks = 4096;
+  /// Fault-simulate each new cube and drop all faults it detects.
+  bool fault_dropping = true;
+  /// Greedily merge compatible cubes after generation (static compaction).
+  bool compact = true;
+};
+
+struct AtpgResult {
+  bits::TestSet tests;
+  std::size_t target_faults = 0;
+  std::size_t detected = 0;
+  std::size_t untestable = 0;
+  std::size_t aborted = 0;
+
+  /// Fault efficiency: (detected + untestable) / targets.
+  double efficiency_percent() const noexcept {
+    return target_faults == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(detected + untestable) /
+                     static_cast<double>(target_faults);
+  }
+};
+
+/// Runs PODEM on every fault of `faults` (typically the collapsed list).
+AtpgResult generate_tests(const circuit::Netlist& netlist,
+                          const std::vector<sim::Fault>& faults,
+                          const AtpgConfig& config = {});
+
+/// Convenience: collapsed fault list + generation in one call.
+AtpgResult generate_tests(const circuit::Netlist& netlist,
+                          const AtpgConfig& config = {});
+
+/// Static compaction: greedily merges pairwise-compatible cubes (two cubes
+/// merge when no position has opposite care values); the merged cube keeps
+/// the union of care bits. Detection is preserved because every original
+/// cube is covered by its merge.
+bits::TestSet compact_merge(const bits::TestSet& cubes);
+
+/// Reverse-order fault-simulation compaction: fault-simulates the cubes in
+/// reverse generation order with fault dropping and keeps only the cubes
+/// that detect at least one not-yet-detected fault (later cubes were
+/// generated for harder faults and tend to cover the earlier ones).
+/// 3-valued detection semantics, so coverage never decreases.
+bits::TestSet compact_reverse_order(const circuit::Netlist& netlist,
+                                    const std::vector<sim::Fault>& faults,
+                                    const bits::TestSet& cubes);
+
+/// Replaces every X with a pseudo-random bit (the default ATPG behaviour the
+/// paper contrasts with: good for non-modeled defects, bad for compression).
+bits::TestSet random_fill(const bits::TestSet& cubes, std::uint64_t seed);
+
+}  // namespace nc::atpg

@@ -1,0 +1,48 @@
+#include "atpg/oracle.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "sim/logic_sim.h"
+
+namespace nc::atpg {
+
+using bits::TestSet;
+using bits::Trit;
+using bits::TritVector;
+
+std::optional<TritVector> oracle_find_test(const circuit::Netlist& netlist,
+                                           const sim::Fault& fault,
+                                           std::size_t max_width) {
+  const std::size_t width = netlist.pattern_width();
+  if (width > max_width)
+    throw std::invalid_argument("oracle limited to small circuits");
+
+  sim::ParallelSim good(netlist);
+  sim::ParallelSim bad(netlist);
+  TestSet batch(64, width);
+  const std::uint64_t total = 1ull << width;
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    const std::size_t count =
+        static_cast<std::size_t>(std::min<std::uint64_t>(64, total - base));
+    for (std::size_t slot = 0; slot < count; ++slot)
+      for (std::size_t col = 0; col < width; ++col)
+        batch.set(slot, col,
+                  bits::trit_from_bit(((base + slot) >> col) & 1ull));
+    good.load(batch, 0);
+    good.run();
+    bad.load(batch, 0);
+    bad.run_with_fault(fault.node, fault.consumer, fault.pin,
+                       fault.stuck_value);
+    std::uint64_t mask = bad.diff_mask(good.values());
+    if (count < 64) mask &= (count == 64) ? ~0ull : ((1ull << count) - 1);
+    if (mask != 0) {
+      const auto slot = static_cast<std::size_t>(std::countr_zero(mask));
+      return batch.pattern(slot);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nc::atpg

@@ -1,0 +1,24 @@
+// Exhaustive-test oracle: enumerates every fully specified input assignment
+// to decide a fault's testability. Exponential, so only viable for small
+// pattern widths -- which is exactly its job: it is the ground truth the
+// property tests hold PODEM against (testable/untestable verdicts must
+// agree fault for fault).
+#pragma once
+
+#include <optional>
+
+#include "bits/trit_vector.h"
+#include "circuit/netlist.h"
+#include "sim/fault.h"
+
+namespace nc::atpg {
+
+/// Returns a detecting pattern if one exists, std::nullopt if the fault is
+/// provably untestable. Throws std::invalid_argument when the circuit has
+/// more than `max_width` pattern columns (default keeps the search under
+/// ~64k simulations).
+std::optional<bits::TritVector> oracle_find_test(
+    const circuit::Netlist& netlist, const sim::Fault& fault,
+    std::size_t max_width = 16);
+
+}  // namespace nc::atpg

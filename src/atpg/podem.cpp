@@ -1,0 +1,400 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace nc::atpg {
+
+using bits::Trit;
+using circuit::GateType;
+using circuit::Netlist;
+using sim::Fault;
+
+namespace {
+
+Trit invert(Trit t) noexcept {
+  if (t == Trit::Zero) return Trit::One;
+  if (t == Trit::One) return Trit::Zero;
+  return Trit::X;
+}
+
+bool is_inverting(GateType t) noexcept {
+  return t == GateType::kNand || t == GateType::kNor || t == GateType::kNot ||
+         t == GateType::kXnor;
+}
+
+/// 3-valued gate evaluation over an input accessor.
+template <typename GetIn>
+Trit eval3(GateType type, std::size_t arity, GetIn in) {
+  switch (type) {
+    case GateType::kBuf: return in(0);
+    case GateType::kNot: return invert(in(0));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Trit acc = Trit::One;
+      for (std::size_t p = 0; p < arity; ++p) {
+        const Trit v = in(p);
+        if (v == Trit::Zero) { acc = Trit::Zero; break; }
+        if (v == Trit::X) acc = Trit::X;
+      }
+      return type == GateType::kNand ? invert(acc) : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Trit acc = Trit::Zero;
+      for (std::size_t p = 0; p < arity; ++p) {
+        const Trit v = in(p);
+        if (v == Trit::One) { acc = Trit::One; break; }
+        if (v == Trit::X) acc = Trit::X;
+      }
+      return type == GateType::kNor ? invert(acc) : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool parity = type == GateType::kXnor;
+      for (std::size_t p = 0; p < arity; ++p) {
+        const Trit v = in(p);
+        if (v == Trit::X) return Trit::X;
+        parity ^= (v == Trit::One);
+      }
+      return bits::trit_from_bit(parity);
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;
+  }
+  return Trit::X;
+}
+
+}  // namespace
+
+struct Podem::Planes {
+  std::vector<Trit> good;
+  std::vector<Trit> faulty;
+};
+
+Podem::Podem(const Netlist& netlist, std::size_t max_backtracks)
+    : netlist_(&netlist),
+      order_(netlist.levelize()),
+      column_of_node_(netlist.size(), Netlist::npos),
+      consumers_(netlist.size()),
+      observed_(netlist.size(), false),
+      max_backtracks_(max_backtracks) {
+  std::size_t col = 0;
+  for (std::size_t i : netlist.inputs()) column_of_node_[i] = col++;
+  for (std::size_t f : netlist.flops()) column_of_node_[f] = col++;
+  for (std::size_t g = 0; g < netlist.size(); ++g) {
+    const circuit::Gate& gate = netlist.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    if (gate.type == GateType::kDff) {
+      observed_[gate.fanins[0]] = true;  // captured into the scan chain
+      continue;
+    }
+    for (std::size_t f : gate.fanins) consumers_[f].push_back(g);
+  }
+  for (std::size_t o : netlist.outputs()) observed_[o] = true;
+
+  // SCOAP controllability in topological order. Scan makes PIs and scan
+  // cells equally cheap (cost 1).
+  cc0_.assign(netlist.size(), 1);
+  cc1_.assign(netlist.size(), 1);
+  for (std::size_t n : order_) {
+    const circuit::Gate& gate = netlist.gate(n);
+    if (gate.type == GateType::kInput || gate.type == GateType::kDff) continue;
+    auto sum1 = [&] {
+      unsigned s = 1;
+      for (std::size_t f : gate.fanins) s += cc1_[f];
+      return s;
+    };
+    auto sum0 = [&] {
+      unsigned s = 1;
+      for (std::size_t f : gate.fanins) s += cc0_[f];
+      return s;
+    };
+    auto min0 = [&] {
+      unsigned m = ~0u;
+      for (std::size_t f : gate.fanins) m = std::min(m, cc0_[f]);
+      return m + 1;
+    };
+    auto min1 = [&] {
+      unsigned m = ~0u;
+      for (std::size_t f : gate.fanins) m = std::min(m, cc1_[f]);
+      return m + 1;
+    };
+    switch (gate.type) {
+      case GateType::kBuf:
+        cc0_[n] = cc0_[gate.fanins[0]] + 1;
+        cc1_[n] = cc1_[gate.fanins[0]] + 1;
+        break;
+      case GateType::kNot:
+        cc0_[n] = cc1_[gate.fanins[0]] + 1;
+        cc1_[n] = cc0_[gate.fanins[0]] + 1;
+        break;
+      case GateType::kAnd:
+        cc1_[n] = sum1();
+        cc0_[n] = min0();
+        break;
+      case GateType::kNand:
+        cc0_[n] = sum1();
+        cc1_[n] = min0();
+        break;
+      case GateType::kOr:
+        cc0_[n] = sum0();
+        cc1_[n] = min1();
+        break;
+      case GateType::kNor:
+        cc1_[n] = sum0();
+        cc0_[n] = min1();
+        break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Two-input formula folded left to right for wider gates.
+        unsigned c0 = cc0_[gate.fanins[0]], c1 = cc1_[gate.fanins[0]];
+        for (std::size_t p = 1; p < gate.fanins.size(); ++p) {
+          const unsigned b0 = cc0_[gate.fanins[p]], b1 = cc1_[gate.fanins[p]];
+          const unsigned n0 = std::min(c0 + b0, c1 + b1) + 1;
+          const unsigned n1 = std::min(c1 + b0, c0 + b1) + 1;
+          c0 = n0;
+          c1 = n1;
+        }
+        cc0_[n] = gate.type == GateType::kXor ? c0 : c1;
+        cc1_[n] = gate.type == GateType::kXor ? c1 : c0;
+        break;
+      }
+      case GateType::kInput:
+      case GateType::kDff:
+        break;
+    }
+  }
+}
+
+PodemResult Podem::generate(const Fault& fault) {
+  const Netlist& nl = *netlist_;
+  const Trit stuck = bits::trit_from_bit(fault.stuck_value);
+  const Trit activate_value = invert(stuck);
+
+  bits::TritVector cube(nl.pattern_width(), Trit::X);
+  Planes planes{std::vector<Trit>(nl.size(), Trit::X),
+                std::vector<Trit>(nl.size(), Trit::X)};
+
+  // Faulty-machine value of gate `g`'s input `pin`, honouring branch faults.
+  auto faulty_in = [&](std::size_t g, std::size_t pin) {
+    if (!fault.is_stem() && g == fault.consumer && pin == fault.pin)
+      return stuck;
+    return planes.faulty[nl.gate(g).fanins[pin]];
+  };
+
+  auto imply = [&] {
+    for (std::size_t n : order_) {
+      const circuit::Gate& gate = nl.gate(n);
+      if (gate.type == GateType::kInput || gate.type == GateType::kDff) {
+        const Trit v = cube.get(column_of_node_[n]);
+        planes.good[n] = v;
+        planes.faulty[n] = v;
+      } else {
+        planes.good[n] = eval3(gate.type, gate.fanins.size(),
+                               [&](std::size_t p) {
+                                 return planes.good[gate.fanins[p]];
+                               });
+        planes.faulty[n] = eval3(gate.type, gate.fanins.size(),
+                                 [&](std::size_t p) { return faulty_in(n, p); });
+      }
+      if (fault.is_stem() && n == fault.node) planes.faulty[n] = stuck;
+    }
+  };
+
+  // Composite error (D or D-bar) on a line: both planes specified, opposite.
+  auto is_error = [](Trit g, Trit f) {
+    return bits::is_care(g) && bits::is_care(f) && g != f;
+  };
+
+  auto error_observed = [&] {
+    for (std::size_t o : nl.outputs())
+      if (is_error(planes.good[o], planes.faulty[o])) return true;
+    for (std::size_t flop : nl.flops()) {
+      const Trit g = planes.good[nl.gate(flop).fanins[0]];
+      if (is_error(g, faulty_in(flop, 0))) return true;
+    }
+    return false;
+  };
+
+  // X-path check: can node `from` (whose value is not fully specified)
+  // still reach an observation point through not-fully-specified nodes?
+  std::vector<bool> xvisited(nl.size(), false);
+  auto is_xish = [&](std::size_t n) {
+    return planes.good[n] == Trit::X || planes.faulty[n] == Trit::X;
+  };
+  auto xpath_to_observation = [&](std::size_t from) {
+    std::fill(xvisited.begin(), xvisited.end(), false);
+    std::vector<std::size_t> worklist = {from};
+    xvisited[from] = true;
+    while (!worklist.empty()) {
+      const std::size_t n = worklist.back();
+      worklist.pop_back();
+      if (observed_[n]) return true;
+      for (std::size_t c : consumers_[n]) {
+        if (xvisited[c] || !is_xish(c)) continue;
+        xvisited[c] = true;
+        worklist.push_back(c);
+      }
+    }
+    return false;
+  };
+
+  // Objective: activate the fault, else advance the D-frontier.
+  struct Objective {
+    std::size_t node;
+    Trit value;
+    bool found;
+  };
+  auto objective = [&]() -> Objective {
+    if (planes.good[fault.node] == Trit::X)
+      return {fault.node, activate_value, true};
+    // D-frontier: a gate whose output composite is not yet an error but some
+    // input carries one, and whose output can still reach an observation
+    // point through unspecified logic (X-path check). Set one of its X
+    // inputs to the gate's non-controlling value.
+    for (std::size_t g : order_) {
+      const circuit::Gate& gate = nl.gate(g);
+      if (gate.type == GateType::kInput || gate.type == GateType::kDff)
+        continue;
+      if (is_error(planes.good[g], planes.faulty[g])) continue;
+      if (bits::is_care(planes.good[g]) && bits::is_care(planes.faulty[g]))
+        continue;  // fully specified, no error: fault blocked here
+      bool has_error_input = false;
+      for (std::size_t p = 0; p < gate.fanins.size(); ++p)
+        if (is_error(planes.good[gate.fanins[p]], faulty_in(g, p))) {
+          has_error_input = true;
+          break;
+        }
+      if (!has_error_input) continue;
+      if (!xpath_to_observation(g)) continue;
+      for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
+        if (planes.good[gate.fanins[p]] != Trit::X) continue;
+        Trit noncontrolling;
+        switch (gate.type) {
+          case GateType::kAnd:
+          case GateType::kNand: noncontrolling = Trit::One; break;
+          case GateType::kOr:
+          case GateType::kNor: noncontrolling = Trit::Zero; break;
+          default: noncontrolling = Trit::Zero; break;  // XOR: any value
+        }
+        return {gate.fanins[p], noncontrolling, true};
+      }
+    }
+    return {0, Trit::X, false};
+  };
+
+  // Backtrace an objective to an unassigned pattern column, steering by
+  // controllability: when every input must take the value, descend into the
+  // hardest one (fail fast); when one input suffices, take the easiest.
+  auto backtrace = [&](std::size_t node, Trit value)
+      -> std::pair<std::size_t, Trit> {
+    while (column_of_node_[node] == Netlist::npos) {
+      const circuit::Gate& gate = nl.gate(node);
+      if (is_inverting(gate.type)) value = invert(value);
+      // After inversion, `value` is the target for the underlying AND/OR
+      // core. all-inputs case: AND needs 1, OR needs 0.
+      bool want_all = false;
+      switch (gate.type) {
+        case GateType::kAnd:
+        case GateType::kNand: want_all = value == Trit::One; break;
+        case GateType::kOr:
+        case GateType::kNor: want_all = value == Trit::Zero; break;
+        default: break;
+      }
+      auto cost = [&](std::size_t f) {
+        if (gate.type == GateType::kXor || gate.type == GateType::kXnor)
+          return std::min(cc0_[f], cc1_[f]);
+        return value == Trit::One ? cc1_[f] : cc0_[f];
+      };
+      std::size_t next = Netlist::npos;
+      for (std::size_t f : gate.fanins) {
+        if (planes.good[f] != Trit::X) continue;
+        if (next == Netlist::npos ||
+            (want_all ? cost(f) > cost(next) : cost(f) < cost(next)))
+          next = f;
+      }
+      if (next == Netlist::npos) return {Netlist::npos, Trit::X};
+      node = next;
+    }
+    return {column_of_node_[node], value};
+  };
+
+  struct Decision {
+    std::size_t column;
+    Trit value;
+    bool flipped;
+  };
+  std::vector<Decision> stack;
+  PodemResult result;
+
+  imply();
+  while (true) {
+    if (error_observed()) {
+      result.outcome = PodemOutcome::kTestFound;
+      result.cube = cube;
+      return result;
+    }
+
+    bool need_backtrack = false;
+    const Trit site = planes.good[fault.node];
+    if (bits::is_care(site) && site == stuck) {
+      need_backtrack = true;  // fault can never be activated on this path
+    } else if (bits::is_care(site)) {
+      const Objective obj = objective();
+      if (!obj.found) {
+        need_backtrack = true;  // activated but D-frontier is empty
+      } else {
+        const auto [col, v] = backtrace(obj.node, obj.value);
+        if (col == Netlist::npos) {
+          need_backtrack = true;
+        } else {
+          stack.push_back({col, v, false});
+          cube.set(col, v);
+          imply();
+          continue;
+        }
+      }
+    } else {
+      // Not yet activated: objective is the activation value.
+      const auto [col, v] = backtrace(fault.node, activate_value);
+      if (col == Netlist::npos) {
+        need_backtrack = true;
+      } else {
+        stack.push_back({col, v, false});
+        cube.set(col, v);
+        imply();
+        continue;
+      }
+    }
+
+    if (need_backtrack) {
+      ++result.backtracks;
+      if (result.backtracks > max_backtracks_) {
+        result.outcome = PodemOutcome::kAborted;
+        return result;
+      }
+      bool resumed = false;
+      while (!stack.empty()) {
+        Decision& top = stack.back();
+        if (!top.flipped) {
+          top.flipped = true;
+          top.value = invert(top.value);
+          cube.set(top.column, top.value);
+          resumed = true;
+          break;
+        }
+        cube.set(top.column, Trit::X);
+        stack.pop_back();
+      }
+      if (!resumed) {
+        result.outcome = PodemOutcome::kUntestable;
+        return result;
+      }
+      imply();
+    }
+  }
+}
+
+}  // namespace nc::atpg

@@ -1,0 +1,55 @@
+// PODEM (path-oriented decision making) test generation for one stuck-at
+// fault on the full-scan combinational core.
+//
+// The engine keeps two 3-valued planes -- good machine and faulty machine --
+// rather than the textbook 5-valued algebra; the composite D / D-bar appear
+// wherever the planes are both specified and differ. PODEM decisions assign
+// pattern columns (PIs and scan cells) only, so the returned test is a
+// *cube*: every column not forced by the search stays X. Those X bits are
+// exactly what the 9C compressor exploits.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "bits/trit_vector.h"
+#include "circuit/netlist.h"
+#include "sim/fault.h"
+
+namespace nc::atpg {
+
+enum class PodemOutcome {
+  kTestFound,
+  kUntestable,  // search space exhausted: provably redundant fault
+  kAborted,     // backtrack limit hit
+};
+
+struct PodemResult {
+  PodemOutcome outcome = PodemOutcome::kAborted;
+  /// Test cube (pattern_width trits) when outcome == kTestFound.
+  bits::TritVector cube;
+  std::size_t backtracks = 0;
+};
+
+class Podem {
+ public:
+  explicit Podem(const circuit::Netlist& netlist, std::size_t max_backtracks = 4096);
+
+  /// Attempts to generate a cube detecting `fault`.
+  PodemResult generate(const sim::Fault& fault);
+
+ private:
+  struct Planes;  // good/faulty node values
+
+  const circuit::Netlist* netlist_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> column_of_node_;  // pattern column per PI/DFF node
+  std::vector<std::vector<std::size_t>> consumers_;  // combinational fanout
+  std::vector<bool> observed_;  // node is a PO or feeds a scan cell
+  /// SCOAP-style controllability costs (effort to set a line to 0 / 1),
+  /// used by backtrace to pick the hardest/easiest input.
+  std::vector<unsigned> cc0_, cc1_;
+  std::size_t max_backtracks_;
+};
+
+}  // namespace nc::atpg

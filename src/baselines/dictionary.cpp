@@ -1,0 +1,140 @@
+#include "baselines/dictionary.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bits/bitstream.h"
+
+namespace nc::baselines {
+
+using bits::Trit;
+using bits::TritVector;
+
+namespace {
+
+struct Block {
+  std::uint64_t care = 0;
+  std::uint64_t value = 0;
+};
+
+Block read_block(const TritVector& td, std::size_t begin, std::size_t b) {
+  Block blk;
+  for (std::size_t i = 0; i < b; ++i) {
+    const Trit t = begin + i < td.size() ? td.get(begin + i) : Trit::X;
+    if (bits::is_care(t)) {
+      blk.care |= 1ull << i;
+      if (t == Trit::One) blk.value |= 1ull << i;
+    }
+  }
+  return blk;
+}
+
+bool compatible(const Block& blk, std::uint64_t pattern) {
+  return ((pattern ^ blk.value) & blk.care) == 0;
+}
+
+}  // namespace
+
+FixedDictionary::FixedDictionary(std::size_t block_size, std::size_t entries)
+    : b_(block_size), entries_(entries), index_bits_(0) {
+  if (b_ < 1 || b_ > 64)
+    throw std::invalid_argument("dictionary block size must be 1..64");
+  if (entries_ < 2)
+    throw std::invalid_argument("dictionary needs at least two entries");
+  while ((std::size_t{1} << index_bits_) < entries_) ++index_bits_;
+}
+
+FixedDictionary FixedDictionary::trained(const TritVector& td,
+                                         std::size_t block_size,
+                                         std::size_t entries) {
+  FixedDictionary coder(block_size, entries);
+  // Greedy compatible frequency counting, as in selective Huffman.
+  std::vector<std::uint64_t> patterns;
+  std::vector<std::size_t> counts;
+  for (std::size_t pos = 0; pos < td.size(); pos += block_size) {
+    const Block blk = read_block(td, pos, block_size);
+    std::size_t best = patterns.size();
+    for (std::size_t c = 0; c < patterns.size(); ++c) {
+      if (!compatible(blk, patterns[c])) continue;
+      if (best == patterns.size() || counts[c] > counts[best]) best = c;
+    }
+    if (best == patterns.size()) {
+      patterns.push_back(blk.value);
+      counts.push_back(1);
+    } else {
+      ++counts[best];
+    }
+  }
+  std::vector<std::size_t> order(patterns.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return counts[a] > counts[b];
+  });
+  const std::size_t keep = std::min(entries, order.size());
+  for (std::size_t i = 0; i < keep; ++i)
+    coder.dictionary_.push_back(patterns[order[i]]);
+  if (coder.dictionary_.empty()) coder.dictionary_.push_back(0);
+  return coder;
+}
+
+std::string FixedDictionary::name() const {
+  return "Dict(b=" + std::to_string(b_) + ",D=" + std::to_string(entries_) +
+         ")";
+}
+
+TritVector FixedDictionary::encode(const TritVector& td) const {
+  const FixedDictionary* coder = this;
+  FixedDictionary local(b_, entries_);
+  if (!is_trained()) {
+    local = trained(td, b_, entries_);
+    coder = &local;
+  }
+  bits::BitWriter out;
+  for (std::size_t pos = 0; pos < td.size(); pos += b_) {
+    const Block blk = read_block(td, pos, b_);
+    std::size_t hit = coder->dictionary_.size();
+    for (std::size_t d = 0; d < coder->dictionary_.size(); ++d)
+      if (compatible(blk, coder->dictionary_[d])) {
+        hit = d;
+        break;
+      }
+    if (hit < coder->dictionary_.size()) {
+      out.put(true);
+      out.put_bits(hit, coder->index_bits_);
+    } else {
+      out.put(false);
+      for (std::size_t i = 0; i < b_; ++i)
+        out.put((blk.value >> i) & 1u);
+    }
+  }
+  return out.take();
+}
+
+TritVector FixedDictionary::decode(const TritVector& te,
+                                   std::size_t original_bits) const {
+  if (!is_trained())
+    throw std::logic_error(
+        "dictionary decoder is customized per test set; use trained()");
+  TritVector out;
+  bits::TritReader in(te);
+  while (out.size() < original_bits) {
+    std::uint64_t pattern;
+    if (in.next_bit()) {
+      const std::size_t idx =
+          static_cast<std::size_t>(in.next_bits(index_bits_));
+      if (idx >= dictionary_.size())
+        throw std::runtime_error("dictionary stream corrupt: bad index");
+      pattern = dictionary_[idx];
+    } else {
+      pattern = 0;
+      for (std::size_t i = 0; i < b_; ++i)
+        if (in.next_bit()) pattern |= 1ull << i;
+    }
+    for (std::size_t i = 0; i < b_; ++i)
+      out.push_back(bits::trit_from_bit((pattern >> i) & 1u));
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+}  // namespace nc::baselines

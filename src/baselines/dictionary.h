@@ -1,0 +1,48 @@
+// Dictionary compression with fixed-length indices (Li & Chakrabarty,
+// VTS 2003 -- reference [26], the scheme the paper's Table VIII circuits
+// came from). TD splits into b-bit blocks; a dictionary of D fully
+// specified entries is selected by greedy compatible matching, and each
+// block travels either as '1' + log2(D)-bit index (hit) or '0' + b raw bits
+// (miss). The dictionary itself lives in the on-chip decoder -- another
+// test-set-customized decompressor, so `trained(td)` is required to decode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "codec/codec.h"
+
+namespace nc::baselines {
+
+class FixedDictionary final : public codec::Codec {
+ public:
+  /// `block_size` = b in [1, 64]; `entries` = D >= 2 (rounded up to a power
+  /// of two index space; index width = clog2(D)).
+  explicit FixedDictionary(std::size_t block_size = 16,
+                           std::size_t entries = 128);
+
+  static FixedDictionary trained(const bits::TritVector& td,
+                                 std::size_t block_size = 16,
+                                 std::size_t entries = 128);
+
+  std::string name() const override;
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  /// Requires a trained coder; throws std::logic_error otherwise.
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+
+  bool is_trained() const noexcept { return !dictionary_.empty(); }
+  const std::vector<std::uint64_t>& dictionary() const noexcept {
+    return dictionary_;
+  }
+  unsigned index_bits() const noexcept { return index_bits_; }
+
+ private:
+  std::size_t b_;
+  std::size_t entries_;
+  unsigned index_bits_;
+  std::vector<std::uint64_t> dictionary_;
+};
+
+}  // namespace nc::baselines

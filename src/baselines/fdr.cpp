@@ -1,0 +1,111 @@
+#include "baselines/fdr.h"
+
+#include "bits/bitstream.h"
+
+namespace nc::baselines {
+
+using bits::Trit;
+using bits::TritVector;
+
+namespace fdr_detail {
+
+namespace {
+
+/// Group index k such that 2^k - 2 <= length <= 2^(k+1) - 3.
+unsigned group_of(std::size_t length) {
+  unsigned k = 1;
+  while (length > (std::size_t{2} << k) - 3) ++k;
+  return k;
+}
+
+}  // namespace
+
+void encode_run(bits::BitWriter& out, std::size_t length) {
+  const unsigned k = group_of(length);
+  for (unsigned i = 0; i + 1 < k; ++i) out.put(true);
+  out.put(false);
+  out.put_bits(length - ((std::size_t{1} << k) - 2), k);
+}
+
+std::size_t decode_run(bits::TritReader& in) {
+  unsigned k = 1;
+  while (in.next_bit()) ++k;
+  return in.next_bits(k) + ((std::size_t{1} << k) - 2);
+}
+
+std::size_t codeword_bits(std::size_t length) {
+  return 2 * static_cast<std::size_t>(group_of(length));
+}
+
+}  // namespace fdr_detail
+
+TritVector Fdr::encode(const TritVector& td) const {
+  bits::BitWriter out;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    if (td.get(i) == Trit::One) {  // X fills as 0
+      fdr_detail::encode_run(out, run);
+      run = 0;
+    } else {
+      ++run;
+    }
+  }
+  if (run > 0) fdr_detail::encode_run(out, run);
+  return out.take();
+}
+
+TritVector Fdr::decode(const TritVector& te,
+                       std::size_t original_bits) const {
+  TritVector out;
+  bits::TritReader in(te);
+  while (out.size() < original_bits) {
+    out.append_run(fdr_detail::decode_run(in), Trit::Zero);
+    out.push_back(Trit::One);
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+TritVector Efdr::encode(const TritVector& td) const {
+  bits::BitWriter out;
+  // Runs alternate in the *filled* stream: a run of `current` values ends at
+  // a specified opposite bit. X extends the current run (minimum-transition
+  // fill). The stream conventionally starts in a 0-run.
+  bool current = false;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    const Trit t = td.get(i);
+    if (t == Trit::X || t == bits::trit_from_bit(current)) {
+      ++run;
+    } else {
+      // Run of `current` terminated by this one opposite bit. The bits
+      // after the terminator continue in the terminator's value, so the
+      // next run starts empty with that polarity.
+      out.put(current);  // type bit matches the run value
+      fdr_detail::encode_run(out, run);
+      current = t == Trit::One;
+      run = 0;
+    }
+  }
+  if (run > 0) {
+    out.put(current);
+    fdr_detail::encode_run(out, run);
+  }
+  return out.take();
+}
+
+TritVector Efdr::decode(const TritVector& te,
+                        std::size_t original_bits) const {
+  TritVector out;
+  bits::TritReader in(te);
+  while (out.size() < original_bits) {
+    const bool type = in.next_bit();
+    const std::size_t run = fdr_detail::decode_run(in);
+    out.append_run(run, bits::trit_from_bit(type));
+    out.push_back(bits::trit_from_bit(!type));
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+}  // namespace nc::baselines

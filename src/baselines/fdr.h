@@ -1,0 +1,47 @@
+// Frequency-directed run-length (FDR) coding and its extension EFDR.
+//
+// FDR (Chandra & Chakrabarty, IEEE Trans. Computers 2003): runs of 0s
+// terminated by a 1; run length L in group k (2^k - 2 <= L <= 2^(k+1) - 3)
+// codes as a k-bit prefix ((k-1) ones then a 0) plus a k-bit tail
+// (L - (2^k - 2)). Short runs -- the frequent ones in scan data -- get the
+// short codewords:  0 -> 00, 1 -> 01, 2 -> 1000, ..., 6 -> 110000, ...
+// Don't-cares fill with 0.
+//
+// EFDR (El-Maleh & Al-Abaji, ICECS 2002): each codeword carries a leading
+// type bit and encodes a run of 0s ending in 1 (type 0) or a run of 1s
+// ending in 0 (type 1); don't-cares extend the current run (minimum-
+// transition fill), which is what gives EFDR its edge on 1-heavy data.
+#pragma once
+
+#include "bits/bitstream.h"
+#include "codec/codec.h"
+
+namespace nc::baselines {
+
+class Fdr final : public codec::Codec {
+ public:
+  std::string name() const override { return "FDR"; }
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+};
+
+class Efdr final : public codec::Codec {
+ public:
+  std::string name() const override { return "EFDR"; }
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+};
+
+/// Shared FDR run-length codeword machinery (exposed for tests).
+namespace fdr_detail {
+/// Appends the FDR codeword for a run of `length` zeros.
+void encode_run(bits::BitWriter& out, std::size_t length);
+/// Reads one FDR codeword, returning the run length.
+std::size_t decode_run(bits::TritReader& in);
+/// Codeword length in bits for a given run length.
+std::size_t codeword_bits(std::size_t length);
+}  // namespace fdr_detail
+
+}  // namespace nc::baselines

@@ -1,0 +1,60 @@
+#include "baselines/golomb.h"
+
+#include <stdexcept>
+
+#include "bits/bitstream.h"
+
+namespace nc::baselines {
+
+using bits::Trit;
+using bits::TritVector;
+
+Golomb::Golomb(std::size_t group_size) : m_(group_size), log2m_(0) {
+  if (m_ < 2 || (m_ & (m_ - 1)) != 0)
+    throw std::invalid_argument("Golomb group size must be a power of two >= 2");
+  for (std::size_t v = m_; v > 1; v >>= 1) ++log2m_;
+}
+
+std::string Golomb::name() const {
+  return "Golomb(m=" + std::to_string(m_) + ")";
+}
+
+TritVector Golomb::encode(const TritVector& td) const {
+  bits::BitWriter out;
+  std::size_t run = 0;
+  auto emit_run = [&](std::size_t len) {
+    out.put_run(len / m_, true);
+    out.put(false);
+    out.put_bits(len % m_, log2m_);
+  };
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    // X counts as 0: the filled stream is what the decoder reproduces.
+    if (td.get(i) == Trit::One) {
+      emit_run(run);
+      run = 0;
+    } else {
+      ++run;
+    }
+  }
+  // Trailing zeros (no terminating 1): encode as a normal run; the decoder
+  // drops the phantom terminator when it passes original_bits.
+  if (run > 0) emit_run(run);
+  return out.take();
+}
+
+TritVector Golomb::decode(const TritVector& te,
+                          std::size_t original_bits) const {
+  TritVector out;
+  bits::TritReader in(te);
+  while (out.size() < original_bits) {
+    std::size_t groups = 0;
+    while (in.next_bit()) ++groups;
+    const std::size_t rem = in.next_bits(log2m_);
+    out.append_run(groups * m_ + rem, Trit::Zero);
+    out.push_back(Trit::One);
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+}  // namespace nc::baselines

@@ -1,0 +1,33 @@
+// Golomb coding of scan test data (Chandra & Chakrabarty, TCAD 2001).
+//
+// TD's don't-cares are filled with 0 (maximizing the 0-runs the code feeds
+// on); the resulting bit stream is viewed as runs of 0s each terminated by a
+// single 1. A run of length L with group size m (a power of two here) codes
+// as floor(L/m) ones + '0' (unary group id) followed by log2(m) bits of
+// L mod m.
+#pragma once
+
+#include <cstddef>
+
+#include "codec/codec.h"
+
+namespace nc::baselines {
+
+class Golomb final : public codec::Codec {
+ public:
+  /// `group_size` must be a power of two >= 2 (the paper's m; 4 is typical).
+  explicit Golomb(std::size_t group_size = 4);
+
+  std::string name() const override;
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+
+  std::size_t group_size() const noexcept { return m_; }
+
+ private:
+  std::size_t m_;
+  unsigned log2m_;
+};
+
+}  // namespace nc::baselines

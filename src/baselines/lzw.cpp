@@ -1,0 +1,82 @@
+#include "baselines/lzw.h"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bits/bitstream.h"
+
+namespace nc::baselines {
+
+using bits::Trit;
+using bits::TritVector;
+
+Lzw::Lzw(unsigned code_bits) : max_code_bits_(code_bits) {
+  if (code_bits < 2 || code_bits > 20)
+    throw std::invalid_argument("LZW code width must be 2..20");
+}
+
+std::string Lzw::name() const {
+  return "LZW(w=" + std::to_string(max_code_bits_) + ")";
+}
+
+TritVector Lzw::encode(const TritVector& td) const {
+  const std::size_t cap = std::size_t{1} << max_code_bits_;
+  std::unordered_map<std::string, std::size_t> dict = {{"0", 0}, {"1", 1}};
+  std::size_t next = 2;
+
+  bits::BitWriter out;
+  std::string cur;
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    const char b = td.get(i) == Trit::One ? '1' : '0';  // X fills as 0
+    cur.push_back(b);
+    if (dict.count(cur)) continue;
+    // cur = known prefix + b: emit the prefix, learn cur, restart from b.
+    cur.pop_back();
+    out.put_bits(dict.at(cur), max_code_bits_);
+    cur.push_back(b);
+    if (next < cap) dict.emplace(cur, next++);
+    cur = b;
+  }
+  if (!cur.empty()) out.put_bits(dict.at(cur), max_code_bits_);
+  return out.take();
+}
+
+TritVector Lzw::decode(const TritVector& te,
+                       std::size_t original_bits) const {
+  TritVector out;
+  if (original_bits == 0) return out;
+  const std::size_t cap = std::size_t{1} << max_code_bits_;
+  std::vector<std::string> entries = {"0", "1"};
+  bits::TritReader in(te);
+
+  auto emit = [&](const std::string& s) {
+    for (char c : s) out.push_back(bits::trit_from_bit(c == '1'));
+  };
+
+  std::size_t code = static_cast<std::size_t>(in.next_bits(max_code_bits_));
+  if (code >= entries.size())
+    throw std::runtime_error("LZW stream corrupt: bad first code");
+  std::string prev = entries[code];
+  emit(prev);
+  while (out.size() < original_bits) {
+    code = static_cast<std::size_t>(in.next_bits(max_code_bits_));
+    std::string current;
+    if (code < entries.size()) {
+      current = entries[code];
+    } else if (code == entries.size() && entries.size() < cap) {
+      current = prev + prev[0];  // the KwKwK case
+    } else {
+      throw std::runtime_error("LZW stream corrupt: code out of range");
+    }
+    if (entries.size() < cap) entries.push_back(prev + current[0]);
+    emit(current);
+    prev = current;
+  }
+  if (out.size() != original_bits)
+    throw std::runtime_error("LZW stream corrupt: phrase overruns length");
+  return out;
+}
+
+}  // namespace nc::baselines

@@ -1,0 +1,29 @@
+// LZW test-data compression (Knieser et al., DATE 2003 -- reference [25] of
+// the paper). The 0-filled bit stream is compressed with a binary-alphabet
+// LZW dictionary emitting fixed-width codes; the dictionary freezes at
+// 2^code_bits entries, matching the fixed-size embedded decoder memory of
+// the original scheme.
+#pragma once
+
+#include <cstddef>
+
+#include "codec/codec.h"
+
+namespace nc::baselines {
+
+class Lzw final : public codec::Codec {
+ public:
+  /// `code_bits` in [2, 20]: every emitted code is this wide and the
+  /// dictionary holds at most 2^code_bits entries.
+  explicit Lzw(unsigned code_bits = 12);
+
+  std::string name() const override;
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+
+ private:
+  unsigned max_code_bits_;
+};
+
+}  // namespace nc::baselines

@@ -1,0 +1,73 @@
+#include "baselines/mtc.h"
+
+#include <stdexcept>
+
+#include "bits/bitstream.h"
+
+namespace nc::baselines {
+
+using bits::Trit;
+using bits::TritVector;
+
+Mtc::Mtc(std::size_t group_size) : m_(group_size), log2m_(0) {
+  if (m_ < 2 || (m_ & (m_ - 1)) != 0)
+    throw std::invalid_argument("MTC group size must be a power of two >= 2");
+  for (std::size_t v = m_; v > 1; v >>= 1) ++log2m_;
+}
+
+std::string Mtc::name() const { return "MTC(m=" + std::to_string(m_) + ")"; }
+
+TritVector Mtc::encode(const TritVector& td) const {
+  bits::BitWriter out;
+  if (td.empty()) return out.take();
+
+  // Minimum-transition fill: X adopts the value of the previous care bit.
+  // The first run's polarity is transmitted explicitly.
+  std::size_t i = 0;
+  while (i < td.size() && !bits::is_care(td.get(i))) ++i;
+  const bool first =
+      i < td.size() ? td.get(i) == Trit::One : false;  // all-X: run of 0s
+  out.put(first);
+
+  bool current = first;
+  std::size_t run = 0;
+  auto emit_run = [&](std::size_t len) {
+    // Golomb codeword: unary group count + log2(m) remainder bits. Runs are
+    // at least 1 long, so code len-1.
+    const std::size_t v = len - 1;
+    out.put_run(v / m_, true);
+    out.put(false);
+    out.put_bits(v % m_, log2m_);
+  };
+  for (i = 0; i < td.size(); ++i) {
+    const Trit t = td.get(i);
+    if (t == Trit::X || t == bits::trit_from_bit(current)) {
+      ++run;
+    } else {
+      emit_run(run);
+      current = !current;
+      run = 1;
+    }
+  }
+  emit_run(run);
+  return out.take();
+}
+
+TritVector Mtc::decode(const TritVector& te,
+                       std::size_t original_bits) const {
+  TritVector out;
+  if (original_bits == 0) return out;
+  bits::TritReader in(te);
+  bool current = in.next_bit();
+  while (out.size() < original_bits) {
+    std::size_t groups = 0;
+    while (in.next_bit()) ++groups;
+    const std::size_t run = groups * m_ + in.next_bits(log2m_) + 1;
+    out.append_run(run, bits::trit_from_bit(current));
+    current = !current;
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+}  // namespace nc::baselines

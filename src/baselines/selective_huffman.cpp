@@ -1,0 +1,151 @@
+#include "baselines/selective_huffman.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nc::baselines {
+
+using bits::Trit;
+using bits::TritVector;
+
+namespace {
+
+/// A b-trit block as (care mask, value) pair packed into 64-bit words.
+struct Block {
+  std::uint64_t care = 0;   // bit set where the trit is specified
+  std::uint64_t value = 0;  // specified value (0 where X)
+};
+
+Block read_block(const TritVector& td, std::size_t begin, std::size_t b) {
+  Block blk;
+  for (std::size_t i = 0; i < b; ++i) {
+    const Trit t = begin + i < td.size() ? td.get(begin + i) : Trit::X;
+    if (bits::is_care(t)) {
+      blk.care |= 1ull << i;
+      if (t == Trit::One) blk.value |= 1ull << i;
+    }
+  }
+  return blk;
+}
+
+bool compatible(const Block& blk, std::uint64_t pattern) {
+  return ((pattern ^ blk.value) & blk.care) == 0;
+}
+
+}  // namespace
+
+struct SelectiveHuffman::Dictionary {
+  std::vector<std::uint64_t> patterns;  // fully specified candidates
+  std::vector<std::size_t> counts;      // matches per candidate
+};
+
+SelectiveHuffman::SelectiveHuffman(std::size_t block_size,
+                                   std::size_t coded_patterns)
+    : b_(block_size), n_(coded_patterns) {
+  if (b_ < 1 || b_ > 64)
+    throw std::invalid_argument("selective Huffman block size must be 1..64");
+  if (n_ < 1) throw std::invalid_argument("need at least one coded pattern");
+}
+
+SelectiveHuffman::Dictionary SelectiveHuffman::build_dictionary(
+    const TritVector& td) const {
+  Dictionary dict;
+  for (std::size_t pos = 0; pos < td.size(); pos += b_) {
+    const Block blk = read_block(td, pos, b_);
+    // Greedy: match the most frequent compatible candidate so far.
+    std::size_t best = dict.patterns.size();
+    for (std::size_t c = 0; c < dict.patterns.size(); ++c) {
+      if (!compatible(blk, dict.patterns[c])) continue;
+      if (best == dict.patterns.size() ||
+          dict.counts[c] > dict.counts[best])
+        best = c;
+    }
+    if (best == dict.patterns.size()) {
+      dict.patterns.push_back(blk.value);  // X bits adopt 0
+      dict.counts.push_back(1);
+    } else {
+      ++dict.counts[best];
+    }
+  }
+  return dict;
+}
+
+SelectiveHuffman SelectiveHuffman::trained(const TritVector& td,
+                                           std::size_t block_size,
+                                           std::size_t coded_patterns) {
+  SelectiveHuffman coder(block_size, coded_patterns);
+  const Dictionary dict = coder.build_dictionary(td);
+
+  // Select the N most frequent candidates.
+  std::vector<std::size_t> order(dict.patterns.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dict.counts[a] > dict.counts[b];
+  });
+  const std::size_t keep = std::min(coder.n_, order.size());
+  std::vector<std::size_t> freq(keep, 0);
+  for (std::size_t i = 0; i < keep; ++i) {
+    coder.selected_.push_back(dict.patterns[order[i]]);
+    freq[i] = dict.counts[order[i]];
+  }
+  coder.table_ = bits::HuffmanCode::build(freq);
+  return coder;
+}
+
+std::string SelectiveHuffman::name() const {
+  return "SelHuff(b=" + std::to_string(b_) + ",N=" + std::to_string(n_) + ")";
+}
+
+TritVector SelectiveHuffman::encode(const TritVector& td) const {
+  const SelectiveHuffman* coder = this;
+  SelectiveHuffman local(b_, n_);
+  if (!table_) {
+    local = trained(td, b_, n_);
+    coder = &local;
+  }
+  bits::BitWriter out;
+  for (std::size_t pos = 0; pos < td.size(); pos += b_) {
+    const Block blk = read_block(td, pos, b_);
+    std::size_t hit = coder->selected_.size();
+    for (std::size_t s = 0; s < coder->selected_.size(); ++s)
+      if (compatible(blk, coder->selected_[s])) {
+        hit = s;
+        break;  // selected_ is ordered most-frequent-first
+      }
+    if (hit < coder->selected_.size() && coder->table_->has_code(hit)) {
+      out.put(true);
+      coder->table_->encode(out, hit);
+    } else {
+      out.put(false);
+      // Raw block, X filled with 0, LSB-first to match read_block.
+      for (std::size_t i = 0; i < b_; ++i)
+        out.put((blk.value >> i) & 1u);
+    }
+  }
+  return out.take();
+}
+
+TritVector SelectiveHuffman::decode(const TritVector& te,
+                                    std::size_t original_bits) const {
+  if (!table_)
+    throw std::logic_error(
+        "selective Huffman decoder is customized per test set; use trained()");
+  TritVector out;
+  bits::TritReader in(te);
+  while (out.size() < original_bits) {
+    std::uint64_t pattern;
+    if (in.next_bit()) {
+      pattern = selected_[table_->decode(in)];
+    } else {
+      pattern = 0;
+      for (std::size_t i = 0; i < b_; ++i)
+        if (in.next_bit()) pattern |= 1ull << i;
+    }
+    for (std::size_t i = 0; i < b_; ++i)
+      out.push_back(bits::trit_from_bit((pattern >> i) & 1u));
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+}  // namespace nc::baselines

@@ -1,0 +1,59 @@
+// Selective Huffman coding (Jas, Ghosh-Dastidar, Ng, Touba, TCAD 2003).
+//
+// TD splits into fixed b-bit blocks. Only the N most frequent block
+// patterns receive Huffman codewords; every other block travels raw behind
+// a flag bit:
+//
+//   coded block:   '1' + Huffman(pattern index)
+//   uncoded block: '0' + b raw bits
+//
+// Don't-cares raise the hit rate: when counting frequencies, each block is
+// greedily matched to the most frequent already-seen pattern compatible
+// with it (its X bits adopt that pattern). Like VIHC, the decoder carries
+// the selected patterns and their codewords: `trained(td)` builds that
+// configuration; an untrained coder encodes two-pass but cannot decode.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "bits/huffman.h"
+#include "codec/codec.h"
+
+namespace nc::baselines {
+
+class SelectiveHuffman final : public codec::Codec {
+ public:
+  /// `block_size` = b (bits per block), `coded_patterns` = N.
+  explicit SelectiveHuffman(std::size_t block_size = 8,
+                            std::size_t coded_patterns = 8);
+
+  static SelectiveHuffman trained(const bits::TritVector& td,
+                                  std::size_t block_size = 8,
+                                  std::size_t coded_patterns = 8);
+
+  std::string name() const override;
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  /// Requires a trained coder; throws std::logic_error otherwise.
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+
+  std::size_t block_size() const noexcept { return b_; }
+  bool is_trained() const noexcept { return table_.has_value(); }
+  /// The selected (fully specified) patterns, most frequent first.
+  const std::vector<std::uint64_t>& selected_patterns() const noexcept {
+    return selected_;
+  }
+
+ private:
+  struct Dictionary;
+  Dictionary build_dictionary(const bits::TritVector& td) const;
+
+  std::size_t b_;
+  std::size_t n_;
+  std::vector<std::uint64_t> selected_;
+  std::optional<bits::HuffmanCode> table_;
+};
+
+}  // namespace nc::baselines

@@ -1,0 +1,81 @@
+#include "baselines/vihc.h"
+
+#include <stdexcept>
+
+namespace nc::baselines {
+
+using bits::Trit;
+using bits::TritVector;
+
+Vihc::Vihc(std::size_t mh) : mh_(mh) {
+  if (mh_ < 1) throw std::invalid_argument("VIHC group size must be >= 1");
+}
+
+Vihc Vihc::trained(const TritVector& td, std::size_t mh) {
+  Vihc coder(mh);
+  std::vector<std::size_t> freq(mh + 1, 0);
+  for (std::size_t s : coder.tokenize(td)) ++freq[s];
+  coder.table_ = bits::HuffmanCode::build(freq);
+  return coder;
+}
+
+std::string Vihc::name() const { return "VIHC(mh=" + std::to_string(mh_) + ")"; }
+
+std::vector<std::size_t> Vihc::tokenize(const TritVector& td) const {
+  std::vector<std::size_t> symbols;
+  std::size_t run = 0;
+  auto flush_terminated = [&] {
+    while (run >= mh_) {
+      symbols.push_back(mh_);  // mh zeros, no terminator
+      run -= mh_;
+    }
+    symbols.push_back(run);  // run zeros + '1'
+    run = 0;
+  };
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    if (td.get(i) == Trit::One)
+      flush_terminated();
+    else
+      ++run;  // 0 or X (filled as 0)
+  }
+  // Tail without a terminating 1: emit full-group symbols, then one final
+  // terminated symbol whose phantom '1' the decoder truncates away.
+  if (run > 0) flush_terminated();
+  return symbols;
+}
+
+TritVector Vihc::encode(const TritVector& td) const {
+  const std::vector<std::size_t> symbols = tokenize(td);
+  bits::HuffmanCode local;
+  const bits::HuffmanCode* code = table_ ? &*table_ : &local;
+  if (!table_) {
+    std::vector<std::size_t> freq(mh_ + 1, 0);
+    for (std::size_t s : symbols) ++freq[s];
+    local = bits::HuffmanCode::build(freq);
+  }
+  bits::BitWriter out;
+  for (std::size_t s : symbols) code->encode(out, s);
+  return out.take();
+}
+
+TritVector Vihc::decode(const TritVector& te,
+                        std::size_t original_bits) const {
+  if (!table_)
+    throw std::logic_error(
+        "VIHC decoder is customized per test set; use Vihc::trained");
+  TritVector out;
+  bits::TritReader in(te);
+  while (out.size() < original_bits) {
+    const std::size_t s = table_->decode(in);
+    if (s == mh_) {
+      out.append_run(mh_, Trit::Zero);
+    } else {
+      out.append_run(s, Trit::Zero);
+      out.push_back(Trit::One);
+    }
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+}  // namespace nc::baselines

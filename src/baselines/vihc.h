@@ -1,0 +1,55 @@
+// VIHC -- Variable-length Input Huffman Coding (Gonciari, Al-Hashimi,
+// Nicolici, DATE 2002).
+//
+// The 0-filled stream is parsed into variable-length input patterns: runs of
+// 0s terminated by a 1, capped at `mh` (the group size). A run longer than
+// mh - 1 emits one or more "mh zeros, no terminator" symbols first. The
+// resulting mh + 1 symbols are Huffman-coded by frequency.
+//
+// Like all statistical schemes the paper compares against, the decoder is
+// *customized to the test set*: the Huffman table lives in the on-chip
+// decoder, not in the stream (one of the 9C paper's criticisms). The
+// software model mirrors that: `trained(td)` bakes the table into the coder;
+// an untrained coder can encode (deriving the table on the fly, two-pass)
+// but cannot decode.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "bits/huffman.h"
+#include "codec/codec.h"
+
+namespace nc::baselines {
+
+class Vihc final : public codec::Codec {
+ public:
+  /// `mh` is the maximum input-pattern length (the paper's group size),
+  /// >= 1. The alphabet has mh+1 symbols: runs 0..mh-1 with terminator,
+  /// plus the unterminated all-zero run of mh.
+  explicit Vihc(std::size_t mh = 8);
+
+  /// Coder whose table is built from `td` -- the deployable configuration.
+  static Vihc trained(const bits::TritVector& td, std::size_t mh = 8);
+
+  std::string name() const override;
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  /// Requires a trained coder; throws std::logic_error otherwise.
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+
+  std::size_t mh() const noexcept { return mh_; }
+  bool is_trained() const noexcept { return table_.has_value(); }
+
+  /// Parses the 0-filled stream into symbol indices (0..mh-1 = terminated
+  /// run of that many zeros; mh = unterminated full-length run). Exposed
+  /// for tests and for the decompressor-cost analyses.
+  std::vector<std::size_t> tokenize(const bits::TritVector& td) const;
+
+ private:
+  std::size_t mh_;
+  std::optional<bits::HuffmanCode> table_;
+};
+
+}  // namespace nc::baselines

@@ -1,0 +1,85 @@
+// Sequential readers/writers over bit and trit streams.
+//
+// The run-length baseline coders (Golomb, FDR, ...) produce fully specified
+// bitstreams; BitWriter/BitReader serve those. The 9C stream TE may carry X
+// symbols inside mismatch payloads, so its reader walks a TritVector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bits/trit_vector.h"
+
+namespace nc::bits {
+
+/// Append-only bit sink backed by a TritVector restricted to 0/1.
+/// Using TritVector as the carrier keeps one stream type across all coders.
+class BitWriter {
+ public:
+  void put(bool bit) { out_.push_back(trit_from_bit(bit)); }
+
+  /// Writes `n` bits of `value`, most significant first.
+  void put_bits(std::uint64_t value, unsigned n) {
+    for (unsigned i = n; i-- > 0;) put((value >> i) & 1u);
+  }
+
+  /// Writes `n` copies of `bit`.
+  void put_run(std::size_t n, bool bit) {
+    out_.append_run(n, trit_from_bit(bit));
+  }
+
+  std::size_t size() const noexcept { return out_.size(); }
+  const TritVector& stream() const noexcept { return out_; }
+  TritVector take() { return std::move(out_); }
+
+ private:
+  TritVector out_;
+};
+
+/// Sequential cursor over a trit stream. `next_bit` additionally enforces
+/// that the symbol is specified, which every codeword position must be.
+class TritReader {
+ public:
+  explicit TritReader(const TritVector& v) : v_(&v) {}
+
+  bool done() const noexcept { return pos_ >= v_->size(); }
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return v_->size() - pos_; }
+
+  Trit next() {
+    if (done()) throw std::out_of_range("TritReader: read past end");
+    return v_->get(pos_++);
+  }
+
+  /// Reads one symbol that must be 0 or 1 (e.g. a codeword bit).
+  bool next_bit() {
+    const Trit t = next();
+    if (!is_care(t))
+      throw std::runtime_error("TritReader: expected a specified bit, got X");
+    return t == Trit::One;
+  }
+
+  /// Reads `n` specified bits, most significant first.
+  std::uint64_t next_bits(unsigned n) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) v = (v << 1) | (next_bit() ? 1u : 0u);
+    return v;
+  }
+
+  /// Reads `n` symbols (X allowed) into a fresh vector.
+  TritVector next_trits(std::size_t n) {
+    if (remaining() < n)
+      throw std::out_of_range("TritReader: read past end");
+    TritVector out = v_->slice(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  const TritVector* v_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nc::bits

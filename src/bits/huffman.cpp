@@ -1,0 +1,109 @@
+#include "bits/huffman.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace nc::bits {
+
+HuffmanCode HuffmanCode::build(const std::vector<std::size_t>& frequencies) {
+  HuffmanCode hc;
+  hc.lengths_.assign(frequencies.size(), 0);
+  hc.codes_.assign(frequencies.size(), 0);
+
+  // Collect used symbols.
+  std::vector<std::size_t> used;
+  for (std::size_t s = 0; s < frequencies.size(); ++s)
+    if (frequencies[s] > 0) used.push_back(s);
+  if (used.empty()) return hc;
+  if (used.size() == 1) {
+    hc.lengths_[used[0]] = 1;
+    hc.codes_[used[0]] = 0;
+    hc.max_length_ = 1;
+    return hc;
+  }
+
+  // Standard heap Huffman over tree nodes; then read back depths.
+  struct Node {
+    std::size_t weight;
+    int left = -1, right = -1;
+    std::size_t symbol = static_cast<std::size_t>(-1);
+  };
+  std::vector<Node> nodes;
+  using Entry = std::pair<std::size_t, int>;  // (weight, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t s : used) {
+    nodes.push_back(Node{frequencies[s], -1, -1, s});
+    heap.emplace(frequencies[s], static_cast<int>(nodes.size()) - 1);
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{wa + wb, a, b});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+  }
+
+  // Depth-first traversal to get lengths.
+  struct Frame {
+    int node;
+    unsigned depth;
+  };
+  std::vector<Frame> stack = {{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(f.node)];
+    if (n.left < 0) {
+      hc.lengths_[n.symbol] = std::max(1u, f.depth);
+      hc.max_length_ = std::max(hc.max_length_, hc.lengths_[n.symbol]);
+    } else {
+      stack.push_back({n.left, f.depth + 1});
+      stack.push_back({n.right, f.depth + 1});
+    }
+  }
+
+  // Canonical assignment: sort by (length, symbol).
+  std::vector<std::size_t> order = used;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (hc.lengths_[a] != hc.lengths_[b]) return hc.lengths_[a] < hc.lengths_[b];
+    return a < b;
+  });
+  std::uint64_t code = 0;
+  unsigned prev_len = hc.lengths_[order[0]];
+  for (std::size_t s : order) {
+    code <<= (hc.lengths_[s] - prev_len);
+    prev_len = hc.lengths_[s];
+    hc.codes_[s] = code++;
+  }
+  return hc;
+}
+
+void HuffmanCode::encode(bits::BitWriter& out, std::size_t symbol) const {
+  if (!has_code(symbol))
+    throw std::invalid_argument("symbol has no Huffman code");
+  out.put_bits(codes_[symbol], lengths_[symbol]);
+}
+
+std::size_t HuffmanCode::decode(bits::TritReader& in) const {
+  std::uint64_t acc = 0;
+  unsigned len = 0;
+  while (len < max_length_) {
+    acc = (acc << 1) | (in.next_bit() ? 1u : 0u);
+    ++len;
+    for (std::size_t s = 0; s < lengths_.size(); ++s)
+      if (lengths_[s] == len && codes_[s] == acc) return s;
+  }
+  throw std::runtime_error("Huffman stream corrupt: no codeword matches");
+}
+
+std::size_t HuffmanCode::coded_bits(
+    const std::vector<std::size_t>& frequencies) const {
+  std::size_t bits = 0;
+  for (std::size_t s = 0; s < frequencies.size(); ++s)
+    bits += frequencies[s] * lengths_[s];
+  return bits;
+}
+
+}  // namespace nc::bits

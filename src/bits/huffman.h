@@ -1,0 +1,51 @@
+// Canonical Huffman coding over a small symbol alphabet -- the machinery
+// shared by the statistical baselines (VIHC, MTC, selective Huffman).
+//
+// Codes are canonical (sorted by length, then symbol) so a decoder needs
+// only the length of every symbol's codeword; encoder and decoder built
+// from the same frequencies always agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitstream.h"
+
+namespace nc::bits {
+
+class HuffmanCode {
+ public:
+  /// Builds an optimal prefix code for `frequencies` (index == symbol).
+  /// Zero-frequency symbols get no codeword and must never be encoded.
+  /// A single-symbol alphabet gets a 1-bit code.
+  static HuffmanCode build(const std::vector<std::size_t>& frequencies);
+
+  std::size_t symbol_count() const noexcept { return lengths_.size(); }
+  bool has_code(std::size_t symbol) const noexcept {
+    return symbol < lengths_.size() && lengths_[symbol] > 0;
+  }
+  unsigned length(std::size_t symbol) const noexcept {
+    return lengths_[symbol];
+  }
+  std::uint64_t code(std::size_t symbol) const noexcept {
+    return codes_[symbol];
+  }
+
+  /// Appends the codeword of `symbol`; throws std::invalid_argument if the
+  /// symbol has no code.
+  void encode(bits::BitWriter& out, std::size_t symbol) const;
+
+  /// Reads one codeword and returns the symbol; throws std::runtime_error
+  /// on a bit sequence matching no codeword.
+  std::size_t decode(bits::TritReader& in) const;
+
+  /// Total coded size of a stream with these symbol counts.
+  std::size_t coded_bits(const std::vector<std::size_t>& frequencies) const;
+
+ private:
+  std::vector<unsigned> lengths_;
+  std::vector<std::uint64_t> codes_;
+  unsigned max_length_ = 0;
+};
+
+}  // namespace nc::bits

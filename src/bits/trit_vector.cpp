@@ -1,0 +1,94 @@
+#include "bits/trit_vector.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace nc::bits {
+
+TritVector TritVector::from_string(std::string_view s) {
+  TritVector v;
+  v.resize(s.size(), Trit::Zero);
+  for (std::size_t i = 0; i < s.size(); ++i) v.set(i, trit_from_char(s[i]));
+  return v;
+}
+
+void TritVector::append(const TritVector& other) {
+  const std::size_t base = size_;
+  resize(size_ + other.size_, Trit::Zero);
+  for (std::size_t i = 0; i < other.size_; ++i) set(base + i, other.get(i));
+}
+
+void TritVector::append_run(std::size_t n, Trit t) {
+  const std::size_t base = size_;
+  resize(size_ + n, Trit::Zero);
+  for (std::size_t i = 0; i < n; ++i) set(base + i, t);
+}
+
+void TritVector::resize(std::size_t n, Trit fill) {
+  const std::size_t old = size_;
+  words_.resize((n + 31) / 32, 0);
+  size_ = n;
+  for (std::size_t i = old; i < n; ++i) set(i, fill);
+  if (n < old && n % 32 != 0) {
+    // Zero the tail of the last word so equality can compare words directly.
+    Word& w = words_.back();
+    const unsigned used = static_cast<unsigned>((n & 31u) * 2);
+    w &= (Word{1} << used) - 1;
+  }
+}
+
+TritVector TritVector::slice(std::size_t begin, std::size_t len) const {
+  TritVector out;
+  if (begin >= size_) return out;
+  len = std::min(len, size_ - begin);
+  out.resize(len, Trit::Zero);
+  for (std::size_t i = 0; i < len; ++i) out.set(i, get(begin + i));
+  return out;
+}
+
+std::size_t TritVector::care_count() const noexcept {
+  // An X packs as 0b10; a trit is specified iff its high bit is clear.
+  std::size_t cares = 0;
+  constexpr Word kHighBits = 0xAAAAAAAAAAAAAAAAull;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    Word highs = words_[wi] & kHighBits;
+    cares += 32 - static_cast<std::size_t>(std::popcount(highs));
+  }
+  // Positions past size() in the last word were zeroed by resize(), so they
+  // were counted as care; subtract them.
+  const std::size_t slack = words_.size() * 32 - size_;
+  return cares - slack;
+}
+
+double TritVector::x_fraction() const noexcept {
+  return size_ == 0 ? 0.0 : static_cast<double>(x_count()) /
+                                static_cast<double>(size_);
+}
+
+bool TritVector::compatible_with(const TritVector& other) const noexcept {
+  if (size_ != other.size_) return false;
+  for (std::size_t i = 0; i < size_; ++i)
+    if (!compatible(get(i), other.get(i))) return false;
+  return true;
+}
+
+bool TritVector::covered_by(const TritVector& other) const noexcept {
+  if (size_ != other.size_) return false;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Trit mine = get(i);
+    if (is_care(mine) && other.get(i) != mine) return false;
+  }
+  return true;
+}
+
+bool TritVector::operator==(const TritVector& other) const noexcept {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::string TritVector::to_string() const {
+  std::string s(size_, '?');
+  for (std::size_t i = 0; i < size_; ++i) s[i] = to_char(get(i));
+  return s;
+}
+
+}  // namespace nc::bits

@@ -1,0 +1,98 @@
+// Packed vector of trits (2 bits per symbol) with stream-style append.
+//
+// TritVector is the universal carrier for test data in this library:
+//  * the uncompressed stream TD (rows of a TestSet flattened in scan order),
+//  * the compressed stream TE produced by the 9C encoder, which still
+//    contains "leftover" X bits inside transmitted mismatch halves,
+//  * decoder output, where surviving X positions are reported back.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bits/trit.h"
+
+namespace nc::bits {
+
+/// Dynamically sized, densely packed sequence of trits.
+class TritVector {
+ public:
+  TritVector() = default;
+
+  /// Constructs `n` copies of `fill`.
+  explicit TritVector(std::size_t n, Trit fill = Trit::X) { resize(n, fill); }
+
+  /// Parses a string of '0'/'1'/'X' characters (whitespace not allowed).
+  static TritVector from_string(std::string_view s);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  Trit get(std::size_t i) const noexcept {
+    const std::uint8_t raw =
+        static_cast<std::uint8_t>(words_[i >> kShift] >> shift_of(i)) & 0x3u;
+    return static_cast<Trit>(raw);
+  }
+
+  void set(std::size_t i, Trit t) noexcept {
+    Word& w = words_[i >> kShift];
+    w &= ~(Word{0x3u} << shift_of(i));
+    w |= static_cast<Word>(t) << shift_of(i);
+  }
+
+  Trit operator[](std::size_t i) const noexcept { return get(i); }
+
+  void push_back(Trit t) {
+    resize(size_ + 1, Trit::Zero);
+    set(size_ - 1, t);
+  }
+
+  /// Appends every trit of `other`.
+  void append(const TritVector& other);
+
+  /// Appends `n` copies of `t`.
+  void append_run(std::size_t n, Trit t);
+
+  void resize(std::size_t n, Trit fill = Trit::X);
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
+  /// Returns the sub-vector [begin, begin+len). Clamps to size().
+  TritVector slice(std::size_t begin, std::size_t len) const;
+
+  /// Number of specified (non-X) symbols.
+  std::size_t care_count() const noexcept;
+  /// Number of X symbols.
+  std::size_t x_count() const noexcept { return size_ - care_count(); }
+  /// Fraction of X symbols in [0,1]; 0 for an empty vector.
+  double x_fraction() const noexcept;
+
+  /// True if every specified bit of `*this` equals the corresponding bit of
+  /// `other` wherever *both* are specified, sizes equal.
+  bool compatible_with(const TritVector& other) const noexcept;
+
+  /// True if `other` specifies at least the care bits of `*this` with equal
+  /// values (i.e. `other` is a legal fill/expansion of this cube).
+  bool covered_by(const TritVector& other) const noexcept;
+
+  bool operator==(const TritVector& other) const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  using Word = std::uint64_t;
+  static constexpr unsigned kShift = 5;  // 32 trits per 64-bit word
+  static constexpr unsigned shift_of(std::size_t i) noexcept {
+    return static_cast<unsigned>((i & 31u) * 2);
+  }
+
+  std::vector<Word> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nc::bits

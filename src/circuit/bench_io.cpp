@@ -1,0 +1,194 @@
+#include "circuit/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace nc::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string strip(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+GateType gate_type_from_keyword(const std::string& kw, std::size_t lineno) {
+  static const std::unordered_map<std::string, GateType> map = {
+      {"dff", GateType::kDff},   {"buf", GateType::kBuf},
+      {"buff", GateType::kBuf},  {"not", GateType::kNot},
+      {"and", GateType::kAnd},   {"nand", GateType::kNand},
+      {"or", GateType::kOr},     {"nor", GateType::kNor},
+      {"xor", GateType::kXor},   {"xnor", GateType::kXnor},
+  };
+  const auto it = map.find(lower(kw));
+  if (it == map.end())
+    throw std::runtime_error("bench line " + std::to_string(lineno) +
+                             ": unknown gate type '" + kw + "'");
+  return it->second;
+}
+
+/// Splits "a, b ,c" into trimmed tokens.
+std::vector<std::string> split_args(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!strip(cur).empty() || !out.empty()) out.push_back(strip(cur));
+  return out;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in) {
+  struct PendingGate {
+    std::string name;
+    GateType type;
+    std::vector<std::string> fanin_names;
+    std::size_t lineno;
+  };
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    line = strip(line);
+    if (line.empty()) continue;
+
+    const auto open = line.find('(');
+    const auto close = line.rfind(')');
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(name) or OUTPUT(name)
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open)
+        throw std::runtime_error("bench line " + std::to_string(lineno) +
+                                 ": malformed declaration");
+      const std::string kw = lower(strip(line.substr(0, open)));
+      const std::string name = strip(line.substr(open + 1, close - open - 1));
+      if (name.empty())
+        throw std::runtime_error("bench line " + std::to_string(lineno) +
+                                 ": empty signal name");
+      if (kw == "input")
+        input_names.push_back(name);
+      else if (kw == "output")
+        output_names.push_back(name);
+      else
+        throw std::runtime_error("bench line " + std::to_string(lineno) +
+                                 ": expected INPUT/OUTPUT, got '" + kw + "'");
+      continue;
+    }
+    // name = TYPE(args)
+    if (open == std::string::npos || close == std::string::npos || open < eq)
+      throw std::runtime_error("bench line " + std::to_string(lineno) +
+                               ": malformed gate definition");
+    PendingGate g;
+    g.name = strip(line.substr(0, eq));
+    g.type = gate_type_from_keyword(strip(line.substr(eq + 1, open - eq - 1)),
+                                    lineno);
+    g.fanin_names = split_args(line.substr(open + 1, close - open - 1));
+    g.lineno = lineno;
+    if (g.name.empty() || g.fanin_names.empty())
+      throw std::runtime_error("bench line " + std::to_string(lineno) +
+                               ": malformed gate definition");
+    pending.push_back(std::move(g));
+  }
+
+  Netlist netlist;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const std::string& name : input_names) {
+    if (index.count(name))
+      throw std::runtime_error("bench: duplicate definition of " + name);
+    index[name] = netlist.add_gate(GateType::kInput, name);
+  }
+  for (const PendingGate& g : pending) {
+    if (index.count(g.name))
+      throw std::runtime_error("bench line " + std::to_string(g.lineno) +
+                               ": duplicate definition of " + g.name);
+    index[g.name] = netlist.add_gate(g.type, g.name);
+  }
+  for (const PendingGate& g : pending) {
+    std::vector<std::size_t> fanins;
+    fanins.reserve(g.fanin_names.size());
+    for (const std::string& fn : g.fanin_names) {
+      const auto it = index.find(fn);
+      if (it == index.end())
+        throw std::runtime_error("bench line " + std::to_string(g.lineno) +
+                                 ": undefined signal '" + fn + "'");
+      fanins.push_back(it->second);
+    }
+    netlist.set_fanins(index[g.name], std::move(fanins));
+  }
+  for (const std::string& name : output_names) {
+    const auto it = index.find(name);
+    if (it == index.end())
+      throw std::runtime_error("bench: OUTPUT of undefined signal " + name);
+    netlist.mark_output(it->second);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_bench_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_bench(in);
+}
+
+Netlist load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  return parse_bench(in);
+}
+
+void write_bench(std::ostream& out, const Netlist& netlist) {
+  for (std::size_t i : netlist.inputs())
+    out << "INPUT(" << netlist.gate(i).name << ")\n";
+  for (std::size_t i : netlist.outputs())
+    out << "OUTPUT(" << netlist.gate(i).name << ")\n";
+  for (std::size_t i = 0; i < netlist.size(); ++i) {
+    const Gate& g = netlist.gate(i);
+    if (g.type == GateType::kInput) continue;
+    std::string kw = gate_type_name(g.type);
+    std::transform(kw.begin(), kw.end(), kw.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    out << g.name << " = " << kw << "(";
+    for (std::size_t f = 0; f < g.fanins.size(); ++f) {
+      if (f > 0) out << ", ";
+      out << netlist.gate(g.fanins[f]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string to_bench_string(const Netlist& netlist) {
+  std::ostringstream os;
+  write_bench(os, netlist);
+  return os.str();
+}
+
+}  // namespace nc::circuit

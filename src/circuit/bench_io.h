@@ -1,0 +1,30 @@
+// Reader/writer for the ISCAS'85/'89 ".bench" netlist format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G5 = DFF(G10)
+//   G10 = NAND(G0, G5)
+//   G17 = NOT(G10)
+//
+// Keywords are case-insensitive; forward references are allowed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace nc::circuit {
+
+/// Parses a .bench netlist. Throws std::runtime_error with a line number on
+/// malformed input, undefined signals or arity violations.
+Netlist parse_bench(std::istream& in);
+Netlist parse_bench_string(const std::string& text);
+Netlist load_bench_file(const std::string& path);
+
+/// Emits the netlist in .bench syntax (inverse of parse_bench).
+void write_bench(std::ostream& out, const Netlist& netlist);
+std::string to_bench_string(const Netlist& netlist);
+
+}  // namespace nc::circuit

@@ -1,0 +1,148 @@
+#include "circuit/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace nc::circuit {
+
+Netlist generate_circuit(const GeneratorConfig& config) {
+  if (config.num_inputs == 0 && config.num_flops == 0)
+    throw std::invalid_argument("circuit needs at least one input or flop");
+  if (config.num_gates == 0)
+    throw std::invalid_argument("circuit needs at least one gate");
+  if (config.max_fanin < 2)
+    throw std::invalid_argument("max_fanin must be >= 2");
+
+  std::mt19937_64 rng(config.seed);
+  Netlist netlist;
+
+  std::vector<std::size_t> sources;  // candidate fanins, in creation order
+  for (std::size_t i = 0; i < config.num_inputs; ++i)
+    sources.push_back(netlist.add_gate(GateType::kInput,
+                                       "I" + std::to_string(i)));
+  std::vector<std::size_t> flops;
+  for (std::size_t i = 0; i < config.num_flops; ++i) {
+    const std::size_t f =
+        netlist.add_gate(GateType::kDff, "F" + std::to_string(i));
+    flops.push_back(f);
+    sources.push_back(f);
+  }
+
+  // Signal-probability estimate per node (independence assumption). Keeping
+  // outputs near p=0.5 prevents the constant-collapse that plagues naive
+  // random logic and would make half the fault list untestable.
+  std::vector<double> prob(netlist.size(), 0.5);
+  auto pick_source = [&](std::size_t upto) {
+    // 80%: recent window (local cones); 20%: anywhere (global nets).
+    if (rng() % 5 != 0 && upto > config.locality_window) {
+      const std::size_t lo = upto - config.locality_window;
+      return sources[lo + rng() % config.locality_window];
+    }
+    return sources[rng() % upto];
+  };
+
+  auto output_prob = [](GateType t, const std::vector<double>& p) {
+    double conj = 1.0, disj = 1.0;
+    for (double pi : p) {
+      conj *= pi;
+      disj *= 1.0 - pi;
+    }
+    switch (t) {
+      case GateType::kAnd: return conj;
+      case GateType::kNand: return 1.0 - conj;
+      case GateType::kOr: return 1.0 - disj;
+      case GateType::kNor: return disj;
+      case GateType::kXor:
+        return p[0] * (1.0 - p[1]) + (1.0 - p[0]) * p[1];
+      case GateType::kXnor:
+        return 1.0 - (p[0] * (1.0 - p[1]) + (1.0 - p[0]) * p[1]);
+      case GateType::kNot: return 1.0 - p[0];
+      default: return p[0];
+    }
+  };
+
+  std::vector<std::size_t> gates;
+  for (std::size_t i = 0; i < config.num_gates; ++i) {
+    const std::size_t arity =
+        std::min<std::size_t>(2 + rng() % (config.max_fanin - 1),
+                              sources.size());
+    // Distinct fanins keep the logic non-degenerate (XOR(a,a) is constant,
+    // AND(a,a) a buffer) -- degeneracy breeds untestable faults.
+    std::vector<std::size_t> fanins;
+    fanins.reserve(arity);
+    while (fanins.size() < arity) {
+      std::size_t pick = pick_source(sources.size());
+      for (int tries = 0;
+           std::find(fanins.begin(), fanins.end(), pick) != fanins.end() &&
+           tries < 16;
+           ++tries)
+        pick = sources[rng() % sources.size()];
+      if (std::find(fanins.begin(), fanins.end(), pick) != fanins.end())
+        break;
+      fanins.push_back(pick);
+    }
+    if (fanins.empty()) fanins.push_back(sources[rng() % sources.size()]);
+
+    std::vector<double> pin_probs;
+    for (std::size_t f : fanins) pin_probs.push_back(prob[f]);
+
+    // Candidate types for this arity; pick randomly among the two whose
+    // output probability stays closest to 1/2.
+    std::vector<GateType> candidates;
+    if (fanins.size() == 1) {
+      candidates = {GateType::kNot, GateType::kBuf};
+    } else {
+      candidates = {GateType::kAnd, GateType::kNand, GateType::kOr,
+                    GateType::kNor};
+      if (fanins.size() == 2) {
+        candidates.push_back(GateType::kXor);
+        candidates.push_back(GateType::kXnor);
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](GateType a, GateType b) {
+                       return std::abs(output_prob(a, pin_probs) - 0.5) <
+                              std::abs(output_prob(b, pin_probs) - 0.5);
+                     });
+    const GateType type =
+        candidates[rng() % std::min<std::size_t>(2, candidates.size())];
+
+    const std::size_t g = netlist.add_gate(type, "N" + std::to_string(i),
+                                           std::move(fanins));
+    prob.push_back(output_prob(type, pin_probs));
+    gates.push_back(g);
+    sources.push_back(g);
+  }
+
+  // Feed each flop from one of the last gates so state depends on deep logic.
+  const std::size_t tail = std::min<std::size_t>(gates.size(), 64);
+  for (std::size_t f : flops) {
+    const std::size_t src = gates[gates.size() - 1 - rng() % tail];
+    netlist.set_fanins(f, {src});
+  }
+
+  // Primary outputs from distinct late gates where possible.
+  std::vector<std::size_t> pool = gates;
+  std::shuffle(pool.begin(), pool.end(), rng);
+  const std::size_t outs = std::min(config.num_outputs, pool.size());
+  std::vector<bool> is_output(netlist.size(), false);
+  for (std::size_t i = 0; i < outs; ++i) {
+    netlist.mark_output(pool[i]);
+    is_output[pool[i]] = true;
+  }
+
+  // Dangling gates would make every fault in their cone unobservable; route
+  // them to primary outputs like synthesis tools keep unused nets visible.
+  std::vector<bool> used(netlist.size(), false);
+  for (std::size_t g = 0; g < netlist.size(); ++g)
+    for (std::size_t f : netlist.gate(g).fanins) used[f] = true;
+  for (std::size_t g : gates)
+    if (!used[g] && !is_output[g]) netlist.mark_output(g);
+
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace nc::circuit

@@ -1,0 +1,112 @@
+#include "circuit/netlist.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nc::circuit {
+
+const char* gate_type_name(GateType t) noexcept {
+  switch (t) {
+    case GateType::kInput: return "input";
+    case GateType::kDff: return "dff";
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kNand: return "nand";
+    case GateType::kOr: return "or";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+  }
+  return "?";
+}
+
+std::size_t Netlist::add_gate(GateType type, std::string name,
+                              std::vector<std::size_t> fanins) {
+  const std::size_t idx = gates_.size();
+  gates_.push_back(Gate{type, std::move(name), std::move(fanins)});
+  if (type == GateType::kInput) inputs_.push_back(idx);
+  if (type == GateType::kDff) flops_.push_back(idx);
+  return idx;
+}
+
+void Netlist::set_fanins(std::size_t gate, std::vector<std::size_t> fanins) {
+  gates_.at(gate).fanins = std::move(fanins);
+}
+
+void Netlist::mark_output(std::size_t gate) { outputs_.push_back(gate); }
+
+std::size_t Netlist::logic_gate_count() const noexcept {
+  std::size_t n = 0;
+  for (const Gate& g : gates_)
+    if (g.type != GateType::kInput && g.type != GateType::kDff) ++n;
+  return n;
+}
+
+std::vector<std::size_t> Netlist::levelize() const {
+  // Kahn's algorithm over combinational edges; DFF data inputs are *not*
+  // combinational dependencies of the DFF output (the flop breaks the loop).
+  std::vector<std::size_t> indegree(gates_.size(), 0);
+  std::vector<std::vector<std::size_t>> consumers(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.type == GateType::kInput || g.type == GateType::kDff) continue;
+    indegree[i] = g.fanins.size();
+    for (std::size_t f : g.fanins) consumers[f].push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i)
+    if (indegree[i] == 0) order.push_back(i);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (std::size_t c : consumers[order[head]])
+      if (--indegree[c] == 0) order.push_back(c);
+  }
+  if (order.size() != gates_.size())
+    throw std::runtime_error("netlist has a combinational cycle");
+  return order;
+}
+
+void Netlist::validate() const {
+  std::unordered_map<std::string, std::size_t> seen;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.name.empty())
+      throw std::runtime_error("gate " + std::to_string(i) + " has no name");
+    if (!seen.emplace(g.name, i).second)
+      throw std::runtime_error("duplicate gate name: " + g.name);
+    for (std::size_t f : g.fanins)
+      if (f >= gates_.size())
+        throw std::runtime_error("dangling fanin on " + g.name);
+    const std::size_t arity = g.fanins.size();
+    switch (g.type) {
+      case GateType::kInput:
+        if (arity != 0) throw std::runtime_error("input with fanin: " + g.name);
+        break;
+      case GateType::kDff:
+      case GateType::kBuf:
+      case GateType::kNot:
+        if (arity != 1)
+          throw std::runtime_error("unary gate arity != 1: " + g.name);
+        break;
+      case GateType::kXor:
+      case GateType::kXnor:
+        if (arity < 2)
+          throw std::runtime_error("xor arity < 2: " + g.name);
+        break;
+      default:
+        if (arity < 2)
+          throw std::runtime_error("gate arity < 2: " + g.name);
+        break;
+    }
+  }
+  levelize();  // throws on cycles
+}
+
+std::size_t Netlist::find(const std::string& name) const {
+  for (std::size_t i = 0; i < gates_.size(); ++i)
+    if (gates_[i].name == name) return i;
+  return npos;
+}
+
+}  // namespace nc::circuit

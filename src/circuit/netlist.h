@@ -1,0 +1,93 @@
+// Gate-level netlist for ISCAS-style benchmark circuits.
+//
+// A netlist is a flat list of nodes. Each node is a primary input, a D
+// flip-flop or a logic gate; its fanins reference other nodes by index.
+// Sequential circuits are tested full-scan: every DFF is a scan cell, so the
+// *combinational core* treats DFF outputs as pseudo primary inputs (PPIs)
+// and DFF data inputs as pseudo primary outputs (PPOs). A test pattern is
+// one value per PI plus one per scan cell -- exactly the row format of
+// `nc::bits::TestSet`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nc::circuit {
+
+enum class GateType : unsigned char {
+  kInput,  // primary input (no fanin)
+  kDff,    // scan cell; fanin[0] is the data (next-state) line
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Lower-case keyword as used in .bench files ("nand", "dff", ...).
+const char* gate_type_name(GateType t) noexcept;
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::string name;
+  std::vector<std::size_t> fanins;
+};
+
+/// Immutable-after-build gate-level circuit.
+class Netlist {
+ public:
+  /// Adds a node and returns its index. Fanins may reference indices added
+  /// later only via `add_named_placeholder` + `set_fanins` (the .bench
+  /// parser needs forward references).
+  std::size_t add_gate(GateType type, std::string name,
+                       std::vector<std::size_t> fanins = {});
+  void set_fanins(std::size_t gate, std::vector<std::size_t> fanins);
+  void mark_output(std::size_t gate);
+
+  std::size_t size() const noexcept { return gates_.size(); }
+  const Gate& gate(std::size_t i) const noexcept { return gates_[i]; }
+
+  const std::vector<std::size_t>& inputs() const noexcept { return inputs_; }
+  const std::vector<std::size_t>& outputs() const noexcept { return outputs_; }
+  const std::vector<std::size_t>& flops() const noexcept { return flops_; }
+
+  /// Number of scan-pattern columns: |PI| + |DFF|. Pattern layout is all
+  /// PIs in `inputs()` order followed by all scan cells in `flops()` order.
+  std::size_t pattern_width() const noexcept {
+    return inputs_.size() + flops_.size();
+  }
+
+  /// Number of observable columns in the response: |PO| + |DFF| (PPOs).
+  std::size_t response_width() const noexcept {
+    return outputs_.size() + flops_.size();
+  }
+
+  /// Count of logic gates (excludes PIs and DFFs), the "gate count" quoted
+  /// in benchmark tables.
+  std::size_t logic_gate_count() const noexcept;
+
+  /// Topological order of the combinational core: every PI and DFF first
+  /// (they have no combinational fanin), then gates in dependency order.
+  /// Throws std::runtime_error on a combinational cycle.
+  std::vector<std::size_t> levelize() const;
+
+  /// Checks structural sanity: fanin arities match gate types, names are
+  /// unique and non-empty, no dangling references. Throws on violation.
+  void validate() const;
+
+  /// Index lookup by name; npos when absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(const std::string& name) const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<std::size_t> inputs_;
+  std::vector<std::size_t> outputs_;
+  std::vector<std::size_t> flops_;
+};
+
+}  // namespace nc::circuit

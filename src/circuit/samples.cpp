@@ -1,0 +1,51 @@
+#include "circuit/samples.h"
+
+#include "circuit/bench_io.h"
+
+namespace nc::circuit::samples {
+
+const char* c17_bench_text() {
+  return R"(# ISCAS'85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)";
+}
+
+const char* s27_bench_text() {
+  return R"(# ISCAS'89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+G17 = NOT(G11)
+)";
+}
+
+Netlist c17() { return parse_bench_string(c17_bench_text()); }
+Netlist s27() { return parse_bench_string(s27_bench_text()); }
+
+}  // namespace nc::circuit::samples

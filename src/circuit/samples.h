@@ -1,0 +1,21 @@
+// Small, well-known benchmark circuits bundled as .bench text so the test
+// suite and examples run with no external data. The big ISCAS'89 circuits
+// the paper uses are not redistributable here; `nc::gen` provides calibrated
+// synthetic equivalents (see DESIGN.md, substitution table).
+#pragma once
+
+#include "circuit/netlist.h"
+
+namespace nc::circuit::samples {
+
+/// ISCAS'85 c17: 5 inputs, 2 outputs, 6 NAND gates. The canonical toy.
+Netlist c17();
+
+/// ISCAS'89 s27: 4 inputs, 1 output, 3 flip-flops, 10 gates.
+Netlist s27();
+
+/// .bench source text for the two circuits (useful for parser tests).
+const char* c17_bench_text();
+const char* s27_bench_text();
+
+}  // namespace nc::circuit::samples

@@ -1,0 +1,82 @@
+#include "circuit/scan_chains.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nc::circuit {
+
+using bits::Trit;
+using bits::TritVector;
+
+std::size_t ScanChains::depth() const noexcept {
+  std::size_t d = 0;
+  for (const auto& c : chains) d = std::max(d, c.size());
+  return d;
+}
+
+std::size_t ScanChains::cell_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : chains) n += c.size();
+  return n;
+}
+
+ScanChains stitch_scan_chains(const Netlist& netlist, std::size_t count) {
+  const auto& flops = netlist.flops();
+  if (count == 0) throw std::invalid_argument("need at least one scan chain");
+  if (count > flops.size())
+    throw std::invalid_argument("more chains than scan cells");
+
+  ScanChains sc;
+  sc.chains.resize(count);
+  const std::size_t depth = (flops.size() + count - 1) / count;
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    sc.chains[i / depth].push_back(flops[i]);
+  // Drop empty tail chains (possible when count does not divide evenly).
+  while (!sc.chains.empty() && sc.chains.back().empty()) sc.chains.pop_back();
+  return sc;
+}
+
+std::vector<TritVector> chain_streams(const Netlist& netlist,
+                                      const ScanChains& chains,
+                                      const TritVector& pattern) {
+  if (pattern.size() != netlist.pattern_width())
+    throw std::invalid_argument("pattern width does not match circuit");
+  // Column of each flop node in the pattern layout (PIs first).
+  std::unordered_map<std::size_t, std::size_t> column;
+  for (std::size_t i = 0; i < netlist.flops().size(); ++i)
+    column[netlist.flops()[i]] = netlist.inputs().size() + i;
+
+  const std::size_t depth = chains.depth();
+  std::vector<TritVector> streams;
+  streams.reserve(chains.chain_count());
+  for (const auto& chain : chains.chains) {
+    TritVector s(depth, Trit::X);
+    for (std::size_t d = 0; d < chain.size(); ++d)
+      s.set(d, pattern.get(column.at(chain[d])));
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+TritVector pattern_from_streams(const Netlist& netlist,
+                                const ScanChains& chains,
+                                const std::vector<TritVector>& streams) {
+  if (streams.size() != chains.chain_count())
+    throw std::invalid_argument("stream count does not match chains");
+  std::unordered_map<std::size_t, std::size_t> column;
+  for (std::size_t i = 0; i < netlist.flops().size(); ++i)
+    column[netlist.flops()[i]] = netlist.inputs().size() + i;
+
+  TritVector pattern(netlist.pattern_width(), Trit::X);
+  for (std::size_t c = 0; c < streams.size(); ++c) {
+    const auto& chain = chains.chains[c];
+    if (streams[c].size() < chain.size())
+      throw std::invalid_argument("stream shorter than its chain");
+    for (std::size_t d = 0; d < chain.size(); ++d)
+      pattern.set(column.at(chain[d]), streams[c].get(d));
+  }
+  return pattern;
+}
+
+}  // namespace nc::circuit

@@ -1,0 +1,48 @@
+// Scan-chain configuration: how a netlist's scan cells are stitched into m
+// chains, and how test-pattern columns map onto per-chain scan-in streams.
+//
+// The multi-scan decompressors of Fig. 3/4 assume the l scan cells are
+// "rearranged into m groups of l/m-bit scan chains"; this module performs
+// that rearrangement on a concrete netlist so the abstract chain model and
+// the gate-level view agree.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bits/trit_vector.h"
+#include "circuit/netlist.h"
+
+namespace nc::circuit {
+
+struct ScanChains {
+  /// chains[c][d] is the flop node that receives scan-in bit d of chain c
+  /// (d = 0 enters first and ends up deepest).
+  std::vector<std::vector<std::size_t>> chains;
+
+  std::size_t chain_count() const noexcept { return chains.size(); }
+  /// Depth of the longest chain (= shift cycles per pattern).
+  std::size_t depth() const noexcept;
+  /// Total scan cells across chains.
+  std::size_t cell_count() const noexcept;
+};
+
+/// Splits the netlist's flops (in Netlist::flops() order) into `count`
+/// blocked chains of near-equal depth: chain 0 takes the first ceil(n/m)
+/// flops, and so on. Throws if count is 0 or exceeds the flop count.
+ScanChains stitch_scan_chains(const Netlist& netlist, std::size_t count);
+
+/// Per-chain scan-in streams for one test pattern (TestSet row layout: PIs
+/// then flops). Stream c has depth() trits; chains shorter than depth() are
+/// padded with X at the end (those shifts fall off the short chain).
+std::vector<bits::TritVector> chain_streams(const Netlist& netlist,
+                                            const ScanChains& chains,
+                                            const bits::TritVector& pattern);
+
+/// Inverse mapping: rebuilds the flop-column part of a pattern from
+/// per-chain streams. PIs come back as X (they are not scanned).
+bits::TritVector pattern_from_streams(
+    const Netlist& netlist, const ScanChains& chains,
+    const std::vector<bits::TritVector>& streams);
+
+}  // namespace nc::circuit

@@ -1,0 +1,38 @@
+#include "codec/block_class.h"
+
+namespace nc::codec {
+
+HalfKind classify_half(const bits::TritVector& v, std::size_t begin,
+                       std::size_t len) noexcept {
+  HalfKind kind;
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (v.get(begin + i)) {
+      case bits::Trit::Zero: kind.one_compatible = false; break;
+      case bits::Trit::One: kind.zero_compatible = false; break;
+      case bits::Trit::X: break;
+    }
+    if (kind.mismatch()) break;
+  }
+  return kind;
+}
+
+BlockClass classify_block(const bits::TritVector& v, std::size_t begin,
+                          std::size_t k) noexcept {
+  const std::size_t half = k / 2;
+  const HalfKind left = classify_half(v, begin, half);
+  const HalfKind right = classify_half(v, begin + half, half);
+
+  // Cheapest-first: uniform pairs (codeword only), then one mismatch half
+  // (codeword + K/2 payload), then full mismatch (codeword + K payload).
+  if (left.zero_compatible && right.zero_compatible) return BlockClass::kC1;
+  if (left.one_compatible && right.one_compatible) return BlockClass::kC2;
+  if (left.zero_compatible && right.one_compatible) return BlockClass::kC3;
+  if (left.one_compatible && right.zero_compatible) return BlockClass::kC4;
+  if (left.zero_compatible && right.mismatch()) return BlockClass::kC5;
+  if (left.mismatch() && right.zero_compatible) return BlockClass::kC6;
+  if (left.one_compatible && right.mismatch()) return BlockClass::kC7;
+  if (left.mismatch() && right.one_compatible) return BlockClass::kC8;
+  return BlockClass::kC9;
+}
+
+}  // namespace nc::codec

@@ -1,0 +1,107 @@
+// Classification of a K-bit block into one of the nine 9C cases (Table I).
+//
+// A block splits into a left and a right K/2-bit half. Each half is:
+//  * 0-compatible  -- contains no specified 1 (so it can be emitted as 0...0)
+//  * 1-compatible  -- contains no specified 0
+//  * a mismatch    -- contains both a 0 and a 1 and must travel verbatim
+// The nine combinations (Table I rows) and their payloads:
+//
+//   C1  left 0, right 0        no payload
+//   C2  left 1, right 1        no payload
+//   C3  left 0, right 1        no payload
+//   C4  left 1, right 0        no payload
+//   C5  left 0, right mismatch K/2-trit payload (right half)
+//   C6  left mismatch, right 0 K/2-trit payload (left half)
+//   C7  left 1, right mismatch K/2-trit payload (right half)
+//   C8  left mismatch, right 1 K/2-trit payload (left half)
+//   C9  both mismatch          K-trit payload (whole block)
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "bits/trit_vector.h"
+
+namespace nc::codec {
+
+/// The nine block cases. Values are 0-based (kC1 == 0 ... kC9 == 8) so they
+/// index directly into codeword tables and N_i statistics arrays.
+enum class BlockClass : unsigned char {
+  kC1 = 0,
+  kC2,
+  kC3,
+  kC4,
+  kC5,
+  kC6,
+  kC7,
+  kC8,
+  kC9,
+};
+
+inline constexpr std::size_t kNumClasses = 9;
+
+/// 1-based case number as printed in the paper's tables.
+constexpr unsigned case_number(BlockClass c) noexcept {
+  return static_cast<unsigned>(c) + 1;
+}
+
+/// How a half behaves with respect to uniform fills.
+struct HalfKind {
+  bool zero_compatible = true;  // no specified 1 present
+  bool one_compatible = true;   // no specified 0 present
+  bool mismatch() const noexcept { return !zero_compatible && !one_compatible; }
+};
+
+/// Inspects the `len` trits of `v` starting at `begin`.
+HalfKind classify_half(const bits::TritVector& v, std::size_t begin,
+                       std::size_t len) noexcept;
+
+/// Classifies the K-trit block of `v` at [begin, begin+k). When several
+/// cases apply (halves of all-X are both 0- and 1-compatible) the cheapest
+/// case wins; ties between equal-cost cases resolve to the lower case
+/// number, making the encoder deterministic. `k` must be even and >= 2.
+BlockClass classify_block(const bits::TritVector& v, std::size_t begin,
+                          std::size_t k) noexcept;
+
+/// Payload length in trits that case `c` appends after its codeword.
+constexpr std::size_t payload_trits(BlockClass c, std::size_t k) noexcept {
+  switch (c) {
+    case BlockClass::kC5:
+    case BlockClass::kC6:
+    case BlockClass::kC7:
+    case BlockClass::kC8:
+      return k / 2;
+    case BlockClass::kC9:
+      return k;
+    default:
+      return 0;
+  }
+}
+
+/// For the no-payload cases, the two uniform fill bits (left, right) the
+/// decoder must expand: e.g. C3 -> {0,1}. Only valid for C1..C4.
+constexpr std::array<bool, 2> uniform_fill(BlockClass c) noexcept {
+  switch (c) {
+    case BlockClass::kC1: return {false, false};
+    case BlockClass::kC2: return {true, true};
+    case BlockClass::kC3: return {false, true};
+    default: return {true, false};  // kC4
+  }
+}
+
+/// For C5..C8: value of the uniform half (false=0s, true=1s) and whether the
+/// mismatch (transmitted) half is the left one.
+struct MixedShape {
+  bool uniform_value;
+  bool mismatch_is_left;
+};
+constexpr MixedShape mixed_shape(BlockClass c) noexcept {
+  switch (c) {
+    case BlockClass::kC5: return {false, false};  // left 0s, right verbatim
+    case BlockClass::kC6: return {false, true};   // left verbatim, right 0s
+    case BlockClass::kC7: return {true, false};   // left 1s, right verbatim
+    default: return {true, true};                 // kC8: left verbatim, right 1s
+  }
+}
+
+}  // namespace nc::codec

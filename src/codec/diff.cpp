@@ -1,0 +1,44 @@
+#include "codec/diff.h"
+
+#include <stdexcept>
+
+namespace nc::codec {
+
+using bits::TestSet;
+using bits::Trit;
+
+namespace {
+
+bool bit_at(const TestSet& ts, std::size_t p, std::size_t c) {
+  const Trit t = ts.at(p, c);
+  if (!bits::is_care(t))
+    throw std::invalid_argument(
+        "difference transform needs fully specified patterns");
+  return t == Trit::One;
+}
+
+}  // namespace
+
+TestSet difference_transform(const TestSet& td) {
+  TestSet out(td.pattern_count(), td.pattern_length());
+  for (std::size_t p = 0; p < td.pattern_count(); ++p)
+    for (std::size_t c = 0; c < td.pattern_length(); ++c) {
+      const bool prev = p > 0 && bit_at(td, p - 1, c);
+      out.set(p, c, bits::trit_from_bit(bit_at(td, p, c) ^ prev));
+    }
+  return out;
+}
+
+TestSet inverse_difference_transform(const TestSet& diff) {
+  TestSet out(diff.pattern_count(), diff.pattern_length());
+  for (std::size_t c = 0; c < diff.pattern_length(); ++c) {
+    bool acc = false;
+    for (std::size_t p = 0; p < diff.pattern_count(); ++p) {
+      acc ^= bit_at(diff, p, c);
+      out.set(p, c, bits::trit_from_bit(acc));
+    }
+  }
+  return out;
+}
+
+}  // namespace nc::codec

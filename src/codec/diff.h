@@ -1,0 +1,23 @@
+// Difference-vector preprocessing (the transform behind "alternating
+// run-length coding using FDR" in the paper's related work).
+//
+// Consecutive scan patterns are strongly correlated, so XOR-ing each
+// pattern with its predecessor concentrates the 1s and lengthens the 0-runs
+// that run-length codes feed on. The transform needs fully specified
+// patterns (an X would poison every later pattern of the column on the
+// inverse), so it composes with the fill strategies of nc::power:
+// fill -> diff -> encode / decode -> undiff.
+#pragma once
+
+#include "bits/test_set.h"
+
+namespace nc::codec {
+
+/// diff[0] = td[0]; diff[i] = td[i] XOR td[i-1]. Throws
+/// std::invalid_argument if any bit is X.
+bits::TestSet difference_transform(const bits::TestSet& td);
+
+/// Exact inverse: td[i] = diff[0] XOR ... XOR diff[i].
+bits::TestSet inverse_difference_transform(const bits::TestSet& diff);
+
+}  // namespace nc::codec

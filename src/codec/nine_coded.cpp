@@ -1,0 +1,147 @@
+#include "codec/nine_coded.h"
+
+#include <stdexcept>
+
+#include "bits/bitstream.h"
+
+namespace nc::codec {
+
+using bits::Trit;
+using bits::TritVector;
+
+std::size_t NineCodedStats::blocks() const noexcept {
+  std::size_t n = 0;
+  for (auto c : counts) n += c;
+  return n;
+}
+
+NineCoded::NineCoded(std::size_t block_size, CodewordTable table)
+    : k_(block_size), table_(table) {
+  if (k_ < 2 || k_ % 2 != 0)
+    throw std::invalid_argument("9C block size K must be even and >= 2");
+}
+
+std::string NineCoded::name() const {
+  return "9C(K=" + std::to_string(k_) + ")";
+}
+
+TritVector NineCoded::encode(const TritVector& td) const {
+  TritVector stream;
+  analyze(td, &stream);
+  return stream;
+}
+
+NineCodedStats NineCoded::analyze(const TritVector& td,
+                                  TritVector* out_stream) const {
+  NineCodedStats stats;
+  stats.block_size = k_;
+  stats.original_bits = td.size();
+
+  // Pad the tail to a whole block with X, which compresses maximally and is
+  // discarded by the decoder (it knows the original length).
+  TritVector padded = td;
+  if (padded.size() % k_ != 0)
+    padded.append_run(k_ - padded.size() % k_, Trit::X);
+  stats.padded_bits = padded.size();
+
+  TritVector stream;
+  const std::size_t half = k_ / 2;
+
+  auto emit_codeword = [&](BlockClass c) {
+    const Codeword& w = table_.at(c);
+    for (unsigned i = w.length; i-- > 0;)
+      stream.push_back(bits::trit_from_bit((w.bits >> i) & 1u));
+  };
+  auto emit_payload = [&](std::size_t begin, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const Trit t = padded.get(begin + i);
+      if (!bits::is_care(t)) ++stats.leftover_x;
+      stream.push_back(t);
+    }
+  };
+
+  for (std::size_t b = 0; b < padded.size(); b += k_) {
+    const BlockClass cls = classify_block(padded, b, k_);
+    ++stats.counts[static_cast<std::size_t>(cls)];
+    emit_codeword(cls);
+    switch (cls) {
+      case BlockClass::kC1:
+      case BlockClass::kC2:
+      case BlockClass::kC3:
+      case BlockClass::kC4:
+        // No payload: every X in the block was forced to the uniform value.
+        for (std::size_t i = 0; i < k_; ++i)
+          if (!bits::is_care(padded.get(b + i))) ++stats.filled_x;
+        break;
+      case BlockClass::kC5:
+      case BlockClass::kC7:
+        for (std::size_t i = 0; i < half; ++i)
+          if (!bits::is_care(padded.get(b + i))) ++stats.filled_x;
+        emit_payload(b + half, half);
+        break;
+      case BlockClass::kC6:
+      case BlockClass::kC8:
+        emit_payload(b, half);
+        for (std::size_t i = half; i < k_; ++i)
+          if (!bits::is_care(padded.get(b + i))) ++stats.filled_x;
+        break;
+      case BlockClass::kC9:
+        emit_payload(b, k_);
+        break;
+    }
+  }
+
+  stats.encoded_bits = stream.size();
+  if (out_stream != nullptr) *out_stream = std::move(stream);
+  return stats;
+}
+
+TritVector NineCoded::decode(const TritVector& te,
+                             std::size_t original_bits) const {
+  const std::size_t half = k_ / 2;
+  TritVector out;
+  bits::TritReader reader(te);
+  while (out.size() < original_bits) {
+    const BlockClass cls = table_.match(reader);
+    switch (cls) {
+      case BlockClass::kC1:
+      case BlockClass::kC2:
+      case BlockClass::kC3:
+      case BlockClass::kC4: {
+        const auto fill = uniform_fill(cls);
+        out.append_run(half, bits::trit_from_bit(fill[0]));
+        out.append_run(half, bits::trit_from_bit(fill[1]));
+        break;
+      }
+      case BlockClass::kC5:
+      case BlockClass::kC6:
+      case BlockClass::kC7:
+      case BlockClass::kC8: {
+        const MixedShape shape = mixed_shape(cls);
+        const TritVector payload = reader.next_trits(half);
+        if (shape.mismatch_is_left) {
+          out.append(payload);
+          out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+        } else {
+          out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+          out.append(payload);
+        }
+        break;
+      }
+      case BlockClass::kC9:
+        out.append(reader.next_trits(k_));
+        break;
+    }
+  }
+  out.resize(original_bits);  // drop decoder output for the padded tail
+  return out;
+}
+
+NineCoded NineCoded::tuned_for(const bits::TritVector& td,
+                               std::size_t block_size) {
+  const NineCoded probe(block_size);
+  const NineCodedStats stats = probe.analyze(td);
+  return NineCoded(block_size, CodewordTable::frequency_directed(stats.counts));
+}
+
+}  // namespace nc::codec

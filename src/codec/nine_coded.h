@@ -1,0 +1,77 @@
+// The 9C encoder/decoder (Section II of the paper) and its statistics.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "codec/codec.h"
+#include "codec/codeword_table.h"
+
+namespace nc::codec {
+
+/// Everything the paper's tables derive from one encoding run.
+struct NineCodedStats {
+  std::size_t block_size = 0;     // K
+  std::size_t original_bits = 0;  // |TD| (before padding)
+  std::size_t padded_bits = 0;    // |TD| rounded up to a whole block
+  std::size_t encoded_bits = 0;   // |TE|
+
+  /// Occurrence count N_i of each codeword (Table VI).
+  std::array<std::size_t, kNumClasses> counts{};
+
+  /// X symbols that survive into TE inside mismatch payloads (Table III
+  /// numerator). These may later be filled for non-modeled-fault coverage
+  /// or low power.
+  std::size_t leftover_x = 0;
+
+  /// X symbols of TD that the code forced to 0/1 (matched halves).
+  std::size_t filled_x = 0;
+
+  std::size_t blocks() const noexcept;
+  /// CR% over the unpadded TD size, as the paper reports.
+  double compression_ratio() const noexcept {
+    return compression_ratio_percent(original_bits, encoded_bits);
+  }
+  /// LX% = leftover X / |TD| * 100 (Table III).
+  double leftover_x_percent() const noexcept {
+    return original_bits == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(leftover_x) /
+                     static_cast<double>(original_bits);
+  }
+};
+
+/// Fixed-block nine-codeword coder. Stateless and reusable; one instance per
+/// (K, codeword table) configuration.
+class NineCoded final : public Codec {
+ public:
+  /// `block_size` is K: even, >= 2. The default table is the paper's
+  /// Table I assignment; pass a frequency-directed table for Table VII.
+  explicit NineCoded(std::size_t block_size,
+                     CodewordTable table = CodewordTable::standard());
+
+  std::string name() const override;
+  std::size_t block_size() const noexcept { return k_; }
+  const CodewordTable& table() const noexcept { return table_; }
+
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+
+  /// Encoding plus the full statistics bundle; `encode` forwards here.
+  NineCodedStats analyze(const bits::TritVector& td,
+                         bits::TritVector* out_stream = nullptr) const;
+
+  /// Convenience: two-pass frequency-directed coder for this TD (first pass
+  /// gathers N_i with the standard table, second pass encodes with the
+  /// re-assigned table). Returns the coder to use.
+  static NineCoded tuned_for(const bits::TritVector& td,
+                             std::size_t block_size);
+
+ private:
+  std::size_t k_;
+  CodewordTable table_;
+};
+
+}  // namespace nc::codec

@@ -1,0 +1,161 @@
+#include "codec/pattern_codec.h"
+
+#include <stdexcept>
+
+#include "bits/bitstream.h"
+
+namespace nc::codec {
+
+using bits::Trit;
+using bits::TritVector;
+
+bool HalfPattern::bit_at(std::size_t i) const noexcept {
+  switch (kind) {
+    case Kind::kConst0: return false;
+    case Kind::kConst1: return true;
+    case Kind::kAlt01: return i % 2 == 1;
+    case Kind::kAlt10: return i % 2 == 0;
+  }
+  return false;
+}
+
+char HalfPattern::symbol() const noexcept {
+  switch (kind) {
+    case Kind::kConst0: return '0';
+    case Kind::kConst1: return '1';
+    case Kind::kAlt01: return 'A';
+    case Kind::kAlt10: return 'B';
+  }
+  return '?';
+}
+
+std::vector<HalfPattern> nine_coded_patterns() {
+  return {{HalfPattern::Kind::kConst0}, {HalfPattern::Kind::kConst1}};
+}
+
+std::vector<HalfPattern> extended_patterns() {
+  return {{HalfPattern::Kind::kConst0},
+          {HalfPattern::Kind::kConst1},
+          {HalfPattern::Kind::kAlt01},
+          {HalfPattern::Kind::kAlt10}};
+}
+
+PatternCodec::PatternCodec(std::size_t block_size,
+                           std::vector<HalfPattern> patterns)
+    : k_(block_size), patterns_(std::move(patterns)) {
+  if (k_ < 2 || k_ % 2 != 0)
+    throw std::invalid_argument("block size K must be even and >= 2");
+  if (patterns_.empty())
+    throw std::invalid_argument("need at least one half pattern");
+}
+
+PatternCodec PatternCodec::trained(const TritVector& td,
+                                   std::size_t block_size,
+                                   std::vector<HalfPattern> patterns) {
+  PatternCodec codec(block_size, std::move(patterns));
+  codec.table_ = bits::HuffmanCode::build(codec.class_histogram(td));
+  return codec;
+}
+
+std::string PatternCodec::name() const {
+  std::string tags;
+  for (const HalfPattern& p : patterns_) tags += p.symbol();
+  return "Pattern{" + tags + "}(K=" + std::to_string(k_) + ")";
+}
+
+std::size_t PatternCodec::class_count() const noexcept {
+  const std::size_t per_half = patterns_.size() + 1;
+  return per_half * per_half;
+}
+
+const bits::HuffmanCode& PatternCodec::table() const {
+  if (!table_) throw std::logic_error("PatternCodec is untrained");
+  return *table_;
+}
+
+std::size_t PatternCodec::half_class(const TritVector& v,
+                                     std::size_t begin) const {
+  const std::size_t half = k_ / 2;
+  for (std::size_t p = 0; p < patterns_.size(); ++p) {
+    bool ok = true;
+    for (std::size_t i = 0; i < half && ok; ++i)
+      ok = bits::compatible_with(v.get(begin + i), patterns_[p].bit_at(i));
+    if (ok) return p;
+  }
+  return patterns_.size();  // mismatch
+}
+
+std::size_t PatternCodec::classify(const TritVector& v,
+                                   std::size_t begin) const {
+  const std::size_t per_half = patterns_.size() + 1;
+  return half_class(v, begin) * per_half + half_class(v, begin + k_ / 2);
+}
+
+TritVector PatternCodec::padded(const TritVector& td) const {
+  TritVector p = td;
+  if (p.size() % k_ != 0) p.append_run(k_ - p.size() % k_, Trit::X);
+  return p;
+}
+
+std::vector<std::size_t> PatternCodec::class_histogram(
+    const TritVector& td) const {
+  std::vector<std::size_t> hist(class_count(), 0);
+  const TritVector p = padded(td);
+  for (std::size_t b = 0; b < p.size(); b += k_) ++hist[classify(p, b)];
+  return hist;
+}
+
+TritVector PatternCodec::encode(const TritVector& td) const {
+  bits::HuffmanCode local;
+  const bits::HuffmanCode* code = table_ ? &*table_ : &local;
+  if (!table_) local = bits::HuffmanCode::build(class_histogram(td));
+
+  const TritVector p = padded(td);
+  const std::size_t half = k_ / 2;
+  const std::size_t mismatch = patterns_.size();
+  const std::size_t per_half = mismatch + 1;
+
+  TritVector out;
+  bits::BitWriter codeword;
+  for (std::size_t b = 0; b < p.size(); b += k_) {
+    const std::size_t cls = classify(p, b);
+    codeword = {};
+    code->encode(codeword, cls);
+    out.append(codeword.stream());
+    if (cls / per_half == mismatch)
+      out.append(p.slice(b, half));
+    if (cls % per_half == mismatch)
+      out.append(p.slice(b + half, half));
+  }
+  return out;
+}
+
+TritVector PatternCodec::decode(const TritVector& te,
+                                std::size_t original_bits) const {
+  if (!table_)
+    throw std::logic_error(
+        "PatternCodec decoder is trained per test set; use trained()");
+  const std::size_t half = k_ / 2;
+  const std::size_t mismatch = patterns_.size();
+  const std::size_t per_half = mismatch + 1;
+
+  TritVector out;
+  bits::TritReader in(te);
+  auto emit_half = [&](std::size_t half_cls) {
+    if (half_cls == mismatch) {
+      out.append(in.next_trits(half));
+    } else {
+      for (std::size_t i = 0; i < half; ++i)
+        out.push_back(bits::trit_from_bit(patterns_[half_cls].bit_at(i)));
+    }
+  };
+  while (out.size() < original_bits) {
+    const std::size_t cls = table_->decode(in);
+    emit_half(cls / per_half);
+    emit_half(cls % per_half);
+  }
+  out.resize(original_bits);
+  return out;
+}
+
+}  // namespace nc::codec

@@ -1,0 +1,91 @@
+// Generalization of the 9C code -- the extension the paper sketches in
+// Section II: "more uniform K-bit blocks (e.g. 0101..., 1010...) can be
+// added ... a systematic coding in such cases requires 4-7 more codewords
+// [and] may slightly improve the compression ratio but results in a more
+// complicated and expensive decoder."
+//
+// PatternCodec implements that family. Each K/2-bit half is matched against
+// an ordered list of uniform half-patterns -- all-0 and all-1 give exactly
+// 9C; adding the alternating patterns 0101... and 1010... gives a 25-word
+// code -- or falls through to a verbatim mismatch. Codeword lengths come
+// from a Huffman code over the class frequencies of the training set, so
+// the coder (like the paper's statistical baselines, and unlike plain 9C)
+// carries a per-test-set table: `trained(td, ...)` builds the deployable
+// configuration. The ablation bench weighs the CR gain against the decoder
+// cost reported by nc::synth::synthesize_code_fsm.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bits/huffman.h"
+#include "codec/codec.h"
+
+namespace nc::codec {
+
+/// A K/2-bit uniform pattern a half can be matched against.
+struct HalfPattern {
+  enum class Kind : unsigned char {
+    kConst0,  // 000...
+    kConst1,  // 111...
+    kAlt01,   // 0101...
+    kAlt10,   // 1010...
+  };
+  Kind kind = Kind::kConst0;
+
+  /// Bit at offset `i` within the half.
+  bool bit_at(std::size_t i) const noexcept;
+  /// One-character tag used in names: '0', '1', 'A', 'B'.
+  char symbol() const noexcept;
+};
+
+/// The standard pattern sets.
+std::vector<HalfPattern> nine_coded_patterns();      // {0, 1} -> 9 classes
+std::vector<HalfPattern> extended_patterns();        // {0, 1, A, B} -> 25
+
+class PatternCodec final : public Codec {
+ public:
+  /// `block_size` = K (even, >= 2). Untrained codecs can encode (two-pass)
+  /// but not decode, mirroring the trained-decoder model of the statistical
+  /// baselines.
+  PatternCodec(std::size_t block_size, std::vector<HalfPattern> patterns);
+
+  static PatternCodec trained(const bits::TritVector& td,
+                              std::size_t block_size,
+                              std::vector<HalfPattern> patterns);
+
+  std::string name() const override;
+  bits::TritVector encode(const bits::TritVector& td) const override;
+  bits::TritVector decode(const bits::TritVector& te,
+                          std::size_t original_bits) const override;
+
+  std::size_t block_size() const noexcept { return k_; }
+  /// Number of block classes = (patterns + 1)^2 (mismatch included).
+  std::size_t class_count() const noexcept;
+  bool is_trained() const noexcept { return table_.has_value(); }
+  const std::vector<HalfPattern>& patterns() const noexcept {
+    return patterns_;
+  }
+  /// Trained Huffman table (codeword per class); throws if untrained.
+  const bits::HuffmanCode& table() const;
+
+  /// Class index of the block at [begin, begin+K): a pair of half classes
+  /// (row-major; half class = first compatible pattern index, or
+  /// patterns().size() for a mismatch).
+  std::size_t classify(const bits::TritVector& v, std::size_t begin) const;
+
+  /// Per-class frequencies over a stream (exposed for the ablation bench).
+  std::vector<std::size_t> class_histogram(const bits::TritVector& td) const;
+
+ private:
+  std::size_t half_class(const bits::TritVector& v, std::size_t begin) const;
+  bits::TritVector padded(const bits::TritVector& td) const;
+
+  std::size_t k_;
+  std::vector<HalfPattern> patterns_;
+  std::optional<bits::HuffmanCode> table_;
+};
+
+}  // namespace nc::codec

@@ -1,0 +1,54 @@
+#include "decomp/ate_session.h"
+
+#include "decomp/single_scan.h"
+#include "sim/logic_sim.h"
+
+namespace nc::decomp {
+
+using bits::TestSet;
+using bits::Trit;
+using bits::TritVector;
+
+SessionResult run_test_session(const circuit::Netlist& netlist,
+                               const TestSet& cubes,
+                               const SessionConfig& config,
+                               const std::optional<sim::Fault>& fault) {
+  SessionResult result;
+  if (cubes.pattern_count() == 0) return result;
+
+  // The ATE compresses once and streams; the decoder fills the chain.
+  const codec::NineCoded coder(config.block_size);
+  const TritVector td = cubes.flatten();
+  const TritVector te = coder.encode(td);
+  const SingleScanDecoder decoder(config.block_size, config.p);
+  const DecoderTrace trace = decoder.run(te, td.size());
+  result.ate_bits = te.size();
+  // One capture cycle per pattern on top of the decoder's scan-in time;
+  // scan-out overlaps the next pattern's scan-in.
+  result.soc_cycles = trace.soc_cycles + cubes.pattern_count();
+
+  const TestSet applied = TestSet::unflatten(
+      trace.scan_stream, cubes.pattern_count(), cubes.pattern_length());
+
+  sim::ParallelSim good_sim(netlist);
+  sim::ParallelSim dut_sim(netlist);
+  TestSet one(1, cubes.pattern_length());
+  for (std::size_t pat = 0; pat < applied.pattern_count(); ++pat) {
+    one.set_pattern(0, applied.pattern(pat));
+    good_sim.load(one, 0);
+    good_sim.run();
+    dut_sim.load(one, 0);
+    if (fault.has_value())
+      dut_sim.run_with_fault(fault->node, fault->consumer, fault->pin,
+                             fault->stuck_value);
+    else
+      dut_sim.run();
+    const bool failed = dut_sim.diff_mask(good_sim.values()) != 0;
+    result.pattern_failed.push_back(failed);
+    if (failed) ++result.failing_patterns;
+    ++result.patterns_applied;
+  }
+  return result;
+}
+
+}  // namespace nc::decomp

@@ -1,0 +1,45 @@
+// End-to-end ATE test-session model: the tester streams the 9C-compressed
+// stimulus through the on-chip decompressor into the scan chain, the
+// circuit captures, and the responses are compared against the fault-free
+// expectations -- per-pattern pass/fail plus the full cycle accounting the
+// paper's TAT analysis abstracts (Section III-C ignores the one capture
+// cycle per pattern; this model includes it, and treats scan-out as
+// overlapped with the next scan-in, the standard ATE pipelining).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "circuit/netlist.h"
+#include "codec/nine_coded.h"
+#include "sim/fault.h"
+
+namespace nc::decomp {
+
+struct SessionConfig {
+  std::size_t block_size = 8;  // K of the on-chip decoder
+  unsigned p = 8;              // f_scan / f_ate
+};
+
+struct SessionResult {
+  std::size_t patterns_applied = 0;
+  std::size_t failing_patterns = 0;  // response provably differs from good
+  std::size_t ate_bits = 0;          // bits streamed from the tester (|TE|)
+  std::size_t soc_cycles = 0;        // scan-in + capture cycles
+  std::vector<bool> pattern_failed;  // per pattern
+
+  bool device_passes() const noexcept { return failing_patterns == 0; }
+};
+
+/// Runs the session. `cubes` is the test set the ATE holds (X allowed: the
+/// decoder reproduces them and comparison treats X as unknown). When
+/// `fault` is set, the device under test carries that defect; expected
+/// responses always come from the fault-free machine.
+SessionResult run_test_session(const circuit::Netlist& netlist,
+                               const bits::TestSet& cubes,
+                               const SessionConfig& config,
+                               const std::optional<sim::Fault>& fault = {});
+
+}  // namespace nc::decomp

@@ -1,0 +1,92 @@
+#include "decomp/decoder_fsm.h"
+
+#include <stdexcept>
+
+namespace nc::decomp {
+
+FsmStep fsm_step(FsmState state, bool data_bit, bool done) {
+  FsmStep step;
+  auto recognize = [&](HalfPlan a, HalfPlan b) {
+    step.next = FsmState::kHalfA;
+    step.recognized = true;
+    step.plan_a = a;
+    step.plan_b = b;
+    step.consumes_data_bit = true;
+  };
+  auto advance = [&](FsmState next) {
+    step.next = next;
+    step.consumes_data_bit = true;
+  };
+
+  switch (state) {
+    case FsmState::kIdle:
+      if (!data_bit)
+        recognize(HalfPlan::kFill0, HalfPlan::kFill0);  // C1 = "0"
+      else
+        advance(FsmState::kSaw1);
+      break;
+    case FsmState::kSaw1:
+      if (!data_bit)
+        recognize(HalfPlan::kFill1, HalfPlan::kFill1);  // C2 = "10"
+      else
+        advance(FsmState::kSaw11);
+      break;
+    case FsmState::kSaw11:
+      advance(data_bit ? FsmState::kSaw111 : FsmState::kSaw110);
+      break;
+    case FsmState::kSaw110:
+      if (!data_bit)
+        recognize(HalfPlan::kData, HalfPlan::kData);  // C9 = "1100"
+      else
+        advance(FsmState::kSaw1101);
+      break;
+    case FsmState::kSaw1101:
+      if (!data_bit)
+        recognize(HalfPlan::kFill0, HalfPlan::kFill1);  // C3 = "11010"
+      else
+        recognize(HalfPlan::kFill1, HalfPlan::kFill0);  // C4 = "11011"
+      break;
+    case FsmState::kSaw111:
+      advance(data_bit ? FsmState::kSaw1111 : FsmState::kSaw1110);
+      break;
+    case FsmState::kSaw1110:
+      if (!data_bit)
+        recognize(HalfPlan::kFill0, HalfPlan::kData);  // C5 = "11100"
+      else
+        recognize(HalfPlan::kData, HalfPlan::kFill0);  // C6 = "11101"
+      break;
+    case FsmState::kSaw1111:
+      if (!data_bit)
+        recognize(HalfPlan::kFill1, HalfPlan::kData);  // C7 = "11110"
+      else
+        recognize(HalfPlan::kData, HalfPlan::kFill1);  // C8 = "11111"
+      break;
+    case FsmState::kHalfA:
+      step.next = done ? FsmState::kHalfB : FsmState::kHalfA;
+      break;
+    case FsmState::kHalfB:
+      step.next = done ? FsmState::kAck : FsmState::kHalfB;
+      break;
+    case FsmState::kAck:
+      step.next = FsmState::kIdle;
+      step.ack = true;
+      break;
+  }
+  return step;
+}
+
+codec::BlockClass plan_class(HalfPlan a, HalfPlan b) {
+  using codec::BlockClass;
+  using enum HalfPlan;
+  if (a == kFill0 && b == kFill0) return BlockClass::kC1;
+  if (a == kFill1 && b == kFill1) return BlockClass::kC2;
+  if (a == kFill0 && b == kFill1) return BlockClass::kC3;
+  if (a == kFill1 && b == kFill0) return BlockClass::kC4;
+  if (a == kFill0 && b == kData) return BlockClass::kC5;
+  if (a == kData && b == kFill0) return BlockClass::kC6;
+  if (a == kFill1 && b == kData) return BlockClass::kC7;
+  if (a == kData && b == kFill1) return BlockClass::kC8;
+  return BlockClass::kC9;
+}
+
+}  // namespace nc::decomp

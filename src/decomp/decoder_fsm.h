@@ -1,0 +1,66 @@
+// The 9C decoder FSM of Fig. 2 -- the controller shared by every
+// decompressor variant. It is totally independent of K and of the test set:
+// the counter width and the shifter are the only K-dependent pieces.
+//
+// The FSM recognizes the standard prefix-free codeword tree bit-serially
+// (at most five ATE cycles), latches a two-half "plan" (fill-0 / fill-1 /
+// pass-through-data per half), sequences the two halves through the MUX,
+// and raises Ack. This same transition table is what `nc::synth` minimizes
+// to reproduce the paper's gate-count claim.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/block_class.h"
+
+namespace nc::decomp {
+
+/// MUX selection for one half-block (the paper's 2-bit Sel).
+enum class HalfPlan : unsigned char {
+  kFill0 = 0,  // drive constant 0 into the chain
+  kFill1 = 1,  // drive constant 1
+  kData = 2,   // stream Data_in through the K/2-bit shifter
+};
+
+/// FSM states. Recognition states mirror the codeword tree; kHalfA/kHalfB
+/// wait for the counter's Done; kAck is the handshake cycle back to the ATE.
+enum class FsmState : unsigned char {
+  kIdle = 0,   // expecting the first codeword bit
+  kSaw1,       // prefix "1"
+  kSaw11,      // prefix "11"
+  kSaw110,     // prefix "110"
+  kSaw1101,    // prefix "1101"
+  kSaw111,     // prefix "111"
+  kSaw1110,    // prefix "1110"
+  kSaw1111,    // prefix "1111"
+  kHalfA,      // first half streaming into the scan chain
+  kHalfB,      // second half
+  kAck,        // acknowledge, then back to kIdle
+};
+
+inline constexpr std::size_t kFsmStateCount = 11;
+
+/// Moore/Mealy mixed outputs of one step.
+struct FsmStep {
+  FsmState next = FsmState::kIdle;
+  /// True when this step completed codeword recognition; `plan_a`/`plan_b`
+  /// are the latched half plans (valid only when recognized is true).
+  bool recognized = false;
+  HalfPlan plan_a = HalfPlan::kFill0;
+  HalfPlan plan_b = HalfPlan::kFill0;
+  /// True when the decoder is consuming a Data_in bit this cycle.
+  bool consumes_data_bit = false;
+  /// True on the Ack cycle (ATE may present the next codeword afterwards).
+  bool ack = false;
+};
+
+/// One FSM transition. In recognition states `data_bit` is the incoming
+/// ATE bit; in kHalfA/kHalfB `done` is the counter's terminal count.
+FsmStep fsm_step(FsmState state, bool data_bit, bool done);
+
+/// The codeword class recognized by a (plan_a, plan_b) pair -- the inverse
+/// mapping, used by tests to tie the FSM back to Table I.
+codec::BlockClass plan_class(HalfPlan a, HalfPlan b);
+
+}  // namespace nc::decomp

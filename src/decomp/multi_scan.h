@@ -1,0 +1,53 @@
+// Multiple-scan-chain decompression architectures (Fig. 3 / Fig. 4).
+//
+// (b) Single-pin multi-scan: one decoder drives an m-bit staging shifter;
+//     every m decoded bits parallel-load into the m chains. Test time
+//     matches the single-scan decoder; the ATE needs ONE pin instead of m.
+// (c) Banked: m/K decoders, each with its own ATE pin, drive K chains each
+//     through a K-bit shifter. The decoders run in parallel, cutting test
+//     time by up to m/K at the price of m/K pins and decoder copies.
+//
+// TD is sliced "vertically" (TestSet::flatten_sliced): consecutive stream
+// bits go to consecutive chains.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "codec/nine_coded.h"
+#include "decomp/single_scan.h"
+
+namespace nc::decomp {
+
+/// Result of running one multi-scan architecture on one test set.
+struct ArchitectureReport {
+  std::string name;
+  std::size_t ate_pins = 0;      // test data pins required
+  std::size_t decoders = 0;      // on-chip decoder instances
+  std::size_t chains = 0;        // scan chains driven
+  std::size_t soc_cycles = 0;    // test application time, SoC cycles
+  std::size_t encoded_bits = 0;  // |TE| summed over pins
+  double compression_ratio = 0.0;
+  /// Per-chain scan contents, for correctness checks against TD.
+  std::vector<bits::TritVector> chain_streams;
+};
+
+/// Fig. 4(a): the single-scan reference (1 pin, 1 decoder, 1 chain).
+ArchitectureReport run_single_scan(const bits::TestSet& td,
+                                   const codec::NineCoded& coder, unsigned p);
+
+/// Fig. 3 / 4(b): m chains, one pin, one decoder + m-bit staging shifter.
+ArchitectureReport run_multi_scan_single_pin(const bits::TestSet& td,
+                                             std::size_t chains,
+                                             const codec::NineCoded& coder,
+                                             unsigned p);
+
+/// Fig. 4(c): m chains, m/K pins, m/K decoders working in parallel (K =
+/// coder.block_size(); `chains` must be a multiple of it).
+ArchitectureReport run_multi_scan_banked(const bits::TestSet& td,
+                                         std::size_t chains,
+                                         const codec::NineCoded& coder,
+                                         unsigned p);
+
+}  // namespace nc::decomp

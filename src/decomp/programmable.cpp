@@ -1,0 +1,80 @@
+#include "decomp/programmable.h"
+
+#include <stdexcept>
+
+#include "bits/bitstream.h"
+
+namespace nc::decomp {
+
+using bits::Trit;
+using bits::TritVector;
+using codec::BlockClass;
+
+ProgrammableDecoder::ProgrammableDecoder(std::size_t block_size,
+                                         codec::CodewordTable table,
+                                         unsigned p)
+    : k_(block_size), table_(table), p_(p) {
+  if (k_ < 2 || k_ % 2 != 0)
+    throw std::invalid_argument("decoder block size K must be even and >= 2");
+  if (p_ < 1) throw std::invalid_argument("clock ratio p must be >= 1");
+}
+
+DecoderTrace ProgrammableDecoder::run(const TritVector& te,
+                                      std::size_t original_bits) const {
+  DecoderTrace trace;
+  bits::TritReader in(te);
+  const std::size_t half = k_ / 2;
+
+  auto fill_half = [&](bool value) {
+    trace.scan_stream.append_run(half, bits::trit_from_bit(value));
+    trace.soc_cycles += half;
+  };
+  auto data_half = [&] {
+    trace.scan_stream.append(in.next_trits(half));
+    trace.ate_cycles += half;
+    trace.soc_cycles += half * p_;
+  };
+
+  while (trace.scan_stream.size() < original_bits) {
+    const std::size_t before = in.position();
+    const BlockClass cls = table_.match(in);
+    const std::size_t codeword_bits = in.position() - before;
+    trace.ate_cycles += codeword_bits;
+    trace.soc_cycles += codeword_bits * p_;
+    ++trace.codewords;
+
+    switch (cls) {
+      case BlockClass::kC1:
+      case BlockClass::kC2:
+      case BlockClass::kC3:
+      case BlockClass::kC4: {
+        const auto fill = codec::uniform_fill(cls);
+        fill_half(fill[0]);
+        fill_half(fill[1]);
+        break;
+      }
+      case BlockClass::kC5:
+      case BlockClass::kC6:
+      case BlockClass::kC7:
+      case BlockClass::kC8: {
+        const codec::MixedShape shape = codec::mixed_shape(cls);
+        if (shape.mismatch_is_left) {
+          data_half();
+          fill_half(shape.uniform_value);
+        } else {
+          fill_half(shape.uniform_value);
+          data_half();
+        }
+        break;
+      }
+      case BlockClass::kC9:
+        data_half();
+        data_half();
+        break;
+    }
+  }
+  trace.scan_stream.resize(original_bits);
+  return trace;
+}
+
+}  // namespace nc::decomp

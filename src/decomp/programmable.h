@@ -1,0 +1,32 @@
+// Table-driven variant of the single-scan decompressor.
+//
+// Table VII's frequency-directed coding rewires the codeword-recognition
+// tree per test set; the hardware realization is the generic code FSM of
+// nc::synth::synthesize_code_fsm. This model simulates that decoder for ANY
+// 9C codeword table with the same dual-clock cycle accounting as
+// SingleScanDecoder, so the TAT analysis extends to re-assigned codes.
+#pragma once
+
+#include "codec/codeword_table.h"
+#include "decomp/single_scan.h"
+
+namespace nc::decomp {
+
+class ProgrammableDecoder {
+ public:
+  ProgrammableDecoder(std::size_t block_size, codec::CodewordTable table,
+                      unsigned p);
+
+  /// Same contract as SingleScanDecoder::run.
+  DecoderTrace run(const bits::TritVector& te,
+                   std::size_t original_bits) const;
+
+  const codec::CodewordTable& table() const noexcept { return table_; }
+
+ private:
+  std::size_t k_;
+  codec::CodewordTable table_;
+  unsigned p_;
+};
+
+}  // namespace nc::decomp

@@ -1,0 +1,89 @@
+#include "decomp/single_scan.h"
+
+#include <stdexcept>
+
+#include "bits/bitstream.h"
+
+namespace nc::decomp {
+
+using bits::Trit;
+using bits::TritVector;
+
+SingleScanDecoder::SingleScanDecoder(std::size_t block_size, unsigned p)
+    : k_(block_size), p_(p) {
+  if (k_ < 2 || k_ % 2 != 0)
+    throw std::invalid_argument("decoder block size K must be even and >= 2");
+  if (p_ < 1) throw std::invalid_argument("clock ratio p must be >= 1");
+}
+
+DecoderTrace SingleScanDecoder::run(const TritVector& te,
+                                    std::size_t original_bits) const {
+  DecoderTrace trace;
+  bits::TritReader in(te);
+  const std::size_t half = k_ / 2;
+
+  FsmState state = FsmState::kIdle;
+  HalfPlan plan_a = HalfPlan::kFill0;
+  HalfPlan plan_b = HalfPlan::kFill0;
+
+  auto stream_half = [&](HalfPlan plan) {
+    // kHalfA/kHalfB: the counter walks K/2 positions; each position costs
+    // one SoC cycle for locally generated fill or one ATE cycle (= p SoC
+    // cycles) for a bit streamed from the tester through the shifter.
+    for (std::size_t i = 0; i < half; ++i) {
+      switch (plan) {
+        case HalfPlan::kFill0:
+          trace.scan_stream.push_back(Trit::Zero);
+          trace.soc_cycles += 1;
+          break;
+        case HalfPlan::kFill1:
+          trace.scan_stream.push_back(Trit::One);
+          trace.soc_cycles += 1;
+          break;
+        case HalfPlan::kData:
+          trace.scan_stream.push_back(in.next());
+          trace.ate_cycles += 1;
+          trace.soc_cycles += p_;
+          break;
+      }
+    }
+  };
+
+  // Whole blocks only: the decoder always finishes the block in flight
+  // (the encoder padded TD to a block boundary), then the tail is trimmed.
+  while (trace.scan_stream.size() < original_bits ||
+         state != FsmState::kIdle) {
+    switch (state) {
+      case FsmState::kHalfA:
+        stream_half(plan_a);
+        state = fsm_step(state, false, /*done=*/true).next;
+        break;
+      case FsmState::kHalfB:
+        stream_half(plan_b);
+        state = fsm_step(state, false, /*done=*/true).next;
+        break;
+      case FsmState::kAck:
+        // Handshake overlaps the next codeword fetch; no extra cycles in
+        // the paper's model.
+        state = fsm_step(state, false, false).next;
+        break;
+      default: {  // recognition states consume one ATE bit each
+        const bool bit = in.next_bit();
+        trace.ate_cycles += 1;
+        trace.soc_cycles += p_;
+        const FsmStep step = fsm_step(state, bit, false);
+        if (step.recognized) {
+          plan_a = step.plan_a;
+          plan_b = step.plan_b;
+          ++trace.codewords;
+        }
+        state = step.next;
+        break;
+      }
+    }
+  }
+  trace.scan_stream.resize(original_bits);
+  return trace;
+}
+
+}  // namespace nc::decomp

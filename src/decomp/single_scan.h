@@ -1,0 +1,47 @@
+// Cycle-accurate model of the single-scan-chain decompressor (Fig. 1):
+// FSM (Fig. 2) + log2(K/2) counter + K/2-bit shifter + 3-way MUX.
+//
+// The model is bit-serial and dual-clock: FSM recognition and mismatch
+// payload streaming consume ATE cycles; uniform-half shifting consumes SoC
+// cycles (f_scan = p * f_ate). The returned trace carries both clock-domain
+// totals plus the exact stream that entered the scan chain, so tests can
+// assert (a) data correctness against the software decoder and (b) cycle
+// counts against the analytic model in timing.h.
+#pragma once
+
+#include <cstddef>
+
+#include "bits/trit_vector.h"
+#include "decomp/decoder_fsm.h"
+
+namespace nc::decomp {
+
+struct DecoderTrace {
+  std::size_t ate_cycles = 0;  // cycles of the ATE clock consumed
+  std::size_t soc_cycles = 0;  // total elapsed time, in SoC cycles
+  std::size_t codewords = 0;   // codewords recognized
+  bits::TritVector scan_stream;  // bits shifted into the chain, in order
+};
+
+class SingleScanDecoder {
+ public:
+  /// `block_size` is K (even, >= 2); `p` = f_scan / f_ate >= 1. The decoder
+  /// hardware is independent of the test set; only K sizes the counter and
+  /// shifter.
+  SingleScanDecoder(std::size_t block_size, unsigned p);
+
+  /// Decompresses TE until at least `original_bits` scan bits have been
+  /// produced (whole blocks; the scan_stream is then truncated to
+  /// `original_bits`, mirroring how the tail pad never leaves the chain).
+  DecoderTrace run(const bits::TritVector& te,
+                   std::size_t original_bits) const;
+
+  std::size_t block_size() const noexcept { return k_; }
+  unsigned p() const noexcept { return p_; }
+
+ private:
+  std::size_t k_;
+  unsigned p_;
+};
+
+}  // namespace nc::decomp

@@ -1,0 +1,33 @@
+#include "decomp/timing.h"
+
+namespace nc::decomp {
+
+std::size_t comp_soc_cycles(const codec::NineCodedStats& stats,
+                            const codec::CodewordTable& table, unsigned p) {
+  const std::size_t k = stats.block_size;
+  std::size_t cycles = 0;
+  for (std::size_t c = 0; c < codec::kNumClasses; ++c) {
+    const auto cls = static_cast<codec::BlockClass>(c);
+    const std::size_t n = stats.counts[c];
+    if (n == 0) continue;
+    // Codeword bits arrive at ATE rate.
+    std::size_t per_block = table.length(cls) * p;
+    // Halves: uniform at SoC rate, mismatch at ATE rate.
+    const std::size_t mismatch = codec::payload_trits(cls, k);
+    per_block += mismatch * p;        // transmitted bits
+    per_block += (k - mismatch);      // locally generated bits
+    cycles += n * per_block;
+  }
+  return cycles;
+}
+
+double tat_percent(const codec::NineCodedStats& stats,
+                   const codec::CodewordTable& table, unsigned p) {
+  const double t_no =
+      static_cast<double>(nocomp_soc_cycles(stats.original_bits, p));
+  if (t_no == 0.0) return 0.0;
+  const double t_c = static_cast<double>(comp_soc_cycles(stats, table, p));
+  return 100.0 * (t_no - t_c) / t_no;
+}
+
+}  // namespace nc::decomp

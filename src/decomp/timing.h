@@ -1,0 +1,37 @@
+// Test-application-time model of Section III-C.
+//
+// Two clock domains: the ATE drives codeword and mismatch-payload bits at
+// f_ate; the SoC shifts scan chains at f_scan = p * f_ate. All times here
+// are counted in SoC cycles (one ATE bit therefore costs p SoC cycles):
+//
+//   uncompressed:  t_nocomp = |TD| ATE bits              = |TD| * p
+//   per codeword:  |C_i| ATE bits                        = |C_i| * p
+//   uniform half:  K/2 bits shifted at SoC rate          = K/2
+//   mismatch half: K/2 bits streamed from the ATE        = K/2 * p
+//
+// which reproduces the paper's t_1 ... t_9 expressions, and
+// TAT% = (t_nocomp - t_comp) / t_nocomp -> CR% as p grows.
+#pragma once
+
+#include <cstddef>
+
+#include "codec/codeword_table.h"
+#include "codec/nine_coded.h"
+
+namespace nc::decomp {
+
+/// SoC cycles to apply the uncompressed TD straight from the ATE.
+inline std::size_t nocomp_soc_cycles(std::size_t td_bits, unsigned p) {
+  return td_bits * p;
+}
+
+/// SoC cycles to apply the 9C-compressed stream described by `stats`
+/// (encoded with `table`) through the single-scan decoder.
+std::size_t comp_soc_cycles(const codec::NineCodedStats& stats,
+                            const codec::CodewordTable& table, unsigned p);
+
+/// TAT% = (t_nocomp - t_comp) / t_nocomp * 100.
+double tat_percent(const codec::NineCodedStats& stats,
+                   const codec::CodewordTable& table, unsigned p);
+
+}  // namespace nc::decomp

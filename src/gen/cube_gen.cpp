@@ -1,0 +1,73 @@
+#include "gen/cube_gen.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace nc::gen {
+
+using bits::TestSet;
+using bits::Trit;
+
+bits::TestSet generate_cubes(const CubeGenConfig& config) {
+  if (config.patterns == 0 || config.width == 0)
+    throw std::invalid_argument("cube set must be non-empty");
+  if (config.x_fraction < 0.0 || config.x_fraction >= 1.0)
+    throw std::invalid_argument("x_fraction must be in [0, 1)");
+  if (config.cluster_len_mean < 1.0)
+    throw std::invalid_argument("cluster_len_mean must be >= 1");
+  for (double p : {config.zero_bias, config.run_correlation})
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument("probability out of [0, 1]");
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  // Mean gap length that yields the requested X fraction given the cluster
+  // mean: x = gap / (gap + cluster).
+  const double gap_mean =
+      config.x_fraction <= 0.0
+          ? 0.0
+          : config.cluster_len_mean * config.x_fraction /
+                (1.0 - config.x_fraction);
+  // std::geometric_distribution(p) has support {0,1,...} and mean (1-p)/p,
+  // so p = 1/(mean+1) gives the requested mean.
+  auto geometric = [&](double mean) -> std::size_t {
+    if (mean <= 0.0) return 0;
+    const double p = 1.0 / (mean + 1.0);
+    return std::geometric_distribution<std::size_t>(p)(rng);
+  };
+
+  TestSet ts(config.patterns, config.width);
+  for (std::size_t row = 0; row < config.patterns; ++row) {
+    std::size_t col = 0;
+    // Random phase: start either in a gap or in a cluster.
+    bool in_gap = uni(rng) < config.x_fraction;
+    while (col < config.width) {
+      if (in_gap) {
+        col += geometric(gap_mean);  // gaps may be empty
+      } else {
+        // Clusters are at least one bit: mean len = 1 + (mean - 1).
+        std::size_t len = 1 + geometric(config.cluster_len_mean - 1.0);
+        bool value = uni(rng) >= config.zero_bias;  // true == 1
+        while (len-- > 0 && col < config.width) {
+          ts.set(row, col++, bits::trit_from_bit(value));
+          if (uni(rng) >= config.run_correlation) value = !value;
+        }
+      }
+      in_gap = !in_gap;
+    }
+  }
+  return ts;
+}
+
+bits::TestSet calibrated_cubes(const BenchmarkProfile& profile,
+                               std::uint64_t seed) {
+  CubeGenConfig config;
+  config.patterns = profile.patterns;
+  config.width = profile.width;
+  config.x_fraction = profile.x_fraction;
+  config.seed = seed;
+  return generate_cubes(config);
+}
+
+}  // namespace nc::gen

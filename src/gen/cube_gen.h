@@ -1,0 +1,41 @@
+// Synthetic test-cube generator calibrated to real ATPG statistics.
+//
+// Real compacted test cubes are not uniform noise: care bits cluster (a
+// fault's activation/propagation conditions touch neighbouring scan cells),
+// clusters are 0-heavy, and consecutive care bits repeat in runs. All three
+// properties matter to run-length- and block-based compression codes, so the
+// generator models them explicitly:
+//
+//   row := alternating X-gaps and care-clusters
+//   gap length     ~ geometric, mean chosen to hit the target X fraction
+//   cluster length ~ geometric(cluster_len_mean)
+//   care values    ~ first bit Bernoulli(zero_bias) toward 0, following bits
+//                    repeat the previous value with prob run_correlation
+#pragma once
+
+#include <cstdint>
+
+#include "bits/test_set.h"
+#include "gen/profiles.h"
+
+namespace nc::gen {
+
+struct CubeGenConfig {
+  std::size_t patterns = 100;
+  std::size_t width = 500;
+  double x_fraction = 0.8;       // target fraction of X bits
+  double cluster_len_mean = 6.0; // mean care-cluster length
+  double zero_bias = 0.65;       // P(care bit == 0) when starting a run
+  double run_correlation = 0.7;  // P(care bit repeats its predecessor)
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic for a given config. Throws std::invalid_argument for
+/// out-of-range probabilities or a zero-sized set.
+bits::TestSet generate_cubes(const CubeGenConfig& config);
+
+/// Test set with a published profile's dimensions and X density.
+bits::TestSet calibrated_cubes(const BenchmarkProfile& profile,
+                               std::uint64_t seed = 1);
+
+}  // namespace nc::gen

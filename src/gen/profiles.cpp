@@ -1,0 +1,38 @@
+#include "gen/profiles.h"
+
+#include <stdexcept>
+
+namespace nc::gen {
+
+const std::vector<BenchmarkProfile>& iscas89_profiles() {
+  // Pattern counts and scan widths are the MinTest values quoted throughout
+  // the test-compression literature (Chandra & Chakrabarty, TCAD 2001/2003);
+  // X densities are the commonly reported fractions for those test sets.
+  static const std::vector<BenchmarkProfile> profiles = {
+      {"s5378", 111, 214, 0.726},
+      {"s9234", 159, 247, 0.730},
+      {"s13207", 236, 700, 0.932},
+      {"s15850", 126, 611, 0.836},
+      {"s38417", 99, 1664, 0.681},
+      {"s38584", 136, 1464, 0.823},
+  };
+  return profiles;
+}
+
+const BenchmarkProfile& iscas89_profile(const std::string& name) {
+  for (const BenchmarkProfile& p : iscas89_profiles())
+    if (p.name == name) return p;
+  throw std::out_of_range("unknown ISCAS'89 profile: " + name);
+}
+
+const std::vector<BenchmarkProfile>& ibm_profiles() {
+  static const std::vector<BenchmarkProfile> profiles = {
+      // CKT1: multi-Mbit, extremely X-dominated (big designs specify a tiny
+      // fraction of scan cells per pattern). CKT2: roughly half the volume.
+      {"CKT1", 1024, 8192, 0.975},
+      {"CKT2", 1024, 4096, 0.950},
+  };
+  return profiles;
+}
+
+}  // namespace nc::gen

@@ -1,0 +1,38 @@
+// Published dimensions of the precomputed test sets the paper evaluates on.
+//
+// The authors use the MinTest compacted test cubes for six ISCAS'89 circuits
+// and two proprietary IBM test sets. Neither is redistributable, so this
+// library records the *published* dimensions and don't-care densities and
+// pairs them with `generate_cubes` to synthesize test sets with the same
+// statistical structure (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nc::gen {
+
+struct BenchmarkProfile {
+  std::string name;
+  std::size_t patterns = 0;
+  std::size_t width = 0;      // scan cells per pattern
+  double x_fraction = 0.0;    // published don't-care density of TD
+
+  std::size_t total_bits() const noexcept { return patterns * width; }
+};
+
+/// The six MinTest ISCAS'89 test sets used in Tables II-VII:
+/// s5378 (111x214), s9234 (159x247), s13207 (236x700), s15850 (126x611),
+/// s38417 (99x1664), s38584 (136x1464), with their published X densities.
+const std::vector<BenchmarkProfile>& iscas89_profiles();
+
+/// Lookup by circuit name; throws std::out_of_range when unknown.
+const BenchmarkProfile& iscas89_profile(const std::string& name);
+
+/// Stand-ins for the two large IBM test sets of Table VIII (CKT1 ~ tens of
+/// Mbit, CKT2 smaller, both X-dominated). Sizes are scaled to what a
+/// single-core reproduction sweeps in seconds while preserving the
+/// volume ratio and the very high X density that drive the table's shape.
+const std::vector<BenchmarkProfile>& ibm_profiles();
+
+}  // namespace nc::gen

@@ -1,0 +1,71 @@
+#include "power/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace nc::power {
+
+std::size_t weighted_transitions(const bits::TritVector& pattern) {
+  const std::size_t len = pattern.size();
+  std::size_t wtm = 0;
+  for (std::size_t j = 0; j + 1 < len; ++j) {
+    const bits::Trit a = pattern.get(j);
+    const bits::Trit b = pattern.get(j + 1);
+    if (!bits::is_care(a) || !bits::is_care(b))
+      throw std::invalid_argument("WTM needs a fully specified pattern");
+    if (a != b) wtm += len - 1 - j;
+  }
+  return wtm;
+}
+
+std::size_t total_weighted_transitions(const bits::TestSet& patterns) {
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p)
+    total += weighted_transitions(patterns.pattern(p));
+  return total;
+}
+
+std::size_t transition_count(const bits::TritVector& pattern) {
+  std::size_t n = 0;
+  for (std::size_t j = 0; j + 1 < pattern.size(); ++j)
+    if (bits::is_care(pattern.get(j)) && bits::is_care(pattern.get(j + 1)) &&
+        pattern.get(j) != pattern.get(j + 1))
+      ++n;
+  return n;
+}
+
+std::vector<std::size_t> shift_power_profile(const bits::TritVector& pattern) {
+  const std::size_t len = pattern.size();
+  // Chain state, cell 0 nearest the scan input; starts all zero.
+  std::vector<bool> chain(len, false);
+  std::vector<std::size_t> profile(len, 0);
+  for (std::size_t cycle = 0; cycle < len; ++cycle) {
+    // Bits enter first-shifted-first: pattern bit `cycle` enters at cell 0
+    // and everything already in the chain moves one cell deeper.
+    const bits::Trit t = pattern.get(cycle);
+    if (!bits::is_care(t))
+      throw std::invalid_argument(
+          "shift power needs a fully specified pattern");
+    std::size_t toggles = 0;
+    bool incoming = t == bits::Trit::One;
+    for (std::size_t c = 0; c < len; ++c) {
+      const bool old = chain[c];  // vector<bool> proxies do not std::swap
+      if (old != incoming) ++toggles;
+      chain[c] = incoming;
+      incoming = old;
+    }
+    profile[cycle] = toggles;
+  }
+  return profile;
+}
+
+std::size_t peak_shift_power(const bits::TestSet& patterns) {
+  std::size_t peak = 0;
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p)
+    for (std::size_t t : shift_power_profile(patterns.pattern(p)))
+      peak = std::max(peak, t);
+  return peak;
+}
+
+}  // namespace nc::power

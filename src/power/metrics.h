@@ -1,0 +1,39 @@
+// Scan-in power metrics.
+//
+// The standard weighted-transitions metric (WTM): a transition between scan
+// cells j and j+1 of an L-cell pattern is shifted through L-1-j cells, so it
+// costs proportionally more the earlier it enters the chain:
+//
+//   WTM(pattern) = sum_{j=0}^{L-2} (b_j != b_{j+1}) * (L - 1 - j)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "bits/trit_vector.h"
+
+namespace nc::power {
+
+/// WTM of one fully specified pattern; throws std::invalid_argument if the
+/// pattern still contains X.
+std::size_t weighted_transitions(const bits::TritVector& pattern);
+
+/// Sum of WTM over all patterns of a fully specified test set.
+std::size_t total_weighted_transitions(const bits::TestSet& patterns);
+
+/// Plain (unweighted) transition count of one pattern.
+std::size_t transition_count(const bits::TritVector& pattern);
+
+/// Per-shift-cycle switching activity of scanning one pattern into an
+/// initially all-zero chain of `pattern.size()` cells: entry c is the number
+/// of scan cells that toggle on shift cycle c (cycle 0 shifts in the first
+/// bit). Peak power is the maximum entry; the sum is the total cell-toggle
+/// count. Requires a fully specified pattern.
+std::vector<std::size_t> shift_power_profile(const bits::TritVector& pattern);
+
+/// Highest single-cycle toggle count while scanning the whole set in
+/// (chains reset to zero between patterns -- the conservative model).
+std::size_t peak_shift_power(const bits::TestSet& patterns);
+
+}  // namespace nc::power

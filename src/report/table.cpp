@@ -1,0 +1,75 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nc::report {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(std::size_t v) { return add(std::to_string(v)); }
+
+Table& Table::add_signed(long long v) { return add(std::to_string(v)); }
+
+Table& Table::add(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return add(os.str());
+}
+
+Table& Table::separator() {
+  separators_.push_back(rows_.size());
+  return *this;
+}
+
+void Table::print(std::ostream& out) const { out << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    if (r.size() > widths.size()) widths.resize(r.size(), 0);
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::size_t total = widths.empty() ? 0 : 2 * widths.size();
+  for (auto w : widths) total += w;
+
+  std::ostringstream os;
+  const std::string rule(std::max(total, title_.size()), '-');
+  os << title_ << '\n' << rule << '\n';
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << r[c];
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit_row(header_);
+    os << rule << '\n';
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) !=
+        separators_.end())
+      os << rule << '\n';
+    emit_row(rows_[i]);
+  }
+  os << rule << '\n';
+  return os.str();
+}
+
+}  // namespace nc::report

@@ -1,0 +1,42 @@
+// Fixed-width text table printer used by the bench binaries to emit
+// paper-style tables (Table II ... Table VIII).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nc::report {
+
+/// Column-aligned table with a title row and a header row. Cells are
+/// preformatted strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent `add*` calls append cells to it.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(const char* cell) { return add(std::string(cell)); }
+  Table& add(std::size_t v);
+  Table& add_signed(long long v);
+  /// Fixed-point with `digits` decimals (paper tables use 1-2).
+  Table& add(double v, int digits = 2);
+
+  /// Appends a rule line followed by a row (used for the "Avg" row).
+  Table& separator();
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+}  // namespace nc::report

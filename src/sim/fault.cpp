@@ -1,0 +1,131 @@
+#include "sim/fault.h"
+
+#include <map>
+#include <numeric>
+
+namespace nc::sim {
+
+using circuit::GateType;
+using circuit::Netlist;
+
+std::string Fault::to_string(const Netlist& netlist) const {
+  std::string s = netlist.gate(node).name;
+  if (!is_stem())
+    s += "->" + netlist.gate(consumer).name + "." + std::to_string(pin);
+  s += stuck_value ? " s-a-1" : " s-a-0";
+  return s;
+}
+
+std::vector<std::size_t> fanout_counts(const Netlist& netlist) {
+  std::vector<std::size_t> counts(netlist.size(), 0);
+  for (std::size_t g = 0; g < netlist.size(); ++g)
+    for (std::size_t f : netlist.gate(g).fanins) ++counts[f];
+  for (std::size_t o : netlist.outputs()) ++counts[o];
+  return counts;
+}
+
+std::vector<Fault> full_fault_list(const Netlist& netlist) {
+  const std::vector<std::size_t> fanout = fanout_counts(netlist);
+  std::vector<Fault> faults;
+  for (std::size_t n = 0; n < netlist.size(); ++n) {
+    for (bool sv : {false, true})
+      faults.push_back(Fault{n, Netlist::npos, 0, sv});
+  }
+  for (std::size_t g = 0; g < netlist.size(); ++g) {
+    const circuit::Gate& gate = netlist.gate(g);
+    for (std::size_t p = 0; p < gate.fanins.size(); ++p) {
+      if (fanout[gate.fanins[p]] <= 1) continue;  // same line as the stem
+      for (bool sv : {false, true})
+        faults.push_back(Fault{gate.fanins[p], g, p, sv});
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+/// Union-find over fault ids.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void merge(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Fault> collapsed_fault_list(const Netlist& netlist) {
+  const std::vector<Fault> faults = full_fault_list(netlist);
+  const std::vector<std::size_t> fanout = fanout_counts(netlist);
+
+  // Key: (node, consumer, pin, sv) -> fault id.
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t, bool>,
+           std::size_t>
+      id_of;
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    id_of[{faults[i].node, faults[i].consumer, faults[i].pin,
+           faults[i].stuck_value}] = i;
+
+  auto line_fault_id = [&](std::size_t gate, std::size_t pin,
+                           bool sv) -> std::size_t {
+    const std::size_t src = netlist.gate(gate).fanins[pin];
+    if (fanout[src] > 1) return id_of.at({src, gate, pin, sv});
+    return id_of.at({src, Netlist::npos, 0, sv});
+  };
+  auto stem_fault_id = [&](std::size_t node, bool sv) {
+    return id_of.at({node, Netlist::npos, 0, sv});
+  };
+
+  DisjointSet ds(faults.size());
+  for (std::size_t g = 0; g < netlist.size(); ++g) {
+    const circuit::Gate& gate = netlist.gate(g);
+    switch (gate.type) {
+      case GateType::kAnd:
+      case GateType::kNand: {
+        // Input s-a-0 is equivalent to output s-a-(0 ^ inverting).
+        const bool out_sv = gate.type == GateType::kNand;
+        for (std::size_t p = 0; p < gate.fanins.size(); ++p)
+          ds.merge(line_fault_id(g, p, false), stem_fault_id(g, out_sv));
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool out_sv = gate.type != GateType::kNor;
+        for (std::size_t p = 0; p < gate.fanins.size(); ++p)
+          ds.merge(line_fault_id(g, p, true), stem_fault_id(g, out_sv));
+        break;
+      }
+      case GateType::kBuf:
+        ds.merge(line_fault_id(g, 0, false), stem_fault_id(g, false));
+        ds.merge(line_fault_id(g, 0, true), stem_fault_id(g, true));
+        break;
+      case GateType::kNot:
+        ds.merge(line_fault_id(g, 0, false), stem_fault_id(g, true));
+        ds.merge(line_fault_id(g, 0, true), stem_fault_id(g, false));
+        break;
+      default:
+        // XOR/XNOR have no stuck-at equivalences; DFFs separate time frames
+        // in full-scan testing, so no collapsing across them either.
+        break;
+    }
+  }
+
+  std::vector<Fault> collapsed;
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (ds.find(i) == i) collapsed.push_back(faults[i]);
+  return collapsed;
+}
+
+}  // namespace nc::sim

@@ -1,0 +1,49 @@
+// Single-stuck-at fault model with structural equivalence collapsing.
+//
+// Faults live on *lines*. A node's output stem carries one pair of faults
+// (s-a-0 / s-a-1). Where a node fans out to several consumers, each branch
+// (consumer gate, input pin) carries its own pair; a single-fanout
+// connection is the same line as the stem and gets no separate faults.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace nc::sim {
+
+struct Fault {
+  /// Node driving the faulted line.
+  std::size_t node = 0;
+  /// Consuming gate for a branch fault, Netlist::npos for a stem fault.
+  std::size_t consumer = circuit::Netlist::npos;
+  /// Input pin of `consumer` (valid only for branch faults).
+  std::size_t pin = 0;
+  bool stuck_value = false;
+
+  bool is_stem() const noexcept {
+    return consumer == circuit::Netlist::npos;
+  }
+  bool operator==(const Fault&) const = default;
+
+  /// "G10 s-a-1" or "G10->G14.0 s-a-0".
+  std::string to_string(const circuit::Netlist& netlist) const;
+};
+
+/// Full (uncollapsed) single-stuck-at list: stems for every node plus
+/// branches for every multi-fanout connection.
+std::vector<Fault> full_fault_list(const circuit::Netlist& netlist);
+
+/// Equivalence-collapsed list (classic rules: the controlled input fault of
+/// an AND/OR/NAND/NOR collapses into the output fault; NOT/BUF/DFF input
+/// faults collapse into inverted/equal output faults). One representative
+/// per equivalence class, chosen closest to the primary inputs.
+std::vector<Fault> collapsed_fault_list(const circuit::Netlist& netlist);
+
+/// Fanout count of every node (how many gate input pins + DFF data pins +
+/// PO observations consume it). Used by collapsing and by ATPG.
+std::vector<std::size_t> fanout_counts(const circuit::Netlist& netlist);
+
+}  // namespace nc::sim

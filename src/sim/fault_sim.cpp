@@ -1,0 +1,69 @@
+#include "sim/fault_sim.h"
+
+#include <bit>
+
+namespace nc::sim {
+
+using circuit::Netlist;
+
+std::size_t FaultSimResult::detected_count() const noexcept {
+  std::size_t n = 0;
+  for (bool d : detected) n += d ? 1 : 0;
+  return n;
+}
+
+double FaultSimResult::coverage_percent() const noexcept {
+  if (detected.empty()) return 0.0;
+  return 100.0 * static_cast<double>(detected_count()) /
+         static_cast<double>(detected.size());
+}
+
+FaultSimResult FaultSimulator::run(const bits::TestSet& patterns,
+                                   const std::vector<Fault>& faults) {
+  FaultSimResult result;
+  result.detected.assign(faults.size(), false);
+  result.first_detecting_pattern.assign(faults.size(), Netlist::npos);
+
+  for (std::size_t first = 0; first < patterns.pattern_count(); first += 64) {
+    const std::size_t loaded = sim_.load(patterns, first);
+    sim_.run();
+    const std::vector<Val64> good = sim_.values();
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (result.detected[f]) continue;
+      const Fault& fault = faults[f];
+      sim_.run_with_fault(fault.node, fault.consumer, fault.pin,
+                          fault.stuck_value);
+      const std::uint64_t mask = sim_.diff_mask(good);
+      if (mask != 0) {
+        result.detected[f] = true;
+        result.first_detecting_pattern[f] =
+            first + static_cast<std::size_t>(std::countr_zero(mask));
+      }
+    }
+    if (loaded < 64) break;
+  }
+  return result;
+}
+
+std::size_t FaultSimulator::drop_detected(const bits::TritVector& pattern,
+                                          const std::vector<Fault>& faults,
+                                          std::vector<bool>& alive) {
+  bits::TestSet ts(1, pattern.size());
+  ts.set_pattern(0, pattern);
+  sim_.load(ts, 0);
+  sim_.run();
+  const std::vector<Val64> good = sim_.values();
+  std::size_t dropped = 0;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (!alive[f]) continue;
+    sim_.run_with_fault(faults[f].node, faults[f].consumer, faults[f].pin,
+                        faults[f].stuck_value);
+    if (sim_.diff_mask(good) != 0) {
+      alive[f] = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace nc::sim

@@ -1,0 +1,51 @@
+// Parallel-pattern single-fault stuck-at fault simulator.
+//
+// Three-valued detection semantics: a pattern detects a fault iff some
+// observable line (PO or scan-capture PPO) is provably different -- both
+// machines specified, opposite values. X in either machine never counts,
+// which matches how a tester compares against expected responses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "circuit/netlist.h"
+#include "sim/fault.h"
+#include "sim/logic_sim.h"
+
+namespace nc::sim {
+
+struct FaultSimResult {
+  /// Per input fault: was it detected by any pattern?
+  std::vector<bool> detected;
+  /// First detecting pattern index, or npos if undetected.
+  std::vector<std::size_t> first_detecting_pattern;
+
+  std::size_t detected_count() const noexcept;
+  double coverage_percent() const noexcept;
+};
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const circuit::Netlist& netlist)
+      : netlist_(&netlist), sim_(netlist) {}
+
+  /// Simulates all patterns against all faults (64 patterns per pass,
+  /// dropping faults once detected).
+  FaultSimResult run(const bits::TestSet& patterns,
+                     const std::vector<Fault>& faults);
+
+  /// Marks in `alive` (same indexing as `faults`) every fault detected by
+  /// the single `pattern`, clearing its bit. Returns how many were dropped.
+  /// Used by ATPG for on-the-fly fault dropping.
+  std::size_t drop_detected(const bits::TritVector& pattern,
+                            const std::vector<Fault>& faults,
+                            std::vector<bool>& alive);
+
+ private:
+  const circuit::Netlist* netlist_;
+  ParallelSim sim_;
+};
+
+}  // namespace nc::sim

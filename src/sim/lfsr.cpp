@@ -1,0 +1,59 @@
+#include "sim/lfsr.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace nc::sim {
+
+Lfsr::Lfsr(unsigned width, std::uint64_t taps, std::uint64_t seed)
+    : width_(width),
+      taps_(taps),
+      mask_(width == 64 ? ~0ull : (1ull << width) - 1),
+      state_(seed & mask_) {
+  if (width_ < 2 || width_ > 64)
+    throw std::invalid_argument("LFSR width must be 2..64");
+  if ((taps_ & ~mask_) != 0)
+    throw std::invalid_argument("LFSR taps exceed width");
+  if ((taps_ & (1ull << (width_ - 1))) == 0)
+    throw std::invalid_argument("Galois LFSR mask must set the top bit");
+  if (state_ == 0)
+    throw std::invalid_argument("LFSR seed must be non-zero");
+}
+
+Lfsr Lfsr::standard(unsigned width, std::uint64_t seed) {
+  // Primitive polynomials for common widths; a serviceable dense default
+  // elsewhere (period is large even when not maximal).
+  std::uint64_t taps;
+  switch (width) {
+    case 4: taps = 0b1001; break;                       // x^4 + x + 1
+    case 8: taps = 0b10111000; break;                   // x^8+x^6+x^5+x^4+1
+    case 16: taps = 0xB400; break;                      // x^16+x^14+x^13+x^11+1
+    case 24: taps = 0xE10000; break;
+    case 32: taps = 0xA3000000; break;
+    default:
+      taps = (1ull << (width - 1)) | (1ull << (width / 2)) | 1ull;
+      break;
+  }
+  return Lfsr(width, taps, seed);
+}
+
+bool Lfsr::step() {
+  // Right-shift Galois form: the common tap-mask constants (0xB400 for
+  // width 16, etc.) are Galois masks, and a Galois LFSR never decays to the
+  // zero state from a non-zero seed.
+  const bool out = state_ & 1ull;
+  state_ >>= 1;
+  if (out) state_ ^= taps_;
+  return out;
+}
+
+bits::TestSet Lfsr::generate_patterns(std::size_t count,
+                                      std::size_t pattern_width) {
+  bits::TestSet ts(count, pattern_width);
+  for (std::size_t p = 0; p < count; ++p)
+    for (std::size_t c = 0; c < pattern_width; ++c)
+      ts.set(p, c, bits::trit_from_bit(step()));
+  return ts;
+}
+
+}  // namespace nc::sim

@@ -1,0 +1,44 @@
+// Linear-feedback shift register -- the pseudo-random pattern generator
+// behind the BIST context of the paper's introduction: on-chip LFSRs test
+// the easy faults cheaply, and the random-pattern-resistant remainder is
+// what deterministic (9C-compressed) top-up patterns must cover.
+#pragma once
+
+#include <cstdint>
+
+#include "bits/test_set.h"
+
+namespace nc::sim {
+
+/// Galois LFSR over GF(2): the state shifts right and XORs the tap mask
+/// whenever the output bit is 1. Never reaches the all-zero state from a
+/// non-zero seed.
+class Lfsr {
+ public:
+  /// `width` in [2, 64]; `taps` is the Galois feedback mask (the usual
+  /// right-shift constants, e.g. 0xB400 for width 16). The mask must set
+  /// the top bit; the all-zero seed is forbidden.
+  Lfsr(unsigned width, std::uint64_t taps, std::uint64_t seed = 1);
+
+  /// A maximal-or-near-maximal default polynomial per width.
+  static Lfsr standard(unsigned width, std::uint64_t seed = 1);
+
+  unsigned width() const noexcept { return width_; }
+  std::uint64_t state() const noexcept { return state_; }
+
+  /// Advances one cycle and returns the output bit (the bit shifted out).
+  bool step();
+
+  /// Generates `count` fully specified patterns of `pattern_width` bits by
+  /// clocking the LFSR continuously (the serial PRPG feeding a scan chain).
+  bits::TestSet generate_patterns(std::size_t count,
+                                  std::size_t pattern_width);
+
+ private:
+  unsigned width_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace nc::sim

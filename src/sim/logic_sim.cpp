@@ -1,0 +1,169 @@
+#include "sim/logic_sim.h"
+
+#include <stdexcept>
+
+namespace nc::sim {
+
+using bits::Trit;
+using circuit::GateType;
+using circuit::Netlist;
+
+namespace {
+
+Trit trit_of(const Val64& v, unsigned slot) noexcept {
+  if ((v.one >> slot) & 1u) return Trit::One;
+  if ((v.zero >> slot) & 1u) return Trit::Zero;
+  return Trit::X;
+}
+
+Val64 fold_and(const Val64& a, const Val64& b) noexcept {
+  return {a.one & b.one, a.zero | b.zero};
+}
+Val64 fold_or(const Val64& a, const Val64& b) noexcept {
+  return {a.one | b.one, a.zero & b.zero};
+}
+Val64 fold_xor(const Val64& a, const Val64& b) noexcept {
+  return {(a.one & b.zero) | (a.zero & b.one),
+          (a.zero & b.zero) | (a.one & b.one)};
+}
+
+}  // namespace
+
+ParallelSim::ParallelSim(const Netlist& netlist)
+    : netlist_(&netlist),
+      order_(netlist.levelize()),
+      values_(netlist.size()),
+      pattern_values_(netlist.pattern_width()) {}
+
+std::size_t ParallelSim::load(const bits::TestSet& ts, std::size_t first) {
+  if (ts.pattern_length() != netlist_->pattern_width())
+    throw std::invalid_argument("pattern width does not match circuit");
+  loaded_ = std::min<std::size_t>(64, ts.pattern_count() - first);
+  for (std::size_t col = 0; col < ts.pattern_length(); ++col) {
+    Val64 v = Val64::all_x();
+    for (std::size_t p = 0; p < loaded_; ++p) {
+      switch (ts.at(first + p, col)) {
+        case Trit::One: v.one |= 1ull << p; break;
+        case Trit::Zero: v.zero |= 1ull << p; break;
+        case Trit::X: break;
+      }
+    }
+    pattern_values_[col] = v;
+  }
+  return loaded_;
+}
+
+Val64 ParallelSim::eval_gate(std::size_t g, std::size_t fault_consumer,
+                             std::size_t fault_pin, const Val64& stuck) const {
+  const circuit::Gate& gate = netlist_->gate(g);
+  auto in = [&](std::size_t pin) {
+    if (g == fault_consumer && pin == fault_pin) return stuck;
+    return values_[gate.fanins[pin]];
+  };
+  switch (gate.type) {
+    case GateType::kBuf: return in(0);
+    case GateType::kNot: return in(0).inverted();
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Val64 acc = Val64::constant(true);
+      for (std::size_t p = 0; p < gate.fanins.size(); ++p)
+        acc = fold_and(acc, in(p));
+      return gate.type == GateType::kNand ? acc.inverted() : acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Val64 acc = Val64::constant(false);
+      for (std::size_t p = 0; p < gate.fanins.size(); ++p)
+        acc = fold_or(acc, in(p));
+      return gate.type == GateType::kNor ? acc.inverted() : acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Val64 acc = Val64::constant(false);
+      for (std::size_t p = 0; p < gate.fanins.size(); ++p)
+        acc = fold_xor(acc, in(p));
+      return gate.type == GateType::kXnor ? acc.inverted() : acc;
+    }
+    case GateType::kInput:
+    case GateType::kDff:
+      break;  // handled by caller
+  }
+  return Val64::all_x();
+}
+
+void ParallelSim::run() {
+  run_with_fault(Netlist::npos, Netlist::npos, Netlist::npos, false);
+}
+
+void ParallelSim::run_with_fault(std::size_t node, std::size_t consumer,
+                                 std::size_t pin, bool stuck_value) {
+  const Val64 stuck = Val64::constant(stuck_value);
+  // Pattern columns: PIs first, then scan cells, matching TestSet layout.
+  std::size_t col = 0;
+  for (std::size_t i : netlist_->inputs()) values_[i] = pattern_values_[col++];
+  for (std::size_t f : netlist_->flops()) values_[f] = pattern_values_[col++];
+
+  const bool stem_fault = node != Netlist::npos && consumer == Netlist::npos;
+  if (stem_fault) values_[node] = stuck;
+
+  const std::size_t fault_consumer =
+      (node != Netlist::npos && consumer != Netlist::npos) ? consumer
+                                                           : Netlist::npos;
+  for (std::size_t g : order_) {
+    const GateType t = netlist_->gate(g).type;
+    if (t == GateType::kInput || t == GateType::kDff) {
+      if (stem_fault && g == node) values_[g] = stuck;
+      continue;
+    }
+    values_[g] = eval_gate(g, fault_consumer, pin, stuck);
+    if (stem_fault && g == node) values_[g] = stuck;
+  }
+
+  captured_.resize(netlist_->flops().size());
+  for (std::size_t i = 0; i < netlist_->flops().size(); ++i) {
+    const std::size_t flop = netlist_->flops()[i];
+    if (fault_consumer == flop && pin == 0)
+      captured_[i] = stuck;
+    else
+      captured_[i] = values_[netlist_->gate(flop).fanins[0]];
+  }
+}
+
+std::uint64_t ParallelSim::diff_mask(const std::vector<Val64>& good) const {
+  std::uint64_t mask = 0;
+  auto observe = [&](const Val64& g, const Val64& f) {
+    mask |= (g.one & f.zero) | (g.zero & f.one);
+  };
+  for (std::size_t o : netlist_->outputs()) observe(good[o], values_[o]);
+  // PPOs: scan cells capture the flop data line (with any branch override).
+  for (std::size_t i = 0; i < netlist_->flops().size(); ++i) {
+    const std::size_t line = netlist_->gate(netlist_->flops()[i]).fanins[0];
+    observe(good[line], captured_[i]);
+  }
+  if (loaded_ < 64) mask &= (1ull << loaded_) - 1;
+  return mask;
+}
+
+std::vector<Trit> simulate_pattern(const Netlist& netlist,
+                                   const bits::TritVector& pattern) {
+  bits::TestSet ts(1, pattern.size());
+  ts.set_pattern(0, pattern);
+  ParallelSim sim(netlist);
+  sim.load(ts, 0);
+  sim.run();
+  std::vector<Trit> out(netlist.size());
+  for (std::size_t i = 0; i < netlist.size(); ++i)
+    out[i] = trit_of(sim.value(i), 0);
+  return out;
+}
+
+bits::TritVector extract_response(const Netlist& netlist,
+                                  const std::vector<Trit>& values) {
+  bits::TritVector r;
+  for (std::size_t o : netlist.outputs()) r.push_back(values[o]);
+  for (std::size_t f : netlist.flops())
+    r.push_back(values[netlist.gate(f).fanins[0]]);
+  return r;
+}
+
+}  // namespace nc::sim

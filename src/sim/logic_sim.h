@@ -1,0 +1,93 @@
+// Three-valued (0/1/X) logic simulation of a netlist's combinational core.
+//
+// Patterns follow the full-scan convention of `Netlist`: one trit per
+// primary input followed by one per scan cell. Responses are one trit per
+// primary output followed by one per DFF data input (the pseudo primary
+// outputs captured into the scan chain).
+//
+// Two engines share the same semantics:
+//  * `simulate_pattern` -- scalar reference implementation;
+//  * `ParallelSim`      -- 64 patterns per pass in dual-rail encoding,
+//    used by the fault simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "bits/trit_vector.h"
+#include "circuit/netlist.h"
+
+namespace nc::sim {
+
+/// Simulates one pattern; returns the value of every node.
+std::vector<bits::Trit> simulate_pattern(const circuit::Netlist& netlist,
+                                         const bits::TritVector& pattern);
+
+/// Extracts the response (POs then PPOs) from a node-value vector.
+bits::TritVector extract_response(const circuit::Netlist& netlist,
+                                  const std::vector<bits::Trit>& values);
+
+/// Dual-rail value of up to 64 patterns: bit i of `one` set iff pattern i is
+/// 1, of `zero` iff 0; neither bit -> X. (`one & zero` never both set.)
+struct Val64 {
+  std::uint64_t one = 0;
+  std::uint64_t zero = 0;
+
+  static Val64 all_x() noexcept { return {0, 0}; }
+  static Val64 constant(bool v) noexcept {
+    return v ? Val64{~0ull, 0} : Val64{0, ~0ull};
+  }
+  Val64 inverted() const noexcept { return {zero, one}; }
+  bool operator==(const Val64&) const = default;
+};
+
+/// Batched 3-valued simulator. Reusable across pattern groups; the fault
+/// simulator re-runs it with value overrides at the fault site.
+class ParallelSim {
+ public:
+  explicit ParallelSim(const circuit::Netlist& netlist);
+
+  /// Loads up to 64 consecutive patterns of `ts` starting at `first`.
+  /// Returns the number actually loaded.
+  std::size_t load(const bits::TestSet& ts, std::size_t first);
+
+  /// Good-machine simulation of the loaded patterns.
+  void run();
+
+  /// Faulty-machine simulation with a stuck line. `consumer == npos` faults
+  /// the node's stem (seen by all consumers); otherwise only the fanin `pin`
+  /// of gate `consumer` sees the stuck value.
+  void run_with_fault(std::size_t node, std::size_t consumer, std::size_t pin,
+                      bool stuck_value);
+
+  std::size_t loaded() const noexcept { return loaded_; }
+  const Val64& value(std::size_t node) const noexcept { return values_[node]; }
+
+  /// Value captured into scan cell `i` (index into Netlist::flops()) by the
+  /// last run, including any branch-fault override on the flop's data pin.
+  const Val64& captured(std::size_t i) const noexcept { return captured_[i]; }
+
+  /// Bitmask of loaded patterns whose response provably differs from
+  /// `good` (both machines specified, opposite values) at some PO/PPO.
+  std::uint64_t diff_mask(const std::vector<Val64>& good) const;
+
+  /// Snapshot of all node values (for diff_mask after a later faulty run).
+  const std::vector<Val64>& values() const noexcept { return values_; }
+
+ private:
+  Val64 eval_gate(std::size_t g, std::size_t fault_consumer,
+                  std::size_t fault_pin, const Val64& stuck) const;
+
+  const circuit::Netlist* netlist_;
+  std::vector<std::size_t> order_;
+  std::vector<Val64> values_;
+  std::vector<Val64> pattern_values_;  // PI/scan-cell values of loaded rows
+  /// Value captured by each scan cell: the flop's data-line value including
+  /// a branch-fault override on the flop's data pin (a stem read would miss
+  /// faults on that final branch).
+  std::vector<Val64> captured_;
+  std::size_t loaded_ = 0;
+};
+
+}  // namespace nc::sim

@@ -1,0 +1,58 @@
+// Multiple-input signature register (MISR) for response compaction.
+//
+// The paper's context (Section I) is an ATE with limited memory on both the
+// stimulus and the response side: stimuli are compressed with 9C, responses
+// are compacted on chip into a signature. This module provides the standard
+// LFSR-based MISR: every cycle the register shifts with a characteristic-
+// polynomial feedback while XOR-ing one response slice into its taps.
+#pragma once
+
+#include <cstdint>
+
+#include "bits/test_set.h"
+#include "bits/trit_vector.h"
+#include "circuit/netlist.h"
+#include "sim/fault.h"
+
+namespace nc::sim {
+
+class Misr {
+ public:
+  /// `width` in [1, 64]; `feedback` is the characteristic polynomial's tap
+  /// mask (bit i set => state bit i XORs the feedback bit).
+  Misr(unsigned width, std::uint64_t feedback);
+
+  /// A MISR over x^width with a fixed dense primitive-style tap set --
+  /// adequate for aliasing experiments, deterministic across runs.
+  static Misr standard(unsigned width);
+
+  unsigned width() const noexcept { return width_; }
+  std::uint64_t signature() const noexcept { return state_; }
+  void reset(std::uint64_t seed = 0) noexcept { state_ = seed; }
+
+  /// Absorbs one response word: `slice` must be fully specified and at most
+  /// `width` trits wide (bit i of the slice XORs into state bit i).
+  /// Throws std::invalid_argument on X or oversize input.
+  void absorb(const bits::TritVector& slice);
+
+ private:
+  unsigned width_;
+  std::uint64_t feedback_;
+  std::uint64_t mask_;
+  std::uint64_t state_ = 0;
+};
+
+/// Signature of a full test session: simulates every (fully specified)
+/// pattern of `patterns` on the fault-free circuit and absorbs each
+/// response (POs then PPOs, chunked into MISR words). Throws if any
+/// response bit is X -- random-fill the patterns first.
+std::uint64_t good_signature(const circuit::Netlist& netlist,
+                             const bits::TestSet& patterns, Misr misr);
+
+/// Same, with `fault` injected. Comparing against good_signature models
+/// signature-based pass/fail on the tester.
+std::uint64_t faulty_signature(const circuit::Netlist& netlist,
+                               const bits::TestSet& patterns, Misr misr,
+                               const Fault& fault);
+
+}  // namespace nc::sim

@@ -1,0 +1,184 @@
+#include "synth/code_synth.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace nc::synth {
+
+std::size_t CodeSynthResult::combinational_gates() const noexcept {
+  std::size_t g = 0;
+  for (const FsmOutputCost& o : outputs) g += o.cost.gate_equivalents();
+  return g;
+}
+
+namespace {
+
+/// Codeword trie. Node 0 is the root; negative child = leaf index - 1.
+struct Trie {
+  struct Node {
+    int child[2] = {0, 0};  // 0 = absent, >0 = node index, <0 = ~leaf index
+  };
+  std::vector<Node> nodes{1};
+
+  void insert(const codec::Codeword& w, int leaf) {
+    std::size_t at = 0;
+    for (unsigned i = w.length; i-- > 0;) {
+      const unsigned bit = (w.bits >> i) & 1u;
+      // No references into nodes across the emplace_back: it reallocates.
+      const int slot = nodes[at].child[bit];
+      if (i == 0) {
+        if (slot != 0)
+          throw std::invalid_argument("codeword set is not prefix-free");
+        nodes[at].child[bit] = ~leaf;
+      } else {
+        if (slot < 0)
+          throw std::invalid_argument("codeword set is not prefix-free");
+        if (slot == 0) {
+          const int fresh = static_cast<int>(nodes.size());
+          nodes.emplace_back();
+          nodes[at].child[bit] = fresh;
+          at = static_cast<std::size_t>(fresh);
+        } else {
+          at = static_cast<std::size_t>(slot);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CodeSynthResult synthesize_code_fsm(const std::vector<CodeLeaf>& leaves,
+                                    unsigned plan_symbols) {
+  if (leaves.empty()) throw std::invalid_argument("empty code");
+  if (plan_symbols < 2)
+    throw std::invalid_argument("need at least one fill plan plus data");
+
+  Trie trie;
+  for (std::size_t l = 0; l < leaves.size(); ++l)
+    trie.insert(leaves[l].word, static_cast<int>(l));
+
+  CodeSynthResult result;
+  result.recognition_states = trie.nodes.size();
+  result.total_states = trie.nodes.size() + 3;  // HalfA, HalfB, Ack
+  if (result.total_states > 1024)
+    throw std::invalid_argument("code too large to synthesize");
+  while ((std::size_t{1} << result.state_bits) < result.total_states)
+    ++result.state_bits;
+  while ((1u << result.plan_bits) < plan_symbols) ++result.plan_bits;
+  if (result.plan_bits == 0) result.plan_bits = 1;
+
+  // State codes: [0, R) recognition (trie node index), R = HalfA,
+  // R+1 = HalfB, R+2 = Ack.
+  const unsigned r = static_cast<unsigned>(result.recognition_states);
+  const unsigned half_a = r, half_b = r + 1, ack = r + 2;
+  const unsigned inputs =
+      static_cast<unsigned>(result.state_bits) + 2;  // + data, done
+  const std::uint32_t input_count = 1u << inputs;
+
+  // Output functions: next_state bits, latch, plan_a bits, plan_b bits, ack.
+  const std::size_t n_next = result.state_bits;
+  const std::size_t n_plan = result.plan_bits;
+  std::vector<std::vector<std::uint32_t>> ones(n_next + 1 + 2 * n_plan + 1);
+  std::vector<std::uint32_t> dontcares;
+  std::vector<std::uint32_t> plan_dc;
+
+  for (std::uint32_t in = 0; in < input_count; ++in) {
+    const unsigned state = in & ((1u << result.state_bits) - 1);
+    const bool data_bit = (in >> result.state_bits) & 1u;
+    const bool done = (in >> (result.state_bits + 1)) & 1u;
+    if (state > ack) {
+      dontcares.push_back(in);
+      plan_dc.push_back(in);
+      continue;
+    }
+
+    unsigned next;
+    bool latch = false, is_ack = false;
+    unsigned plan_a = 0, plan_b = 0;
+    if (state < r) {
+      const int slot = trie.nodes[state].child[data_bit ? 1 : 0];
+      if (slot < 0) {
+        const CodeLeaf& leaf = leaves[static_cast<std::size_t>(~slot)];
+        next = half_a;
+        latch = true;
+        plan_a = leaf.plan_a;
+        plan_b = leaf.plan_b;
+      } else {
+        // slot == 0 means an unreachable bit sequence (incomplete code):
+        // treat as don't-care by parking in the root.
+        next = slot == 0 ? 0u : static_cast<unsigned>(slot);
+      }
+    } else if (state == half_a) {
+      next = done ? half_b : half_a;
+    } else if (state == half_b) {
+      next = done ? ack : half_b;
+    } else {  // ack
+      next = 0;
+      is_ack = true;
+    }
+
+    for (std::size_t b = 0; b < n_next; ++b)
+      if ((next >> b) & 1u) ones[b].push_back(in);
+    if (latch) ones[n_next].push_back(in);
+    if (latch) {
+      for (std::size_t b = 0; b < n_plan; ++b) {
+        if ((plan_a >> b) & 1u) ones[n_next + 1 + b].push_back(in);
+        if ((plan_b >> b) & 1u) ones[n_next + 1 + n_plan + b].push_back(in);
+      }
+    } else {
+      plan_dc.push_back(in);  // plan outputs matter only while latching
+    }
+    if (is_ack) ones[n_next + 1 + 2 * n_plan].push_back(in);
+  }
+
+  auto add_output = [&](const std::string& name,
+                        const std::vector<std::uint32_t>& on, bool plan) {
+    FsmOutputCost oc;
+    oc.name = name;
+    oc.cover = minimize(inputs, on, plan ? plan_dc : dontcares);
+    oc.cost = sop_cost(oc.cover);
+    result.outputs.push_back(std::move(oc));
+  };
+  for (std::size_t b = 0; b < n_next; ++b)
+    add_output("next_state" + std::to_string(b), ones[b], false);
+  add_output("latch_plan", ones[n_next], false);
+  for (std::size_t b = 0; b < n_plan; ++b)
+    add_output("plan_a" + std::to_string(b), ones[n_next + 1 + b], true);
+  for (std::size_t b = 0; b < n_plan; ++b)
+    add_output("plan_b" + std::to_string(b), ones[n_next + 1 + n_plan + b],
+               true);
+  add_output("ack", ones[n_next + 1 + 2 * n_plan], false);
+  return result;
+}
+
+std::vector<CodeLeaf> leaves_for_table(const codec::CodewordTable& table) {
+  using codec::BlockClass;
+  std::vector<CodeLeaf> leaves;
+  for (std::size_t c = 0; c < codec::kNumClasses; ++c) {
+    const auto cls = static_cast<BlockClass>(c);
+    CodeLeaf leaf;
+    leaf.word = table.at(cls);
+    // Plans: 0 = fill 0, 1 = fill 1, 2 = data.
+    const auto plan_of = [&](bool left) -> unsigned {
+      switch (cls) {
+        case BlockClass::kC1: return 0;
+        case BlockClass::kC2: return 1;
+        case BlockClass::kC3: return left ? 0u : 1u;
+        case BlockClass::kC4: return left ? 1u : 0u;
+        case BlockClass::kC5: return left ? 0u : 2u;
+        case BlockClass::kC6: return left ? 2u : 0u;
+        case BlockClass::kC7: return left ? 1u : 2u;
+        case BlockClass::kC8: return left ? 2u : 1u;
+        case BlockClass::kC9: return 2;
+      }
+      return 0;
+    };
+    leaf.plan_a = plan_of(true);
+    leaf.plan_b = plan_of(false);
+    leaves.push_back(leaf);
+  }
+  return leaves;
+}
+
+}  // namespace nc::synth

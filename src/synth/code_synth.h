@@ -1,0 +1,54 @@
+// Decoder-FSM synthesis for an ARBITRARY prefix code.
+//
+// Fig. 2's controller generalizes: recognition states are the internal
+// nodes of the codeword trie, followed by the two half-streaming states and
+// the Ack state; the latched "plan" selects, per half, a fill pattern or
+// the pass-through-data path. This module builds that FSM mechanically from
+// a codeword list and minimizes every next-state/output function with
+// Quine-McCluskey -- which is how the ablation bench prices the paper's
+// "more codewords => more expensive decoder" trade-off, and how the
+// frequency-directed variant of Table VII is costed in gates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codec/codeword_table.h"
+#include "synth/fsm_synth.h"
+#include "synth/qm.h"
+
+namespace nc::synth {
+
+/// One codeword and what the decoder must do once it is recognized.
+/// `plan_a` / `plan_b` select a fill pattern (0 .. plan_symbols-2) or the
+/// data path (plan_symbols-1) for the left / right half.
+struct CodeLeaf {
+  codec::Codeword word;
+  unsigned plan_a = 0;
+  unsigned plan_b = 0;
+};
+
+struct CodeSynthResult {
+  std::size_t recognition_states = 0;  // internal trie nodes
+  std::size_t total_states = 0;        // + HalfA, HalfB, Ack
+  std::size_t state_bits = 0;
+  std::size_t plan_bits = 0;           // per half
+  std::vector<FsmOutputCost> outputs;
+  std::size_t combinational_gates() const noexcept;
+  std::size_t total_gate_equivalents() const noexcept {
+    return combinational_gates() + 6 * state_bits;
+  }
+};
+
+/// Synthesizes the decoder FSM for `leaves` (must form a prefix-free code).
+/// `plan_symbols` is the number of distinct half plans (fill patterns + 1
+/// for the data path). Throws std::invalid_argument on an empty, prefix-
+/// violating, or oversized (> 2^10 states) code.
+CodeSynthResult synthesize_code_fsm(const std::vector<CodeLeaf>& leaves,
+                                    unsigned plan_symbols);
+
+/// Convenience: the leaves of a 9C codeword table (plans: 0-fill, 1-fill,
+/// data; plan_symbols = 3).
+std::vector<CodeLeaf> leaves_for_table(const codec::CodewordTable& table);
+
+}  // namespace nc::synth

@@ -1,0 +1,105 @@
+#include "synth/fsm_synth.h"
+
+#include <bit>
+#include <cmath>
+
+#include "decomp/decoder_fsm.h"
+
+namespace nc::synth {
+
+using decomp::FsmState;
+using decomp::FsmStep;
+using decomp::HalfPlan;
+
+std::size_t FsmSynthesisResult::combinational_gates() const noexcept {
+  std::size_t g = 0;
+  for (const FsmOutputCost& o : outputs) g += o.cost.gate_equivalents();
+  return g;
+}
+
+std::size_t FsmSynthesisResult::total_gate_equivalents() const noexcept {
+  return combinational_gates() + 6 * state_flops;
+}
+
+FsmSynthesisResult synthesize_decoder_fsm() {
+  // Input vector layout (6 bits): [3:0] state code, [4] data_bit, [5] done.
+  constexpr unsigned kInputs = 6;
+  constexpr std::uint32_t kInputCount = 1u << kInputs;
+
+  // Output functions: next_state[3:0], latch_plan (recognized), plan_a[1:0],
+  // plan_b[1:0], ack.
+  struct OutputFn {
+    std::string name;
+    std::vector<std::uint32_t> ones;
+  };
+  std::vector<OutputFn> fns = {{"next_state0", {}}, {"next_state1", {}},
+                               {"next_state2", {}}, {"next_state3", {}},
+                               {"latch_plan", {}},  {"plan_a0", {}},
+                               {"plan_a1", {}},     {"plan_b0", {}},
+                               {"plan_b1", {}},     {"ack", {}}};
+  std::vector<std::uint32_t> dontcares;
+
+  for (std::uint32_t in = 0; in < kInputCount; ++in) {
+    const unsigned state_code = in & 0xF;
+    const bool data_bit = (in >> 4) & 1u;
+    const bool done = (in >> 5) & 1u;
+    if (state_code >= decomp::kFsmStateCount) {
+      dontcares.push_back(in);
+      continue;
+    }
+    const FsmStep step =
+        decomp::fsm_step(static_cast<FsmState>(state_code), data_bit, done);
+    const unsigned next = static_cast<unsigned>(step.next);
+    for (unsigned b = 0; b < 4; ++b)
+      if ((next >> b) & 1u) fns[b].ones.push_back(in);
+    if (step.recognized) fns[4].ones.push_back(in);
+    const unsigned pa = static_cast<unsigned>(step.plan_a);
+    const unsigned pb = static_cast<unsigned>(step.plan_b);
+    if (step.recognized) {  // plan outputs matter only while latching
+      if (pa & 1u) fns[5].ones.push_back(in);
+      if (pa & 2u) fns[6].ones.push_back(in);
+      if (pb & 1u) fns[7].ones.push_back(in);
+      if (pb & 2u) fns[8].ones.push_back(in);
+    }
+    if (step.ack) fns[9].ones.push_back(in);
+  }
+
+  // Plan outputs are don't-care whenever latch_plan is low.
+  std::vector<std::uint32_t> plan_dc = dontcares;
+  {
+    std::vector<bool> latch(kInputCount, false);
+    for (std::uint32_t m : fns[4].ones) latch[m] = true;
+    for (std::uint32_t in = 0; in < kInputCount; ++in) {
+      const unsigned state_code = in & 0xF;
+      if (state_code >= decomp::kFsmStateCount) continue;  // already DC
+      if (!latch[in]) plan_dc.push_back(in);
+    }
+  }
+
+  FsmSynthesisResult result;
+  result.state_flops = 4;
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    const bool is_plan = i >= 5 && i <= 8;
+    FsmOutputCost oc;
+    oc.name = fns[i].name;
+    oc.cover = minimize(kInputs, fns[i].ones, is_plan ? plan_dc : dontcares);
+    oc.cost = sop_cost(oc.cover);
+    result.outputs.push_back(std::move(oc));
+  }
+  return result;
+}
+
+std::size_t decoder_gate_estimate(std::size_t block_size) {
+  const FsmSynthesisResult fsm = synthesize_decoder_fsm();
+  const std::size_t half = block_size / 2;
+  // Counter: log2(K/2) toggle bits (~8 GE each incl. carry), comparator.
+  std::size_t counter_bits = 0;
+  while ((std::size_t{1} << counter_bits) < half) ++counter_bits;
+  if (counter_bits == 0) counter_bits = 1;
+  const std::size_t counter = counter_bits * 8 + counter_bits;
+  // Shifter: K/2 scan flops (~6 GE each); MUX: ~3 GE.
+  const std::size_t shifter = half * 6;
+  return fsm.total_gate_equivalents() + counter + shifter + 3;
+}
+
+}  // namespace nc::synth

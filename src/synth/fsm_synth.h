@@ -1,0 +1,46 @@
+// Synthesis of the 9C decoder FSM (Fig. 2) into two-level logic.
+//
+// Reproduces the paper's decoder-cost claim: the controller is independent
+// of K and of the test set, and it synthesizes to a few tens of gate
+// equivalents. The full decoder adds a log2(K/2) counter and a K/2-bit
+// shifter -- the only K-dependent hardware -- for which standard
+// gate-equivalent estimates are included.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "synth/qm.h"
+
+namespace nc::synth {
+
+/// Cost of one synthesized combinational output (next-state bit or control
+/// signal) of the decoder FSM.
+struct FsmOutputCost {
+  std::string name;
+  std::vector<Cube> cover;
+  SopCost cost;
+};
+
+struct FsmSynthesisResult {
+  std::vector<FsmOutputCost> outputs;
+  std::size_t state_flops = 0;  // FSM state register bits
+
+  /// Total combinational gate equivalents.
+  std::size_t combinational_gates() const noexcept;
+  /// Combinational gates plus registers (one DFF ~ 6 gate equivalents, the
+  /// usual standard-cell rule of thumb).
+  std::size_t total_gate_equivalents() const noexcept;
+};
+
+/// Enumerates the decoder FSM's transition/output functions over inputs
+/// (state[3:0], data_bit, done), minimizes each with Quine-McCluskey
+/// (unused state codes are don't-cares) and reports costs.
+FsmSynthesisResult synthesize_decoder_fsm();
+
+/// Gate-equivalent estimate of a complete single-scan decoder for block
+/// size K: FSM + log2(K/2)-bit counter + K/2-bit shifter + output MUX.
+std::size_t decoder_gate_estimate(std::size_t block_size);
+
+}  // namespace nc::synth

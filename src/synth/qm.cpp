@@ -1,0 +1,145 @@
+#include "synth/qm.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace nc::synth {
+
+unsigned Cube::literal_count() const noexcept {
+  return static_cast<unsigned>(std::popcount(mask));
+}
+
+std::string Cube::to_string(unsigned n) const {
+  std::string s;
+  for (unsigned i = 0; i < n; ++i) {
+    if (!((mask >> i) & 1u)) continue;
+    s += "x" + std::to_string(i);
+    if (!((value >> i) & 1u)) s += "'";
+  }
+  return s.empty() ? "1" : s;
+}
+
+std::vector<Cube> minimize(unsigned n, const std::vector<std::uint32_t>& ones,
+                           const std::vector<std::uint32_t>& dontcares) {
+  if (n > 20) throw std::invalid_argument("too many variables for QM");
+  const std::uint32_t limit = n == 32 ? ~0u : (1u << n);
+  const std::uint32_t full_mask = n == 32 ? ~0u : (1u << n) - 1;
+
+  std::set<std::uint32_t> on(ones.begin(), ones.end());
+  std::set<std::uint32_t> dc(dontcares.begin(), dontcares.end());
+  for (std::uint32_t m : on) {
+    if (m >= limit) throw std::invalid_argument("minterm out of range");
+    if (dc.count(m))
+      throw std::invalid_argument("minterm is both ON and DC");
+  }
+  for (std::uint32_t m : dc)
+    if (m >= limit) throw std::invalid_argument("minterm out of range");
+  if (on.empty()) return {};
+
+  // Iterative combining: cubes as (value, mask); two cubes merge when masks
+  // match and values differ in exactly one masked bit.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;
+  for (std::uint32_t m : on) current.insert({m, full_mask});
+  for (std::uint32_t m : dc) current.insert({m, full_mask});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> combined;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> list(current.begin(),
+                                                              current.end());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (list[i].second != list[j].second) continue;
+        const std::uint32_t diff = list[i].first ^ list[j].first;
+        if (std::popcount(diff) != 1) continue;
+        next.insert({list[i].first & ~diff, list[i].second & ~diff});
+        combined.insert(list[i]);
+        combined.insert(list[j]);
+      }
+    }
+    for (const auto& c : list)
+      if (!combined.count(c)) primes.push_back(Cube{c.first, c.second});
+    current = std::move(next);
+  }
+
+  // Greedy cover of the ON-set by primes (essential primes fall out first
+  // because they are the unique cover of some minterm).
+  std::vector<std::uint32_t> uncovered(on.begin(), on.end());
+  std::vector<Cube> cover;
+  // Essential primes.
+  for (std::uint32_t m : on) {
+    const Cube* only = nullptr;
+    for (const Cube& p : primes) {
+      if (!p.covers(m)) continue;
+      if (only != nullptr) { only = nullptr; break; }
+      only = &p;
+    }
+    if (only != nullptr &&
+        std::find(cover.begin(), cover.end(), *only) == cover.end())
+      cover.push_back(*only);
+  }
+  auto erase_covered = [&] {
+    uncovered.erase(std::remove_if(uncovered.begin(), uncovered.end(),
+                                   [&](std::uint32_t m) {
+                                     for (const Cube& c : cover)
+                                       if (c.covers(m)) return true;
+                                     return false;
+                                   }),
+                    uncovered.end());
+  };
+  erase_covered();
+  while (!uncovered.empty()) {
+    // Pick the prime covering the most uncovered minterms (ties: fewer
+    // literals).
+    const Cube* best = nullptr;
+    std::size_t best_count = 0;
+    for (const Cube& p : primes) {
+      std::size_t cnt = 0;
+      for (std::uint32_t m : uncovered) cnt += p.covers(m) ? 1 : 0;
+      if (cnt > best_count ||
+          (cnt == best_count && cnt > 0 && best != nullptr &&
+           p.literal_count() < best->literal_count())) {
+        best = &p;
+        best_count = cnt;
+      }
+    }
+    cover.push_back(*best);
+    erase_covered();
+  }
+  return cover;
+}
+
+SopCost sop_cost(const std::vector<Cube>& cover) {
+  SopCost cost;
+  std::uint32_t complemented = 0;
+  for (const Cube& c : cover) {
+    const unsigned lits = c.literal_count();
+    cost.literals += lits;
+    if (lits > 1) cost.and_gates += lits - 1;
+    complemented |= c.mask & ~c.value;
+  }
+  if (cover.size() > 1) cost.or_gates = cover.size() - 1;
+  cost.inverters = static_cast<std::size_t>(std::popcount(complemented));
+  return cost;
+}
+
+bool cover_matches(unsigned n, const std::vector<Cube>& cover,
+                   const std::vector<std::uint32_t>& ones,
+                   const std::vector<std::uint32_t>& dontcares) {
+  const std::uint32_t limit = 1u << n;
+  std::set<std::uint32_t> on(ones.begin(), ones.end());
+  std::set<std::uint32_t> dc(dontcares.begin(), dontcares.end());
+  for (std::uint32_t m = 0; m < limit; ++m) {
+    if (dc.count(m)) continue;
+    bool covered = false;
+    for (const Cube& c : cover)
+      if (c.covers(m)) { covered = true; break; }
+    if (covered != (on.count(m) > 0)) return false;
+  }
+  return true;
+}
+
+}  // namespace nc::synth

@@ -1,0 +1,186 @@
+#include "atpg/atpg.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.h"
+#include "circuit/samples.h"
+#include "sim/fault_sim.h"
+
+namespace nc::atpg {
+namespace {
+
+using bits::TestSet;
+using bits::Trit;
+using circuit::Netlist;
+
+TEST(Atpg, C17FullCoverage) {
+  const Netlist nl = circuit::samples::c17();
+  const AtpgResult r = generate_tests(nl);
+  EXPECT_DOUBLE_EQ(r.efficiency_percent(), 100.0);
+  EXPECT_EQ(r.aborted, 0u);
+  EXPECT_GT(r.tests.pattern_count(), 0u);
+  // Confirm with independent fault simulation of the final (compacted) set.
+  sim::FaultSimulator fsim(nl);
+  const auto cover = fsim.run(r.tests, sim::collapsed_fault_list(nl));
+  EXPECT_DOUBLE_EQ(cover.coverage_percent(), 100.0);
+}
+
+TEST(Atpg, S27FullCoverage) {
+  const Netlist nl = circuit::samples::s27();
+  const AtpgResult r = generate_tests(nl);
+  EXPECT_EQ(r.aborted, 0u);
+  sim::FaultSimulator fsim(nl);
+  const auto cover = fsim.run(r.tests, sim::collapsed_fault_list(nl));
+  EXPECT_DOUBLE_EQ(cover.coverage_percent(), 100.0);
+}
+
+TEST(Atpg, CubesKeepDontCares) {
+  const Netlist nl = circuit::samples::s27();
+  AtpgConfig cfg;
+  cfg.compact = false;
+  const AtpgResult r = generate_tests(nl, cfg);
+  EXPECT_GT(r.tests.x_fraction(), 0.05);
+}
+
+TEST(Atpg, CompactionReducesPatternsKeepsCoverage) {
+  circuit::GeneratorConfig gcfg;
+  gcfg.num_inputs = 12;
+  gcfg.num_flops = 10;
+  gcfg.num_gates = 150;
+  gcfg.seed = 17;
+  const Netlist nl = circuit::generate_circuit(gcfg);
+
+  AtpgConfig uncompacted;
+  uncompacted.compact = false;
+  const AtpgResult a = generate_tests(nl, uncompacted);
+  const AtpgResult b = generate_tests(nl);
+  EXPECT_LE(b.tests.pattern_count(), a.tests.pattern_count());
+
+  sim::FaultSimulator fsim(nl);
+  const auto faults = sim::collapsed_fault_list(nl);
+  const double cov_a = fsim.run(a.tests, faults).coverage_percent();
+  const double cov_b = fsim.run(b.tests, faults).coverage_percent();
+  EXPECT_GE(cov_b, cov_a - 1e-9);  // merging cannot lose 3-valued detection
+}
+
+TEST(Atpg, FaultDroppingShrinksTestCount) {
+  const Netlist nl = circuit::samples::s27();
+  AtpgConfig with, without;
+  with.fault_dropping = true;
+  with.compact = false;
+  without.fault_dropping = false;
+  without.compact = false;
+  EXPECT_LE(generate_tests(nl, with).tests.pattern_count(),
+            generate_tests(nl, without).tests.pattern_count());
+}
+
+TEST(Atpg, MediumGeneratedCircuitHighCoverage) {
+  circuit::GeneratorConfig gcfg;
+  gcfg.num_inputs = 16;
+  gcfg.num_flops = 24;
+  gcfg.num_gates = 250;
+  gcfg.seed = 5;
+  const Netlist nl = circuit::generate_circuit(gcfg);
+  AtpgConfig cfg;
+  cfg.max_backtracks = 512;
+  const AtpgResult r = generate_tests(nl, cfg);
+  // Random reconvergent logic carries a tail of redundant faults that
+  // vanilla PODEM can neither test nor prove untestable within the budget;
+  // resolving ~9 in 10 targets matches what a no-learning PODEM delivers.
+  EXPECT_GT(r.efficiency_percent(), 85.0);
+  EXPECT_GT(r.detected, r.target_faults / 2);
+}
+
+TEST(CompactMerge, MergesCompatibleCubes) {
+  const TestSet in = TestSet::from_strings({"01XX", "0X1X", "10XX"});
+  const TestSet out = compact_merge(in);
+  ASSERT_EQ(out.pattern_count(), 2u);
+  EXPECT_EQ(out.pattern(0).to_string(), "011X");
+  EXPECT_EQ(out.pattern(1).to_string(), "10XX");
+}
+
+TEST(CompactMerge, KeepsIncompatibleCubes) {
+  const TestSet in = TestSet::from_strings({"01", "10", "11"});
+  EXPECT_EQ(compact_merge(in).pattern_count(), 3u);
+}
+
+TEST(CompactMerge, EveryOriginalCubeCovered) {
+  const TestSet in = TestSet::from_strings(
+      {"0XX1", "X0X1", "XX01", "1XX0", "X1X0"});
+  const TestSet out = compact_merge(in);
+  for (std::size_t i = 0; i < in.pattern_count(); ++i) {
+    bool covered = false;
+    for (std::size_t j = 0; j < out.pattern_count(); ++j)
+      covered = covered || in.pattern(i).compatible_with(out.pattern(j));
+    EXPECT_TRUE(covered) << "cube " << i;
+  }
+}
+
+TEST(CompactReverseOrder, DropsRedundantPatternsKeepsCoverage) {
+  circuit::GeneratorConfig gcfg;
+  gcfg.num_inputs = 12;
+  gcfg.num_flops = 16;
+  gcfg.num_gates = 150;
+  gcfg.seed = 9;
+  const Netlist nl = circuit::generate_circuit(gcfg);
+  const auto faults = sim::collapsed_fault_list(nl);
+  AtpgConfig cfg;
+  cfg.compact = false;
+  const AtpgResult r = generate_tests(nl, faults, cfg);
+
+  const TestSet compacted = compact_reverse_order(nl, faults, r.tests);
+  EXPECT_LE(compacted.pattern_count(), r.tests.pattern_count());
+  EXPECT_GT(compacted.pattern_count(), 0u);
+
+  sim::FaultSimulator fsim(nl);
+  EXPECT_GE(fsim.run(compacted, faults).coverage_percent(),
+            fsim.run(r.tests, faults).coverage_percent() - 1e-9);
+}
+
+TEST(CompactReverseOrder, AllUselessPatternsRemoved) {
+  const Netlist nl = circuit::samples::s27();
+  const auto faults = sim::collapsed_fault_list(nl);
+  // Duplicate the same pattern five times: at most one survivor.
+  const TestSet dup = TestSet::from_strings(
+      {"1010101", "1010101", "1010101", "1010101", "1010101"});
+  const TestSet compacted = compact_reverse_order(nl, faults, dup);
+  EXPECT_LE(compacted.pattern_count(), 1u);
+}
+
+TEST(CompactReverseOrder, PreservesApplicationOrder) {
+  const Netlist nl = circuit::samples::s27();
+  const auto faults = sim::collapsed_fault_list(nl);
+  AtpgConfig cfg;
+  cfg.compact = false;
+  const AtpgResult r = generate_tests(nl, faults, cfg);
+  const TestSet compacted = compact_reverse_order(nl, faults, r.tests);
+  // Every kept cube appears in the same relative order as in the input.
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < compacted.pattern_count(); ++i) {
+    bool found = false;
+    for (; cursor < r.tests.pattern_count(); ++cursor)
+      if (r.tests.pattern(cursor) == compacted.pattern(i)) {
+        found = true;
+        ++cursor;
+        break;
+      }
+    EXPECT_TRUE(found) << "kept cube " << i << " out of order";
+  }
+}
+
+TEST(RandomFill, RemovesAllX) {
+  const TestSet in = TestSet::from_strings({"0XX1", "XXXX"});
+  const TestSet out = random_fill(in, 7);
+  EXPECT_EQ(out.x_count(), 0u);
+  // Care bits preserved.
+  EXPECT_EQ(out.at(0, 0), Trit::Zero);
+  EXPECT_EQ(out.at(0, 3), Trit::One);
+}
+
+TEST(RandomFill, DeterministicPerSeed) {
+  const TestSet in = TestSet::from_strings({"XXXXXXXX"});
+  EXPECT_EQ(random_fill(in, 3), random_fill(in, 3));
+}
+
+}  // namespace
+}  // namespace nc::atpg

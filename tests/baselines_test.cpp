@@ -1,0 +1,295 @@
+// Per-coder unit tests plus cross-coder property sweeps: every baseline must
+// round-trip any cube stream (care bits preserved; X filled per its rule).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "baselines/fdr.h"
+#include "baselines/golomb.h"
+#include "baselines/mtc.h"
+#include "baselines/selective_huffman.h"
+#include "baselines/vihc.h"
+#include "gen/cube_gen.h"
+
+namespace nc::baselines {
+namespace {
+
+using bits::Trit;
+using bits::TritVector;
+
+// ---------------------------------------------------------------- Golomb --
+
+TEST(Golomb, RejectsNonPowerOfTwoGroup) {
+  EXPECT_THROW(Golomb(3), std::invalid_argument);
+  EXPECT_THROW(Golomb(1), std::invalid_argument);
+  EXPECT_NO_THROW(Golomb(8));
+}
+
+TEST(Golomb, KnownCodewords) {
+  // m=4: run 0 -> 000, run 1 -> 001, run 5 -> 1 0 01.
+  const Golomb g(4);
+  EXPECT_EQ(g.encode(TritVector::from_string("1")).to_string(), "000");
+  EXPECT_EQ(g.encode(TritVector::from_string("01")).to_string(), "001");
+  EXPECT_EQ(g.encode(TritVector::from_string("000001")).to_string(), "1001");
+}
+
+TEST(Golomb, XFillsAsZero) {
+  const Golomb g(4);
+  EXPECT_EQ(g.encode(TritVector::from_string("XX1")),
+            g.encode(TritVector::from_string("001")));
+}
+
+TEST(Golomb, TrailingZerosRoundTrip) {
+  const Golomb g(4);
+  const TritVector td = TritVector::from_string("10000");
+  const TritVector d = g.decode(g.encode(td), td.size());
+  EXPECT_EQ(d.to_string(), "10000");
+}
+
+// ------------------------------------------------------------------- FDR --
+
+TEST(Fdr, PaperCodewordTable) {
+  bits::BitWriter w;
+  fdr_detail::encode_run(w, 0);
+  EXPECT_EQ(w.stream().to_string(), "00");
+  w = {};
+  fdr_detail::encode_run(w, 1);
+  EXPECT_EQ(w.stream().to_string(), "01");
+  w = {};
+  fdr_detail::encode_run(w, 2);
+  EXPECT_EQ(w.stream().to_string(), "1000");
+  w = {};
+  fdr_detail::encode_run(w, 5);
+  EXPECT_EQ(w.stream().to_string(), "1011");
+  w = {};
+  fdr_detail::encode_run(w, 6);
+  EXPECT_EQ(w.stream().to_string(), "110000");
+  w = {};
+  fdr_detail::encode_run(w, 13);
+  EXPECT_EQ(w.stream().to_string(), "110111");
+}
+
+TEST(Fdr, RunCodecRoundTrip) {
+  for (std::size_t len : {0u, 1u, 2u, 5u, 6u, 13u, 14u, 29u, 30u, 1000u}) {
+    bits::BitWriter w;
+    fdr_detail::encode_run(w, len);
+    EXPECT_EQ(w.size(), fdr_detail::codeword_bits(len));
+    const TritVector stream = w.take();
+    bits::TritReader r(stream);
+    EXPECT_EQ(fdr_detail::decode_run(r), len);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Fdr, StreamRoundTrip) {
+  const Fdr fdr;
+  const TritVector td = TritVector::from_string("00010000001X000X01");
+  const TritVector d = fdr.decode(fdr.encode(td), td.size());
+  EXPECT_TRUE(td.covered_by(d));
+}
+
+TEST(Fdr, LongZeroRunsCompressWell) {
+  const Fdr fdr;
+  TritVector td;
+  td.append_run(10000, Trit::Zero);
+  td.push_back(Trit::One);
+  EXPECT_LT(fdr.encode(td).size(), 40u);
+}
+
+// ------------------------------------------------------------------ EFDR --
+
+TEST(Efdr, HandlesRunsOfOnes) {
+  const Efdr efdr;
+  TritVector td;
+  td.append_run(1000, Trit::One);
+  td.push_back(Trit::Zero);
+  // FDR would explode on this (1000 runs of length 0); EFDR codes it tiny.
+  EXPECT_LT(efdr.encode(td).size(), 40u);
+  EXPECT_TRUE(td.covered_by(efdr.decode(efdr.encode(td), td.size())));
+}
+
+TEST(Efdr, AlternatingPolarity) {
+  const Efdr efdr;
+  const TritVector td = TritVector::from_string("0001111000011");
+  const TritVector d = efdr.decode(efdr.encode(td), td.size());
+  EXPECT_EQ(d.to_string(), "0001111000011");
+}
+
+TEST(Efdr, MinimumTransitionFillExtendsRuns) {
+  const Efdr efdr;
+  // X between equal values joins the runs: encodes as a single long run.
+  const TritVector sparse = TritVector::from_string("00XX0001");
+  const TritVector dense = TritVector::from_string("00000001");
+  EXPECT_EQ(efdr.encode(sparse), efdr.encode(dense));
+}
+
+// ------------------------------------------------------------------ VIHC --
+
+TEST(Vihc, TokenizerSplitsRunsAtGroupSize) {
+  const Vihc v(4);
+  // "0000001" -> run 6: one full group (4) + terminated run 2.
+  const auto symbols = v.tokenize(TritVector::from_string("0000001"));
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], 4u);
+  EXPECT_EQ(symbols[1], 2u);
+}
+
+TEST(Vihc, TokenizerHandlesLeading1) {
+  const Vihc v(4);
+  const auto symbols = v.tokenize(TritVector::from_string("11"));
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], 0u);
+  EXPECT_EQ(symbols[1], 0u);
+}
+
+TEST(Vihc, UntrainedDecodeThrows) {
+  const Vihc v(4);
+  EXPECT_THROW(v.decode(TritVector::from_string("0"), 1), std::logic_error);
+}
+
+TEST(Vihc, TrainedRoundTrip) {
+  const TritVector td =
+      TritVector::from_string("0000100X00000001XX0010000000X001");
+  const Vihc v = Vihc::trained(td, 8);
+  const TritVector d = v.decode(v.encode(td), td.size());
+  EXPECT_TRUE(td.covered_by(d));
+}
+
+TEST(Vihc, TrainedAndUntrainedEncodeIdentically) {
+  const TritVector td = TritVector::from_string("000010000000100XX01");
+  EXPECT_EQ(Vihc(4).encode(td), Vihc::trained(td, 4).encode(td));
+}
+
+// ------------------------------------------------- Selective Huffman -----
+
+TEST(SelectiveHuffman, RejectsBadConfig) {
+  EXPECT_THROW(SelectiveHuffman(0, 4), std::invalid_argument);
+  EXPECT_THROW(SelectiveHuffman(65, 4), std::invalid_argument);
+  EXPECT_THROW(SelectiveHuffman(8, 0), std::invalid_argument);
+}
+
+TEST(SelectiveHuffman, FrequentBlocksAreCoded) {
+  // 15 identical blocks + 1 oddball: the frequent one must be selected.
+  std::string s;
+  for (int i = 0; i < 15; ++i) s += "00001111";
+  s += "01010101";
+  const TritVector td = TritVector::from_string(s);
+  const SelectiveHuffman sh = SelectiveHuffman::trained(td, 8, 2);
+  ASSERT_GE(sh.selected_patterns().size(), 1u);
+  // Pattern is stored LSB-first: "00001111" -> bits 4..7 set = 0xF0.
+  EXPECT_EQ(sh.selected_patterns()[0], 0xF0u);
+  // Coded stream beats raw.
+  EXPECT_LT(sh.encode(td).size(), td.size());
+}
+
+TEST(SelectiveHuffman, XMatchesCompatiblePattern) {
+  std::string s;
+  for (int i = 0; i < 10; ++i) s += "00001111";
+  s += "0000XXXX";  // compatible with the frequent pattern
+  const TritVector td = TritVector::from_string(s);
+  const SelectiveHuffman sh = SelectiveHuffman::trained(td, 8, 1);
+  const TritVector d = sh.decode(sh.encode(td), td.size());
+  EXPECT_TRUE(td.covered_by(d));
+  // The X block decodes as the frequent pattern, not zero-fill.
+  EXPECT_EQ(d.slice(80, 8).to_string(), "00001111");
+}
+
+TEST(SelectiveHuffman, UntrainedDecodeThrows) {
+  EXPECT_THROW(SelectiveHuffman(8, 4).decode(TritVector::from_string("0"), 1),
+               std::logic_error);
+}
+
+TEST(SelectiveHuffman, RareBlocksTravelRaw) {
+  std::string s;
+  for (int i = 0; i < 12; ++i) s += "11110000";
+  s += "01100110";  // unique block
+  const TritVector td = TritVector::from_string(s);
+  const SelectiveHuffman sh = SelectiveHuffman::trained(td, 8, 1);
+  const TritVector d = sh.decode(sh.encode(td), td.size());
+  EXPECT_EQ(d.slice(96, 8).to_string(), "01100110");
+}
+
+// ------------------------------------------------------------------- MTC --
+
+TEST(Mtc, RejectsBadGroup) {
+  EXPECT_THROW(Mtc(3), std::invalid_argument);
+  EXPECT_NO_THROW(Mtc(4));
+}
+
+TEST(Mtc, FirstRunPolarityPreserved) {
+  const Mtc mtc(4);
+  const TritVector ones = TritVector::from_string("111000");
+  EXPECT_EQ(mtc.decode(mtc.encode(ones), 6).to_string(), "111000");
+  const TritVector zeros = TritVector::from_string("000111");
+  EXPECT_EQ(mtc.decode(mtc.encode(zeros), 6).to_string(), "000111");
+}
+
+TEST(Mtc, AllXBecomesZeros) {
+  const Mtc mtc(4);
+  const TritVector td(12, Trit::X);
+  EXPECT_EQ(mtc.decode(mtc.encode(td), 12).to_string(), "000000000000");
+}
+
+TEST(Mtc, MinimumTransitionFill) {
+  const Mtc mtc(4);
+  EXPECT_EQ(mtc.encode(TritVector::from_string("1XX1000")),
+            mtc.encode(TritVector::from_string("1111000")));
+}
+
+// ------------------------------------------------- cross-coder sweep -----
+
+std::vector<std::unique_ptr<codec::Codec>> trained_coders(
+    const TritVector& td) {
+  std::vector<std::unique_ptr<codec::Codec>> coders;
+  coders.push_back(std::make_unique<Golomb>(4));
+  coders.push_back(std::make_unique<Fdr>());
+  coders.push_back(std::make_unique<Efdr>());
+  coders.push_back(std::make_unique<Mtc>(4));
+  coders.push_back(std::make_unique<Vihc>(Vihc::trained(td, 8)));
+  coders.push_back(
+      std::make_unique<SelectiveHuffman>(SelectiveHuffman::trained(td, 8, 8)));
+  return coders;
+}
+
+class BaselineSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BaselineSweep, AllCodersRoundTripRandomCubes) {
+  const double x_density = GetParam();
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 30;
+  cfg.width = 211;  // prime width: exercises block-boundary padding
+  cfg.x_fraction = x_density;
+  cfg.seed = static_cast<std::uint64_t>(x_density * 100) + 7;
+  const TritVector td = gen::generate_cubes(cfg).flatten();
+  for (const auto& coder : trained_coders(td)) {
+    const TritVector te = coder->encode(td);
+    const TritVector d = coder->decode(te, td.size());
+    ASSERT_EQ(d.size(), td.size()) << coder->name();
+    EXPECT_TRUE(td.covered_by(d)) << coder->name();
+    EXPECT_EQ(d.x_count(), 0u) << coder->name() << " must fill all X";
+  }
+}
+
+TEST_P(BaselineSweep, HighXDataCompresses) {
+  const double x_density = GetParam();
+  if (x_density < 0.85) GTEST_SKIP() << "only meaningful for sparse data";
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 40;
+  cfg.width = 500;
+  cfg.x_fraction = x_density;
+  cfg.seed = 3;
+  const TritVector td = gen::generate_cubes(cfg).flatten();
+  for (const auto& coder : trained_coders(td))
+    EXPECT_LT(coder->encode(td).size(), td.size()) << coder->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, BaselineSweep,
+                         ::testing::Values(0.0, 0.4, 0.7, 0.9, 0.97),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "X" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace nc::baselines

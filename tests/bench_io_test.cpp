@@ -1,0 +1,98 @@
+#include "circuit/bench_io.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/samples.h"
+
+namespace nc::circuit {
+namespace {
+
+TEST(BenchIo, ParsesC17) {
+  const Netlist nl = samples::c17();
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.logic_gate_count(), 6u);
+  EXPECT_TRUE(nl.flops().empty());
+  const std::size_t g10 = nl.find("G10");
+  ASSERT_NE(g10, Netlist::npos);
+  EXPECT_EQ(nl.gate(g10).type, GateType::kNand);
+  EXPECT_EQ(nl.gate(g10).fanins.size(), 2u);
+}
+
+TEST(BenchIo, ParsesS27WithFlops) {
+  const Netlist nl = samples::s27();
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.flops().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.logic_gate_count(), 10u);
+  EXPECT_EQ(nl.pattern_width(), 7u);
+  EXPECT_EQ(nl.response_width(), 4u);
+}
+
+TEST(BenchIo, ForwardReferencesAllowed) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = BUF(a)\n");
+  EXPECT_EQ(nl.size(), 3u);
+}
+
+TEST(BenchIo, CaseInsensitiveKeywords) {
+  const Netlist nl = parse_bench_string(
+      "input(a)\ninput(b)\noutput(y)\ny = nAnD(a, b)\n");
+  EXPECT_EQ(nl.gate(nl.find("y")).type, GateType::kNand);
+}
+
+TEST(BenchIo, CommentsAndBlankLines) {
+  const Netlist nl = parse_bench_string(
+      "# full line comment\n\nINPUT(a)  # trailing\nOUTPUT(y)\ny = BUF(a)\n");
+  EXPECT_EQ(nl.size(), 2u);
+}
+
+TEST(BenchIo, UndefinedSignalThrowsWithLine) {
+  try {
+    parse_bench_string("INPUT(a)\ny = AND(a, ghost)\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, DuplicateDefinitionThrows) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\ny = BUF(a)\ny = NOT(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, UnknownGateTypeThrows) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\ny = FROB(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, MalformedLineThrows) {
+  EXPECT_THROW(parse_bench_string("INPUT a\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench_string("y = AND(a\n"), std::runtime_error);
+}
+
+TEST(BenchIo, OutputOfUndefinedSignalThrows) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(nope)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, WriteParseRoundTrip) {
+  const Netlist original = samples::s27();
+  const Netlist reparsed = parse_bench_string(to_bench_string(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.flops().size(), original.flops().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Gate& a = original.gate(i);
+    const std::size_t j = reparsed.find(a.name);
+    ASSERT_NE(j, Netlist::npos) << a.name;
+    EXPECT_EQ(reparsed.gate(j).type, a.type);
+    EXPECT_EQ(reparsed.gate(j).fanins.size(), a.fanins.size());
+  }
+}
+
+}  // namespace
+}  // namespace nc::circuit

@@ -1,0 +1,91 @@
+#include "bits/bitstream.h"
+
+#include <gtest/gtest.h>
+
+namespace nc::bits {
+namespace {
+
+TEST(BitWriter, PutSingleBits) {
+  BitWriter w;
+  w.put(true);
+  w.put(false);
+  w.put(true);
+  EXPECT_EQ(w.stream().to_string(), "101");
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(BitWriter, PutBitsMsbFirst) {
+  BitWriter w;
+  w.put_bits(0b1011, 4);
+  EXPECT_EQ(w.stream().to_string(), "1011");
+}
+
+TEST(BitWriter, PutBitsWithLeadingZeros) {
+  BitWriter w;
+  w.put_bits(0b0001, 4);
+  EXPECT_EQ(w.stream().to_string(), "0001");
+}
+
+TEST(BitWriter, PutRun) {
+  BitWriter w;
+  w.put_run(4, true);
+  w.put_run(2, false);
+  EXPECT_EQ(w.stream().to_string(), "111100");
+}
+
+TEST(BitWriter, TakeMovesStream) {
+  BitWriter w;
+  w.put(true);
+  TritVector v = w.take();
+  EXPECT_EQ(v.to_string(), "1");
+}
+
+TEST(TritReader, SequentialNext) {
+  const TritVector v = TritVector::from_string("0X1");
+  TritReader r(v);
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_EQ(r.next(), Trit::Zero);
+  EXPECT_EQ(r.next(), Trit::X);
+  EXPECT_EQ(r.next(), Trit::One);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.next(), std::out_of_range);
+}
+
+TEST(TritReader, NextBitRejectsX) {
+  const TritVector v = TritVector::from_string("1X");
+  TritReader r(v);
+  EXPECT_TRUE(r.next_bit());
+  EXPECT_THROW(r.next_bit(), std::runtime_error);
+}
+
+TEST(TritReader, NextBitsMsbFirst) {
+  const TritVector v = TritVector::from_string("10110");
+  TritReader r(v);
+  EXPECT_EQ(r.next_bits(5), 0b10110u);
+}
+
+TEST(TritReader, NextTritsPreservesX) {
+  const TritVector v = TritVector::from_string("0X1X1");
+  TritReader r(v);
+  r.next();
+  EXPECT_EQ(r.next_trits(3).to_string(), "X1X");
+  EXPECT_EQ(r.position(), 4u);
+}
+
+TEST(TritReader, NextTritsPastEndThrows) {
+  const TritVector v = TritVector::from_string("01");
+  TritReader r(v);
+  EXPECT_THROW(r.next_trits(3), std::out_of_range);
+}
+
+TEST(WriterReaderRoundTrip, ValuesOfManyWidths) {
+  BitWriter w;
+  for (unsigned n = 1; n <= 16; ++n) w.put_bits((1u << n) - 1, n);
+  const TritVector stream = w.take();
+  TritReader r(stream);
+  for (unsigned n = 1; n <= 16; ++n) EXPECT_EQ(r.next_bits(n), (1u << n) - 1);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace nc::bits

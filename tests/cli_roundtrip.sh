@@ -1,0 +1,46 @@
+#!/bin/sh
+# End-to-end exercise of the ninec CLI: generate, compress (both codeword
+# tables), decompress, and verify the decompressed set covers the original's
+# care bits. $1 = path to the ninec binary.
+set -eu
+
+NINEC="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+"$NINEC" gen --profile s9234 --out "$DIR/td.tests" --seed 4
+"$NINEC" stats --in "$DIR/td.tests" > "$DIR/stats.txt"
+grep -q "CR%" "$DIR/stats.txt"
+
+for extra in "" "--freq-directed"; do
+  "$NINEC" compress --in "$DIR/td.tests" --out "$DIR/te.9c" --k 8 $extra
+  "$NINEC" decompress --in "$DIR/te.9c" --out "$DIR/back.tests"
+  # Line-by-line cover check: wherever td has 0/1, back must match.
+  awk 'NR==FNR { a[FNR] = $0; next }
+       {
+         if (length($0) != length(a[FNR])) { print "width mismatch"; exit 1 }
+         for (i = 1; i <= length($0); i++) {
+           c = substr(a[FNR], i, 1)
+           if (c != "X" && c != substr($0, i, 1)) {
+             print "care bit mismatch at line " FNR " col " i; exit 1
+           }
+         }
+       }' "$DIR/td.tests" "$DIR/back.tests"
+done
+
+# Binary test-set container round-trips through compress/decompress too.
+"$NINEC" gen --profile s5378 --out "$DIR/td.bin"
+"$NINEC" compress --in "$DIR/td.bin" --out "$DIR/te2.9c" --k 12
+"$NINEC" decompress --in "$DIR/te2.9c" --out "$DIR/back2.bin"
+
+# ATPG flow on a generated circuit.
+"$NINEC" circuit --out "$DIR/c.bench" --gates 120 --inputs 8 --flops 8
+"$NINEC" atpg --bench "$DIR/c.bench" --out "$DIR/atpg.tests"
+test -s "$DIR/atpg.tests"
+
+echo "cli roundtrip OK"
+
+# Full ATE session on the generated circuit's own test set.
+"$NINEC" session --bench "$DIR/c.bench" --tests "$DIR/atpg.tests" --k 8 --p 8
+
+echo "cli session OK"

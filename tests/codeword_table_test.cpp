@@ -1,0 +1,115 @@
+#include "codec/codeword_table.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace nc::codec {
+namespace {
+
+TEST(CodewordTable, StandardLengthsMatchTableI) {
+  const CodewordTable t = CodewordTable::standard();
+  EXPECT_EQ(t.length(BlockClass::kC1), 1u);
+  EXPECT_EQ(t.length(BlockClass::kC2), 2u);
+  for (auto c : {BlockClass::kC3, BlockClass::kC4, BlockClass::kC5,
+                 BlockClass::kC6, BlockClass::kC7, BlockClass::kC8})
+    EXPECT_EQ(t.length(c), 5u);
+  EXPECT_EQ(t.length(BlockClass::kC9), 4u);
+  EXPECT_EQ(t.max_length(), 5u);
+}
+
+TEST(CodewordTable, StandardPatterns) {
+  const CodewordTable t = CodewordTable::standard();
+  EXPECT_EQ(t.at(BlockClass::kC1).to_string(), "0");
+  EXPECT_EQ(t.at(BlockClass::kC2).to_string(), "10");
+  EXPECT_EQ(t.at(BlockClass::kC9).to_string(), "1100");
+  EXPECT_EQ(t.at(BlockClass::kC3).to_string(), "11010");
+  EXPECT_EQ(t.at(BlockClass::kC8).to_string(), "11111");
+}
+
+TEST(CodewordTable, StandardIsPrefixFree) {
+  EXPECT_TRUE(CodewordTable::standard().prefix_free());
+}
+
+TEST(CodewordTable, KraftSumIsExactlyOne) {
+  const CodewordTable t = CodewordTable::standard();
+  double kraft = 0;
+  for (std::size_t c = 0; c < kNumClasses; ++c)
+    kraft += 1.0 / (1u << t.length(static_cast<BlockClass>(c)));
+  EXPECT_DOUBLE_EQ(kraft, 1.0);
+}
+
+TEST(CodewordTable, FromLengthsRejectsKraftViolation) {
+  EXPECT_THROW(
+      CodewordTable::from_lengths({1, 1, 5, 5, 5, 5, 5, 5, 4}),
+      std::invalid_argument);
+}
+
+TEST(CodewordTable, FromLengthsRejectsZeroLength) {
+  EXPECT_THROW(
+      CodewordTable::from_lengths({0, 2, 5, 5, 5, 5, 5, 5, 4}),
+      std::invalid_argument);
+}
+
+TEST(CodewordTable, MatchDecodesEveryCodeword) {
+  const CodewordTable t = CodewordTable::standard();
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const auto cls = static_cast<BlockClass>(c);
+    const bits::TritVector v =
+        bits::TritVector::from_string(t.at(cls).to_string());
+    bits::TritReader r(v);
+    EXPECT_EQ(t.match(r), cls);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(CodewordTable, MatchConsumesExactlyCodewordBits) {
+  const CodewordTable t = CodewordTable::standard();
+  const bits::TritVector v = bits::TritVector::from_string("0" "10" "1100");
+  bits::TritReader r(v);
+  EXPECT_EQ(t.match(r), BlockClass::kC1);
+  EXPECT_EQ(r.position(), 1u);
+  EXPECT_EQ(t.match(r), BlockClass::kC2);
+  EXPECT_EQ(r.position(), 3u);
+  EXPECT_EQ(t.match(r), BlockClass::kC9);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodewordTable, FrequencyDirectedGivesShortestToMostFrequent) {
+  // s9234-style: C8 more frequent than C9 (paper Section IV).
+  std::array<std::size_t, kNumClasses> counts{};
+  counts[0] = 1000;  // C1
+  counts[1] = 300;   // C2
+  counts[7] = 200;   // C8
+  counts[8] = 100;   // C9
+  const CodewordTable t = CodewordTable::frequency_directed(counts);
+  EXPECT_EQ(t.length(BlockClass::kC1), 1u);
+  EXPECT_EQ(t.length(BlockClass::kC2), 2u);
+  EXPECT_EQ(t.length(BlockClass::kC8), 4u);  // C8 takes the 4-bit slot
+  EXPECT_EQ(t.length(BlockClass::kC9), 5u);
+  EXPECT_TRUE(t.prefix_free());
+}
+
+TEST(CodewordTable, FrequencyDirectedDefaultOrderReproducesStandard) {
+  // Counts already in the paper's default order keep the standard mapping.
+  std::array<std::size_t, kNumClasses> counts = {900, 500, 10, 9, 8,
+                                                 7,   6,   5, 100};
+  EXPECT_EQ(CodewordTable::frequency_directed(counts),
+            CodewordTable::standard());
+}
+
+TEST(CodewordTable, FrequencyDirectedTiesAreStable) {
+  std::array<std::size_t, kNumClasses> counts{};  // all equal
+  const CodewordTable t = CodewordTable::frequency_directed(counts);
+  EXPECT_EQ(t.length(BlockClass::kC1), 1u);
+  EXPECT_EQ(t.length(BlockClass::kC2), 2u);
+  EXPECT_EQ(t.length(BlockClass::kC3), 4u);
+}
+
+TEST(Codeword, ToStringPadsToLength) {
+  EXPECT_EQ((Codeword{0b0011, 4}).to_string(), "0011");
+  EXPECT_EQ((Codeword{0, 3}).to_string(), "000");
+}
+
+}  // namespace
+}  // namespace nc::codec

@@ -1,0 +1,132 @@
+#include "gen/cube_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nc::gen {
+namespace {
+
+TEST(Profiles, SixIscasCircuits) {
+  const auto& profiles = iscas89_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].name, "s5378");
+  EXPECT_EQ(profiles[0].patterns, 111u);
+  EXPECT_EQ(profiles[0].width, 214u);
+  EXPECT_EQ(profiles[0].total_bits(), 23754u);
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(iscas89_profile("s38417").width, 1664u);
+  EXPECT_THROW(iscas89_profile("s0"), std::out_of_range);
+}
+
+TEST(Profiles, IbmProfilesAreLargeAndSparse) {
+  const auto& ibm = ibm_profiles();
+  ASSERT_EQ(ibm.size(), 2u);
+  EXPECT_GT(ibm[0].total_bits(), 4'000'000u);
+  EXPECT_GT(ibm[0].total_bits(), ibm[1].total_bits());
+  for (const auto& p : ibm) EXPECT_GT(p.x_fraction, 0.9);
+}
+
+TEST(CubeGen, MatchesRequestedDimensions) {
+  CubeGenConfig cfg;
+  cfg.patterns = 20;
+  cfg.width = 300;
+  const auto ts = generate_cubes(cfg);
+  EXPECT_EQ(ts.pattern_count(), 20u);
+  EXPECT_EQ(ts.pattern_length(), 300u);
+}
+
+TEST(CubeGen, HitsTargetXDensity) {
+  for (double target : {0.3, 0.7, 0.9, 0.95}) {
+    CubeGenConfig cfg;
+    cfg.patterns = 50;
+    cfg.width = 2000;
+    cfg.x_fraction = target;
+    cfg.seed = 11;
+    const auto ts = generate_cubes(cfg);
+    EXPECT_NEAR(ts.x_fraction(), target, 0.05) << "target " << target;
+  }
+}
+
+TEST(CubeGen, ZeroXDensityFullySpecified) {
+  CubeGenConfig cfg;
+  cfg.x_fraction = 0.0;
+  cfg.patterns = 5;
+  cfg.width = 100;
+  EXPECT_EQ(generate_cubes(cfg).x_count(), 0u);
+}
+
+TEST(CubeGen, DeterministicPerSeed) {
+  CubeGenConfig cfg;
+  cfg.seed = 9;
+  EXPECT_EQ(generate_cubes(cfg), generate_cubes(cfg));
+  cfg.seed = 10;
+  CubeGenConfig other = cfg;
+  other.seed = 11;
+  EXPECT_FALSE(generate_cubes(cfg) == generate_cubes(other));
+}
+
+TEST(CubeGen, CareBitsAreZeroBiased) {
+  CubeGenConfig cfg;
+  cfg.patterns = 50;
+  cfg.width = 1000;
+  cfg.x_fraction = 0.5;
+  cfg.zero_bias = 0.65;
+  const auto ts = generate_cubes(cfg);
+  std::size_t zeros = 0, ones = 0;
+  for (std::size_t p = 0; p < ts.pattern_count(); ++p)
+    for (std::size_t c = 0; c < ts.pattern_length(); ++c) {
+      if (ts.at(p, c) == bits::Trit::Zero) ++zeros;
+      if (ts.at(p, c) == bits::Trit::One) ++ones;
+    }
+  EXPECT_GT(zeros, ones);
+}
+
+TEST(CubeGen, CareBitsCluster) {
+  // With clustering, the chance that a care bit's neighbour is also a care
+  // bit must exceed the X-free base rate.
+  CubeGenConfig cfg;
+  cfg.patterns = 50;
+  cfg.width = 1000;
+  cfg.x_fraction = 0.8;
+  cfg.cluster_len_mean = 6.0;
+  const auto ts = generate_cubes(cfg);
+  std::size_t care_pairs = 0, care_total = 0;
+  for (std::size_t p = 0; p < ts.pattern_count(); ++p)
+    for (std::size_t c = 0; c + 1 < ts.pattern_length(); ++c) {
+      if (!bits::is_care(ts.at(p, c))) continue;
+      ++care_total;
+      if (bits::is_care(ts.at(p, c + 1))) ++care_pairs;
+    }
+  const double neighbour_rate =
+      static_cast<double>(care_pairs) / static_cast<double>(care_total);
+  EXPECT_GT(neighbour_rate, 0.5);  // base rate would be ~0.2
+}
+
+TEST(CubeGen, RejectsBadConfigs) {
+  CubeGenConfig cfg;
+  cfg.patterns = 0;
+  EXPECT_THROW(generate_cubes(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.x_fraction = 1.0;
+  EXPECT_THROW(generate_cubes(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.cluster_len_mean = 0.5;
+  EXPECT_THROW(generate_cubes(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.zero_bias = 1.5;
+  EXPECT_THROW(generate_cubes(cfg), std::invalid_argument);
+}
+
+TEST(CubeGen, CalibratedMatchesProfile) {
+  const BenchmarkProfile& p = iscas89_profile("s13207");
+  const auto ts = calibrated_cubes(p, 3);
+  EXPECT_EQ(ts.pattern_count(), p.patterns);
+  EXPECT_EQ(ts.pattern_length(), p.width);
+  EXPECT_NEAR(ts.x_fraction(), p.x_fraction, 0.04);
+}
+
+}  // namespace
+}  // namespace nc::gen

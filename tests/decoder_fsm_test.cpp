@@ -1,0 +1,88 @@
+#include "decomp/decoder_fsm.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/codeword_table.h"
+
+namespace nc::decomp {
+namespace {
+
+using codec::BlockClass;
+using codec::CodewordTable;
+
+// Feeds the bit string through recognition states; returns the final step.
+FsmStep recognize(const std::string& bits) {
+  FsmState state = FsmState::kIdle;
+  FsmStep step;
+  for (char c : bits) {
+    step = fsm_step(state, c == '1', false);
+    state = step.next;
+  }
+  return step;
+}
+
+TEST(DecoderFsm, RecognizesEveryStandardCodeword) {
+  const CodewordTable table = CodewordTable::standard();
+  for (std::size_t c = 0; c < codec::kNumClasses; ++c) {
+    const auto cls = static_cast<BlockClass>(c);
+    const FsmStep step = recognize(table.at(cls).to_string());
+    EXPECT_TRUE(step.recognized) << "C" << c + 1;
+    EXPECT_EQ(step.next, FsmState::kHalfA) << "C" << c + 1;
+    EXPECT_EQ(plan_class(step.plan_a, step.plan_b), cls) << "C" << c + 1;
+  }
+}
+
+TEST(DecoderFsm, NoProperPrefixRecognizes) {
+  const CodewordTable table = CodewordTable::standard();
+  for (std::size_t c = 0; c < codec::kNumClasses; ++c) {
+    const std::string word =
+        table.at(static_cast<BlockClass>(c)).to_string();
+    for (std::size_t len = 1; len < word.size(); ++len) {
+      const FsmStep step = recognize(word.substr(0, len));
+      EXPECT_FALSE(step.recognized) << word << " prefix length " << len;
+    }
+  }
+}
+
+TEST(DecoderFsm, RecognitionConsumesDataBits) {
+  EXPECT_TRUE(fsm_step(FsmState::kIdle, false, false).consumes_data_bit);
+  EXPECT_TRUE(fsm_step(FsmState::kSaw11, true, false).consumes_data_bit);
+  EXPECT_FALSE(fsm_step(FsmState::kHalfA, false, false).consumes_data_bit);
+  EXPECT_FALSE(fsm_step(FsmState::kAck, false, false).consumes_data_bit);
+}
+
+TEST(DecoderFsm, HalfStatesWaitForDone) {
+  EXPECT_EQ(fsm_step(FsmState::kHalfA, false, false).next, FsmState::kHalfA);
+  EXPECT_EQ(fsm_step(FsmState::kHalfA, false, true).next, FsmState::kHalfB);
+  EXPECT_EQ(fsm_step(FsmState::kHalfB, false, false).next, FsmState::kHalfB);
+  EXPECT_EQ(fsm_step(FsmState::kHalfB, false, true).next, FsmState::kAck);
+}
+
+TEST(DecoderFsm, AckReturnsToIdle) {
+  const FsmStep step = fsm_step(FsmState::kAck, false, false);
+  EXPECT_EQ(step.next, FsmState::kIdle);
+  EXPECT_TRUE(step.ack);
+}
+
+TEST(DecoderFsm, PlanClassRoundTrip) {
+  using enum HalfPlan;
+  EXPECT_EQ(plan_class(kFill0, kFill0), BlockClass::kC1);
+  EXPECT_EQ(plan_class(kFill1, kFill1), BlockClass::kC2);
+  EXPECT_EQ(plan_class(kFill0, kFill1), BlockClass::kC3);
+  EXPECT_EQ(plan_class(kFill1, kFill0), BlockClass::kC4);
+  EXPECT_EQ(plan_class(kFill0, kData), BlockClass::kC5);
+  EXPECT_EQ(plan_class(kData, kFill0), BlockClass::kC6);
+  EXPECT_EQ(plan_class(kFill1, kData), BlockClass::kC7);
+  EXPECT_EQ(plan_class(kData, kFill1), BlockClass::kC8);
+  EXPECT_EQ(plan_class(kData, kData), BlockClass::kC9);
+}
+
+TEST(DecoderFsm, MaxFiveCyclesPerCodeword) {
+  // Paper: "maximum of five cycles are required for the longest codeword."
+  const CodewordTable table = CodewordTable::standard();
+  for (std::size_t c = 0; c < codec::kNumClasses; ++c)
+    EXPECT_LE(table.at(static_cast<BlockClass>(c)).length, 5u);
+}
+
+}  // namespace
+}  // namespace nc::decomp

@@ -1,0 +1,80 @@
+#include "codec/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gen/cube_gen.h"
+#include "power/fill.h"
+
+namespace nc::codec {
+namespace {
+
+using bits::TestSet;
+
+TEST(Diff, FirstPatternUnchanged) {
+  const TestSet td = TestSet::from_strings({"0110", "0111"});
+  const TestSet d = difference_transform(td);
+  EXPECT_EQ(d.pattern(0).to_string(), "0110");
+  EXPECT_EQ(d.pattern(1).to_string(), "0001");
+}
+
+TEST(Diff, IdenticalPatternsDiffToZero) {
+  const TestSet td = TestSet::from_strings({"1010", "1010", "1010"});
+  const TestSet d = difference_transform(td);
+  EXPECT_EQ(d.pattern(1).to_string(), "0000");
+  EXPECT_EQ(d.pattern(2).to_string(), "0000");
+}
+
+TEST(Diff, InverseIsExact) {
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 40;
+  cfg.width = 120;
+  cfg.x_fraction = 0.8;
+  cfg.seed = 31;
+  const TestSet filled = power::fill(gen::generate_cubes(cfg),
+                                     power::FillStrategy::kMinTransition);
+  EXPECT_EQ(inverse_difference_transform(difference_transform(filled)),
+            filled);
+}
+
+TEST(Diff, RejectsX) {
+  const TestSet td = TestSet::from_strings({"01X0"});
+  EXPECT_THROW(difference_transform(td), std::invalid_argument);
+  EXPECT_THROW(inverse_difference_transform(td), std::invalid_argument);
+}
+
+TEST(Diff, CorrelatedPatternsGetSparser) {
+  // When consecutive patterns differ in only a few bits (the regime the
+  // difference coders exploit), the diff stream is almost all zeros.
+  std::mt19937 rng(8);
+  const std::size_t width = 300;
+  TestSet td(40, width);
+  bits::TritVector row(width, bits::Trit::Zero);
+  for (std::size_t c = 0; c < width; ++c)
+    row.set(c, bits::trit_from_bit(rng() & 1u));
+  for (std::size_t p = 0; p < td.pattern_count(); ++p) {
+    for (int flips = 0; flips < 10; ++flips) {
+      const std::size_t c = rng() % width;
+      row.set(c, row.get(c) == bits::Trit::One ? bits::Trit::Zero
+                                               : bits::Trit::One);
+    }
+    td.set_pattern(p, row);
+  }
+  const TestSet diff = difference_transform(td);
+  std::size_t orig = 0, diffed = 0;
+  for (std::size_t p = 1; p < td.pattern_count(); ++p)
+    for (std::size_t c = 0; c < width; ++c) {
+      orig += td.at(p, c) == bits::Trit::One ? 1 : 0;
+      diffed += diff.at(p, c) == bits::Trit::One ? 1 : 0;
+    }
+  EXPECT_LT(diffed * 5, orig);  // <= 10 ones per diffed row vs ~150
+}
+
+TEST(Diff, EmptySetPassesThrough) {
+  const TestSet empty;
+  EXPECT_EQ(difference_transform(empty), empty);
+}
+
+}  // namespace
+}  // namespace nc::codec

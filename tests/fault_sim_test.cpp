@@ -1,0 +1,148 @@
+#include "sim/fault_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.h"
+#include "circuit/samples.h"
+
+namespace nc::sim {
+namespace {
+
+using bits::TestSet;
+using bits::Trit;
+using bits::TritVector;
+using circuit::Netlist;
+
+TEST(FaultSim, AndGateExhaustivePatternsDetectAll) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  const TestSet all = TestSet::from_strings({"00", "01", "10", "11"});
+  FaultSimulator fsim(nl);
+  const auto result = fsim.run(all, collapsed_fault_list(nl));
+  EXPECT_DOUBLE_EQ(result.coverage_percent(), 100.0);
+}
+
+TEST(FaultSim, SinglePatternDetectsExpectedFaults) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  // Pattern 11 detects y s-a-0 (and the equivalent input s-a-0s) only.
+  const TestSet t11 = TestSet::from_strings({"11"});
+  const std::vector<Fault> faults = {
+      Fault{nl.find("y"), Netlist::npos, 0, false},   // y s-a-0: detected
+      Fault{nl.find("y"), Netlist::npos, 0, true},    // y s-a-1: not (good=1)
+      Fault{nl.find("a"), Netlist::npos, 0, false},   // a s-a-0: detected
+      Fault{nl.find("a"), Netlist::npos, 0, true},    // a s-a-1: not
+  };
+  FaultSimulator fsim(nl);
+  const auto result = fsim.run(t11, faults);
+  EXPECT_TRUE(result.detected[0]);
+  EXPECT_FALSE(result.detected[1]);
+  EXPECT_TRUE(result.detected[2]);
+  EXPECT_FALSE(result.detected[3]);
+  EXPECT_EQ(result.first_detecting_pattern[0], 0u);
+  EXPECT_EQ(result.first_detecting_pattern[1], Netlist::npos);
+}
+
+TEST(FaultSim, XInPatternNeverCountsAsDetection) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  // With a=X the output is X in the good machine: no provable detection of
+  // y s-a-0 even though b=1.
+  const TestSet tx = TestSet::from_strings({"X1"});
+  const std::vector<Fault> faults = {
+      Fault{nl.find("y"), Netlist::npos, 0, false}};
+  FaultSimulator fsim(nl);
+  EXPECT_FALSE(fsim.run(tx, faults).detected[0]);
+}
+
+TEST(FaultSim, BranchFaultDistinctFromStem) {
+  // G3 fans out to both NANDs of c17; a branch fault on G3->G10 must leave
+  // the G11 path clean.
+  const Netlist nl = circuit::samples::c17();
+  const std::size_t g3 = nl.find("G3");
+  const std::size_t g10 = nl.find("G10");
+  // G10 = NAND(G1, G3). Branch G3->G10 pin 1 s-a-1 with pattern making the
+  // stem 0: effect propagates through G10 only.
+  const Fault branch{g3, g10, 1, true};
+  const Fault stem{g3, Netlist::npos, 0, true};
+  // Pattern: G1=1, G2=0, G3=0, G6=X, G7=X.
+  // Good: G10 = NAND(1,0)=1, G11 = 1, G16 = NAND(0,1) = 1, G22 = NAND(1,1)=0.
+  // Branch-faulty: G10 = NAND(1,1) = 0 -> G22 = 1: detected at G22, while
+  // the G11 cone is untouched by the branch fault.
+  const TestSet p = TestSet::from_strings({"100XX"});
+  FaultSimulator fsim(nl);
+  const auto rb = fsim.run(p, {branch});
+  EXPECT_TRUE(rb.detected[0]);
+  // Under the stem fault G11 also flips: NAND(1,1)=0, changing G16/G19 too;
+  // the stem fault is still detected by this pattern (different cones).
+  const auto rs = fsim.run(p, {stem});
+  EXPECT_TRUE(rs.detected[0]);
+}
+
+TEST(FaultSim, DetectionThroughScanCapture) {
+  // Fault visible only at a DFF data input (PPO), not at any PO.
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\n"
+      "f = DFF(g)\n"
+      "g = AND(a, b)\n"
+      "z = BUF(b)\n");
+  const Fault g_sa0{nl.find("g"), Netlist::npos, 0, false};
+  const TestSet p = TestSet::from_strings({"111"});  // a=1 b=1 f=1
+  FaultSimulator fsim(nl);
+  EXPECT_TRUE(fsim.run(p, {g_sa0}).detected[0]);
+}
+
+TEST(FaultSim, S27FullCoverageWithExhaustivePatterns) {
+  const Netlist nl = circuit::samples::s27();
+  // All 128 fully specified 7-bit patterns.
+  std::vector<std::string> rows;
+  for (int v = 0; v < 128; ++v) {
+    std::string r(7, '0');
+    for (int b = 0; b < 7; ++b)
+      if ((v >> b) & 1) r[static_cast<std::size_t>(b)] = '1';
+    rows.push_back(r);
+  }
+  FaultSimulator fsim(nl);
+  const auto result =
+      fsim.run(TestSet::from_strings(rows), collapsed_fault_list(nl));
+  // s27's combinational core is fully testable under full scan.
+  EXPECT_DOUBLE_EQ(result.coverage_percent(), 100.0);
+}
+
+TEST(FaultSim, DropDetectedClearsAliveBits) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  const auto faults = collapsed_fault_list(nl);
+  std::vector<bool> alive(faults.size(), true);
+  FaultSimulator fsim(nl);
+  const std::size_t dropped =
+      fsim.drop_detected(TritVector::from_string("11"), faults, alive);
+  EXPECT_GT(dropped, 0u);
+  std::size_t still = 0;
+  for (bool a : alive) still += a ? 1 : 0;
+  EXPECT_EQ(still + dropped, faults.size());
+}
+
+TEST(FaultSimResult, CoverageMath) {
+  FaultSimResult r;
+  r.detected = {true, false, true, true};
+  EXPECT_EQ(r.detected_count(), 3u);
+  EXPECT_DOUBLE_EQ(r.coverage_percent(), 75.0);
+}
+
+TEST(FaultSim, MoreThan64PatternsCrossGroupBoundary) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  // 70 useless patterns then the detecting one.
+  std::vector<std::string> rows(70, "00");
+  rows.push_back("11");
+  const std::vector<Fault> faults = {
+      Fault{nl.find("y"), Netlist::npos, 0, false}};
+  FaultSimulator fsim(nl);
+  const auto result = fsim.run(TestSet::from_strings(rows), faults);
+  EXPECT_TRUE(result.detected[0]);
+  EXPECT_EQ(result.first_detecting_pattern[0], 70u);
+}
+
+}  // namespace
+}  // namespace nc::sim

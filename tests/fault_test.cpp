@@ -1,0 +1,94 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.h"
+#include "circuit/samples.h"
+
+namespace nc::sim {
+namespace {
+
+using circuit::GateType;
+using circuit::Netlist;
+
+TEST(FanoutCounts, CountsGatePinsAndOutputs) {
+  const Netlist nl = circuit::samples::c17();
+  const auto fanout = fanout_counts(nl);
+  // G11 feeds G16 and G19: fanout 2. G16 feeds G22, G23: 2.
+  EXPECT_EQ(fanout[nl.find("G11")], 2u);
+  EXPECT_EQ(fanout[nl.find("G16")], 2u);
+  // G22 is only a primary output: fanout 1.
+  EXPECT_EQ(fanout[nl.find("G22")], 1u);
+  // G10 feeds only G22.
+  EXPECT_EQ(fanout[nl.find("G10")], 1u);
+}
+
+TEST(FullFaultList, CountsStemsAndBranches) {
+  const Netlist nl = circuit::samples::c17();
+  const auto faults = full_fault_list(nl);
+  // Stems: 2 per node (11 nodes). Branches: fanout>1 nodes are G1? no --
+  // G3 (feeds G10, G11), G11 (G16, G19), G16 (G22, G23): each contributes
+  // 2 branches x 2 polarities = 4 faults. Total = 22 + 12 = 34.
+  std::size_t stems = 0, branches = 0;
+  for (const Fault& f : faults) (f.is_stem() ? stems : branches) += 1;
+  EXPECT_EQ(stems, 2 * nl.size());
+  EXPECT_EQ(branches, 12u);
+}
+
+TEST(FullFaultList, BranchFaultsOnlyOnMultiFanout) {
+  const Netlist nl = circuit::samples::c17();
+  const auto fanout = fanout_counts(nl);
+  for (const Fault& f : full_fault_list(nl))
+    if (!f.is_stem()) {
+      EXPECT_GT(fanout[f.node], 1u);
+    }
+}
+
+TEST(CollapsedFaultList, SmallerThanFull) {
+  const Netlist nl = circuit::samples::c17();
+  const auto full = full_fault_list(nl);
+  const auto collapsed = collapsed_fault_list(nl);
+  EXPECT_LT(collapsed.size(), full.size());
+  EXPECT_GT(collapsed.size(), 0u);
+}
+
+TEST(CollapsedFaultList, InverterChainCollapsesToTwo) {
+  // a -> NOT -> NOT -> y : all six stem faults collapse into two classes.
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nn1 = NOT(a)\ny = NOT(n1)\n");
+  const auto collapsed = collapsed_fault_list(nl);
+  EXPECT_EQ(collapsed.size(), 2u);
+}
+
+TEST(CollapsedFaultList, AndGateKeepsSixOfEight) {
+  // 2-input AND, single fanout everywhere: 8 stem faults total
+  // (a0,a1,b0,b1,y0,y1 -- 6 faults); a-sa0 == b-sa0 == y-sa0 merge -> 4.
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  const auto collapsed = collapsed_fault_list(nl);
+  EXPECT_EQ(collapsed.size(), 4u);
+}
+
+TEST(CollapsedFaultList, XorDoesNotCollapse) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n");
+  EXPECT_EQ(collapsed_fault_list(nl).size(), 6u);
+}
+
+TEST(Fault, ToStringFormats) {
+  const Netlist nl = circuit::samples::c17();
+  const Fault stem{nl.find("G10"), Netlist::npos, 0, true};
+  EXPECT_EQ(stem.to_string(nl), "G10 s-a-1");
+  const Fault branch{nl.find("G11"), nl.find("G16"), 1, false};
+  EXPECT_EQ(branch.to_string(nl), "G11->G16.1 s-a-0");
+}
+
+TEST(CollapsedFaultList, WorksOnSequentialCircuit) {
+  const Netlist nl = circuit::samples::s27();
+  const auto collapsed = collapsed_fault_list(nl);
+  const auto full = full_fault_list(nl);
+  EXPECT_LT(collapsed.size(), full.size());
+}
+
+}  // namespace
+}  // namespace nc::sim

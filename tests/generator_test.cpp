@@ -1,0 +1,87 @@
+#include "circuit/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.h"
+
+namespace nc::circuit {
+namespace {
+
+TEST(Generator, ProducesRequestedShape) {
+  GeneratorConfig cfg;
+  cfg.num_inputs = 12;
+  cfg.num_flops = 20;
+  cfg.num_gates = 300;
+  cfg.num_outputs = 6;
+  const Netlist nl = generate_circuit(cfg);
+  EXPECT_EQ(nl.inputs().size(), 12u);
+  EXPECT_EQ(nl.flops().size(), 20u);
+  EXPECT_EQ(nl.logic_gate_count(), 300u);
+  // At least the requested outputs; dangling gates are promoted to POs too.
+  EXPECT_GE(nl.outputs().size(), 6u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  GeneratorConfig cfg;
+  cfg.seed = 42;
+  const std::string a = to_bench_string(generate_circuit(cfg));
+  const std::string b = to_bench_string(generate_circuit(cfg));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(to_bench_string(generate_circuit(a)),
+            to_bench_string(generate_circuit(b)));
+}
+
+TEST(Generator, FlopsFedByGates) {
+  GeneratorConfig cfg;
+  cfg.num_flops = 5;
+  const Netlist nl = generate_circuit(cfg);
+  for (std::size_t f : nl.flops()) {
+    ASSERT_EQ(nl.gate(f).fanins.size(), 1u);
+    const GateType t = nl.gate(nl.gate(f).fanins[0]).type;
+    EXPECT_NE(t, GateType::kInput);
+    EXPECT_NE(t, GateType::kDff);
+  }
+}
+
+TEST(Generator, PureCombinationalWhenNoFlops) {
+  GeneratorConfig cfg;
+  cfg.num_flops = 0;
+  const Netlist nl = generate_circuit(cfg);
+  EXPECT_TRUE(nl.flops().empty());
+  EXPECT_NO_THROW(nl.levelize());
+}
+
+TEST(Generator, RejectsDegenerateConfigs) {
+  GeneratorConfig no_sources;
+  no_sources.num_inputs = 0;
+  no_sources.num_flops = 0;
+  EXPECT_THROW(generate_circuit(no_sources), std::invalid_argument);
+
+  GeneratorConfig no_gates;
+  no_gates.num_gates = 0;
+  EXPECT_THROW(generate_circuit(no_gates), std::invalid_argument);
+
+  GeneratorConfig tiny_fanin;
+  tiny_fanin.max_fanin = 1;
+  EXPECT_THROW(generate_circuit(tiny_fanin), std::invalid_argument);
+}
+
+TEST(Generator, ScalesToThousandsOfGates) {
+  GeneratorConfig cfg;
+  cfg.num_gates = 5000;
+  cfg.num_inputs = 35;
+  cfg.num_flops = 150;
+  const Netlist nl = generate_circuit(cfg);
+  EXPECT_EQ(nl.logic_gate_count(), 5000u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+}  // namespace
+}  // namespace nc::circuit

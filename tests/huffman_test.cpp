@@ -1,0 +1,95 @@
+#include "bits/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace nc::bits {
+namespace {
+
+TEST(Huffman, TwoSymbolsGetOneBitEach) {
+  const HuffmanCode hc = HuffmanCode::build({10, 3});
+  EXPECT_EQ(hc.length(0), 1u);
+  EXPECT_EQ(hc.length(1), 1u);
+  EXPECT_NE(hc.code(0), hc.code(1));
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  const HuffmanCode hc = HuffmanCode::build({0, 5, 0});
+  EXPECT_FALSE(hc.has_code(0));
+  EXPECT_TRUE(hc.has_code(1));
+  EXPECT_EQ(hc.length(1), 1u);
+}
+
+TEST(Huffman, EmptyAlphabet) {
+  const HuffmanCode hc = HuffmanCode::build({0, 0});
+  EXPECT_FALSE(hc.has_code(0));
+  EXPECT_FALSE(hc.has_code(1));
+}
+
+TEST(Huffman, SkewedFrequenciesGiveShorterCodesToFrequentSymbols) {
+  const HuffmanCode hc = HuffmanCode::build({100, 50, 20, 5, 1});
+  EXPECT_LE(hc.length(0), hc.length(1));
+  EXPECT_LE(hc.length(1), hc.length(2));
+  EXPECT_LE(hc.length(2), hc.length(3));
+  EXPECT_LE(hc.length(3), hc.length(4));
+}
+
+TEST(Huffman, KraftEqualityHolds) {
+  const HuffmanCode hc = HuffmanCode::build({7, 7, 7, 7, 1, 1, 3});
+  double kraft = 0;
+  for (std::size_t s = 0; s < hc.symbol_count(); ++s)
+    if (hc.has_code(s)) kraft += std::pow(2.0, -double(hc.length(s)));
+  EXPECT_DOUBLE_EQ(kraft, 1.0);
+}
+
+TEST(Huffman, OptimalForKnownDistribution) {
+  // Frequencies 8,4,2,1,1: optimal lengths 1,2,3,4,4 -> 8+8+6+4+4 = 30 bits.
+  const HuffmanCode hc = HuffmanCode::build({8, 4, 2, 1, 1});
+  EXPECT_EQ(hc.coded_bits({8, 4, 2, 1, 1}), 30u);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  std::mt19937 rng(5);
+  const std::vector<std::size_t> freq = {50, 30, 10, 7, 2, 1};
+  const HuffmanCode hc = HuffmanCode::build(freq);
+  std::vector<std::size_t> message;
+  for (int i = 0; i < 500; ++i) message.push_back(rng() % freq.size());
+  bits::BitWriter w;
+  for (std::size_t s : message) hc.encode(w, s);
+  const bits::TritVector stream = w.take();
+  bits::TritReader r(stream);
+  for (std::size_t s : message) EXPECT_EQ(hc.decode(r), s);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Huffman, EncodingUnknownSymbolThrows) {
+  const HuffmanCode hc = HuffmanCode::build({5, 0});
+  bits::BitWriter w;
+  EXPECT_THROW(hc.encode(w, 1), std::invalid_argument);
+  EXPECT_THROW(hc.encode(w, 9), std::invalid_argument);
+}
+
+TEST(Huffman, PrefixFreedom) {
+  const HuffmanCode hc = HuffmanCode::build({13, 8, 5, 3, 2, 1, 1, 1});
+  for (std::size_t a = 0; a < hc.symbol_count(); ++a) {
+    for (std::size_t b = 0; b < hc.symbol_count(); ++b) {
+      if (a == b || !hc.has_code(a) || !hc.has_code(b)) continue;
+      if (hc.length(a) > hc.length(b)) continue;
+      EXPECT_NE(hc.code(b) >> (hc.length(b) - hc.length(a)), hc.code(a))
+          << a << " prefixes " << b;
+    }
+  }
+}
+
+TEST(Huffman, CanonicalCodesAreDeterministic) {
+  const HuffmanCode a = HuffmanCode::build({4, 4, 2, 2});
+  const HuffmanCode b = HuffmanCode::build({4, 4, 2, 2});
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(a.length(s), b.length(s));
+    EXPECT_EQ(a.code(s), b.code(s));
+  }
+}
+
+}  // namespace
+}  // namespace nc::bits

@@ -1,0 +1,85 @@
+#include "sim/lfsr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nc::sim {
+namespace {
+
+TEST(LfsrUnit, RejectsBadConfig) {
+  EXPECT_THROW(Lfsr(1, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(65, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(4, 0), std::invalid_argument);
+  EXPECT_THROW(Lfsr(4, 0b10000), std::invalid_argument);  // tap beyond width
+  EXPECT_THROW(Lfsr(4, 0b0001), std::invalid_argument);   // top bit clear
+  EXPECT_THROW(Lfsr(4, 0b1001, 0), std::invalid_argument);  // zero seed
+  EXPECT_THROW(Lfsr(4, 0b1001, 16), std::invalid_argument);  // masks to zero
+}
+
+TEST(LfsrUnit, X4PrimitivePolynomialHasFullPeriod) {
+  // x^4 + x + 1 is primitive: period 15.
+  Lfsr lfsr(4, 0b1001, 1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_TRUE(seen.insert(lfsr.state()).second) << "state repeated early";
+    lfsr.step();
+  }
+  EXPECT_EQ(lfsr.state(), 1u);  // back to the seed after 15 steps
+}
+
+TEST(LfsrUnit, NeverReachesZeroState) {
+  Lfsr lfsr = Lfsr::standard(8, 0xA5);
+  for (int i = 0; i < 1000; ++i) {
+    lfsr.step();
+    EXPECT_NE(lfsr.state(), 0u);
+  }
+}
+
+TEST(LfsrUnit, StandardWidthsConstruct) {
+  for (unsigned w : {4u, 8u, 16u, 20u, 24u, 32u, 48u, 64u})
+    EXPECT_NO_THROW(Lfsr::standard(w)) << w;
+}
+
+TEST(LfsrUnit, OutputBitIsLsb) {
+  Lfsr lfsr(4, 0b1001, 0b0010);
+  EXPECT_FALSE(lfsr.step());  // seed LSB was 0; state -> 0b0001
+  EXPECT_TRUE(lfsr.step());   // LSB 1; Galois XOR fires
+  EXPECT_EQ(lfsr.state(), 0b1001u);
+}
+
+TEST(LfsrUnit, DeterministicPerSeed) {
+  Lfsr a = Lfsr::standard(16, 77);
+  Lfsr b = Lfsr::standard(16, 77);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.step(), b.step());
+}
+
+TEST(LfsrPatterns, ShapeAndSpecified) {
+  Lfsr lfsr = Lfsr::standard(16);
+  const bits::TestSet ts = lfsr.generate_patterns(20, 33);
+  EXPECT_EQ(ts.pattern_count(), 20u);
+  EXPECT_EQ(ts.pattern_length(), 33u);
+  EXPECT_EQ(ts.x_count(), 0u);
+}
+
+TEST(LfsrPatterns, RoughlyBalanced) {
+  Lfsr lfsr = Lfsr::standard(24, 5);
+  const bits::TestSet ts = lfsr.generate_patterns(50, 100);
+  std::size_t ones = 0;
+  for (std::size_t p = 0; p < ts.pattern_count(); ++p)
+    for (std::size_t c = 0; c < ts.pattern_length(); ++c)
+      ones += ts.at(p, c) == bits::Trit::One ? 1 : 0;
+  const double frac = static_cast<double>(ones) / 5000.0;
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(LfsrPatterns, ConsecutivePatternsDiffer) {
+  Lfsr lfsr = Lfsr::standard(16);
+  const bits::TestSet ts = lfsr.generate_patterns(10, 64);
+  for (std::size_t p = 1; p < ts.pattern_count(); ++p)
+    EXPECT_FALSE(ts.pattern(p) == ts.pattern(p - 1));
+}
+
+}  // namespace
+}  // namespace nc::sim

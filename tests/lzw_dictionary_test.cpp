@@ -1,0 +1,148 @@
+// Tests for the LZ-family related-work coders: LZW [25] and the
+// fixed-length-index dictionary scheme [26].
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/dictionary.h"
+#include "baselines/lzw.h"
+#include "gen/cube_gen.h"
+
+namespace nc::baselines {
+namespace {
+
+using bits::Trit;
+using bits::TritVector;
+
+// ------------------------------------------------------------------- LZW --
+
+TEST(Lzw, RejectsBadWidth) {
+  EXPECT_THROW(Lzw(1), std::invalid_argument);
+  EXPECT_THROW(Lzw(21), std::invalid_argument);
+}
+
+TEST(Lzw, RoundTripShortStrings) {
+  const Lzw lzw(4);
+  for (const char* s : {"0", "1", "01", "0000", "010101010101",
+                        "1111111100000000", "0110100110010110"}) {
+    const TritVector td = TritVector::from_string(s);
+    const TritVector d = lzw.decode(lzw.encode(td), td.size());
+    EXPECT_EQ(d.to_string(), s);
+  }
+}
+
+TEST(Lzw, KwKwKCase) {
+  // "000...": phrases 0, 00, 000...; the decoder hits codes it has not
+  // finished defining (the classic KwKwK corner).
+  const Lzw lzw(4);
+  TritVector td;
+  td.append_run(100, Trit::Zero);
+  const TritVector d = lzw.decode(lzw.encode(td), td.size());
+  EXPECT_EQ(d, td);
+}
+
+TEST(Lzw, DictionaryFreezeStillRoundTrips) {
+  // Width 3 -> dictionary caps at 8 entries almost immediately.
+  const Lzw lzw(3);
+  std::mt19937 rng(4);
+  TritVector td;
+  for (int i = 0; i < 2000; ++i) td.push_back(bits::trit_from_bit(rng() & 1u));
+  EXPECT_TRUE(td.covered_by(lzw.decode(lzw.encode(td), td.size())));
+}
+
+TEST(Lzw, XFillsAsZero) {
+  const Lzw lzw(4);
+  EXPECT_EQ(lzw.encode(TritVector::from_string("0XX01")),
+            lzw.encode(TritVector::from_string("00001")));
+}
+
+TEST(Lzw, RepetitiveDataCompresses) {
+  const Lzw lzw(10);
+  TritVector td;
+  for (int i = 0; i < 500; ++i) {
+    td.append_run(30, Trit::Zero);
+    td.push_back(Trit::One);
+  }
+  // Fixed-width codes make LZW modest: ~2.5-3x on this highly repetitive
+  // stream (the growing-width variant would do better).
+  EXPECT_LT(lzw.encode(td).size(), td.size() / 2);
+}
+
+TEST(Lzw, CorruptStreamThrows) {
+  const Lzw lzw(6);
+  // First code out of range (dictionary has 2 entries, code 63 invalid).
+  EXPECT_THROW(lzw.decode(TritVector::from_string("111111"), 10),
+               std::runtime_error);
+}
+
+TEST(Lzw, EmptyInput) {
+  const Lzw lzw(8);
+  EXPECT_TRUE(lzw.encode(TritVector{}).empty());
+  EXPECT_TRUE(lzw.decode(TritVector{}, 0).empty());
+}
+
+// ------------------------------------------------------------ dictionary --
+
+TEST(FixedDictionaryTest, RejectsBadConfig) {
+  EXPECT_THROW(FixedDictionary(0, 4), std::invalid_argument);
+  EXPECT_THROW(FixedDictionary(65, 4), std::invalid_argument);
+  EXPECT_THROW(FixedDictionary(8, 1), std::invalid_argument);
+}
+
+TEST(FixedDictionaryTest, IndexWidthIsCeilLog2) {
+  EXPECT_EQ(FixedDictionary(8, 128).index_bits(), 7u);
+  EXPECT_EQ(FixedDictionary(8, 100).index_bits(), 7u);
+  EXPECT_EQ(FixedDictionary(8, 2).index_bits(), 1u);
+}
+
+TEST(FixedDictionaryTest, UntrainedDecodeThrows) {
+  EXPECT_THROW(FixedDictionary(8, 4).decode(TritVector::from_string("0"), 1),
+               std::logic_error);
+}
+
+TEST(FixedDictionaryTest, HitsUseIndicesMissesTravelRaw) {
+  std::string s;
+  for (int i = 0; i < 12; ++i) s += "11110000";
+  for (int i = 0; i < 8; ++i) s += "00110011";
+  s += "01100110";  // third distinct block; D=2 keeps only the two above
+  const TritVector td = TritVector::from_string(s);
+  const FixedDictionary dict = FixedDictionary::trained(td, 8, 2);
+  const TritVector te = dict.encode(td);
+  // 20 hits x (1 + 1) bits + 1 miss x (1 + 8) bits.
+  EXPECT_EQ(te.size(), 20u * 2 + 9u);
+  const TritVector d = dict.decode(te, td.size());
+  EXPECT_EQ(d.to_string(), s);
+}
+
+TEST(FixedDictionaryTest, CompatibleXBlocksHitTheDictionary) {
+  std::string s;
+  for (int i = 0; i < 10; ++i) s += "0000111100001111";
+  s += "0000XXXX0000XXXX";
+  const TritVector td = TritVector::from_string(s);
+  const FixedDictionary dict = FixedDictionary::trained(td, 16, 4);
+  const TritVector d = dict.decode(dict.encode(td), td.size());
+  EXPECT_TRUE(td.covered_by(d));
+  EXPECT_EQ(d.slice(160, 16).to_string(), "0000111100001111");
+}
+
+TEST(FixedDictionaryTest, RoundTripOnCalibratedCubes) {
+  const TritVector td =
+      nc::gen::calibrated_cubes(nc::gen::iscas89_profile("s5378"), 2)
+          .flatten();
+  const FixedDictionary dict = FixedDictionary::trained(td, 16, 128);
+  const TritVector d = dict.decode(dict.encode(td), td.size());
+  EXPECT_TRUE(td.covered_by(d));
+  EXPECT_EQ(d.x_count(), 0u);
+}
+
+TEST(FixedDictionaryTest, HighXCubesCompress) {
+  const TritVector td =
+      nc::gen::calibrated_cubes(nc::gen::iscas89_profile("s13207"), 2)
+          .flatten();
+  // b=32: a hit costs 1+7 bits per 32-bit block, so the CR ceiling is 75%.
+  const FixedDictionary dict = FixedDictionary::trained(td, 32, 128);
+  EXPECT_LT(dict.encode(td).size(), td.size() / 2);
+}
+
+}  // namespace
+}  // namespace nc::baselines

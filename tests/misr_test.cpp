@@ -1,0 +1,120 @@
+#include "sim/misr.h"
+
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.h"
+#include "circuit/samples.h"
+#include "sim/fault_sim.h"
+
+namespace nc::sim {
+namespace {
+
+using bits::TestSet;
+using bits::TritVector;
+
+TEST(MisrUnit, RejectsBadConfig) {
+  EXPECT_THROW(Misr(0, 1), std::invalid_argument);
+  EXPECT_THROW(Misr(65, 1), std::invalid_argument);
+  EXPECT_THROW(Misr(4, 0x10), std::invalid_argument);  // tap beyond width
+  EXPECT_NO_THROW(Misr(64, ~0ull));
+}
+
+TEST(MisrUnit, AbsorbShiftsAndXors) {
+  // width 4, feedback 0b1001: from state 0, absorbing "1000" (LSB-first
+  // slice: bit0 = 1) gives state 0b0001.
+  Misr m(4, 0b1001);
+  m.absorb(TritVector::from_string("1000"));
+  EXPECT_EQ(m.signature(), 0b0001u);
+  // Next absorb of zeros: shift left; top bit clear -> no feedback.
+  m.absorb(TritVector::from_string("0000"));
+  EXPECT_EQ(m.signature(), 0b0010u);
+}
+
+TEST(MisrUnit, FeedbackFires) {
+  Misr m(4, 0b1001);
+  m.reset(0b1000);  // top bit set
+  m.absorb(TritVector::from_string("0000"));
+  // Shift: 0b0000 (top bit out), feedback 0b1001 XORed in.
+  EXPECT_EQ(m.signature(), 0b1001u);
+}
+
+TEST(MisrUnit, RejectsXInput) {
+  Misr m = Misr::standard(8);
+  EXPECT_THROW(m.absorb(TritVector::from_string("0X")), std::invalid_argument);
+}
+
+TEST(MisrUnit, RejectsOversizeSlice) {
+  Misr m(4, 0b1001);
+  EXPECT_THROW(m.absorb(TritVector::from_string("00000")),
+               std::invalid_argument);
+}
+
+TEST(MisrUnit, OrderSensitive) {
+  Misr a = Misr::standard(16);
+  Misr b = Misr::standard(16);
+  a.absorb(TritVector::from_string("10"));
+  a.absorb(TritVector::from_string("01"));
+  b.absorb(TritVector::from_string("01"));
+  b.absorb(TritVector::from_string("10"));
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(MisrSignature, GoodSignatureDeterministic) {
+  const auto nl = circuit::samples::s27();
+  const TestSet patterns = TestSet::from_strings(
+      {"0000000", "1111111", "0101010", "1010101"});
+  const Misr misr = Misr::standard(16);
+  EXPECT_EQ(good_signature(nl, patterns, misr),
+            good_signature(nl, patterns, misr));
+}
+
+TEST(MisrSignature, DetectedFaultChangesSignature) {
+  const auto nl = circuit::samples::s27();
+  // ATPG tests with random fill: fully specified, full coverage.
+  atpg::AtpgConfig cfg;
+  const auto result = atpg::generate_tests(nl, cfg);
+  const TestSet patterns = atpg::random_fill(result.tests, 3);
+
+  const Misr misr = Misr::standard(16);
+  const std::uint64_t good = good_signature(nl, patterns, misr);
+
+  const auto faults = collapsed_fault_list(nl);
+  FaultSimulator fsim(nl);
+  const auto detected = fsim.run(patterns, faults);
+  std::size_t flagged = 0, detected_count = 0;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (!detected.detected[f]) continue;
+    ++detected_count;
+    if (faulty_signature(nl, patterns, misr, faults[f]) != good) ++flagged;
+  }
+  ASSERT_GT(detected_count, 0u);
+  // Aliasing probability is ~2^-16 per fault; all should be flagged here.
+  EXPECT_EQ(flagged, detected_count);
+}
+
+TEST(MisrSignature, UndetectedFaultKeepsSignature) {
+  const auto nl = circuit::samples::s27();
+  // A single all-zero pattern detects few faults; any fault that the fault
+  // simulator says is undetected must keep the signature.
+  const TestSet patterns = TestSet::from_strings({"0000000"});
+  const Misr misr = Misr::standard(16);
+  const std::uint64_t good = good_signature(nl, patterns, misr);
+  const auto faults = collapsed_fault_list(nl);
+  FaultSimulator fsim(nl);
+  const auto detected = fsim.run(patterns, faults);
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (detected.detected[f]) continue;
+    EXPECT_EQ(faulty_signature(nl, patterns, misr, faults[f]), good)
+        << faults[f].to_string(nl);
+  }
+}
+
+TEST(MisrSignature, XInResponseThrows) {
+  const auto nl = circuit::samples::s27();
+  const TestSet patterns = TestSet::from_strings({"XXXXXXX"});
+  EXPECT_THROW(good_signature(nl, patterns, Misr::standard(16)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nc::sim

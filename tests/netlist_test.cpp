@@ -1,0 +1,103 @@
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace nc::circuit {
+namespace {
+
+Netlist tiny() {
+  // a, b inputs; n = NAND(a,b); o = NOT(n); output o.
+  Netlist nl;
+  const auto a = nl.add_gate(GateType::kInput, "a");
+  const auto b = nl.add_gate(GateType::kInput, "b");
+  const auto n = nl.add_gate(GateType::kNand, "n", {a, b});
+  const auto o = nl.add_gate(GateType::kNot, "o", {n});
+  nl.mark_output(o);
+  return nl;
+}
+
+TEST(Netlist, BasicAccessors) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.size(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_TRUE(nl.flops().empty());
+  EXPECT_EQ(nl.logic_gate_count(), 2u);
+  EXPECT_EQ(nl.pattern_width(), 2u);
+  EXPECT_EQ(nl.response_width(), 1u);
+}
+
+TEST(Netlist, FindByName) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.find("n"), 2u);
+  EXPECT_EQ(nl.find("zz"), Netlist::npos);
+}
+
+TEST(Netlist, LevelizeRespectsDependencies) {
+  const Netlist nl = tiny();
+  const auto order = nl.levelize();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  EXPECT_LT(position[0], position[2]);  // a before n
+  EXPECT_LT(position[1], position[2]);  // b before n
+  EXPECT_LT(position[2], position[3]);  // n before o
+}
+
+TEST(Netlist, LevelizeDetectsCombinationalCycle) {
+  Netlist nl;
+  const auto a = nl.add_gate(GateType::kInput, "a");
+  const auto g1 = nl.add_gate(GateType::kAnd, "g1");
+  const auto g2 = nl.add_gate(GateType::kOr, "g2", {g1, a});
+  nl.set_fanins(g1, {g2, a});
+  EXPECT_THROW(nl.levelize(), std::runtime_error);
+}
+
+TEST(Netlist, DffBreaksCycle) {
+  // g depends on flop output; flop data comes from g: sequential loop, fine.
+  Netlist nl;
+  const auto a = nl.add_gate(GateType::kInput, "a");
+  const auto f = nl.add_gate(GateType::kDff, "f");
+  const auto g = nl.add_gate(GateType::kAnd, "g", {a, f});
+  nl.set_fanins(f, {g});
+  nl.mark_output(g);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.pattern_width(), 2u);
+  EXPECT_EQ(nl.response_width(), 2u);
+}
+
+TEST(Netlist, ValidateRejectsDuplicateNames) {
+  Netlist nl;
+  nl.add_gate(GateType::kInput, "a");
+  nl.add_gate(GateType::kInput, "a");
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ValidateRejectsBadArity) {
+  Netlist nl;
+  const auto a = nl.add_gate(GateType::kInput, "a");
+  nl.add_gate(GateType::kNot, "n", {a, a});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ValidateRejectsDanglingFanin) {
+  Netlist nl;
+  nl.add_gate(GateType::kInput, "a");
+  nl.add_gate(GateType::kBuf, "b", {42});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ValidateRejectsUnnamedGate) {
+  Netlist nl;
+  nl.add_gate(GateType::kInput, "");
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(GateTypeName, CoversAllTypes) {
+  EXPECT_STREQ(gate_type_name(GateType::kNand), "nand");
+  EXPECT_STREQ(gate_type_name(GateType::kDff), "dff");
+  EXPECT_STREQ(gate_type_name(GateType::kXnor), "xnor");
+}
+
+}  // namespace
+}  // namespace nc::circuit

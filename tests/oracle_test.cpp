@@ -1,0 +1,103 @@
+// The exhaustive oracle itself, then the headline property: PODEM's
+// testable/untestable verdicts agree with exhaustive ground truth on every
+// collapsed fault of many small random circuits.
+#include "atpg/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "atpg/podem.h"
+#include "circuit/bench_io.h"
+#include "circuit/generator.h"
+#include "circuit/samples.h"
+#include "sim/fault_sim.h"
+
+namespace nc::atpg {
+namespace {
+
+using bits::TestSet;
+using circuit::Netlist;
+using sim::Fault;
+
+TEST(Oracle, FindsKnownTest) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  const auto cube =
+      oracle_find_test(nl, Fault{nl.find("y"), Netlist::npos, 0, false});
+  ASSERT_TRUE(cube.has_value());
+  EXPECT_EQ(cube->to_string(), "11");
+}
+
+TEST(Oracle, ProvesRedundantFaultUntestable) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n");
+  EXPECT_FALSE(
+      oracle_find_test(nl, Fault{nl.find("y"), Netlist::npos, 0, true})
+          .has_value());
+}
+
+TEST(Oracle, RejectsWideCircuits) {
+  circuit::GeneratorConfig cfg;
+  cfg.num_inputs = 20;
+  cfg.num_flops = 10;
+  const Netlist nl = circuit::generate_circuit(cfg);
+  EXPECT_THROW(
+      oracle_find_test(nl, Fault{0, Netlist::npos, 0, false}),
+      std::invalid_argument);
+}
+
+TEST(Oracle, ReturnedTestActuallyDetects) {
+  const Netlist nl = circuit::samples::s27();
+  sim::FaultSimulator fsim(nl);
+  for (const Fault& f : sim::collapsed_fault_list(nl)) {
+    const auto cube = oracle_find_test(nl, f);
+    ASSERT_TRUE(cube.has_value()) << f.to_string(nl);
+    TestSet one(1, cube->size());
+    one.set_pattern(0, *cube);
+    EXPECT_TRUE(fsim.run(one, {f}).detected[0]) << f.to_string(nl);
+  }
+}
+
+// The headline cross-check: PODEM == exhaustive truth on random circuits.
+class PodemVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(PodemVsOracle, VerdictsAgreeOnEveryCollapsedFault) {
+  circuit::GeneratorConfig cfg;
+  cfg.num_inputs = 6;
+  cfg.num_flops = 6;
+  cfg.num_gates = 60;
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  const Netlist nl = circuit::generate_circuit(cfg);
+
+  Podem podem(nl, /*max_backtracks=*/1u << 14);
+  sim::FaultSimulator fsim(nl);
+  std::size_t aborted = 0;
+  for (const Fault& f : sim::collapsed_fault_list(nl)) {
+    const PodemResult r = podem.generate(f);
+    const auto truth = oracle_find_test(nl, f);
+    switch (r.outcome) {
+      case PodemOutcome::kTestFound: {
+        ASSERT_TRUE(truth.has_value())
+            << "PODEM found a test for the untestable " << f.to_string(nl);
+        TestSet one(1, r.cube.size());
+        one.set_pattern(0, r.cube);
+        EXPECT_TRUE(fsim.run(one, {f}).detected[0]) << f.to_string(nl);
+        break;
+      }
+      case PodemOutcome::kUntestable:
+        EXPECT_FALSE(truth.has_value())
+            << "PODEM called the testable fault " << f.to_string(nl)
+            << " untestable";
+        break;
+      case PodemOutcome::kAborted:
+        ++aborted;  // inconclusive is allowed, just not wrong
+        break;
+    }
+  }
+  // With a 16k backtrack budget on 12-input cones, aborts should be rare.
+  EXPECT_LE(aborted, 2u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PodemVsOracle, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace nc::atpg

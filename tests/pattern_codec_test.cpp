@@ -1,0 +1,139 @@
+#include "codec/pattern_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "codec/nine_coded.h"
+#include "gen/cube_gen.h"
+
+namespace nc::codec {
+namespace {
+
+using bits::Trit;
+using bits::TritVector;
+
+TEST(HalfPatternTest, BitGenerators) {
+  EXPECT_FALSE(HalfPattern{HalfPattern::Kind::kConst0}.bit_at(0));
+  EXPECT_TRUE(HalfPattern{HalfPattern::Kind::kConst1}.bit_at(3));
+  // A = 0101..., B = 1010...
+  const HalfPattern a{HalfPattern::Kind::kAlt01};
+  const HalfPattern b{HalfPattern::Kind::kAlt10};
+  EXPECT_FALSE(a.bit_at(0));
+  EXPECT_TRUE(a.bit_at(1));
+  EXPECT_TRUE(b.bit_at(0));
+  EXPECT_FALSE(b.bit_at(1));
+  EXPECT_EQ(a.symbol(), 'A');
+  EXPECT_EQ(b.symbol(), 'B');
+}
+
+TEST(PatternCodec, RejectsBadConfig) {
+  EXPECT_THROW(PatternCodec(7, nine_coded_patterns()), std::invalid_argument);
+  EXPECT_THROW(PatternCodec(8, {}), std::invalid_argument);
+}
+
+TEST(PatternCodec, ClassCount) {
+  EXPECT_EQ(PatternCodec(8, nine_coded_patterns()).class_count(), 9u);
+  EXPECT_EQ(PatternCodec(8, extended_patterns()).class_count(), 25u);
+}
+
+TEST(PatternCodec, NameListsPatterns) {
+  EXPECT_EQ(PatternCodec(8, extended_patterns()).name(), "Pattern{01AB}(K=8)");
+}
+
+TEST(PatternCodec, ClassifyMatchesFirstCompatiblePattern) {
+  const PatternCodec pc(8, extended_patterns());
+  // "01010101": both halves match A (class index 2); class = 2*5+2 = 12.
+  EXPECT_EQ(pc.classify(TritVector::from_string("01010101"), 0), 12u);
+  // All-X prefers pattern 0 (const0): class 0.
+  EXPECT_EQ(pc.classify(TritVector::from_string("XXXXXXXX"), 0), 0u);
+  // Left mismatch, right 1s: (4, 1) -> 21.
+  EXPECT_EQ(pc.classify(TritVector::from_string("01101111"), 0), 21u);
+}
+
+TEST(PatternCodec, UntrainedDecodeThrows) {
+  const PatternCodec pc(8, nine_coded_patterns());
+  EXPECT_THROW(pc.decode(TritVector::from_string("0"), 8), std::logic_error);
+}
+
+TEST(PatternCodec, TrainedRoundTripPreservesCareBits) {
+  std::mt19937 rng(3);
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 20;
+  cfg.width = 203;
+  cfg.x_fraction = 0.75;
+  cfg.seed = 5;
+  const TritVector td = gen::generate_cubes(cfg).flatten();
+  for (const auto& patterns : {nine_coded_patterns(), extended_patterns()}) {
+    const PatternCodec pc = PatternCodec::trained(td, 8, patterns);
+    const TritVector d = pc.decode(pc.encode(td), td.size());
+    ASSERT_EQ(d.size(), td.size());
+    EXPECT_TRUE(td.covered_by(d)) << pc.name();
+  }
+}
+
+TEST(PatternCodec, AlternatingBlocksCompressWithExtendedSet) {
+  // A stream of alternating bits defeats 9C (every block is C9) but matches
+  // the extended set's A pattern exactly.
+  std::string s;
+  for (int i = 0; i < 64; ++i) s += "01";
+  const TritVector td = TritVector::from_string(s);
+  const PatternCodec ext = PatternCodec::trained(td, 8, extended_patterns());
+  const NineCoded nine(8);
+  EXPECT_LT(ext.encode(td).size(), nine.encode(td).size() / 4);
+}
+
+TEST(PatternCodec, ExtendedStaysWithinNoiseOfNineOnTypicalCubes) {
+  // The paper's Section II judgement: the extra codewords "may slightly
+  // improve the compression ratio" on ordinary cubes -- they must never
+  // change it drastically in either direction (alternating halves are rare
+  // there, so the refined partition is nearly the 9C partition).
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 30;
+  cfg.width = 400;
+  cfg.x_fraction = 0.85;
+  cfg.seed = 9;
+  const TritVector td = gen::generate_cubes(cfg).flatten();
+  const PatternCodec nine = PatternCodec::trained(td, 8, nine_coded_patterns());
+  const PatternCodec ext = PatternCodec::trained(td, 8, extended_patterns());
+  const double ratio = static_cast<double>(ext.encode(td).size()) /
+                       static_cast<double>(nine.encode(td).size());
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.05);
+}
+
+TEST(PatternCodec, HuffmanTrainedNinePatternTracksNineCoded) {
+  // Same partition as 9C; trained Huffman lengths should compress at least
+  // as well as the paper's fixed lengths on the training set.
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 25;
+  cfg.width = 320;
+  cfg.x_fraction = 0.8;
+  cfg.seed = 2;
+  const TritVector td = gen::generate_cubes(cfg).flatten();
+  const PatternCodec trained =
+      PatternCodec::trained(td, 8, nine_coded_patterns());
+  const NineCoded fixed(8);
+  EXPECT_LE(trained.encode(td).size(), fixed.encode(td).size());
+}
+
+TEST(PatternCodec, HistogramSumsToBlockCount) {
+  const PatternCodec pc(8, extended_patterns());
+  const TritVector td(100, Trit::X);  // 13 blocks after padding
+  const auto hist = pc.class_histogram(td);
+  std::size_t total = 0;
+  for (std::size_t h : hist) total += h;
+  EXPECT_EQ(total, 13u);
+  EXPECT_EQ(hist[0], 13u);  // all-X -> class (0,0)
+}
+
+TEST(PatternCodec, LeftoverXSurvivesInMismatchPayload) {
+  const PatternCodec pc =
+      PatternCodec::trained(TritVector::from_string("01X00000"), 8,
+                            nine_coded_patterns());
+  const TritVector te = pc.encode(TritVector::from_string("01X00000"));
+  EXPECT_GT(te.x_count(), 0u);
+}
+
+}  // namespace
+}  // namespace nc::codec

@@ -1,0 +1,138 @@
+#include "atpg/podem.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.h"
+#include "circuit/samples.h"
+#include "sim/fault_sim.h"
+
+namespace nc::atpg {
+namespace {
+
+using bits::TestSet;
+using bits::Trit;
+using circuit::Netlist;
+using sim::Fault;
+
+// Checks via fault simulation that `cube` really detects `fault`.
+bool detects(const Netlist& nl, const Fault& fault,
+             const bits::TritVector& cube) {
+  TestSet ts(1, cube.size());
+  ts.set_pattern(0, cube);
+  sim::FaultSimulator fsim(nl);
+  return fsim.run(ts, {fault}).detected[0];
+}
+
+TEST(Podem, AndGateStuckAt0) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  Podem podem(nl);
+  const Fault f{nl.find("y"), Netlist::npos, 0, false};
+  const PodemResult r = podem.generate(f);
+  ASSERT_EQ(r.outcome, PodemOutcome::kTestFound);
+  EXPECT_EQ(r.cube.to_string(), "11");
+  EXPECT_TRUE(detects(nl, f, r.cube));
+}
+
+TEST(Podem, AndGateStuckAt1LeavesDontCare)
+{
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+  Podem podem(nl);
+  const Fault f{nl.find("y"), Netlist::npos, 0, true};
+  const PodemResult r = podem.generate(f);
+  ASSERT_EQ(r.outcome, PodemOutcome::kTestFound);
+  // One 0 input suffices; the other should stay X.
+  EXPECT_EQ(r.cube.x_count(), 1u);
+  EXPECT_TRUE(detects(nl, f, r.cube));
+}
+
+TEST(Podem, PropagatesThroughChain) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+      "g1 = AND(a, b)\n"
+      "g2 = OR(g1, c)\n"
+      "y = NOT(g2)\n");
+  Podem podem(nl);
+  // g1 s-a-1: need a&b != 1 to activate, c=0 to propagate through the OR.
+  const Fault f{nl.find("g1"), Netlist::npos, 0, true};
+  const PodemResult r = podem.generate(f);
+  ASSERT_EQ(r.outcome, PodemOutcome::kTestFound);
+  EXPECT_TRUE(detects(nl, f, r.cube));
+  EXPECT_EQ(r.cube.get(2), Trit::Zero);  // c must be 0
+}
+
+TEST(Podem, DetectsUntestableRedundantFault) {
+  // y = OR(a, NOT(a)) is constant 1: y s-a-1 is undetectable.
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n");
+  Podem podem(nl);
+  const Fault f{nl.find("y"), Netlist::npos, 0, true};
+  EXPECT_EQ(podem.generate(f).outcome, PodemOutcome::kUntestable);
+}
+
+TEST(Podem, ConstantZeroSiteUntestableStuckAt0) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\nz = AND(a, n)\ny = OR(z, a)\n");
+  Podem podem(nl);
+  // z is constant 0 -> z s-a-0 is untestable.
+  const Fault f{nl.find("z"), Netlist::npos, 0, false};
+  EXPECT_EQ(podem.generate(f).outcome, PodemOutcome::kUntestable);
+}
+
+TEST(Podem, BranchFaultTest) {
+  const Netlist nl = circuit::samples::c17();
+  // Branch G3 -> G10 (pin 1) s-a-1.
+  const Fault f{nl.find("G3"), nl.find("G10"), 1, true};
+  Podem podem(nl);
+  const PodemResult r = podem.generate(f);
+  ASSERT_EQ(r.outcome, PodemOutcome::kTestFound);
+  EXPECT_TRUE(detects(nl, f, r.cube));
+}
+
+TEST(Podem, EveryCollapsedC17FaultGetsVerifiedTest) {
+  const Netlist nl = circuit::samples::c17();
+  Podem podem(nl);
+  for (const Fault& f : sim::collapsed_fault_list(nl)) {
+    const PodemResult r = podem.generate(f);
+    ASSERT_EQ(r.outcome, PodemOutcome::kTestFound) << f.to_string(nl);
+    EXPECT_TRUE(detects(nl, f, r.cube)) << f.to_string(nl);
+  }
+}
+
+TEST(Podem, EveryCollapsedS27FaultGetsVerifiedTest) {
+  const Netlist nl = circuit::samples::s27();
+  Podem podem(nl);
+  for (const Fault& f : sim::collapsed_fault_list(nl)) {
+    const PodemResult r = podem.generate(f);
+    ASSERT_EQ(r.outcome, PodemOutcome::kTestFound) << f.to_string(nl);
+    EXPECT_TRUE(detects(nl, f, r.cube)) << f.to_string(nl);
+  }
+}
+
+TEST(Podem, CubesContainDontCares) {
+  // Wide OR: detecting out s-a-0 needs one 1; the rest stay X.
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+      "y = OR(a, b, c, d)\n");
+  Podem podem(nl);
+  const PodemResult r =
+      podem.generate(Fault{nl.find("y"), Netlist::npos, 0, false});
+  ASSERT_EQ(r.outcome, PodemOutcome::kTestFound);
+  EXPECT_GE(r.cube.x_count(), 3u);
+}
+
+TEST(Podem, FaultOnPrimaryInput) {
+  const Netlist nl = circuit::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n");
+  Podem podem(nl);
+  const Fault f{nl.find("a"), Netlist::npos, 0, false};
+  const PodemResult r = podem.generate(f);
+  ASSERT_EQ(r.outcome, PodemOutcome::kTestFound);
+  EXPECT_TRUE(detects(nl, f, r.cube));
+  // XOR propagation requires b specified.
+  EXPECT_TRUE(bits::is_care(r.cube.get(1)));
+}
+
+}  // namespace
+}  // namespace nc::atpg

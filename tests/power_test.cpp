@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "codec/nine_coded.h"
+#include "gen/cube_gen.h"
+#include "power/fill.h"
+#include "power/metrics.h"
+
+namespace nc::power {
+namespace {
+
+using bits::TestSet;
+using bits::Trit;
+using bits::TritVector;
+
+TEST(Fill, ZeroAndOne) {
+  const TestSet in = TestSet::from_strings({"0XX1"});
+  EXPECT_EQ(fill(in, FillStrategy::kZero).pattern(0).to_string(), "0001");
+  EXPECT_EQ(fill(in, FillStrategy::kOne).pattern(0).to_string(), "0111");
+}
+
+TEST(Fill, MinTransitionAdoptsNeighbour) {
+  const TestSet in = TestSet::from_strings({"1XX0X", "XX1XX"});
+  const TestSet out = fill(in, FillStrategy::kMinTransition);
+  EXPECT_EQ(out.pattern(0).to_string(), "11100");
+  // Leading X adopts the first care bit.
+  EXPECT_EQ(out.pattern(1).to_string(), "11111");
+}
+
+TEST(Fill, AllXPatternMtFillsZero) {
+  const TestSet in = TestSet::from_strings({"XXXX"});
+  EXPECT_EQ(fill(in, FillStrategy::kMinTransition).pattern(0).to_string(),
+            "0000");
+}
+
+TEST(Fill, RandomIsDeterministicPerSeed) {
+  const TestSet in = TestSet::from_strings({"XXXXXXXXXX"});
+  EXPECT_EQ(fill(in, FillStrategy::kRandom, 5),
+            fill(in, FillStrategy::kRandom, 5));
+}
+
+TEST(Fill, PreservesCareBits) {
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 10;
+  cfg.width = 100;
+  cfg.x_fraction = 0.7;
+  const TestSet cubes = gen::generate_cubes(cfg);
+  for (FillStrategy s : {FillStrategy::kRandom, FillStrategy::kZero,
+                         FillStrategy::kOne, FillStrategy::kMinTransition}) {
+    const TestSet filled = fill(cubes, s, 3);
+    EXPECT_EQ(filled.x_count(), 0u) << fill_strategy_name(s);
+    for (std::size_t p = 0; p < cubes.pattern_count(); ++p)
+      EXPECT_TRUE(cubes.pattern(p).covered_by(filled.pattern(p)))
+          << fill_strategy_name(s);
+  }
+}
+
+TEST(Metrics, WeightedTransitionsFormula) {
+  // "0101": transitions at j=0,1,2 with weights 3,2,1 -> 6.
+  EXPECT_EQ(weighted_transitions(TritVector::from_string("0101")), 6u);
+  // "0011": one transition at j=1, weight 2.
+  EXPECT_EQ(weighted_transitions(TritVector::from_string("0011")), 2u);
+  EXPECT_EQ(weighted_transitions(TritVector::from_string("0000")), 0u);
+  EXPECT_EQ(weighted_transitions(TritVector::from_string("1")), 0u);
+}
+
+TEST(Metrics, WtmRejectsX) {
+  EXPECT_THROW(weighted_transitions(TritVector::from_string("0X1")),
+               std::invalid_argument);
+}
+
+TEST(Metrics, TotalSumsPatterns) {
+  const TestSet ts = TestSet::from_strings({"0101", "0011"});
+  EXPECT_EQ(total_weighted_transitions(ts), 8u);
+}
+
+TEST(Metrics, TransitionCountIgnoresXBoundaries) {
+  EXPECT_EQ(transition_count(TritVector::from_string("0X10")), 1u);
+  EXPECT_EQ(transition_count(TritVector::from_string("0101")), 3u);
+}
+
+TEST(Metrics, ShiftPowerProfileSmallExample) {
+  // "10" into a 2-cell chain: cycle 0 toggles cell0 (0->1); cycle 1 toggles
+  // cell0 (1->0) and cell1 (0->1).
+  const auto profile = shift_power_profile(TritVector::from_string("10"));
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile[0], 1u);
+  EXPECT_EQ(profile[1], 2u);
+}
+
+TEST(Metrics, AllZeroPatternIsFree) {
+  const auto profile = shift_power_profile(TritVector::from_string("0000"));
+  for (std::size_t t : profile) EXPECT_EQ(t, 0u);
+}
+
+TEST(Metrics, AlternatingPatternIsWorstCase) {
+  // Shifting 0101... keeps every already-filled cell toggling each cycle:
+  // cycle c toggles c cells (the leading 0 into a zero chain is free).
+  const auto profile = shift_power_profile(TritVector::from_string("010101"));
+  for (std::size_t c = 0; c < profile.size(); ++c) EXPECT_EQ(profile[c], c);
+}
+
+TEST(Metrics, ShiftPowerRejectsX) {
+  EXPECT_THROW(shift_power_profile(TritVector::from_string("0X")),
+               std::invalid_argument);
+}
+
+TEST(Metrics, PeakShiftPowerOverSet) {
+  const TestSet ts = TestSet::from_strings({"0000", "0101"});
+  EXPECT_EQ(peak_shift_power(ts), 3u);
+}
+
+TEST(PowerIntegration, MtFillCutsPeakPowerToo) {
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 20;
+  cfg.width = 200;
+  cfg.x_fraction = 0.85;
+  cfg.seed = 12;
+  const TestSet cubes = gen::generate_cubes(cfg);
+  const std::size_t random_peak =
+      peak_shift_power(fill(cubes, FillStrategy::kRandom, 2));
+  const std::size_t mt_peak =
+      peak_shift_power(fill(cubes, FillStrategy::kMinTransition));
+  EXPECT_LT(mt_peak, random_peak);
+}
+
+TEST(PowerIntegration, MtFillBeatsRandomFillOnWtm) {
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 40;
+  cfg.width = 300;
+  cfg.x_fraction = 0.85;
+  cfg.seed = 9;
+  const TestSet cubes = gen::generate_cubes(cfg);
+  const std::size_t random_wtm =
+      total_weighted_transitions(fill(cubes, FillStrategy::kRandom, 2));
+  const std::size_t mt_wtm = total_weighted_transitions(
+      fill(cubes, FillStrategy::kMinTransition));
+  EXPECT_LT(mt_wtm, random_wtm / 2);
+}
+
+TEST(PowerIntegration, LeftoverXStillFillableAfter9C) {
+  // The paper's flow: compress with 9C, decode, and the surviving X bits
+  // are available for MT-fill to cut scan power.
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 20;
+  cfg.width = 256;
+  cfg.x_fraction = 0.8;
+  cfg.seed = 4;
+  const TestSet cubes = gen::generate_cubes(cfg);
+  const codec::NineCoded coder(16);
+  const TritVector td = cubes.flatten();
+  const TritVector decoded = coder.decode(coder.encode(td), td.size());
+  const TestSet after = TestSet::unflatten(decoded, cubes.pattern_count(),
+                                           cubes.pattern_length());
+  ASSERT_GT(after.x_count(), 0u);  // leftover don't-cares survived
+  const TestSet filled = fill(after, FillStrategy::kMinTransition);
+  EXPECT_EQ(filled.x_count(), 0u);
+  EXPECT_LE(total_weighted_transitions(filled),
+            total_weighted_transitions(fill(after, FillStrategy::kRandom, 1)));
+}
+
+}  // namespace
+}  // namespace nc::power

@@ -1,0 +1,88 @@
+#include "decomp/programmable.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/nine_coded.h"
+#include "decomp/timing.h"
+#include "gen/cube_gen.h"
+
+namespace nc::decomp {
+namespace {
+
+using bits::TritVector;
+using codec::CodewordTable;
+using codec::NineCoded;
+
+TritVector sample_td(std::uint64_t seed) {
+  gen::CubeGenConfig cfg;
+  cfg.patterns = 20;
+  cfg.width = 311;
+  cfg.x_fraction = 0.8;
+  cfg.seed = seed;
+  return gen::generate_cubes(cfg).flatten();
+}
+
+TEST(ProgrammableDecoder, MatchesHardwiredDecoderOnStandardTable) {
+  const TritVector td = sample_td(1);
+  const NineCoded coder(8);
+  const TritVector te = coder.encode(td);
+  const SingleScanDecoder hardwired(8, 4);
+  const ProgrammableDecoder programmable(8, CodewordTable::standard(), 4);
+  const DecoderTrace a = hardwired.run(te, td.size());
+  const DecoderTrace b = programmable.run(te, td.size());
+  EXPECT_EQ(a.scan_stream, b.scan_stream);
+  EXPECT_EQ(a.soc_cycles, b.soc_cycles);
+  EXPECT_EQ(a.ate_cycles, b.ate_cycles);
+  EXPECT_EQ(a.codewords, b.codewords);
+}
+
+TEST(ProgrammableDecoder, DecodesFrequencyDirectedStream) {
+  const TritVector td = sample_td(2);
+  const NineCoded tuned = NineCoded::tuned_for(td, 8);
+  const TritVector te = tuned.encode(td);
+  const ProgrammableDecoder decoder(8, tuned.table(), 8);
+  const DecoderTrace trace = decoder.run(te, td.size());
+  EXPECT_TRUE(td.covered_by(trace.scan_stream));
+  EXPECT_EQ(trace.scan_stream, tuned.decode(te, td.size()));
+}
+
+TEST(ProgrammableDecoder, TimingMatchesAnalyticModelForTunedTable) {
+  const TritVector td = sample_td(3);
+  const NineCoded tuned = NineCoded::tuned_for(td, 16);
+  TritVector te;
+  const auto stats = tuned.analyze(td, &te);
+  for (unsigned p : {1u, 4u, 16u}) {
+    const ProgrammableDecoder decoder(16, tuned.table(), p);
+    EXPECT_EQ(decoder.run(te, td.size()).soc_cycles,
+              comp_soc_cycles(stats, tuned.table(), p))
+        << "p=" << p;
+  }
+}
+
+TEST(ProgrammableDecoder, RejectsBadParameters) {
+  EXPECT_THROW(ProgrammableDecoder(5, CodewordTable::standard(), 4),
+               std::invalid_argument);
+  EXPECT_THROW(ProgrammableDecoder(8, CodewordTable::standard(), 0),
+               std::invalid_argument);
+}
+
+TEST(ProgrammableDecoder, WrongTableFailsLoudly) {
+  // Decoding a frequency-directed stream with the standard table must not
+  // silently produce wrong data: either a care bit differs or the stream
+  // desynchronizes and throws.
+  const TritVector td = sample_td(4);
+  const NineCoded tuned = NineCoded::tuned_for(td, 8);
+  if (tuned.table() == CodewordTable::standard())
+    GTEST_SKIP() << "tuning kept the standard table on this data";
+  const TritVector te = tuned.encode(td);
+  const ProgrammableDecoder wrong(8, CodewordTable::standard(), 4);
+  try {
+    const DecoderTrace trace = wrong.run(te, td.size());
+    EXPECT_FALSE(td.covered_by(trace.scan_stream));
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace nc::decomp

@@ -1,0 +1,125 @@
+#include "synth/qm.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace nc::synth {
+namespace {
+
+TEST(Cube, CoversAndLiterals) {
+  const Cube c{0b101, 0b111};  // x0 x1' x2
+  EXPECT_TRUE(c.covers(0b101));
+  EXPECT_FALSE(c.covers(0b111));
+  EXPECT_EQ(c.literal_count(), 3u);
+  const Cube wide{0b001, 0b001};  // x0 only
+  EXPECT_TRUE(wide.covers(0b111));
+  EXPECT_TRUE(wide.covers(0b001));
+  EXPECT_FALSE(wide.covers(0b110));
+}
+
+TEST(Cube, ToString) {
+  EXPECT_EQ((Cube{0b01, 0b11}).to_string(2), "x0x1'");
+  EXPECT_EQ((Cube{0, 0}).to_string(2), "1");
+}
+
+TEST(Qm, ConstantZero) { EXPECT_TRUE(minimize(3, {}).empty()); }
+
+TEST(Qm, ConstantOne) {
+  const auto cover = minimize(2, {0, 1, 2, 3});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].mask, 0u);  // tautology cube
+}
+
+TEST(Qm, SingleMinterm) {
+  const auto cover = minimize(3, {0b101});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].literal_count(), 3u);
+}
+
+TEST(Qm, ClassicTextbookExample) {
+  // f(a,b,c,d) = sum m(0,1,2,5,6,7,8,9,10,14), the standard QM example:
+  // minimal cover has 4 terms.
+  const std::vector<std::uint32_t> ones = {0, 1, 2, 5, 6, 7, 8, 9, 10, 14};
+  const auto cover = minimize(4, ones);
+  EXPECT_TRUE(cover_matches(4, cover, ones));
+  EXPECT_LE(cover.size(), 4u);
+}
+
+TEST(Qm, XorNeedsAllMinterms) {
+  const std::vector<std::uint32_t> ones = {0b01, 0b10};
+  const auto cover = minimize(2, ones);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(cover_matches(2, cover, ones));
+}
+
+TEST(Qm, DontCaresShrinkCover) {
+  // f = m(1); dc = m(0,3): with DCs, x1' (or x0...) single literal works?
+  // ones {1}, dc {0,3}: cube x0 covers {1,3} -> matches (0 is dc, 2 must be
+  // off: x0 doesn't cover 2). So one 1-literal cube suffices.
+  const auto cover = minimize(2, {1}, {0, 3});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_LE(cover[0].literal_count(), 1u);
+  EXPECT_TRUE(cover_matches(2, cover, {1}, {0, 3}));
+}
+
+TEST(Qm, RejectsOverlappingOnAndDc) {
+  EXPECT_THROW(minimize(2, {1}, {1}), std::invalid_argument);
+}
+
+TEST(Qm, RejectsOutOfRangeMinterm) {
+  EXPECT_THROW(minimize(2, {4}), std::invalid_argument);
+}
+
+TEST(Qm, RandomFunctionsExactness) {
+  std::mt19937 rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    const unsigned n = 3 + rng() % 4;  // 3..6 variables
+    std::vector<std::uint32_t> ones, dcs;
+    for (std::uint32_t m = 0; m < (1u << n); ++m) {
+      const int r = static_cast<int>(rng() % 4);
+      if (r == 0) ones.push_back(m);
+      if (r == 1) dcs.push_back(m);
+    }
+    const auto cover = minimize(n, ones, dcs);
+    EXPECT_TRUE(cover_matches(n, cover, ones, dcs))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(Qm, CoverIsMadeOfPrimeImplicants) {
+  // Every cube of the cover must be expandable no further: removing any
+  // literal must hit the OFF-set.
+  const std::vector<std::uint32_t> ones = {0, 1, 2, 5, 6, 7};
+  const unsigned n = 3;
+  const auto cover = minimize(n, ones);
+  auto in_on = [&](std::uint32_t m) {
+    return std::find(ones.begin(), ones.end(), m) != ones.end();
+  };
+  for (const Cube& c : cover) {
+    for (unsigned bit = 0; bit < n; ++bit) {
+      if (!((c.mask >> bit) & 1u)) continue;
+      const Cube expanded{c.value, c.mask & ~(1u << bit)};
+      bool hits_off = false;
+      for (std::uint32_t m = 0; m < (1u << n); ++m)
+        if (expanded.covers(m) && !in_on(m)) hits_off = true;
+      EXPECT_TRUE(hits_off) << "cube " << c.to_string(n)
+                            << " is not prime (bit " << bit << ")";
+    }
+  }
+}
+
+TEST(SopCostTest, CountsGatesAndInverters) {
+  // Two cubes over 3 vars: x0 x1' + x2': 1 AND (2 lits), OR of 2 terms,
+  // inverters for x1 and x2.
+  const std::vector<Cube> cover = {Cube{0b001, 0b011}, Cube{0b000, 0b100}};
+  const SopCost cost = sop_cost(cover);
+  EXPECT_EQ(cost.and_gates, 1u);
+  EXPECT_EQ(cost.or_gates, 1u);
+  EXPECT_EQ(cost.inverters, 2u);
+  EXPECT_EQ(cost.literals, 3u);
+  EXPECT_EQ(cost.gate_equivalents(), 4u);
+}
+
+}  // namespace
+}  // namespace nc::synth

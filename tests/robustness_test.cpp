@@ -1,0 +1,135 @@
+// Adversarial-input robustness: parsers and decoders must fail loudly
+// (typed exceptions), never crash or hang, on malformed input.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "bits/serialize.h"
+#include "circuit/bench_io.h"
+#include "circuit/samples.h"
+#include "codec/nine_coded.h"
+
+namespace nc {
+namespace {
+
+using bits::Trit;
+using bits::TritVector;
+
+TEST(RobustBenchParser, RandomGarbageNeverCrashes) {
+  std::mt19937 rng(17);
+  const std::string alphabet =
+      "ABCXYZabcxyz0123456789 =(),#\n\t_";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const std::size_t len = rng() % 300;
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[rng() % alphabet.size()];
+    try {
+      circuit::parse_bench_string(text);
+    } catch (const std::runtime_error&) {
+      // expected for almost every input
+    }
+  }
+  SUCCEED();
+}
+
+TEST(RobustBenchParser, MutatedValidNetlistNeverCrashes) {
+  const std::string base = circuit::samples::s27_bench_text();
+  std::mt19937 rng(29);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = base;
+    // Flip, delete or insert a few characters.
+    for (int edits = 0; edits < 3; ++edits) {
+      const std::size_t pos = rng() % text.size();
+      switch (rng() % 3) {
+        case 0: text[pos] = static_cast<char>('!' + rng() % 90); break;
+        case 1: text.erase(pos, 1); break;
+        default: text.insert(pos, 1, static_cast<char>('!' + rng() % 90));
+      }
+    }
+    try {
+      const circuit::Netlist nl = circuit::parse_bench_string(text);
+      (void)nl.levelize();
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(RobustNineCoded, BitflippedStreamsFailLoudlyOrDecode) {
+  std::mt19937 rng(5);
+  const codec::NineCoded coder(8);
+  TritVector td;
+  for (int i = 0; i < 800; ++i)
+    td.push_back(static_cast<Trit>(rng() % 3));
+  const TritVector te = coder.encode(td);
+  for (int trial = 0; trial < 200; ++trial) {
+    TritVector corrupt = te;
+    for (int flips = 0; flips < 3; ++flips) {
+      const std::size_t pos = rng() % corrupt.size();
+      corrupt.set(pos, static_cast<Trit>(rng() % 3));
+    }
+    try {
+      const TritVector d = coder.decode(corrupt, td.size());
+      EXPECT_EQ(d.size(), td.size());  // wrong data is fine; wrong size not
+    } catch (const std::exception&) {
+      // desynchronized stream: loud failure is the contract
+    }
+  }
+}
+
+TEST(RobustNineCoded, TruncatedStreamsThrow) {
+  const codec::NineCoded coder(8);
+  const TritVector td(256, Trit::Zero);
+  const TritVector te = coder.encode(td);
+  for (std::size_t cut = 0; cut < te.size(); cut += 3) {
+    TritVector shortened = te.slice(0, cut);
+    EXPECT_THROW(coder.decode(shortened, td.size()), std::exception)
+        << "cut at " << cut;
+  }
+}
+
+TEST(RobustSerializer, RandomBlobsNeverCrash) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string blob;
+    const std::size_t len = rng() % 128;
+    for (std::size_t i = 0; i < len; ++i)
+      blob += static_cast<char>(rng() & 0xFF);
+    std::istringstream in(blob);
+    try {
+      bits::load_trits(in);
+    } catch (const std::runtime_error&) {
+    }
+    std::istringstream in2(blob);
+    try {
+      bits::load_test_set(in2);
+    } catch (const std::runtime_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(RobustSerializer, ValidHeaderHugeSizeThrowsNotAllocates) {
+  // A stream claiming 2^60 trits must fail on payload read, not OOM.
+  std::ostringstream out;
+  out.write("NCT1", 4);
+  out.put(0);
+  const std::uint64_t huge = 1ull << 60;
+  for (int i = 0; i < 8; ++i)
+    out.put(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  out.put(0);  // one payload byte only
+  std::istringstream in(out.str());
+  EXPECT_THROW(bits::load_trits(in), std::exception);
+}
+
+TEST(RobustTestSetParser, RaggedAndJunkLines) {
+  std::istringstream ragged("0101\n01\n");
+  EXPECT_THROW(bits::TestSet::parse(ragged), std::exception);
+  std::istringstream junk("0101\n01?1\n");
+  EXPECT_THROW(bits::TestSet::parse(junk), std::exception);
+}
+
+}  // namespace
+}  // namespace nc

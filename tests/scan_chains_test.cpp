@@ -1,0 +1,101 @@
+#include "circuit/scan_chains.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.h"
+#include "circuit/samples.h"
+
+namespace nc::circuit {
+namespace {
+
+using bits::Trit;
+using bits::TritVector;
+
+TEST(ScanChains, StitchS27IntoThreeChains) {
+  const Netlist nl = samples::s27();
+  const ScanChains sc = stitch_scan_chains(nl, 3);
+  EXPECT_EQ(sc.chain_count(), 3u);
+  EXPECT_EQ(sc.depth(), 1u);
+  EXPECT_EQ(sc.cell_count(), 3u);
+}
+
+TEST(ScanChains, BlockedPartition) {
+  GeneratorConfig cfg;
+  cfg.num_flops = 10;
+  const Netlist nl = generate_circuit(cfg);
+  const ScanChains sc = stitch_scan_chains(nl, 3);
+  // ceil(10/3) = 4: chains of 4, 4, 2.
+  ASSERT_EQ(sc.chain_count(), 3u);
+  EXPECT_EQ(sc.chains[0].size(), 4u);
+  EXPECT_EQ(sc.chains[1].size(), 4u);
+  EXPECT_EQ(sc.chains[2].size(), 2u);
+  EXPECT_EQ(sc.depth(), 4u);
+  EXPECT_EQ(sc.cell_count(), 10u);
+}
+
+TEST(ScanChains, RejectsBadChainCounts) {
+  const Netlist nl = samples::s27();
+  EXPECT_THROW(stitch_scan_chains(nl, 0), std::invalid_argument);
+  EXPECT_THROW(stitch_scan_chains(nl, 4), std::invalid_argument);
+}
+
+TEST(ScanChains, StreamsCarryFlopColumns) {
+  const Netlist nl = samples::s27();  // 4 PIs + flops G5, G6, G7
+  const ScanChains sc = stitch_scan_chains(nl, 1);
+  // Pattern: PIs 0000, flops = 1, X, 0.
+  const TritVector pattern = TritVector::from_string("00001X0");
+  const auto streams = chain_streams(nl, sc, pattern);
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].to_string(), "1X0");
+}
+
+TEST(ScanChains, StreamsPadShortChains) {
+  GeneratorConfig cfg;
+  cfg.num_flops = 5;
+  cfg.num_inputs = 2;
+  const Netlist nl = generate_circuit(cfg);
+  const ScanChains sc = stitch_scan_chains(nl, 2);  // depths 3 and 2
+  const TritVector pattern(nl.pattern_width(), Trit::One);
+  const auto streams = chain_streams(nl, sc, pattern);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0].to_string(), "111");
+  EXPECT_EQ(streams[1].to_string(), "11X");  // padded tail
+}
+
+TEST(ScanChains, RoundTripThroughStreams) {
+  GeneratorConfig cfg;
+  cfg.num_flops = 13;
+  cfg.num_inputs = 4;
+  cfg.seed = 6;
+  const Netlist nl = generate_circuit(cfg);
+  const ScanChains sc = stitch_scan_chains(nl, 4);
+
+  TritVector pattern(nl.pattern_width(), Trit::X);
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    pattern.set(i, static_cast<Trit>(i % 3));
+  const auto streams = chain_streams(nl, sc, pattern);
+  const TritVector back = pattern_from_streams(nl, sc, streams);
+  // Flop columns round-trip; PI columns come back X.
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    EXPECT_EQ(back.get(i), Trit::X);
+  for (std::size_t i = nl.inputs().size(); i < pattern.size(); ++i)
+    EXPECT_EQ(back.get(i), pattern.get(i)) << "column " << i;
+}
+
+TEST(ScanChains, PatternFromStreamsValidatesShape) {
+  const Netlist nl = samples::s27();
+  const ScanChains sc = stitch_scan_chains(nl, 3);
+  EXPECT_THROW(pattern_from_streams(nl, sc, {}), std::invalid_argument);
+  std::vector<TritVector> short_streams(3);
+  EXPECT_THROW(pattern_from_streams(nl, sc, short_streams),
+               std::invalid_argument);
+}
+
+TEST(ScanChains, WrongPatternWidthThrows) {
+  const Netlist nl = samples::s27();
+  const ScanChains sc = stitch_scan_chains(nl, 1);
+  EXPECT_THROW(chain_streams(nl, sc, TritVector(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nc::circuit

@@ -1,0 +1,80 @@
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nc::report {
+namespace {
+
+TEST(Table, RendersTitleHeaderAndRows) {
+  Table t("TABLE II");
+  t.set_header({"Circuit", "CR%"});
+  t.row().add("s5378").add(51.6, 1);
+  t.row().add("s9234").add(45.2, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("TABLE II"), std::string::npos);
+  EXPECT_NE(s.find("Circuit"), std::string::npos);
+  EXPECT_NE(s.find("s5378"), std::string::npos);
+  EXPECT_NE(s.find("51.6"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("T");
+  t.set_header({"a", "bb"});
+  t.row().add("wide-cell").add("x");
+  t.row().add("y").add("z");
+  std::istringstream in(t.to_string());
+  std::string line;
+  std::getline(in, line);  // title
+  std::getline(in, line);  // rule
+  std::getline(in, line);  // header
+  const std::string header = line;
+  std::getline(in, line);  // rule
+  std::getline(in, line);  // first row
+  // Second column starts at the same offset in header and row.
+  EXPECT_EQ(header.find("bb"), line.find('x'));
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t("T");
+  t.set_header({"c"});
+  t.row().add("v1");
+  t.separator();
+  t.row().add("Avg");
+  const std::string s = t.to_string();
+  // Expect a rule line between v1 and Avg.
+  const auto v1 = s.find("v1");
+  const auto avg = s.find("Avg");
+  ASSERT_NE(v1, std::string::npos);
+  ASSERT_NE(avg, std::string::npos);
+  EXPECT_NE(s.substr(v1, avg - v1).find("---"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t("T");
+  t.set_header({"n", "d", "s"});
+  t.row().add(std::size_t{42}).add(3.14159, 3).add_signed(-7);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.142"), std::string::npos);
+  EXPECT_NE(s.find("-7"), std::string::npos);
+}
+
+TEST(Table, AddWithoutRowStartsOne) {
+  Table t("T");
+  t.add("lone");
+  EXPECT_NE(t.to_string().find("lone"), std::string::npos);
+}
+
+TEST(Table, PrintMatchesToString) {
+  Table t("T");
+  t.set_header({"c"});
+  t.row().add("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace nc::report

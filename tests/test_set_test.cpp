@@ -1,0 +1,118 @@
+#include "bits/test_set.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nc::bits {
+namespace {
+
+TestSet small() {
+  return TestSet::from_strings({"01X1", "XX00", "1111"});
+}
+
+TEST(TestSet, Dimensions) {
+  const TestSet ts = small();
+  EXPECT_EQ(ts.pattern_count(), 3u);
+  EXPECT_EQ(ts.pattern_length(), 4u);
+  EXPECT_EQ(ts.bit_count(), 12u);
+  EXPECT_FALSE(ts.empty());
+}
+
+TEST(TestSet, AtAndSet) {
+  TestSet ts = small();
+  EXPECT_EQ(ts.at(0, 0), Trit::Zero);
+  EXPECT_EQ(ts.at(1, 1), Trit::X);
+  ts.set(1, 1, Trit::One);
+  EXPECT_EQ(ts.at(1, 1), Trit::One);
+}
+
+TEST(TestSet, PatternExtraction) {
+  const TestSet ts = small();
+  EXPECT_EQ(ts.pattern(1).to_string(), "XX00");
+}
+
+TEST(TestSet, RaggedInputThrows) {
+  EXPECT_THROW(TestSet::from_strings({"01", "011"}), std::invalid_argument);
+}
+
+TEST(TestSet, XStatistics) {
+  const TestSet ts = small();
+  EXPECT_EQ(ts.x_count(), 3u);
+  EXPECT_DOUBLE_EQ(ts.x_fraction(), 0.25);
+}
+
+TEST(TestSet, FlattenIsRowMajor) {
+  EXPECT_EQ(small().flatten().to_string(), "01X1XX001111");
+}
+
+TEST(TestSet, UnflattenInvertsFlatten) {
+  const TestSet ts = small();
+  const TestSet back = TestSet::unflatten(ts.flatten(), 3, 4);
+  EXPECT_EQ(back, ts);
+}
+
+TEST(TestSet, UnflattenSizeMismatchThrows) {
+  EXPECT_THROW(TestSet::unflatten(TritVector(5), 2, 3),
+               std::invalid_argument);
+}
+
+TEST(TestSet, ParseSkipsCommentsAndBlanks) {
+  std::istringstream in(
+      "# header comment\n"
+      "01X1\n"
+      "\n"
+      "XX00   # trailing comment\n");
+  const TestSet ts = TestSet::parse(in);
+  EXPECT_EQ(ts.pattern_count(), 2u);
+  EXPECT_EQ(ts.pattern(1).to_string(), "XX00");
+}
+
+TEST(TestSet, ParseReportsLineNumber) {
+  std::istringstream in("0101\n01?1\n");
+  try {
+    TestSet::parse(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TestSet, SaveParseRoundTrip) {
+  const TestSet ts = small();
+  std::stringstream io;
+  ts.save(io);
+  EXPECT_EQ(TestSet::parse(io), ts);
+}
+
+TEST(TestSet, SlicedFlattenInterleavesChains) {
+  // One pattern "abcdef" over 2 chains of depth 3: chain0 = abc, chain1 = def.
+  // Slices emit a,d then b,e then c,f.
+  const TestSet ts = TestSet::from_strings({"01X1X0"});
+  EXPECT_EQ(ts.flatten_sliced(2).to_string(), "011XX0");
+}
+
+TEST(TestSet, SlicedFlattenPadsUnevenWidth) {
+  // Width 5 over 2 chains -> depth 3, chain1 has only 2 real cells; the
+  // third slice pads chain1 with X.
+  const TestSet ts = TestSet::from_strings({"01011"});
+  const TritVector s = ts.flatten_sliced(2);
+  ASSERT_EQ(s.size(), 6u);
+  // chain0 = "010", chain1 = "11" + pad. Slices: (0,1), (1,1), (0,X).
+  EXPECT_EQ(s.to_string(), "01110X");
+}
+
+TEST(TestSet, SlicedFlattenZeroChainsThrows) {
+  EXPECT_THROW(small().flatten_sliced(0), std::invalid_argument);
+}
+
+TEST(TestSet, SetPatternValidatesWidth) {
+  TestSet ts = small();
+  EXPECT_THROW(ts.set_pattern(0, TritVector::from_string("01")),
+               std::invalid_argument);
+  ts.set_pattern(0, TritVector::from_string("0000"));
+  EXPECT_EQ(ts.pattern(0).to_string(), "0000");
+}
+
+}  // namespace
+}  // namespace nc::bits

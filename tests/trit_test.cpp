@@ -1,0 +1,52 @@
+#include "bits/trit.h"
+
+#include <gtest/gtest.h>
+
+namespace nc::bits {
+namespace {
+
+TEST(Trit, IsCare) {
+  EXPECT_TRUE(is_care(Trit::Zero));
+  EXPECT_TRUE(is_care(Trit::One));
+  EXPECT_FALSE(is_care(Trit::X));
+}
+
+TEST(Trit, CompatibleWithBit) {
+  EXPECT_TRUE(compatible_with(Trit::Zero, false));
+  EXPECT_FALSE(compatible_with(Trit::Zero, true));
+  EXPECT_TRUE(compatible_with(Trit::One, true));
+  EXPECT_FALSE(compatible_with(Trit::One, false));
+  EXPECT_TRUE(compatible_with(Trit::X, false));
+  EXPECT_TRUE(compatible_with(Trit::X, true));
+}
+
+TEST(Trit, PairwiseCompatibility) {
+  EXPECT_TRUE(compatible(Trit::Zero, Trit::Zero));
+  EXPECT_TRUE(compatible(Trit::One, Trit::One));
+  EXPECT_FALSE(compatible(Trit::Zero, Trit::One));
+  EXPECT_FALSE(compatible(Trit::One, Trit::Zero));
+  EXPECT_TRUE(compatible(Trit::X, Trit::Zero));
+  EXPECT_TRUE(compatible(Trit::One, Trit::X));
+  EXPECT_TRUE(compatible(Trit::X, Trit::X));
+}
+
+TEST(Trit, CharRoundTrip) {
+  for (Trit t : {Trit::Zero, Trit::One, Trit::X})
+    EXPECT_EQ(trit_from_char(to_char(t)), t);
+}
+
+TEST(Trit, LowercaseXAccepted) { EXPECT_EQ(trit_from_char('x'), Trit::X); }
+
+TEST(Trit, BadCharacterThrows) {
+  EXPECT_THROW(trit_from_char('2'), std::invalid_argument);
+  EXPECT_THROW(trit_from_char(' '), std::invalid_argument);
+  EXPECT_THROW(trit_from_char('u'), std::invalid_argument);
+}
+
+TEST(Trit, FromBit) {
+  EXPECT_EQ(trit_from_bit(false), Trit::Zero);
+  EXPECT_EQ(trit_from_bit(true), Trit::One);
+}
+
+}  // namespace
+}  // namespace nc::bits

@@ -1,0 +1,144 @@
+#include "bits/trit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace nc::bits {
+namespace {
+
+TEST(TritVector, DefaultIsEmpty) {
+  TritVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.care_count(), 0u);
+}
+
+TEST(TritVector, FillConstructor) {
+  TritVector v(5, Trit::One);
+  ASSERT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v.get(i), Trit::One);
+}
+
+TEST(TritVector, SetGetAcrossWordBoundary) {
+  TritVector v(70, Trit::X);
+  v.set(0, Trit::One);
+  v.set(31, Trit::Zero);   // last slot of word 0
+  v.set(32, Trit::One);    // first slot of word 1
+  v.set(69, Trit::Zero);
+  EXPECT_EQ(v.get(0), Trit::One);
+  EXPECT_EQ(v.get(31), Trit::Zero);
+  EXPECT_EQ(v.get(32), Trit::One);
+  EXPECT_EQ(v.get(69), Trit::Zero);
+  EXPECT_EQ(v.get(1), Trit::X);
+}
+
+TEST(TritVector, FromStringAndToString) {
+  const std::string s = "01X10XX1";
+  TritVector v = TritVector::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_EQ(v.get(2), Trit::X);
+  EXPECT_EQ(v.get(3), Trit::One);
+}
+
+TEST(TritVector, FromStringRejectsJunk) {
+  EXPECT_THROW(TritVector::from_string("01?"), std::invalid_argument);
+}
+
+TEST(TritVector, PushBackGrows) {
+  TritVector v;
+  for (int i = 0; i < 100; ++i)
+    v.push_back(i % 3 == 0 ? Trit::X : trit_from_bit(i % 2));
+  ASSERT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.get(0), Trit::X);
+  EXPECT_EQ(v.get(1), Trit::One);
+  EXPECT_EQ(v.get(2), Trit::Zero);
+  EXPECT_EQ(v.get(99), Trit::X);
+}
+
+TEST(TritVector, Append) {
+  TritVector a = TritVector::from_string("01X");
+  TritVector b = TritVector::from_string("1X0");
+  a.append(b);
+  EXPECT_EQ(a.to_string(), "01X1X0");
+}
+
+TEST(TritVector, AppendRun) {
+  TritVector v = TritVector::from_string("1");
+  v.append_run(3, Trit::Zero);
+  v.append_run(2, Trit::X);
+  EXPECT_EQ(v.to_string(), "1000XX");
+}
+
+TEST(TritVector, Slice) {
+  const TritVector v = TritVector::from_string("01X10X");
+  EXPECT_EQ(v.slice(1, 3).to_string(), "1X1");
+  EXPECT_EQ(v.slice(4, 10).to_string(), "0X");  // clamps
+  EXPECT_EQ(v.slice(9, 2).size(), 0u);          // past end
+}
+
+TEST(TritVector, CareAndXCounts) {
+  TritVector v = TritVector::from_string("01XX0X");
+  EXPECT_EQ(v.care_count(), 3u);
+  EXPECT_EQ(v.x_count(), 3u);
+  EXPECT_DOUBLE_EQ(v.x_fraction(), 0.5);
+}
+
+TEST(TritVector, CareCountLargeRandomMatchesNaive) {
+  std::mt19937 rng(7);
+  TritVector v;
+  std::size_t expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const int r = static_cast<int>(rng() % 3);
+    v.push_back(static_cast<Trit>(r));
+    if (r != 2) ++expected;
+  }
+  EXPECT_EQ(v.care_count(), expected);
+}
+
+TEST(TritVector, ResizeShrinkThenEqualityStillWorks) {
+  TritVector a = TritVector::from_string("0101X");
+  TritVector b = a;
+  b.push_back(Trit::One);
+  b.resize(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TritVector, CompatibleWith) {
+  const TritVector a = TritVector::from_string("01X");
+  EXPECT_TRUE(a.compatible_with(TritVector::from_string("01X")));
+  EXPECT_TRUE(a.compatible_with(TritVector::from_string("0XX")));
+  EXPECT_TRUE(a.compatible_with(TritVector::from_string("011")));
+  EXPECT_FALSE(a.compatible_with(TritVector::from_string("00X")));
+  EXPECT_FALSE(a.compatible_with(TritVector::from_string("01")));  // size
+}
+
+TEST(TritVector, CoveredBy) {
+  const TritVector cube = TritVector::from_string("0X1X");
+  EXPECT_TRUE(cube.covered_by(TritVector::from_string("001X")));
+  EXPECT_TRUE(cube.covered_by(TritVector::from_string("0X1X")));
+  EXPECT_TRUE(cube.covered_by(TritVector::from_string("0110")));
+  EXPECT_FALSE(cube.covered_by(TritVector::from_string("1X1X")));
+  EXPECT_FALSE(cube.covered_by(TritVector::from_string("0X0X")));
+}
+
+TEST(TritVector, EqualityIgnoresCapacitySlack) {
+  TritVector a;
+  a.resize(40, Trit::One);
+  TritVector b;
+  for (int i = 0; i < 40; ++i) b.push_back(Trit::One);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TritVector, ClearResets) {
+  TritVector v = TritVector::from_string("01X");
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(Trit::One);
+  EXPECT_EQ(v.to_string(), "1");
+}
+
+}  // namespace
+}  // namespace nc::bits

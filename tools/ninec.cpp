@@ -1,0 +1,323 @@
+// ninec -- command-line driver for the 9C tool chain.
+//
+//   ninec gen       --profile s5378 --out td.tests [--seed N]
+//   ninec circuit   --gates 500 --inputs 16 --flops 32 --out c.bench [--seed N]
+//   ninec atpg      --bench c.bench --out td.tests [--no-compact]
+//   ninec compress  --in td.tests --out te.9c [--k 8] [--freq-directed]
+//   ninec decompress --in te.9c --out back.tests
+//   ninec stats     --in td.tests [--k-min 4] [--k-max 32]
+//
+// Test sets travel as text (one pattern per line, 0/1/X; '#' comments) when
+// the file ends in .tests/.txt and as the packed binary format of
+// bits/serialize.h otherwise. Compressed streams (.9c) embed K, the
+// codeword lengths and the original geometry, so decompress needs no flags.
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "atpg/atpg.h"
+#include "bits/serialize.h"
+#include "decomp/ate_session.h"
+#include "circuit/bench_io.h"
+#include "circuit/generator.h"
+#include "codec/nine_coded.h"
+#include "gen/cube_gen.h"
+#include "report/table.h"
+#include "rtl/verilog.h"
+
+namespace {
+
+using nc::bits::TestSet;
+using nc::bits::TritVector;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: ninec <command> [options]\n"
+      "  gen        --profile <s5378|...|CKT1|CKT2> --out FILE [--seed N]\n"
+      "  circuit    --out FILE [--gates N] [--inputs N] [--flops N] [--seed N]\n"
+      "  atpg       --bench FILE --out FILE [--no-compact]\n"
+      "  compress   --in FILE --out FILE [--k N] [--freq-directed]\n"
+      "  decompress --in FILE --out FILE\n"
+      "  stats      --in FILE [--k-min N] [--k-max N]\n"
+      "  rtl        --out FILE [--k N] [--freq-directed --in FILE]\n"
+      "             [--testbench FILE] [--module NAME]\n"
+      "  session    --bench FILE --tests FILE [--k N] [--p N]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+/// Tiny flag parser: --name value pairs plus boolean switches.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+        values_[key] = argv[++i];
+      else
+        values_[key] = "";
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::string require(const std::string& key) const {
+    if (!has(key) || values_.at(key).empty()) usage("missing --" + key);
+    return values_.at(key);
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    return has(key) ? std::stoul(values_.at(key)) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+bool is_text_path(const std::string& path) {
+  return path.ends_with(".tests") || path.ends_with(".txt");
+}
+
+TestSet load_tests(const std::string& path) {
+  return is_text_path(path) ? TestSet::load_file(path)
+                            : nc::bits::load_test_set_file(path);
+}
+
+void save_tests(const std::string& path, const TestSet& ts) {
+  if (is_text_path(path))
+    ts.save_file(path);
+  else
+    nc::bits::save_test_set_file(path, ts);
+}
+
+// ---------------------------------------------------------------- .9c I/O
+// magic "NC9C" | u8 k | 9 x u8 codeword lengths | u64 patterns | u64 width |
+// serialized TE trits.
+
+void save_stream(const std::string& path, const nc::codec::NineCoded& coder,
+                 const TestSet& td, const TritVector& te) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write("NC9C", 4);
+  out.put(static_cast<char>(coder.block_size()));
+  for (std::size_t c = 0; c < nc::codec::kNumClasses; ++c)
+    out.put(static_cast<char>(
+        coder.table().length(static_cast<nc::codec::BlockClass>(c))));
+  auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  put_u64(td.pattern_count());
+  put_u64(td.pattern_length());
+  nc::bits::save_trits(out, te);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+struct LoadedStream {
+  nc::codec::NineCoded coder;
+  std::size_t patterns;
+  std::size_t width;
+  TritVector te;
+};
+
+LoadedStream load_stream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::strncmp(magic, "NC9C", 4) != 0)
+    throw std::runtime_error(path + " is not a ninec stream");
+  const std::size_t k = static_cast<unsigned char>(in.get());
+  std::array<unsigned, nc::codec::kNumClasses> lengths{};
+  for (auto& len : lengths) len = static_cast<unsigned char>(in.get());
+  auto get_u64 = [&] {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in.get()))
+           << (8 * i);
+    return v;
+  };
+  const std::size_t patterns = static_cast<std::size_t>(get_u64());
+  const std::size_t width = static_cast<std::size_t>(get_u64());
+  if (!in) throw std::runtime_error(path + " is truncated");
+  TritVector te = nc::bits::load_trits(in);
+  return LoadedStream{
+      nc::codec::NineCoded(k, nc::codec::CodewordTable::from_lengths(lengths)),
+      patterns, width, std::move(te)};
+}
+
+// ---------------------------------------------------------------- commands
+
+int cmd_gen(const Args& args) {
+  const std::string name = args.require("profile");
+  const nc::gen::BenchmarkProfile* profile = nullptr;
+  for (const auto& p : nc::gen::iscas89_profiles())
+    if (p.name == name) profile = &p;
+  for (const auto& p : nc::gen::ibm_profiles())
+    if (p.name == name) profile = &p;
+  if (profile == nullptr) usage("unknown profile " + name);
+  const TestSet ts =
+      nc::gen::calibrated_cubes(*profile, args.get_size("seed", 1));
+  save_tests(args.require("out"), ts);
+  std::cout << profile->name << ": " << ts.pattern_count() << " x "
+            << ts.pattern_length() << " cubes, "
+            << 100.0 * ts.x_fraction() << "% X -> " << args.get("out")
+            << '\n';
+  return 0;
+}
+
+int cmd_circuit(const Args& args) {
+  nc::circuit::GeneratorConfig cfg;
+  cfg.num_gates = args.get_size("gates", 500);
+  cfg.num_inputs = args.get_size("inputs", 16);
+  cfg.num_flops = args.get_size("flops", 32);
+  cfg.num_outputs = args.get_size("outputs", 8);
+  cfg.seed = args.get_size("seed", 1);
+  const nc::circuit::Netlist nl = nc::circuit::generate_circuit(cfg);
+  std::ofstream out(args.require("out"));
+  if (!out) throw std::runtime_error("cannot write " + args.get("out"));
+  nc::circuit::write_bench(out, nl);
+  std::cout << "wrote " << nl.logic_gate_count() << "-gate netlist ("
+            << nl.inputs().size() << " PIs, " << nl.flops().size()
+            << " flops) -> " << args.get("out") << '\n';
+  return 0;
+}
+
+int cmd_atpg(const Args& args) {
+  const nc::circuit::Netlist nl =
+      nc::circuit::load_bench_file(args.require("bench"));
+  nc::atpg::AtpgConfig cfg;
+  cfg.compact = !args.has("no-compact");
+  const nc::atpg::AtpgResult result = nc::atpg::generate_tests(nl, cfg);
+  save_tests(args.require("out"), result.tests);
+  std::cout << "ATPG: " << result.tests.pattern_count() << " cubes, "
+            << 100.0 * result.tests.x_fraction() << "% X, efficiency "
+            << result.efficiency_percent() << "% ("
+            << result.detected << " detected, " << result.untestable
+            << " untestable, " << result.aborted << " aborted)\n";
+  return 0;
+}
+
+int cmd_compress(const Args& args) {
+  const TestSet td = load_tests(args.require("in"));
+  const std::size_t k = args.get_size("k", 8);
+  const TritVector stream = td.flatten();
+  const nc::codec::NineCoded coder =
+      args.has("freq-directed")
+          ? nc::codec::NineCoded::tuned_for(stream, k)
+          : nc::codec::NineCoded(k);
+  TritVector te;
+  const auto stats = coder.analyze(stream, &te);
+  save_stream(args.require("out"), coder, td, te);
+  std::cout << coder.name() << ": " << stats.original_bits << " -> "
+            << stats.encoded_bits << " bits, CR "
+            << stats.compression_ratio() << "%, leftover X "
+            << stats.leftover_x_percent() << "%\n";
+  return 0;
+}
+
+int cmd_decompress(const Args& args) {
+  const LoadedStream s = load_stream(args.require("in"));
+  const TritVector decoded = s.coder.decode(s.te, s.patterns * s.width);
+  save_tests(args.require("out"),
+             TestSet::unflatten(decoded, s.patterns, s.width));
+  std::cout << "decoded " << s.patterns << " x " << s.width
+            << " patterns -> " << args.get("out") << '\n';
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const TestSet td = load_tests(args.require("in"));
+  const TritVector stream = td.flatten();
+  const std::size_t k_min = args.get_size("k-min", 4);
+  const std::size_t k_max = args.get_size("k-max", 32);
+  nc::report::Table table("9C sweep of " + args.get("in") + " (" +
+                          std::to_string(stream.size()) + " bits, " +
+                          std::to_string(100.0 * stream.x_fraction()) +
+                          "% X)");
+  table.set_header({"K", "CR%", "LX%", "|TE|"});
+  for (std::size_t k = k_min; k <= k_max; k += 4) {
+    if (k % 2 != 0) continue;
+    const auto stats = nc::codec::NineCoded(k).analyze(stream);
+    table.row()
+        .add(k)
+        .add(stats.compression_ratio(), 2)
+        .add(stats.leftover_x_percent(), 2)
+        .add(stats.encoded_bits);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_rtl(const Args& args) {
+  const std::size_t k = args.get_size("k", 8);
+  nc::codec::CodewordTable table = nc::codec::CodewordTable::standard();
+  if (args.has("freq-directed")) {
+    // Tune the codeword tree to a training test set.
+    const TestSet td = load_tests(args.require("in"));
+    table = nc::codec::NineCoded::tuned_for(td.flatten(), k).table();
+  }
+  nc::rtl::VerilogOptions options;
+  options.module_name = args.get("module", "ninec_decoder");
+  const std::string source =
+      nc::rtl::generate_decoder_verilog(table, k, options);
+  std::ofstream out(args.require("out"));
+  if (!out) throw std::runtime_error("cannot write " + args.get("out"));
+  out << source;
+  std::cout << "wrote " << options.module_name << " (K=" << k << ") -> "
+            << args.get("out") << '\n';
+  if (args.has("testbench")) {
+    std::ofstream tb(args.get("testbench"));
+    if (!tb) throw std::runtime_error("cannot write " + args.get("testbench"));
+    tb << nc::rtl::generate_decoder_testbench(table, k, options.module_name);
+    std::cout << "wrote testbench -> " << args.get("testbench") << '\n';
+  }
+  return 0;
+}
+
+int cmd_session(const Args& args) {
+  const nc::circuit::Netlist nl =
+      nc::circuit::load_bench_file(args.require("bench"));
+  const TestSet tests = load_tests(args.require("tests"));
+  nc::decomp::SessionConfig cfg;
+  cfg.block_size = args.get_size("k", 8);
+  cfg.p = static_cast<unsigned>(args.get_size("p", 8));
+  const nc::decomp::SessionResult r =
+      nc::decomp::run_test_session(nl, tests, cfg);
+  std::cout << "ATE session: " << r.patterns_applied << " patterns, "
+            << r.ate_bits << " compressed bits streamed, " << r.soc_cycles
+            << " SoC cycles (scan-in + capture)\n"
+            << "fault-free device: "
+            << (r.device_passes() ? "PASS" : "FAIL (response mismatch!)")
+            << '\n';
+  return r.device_passes() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "circuit") return cmd_circuit(args);
+    if (command == "atpg") return cmd_atpg(args);
+    if (command == "compress") return cmd_compress(args);
+    if (command == "decompress") return cmd_decompress(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "rtl") return cmd_rtl(args);
+    if (command == "session") return cmd_session(args);
+    if (command == "help" || command == "--help") usage();
+    usage("unknown command " + command);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
