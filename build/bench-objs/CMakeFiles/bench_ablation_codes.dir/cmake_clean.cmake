@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_codes"
+  "../bench/bench_ablation_codes.pdb"
+  "CMakeFiles/bench_ablation_codes.dir/bench_ablation_codes.cpp.o"
+  "CMakeFiles/bench_ablation_codes.dir/bench_ablation_codes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

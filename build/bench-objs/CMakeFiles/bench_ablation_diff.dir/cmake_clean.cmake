@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_diff"
+  "../bench/bench_ablation_diff.pdb"
+  "CMakeFiles/bench_ablation_diff.dir/bench_ablation_diff.cpp.o"
+  "CMakeFiles/bench_ablation_diff.dir/bench_ablation_diff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_leftover"
+  "../bench/bench_ablation_leftover.pdb"
+  "CMakeFiles/bench_ablation_leftover.dir/bench_ablation_leftover.cpp.o"
+  "CMakeFiles/bench_ablation_leftover.dir/bench_ablation_leftover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leftover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_xfill"
+  "../bench/bench_ablation_xfill.pdb"
+  "CMakeFiles/bench_ablation_xfill.dir/bench_ablation_xfill.cpp.o"
+  "CMakeFiles/bench_ablation_xfill.dir/bench_ablation_xfill.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_decoder"
+  "../bench/bench_fig12_decoder.pdb"
+  "CMakeFiles/bench_fig12_decoder.dir/bench_fig12_decoder.cpp.o"
+  "CMakeFiles/bench_fig12_decoder.dir/bench_fig12_decoder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig34_architectures"
+  "../bench/bench_fig34_architectures.pdb"
+  "CMakeFiles/bench_fig34_architectures.dir/bench_fig34_architectures.cpp.o"
+  "CMakeFiles/bench_fig34_architectures.dir/bench_fig34_architectures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

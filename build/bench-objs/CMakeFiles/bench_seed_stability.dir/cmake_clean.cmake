@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_seed_stability"
+  "../bench/bench_seed_stability.pdb"
+  "CMakeFiles/bench_seed_stability.dir/bench_seed_stability.cpp.o"
+  "CMakeFiles/bench_seed_stability.dir/bench_seed_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seed_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

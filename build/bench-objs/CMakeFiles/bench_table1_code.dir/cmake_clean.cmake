@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_code"
+  "../bench/bench_table1_code.pdb"
+  "CMakeFiles/bench_table1_code.dir/bench_table1_code.cpp.o"
+  "CMakeFiles/bench_table1_code.dir/bench_table1_code.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_cr.cpp" "bench-objs/CMakeFiles/bench_table2_cr.dir/bench_table2_cr.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_table2_cr.dir/bench_table2_cr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/nc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/nc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/nc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/bits/CMakeFiles/nc_bits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cr"
+  "../bench/bench_table2_cr.pdb"
+  "CMakeFiles/bench_table2_cr.dir/bench_table2_cr.cpp.o"
+  "CMakeFiles/bench_table2_cr.dir/bench_table2_cr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

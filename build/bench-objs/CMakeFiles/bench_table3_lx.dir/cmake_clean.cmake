@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_lx"
+  "../bench/bench_table3_lx.pdb"
+  "CMakeFiles/bench_table3_lx.dir/bench_table3_lx.cpp.o"
+  "CMakeFiles/bench_table3_lx.dir/bench_table3_lx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_compare"
+  "../bench/bench_table4_compare.pdb"
+  "CMakeFiles/bench_table4_compare.dir/bench_table4_compare.cpp.o"
+  "CMakeFiles/bench_table4_compare.dir/bench_table4_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

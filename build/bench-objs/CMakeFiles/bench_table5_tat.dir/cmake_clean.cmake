@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_tat"
+  "../bench/bench_table5_tat.pdb"
+  "CMakeFiles/bench_table5_tat.dir/bench_table5_tat.cpp.o"
+  "CMakeFiles/bench_table5_tat.dir/bench_table5_tat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

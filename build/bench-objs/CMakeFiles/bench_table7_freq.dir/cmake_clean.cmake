@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_freq"
+  "../bench/bench_table7_freq.pdb"
+  "CMakeFiles/bench_table7_freq.dir/bench_table7_freq.cpp.o"
+  "CMakeFiles/bench_table7_freq.dir/bench_table7_freq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_ibm"
+  "../bench/bench_table8_ibm.pdb"
+  "CMakeFiles/bench_table8_ibm.dir/bench_table8_ibm.cpp.o"
+  "CMakeFiles/bench_table8_ibm.dir/bench_table8_ibm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_ibm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

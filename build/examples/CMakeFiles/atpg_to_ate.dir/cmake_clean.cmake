@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_to_ate.dir/atpg_to_ate.cpp.o"
+  "CMakeFiles/atpg_to_ate.dir/atpg_to_ate.cpp.o.d"
+  "atpg_to_ate"
+  "atpg_to_ate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_to_ate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

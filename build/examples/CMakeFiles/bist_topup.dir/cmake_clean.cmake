@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_topup.dir/bist_topup.cpp.o"
+  "CMakeFiles/bist_topup.dir/bist_topup.cpp.o.d"
+  "bist_topup"
+  "bist_topup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_topup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

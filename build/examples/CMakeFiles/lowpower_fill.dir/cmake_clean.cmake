@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowpower_fill.dir/lowpower_fill.cpp.o"
+  "CMakeFiles/lowpower_fill.dir/lowpower_fill.cpp.o.d"
+  "lowpower_fill"
+  "lowpower_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowpower_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

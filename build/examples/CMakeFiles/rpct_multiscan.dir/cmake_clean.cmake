@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpct_multiscan.dir/rpct_multiscan.cpp.o"
+  "CMakeFiles/rpct_multiscan.dir/rpct_multiscan.cpp.o.d"
+  "rpct_multiscan"
+  "rpct_multiscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpct_multiscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("bits")
+subdirs("report")
+subdirs("circuit")
+subdirs("sim")
+subdirs("atpg")
+subdirs("codec")
+subdirs("baselines")
+subdirs("decomp")
+subdirs("synth")
+subdirs("gen")
+subdirs("power")
+subdirs("rtl")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_atpg.dir/atpg.cpp.o"
+  "CMakeFiles/nc_atpg.dir/atpg.cpp.o.d"
+  "CMakeFiles/nc_atpg.dir/oracle.cpp.o"
+  "CMakeFiles/nc_atpg.dir/oracle.cpp.o.d"
+  "CMakeFiles/nc_atpg.dir/podem.cpp.o"
+  "CMakeFiles/nc_atpg.dir/podem.cpp.o.d"
+  "libnc_atpg.a"
+  "libnc_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

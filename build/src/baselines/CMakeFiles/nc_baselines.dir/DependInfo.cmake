@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dictionary.cpp" "src/baselines/CMakeFiles/nc_baselines.dir/dictionary.cpp.o" "gcc" "src/baselines/CMakeFiles/nc_baselines.dir/dictionary.cpp.o.d"
+  "/root/repo/src/baselines/fdr.cpp" "src/baselines/CMakeFiles/nc_baselines.dir/fdr.cpp.o" "gcc" "src/baselines/CMakeFiles/nc_baselines.dir/fdr.cpp.o.d"
+  "/root/repo/src/baselines/golomb.cpp" "src/baselines/CMakeFiles/nc_baselines.dir/golomb.cpp.o" "gcc" "src/baselines/CMakeFiles/nc_baselines.dir/golomb.cpp.o.d"
+  "/root/repo/src/baselines/lzw.cpp" "src/baselines/CMakeFiles/nc_baselines.dir/lzw.cpp.o" "gcc" "src/baselines/CMakeFiles/nc_baselines.dir/lzw.cpp.o.d"
+  "/root/repo/src/baselines/mtc.cpp" "src/baselines/CMakeFiles/nc_baselines.dir/mtc.cpp.o" "gcc" "src/baselines/CMakeFiles/nc_baselines.dir/mtc.cpp.o.d"
+  "/root/repo/src/baselines/selective_huffman.cpp" "src/baselines/CMakeFiles/nc_baselines.dir/selective_huffman.cpp.o" "gcc" "src/baselines/CMakeFiles/nc_baselines.dir/selective_huffman.cpp.o.d"
+  "/root/repo/src/baselines/vihc.cpp" "src/baselines/CMakeFiles/nc_baselines.dir/vihc.cpp.o" "gcc" "src/baselines/CMakeFiles/nc_baselines.dir/vihc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/nc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/nc_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_baselines.dir/dictionary.cpp.o"
+  "CMakeFiles/nc_baselines.dir/dictionary.cpp.o.d"
+  "CMakeFiles/nc_baselines.dir/fdr.cpp.o"
+  "CMakeFiles/nc_baselines.dir/fdr.cpp.o.d"
+  "CMakeFiles/nc_baselines.dir/golomb.cpp.o"
+  "CMakeFiles/nc_baselines.dir/golomb.cpp.o.d"
+  "CMakeFiles/nc_baselines.dir/lzw.cpp.o"
+  "CMakeFiles/nc_baselines.dir/lzw.cpp.o.d"
+  "CMakeFiles/nc_baselines.dir/mtc.cpp.o"
+  "CMakeFiles/nc_baselines.dir/mtc.cpp.o.d"
+  "CMakeFiles/nc_baselines.dir/selective_huffman.cpp.o"
+  "CMakeFiles/nc_baselines.dir/selective_huffman.cpp.o.d"
+  "CMakeFiles/nc_baselines.dir/vihc.cpp.o"
+  "CMakeFiles/nc_baselines.dir/vihc.cpp.o.d"
+  "libnc_baselines.a"
+  "libnc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

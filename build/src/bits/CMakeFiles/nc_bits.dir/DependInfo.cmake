@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bits/huffman.cpp" "src/bits/CMakeFiles/nc_bits.dir/huffman.cpp.o" "gcc" "src/bits/CMakeFiles/nc_bits.dir/huffman.cpp.o.d"
+  "/root/repo/src/bits/serialize.cpp" "src/bits/CMakeFiles/nc_bits.dir/serialize.cpp.o" "gcc" "src/bits/CMakeFiles/nc_bits.dir/serialize.cpp.o.d"
+  "/root/repo/src/bits/test_set.cpp" "src/bits/CMakeFiles/nc_bits.dir/test_set.cpp.o" "gcc" "src/bits/CMakeFiles/nc_bits.dir/test_set.cpp.o.d"
+  "/root/repo/src/bits/trit_vector.cpp" "src/bits/CMakeFiles/nc_bits.dir/trit_vector.cpp.o" "gcc" "src/bits/CMakeFiles/nc_bits.dir/trit_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_bits.dir/huffman.cpp.o"
+  "CMakeFiles/nc_bits.dir/huffman.cpp.o.d"
+  "CMakeFiles/nc_bits.dir/serialize.cpp.o"
+  "CMakeFiles/nc_bits.dir/serialize.cpp.o.d"
+  "CMakeFiles/nc_bits.dir/test_set.cpp.o"
+  "CMakeFiles/nc_bits.dir/test_set.cpp.o.d"
+  "CMakeFiles/nc_bits.dir/trit_vector.cpp.o"
+  "CMakeFiles/nc_bits.dir/trit_vector.cpp.o.d"
+  "libnc_bits.a"
+  "libnc_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

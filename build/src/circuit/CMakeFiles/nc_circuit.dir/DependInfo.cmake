@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bench_io.cpp" "src/circuit/CMakeFiles/nc_circuit.dir/bench_io.cpp.o" "gcc" "src/circuit/CMakeFiles/nc_circuit.dir/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/generator.cpp" "src/circuit/CMakeFiles/nc_circuit.dir/generator.cpp.o" "gcc" "src/circuit/CMakeFiles/nc_circuit.dir/generator.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/nc_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/nc_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/samples.cpp" "src/circuit/CMakeFiles/nc_circuit.dir/samples.cpp.o" "gcc" "src/circuit/CMakeFiles/nc_circuit.dir/samples.cpp.o.d"
+  "/root/repo/src/circuit/scan_chains.cpp" "src/circuit/CMakeFiles/nc_circuit.dir/scan_chains.cpp.o" "gcc" "src/circuit/CMakeFiles/nc_circuit.dir/scan_chains.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/nc_bits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

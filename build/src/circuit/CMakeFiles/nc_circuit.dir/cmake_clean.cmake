@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_circuit.dir/bench_io.cpp.o"
+  "CMakeFiles/nc_circuit.dir/bench_io.cpp.o.d"
+  "CMakeFiles/nc_circuit.dir/generator.cpp.o"
+  "CMakeFiles/nc_circuit.dir/generator.cpp.o.d"
+  "CMakeFiles/nc_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/nc_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/nc_circuit.dir/samples.cpp.o"
+  "CMakeFiles/nc_circuit.dir/samples.cpp.o.d"
+  "CMakeFiles/nc_circuit.dir/scan_chains.cpp.o"
+  "CMakeFiles/nc_circuit.dir/scan_chains.cpp.o.d"
+  "libnc_circuit.a"
+  "libnc_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/block_class.cpp" "src/codec/CMakeFiles/nc_codec.dir/block_class.cpp.o" "gcc" "src/codec/CMakeFiles/nc_codec.dir/block_class.cpp.o.d"
+  "/root/repo/src/codec/codeword_table.cpp" "src/codec/CMakeFiles/nc_codec.dir/codeword_table.cpp.o" "gcc" "src/codec/CMakeFiles/nc_codec.dir/codeword_table.cpp.o.d"
+  "/root/repo/src/codec/diff.cpp" "src/codec/CMakeFiles/nc_codec.dir/diff.cpp.o" "gcc" "src/codec/CMakeFiles/nc_codec.dir/diff.cpp.o.d"
+  "/root/repo/src/codec/nine_coded.cpp" "src/codec/CMakeFiles/nc_codec.dir/nine_coded.cpp.o" "gcc" "src/codec/CMakeFiles/nc_codec.dir/nine_coded.cpp.o.d"
+  "/root/repo/src/codec/pattern_codec.cpp" "src/codec/CMakeFiles/nc_codec.dir/pattern_codec.cpp.o" "gcc" "src/codec/CMakeFiles/nc_codec.dir/pattern_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/nc_bits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_codec.dir/block_class.cpp.o"
+  "CMakeFiles/nc_codec.dir/block_class.cpp.o.d"
+  "CMakeFiles/nc_codec.dir/codeword_table.cpp.o"
+  "CMakeFiles/nc_codec.dir/codeword_table.cpp.o.d"
+  "CMakeFiles/nc_codec.dir/diff.cpp.o"
+  "CMakeFiles/nc_codec.dir/diff.cpp.o.d"
+  "CMakeFiles/nc_codec.dir/nine_coded.cpp.o"
+  "CMakeFiles/nc_codec.dir/nine_coded.cpp.o.d"
+  "CMakeFiles/nc_codec.dir/pattern_codec.cpp.o"
+  "CMakeFiles/nc_codec.dir/pattern_codec.cpp.o.d"
+  "libnc_codec.a"
+  "libnc_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

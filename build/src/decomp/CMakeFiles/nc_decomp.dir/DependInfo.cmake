@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/ate_session.cpp" "src/decomp/CMakeFiles/nc_decomp.dir/ate_session.cpp.o" "gcc" "src/decomp/CMakeFiles/nc_decomp.dir/ate_session.cpp.o.d"
+  "/root/repo/src/decomp/decoder_fsm.cpp" "src/decomp/CMakeFiles/nc_decomp.dir/decoder_fsm.cpp.o" "gcc" "src/decomp/CMakeFiles/nc_decomp.dir/decoder_fsm.cpp.o.d"
+  "/root/repo/src/decomp/multi_scan.cpp" "src/decomp/CMakeFiles/nc_decomp.dir/multi_scan.cpp.o" "gcc" "src/decomp/CMakeFiles/nc_decomp.dir/multi_scan.cpp.o.d"
+  "/root/repo/src/decomp/programmable.cpp" "src/decomp/CMakeFiles/nc_decomp.dir/programmable.cpp.o" "gcc" "src/decomp/CMakeFiles/nc_decomp.dir/programmable.cpp.o.d"
+  "/root/repo/src/decomp/single_scan.cpp" "src/decomp/CMakeFiles/nc_decomp.dir/single_scan.cpp.o" "gcc" "src/decomp/CMakeFiles/nc_decomp.dir/single_scan.cpp.o.d"
+  "/root/repo/src/decomp/timing.cpp" "src/decomp/CMakeFiles/nc_decomp.dir/timing.cpp.o" "gcc" "src/decomp/CMakeFiles/nc_decomp.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/nc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/nc_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/nc_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_decomp.dir/ate_session.cpp.o"
+  "CMakeFiles/nc_decomp.dir/ate_session.cpp.o.d"
+  "CMakeFiles/nc_decomp.dir/decoder_fsm.cpp.o"
+  "CMakeFiles/nc_decomp.dir/decoder_fsm.cpp.o.d"
+  "CMakeFiles/nc_decomp.dir/multi_scan.cpp.o"
+  "CMakeFiles/nc_decomp.dir/multi_scan.cpp.o.d"
+  "CMakeFiles/nc_decomp.dir/programmable.cpp.o"
+  "CMakeFiles/nc_decomp.dir/programmable.cpp.o.d"
+  "CMakeFiles/nc_decomp.dir/single_scan.cpp.o"
+  "CMakeFiles/nc_decomp.dir/single_scan.cpp.o.d"
+  "CMakeFiles/nc_decomp.dir/timing.cpp.o"
+  "CMakeFiles/nc_decomp.dir/timing.cpp.o.d"
+  "libnc_decomp.a"
+  "libnc_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_gen.dir/cube_gen.cpp.o"
+  "CMakeFiles/nc_gen.dir/cube_gen.cpp.o.d"
+  "CMakeFiles/nc_gen.dir/profiles.cpp.o"
+  "CMakeFiles/nc_gen.dir/profiles.cpp.o.d"
+  "libnc_gen.a"
+  "libnc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

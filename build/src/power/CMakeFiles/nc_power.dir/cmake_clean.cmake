@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_power.dir/fill.cpp.o"
+  "CMakeFiles/nc_power.dir/fill.cpp.o.d"
+  "CMakeFiles/nc_power.dir/metrics.cpp.o"
+  "CMakeFiles/nc_power.dir/metrics.cpp.o.d"
+  "libnc_power.a"
+  "libnc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_report.dir/table.cpp.o"
+  "CMakeFiles/nc_report.dir/table.cpp.o.d"
+  "libnc_report.a"
+  "libnc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/nc_rtl.dir/verilog.cpp.o.d"
+  "libnc_rtl.a"
+  "libnc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/nc_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/nc_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/fault_sim.cpp" "src/sim/CMakeFiles/nc_sim.dir/fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/nc_sim.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/sim/lfsr.cpp" "src/sim/CMakeFiles/nc_sim.dir/lfsr.cpp.o" "gcc" "src/sim/CMakeFiles/nc_sim.dir/lfsr.cpp.o.d"
+  "/root/repo/src/sim/logic_sim.cpp" "src/sim/CMakeFiles/nc_sim.dir/logic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/nc_sim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/misr.cpp" "src/sim/CMakeFiles/nc_sim.dir/misr.cpp.o" "gcc" "src/sim/CMakeFiles/nc_sim.dir/misr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bits/CMakeFiles/nc_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/nc_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_sim.dir/fault.cpp.o"
+  "CMakeFiles/nc_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/nc_sim.dir/fault_sim.cpp.o"
+  "CMakeFiles/nc_sim.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/nc_sim.dir/lfsr.cpp.o"
+  "CMakeFiles/nc_sim.dir/lfsr.cpp.o.d"
+  "CMakeFiles/nc_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/nc_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/nc_sim.dir/misr.cpp.o"
+  "CMakeFiles/nc_sim.dir/misr.cpp.o.d"
+  "libnc_sim.a"
+  "libnc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_synth.dir/code_synth.cpp.o"
+  "CMakeFiles/nc_synth.dir/code_synth.cpp.o.d"
+  "CMakeFiles/nc_synth.dir/fsm_synth.cpp.o"
+  "CMakeFiles/nc_synth.dir/fsm_synth.cpp.o.d"
+  "CMakeFiles/nc_synth.dir/qm.cpp.o"
+  "CMakeFiles/nc_synth.dir/qm.cpp.o.d"
+  "libnc_synth.a"
+  "libnc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

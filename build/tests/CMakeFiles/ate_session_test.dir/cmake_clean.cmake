@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ate_session_test.dir/ate_session_test.cpp.o"
+  "CMakeFiles/ate_session_test.dir/ate_session_test.cpp.o.d"
+  "ate_session_test"
+  "ate_session_test.pdb"
+  "ate_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ate_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

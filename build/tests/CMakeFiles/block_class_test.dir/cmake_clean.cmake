@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_class_test.dir/block_class_test.cpp.o"
+  "CMakeFiles/block_class_test.dir/block_class_test.cpp.o.d"
+  "block_class_test"
+  "block_class_test.pdb"
+  "block_class_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_synth_test.dir/code_synth_test.cpp.o"
+  "CMakeFiles/code_synth_test.dir/code_synth_test.cpp.o.d"
+  "code_synth_test"
+  "code_synth_test.pdb"
+  "code_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

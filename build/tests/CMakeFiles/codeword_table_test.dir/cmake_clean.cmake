@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codeword_table_test.dir/codeword_table_test.cpp.o"
+  "CMakeFiles/codeword_table_test.dir/codeword_table_test.cpp.o.d"
+  "codeword_table_test"
+  "codeword_table_test.pdb"
+  "codeword_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codeword_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_gen_test.dir/cube_gen_test.cpp.o"
+  "CMakeFiles/cube_gen_test.dir/cube_gen_test.cpp.o.d"
+  "cube_gen_test"
+  "cube_gen_test.pdb"
+  "cube_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_fsm_test.dir/decoder_fsm_test.cpp.o"
+  "CMakeFiles/decoder_fsm_test.dir/decoder_fsm_test.cpp.o.d"
+  "decoder_fsm_test"
+  "decoder_fsm_test.pdb"
+  "decoder_fsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_fsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_synth_test.dir/fsm_synth_test.cpp.o"
+  "CMakeFiles/fsm_synth_test.dir/fsm_synth_test.cpp.o.d"
+  "fsm_synth_test"
+  "fsm_synth_test.pdb"
+  "fsm_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

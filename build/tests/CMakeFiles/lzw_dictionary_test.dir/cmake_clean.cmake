@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzw_dictionary_test.dir/lzw_dictionary_test.cpp.o"
+  "CMakeFiles/lzw_dictionary_test.dir/lzw_dictionary_test.cpp.o.d"
+  "lzw_dictionary_test"
+  "lzw_dictionary_test.pdb"
+  "lzw_dictionary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzw_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

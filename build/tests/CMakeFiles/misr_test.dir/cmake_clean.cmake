@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misr_test.dir/misr_test.cpp.o"
+  "CMakeFiles/misr_test.dir/misr_test.cpp.o.d"
+  "misr_test"
+  "misr_test.pdb"
+  "misr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

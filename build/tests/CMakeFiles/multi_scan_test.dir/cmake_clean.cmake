@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_scan_test.dir/multi_scan_test.cpp.o"
+  "CMakeFiles/multi_scan_test.dir/multi_scan_test.cpp.o.d"
+  "multi_scan_test"
+  "multi_scan_test.pdb"
+  "multi_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nine_coded_test.dir/nine_coded_test.cpp.o"
+  "CMakeFiles/nine_coded_test.dir/nine_coded_test.cpp.o.d"
+  "nine_coded_test"
+  "nine_coded_test.pdb"
+  "nine_coded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nine_coded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

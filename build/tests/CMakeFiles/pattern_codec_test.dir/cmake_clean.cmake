@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_codec_test.dir/pattern_codec_test.cpp.o"
+  "CMakeFiles/pattern_codec_test.dir/pattern_codec_test.cpp.o.d"
+  "pattern_codec_test"
+  "pattern_codec_test.pdb"
+  "pattern_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programmable_decoder_test.dir/programmable_decoder_test.cpp.o"
+  "CMakeFiles/programmable_decoder_test.dir/programmable_decoder_test.cpp.o.d"
+  "programmable_decoder_test"
+  "programmable_decoder_test.pdb"
+  "programmable_decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programmable_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

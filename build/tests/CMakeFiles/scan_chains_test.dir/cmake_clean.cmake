@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_chains_test.dir/scan_chains_test.cpp.o"
+  "CMakeFiles/scan_chains_test.dir/scan_chains_test.cpp.o.d"
+  "scan_chains_test"
+  "scan_chains_test.pdb"
+  "scan_chains_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_chains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

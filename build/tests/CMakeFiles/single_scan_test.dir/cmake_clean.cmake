@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_scan_test.dir/single_scan_test.cpp.o"
+  "CMakeFiles/single_scan_test.dir/single_scan_test.cpp.o.d"
+  "single_scan_test"
+  "single_scan_test.pdb"
+  "single_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_test.dir/test_set_test.cpp.o"
+  "CMakeFiles/test_set_test.dir/test_set_test.cpp.o.d"
+  "test_set_test"
+  "test_set_test.pdb"
+  "test_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trit_vector_test.dir/trit_vector_test.cpp.o"
+  "CMakeFiles/trit_vector_test.dir/trit_vector_test.cpp.o.d"
+  "trit_vector_test"
+  "trit_vector_test.pdb"
+  "trit_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trit_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

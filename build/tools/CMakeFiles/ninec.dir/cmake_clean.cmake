@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ninec.dir/ninec.cpp.o"
+  "CMakeFiles/ninec.dir/ninec.cpp.o.d"
+  "ninec"
+  "ninec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ninec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
