@@ -8,11 +8,54 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bits/trit_vector.h"
 
 namespace nc::bits {
+
+/// A read past the end of a stream (truncated input). Derives from
+/// std::out_of_range so legacy catch sites keep working; the structured
+/// fields let decoders report *where* the stream ran dry.
+class StreamOverrun : public std::out_of_range {
+ public:
+  StreamOverrun(std::size_t offset, std::size_t requested,
+                std::size_t available)
+      : std::out_of_range("stream overrun at symbol " +
+                          std::to_string(offset) + ": need " +
+                          std::to_string(requested) + ", have " +
+                          std::to_string(available)),
+        offset_(offset),
+        requested_(requested),
+        available_(available) {}
+
+  /// Cursor position (in symbols) where the failing read started.
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t available() const noexcept { return available_; }
+
+ private:
+  std::size_t offset_;
+  std::size_t requested_;
+  std::size_t available_;
+};
+
+/// An X symbol at a position that must carry a specified 0/1 (every codeword
+/// bit). Derives from std::runtime_error for legacy catch sites.
+class InvalidSymbol : public std::runtime_error {
+ public:
+  explicit InvalidSymbol(std::size_t offset)
+      : std::runtime_error("unspecified symbol (X) at stream offset " +
+                           std::to_string(offset) +
+                           " where a 0/1 bit is required"),
+        offset_(offset) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
 
 /// Append-only bit sink backed by a TritVector restricted to 0/1.
 /// Using TritVector as the carrier keeps one stream type across all coders.
@@ -49,15 +92,14 @@ class TritReader {
   std::size_t remaining() const noexcept { return v_->size() - pos_; }
 
   Trit next() {
-    if (done()) throw std::out_of_range("TritReader: read past end");
+    if (done()) throw StreamOverrun(pos_, 1, 0);
     return v_->get(pos_++);
   }
 
   /// Reads one symbol that must be 0 or 1 (e.g. a codeword bit).
   bool next_bit() {
     const Trit t = next();
-    if (!is_care(t))
-      throw std::runtime_error("TritReader: expected a specified bit, got X");
+    if (!is_care(t)) throw InvalidSymbol(pos_ - 1);
     return t == Trit::One;
   }
 
@@ -70,8 +112,7 @@ class TritReader {
 
   /// Reads `n` symbols (X allowed) into a fresh vector.
   TritVector next_trits(std::size_t n) {
-    if (remaining() < n)
-      throw std::out_of_range("TritReader: read past end");
+    if (remaining() < n) throw StreamOverrun(pos_, n, remaining());
     TritVector out = v_->slice(pos_, n);
     pos_ += n;
     return out;

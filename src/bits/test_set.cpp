@@ -20,20 +20,38 @@ TestSet TestSet::parse(std::istream& in) {
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    // Strip comments and surrounding whitespace.
+    // Strip comments and surrounding whitespace, remembering how many
+    // leading characters were dropped so columns refer to the raw line.
     if (const auto hash = line.find('#'); hash != std::string::npos)
       line.erase(hash);
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;
     const auto last = line.find_last_not_of(" \t\r");
     line = line.substr(first, last - first + 1);
-    try {
-      ts.append_pattern(TritVector::from_string(line));
-    } catch (const std::exception& e) {
-      throw std::runtime_error("test set line " + std::to_string(lineno) +
-                               ": " + e.what());
+
+    TritVector row;
+    row.resize(line.size(), Trit::Zero);
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      switch (c) {
+        case '0': row.set(i, Trit::Zero); break;
+        case '1': row.set(i, Trit::One); break;
+        case 'x':
+        case 'X': row.set(i, Trit::X); break;
+        default:
+          throw ParseError(lineno, first + i + 1,
+                           std::string("invalid character '") + c +
+                               "' (want 0/1/X)");
+      }
     }
+    if (ts.pattern_count() > 0 && row.size() != ts.pattern_length())
+      throw ParseError(lineno, first + 1,
+                       "ragged row: width " + std::to_string(row.size()) +
+                           " != " + std::to_string(ts.pattern_length()));
+    ts.append_pattern(row);
   }
+  if (ts.pattern_count() == 0)
+    throw ParseError(lineno, 0, "no pattern lines (empty test set)");
   return ts;
 }
 

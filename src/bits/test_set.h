@@ -11,12 +11,39 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bits/trit_vector.h"
 
 namespace nc::bits {
+
+/// Malformed cube-file input: carries the 1-based line and column (column 0
+/// when the whole line, not one character, is at fault; line 0 for
+/// file-level problems such as an empty file).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, std::size_t column, const std::string& what)
+      : std::runtime_error(format(line, column, what)),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  static std::string format(std::size_t line, std::size_t column,
+                            const std::string& what) {
+    std::string s = "test set";
+    if (line > 0) s += " line " + std::to_string(line);
+    if (column > 0) s += ", column " + std::to_string(column);
+    return s + ": " + what;
+  }
+
+  std::size_t line_;
+  std::size_t column_;
+};
 
 class TestSet {
  public:
@@ -30,7 +57,8 @@ class TestSet {
   static TestSet from_strings(const std::vector<std::string>& patterns);
 
   /// Parses the text format written by `save`: '#' comments, one pattern per
-  /// line. Throws std::runtime_error on ragged or malformed input.
+  /// line. Throws ParseError (with line/column) on a bad character, a ragged
+  /// row width, or input with no pattern lines at all.
   static TestSet parse(std::istream& in);
   static TestSet load_file(const std::string& path);
 

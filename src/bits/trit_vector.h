@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +45,19 @@ class TritVector {
   }
 
   Trit operator[](std::size_t i) const noexcept { return get(i); }
+
+  /// Bounds-checked get: throws std::out_of_range instead of reading past
+  /// the backing words (get() stays unchecked for hot loops).
+  Trit at(std::size_t i) const {
+    check_index(i);
+    return get(i);
+  }
+
+  /// Bounds-checked set.
+  void set_at(std::size_t i, Trit t) {
+    check_index(i);
+    set(i, t);
+  }
 
   void push_back(Trit t) {
     resize(size_ + 1, Trit::Zero);
@@ -85,6 +99,13 @@ class TritVector {
   std::string to_string() const;
 
  private:
+  void check_index(std::size_t i) const {
+    if (i >= size_)
+      throw std::out_of_range("TritVector index " + std::to_string(i) +
+                              " out of range (size " + std::to_string(size_) +
+                              ")");
+  }
+
   using Word = std::uint64_t;
   static constexpr unsigned kShift = 5;  // 32 trits per 64-bit word
   static constexpr unsigned shift_of(std::size_t i) noexcept {

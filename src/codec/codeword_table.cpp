@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "codec/decode_error.h"
+
 namespace nc::codec {
 
 std::string Codeword::to_string() const {
@@ -81,6 +83,7 @@ unsigned CodewordTable::max_length() const noexcept {
 }
 
 BlockClass CodewordTable::match(bits::TritReader& reader) const {
+  const std::size_t start = reader.position();
   std::uint32_t acc = 0;
   unsigned len = 0;
   const unsigned maxlen = max_length();
@@ -92,7 +95,7 @@ BlockClass CodewordTable::match(bits::TritReader& reader) const {
         return static_cast<BlockClass>(c);
     }
   }
-  throw std::runtime_error("9C stream corrupt: no codeword matches");
+  throw DecodeError(DecodeFault::kInvalidCodeword, start);
 }
 
 bool CodewordTable::prefix_free() const {

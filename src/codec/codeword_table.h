@@ -56,8 +56,10 @@ class CodewordTable {
   unsigned max_length() const noexcept;
 
   /// Decodes the codeword starting at the reader's cursor; consumes exactly
-  /// its bits. Throws std::runtime_error if no codeword matches (corrupt
-  /// stream).
+  /// its bits. Throws DecodeError (kInvalidCodeword) if no codeword matches,
+  /// which is only possible for tables whose lengths leave Kraft slack; the
+  /// reader itself throws on truncation (StreamOverrun) and on an X in a
+  /// codeword position (InvalidSymbol).
   BlockClass match(bits::TritReader& reader) const;
 
   /// True if no codeword is a prefix of another (checked in tests; holds by

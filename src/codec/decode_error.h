@@ -1,0 +1,94 @@
+// Typed decode failures for the 9C stream.
+//
+// The 9C codeword lengths {1,2,5,5,5,5,5,5,4} satisfy Kraft with equality:
+// the code is *complete*, so every 0/1 bit string parses as some codeword
+// sequence and a corrupted-but-specified codeword bit is never detectable at
+// the codeword layer. What IS detectable, and what this error type reports:
+//
+//   kTruncated   the stream ended mid-codeword or mid-payload
+//   kXInCodeword an X symbol landed where a codeword bit must be specified
+//                (a flip inside a payload can desynchronize the parse so a
+//                payload X is read as a codeword bit)
+//   kInvalidCodeword  no codeword matches (only possible for incomplete
+//                     tables built from non-tight length sets)
+//   kTrailingData     block/length accounting finished with symbols left
+//                     over -- the parse consumed less than was transmitted
+//
+// Everything else (a corrupted payload bit, a flip that aliases one whole
+// parse onto another of identical total length) is undetectable here and is
+// caught -- or X-masked -- at the session layer by the response compare.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace nc::codec {
+
+enum class DecodeFault : unsigned char {
+  kTruncated = 0,
+  kInvalidCodeword,
+  kXInCodeword,
+  kTrailingData,
+};
+
+constexpr const char* to_string(DecodeFault f) noexcept {
+  switch (f) {
+    case DecodeFault::kTruncated: return "truncated stream";
+    case DecodeFault::kInvalidCodeword: return "invalid codeword";
+    case DecodeFault::kXInCodeword: return "X in codeword position";
+    case DecodeFault::kTrailingData: return "trailing data after last block";
+  }
+  return "unknown decode fault";
+}
+
+/// A detected corruption: which check fired, where in TE it fired, and which
+/// decoded block (and, for multi-pin architectures, which ATE pin) was in
+/// flight. `block_index`/`pin` are kUnknown when the thrower cannot know.
+class DecodeError : public std::runtime_error {
+ public:
+  static constexpr std::size_t kUnknown = static_cast<std::size_t>(-1);
+
+  DecodeError(DecodeFault fault, std::size_t stream_offset,
+              std::size_t block_index = kUnknown, std::size_t pin = kUnknown)
+      : std::runtime_error(format(fault, stream_offset, block_index, pin)),
+        fault_(fault),
+        stream_offset_(stream_offset),
+        block_index_(block_index),
+        pin_(pin) {}
+
+  DecodeFault fault() const noexcept { return fault_; }
+  /// Offset into TE (in symbols) of the failing read.
+  std::size_t stream_offset() const noexcept { return stream_offset_; }
+  /// Index of the K-bit block being decoded when the check fired.
+  std::size_t block_index() const noexcept { return block_index_; }
+  /// ATE pin / bank for multi-pin architectures.
+  std::size_t pin() const noexcept { return pin_; }
+
+  /// Copies with the block index filled in (callers that track block
+  /// accounting annotate errors thrown by lower layers).
+  DecodeError with_block(std::size_t block) const {
+    return DecodeError(fault_, stream_offset_, block, pin_);
+  }
+  DecodeError with_pin(std::size_t pin) const {
+    return DecodeError(fault_, stream_offset_, block_index_, pin);
+  }
+
+ private:
+  static std::string format(DecodeFault fault, std::size_t offset,
+                            std::size_t block, std::size_t pin) {
+    std::string s = "9C decode error: ";
+    s += to_string(fault);
+    s += " at TE offset " + std::to_string(offset);
+    if (block != kUnknown) s += ", block " + std::to_string(block);
+    if (pin != kUnknown) s += ", pin " + std::to_string(pin);
+    return s;
+  }
+
+  DecodeFault fault_;
+  std::size_t stream_offset_;
+  std::size_t block_index_;
+  std::size_t pin_;
+};
+
+}  // namespace nc::codec

@@ -98,43 +98,65 @@ NineCodedStats NineCoded::analyze(const TritVector& td,
 
 TritVector NineCoded::decode(const TritVector& te,
                              std::size_t original_bits) const {
+  return decode_checked(te, original_bits).data;
+}
+
+DecodeOutcome NineCoded::decode_checked(const TritVector& te,
+                                        std::size_t original_bits) const {
   const std::size_t half = k_ / 2;
-  TritVector out;
+  const std::size_t expected_blocks = (original_bits + k_ - 1) / k_;
+  DecodeOutcome outcome;
+  TritVector& out = outcome.data;
   bits::TritReader reader(te);
-  while (out.size() < original_bits) {
-    const BlockClass cls = table_.match(reader);
-    switch (cls) {
-      case BlockClass::kC1:
-      case BlockClass::kC2:
-      case BlockClass::kC3:
-      case BlockClass::kC4: {
-        const auto fill = uniform_fill(cls);
-        out.append_run(half, bits::trit_from_bit(fill[0]));
-        out.append_run(half, bits::trit_from_bit(fill[1]));
-        break;
-      }
-      case BlockClass::kC5:
-      case BlockClass::kC6:
-      case BlockClass::kC7:
-      case BlockClass::kC8: {
-        const MixedShape shape = mixed_shape(cls);
-        const TritVector payload = reader.next_trits(half);
-        if (shape.mismatch_is_left) {
-          out.append(payload);
-          out.append_run(half, bits::trit_from_bit(shape.uniform_value));
-        } else {
-          out.append_run(half, bits::trit_from_bit(shape.uniform_value));
-          out.append(payload);
+  for (std::size_t block = 0; block < expected_blocks; ++block) {
+    try {
+      const BlockClass cls = table_.match(reader);
+      switch (cls) {
+        case BlockClass::kC1:
+        case BlockClass::kC2:
+        case BlockClass::kC3:
+        case BlockClass::kC4: {
+          const auto fill = uniform_fill(cls);
+          out.append_run(half, bits::trit_from_bit(fill[0]));
+          out.append_run(half, bits::trit_from_bit(fill[1]));
+          break;
         }
-        break;
+        case BlockClass::kC5:
+        case BlockClass::kC6:
+        case BlockClass::kC7:
+        case BlockClass::kC8: {
+          const MixedShape shape = mixed_shape(cls);
+          const TritVector payload = reader.next_trits(half);
+          if (shape.mismatch_is_left) {
+            out.append(payload);
+            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+          } else {
+            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+            out.append(payload);
+          }
+          break;
+        }
+        case BlockClass::kC9:
+          out.append(reader.next_trits(k_));
+          break;
       }
-      case BlockClass::kC9:
-        out.append(reader.next_trits(k_));
-        break;
+    } catch (const bits::StreamOverrun& e) {
+      throw DecodeError(DecodeFault::kTruncated, e.offset(), block);
+    } catch (const bits::InvalidSymbol& e) {
+      throw DecodeError(DecodeFault::kXInCodeword, e.offset(), block);
+    } catch (const DecodeError& e) {
+      throw e.with_block(block);
     }
   }
+  // Length accounting: a corruption that shortens the parse (e.g. a long
+  // codeword aliased onto a short one) leaves TE symbols unconsumed.
+  if (!reader.done())
+    throw DecodeError(DecodeFault::kTrailingData, reader.position(),
+                      expected_blocks);
+  outcome.blocks = expected_blocks;
+  outcome.consumed = reader.position();
   out.resize(original_bits);  // drop decoder output for the padded tail
-  return out;
+  return outcome;
 }
 
 NineCoded NineCoded::tuned_for(const bits::TritVector& td,

@@ -7,8 +7,17 @@
 
 #include "codec/codec.h"
 #include "codec/codeword_table.h"
+#include "codec/decode_error.h"
 
 namespace nc::codec {
+
+/// What a validated decode consumed and produced; `data` holds exactly the
+/// requested original bits.
+struct DecodeOutcome {
+  bits::TritVector data;
+  std::size_t blocks = 0;    // codewords consumed (= padded bits / K)
+  std::size_t consumed = 0;  // TE symbols consumed
+};
 
 /// Everything the paper's tables derive from one encoding run.
 struct NineCodedStats {
@@ -56,8 +65,18 @@ class NineCoded final : public Codec {
   const CodewordTable& table() const noexcept { return table_; }
 
   bits::TritVector encode(const bits::TritVector& td) const override;
+
+  /// Strict decode: forwards to decode_checked and returns its data, so a
+  /// corrupted TE raises a typed DecodeError instead of returning garbage.
   bits::TritVector decode(const bits::TritVector& te,
                           std::size_t original_bits) const override;
+
+  /// Validating decode with full accounting. Checks, per block: codeword
+  /// legality (prefix match, specified bits only) and payload availability;
+  /// after the final block: that TE was consumed exactly. Throws DecodeError
+  /// carrying the fault kind, the TE offset, and the failing block index.
+  DecodeOutcome decode_checked(const bits::TritVector& te,
+                               std::size_t original_bits) const;
 
   /// Encoding plus the full statistics bundle; `encode` forwards here.
   NineCodedStats analyze(const bits::TritVector& td,

@@ -1,5 +1,6 @@
 #include "decomp/ate_session.h"
 
+#include "codec/decode_error.h"
 #include "decomp/single_scan.h"
 #include "sim/logic_sim.h"
 
@@ -9,12 +10,40 @@ using bits::TestSet;
 using bits::Trit;
 using bits::TritVector;
 
-SessionResult run_test_session(const circuit::Netlist& netlist,
-                               const TestSet& cubes,
-                               const SessionConfig& config,
-                               const std::optional<sim::Fault>& fault) {
+namespace {
+
+/// Applies one decoded pattern to the fault-free and the DUT machine and
+/// reports whether the responses provably differ.
+class ResponseComparator {
+ public:
+  ResponseComparator(const circuit::Netlist& netlist, std::size_t width)
+      : good_sim_(netlist), dut_sim_(netlist), one_(1, width) {}
+
+  bool pattern_fails(const TritVector& applied,
+                     const std::optional<sim::Fault>& fault) {
+    one_.set_pattern(0, applied);
+    good_sim_.load(one_, 0);
+    good_sim_.run();
+    dut_sim_.load(one_, 0);
+    if (fault.has_value())
+      dut_sim_.run_with_fault(fault->node, fault->consumer, fault->pin,
+                              fault->stuck_value);
+    else
+      dut_sim_.run();
+    return dut_sim_.diff_mask(good_sim_.values()) != 0;
+  }
+
+ private:
+  sim::ParallelSim good_sim_;
+  sim::ParallelSim dut_sim_;
+  TestSet one_;
+};
+
+/// The paper's model: one TE for the whole TD over a perfect link.
+SessionResult run_perfect(const circuit::Netlist& netlist,
+                          const TestSet& cubes, const SessionConfig& config,
+                          const std::optional<sim::Fault>& fault) {
   SessionResult result;
-  if (cubes.pattern_count() == 0) return result;
 
   // The ATE compresses once and streams; the decoder fills the chain.
   const codec::NineCoded coder(config.block_size);
@@ -30,25 +59,102 @@ SessionResult run_test_session(const circuit::Netlist& netlist,
   const TestSet applied = TestSet::unflatten(
       trace.scan_stream, cubes.pattern_count(), cubes.pattern_length());
 
-  sim::ParallelSim good_sim(netlist);
-  sim::ParallelSim dut_sim(netlist);
-  TestSet one(1, cubes.pattern_length());
+  ResponseComparator compare(netlist, cubes.pattern_length());
   for (std::size_t pat = 0; pat < applied.pattern_count(); ++pat) {
-    one.set_pattern(0, applied.pattern(pat));
-    good_sim.load(one, 0);
-    good_sim.run();
-    dut_sim.load(one, 0);
-    if (fault.has_value())
-      dut_sim.run_with_fault(fault->node, fault->consumer, fault->pin,
-                             fault->stuck_value);
-    else
-      dut_sim.run();
-    const bool failed = dut_sim.diff_mask(good_sim.values()) != 0;
+    const bool failed = compare.pattern_fails(applied.pattern(pat), fault);
     result.pattern_failed.push_back(failed);
     if (failed) ++result.failing_patterns;
     ++result.patterns_applied;
   }
   return result;
+}
+
+/// Resilient mode: one TE per pattern (the decoder FSM resynchronizes at
+/// every pattern boundary), streamed through the fault injector, with
+/// detected corruptions re-streamed under the RetryPolicy.
+SessionResult run_resilient(const circuit::Netlist& netlist,
+                            const TestSet& cubes, const SessionConfig& config,
+                            const std::optional<sim::Fault>& fault) {
+  SessionResult result;
+  const ResilienceConfig& res = *config.resilience;
+  const codec::NineCoded coder(config.block_size);
+  const SingleScanDecoder decoder(config.block_size, config.p);
+  ChannelModel channel(res.channel);
+  ResponseComparator compare(netlist, cubes.pattern_length());
+
+  for (std::size_t pat = 0; pat < cubes.pattern_count(); ++pat) {
+    const TritVector cube = cubes.pattern(pat);
+    const TritVector te = coder.encode(cube);
+
+    bool applied_ok = false;
+    unsigned used_retries = 0;
+    TritVector applied;
+    while (true) {
+      const TritVector rx = channel.transmit(te);
+      const bool corrupted = channel.last_corrupted();
+
+      bool detected = false;
+      DecoderTrace trace;
+      try {
+        trace = decoder.run(rx, cube.size());
+      } catch (const codec::DecodeError&) {
+        detected = true;  // decode-level detection (typed, per-block)
+      }
+      // Stimulus check: a decoded pattern that contradicts a specified
+      // stimulus bit is what the response compare against the fault-free
+      // expectation exposes on the tester -- the pattern cannot be trusted,
+      // so it is re-streamed rather than reported as a device verdict.
+      if (!detected && !cube.covered_by(trace.scan_stream)) detected = true;
+
+      if (!detected) {
+        // Either the link was clean, or every corrupted symbol landed on a
+        // leftover-X position (a legal fill): provably X-masked.
+        if (corrupted) ++result.corruptions_undetected;
+        applied = std::move(trace.scan_stream);
+        applied_ok = true;
+        result.ate_bits += rx.size();
+        result.soc_cycles += trace.soc_cycles + 1;  // + capture cycle
+        break;
+      }
+
+      ++result.corruptions_detected;
+      result.wasted_ate_bits += rx.size();
+      if (used_retries >= res.retry.max_retries) break;  // budget exhausted
+      ++used_retries;
+      ++result.retries;
+    }
+    if (used_retries > 0) ++result.patterns_retried;
+
+    if (!applied_ok) {
+      // Fail-safe: an unstreamable pattern is never reported as passing.
+      ++result.patterns_unrecovered;
+      result.pattern_failed.push_back(true);
+      if (result.patterns_unrecovered >= res.retry.abort_after) {
+        result.aborted = true;
+        break;
+      }
+      continue;
+    }
+
+    const bool failed = compare.pattern_fails(applied, fault);
+    result.pattern_failed.push_back(failed);
+    if (failed) ++result.failing_patterns;
+    ++result.patterns_applied;
+  }
+  result.channel = channel.stats();
+  return result;
+}
+
+}  // namespace
+
+SessionResult run_test_session(const circuit::Netlist& netlist,
+                               const TestSet& cubes,
+                               const SessionConfig& config,
+                               const std::optional<sim::Fault>& fault) {
+  if (cubes.pattern_count() == 0) return SessionResult{};
+  if (config.resilience.has_value())
+    return run_resilient(netlist, cubes, config, fault);
+  return run_perfect(netlist, cubes, config, fault);
 }
 
 }  // namespace nc::decomp

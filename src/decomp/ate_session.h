@@ -5,6 +5,17 @@
 // paper's TAT analysis abstracts (Section III-C ignores the one capture
 // cycle per pattern; this model includes it, and treats scan-out as
 // overlapped with the next scan-in, the standard ATE pipelining).
+//
+// Two operating modes:
+//  * Perfect channel (default): the paper's model -- TD is compressed once
+//    and streamed as one TE; nothing can go wrong.
+//  * Resilient (config.resilience set): the link carries the configured
+//    fault model (channel.h), each pattern is compressed and streamed as
+//    its own TE so the decoder FSM resynchronizes at every pattern
+//    boundary, and detected corruptions (typed DecodeError from the decode
+//    path, or a decoded pattern that contradicts a specified stimulus bit)
+//    trigger per-pattern re-streams under a RetryPolicy. One corrupted
+//    block then costs one pattern retry, never the whole session.
 #pragma once
 
 #include <cstddef>
@@ -14,13 +25,30 @@
 #include "bits/test_set.h"
 #include "circuit/netlist.h"
 #include "codec/nine_coded.h"
+#include "decomp/channel.h"
 #include "sim/fault.h"
 
 namespace nc::decomp {
 
+/// How the tester reacts to detected corruptions.
+struct RetryPolicy {
+  /// Re-streams allowed per pattern after its first corrupted attempt.
+  unsigned max_retries = 3;
+  /// Abort the whole session once this many patterns exhaust their retries
+  /// (the link is considered dead). Default: never abort, skip and go on.
+  std::size_t abort_after = static_cast<std::size_t>(-1);
+};
+
+struct ResilienceConfig {
+  ChannelConfig channel;
+  RetryPolicy retry;
+};
+
 struct SessionConfig {
   std::size_t block_size = 8;  // K of the on-chip decoder
   unsigned p = 8;              // f_scan / f_ate
+  /// Engages the faulty-channel model and the retry protocol.
+  std::optional<ResilienceConfig> resilience;
 };
 
 struct SessionResult {
@@ -30,7 +58,19 @@ struct SessionResult {
   std::size_t soc_cycles = 0;        // scan-in + capture cycles
   std::vector<bool> pattern_failed;  // per pattern
 
-  bool device_passes() const noexcept { return failing_patterns == 0; }
+  // --- resilience accounting (all zero on the perfect-channel path) ---
+  std::size_t patterns_retried = 0;   // patterns needing >= 1 re-stream
+  std::size_t retries = 0;            // total re-streams issued
+  std::size_t corruptions_detected = 0;    // decode error or stimulus check
+  std::size_t corruptions_undetected = 0;  // decoded clean; provably X-masked
+  std::size_t patterns_unrecovered = 0;    // retry budget exhausted
+  std::size_t wasted_ate_bits = 0;  // bits of attempts that were re-streamed
+  bool aborted = false;             // RetryPolicy::abort_after tripped
+  ChannelStats channel;             // injector's own accounting
+
+  bool device_passes() const noexcept {
+    return failing_patterns == 0 && patterns_unrecovered == 0 && !aborted;
+  }
 };
 
 /// Runs the session. `cubes` is the test set the ATE holds (X allowed: the

@@ -1,0 +1,168 @@
+#include "decomp/channel.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nc::decomp {
+
+using bits::Trit;
+using bits::TritVector;
+
+namespace {
+
+double parse_rate(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double rate = 0.0;
+  try {
+    rate = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("channel spec: bad value for " + key + ": '" +
+                                value + "'");
+  }
+  if (used != value.size() || rate < 0.0 || rate > 1.0)
+    throw std::invalid_argument("channel spec: " + key +
+                                " must be a probability in [0,1], got '" +
+                                value + "'");
+  return rate;
+}
+
+}  // namespace
+
+ChannelConfig ChannelConfig::parse(const std::string& spec) {
+  ChannelConfig cfg;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("channel spec: expected key=value, got '" +
+                                  item + "'");
+    const std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    if (key == "flip") {
+      cfg.flip_rate = parse_rate(key, value);
+    } else if (key == "burst") {
+      // burst=RATE or burst=RATE:LENGTH
+      if (const auto colon = value.find(':'); colon != std::string::npos) {
+        const std::string len = value.substr(colon + 1);
+        try {
+          cfg.burst_length = std::stoul(len);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("channel spec: bad burst length '" +
+                                      len + "'");
+        }
+        if (cfg.burst_length == 0)
+          throw std::invalid_argument("channel spec: burst length must be >0");
+        value = value.substr(0, colon);
+      }
+      cfg.burst_rate = parse_rate(key, value);
+    } else if (key == "trunc") {
+      cfg.truncate_rate = parse_rate(key, value);
+    } else if (key == "stuck") {
+      cfg.stuck_rate = parse_rate(key, value);
+    } else if (key == "seed") {
+      try {
+        cfg.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("channel spec: bad seed '" + value + "'");
+      }
+    } else {
+      throw std::invalid_argument("channel spec: unknown key '" + key + "'");
+    }
+  }
+  return cfg;
+}
+
+std::string ChannelConfig::to_string() const {
+  std::ostringstream out;
+  out << "flip=" << flip_rate << ",burst=" << burst_rate << ':'
+      << burst_length << ",trunc=" << truncate_rate << ",stuck=" << stuck_rate
+      << ",seed=" << seed;
+  return out.str();
+}
+
+ChannelModel::ChannelModel(const ChannelConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+void ChannelModel::reseed(std::uint64_t seed) {
+  config_.seed = seed;
+  rng_.seed(seed);
+}
+
+Trit ChannelModel::flip(Trit t) {
+  switch (t) {
+    case Trit::Zero: return Trit::One;
+    case Trit::One: return Trit::Zero;
+    case Trit::X:
+      // The ATE streams some concrete fill for a leftover X; a corrupted
+      // fill is still a specified bit, and still covered by X.
+      return (rng_() & 1u) ? Trit::One : Trit::Zero;
+  }
+  return t;
+}
+
+TritVector ChannelModel::transmit(const TritVector& te) {
+  ++stats_.transmissions;
+  stats_.symbols_in += te.size();
+  last_corrupted_ = false;
+
+  TritVector out = te;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Point flips and bursts walk the stream once.
+  if (config_.flip_rate > 0.0 || config_.burst_rate > 0.0) {
+    std::size_t burst_left = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      bool corrupt_here = false;
+      if (burst_left > 0) {
+        corrupt_here = true;
+        --burst_left;
+      } else if (config_.burst_rate > 0.0 &&
+                 unit(rng_) < config_.burst_rate) {
+        ++stats_.bursts;
+        corrupt_here = true;
+        burst_left = config_.burst_length - 1;
+      }
+      if (!corrupt_here && config_.flip_rate > 0.0 &&
+          unit(rng_) < config_.flip_rate)
+        corrupt_here = true;
+      if (corrupt_here) {
+        out.set(i, flip(out.get(i)));
+        ++stats_.flipped_symbols;
+        last_corrupted_ = true;
+      }
+    }
+  }
+
+  // Stuck-at pin: from a random offset onward every symbol reads constant.
+  if (config_.stuck_rate > 0.0 && !out.empty() &&
+      unit(rng_) < config_.stuck_rate) {
+    ++stats_.stuck_events;
+    const std::size_t from = rng_() % out.size();
+    const Trit value = (rng_() & 1u) ? Trit::One : Trit::Zero;
+    for (std::size_t i = from; i < out.size(); ++i) {
+      if (out.get(i) != value) last_corrupted_ = true;
+      out.set(i, value);
+      ++stats_.stuck_symbols;
+    }
+  }
+
+  // Truncation last: the tail that would have carried the faults is gone.
+  if (config_.truncate_rate > 0.0 && !out.empty() &&
+      unit(rng_) < config_.truncate_rate) {
+    ++stats_.truncations;
+    const std::size_t cut = rng_() % out.size();
+    stats_.truncated_symbols += out.size() - cut;
+    out.resize(cut);
+    // resize() fills nothing here (it shrinks), and losing symbols is
+    // always a corruption.
+    last_corrupted_ = true;
+  }
+
+  stats_.symbols_out += out.size();
+  if (last_corrupted_) ++stats_.corrupted_transmissions;
+  return out;
+}
+
+}  // namespace nc::decomp

@@ -1,0 +1,93 @@
+// Fault-injected model of the ATE-to-chip test channel.
+//
+// The paper assumes the tester streams TE over a perfect link. Real
+// reduced-pin-count links drop, flip and stick: this model injects
+// deterministic, seeded faults into a TE stream so the decode path and the
+// session retry protocol can be exercised and measured.
+//
+// Fault taxonomy (all rates are per-symbol unless noted):
+//   * point flips   -- each symbol independently flips with `flip_rate`
+//   * burst errors  -- with `burst_rate` a burst starts at a symbol and
+//                      corrupts the next `burst_length` symbols
+//   * truncation    -- with per-transmission `truncate_rate` the stream is
+//                      cut at a uniform random offset (ATE underrun / abort)
+//   * stuck-at pin  -- with per-transmission `stuck_rate` the pin sticks at
+//                      a random constant value from a random offset onward
+//
+// Flip semantics on trits: 0 <-> 1; an X symbol (a leftover don't-care the
+// ATE fills arbitrarily) becomes a random specified bit -- the stream *is*
+// altered, but any specified value is a legal fill of X, so such a
+// corruption is provably X-masked and must not fail the pattern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "bits/trit_vector.h"
+
+namespace nc::decomp {
+
+struct ChannelConfig {
+  double flip_rate = 0.0;
+  double burst_rate = 0.0;
+  std::size_t burst_length = 8;
+  double truncate_rate = 0.0;
+  double stuck_rate = 0.0;
+  std::uint64_t seed = 1;
+
+  /// True if any fault mechanism is enabled.
+  bool faulty() const noexcept {
+    return flip_rate > 0.0 || burst_rate > 0.0 || truncate_rate > 0.0 ||
+           stuck_rate > 0.0;
+  }
+
+  /// Parses a CLI spec like "flip=1e-3,burst=1e-4:16,trunc=1e-4,stuck=1e-5,
+  /// seed=7". Unknown keys or malformed values throw std::invalid_argument.
+  static ChannelConfig parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+/// Per-run injection accounting.
+struct ChannelStats {
+  std::size_t transmissions = 0;
+  std::size_t corrupted_transmissions = 0;  // streams altered in any way
+  std::size_t symbols_in = 0;
+  std::size_t symbols_out = 0;
+  std::size_t flipped_symbols = 0;  // point flips + burst flips
+  std::size_t bursts = 0;
+  std::size_t truncations = 0;
+  std::size_t truncated_symbols = 0;  // symbols dropped by truncation
+  std::size_t stuck_events = 0;
+  std::size_t stuck_symbols = 0;  // symbols overwritten by a stuck pin
+};
+
+/// Applies the configured faults to transmitted streams. Deterministic for a
+/// given (config.seed, sequence of transmit calls).
+class ChannelModel {
+ public:
+  explicit ChannelModel(const ChannelConfig& config);
+
+  /// One ATE transmission: returns the possibly corrupted stream.
+  bits::TritVector transmit(const bits::TritVector& te);
+
+  /// True if the most recent transmit() altered its stream at all.
+  bool last_corrupted() const noexcept { return last_corrupted_; }
+
+  const ChannelConfig& config() const noexcept { return config_; }
+  const ChannelStats& stats() const noexcept { return stats_; }
+
+  /// Restarts the fault sequence (e.g. one seed per session run).
+  void reseed(std::uint64_t seed);
+
+ private:
+  bits::Trit flip(bits::Trit t);
+
+  ChannelConfig config_;
+  std::mt19937_64 rng_;
+  ChannelStats stats_;
+  bool last_corrupted_ = false;
+};
+
+}  // namespace nc::decomp

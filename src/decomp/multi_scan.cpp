@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "codec/decode_error.h"
+
 namespace nc::decomp {
 
 using bits::TestSet;
@@ -62,7 +64,12 @@ ArchitectureReport run_multi_scan_single_pin(const TestSet& td,
   const TritVector stream = td.flatten_sliced(chains);
   const TritVector te = coder.encode(stream);
   const SingleScanDecoder decoder(coder.block_size(), p);
-  const DecoderTrace trace = decoder.run(te, stream.size());
+  DecoderTrace trace;
+  try {
+    trace = decoder.run(te, stream.size());
+  } catch (const codec::DecodeError& e) {
+    throw e.with_pin(0);  // the architecture's only ATE pin
+  }
 
   report.soc_cycles = trace.soc_cycles;
   report.encoded_bits = te.size();
@@ -107,7 +114,12 @@ ArchitectureReport run_multi_scan_banked(const TestSet& td, std::size_t chains,
                                                      : Trit::X);
         }
     const TritVector te = coder.encode(slice);
-    const DecoderTrace trace = decoder.run(te, slice.size());
+    DecoderTrace trace;
+    try {
+      trace = decoder.run(te, slice.size());
+    } catch (const codec::DecodeError& e) {
+      throw e.with_pin(bank);  // each bank streams on its own ATE pin
+    }
     report.encoded_bits += te.size();
     report.soc_cycles = std::max(report.soc_cycles, trace.soc_cycles);
     original_total += slice.size();

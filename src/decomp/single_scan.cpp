@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bits/bitstream.h"
+#include "codec/decode_error.h"
 
 namespace nc::decomp {
 
@@ -51,37 +52,52 @@ DecoderTrace SingleScanDecoder::run(const TritVector& te,
 
   // Whole blocks only: the decoder always finishes the block in flight
   // (the encoder padded TD to a block boundary), then the tail is trimmed.
-  while (trace.scan_stream.size() < original_bits ||
-         state != FsmState::kIdle) {
-    switch (state) {
-      case FsmState::kHalfA:
-        stream_half(plan_a);
-        state = fsm_step(state, false, /*done=*/true).next;
-        break;
-      case FsmState::kHalfB:
-        stream_half(plan_b);
-        state = fsm_step(state, false, /*done=*/true).next;
-        break;
-      case FsmState::kAck:
-        // Handshake overlaps the next codeword fetch; no extra cycles in
-        // the paper's model.
-        state = fsm_step(state, false, false).next;
-        break;
-      default: {  // recognition states consume one ATE bit each
-        const bool bit = in.next_bit();
-        trace.ate_cycles += 1;
-        trace.soc_cycles += p_;
-        const FsmStep step = fsm_step(state, bit, false);
-        if (step.recognized) {
-          plan_a = step.plan_a;
-          plan_b = step.plan_b;
-          ++trace.codewords;
+  // Reader failures become typed DecodeErrors carrying the TE offset and
+  // the index of the block in flight, so the session layer can retry.
+  try {
+    while (trace.scan_stream.size() < original_bits ||
+           state != FsmState::kIdle) {
+      switch (state) {
+        case FsmState::kHalfA:
+          stream_half(plan_a);
+          state = fsm_step(state, false, /*done=*/true).next;
+          break;
+        case FsmState::kHalfB:
+          stream_half(plan_b);
+          state = fsm_step(state, false, /*done=*/true).next;
+          break;
+        case FsmState::kAck:
+          // Handshake overlaps the next codeword fetch; no extra cycles in
+          // the paper's model.
+          state = fsm_step(state, false, false).next;
+          break;
+        default: {  // recognition states consume one ATE bit each
+          const bool bit = in.next_bit();
+          trace.ate_cycles += 1;
+          trace.soc_cycles += p_;
+          const FsmStep step = fsm_step(state, bit, false);
+          if (step.recognized) {
+            plan_a = step.plan_a;
+            plan_b = step.plan_b;
+            ++trace.codewords;
+          }
+          state = step.next;
+          break;
         }
-        state = step.next;
-        break;
       }
     }
+  } catch (const bits::StreamOverrun& e) {
+    throw codec::DecodeError(codec::DecodeFault::kTruncated, e.offset(),
+                             trace.codewords);
+  } catch (const bits::InvalidSymbol& e) {
+    throw codec::DecodeError(codec::DecodeFault::kXInCodeword, e.offset(),
+                             trace.codewords);
   }
+  // Length accounting, mirroring NineCoded::decode_checked: symbols left in
+  // TE after the last block mean the parse desynchronized and ran short.
+  if (!in.done())
+    throw codec::DecodeError(codec::DecodeFault::kTrailingData, in.position(),
+                             trace.codewords);
   trace.scan_stream.resize(original_bits);
   return trace;
 }

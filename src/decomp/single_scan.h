@@ -33,6 +33,9 @@ class SingleScanDecoder {
   /// Decompresses TE until at least `original_bits` scan bits have been
   /// produced (whole blocks; the scan_stream is then truncated to
   /// `original_bits`, mirroring how the tail pad never leaves the chain).
+  /// A corrupted TE (truncated, X in a codeword position, or symbols left
+  /// over after the last block) raises codec::DecodeError with the TE
+  /// offset and the index of the block in flight.
   DecoderTrace run(const bits::TritVector& te,
                    std::size_t original_bits) const;
 

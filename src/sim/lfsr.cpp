@@ -8,7 +8,7 @@ namespace nc::sim {
 Lfsr::Lfsr(unsigned width, std::uint64_t taps, std::uint64_t seed)
     : width_(width),
       taps_(taps),
-      mask_(width == 64 ? ~0ull : (1ull << width) - 1),
+      mask_(width >= 64 ? ~0ull : (1ull << width) - 1),
       state_(seed & mask_) {
   if (width_ < 2 || width_ > 64)
     throw std::invalid_argument("LFSR width must be 2..64");

@@ -12,7 +12,7 @@ using bits::TritVector;
 Misr::Misr(unsigned width, std::uint64_t feedback)
     : width_(width),
       feedback_(feedback),
-      mask_(width == 64 ? ~0ull : (1ull << width) - 1) {
+      mask_(width >= 64 ? ~0ull : (1ull << width) - 1) {
   if (width_ < 1 || width_ > 64)
     throw std::invalid_argument("MISR width must be 1..64");
   if ((feedback_ & ~mask_) != 0)

@@ -76,7 +76,7 @@ TEST(AteSession, FailingPatternMatchesFaultSim) {
 
 TEST(AteSession, CycleAccountingIsDecoderPlusCaptures) {
   Fixture fx;
-  const SessionConfig cfg{8, 4};
+  const SessionConfig cfg{.block_size = 8, .p = 4};
   const SessionResult r = run_test_session(fx.netlist, fx.tests, cfg);
 
   const codec::NineCoded coder(cfg.block_size);

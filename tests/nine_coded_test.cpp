@@ -156,8 +156,13 @@ TEST(NineCoded, TunedForReassignsWhenOrderViolated) {
 TEST(NineCoded, DecodeThrowsOnCorruptStream) {
   const NineCoded nc(8);
   // "11" followed by end of stream: no codeword can complete.
-  EXPECT_THROW(nc.decode(bits::TritVector::from_string("11"), 8),
-               std::out_of_range);
+  try {
+    nc.decode(bits::TritVector::from_string("11"), 8);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.fault(), DecodeFault::kTruncated);
+    EXPECT_EQ(e.block_index(), 0u);
+  }
 }
 
 TEST(NineCoded, EmptyInput) {

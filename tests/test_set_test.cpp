@@ -78,6 +78,60 @@ TEST(TestSet, ParseReportsLineNumber) {
   }
 }
 
+TEST(TestSet, ParseBadCharacterReportsLineAndColumn) {
+  std::istringstream in("0101\n01?1\n");
+  try {
+    TestSet::parse(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 3u);
+  }
+}
+
+TEST(TestSet, ParseBadCharColumnCountsLeadingWhitespace) {
+  std::istringstream in("  0?01\n");
+  try {
+    TestSet::parse(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 4u);  // column in the raw line, not the trimmed one
+  }
+}
+
+TEST(TestSet, ParseRaggedRowReportsLineAndWidths) {
+  std::istringstream in("0101\n011\n");
+  try {
+    TestSet::parse(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find('3'), std::string::npos);
+    EXPECT_NE(what.find('4'), std::string::npos);
+  }
+}
+
+TEST(TestSet, ParseEmptyInputThrows) {
+  std::istringstream empty("");
+  EXPECT_THROW(TestSet::parse(empty), ParseError);
+  std::istringstream comments_only("# nothing\n\n   \n# here\n");
+  EXPECT_THROW(TestSet::parse(comments_only), ParseError);
+}
+
+TEST(TestSet, ParseDoesNotSilentlyTruncateAfterError) {
+  // The bad line must abort the parse, not yield a partial test set.
+  std::istringstream in("0101\n0?01\n1111\n");
+  EXPECT_THROW(TestSet::parse(in), ParseError);
+}
+
+TEST(TestSet, ParseAcceptsLowercaseX) {
+  std::istringstream in("0x1X\n");
+  const TestSet ts = TestSet::parse(in);
+  EXPECT_EQ(ts.pattern(0).to_string(), "0X1X");
+}
+
 TEST(TestSet, SaveParseRoundTrip) {
   const TestSet ts = small();
   std::stringstream io;

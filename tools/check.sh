@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: run the tier-1 verify twice -- a plain build and an
+# ASan/UBSan-instrumented one (CMake option NC_SANITIZE).
+#
+#   tools/check.sh [--plain-only|--sanitize-only]
+#
+# Exits nonzero if any configure, build, or ctest step fails.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+mode="${1:-all}"
+
+run_suite() {
+  local builddir="$1"
+  shift
+  cmake -B "$builddir" -S "$repo" "$@"
+  cmake --build "$builddir" -j "$jobs"
+  ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
+}
+
+if [[ "$mode" != "--sanitize-only" ]]; then
+  echo "== tier-1 verify: plain =="
+  run_suite "$repo/build"
+fi
+
+if [[ "$mode" != "--plain-only" ]]; then
+  echo "== tier-1 verify: address,undefined sanitizers =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  run_suite "$repo/build-san" -DNC_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "== check.sh: all suites green =="

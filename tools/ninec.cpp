@@ -45,7 +45,11 @@ using nc::bits::TritVector;
       "  stats      --in FILE [--k-min N] [--k-max N]\n"
       "  rtl        --out FILE [--k N] [--freq-directed --in FILE]\n"
       "             [--testbench FILE] [--module NAME]\n"
-      "  session    --bench FILE --tests FILE [--k N] [--p N]\n";
+      "  session    --bench FILE --tests FILE [--k N] [--p N]\n"
+      "             [--inject SPEC] [--retry N] [--abort-after N]\n"
+      "             SPEC: flip=R,burst=R[:LEN],trunc=R,stuck=R,seed=N\n"
+      "             (faulty ATE channel; detected corruptions re-stream the\n"
+      "             pattern up to --retry times, default 3)\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -288,14 +292,42 @@ int cmd_session(const Args& args) {
   nc::decomp::SessionConfig cfg;
   cfg.block_size = args.get_size("k", 8);
   cfg.p = static_cast<unsigned>(args.get_size("p", 8));
+  if (args.has("inject") || args.has("retry") || args.has("abort-after")) {
+    nc::decomp::ResilienceConfig res;
+    if (args.has("inject"))
+      res.channel = nc::decomp::ChannelConfig::parse(args.get("inject"));
+    res.retry.max_retries = static_cast<unsigned>(args.get_size("retry", 3));
+    if (args.has("abort-after"))
+      res.retry.abort_after = args.get_size("abort-after", 0);
+    cfg.resilience = res;
+  }
   const nc::decomp::SessionResult r =
       nc::decomp::run_test_session(nl, tests, cfg);
   std::cout << "ATE session: " << r.patterns_applied << " patterns, "
             << r.ate_bits << " compressed bits streamed, " << r.soc_cycles
-            << " SoC cycles (scan-in + capture)\n"
-            << "fault-free device: "
-            << (r.device_passes() ? "PASS" : "FAIL (response mismatch!)")
-            << '\n';
+            << " SoC cycles (scan-in + capture)\n";
+  if (cfg.resilience.has_value()) {
+    std::cout << "channel: " << cfg.resilience->channel.to_string() << '\n'
+              << "  corrupted transmissions: "
+              << r.channel.corrupted_transmissions << " of "
+              << r.channel.transmissions << " (detected "
+              << r.corruptions_detected << ", X-masked "
+              << r.corruptions_undetected << ")\n"
+              << "  retries: " << r.retries << " across "
+              << r.patterns_retried << " patterns, wasted ATE bits "
+              << r.wasted_ate_bits << '\n';
+    if (r.patterns_unrecovered > 0)
+      std::cout << "  UNRECOVERED patterns (retry budget exhausted): "
+                << r.patterns_unrecovered << (r.aborted ? ", session ABORTED"
+                                                        : "")
+                << '\n';
+  }
+  const char* verdict =
+      r.device_passes()
+          ? "PASS"
+          : (r.failing_patterns > 0 ? "FAIL (response mismatch!)"
+                                    : "NO VERDICT (channel failure)");
+  std::cout << "fault-free device: " << verdict << '\n';
   return r.device_passes() ? 0 : 1;
 }
 
