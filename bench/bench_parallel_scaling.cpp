@@ -1,0 +1,112 @@
+// Scaling of the sharded parallel encode/decode pipeline (codec/sharded.h).
+//
+// Sweeps worker counts 1..max(8, hardware_concurrency) on the largest
+// bundled cube set (s38417, 99 x 1664) with a fixed shard count equal to
+// the widest sweep point, so every row produces the byte-identical
+// container and the sweep isolates pool scaling. Reports encode and decode
+// throughput, speedup over jobs=1, and the shard-index overhead (which the
+// acceptance gate bounds below 2% of the container). Wall-clock speedups
+// are hardware-dependent, so the asserted invariants are correctness ones:
+// identical containers across the sweep and a round-trip that covers TD.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "codec/nine_coded.h"
+#include "codec/sharded.h"
+#include "core/thread_pool.h"
+#include "report/table.h"
+
+namespace {
+
+/// Best-of-`reps` wall time of `fn`, in seconds.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e18;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const auto& profiles = nc::gen::iscas89_profiles();
+  const auto largest = std::max_element(
+      profiles.begin(), profiles.end(),
+      [](const auto& a, const auto& b) { return a.total_bits() < b.total_bits(); });
+  const nc::bits::TestSet td = nc::bench::benchmark_cubes(*largest);
+  const nc::codec::NineCoded coder(8);
+
+  const std::size_t max_jobs =
+      std::max<std::size_t>(8, nc::core::ThreadPool::hardware_threads());
+  std::vector<std::size_t> sweep = {1};
+  for (std::size_t j = 2; j <= max_jobs; j *= 2) sweep.push_back(j);
+  const std::size_t shards = sweep.back();
+  const int reps = 5;
+
+  nc::report::Table out("Parallel sharded pipeline on " + largest->name +
+                        " (" + std::to_string(td.bit_count()) +
+                        " bits, K=8, " + std::to_string(shards) +
+                        " shards, best of " + std::to_string(reps) +
+                        "; hardware threads: " +
+                        std::to_string(nc::core::ThreadPool::hardware_threads()) +
+                        ")");
+  out.set_header({"jobs", "enc Mbit/s", "enc speedup", "dec Mbit/s",
+                  "dec speedup", "index %"});
+
+  nc::codec::ShardedStats stats;
+  const nc::bits::TritVector reference =
+      nc::codec::encode_sharded(coder, td, shards, 1, &stats);
+  const double mbits = static_cast<double>(td.bit_count()) / 1e6;
+
+  bool deterministic = true;
+  double enc_base = 0.0, dec_base = 0.0;
+  double enc_speedup_at_8 = 1.0;
+  for (const std::size_t jobs : sweep) {
+    nc::bits::TritVector container;
+    const double enc_s = best_seconds(reps, [&] {
+      container = nc::codec::encode_sharded(coder, td, shards, jobs);
+    });
+    deterministic = deterministic && container == reference;
+    nc::bits::TestSet back;
+    const double dec_s = best_seconds(reps, [&] {
+      back = nc::codec::decode_sharded(coder, container, jobs);
+    });
+    deterministic =
+        deterministic && td.flatten().covered_by(back.flatten());
+    if (jobs == 1) {
+      enc_base = enc_s;
+      dec_base = dec_s;
+    }
+    if (jobs == 8) enc_speedup_at_8 = enc_base / enc_s;
+    out.row()
+        .add(jobs)
+        .add(mbits / enc_s, 2)
+        .add(enc_base / enc_s, 2)
+        .add(mbits / dec_s, 2)
+        .add(dec_base / dec_s, 2)
+        .add(stats.index_overhead_percent(), 3);
+  }
+  out.print(std::cout);
+
+  std::cout << "\nshard index: " << stats.header_bits << " of "
+            << stats.total_bits << " container bits ("
+            << stats.index_overhead_percent() << "%), payload "
+            << stats.payload_bits << " bits\n";
+  std::cout << "encode speedup at 8 jobs: " << enc_speedup_at_8
+            << "x (target >= 3x on >= 8 hardware threads)\n";
+  std::cout << "containers byte-identical across the sweep: "
+            << (deterministic ? "yes" : "NO") << '\n';
+
+  const bool overhead_ok = stats.index_overhead_percent() < 2.0;
+  std::cout << "index overhead < 2%: " << (overhead_ok ? "yes" : "NO")
+            << '\n';
+  return deterministic && overhead_ok ? 0 : 1;
+}

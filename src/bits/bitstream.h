@@ -83,13 +83,37 @@ class BitWriter {
 
 /// Sequential cursor over a trit stream. `next_bit` additionally enforces
 /// that the symbol is specified, which every codeword position must be.
+/// A reader can cover the whole vector or a [begin, begin+len) window of it
+/// (the sharded container index hands each decode worker its own window);
+/// position() is always absolute, so error offsets stay container-relative.
 class TritReader {
  public:
-  explicit TritReader(const TritVector& v) : v_(&v) {}
+  explicit TritReader(const TritVector& v)
+      : v_(&v), pos_(0), end_(v.size()) {}
 
-  bool done() const noexcept { return pos_ >= v_->size(); }
+  /// Window over [begin, begin+len); clamps to the vector's size.
+  TritReader(const TritVector& v, std::size_t begin, std::size_t len)
+      : v_(&v),
+        pos_(begin > v.size() ? v.size() : begin),
+        end_(len > v.size() - pos_ ? v.size() : pos_ + len) {}
+
+  bool done() const noexcept { return pos_ >= end_; }
   std::size_t position() const noexcept { return pos_; }
-  std::size_t remaining() const noexcept { return v_->size() - pos_; }
+  std::size_t remaining() const noexcept { return end_ - pos_; }
+
+  /// Random access within the window: moves the cursor to absolute symbol
+  /// offset `pos`. Seeking past the window throws StreamOverrun (a corrupt
+  /// shard index must surface as the typed truncation error, not UB).
+  void seek(std::size_t pos) {
+    if (pos > end_) throw StreamOverrun(pos, 0, end_);
+    pos_ = pos;
+  }
+
+  /// Advances the cursor by `n` symbols without reading them.
+  void skip(std::size_t n) {
+    if (n > remaining()) throw StreamOverrun(pos_, n, remaining());
+    pos_ += n;
+  }
 
   Trit next() {
     if (done()) throw StreamOverrun(pos_, 1, 0);
@@ -120,7 +144,8 @@ class TritReader {
 
  private:
   const TritVector* v_;
-  std::size_t pos_ = 0;
+  std::size_t pos_;
+  std::size_t end_;
 };
 
 }  // namespace nc::bits

@@ -16,12 +16,21 @@ HalfKind classify_half(const bits::TritVector& v, std::size_t begin,
   return kind;
 }
 
-BlockClass classify_block(const bits::TritVector& v, std::size_t begin,
-                          std::size_t k) noexcept {
-  const std::size_t half = k / 2;
-  const HalfKind left = classify_half(v, begin, half);
-  const HalfKind right = classify_half(v, begin + half, half);
+HalfScan scan_half(const bits::TritVector& v, std::size_t begin,
+                   std::size_t len) noexcept {
+  HalfScan scan;
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (v.get(begin + i)) {
+      case bits::Trit::Zero: scan.kind.one_compatible = false; break;
+      case bits::Trit::One: scan.kind.zero_compatible = false; break;
+      case bits::Trit::X: ++scan.x_count; break;
+    }
+  }
+  return scan;
+}
 
+BlockClass classify_halves(const HalfKind& left,
+                           const HalfKind& right) noexcept {
   // Cheapest-first: uniform pairs (codeword only), then one mismatch half
   // (codeword + K/2 payload), then full mismatch (codeword + K payload).
   if (left.zero_compatible && right.zero_compatible) return BlockClass::kC1;
@@ -33,6 +42,13 @@ BlockClass classify_block(const bits::TritVector& v, std::size_t begin,
   if (left.one_compatible && right.mismatch()) return BlockClass::kC7;
   if (left.mismatch() && right.one_compatible) return BlockClass::kC8;
   return BlockClass::kC9;
+}
+
+BlockClass classify_block(const bits::TritVector& v, std::size_t begin,
+                          std::size_t k) noexcept {
+  const std::size_t half = k / 2;
+  return classify_halves(classify_half(v, begin, half),
+                         classify_half(v, begin + half, half));
 }
 
 }  // namespace nc::codec

@@ -56,10 +56,27 @@ struct HalfKind {
 HalfKind classify_half(const bits::TritVector& v, std::size_t begin,
                        std::size_t len) noexcept;
 
-/// Classifies the K-trit block of `v` at [begin, begin+k). When several
-/// cases apply (halves of all-X are both 0- and 1-compatible) the cheapest
-/// case wins; ties between equal-cost cases resolve to the lower case
-/// number, making the encoder deterministic. `k` must be even and >= 2.
+/// One full scan of a half: its kind plus its X population. The encoder hot
+/// path scans each half exactly once and reuses the result for the class
+/// decision, the N_i statistics and the filled-X accounting. Unlike
+/// classify_half this cannot early-exit on the first 0/1 conflict -- the X
+/// count must be exact -- but it replaces the encoder's second walk over
+/// the block, which is a net win.
+struct HalfScan {
+  HalfKind kind;
+  std::size_t x_count = 0;
+};
+HalfScan scan_half(const bits::TritVector& v, std::size_t begin,
+                   std::size_t len) noexcept;
+
+/// Combines two half kinds into the block case. When several cases apply
+/// (halves of all-X are both 0- and 1-compatible) the cheapest case wins;
+/// ties between equal-cost cases resolve to the lower case number, making
+/// the encoder deterministic.
+BlockClass classify_halves(const HalfKind& left, const HalfKind& right) noexcept;
+
+/// Classifies the K-trit block of `v` at [begin, begin+k); equivalent to
+/// classify_halves over the two half scans. `k` must be even and >= 2.
 BlockClass classify_block(const bits::TritVector& v, std::size_t begin,
                           std::size_t k) noexcept;
 

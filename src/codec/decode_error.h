@@ -14,9 +14,20 @@
 //   kTrailingData     block/length accounting finished with symbols left
 //                     over -- the parse consumed less than was transmitted
 //
+// The sharded container (codec/sharded.h) adds three container-level kinds:
+//
+//   kBadMagic      the stream does not start with the shard-container magic
+//   kBadShardIndex the shard index is internally inconsistent (offsets not
+//                  contiguous, lengths overrunning the payload, geometry
+//                  that does not match the shard count)
+//   kShardCrc      a shard's payload fails its CRC-32 -- the corruption is
+//                  localized to that shard before any symbol is decoded
+//
 // Everything else (a corrupted payload bit, a flip that aliases one whole
-// parse onto another of identical total length) is undetectable here and is
-// caught -- or X-masked -- at the session layer by the response compare.
+// parse onto another of identical total length) is undetectable at the
+// codeword layer -- the per-shard CRC catches it with probability 1-2^-32,
+// and the residue is caught -- or X-masked -- at the session layer by the
+// response compare.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +41,9 @@ enum class DecodeFault : unsigned char {
   kInvalidCodeword,
   kXInCodeword,
   kTrailingData,
+  kBadMagic,
+  kBadShardIndex,
+  kShardCrc,
 };
 
 constexpr const char* to_string(DecodeFault f) noexcept {
@@ -38,6 +52,9 @@ constexpr const char* to_string(DecodeFault f) noexcept {
     case DecodeFault::kInvalidCodeword: return "invalid codeword";
     case DecodeFault::kXInCodeword: return "X in codeword position";
     case DecodeFault::kTrailingData: return "trailing data after last block";
+    case DecodeFault::kBadMagic: return "bad shard-container magic";
+    case DecodeFault::kBadShardIndex: return "inconsistent shard index";
+    case DecodeFault::kShardCrc: return "shard CRC mismatch";
   }
   return "unknown decode fault";
 }
@@ -64,24 +81,47 @@ class DecodeError : public std::runtime_error {
   std::size_t block_index() const noexcept { return block_index_; }
   /// ATE pin / bank for multi-pin architectures.
   std::size_t pin() const noexcept { return pin_; }
+  /// Shard of the sharded container (codec/sharded.h) that failed.
+  std::size_t shard() const noexcept { return shard_; }
 
   /// Copies with the block index filled in (callers that track block
   /// accounting annotate errors thrown by lower layers).
   DecodeError with_block(std::size_t block) const {
-    return DecodeError(fault_, stream_offset_, block, pin_);
+    DecodeError e(fault_, stream_offset_, block, pin_);
+    e.shard_ = shard_;
+    return e;
   }
   DecodeError with_pin(std::size_t pin) const {
-    return DecodeError(fault_, stream_offset_, block_index_, pin);
+    DecodeError e(fault_, stream_offset_, block_index_, pin);
+    e.shard_ = shard_;
+    return e;
+  }
+  /// Copies with the shard id filled in; the sharded decode path annotates
+  /// every error escaping a shard worker.
+  DecodeError with_shard(std::size_t shard) const {
+    DecodeError e(fault_, stream_offset_, block_index_, pin_, shard);
+    return e;
   }
 
  private:
+  DecodeError(DecodeFault fault, std::size_t stream_offset, std::size_t block,
+              std::size_t pin, std::size_t shard)
+      : std::runtime_error(format(fault, stream_offset, block, pin, shard)),
+        fault_(fault),
+        stream_offset_(stream_offset),
+        block_index_(block),
+        pin_(pin),
+        shard_(shard) {}
+
   static std::string format(DecodeFault fault, std::size_t offset,
-                            std::size_t block, std::size_t pin) {
+                            std::size_t block, std::size_t pin,
+                            std::size_t shard = kUnknown) {
     std::string s = "9C decode error: ";
     s += to_string(fault);
     s += " at TE offset " + std::to_string(offset);
     if (block != kUnknown) s += ", block " + std::to_string(block);
     if (pin != kUnknown) s += ", pin " + std::to_string(pin);
+    if (shard != kUnknown) s += ", shard " + std::to_string(shard);
     return s;
   }
 
@@ -89,6 +129,7 @@ class DecodeError : public std::runtime_error {
   std::size_t stream_offset_;
   std::size_t block_index_;
   std::size_t pin_;
+  std::size_t shard_ = kUnknown;
 };
 
 }  // namespace nc::codec

@@ -53,15 +53,17 @@ NineCodedStats NineCoded::analyze(const TritVector& td,
       stream.push_back(bits::trit_from_bit((w.bits >> i) & 1u));
   };
   auto emit_payload = [&](std::size_t begin, std::size_t len) {
-    for (std::size_t i = 0; i < len; ++i) {
-      const Trit t = padded.get(begin + i);
-      if (!bits::is_care(t)) ++stats.leftover_x;
-      stream.push_back(t);
-    }
+    for (std::size_t i = 0; i < len; ++i) stream.push_back(padded.get(begin + i));
   };
 
+  // Hot path: each half is scanned exactly once; the scan's kind drives the
+  // class decision and its X count drives the filled/leftover accounting
+  // (payload X symbols are leftover, uniform-half X symbols are filled), so
+  // no symbol of TD is re-read after classification.
   for (std::size_t b = 0; b < padded.size(); b += k_) {
-    const BlockClass cls = classify_block(padded, b, k_);
+    const HalfScan left = scan_half(padded, b, half);
+    const HalfScan right = scan_half(padded, b + half, half);
+    const BlockClass cls = classify_halves(left.kind, right.kind);
     ++stats.counts[static_cast<std::size_t>(cls)];
     emit_codeword(cls);
     switch (cls) {
@@ -70,22 +72,22 @@ NineCodedStats NineCoded::analyze(const TritVector& td,
       case BlockClass::kC3:
       case BlockClass::kC4:
         // No payload: every X in the block was forced to the uniform value.
-        for (std::size_t i = 0; i < k_; ++i)
-          if (!bits::is_care(padded.get(b + i))) ++stats.filled_x;
+        stats.filled_x += left.x_count + right.x_count;
         break;
       case BlockClass::kC5:
       case BlockClass::kC7:
-        for (std::size_t i = 0; i < half; ++i)
-          if (!bits::is_care(padded.get(b + i))) ++stats.filled_x;
+        stats.filled_x += left.x_count;
+        stats.leftover_x += right.x_count;
         emit_payload(b + half, half);
         break;
       case BlockClass::kC6:
       case BlockClass::kC8:
+        stats.filled_x += right.x_count;
+        stats.leftover_x += left.x_count;
         emit_payload(b, half);
-        for (std::size_t i = half; i < k_; ++i)
-          if (!bits::is_care(padded.get(b + i))) ++stats.filled_x;
         break;
       case BlockClass::kC9:
+        stats.leftover_x += left.x_count + right.x_count;
         emit_payload(b, k_);
         break;
     }

@@ -1,0 +1,134 @@
+// Sharded stream container: pattern-parallel encode/decode for any Codec.
+//
+// 9C (and every baseline coder here) is a fixed-block code whose per-pattern
+// encodings are independent, so the pattern dimension of a TestSet is
+// embarrassingly parallel. This layer partitions the set into N
+// pattern-aligned shards, encodes each shard independently (concurrently
+// when jobs > 1) and concatenates the results behind a self-describing
+// index. Decode reverses it: the index hands every worker the exact symbol
+// window of its shard, so N workers decode with no shared cursor and the
+// outputs splice back in shard order.
+//
+// Container layout (a TritVector whose header region is fully specified
+// bits; payload symbols may carry leftover X):
+//
+//   magic          16 bits  0x9C5D
+//   version         8 bits  (currently 1)
+//   shard count    32 bits  S >= 1
+//   pattern count  64 bits
+//   pattern width  64 bits
+//   S x shard record, 96 bits each:
+//     payload offset 32 bits  (symbols, relative to the payload region)
+//     payload length 32 bits  (symbols)
+//     CRC-32         32 bits  (over the shard's payload symbol values)
+//   payload        concatenated per-shard encoded streams
+//
+// Index overhead is 184 + 96*S bits -- under 2% of |TE| for practical shard
+// counts on the paper's test sets (bench_parallel_scaling reports it).
+//
+// Guarantees (tests/parallel_pipeline_test.cpp):
+//  * determinism -- the container depends only on (codec, test set, shard
+//    count); jobs only changes wall-clock, never a bit of output;
+//  * serial equivalence -- jobs=1 runs the identical per-shard code, and a
+//    1-shard container's payload is byte-identical to codec.encode() of the
+//    whole flattened set;
+//  * typed failure -- corruption raises DecodeError (bits/decode taxonomy of
+//    PR 1 extended with kBadMagic / kBadShardIndex / kShardCrc) carrying the
+//    container-absolute symbol offset and the failing shard id.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "codec/codec.h"
+#include "codec/decode_error.h"
+
+namespace nc::codec {
+
+inline constexpr std::uint32_t kShardMagic = 0x9C5D;
+inline constexpr unsigned kShardVersion = 1;
+
+/// Index record of one shard, as stored in (or parsed from) a container.
+struct ShardRecord {
+  std::size_t first_pattern = 0;   // derived from the balanced plan
+  std::size_t pattern_count = 0;   // derived from the balanced plan
+  std::size_t payload_offset = 0;  // symbols, relative to the payload region
+  std::size_t payload_length = 0;  // symbols
+  std::uint32_t crc = 0;
+};
+
+/// Parsed container header (everything but the payload symbols).
+struct ShardedHeader {
+  std::size_t shard_count = 0;
+  std::size_t pattern_count = 0;
+  std::size_t pattern_width = 0;
+  std::size_t header_symbols = 0;  // where the payload region starts
+  std::vector<ShardRecord> shards;
+};
+
+/// Encode-side accounting for the scaling bench and the CLI.
+struct ShardedStats {
+  std::size_t shard_count = 0;
+  std::size_t header_bits = 0;   // index overhead in symbols
+  std::size_t payload_bits = 0;  // sum of per-shard |TE|
+  std::size_t total_bits = 0;    // container size
+
+  double index_overhead_percent() const noexcept {
+    return total_bits == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(header_bits) /
+                     static_cast<double>(total_bits);
+  }
+};
+
+/// Balanced pattern-aligned partition: shard i gets patterns
+/// [first, first+count). Deterministic: the first (patterns % shards)
+/// shards carry one extra pattern. `shards` is clamped to [1, max(1,
+/// patterns)], so every shard is non-empty (except the degenerate empty
+/// test set, which yields one empty shard).
+std::vector<std::pair<std::size_t, std::size_t>> shard_plan(
+    std::size_t patterns, std::size_t shards);
+
+/// CRC-32 (IEEE 802.3, reflected) over the symbol values of `v` restricted
+/// to [begin, begin+len). Exposed so tests can forge/verify checksums.
+std::uint32_t shard_crc(const bits::TritVector& v, std::size_t begin,
+                        std::size_t len);
+
+/// True if `stream` begins with the container magic (cheap format sniff;
+/// a positive probe does not promise the rest of the header is sane).
+bool is_sharded(const bits::TritVector& stream) noexcept;
+
+/// Validates and parses the header: magic, version, geometry and the full
+/// index consistency check (offsets contiguous from 0, lengths summing to
+/// exactly the payload region). Throws DecodeError:
+///   kBadMagic      wrong magic / unsupported version / X inside the magic
+///   kTruncated     container shorter than the header or the indexed payload
+///   kTrailingData  container longer than the indexed payload
+///   kBadShardIndex any other inconsistency (X in the index, zero shards,
+///                  offsets out of order, geometry/shard-count mismatch)
+ShardedHeader parse_sharded_header(const bits::TritVector& container);
+
+/// Encodes `td` into a sharded container. `shards` 0 means one shard per
+/// job; `jobs` 0 means one job per hardware thread, 1 runs fully serial
+/// (no pool, same bytes). Optional `stats` receives the size accounting.
+bits::TritVector encode_sharded(const Codec& codec, const bits::TestSet& td,
+                                std::size_t shards, std::size_t jobs = 1,
+                                ShardedStats* stats = nullptr);
+
+/// Decodes a container produced by encode_sharded with the same codec
+/// configuration. Every shard's CRC is verified before its symbols are
+/// decoded; any failure carries the shard id (DecodeError::shard()) and a
+/// container-absolute stream offset. `jobs` as in encode_sharded.
+bits::TestSet decode_sharded(const Codec& codec,
+                             const bits::TritVector& container,
+                             std::size_t jobs = 1);
+
+/// The concatenated per-shard payload with the index stripped (validates
+/// the header first). A 1-shard container's payload equals the plain
+/// codec.encode() of the flattened test set.
+bits::TritVector strip_shard_index(const bits::TritVector& container);
+
+}  // namespace nc::codec

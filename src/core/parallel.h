@@ -1,0 +1,52 @@
+// parallel_for / parallel_map over a ThreadPool.
+//
+// Both helpers are *order-preserving*: results are written into slots keyed
+// by input index, and the caller's thread blocks until every task finished.
+// The first task exception (by input order, not completion order) is
+// rethrown at the join point, so failures are as deterministic as results.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace nc::core {
+
+/// Runs fn(i) for every i in [begin, end) on the pool, one task per index
+/// (our work items -- shards -- are coarse; chunking would only add knobs).
+/// Blocks until all complete; rethrows the lowest-index exception.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+  if (begin >= end) return;
+  std::vector<std::future<void>> pending;
+  pending.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i)
+    pending.push_back(pool.submit([&fn, i] { fn(i); }));
+  // Drain every future before rethrowing: tasks past a failed one may still
+  // be running and must not outlive the caller's captures.
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Maps fn over [0, count), collecting results in index order.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> results(count);
+  parallel_for(pool, 0, count,
+               [&results, &fn](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace nc::core

@@ -1,0 +1,74 @@
+// Fixed-size thread pool with a shared task queue and future-based results.
+//
+// This is the execution substrate for every parallel path in the library
+// (sharded encode/decode, the pipelined ATE session, the scaling bench).
+// Design constraints, in order:
+//  * determinism of *results* -- the pool only runs tasks; callers assemble
+//    outputs by task index, never by completion order;
+//  * no external dependencies -- std::thread + mutex + condition_variable;
+//  * exception safety -- a task that throws stores the exception in its
+//    future, so parallel_for/parallel_map can rethrow at the join point.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace nc::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 is clamped to 1. The pool is fixed-size for
+  /// its whole lifetime.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn` and returns the future of its result. Safe to call from
+  /// any thread, including from inside a running task (tasks must not
+  /// *block* on futures of tasks queued behind them, though -- that can
+  /// deadlock a fully busy pool; parallel_for waits only from outside).
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    // packaged_task is move-only; the queue holds copyable std::function, so
+    // the task travels behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// max(1, std::thread::hardware_concurrency()) -- the default worker count
+  /// everywhere a caller says "jobs=0 / auto".
+  static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace nc::core

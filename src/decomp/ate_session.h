@@ -49,6 +49,24 @@ struct SessionConfig {
   unsigned p = 8;              // f_scan / f_ate
   /// Engages the faulty-channel model and the retry protocol.
   std::optional<ResilienceConfig> resilience;
+
+  /// Worker threads for the pipelined perfect-channel path: the main thread
+  /// compresses and "streams" shard k+1 while pool workers decode and
+  /// compare shard k. jobs == 1 with default sharding is the paper's serial
+  /// model (default, bit-for-bit unchanged); 0 = one worker per hardware
+  /// thread. Ignored in resilient mode, whose channel fault sequence is
+  /// inherently ordered.
+  std::size_t jobs = 1;
+  /// Pattern-aligned shards for the pipelined path, each streamed as its
+  /// own TE (the decoder FSM resynchronizes at every shard boundary);
+  /// 0 = one shard per job. With shards == 1 the session matches the
+  /// serial model exactly -- same TE bits, same accounting, same verdicts.
+  /// More shards re-pad each TE at its shard boundary, which adds per-shard
+  /// padding to ate_bits and may pick different (equally legal) fills for
+  /// don't-care stimulus positions than the single-TE stream. For any fixed
+  /// shard count the results are a pure function of the input: jobs and
+  /// scheduling never change them.
+  std::size_t shards = 0;
 };
 
 struct SessionResult {

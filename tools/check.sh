@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: run the tier-1 verify twice -- a plain build and an
-# ASan/UBSan-instrumented one (CMake option NC_SANITIZE).
+# CI entry point: run the tier-1 verify three ways -- a plain build, an
+# ASan/UBSan-instrumented one, and a ThreadSanitizer build that runs the
+# concurrency suites (thread pool, sharded parallel codec, container
+# format) to catch data races in the parallel pipeline.
 #
-#   tools/check.sh [--plain-only|--sanitize-only]
+#   tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 #
 # Exits nonzero if any configure, build, or ctest step fails.
 set -euo pipefail
@@ -19,17 +21,32 @@ run_suite() {
   ctest --test-dir "$builddir" --output-on-failure -j "$jobs"
 }
 
-if [[ "$mode" != "--sanitize-only" ]]; then
+if [[ "$mode" != "--sanitize-only" && "$mode" != "--tsan-only" ]]; then
   echo "== tier-1 verify: plain =="
   run_suite "$repo/build"
 fi
 
-if [[ "$mode" != "--plain-only" ]]; then
+if [[ "$mode" != "--plain-only" && "$mode" != "--tsan-only" ]]; then
   echo "== tier-1 verify: address,undefined sanitizers =="
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   run_suite "$repo/build-san" -DNC_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
+  # TSan is incompatible with ASan/UBSan in one binary, so it gets its own
+  # build tree; only the suites that actually spawn threads are worth the
+  # ~10x TSan slowdown.
+  echo "== concurrency verify: thread sanitizer =="
+  builddir="$repo/build-tsan"
+  cmake -B "$builddir" -S "$repo" -DNC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$builddir" -j "$jobs" \
+    --target thread_pool_test parallel_pipeline_test sharded_format_test
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$builddir" --output-on-failure -j "$jobs" \
+    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat'
 fi
 
 echo "== check.sh: all suites green =="

@@ -4,13 +4,18 @@
 //   ninec circuit   --gates 500 --inputs 16 --flops 32 --out c.bench [--seed N]
 //   ninec atpg      --bench c.bench --out td.tests [--no-compact]
 //   ninec compress  --in td.tests --out te.9c [--k 8] [--freq-directed]
-//   ninec decompress --in te.9c --out back.tests
+//                   [--shards N] [--jobs N]
+//   ninec decompress --in te.9c --out back.tests [--jobs N]
 //   ninec stats     --in td.tests [--k-min 4] [--k-max 32]
 //
 // Test sets travel as text (one pattern per line, 0/1/X; '#' comments) when
 // the file ends in .tests/.txt and as the packed binary format of
 // bits/serialize.h otherwise. Compressed streams (.9c) embed K, the
 // codeword lengths and the original geometry, so decompress needs no flags.
+// With --shards/--jobs, compress writes the sharded container of
+// codec/sharded.h (magic NC9S on disk): pattern-aligned shards encoded
+// concurrently behind a per-shard offset/length/CRC index, which decompress
+// decodes with --jobs workers. --jobs 0 means one per hardware thread.
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -24,6 +29,7 @@
 #include "circuit/bench_io.h"
 #include "circuit/generator.h"
 #include "codec/nine_coded.h"
+#include "codec/sharded.h"
 #include "gen/cube_gen.h"
 #include "report/table.h"
 #include "rtl/verilog.h"
@@ -41,11 +47,14 @@ using nc::bits::TritVector;
       "  circuit    --out FILE [--gates N] [--inputs N] [--flops N] [--seed N]\n"
       "  atpg       --bench FILE --out FILE [--no-compact]\n"
       "  compress   --in FILE --out FILE [--k N] [--freq-directed]\n"
-      "  decompress --in FILE --out FILE\n"
+      "             [--shards N] [--jobs N]  (sharded container, parallel\n"
+      "             encode; --jobs 0 = one per hardware thread)\n"
+      "  decompress --in FILE --out FILE [--jobs N]\n"
       "  stats      --in FILE [--k-min N] [--k-max N]\n"
       "  rtl        --out FILE [--k N] [--freq-directed --in FILE]\n"
       "             [--testbench FILE] [--module NAME]\n"
       "  session    --bench FILE --tests FILE [--k N] [--p N]\n"
+      "             [--jobs N] [--shards N]  (pipelined decode/compare)\n"
       "             [--inject SPEC] [--retry N] [--abort-after N]\n"
       "             SPEC: flip=R,burst=R[:LEN],trunc=R,stuck=R,seed=N\n"
       "             (faulty ATE channel; detected corruptions re-stream the\n"
@@ -104,12 +113,17 @@ void save_tests(const std::string& path, const TestSet& ts) {
 // ---------------------------------------------------------------- .9c I/O
 // magic "NC9C" | u8 k | 9 x u8 codeword lengths | u64 patterns | u64 width |
 // serialized TE trits.
+//
+// Sharded files share the same layout under magic "NC9S"; their trit payload
+// is the self-describing container of codec/sharded.h (pattern-aligned
+// shards behind an offset/length/CRC index).
 
 void save_stream(const std::string& path, const nc::codec::NineCoded& coder,
-                 const TestSet& td, const TritVector& te) {
+                 const TestSet& td, const TritVector& te,
+                 bool sharded = false) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot write " + path);
-  out.write("NC9C", 4);
+  out.write(sharded ? "NC9S" : "NC9C", 4);
   out.put(static_cast<char>(coder.block_size()));
   for (std::size_t c = 0; c < nc::codec::kNumClasses; ++c)
     out.put(static_cast<char>(
@@ -128,6 +142,7 @@ struct LoadedStream {
   std::size_t patterns;
   std::size_t width;
   TritVector te;
+  bool sharded = false;
 };
 
 LoadedStream load_stream(const std::string& path) {
@@ -135,7 +150,8 @@ LoadedStream load_stream(const std::string& path) {
   if (!in) throw std::runtime_error("cannot open " + path);
   char magic[4];
   in.read(magic, 4);
-  if (!in || std::strncmp(magic, "NC9C", 4) != 0)
+  const bool sharded = in && std::strncmp(magic, "NC9S", 4) == 0;
+  if (!in || (!sharded && std::strncmp(magic, "NC9C", 4) != 0))
     throw std::runtime_error(path + " is not a ninec stream");
   const std::size_t k = static_cast<unsigned char>(in.get());
   std::array<unsigned, nc::codec::kNumClasses> lengths{};
@@ -153,7 +169,7 @@ LoadedStream load_stream(const std::string& path) {
   TritVector te = nc::bits::load_trits(in);
   return LoadedStream{
       nc::codec::NineCoded(k, nc::codec::CodewordTable::from_lengths(lengths)),
-      patterns, width, std::move(te)};
+      patterns, width, std::move(te), sharded};
 }
 
 // ---------------------------------------------------------------- commands
@@ -216,6 +232,22 @@ int cmd_compress(const Args& args) {
       args.has("freq-directed")
           ? nc::codec::NineCoded::tuned_for(stream, k)
           : nc::codec::NineCoded(k);
+  if (args.has("shards") || args.has("jobs")) {
+    // Sharded container: --shards 0 (or absent) means one shard per job.
+    nc::codec::ShardedStats sstats;
+    const TritVector container = nc::codec::encode_sharded(
+        coder, td, args.get_size("shards", 0), args.get_size("jobs", 1),
+        &sstats);
+    save_stream(args.require("out"), coder, td, container, /*sharded=*/true);
+    std::cout << coder.name() << ": " << td.bit_count() << " -> "
+              << sstats.total_bits << " bits in " << sstats.shard_count
+              << " shards, CR "
+              << nc::codec::compression_ratio_percent(td.bit_count(),
+                                                      sstats.total_bits)
+              << "%, shard index " << sstats.index_overhead_percent()
+              << "% of container\n";
+    return 0;
+  }
   TritVector te;
   const auto stats = coder.analyze(stream, &te);
   save_stream(args.require("out"), coder, td, te);
@@ -228,6 +260,15 @@ int cmd_compress(const Args& args) {
 
 int cmd_decompress(const Args& args) {
   const LoadedStream s = load_stream(args.require("in"));
+  if (s.sharded) {
+    const TestSet back =
+        nc::codec::decode_sharded(s.coder, s.te, args.get_size("jobs", 1));
+    save_tests(args.require("out"), back);
+    std::cout << "decoded " << back.pattern_count() << " x "
+              << back.pattern_length() << " patterns (sharded) -> "
+              << args.get("out") << '\n';
+    return 0;
+  }
   const TritVector decoded = s.coder.decode(s.te, s.patterns * s.width);
   save_tests(args.require("out"),
              TestSet::unflatten(decoded, s.patterns, s.width));
@@ -292,6 +333,8 @@ int cmd_session(const Args& args) {
   nc::decomp::SessionConfig cfg;
   cfg.block_size = args.get_size("k", 8);
   cfg.p = static_cast<unsigned>(args.get_size("p", 8));
+  cfg.jobs = args.get_size("jobs", 1);
+  cfg.shards = args.get_size("shards", 0);
   if (args.has("inject") || args.has("retry") || args.has("abort-after")) {
     nc::decomp::ResilienceConfig res;
     if (args.has("inject"))
