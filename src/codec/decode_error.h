@@ -23,6 +23,12 @@
 //   kShardCrc      a shard's payload fails its CRC-32 -- the corruption is
 //                  localized to that shard before any symbol is decoded
 //
+// The bounded-progress watchdog (core/cancel.h) adds one more:
+//
+//   kWatchdogExpired  the decode exceeded its step budget, wall-clock
+//                     deadline, or was cancelled -- the run was stopped
+//                     rather than allowed to spin or overrun its slot
+//
 // Everything else (a corrupted payload bit, a flip that aliases one whole
 // parse onto another of identical total length) is undetectable at the
 // codeword layer -- the per-shard CRC catches it with probability 1-2^-32,
@@ -44,6 +50,7 @@ enum class DecodeFault : unsigned char {
   kBadMagic,
   kBadShardIndex,
   kShardCrc,
+  kWatchdogExpired,
 };
 
 constexpr const char* to_string(DecodeFault f) noexcept {
@@ -55,6 +62,7 @@ constexpr const char* to_string(DecodeFault f) noexcept {
     case DecodeFault::kBadMagic: return "bad shard-container magic";
     case DecodeFault::kBadShardIndex: return "inconsistent shard index";
     case DecodeFault::kShardCrc: return "shard CRC mismatch";
+    case DecodeFault::kWatchdogExpired: return "decode watchdog expired";
   }
   return "unknown decode fault";
 }

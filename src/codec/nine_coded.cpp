@@ -104,13 +104,21 @@ TritVector NineCoded::decode(const TritVector& te,
 }
 
 DecodeOutcome NineCoded::decode_checked(const TritVector& te,
-                                        std::size_t original_bits) const {
+                                        std::size_t original_bits,
+                                        core::Watchdog* watchdog) const {
   const std::size_t half = k_ / 2;
   const std::size_t expected_blocks = (original_bits + k_ - 1) / k_;
   DecodeOutcome outcome;
   TritVector& out = outcome.data;
   bits::TritReader reader(te);
   for (std::size_t block = 0; block < expected_blocks; ++block) {
+    // Each block costs at most one codeword (<= 5 symbols) plus K output
+    // symbols; charging K+5 per block keeps the meter conservative without
+    // per-symbol overhead in this (software-side) decoder.
+    if (watchdog != nullptr &&
+        watchdog->tick(k_ + 5) != core::WatchdogTrip::kNone)
+      throw DecodeError(DecodeFault::kWatchdogExpired, reader.position(),
+                        block);
     try {
       const BlockClass cls = table_.match(reader);
       switch (cls) {

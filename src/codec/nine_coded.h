@@ -8,6 +8,7 @@
 #include "codec/codec.h"
 #include "codec/codeword_table.h"
 #include "codec/decode_error.h"
+#include "core/cancel.h"
 
 namespace nc::codec {
 
@@ -75,8 +76,14 @@ class NineCoded final : public Codec {
   /// legality (prefix match, specified bits only) and payload availability;
   /// after the final block: that TE was consumed exactly. Throws DecodeError
   /// carrying the fault kind, the TE offset, and the failing block index.
+  ///
+  /// `watchdog` (optional, borrowed) is charged one step per consumed TE
+  /// symbol and per produced output symbol; a trip throws
+  /// DecodeError(kWatchdogExpired), bounding the work a crafted stream can
+  /// extract from the decoder.
   DecodeOutcome decode_checked(const bits::TritVector& te,
-                               std::size_t original_bits) const;
+                               std::size_t original_bits,
+                               core::Watchdog* watchdog = nullptr) const;
 
   /// Encoding plus the full statistics bundle; `encode` forwards here.
   NineCodedStats analyze(const bits::TritVector& td,

@@ -1,0 +1,51 @@
+#include "core/cancel.h"
+
+namespace nc::core {
+
+Deadline Deadline::after(std::chrono::nanoseconds budget) {
+  Deadline d;
+  d.at_ = std::chrono::steady_clock::now() + budget;
+  d.limited_ = true;
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  return limited_ && std::chrono::steady_clock::now() >= at_;
+}
+
+const char* to_string(WatchdogTrip trip) noexcept {
+  switch (trip) {
+    case WatchdogTrip::kNone: return "none";
+    case WatchdogTrip::kStepBudget: return "step budget exhausted";
+    case WatchdogTrip::kDeadline: return "deadline expired";
+    case WatchdogTrip::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+WatchdogTrip Watchdog::tick(std::size_t steps) noexcept {
+  if (trip_ != WatchdogTrip::kNone) return trip_;
+  steps_ += steps;
+  if (max_steps_ != 0 && steps_ > max_steps_) {
+    trip_ = WatchdogTrip::kStepBudget;
+    return trip_;
+  }
+  // The clock and the cancel flag are orders of magnitude more expensive
+  // than the step counter, so poll them only every kPollInterval steps.
+  if (steps_ >= next_poll_) {
+    next_poll_ = steps_ + kPollInterval;
+    return check();
+  }
+  return WatchdogTrip::kNone;
+}
+
+WatchdogTrip Watchdog::check() noexcept {
+  if (trip_ != WatchdogTrip::kNone) return trip_;
+  if (cancel_ != nullptr && cancel_->cancelled())
+    trip_ = WatchdogTrip::kCancelled;
+  else if (deadline_.expired())
+    trip_ = WatchdogTrip::kDeadline;
+  return trip_;
+}
+
+}  // namespace nc::core

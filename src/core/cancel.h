@@ -1,0 +1,116 @@
+// Cooperative cancellation and bounded-progress watchdogs.
+//
+// Long decode loops must never be able to spin without progress: a crafted
+// or corrupted TE stream is attacker-controlled input, and a fleet session
+// runs for hours on hardware the operator cannot single-step. The three
+// primitives here make every such loop interruptible and budgeted:
+//
+//  * CancelToken -- a thread-safe flag an operator (or the fleet manager)
+//    raises to stop in-flight work at the next check point;
+//  * Deadline    -- a wall-clock cut-off on the steady clock;
+//  * Watchdog    -- a per-run step budget combined with an optional deadline
+//    and cancel token. Work loops call tick() once per unit of work (one FSM
+//    transition, one streamed symbol); a kNone result means "keep going",
+//    anything else names why the run must stop.
+//
+// The watchdog itself never throws: it has no opinion about the caller's
+// error taxonomy. Decode paths convert a trip into the typed
+// codec::DecodeError (DecodeFault::kWatchdogExpired) so the session retry /
+// circuit-breaker machinery handles a runaway decode exactly like any other
+// detected corruption.
+//
+// Determinism note: the step budget is a pure function of the work done, so
+// verdicts guarded only by steps are reproducible. Deadlines and cancel
+// tokens are inherently racy against the work -- the fleet manager keeps
+// them out of anything that must replay bit-identically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+
+namespace nc::core {
+
+/// A latch another thread raises to request cooperative cancellation.
+/// Raising is idempotent; the flag never resets.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// A wall-clock cut-off on the steady clock. Default-constructed deadlines
+/// are unlimited (never expire).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Expires `budget` from now.
+  static Deadline after(std::chrono::nanoseconds budget);
+
+  bool limited() const noexcept { return limited_; }
+  bool expired() const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool limited_ = false;
+};
+
+/// Why a watchdog stopped a run (kNone = it did not).
+enum class WatchdogTrip : unsigned char {
+  kNone = 0,
+  kStepBudget,  // the per-run step budget is spent
+  kDeadline,    // the wall-clock deadline passed
+  kCancelled,   // the cancel token was raised
+};
+
+const char* to_string(WatchdogTrip trip) noexcept;
+
+/// Per-run progress meter. Steps are checked on every tick; the clock and
+/// the cancel flag are polled only every kPollInterval steps so a tick in a
+/// hot decode loop stays a couple of arithmetic ops.
+class Watchdog {
+ public:
+  /// Unlimited: every tick returns kNone.
+  Watchdog() = default;
+
+  /// `max_steps` 0 means no step limit; `deadline` default means no time
+  /// limit; `cancel` may be null. All three can combine.
+  explicit Watchdog(std::size_t max_steps, Deadline deadline = {},
+                    const CancelToken* cancel = nullptr)
+      : max_steps_(max_steps), deadline_(deadline), cancel_(cancel) {}
+
+  /// Charges `steps` units of work and reports whether the run must stop.
+  /// Once tripped, every further tick keeps reporting the same trip.
+  WatchdogTrip tick(std::size_t steps = 1) noexcept;
+
+  /// Polls the deadline/cancel token without charging steps.
+  WatchdogTrip check() noexcept;
+
+  std::size_t steps() const noexcept { return steps_; }
+  std::size_t max_steps() const noexcept { return max_steps_; }
+  bool limited() const noexcept {
+    return max_steps_ != 0 || deadline_.limited() || cancel_ != nullptr;
+  }
+
+ private:
+  static constexpr std::size_t kPollInterval = 1024;
+
+  std::size_t max_steps_ = 0;
+  std::size_t steps_ = 0;
+  std::size_t next_poll_ = kPollInterval;
+  Deadline deadline_;
+  const CancelToken* cancel_ = nullptr;
+  WatchdogTrip trip_ = WatchdogTrip::kNone;
+};
+
+}  // namespace nc::core

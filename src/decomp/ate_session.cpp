@@ -8,6 +8,7 @@
 #include "codec/decode_error.h"
 #include "codec/sharded.h"
 #include "core/thread_pool.h"
+#include "decomp/response_compare.h"
 #include "decomp/single_scan.h"
 #include "sim/logic_sim.h"
 
@@ -18,33 +19,6 @@ using bits::Trit;
 using bits::TritVector;
 
 namespace {
-
-/// Applies one decoded pattern to the fault-free and the DUT machine and
-/// reports whether the responses provably differ.
-class ResponseComparator {
- public:
-  ResponseComparator(const circuit::Netlist& netlist, std::size_t width)
-      : good_sim_(netlist), dut_sim_(netlist), one_(1, width) {}
-
-  bool pattern_fails(const TritVector& applied,
-                     const std::optional<sim::Fault>& fault) {
-    one_.set_pattern(0, applied);
-    good_sim_.load(one_, 0);
-    good_sim_.run();
-    dut_sim_.load(one_, 0);
-    if (fault.has_value())
-      dut_sim_.run_with_fault(fault->node, fault->consumer, fault->pin,
-                              fault->stuck_value);
-    else
-      dut_sim_.run();
-    return dut_sim_.diff_mask(good_sim_.values()) != 0;
-  }
-
- private:
-  sim::ParallelSim good_sim_;
-  sim::ParallelSim dut_sim_;
-  TestSet one_;
-};
 
 /// The paper's model: one TE for the whole TD over a perfect link.
 SessionResult run_perfect(const circuit::Netlist& netlist,

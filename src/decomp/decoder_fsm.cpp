@@ -75,6 +75,18 @@ FsmStep fsm_step(FsmState state, bool data_bit, bool done) {
   return step;
 }
 
+FsmStep FsmEngine::step(bool data_bit, bool done) {
+  if (trip_ != core::WatchdogTrip::kNone) return FsmStep{.next = state_};
+  if (watchdog_ != nullptr) {
+    trip_ = watchdog_->tick(1);
+    if (trip_ != core::WatchdogTrip::kNone) return FsmStep{.next = state_};
+  }
+  ++steps_;
+  const FsmStep out = fsm_step(state_, data_bit, done);
+  state_ = out.next;
+  return out;
+}
+
 codec::BlockClass plan_class(HalfPlan a, HalfPlan b) {
   using codec::BlockClass;
   using enum HalfPlan;

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "codec/block_class.h"
+#include "core/cancel.h"
 
 namespace nc::decomp {
 
@@ -58,6 +59,39 @@ struct FsmStep {
 /// One FSM transition. In recognition states `data_bit` is the incoming
 /// ATE bit; in kHalfA/kHalfB `done` is the counter's terminal count.
 FsmStep fsm_step(FsmState state, bool data_bit, bool done);
+
+/// Stateful FSM driver: owns the current state and meters every transition
+/// against an optional core::Watchdog. The pure transition table above
+/// cannot loop by itself, but the loops *driving* it can -- a model whose
+/// counter never raises Done spins in kHalfA/kHalfB consuming zero stream
+/// bits forever. Every decompressor model drives its FSM through an engine
+/// so that exposure is bounded: each transition charges one watchdog step,
+/// and the caller converts a trip into the typed
+/// codec::DecodeError(kWatchdogExpired) its retry machinery already handles.
+class FsmEngine {
+ public:
+  /// `watchdog` may be null (unmetered); it is borrowed, not owned.
+  explicit FsmEngine(core::Watchdog* watchdog = nullptr) noexcept
+      : watchdog_(watchdog) {}
+
+  /// Applies one transition from the current state and advances it.
+  /// Check trip() afterwards: once the watchdog trips, further transitions
+  /// keep the state frozen and keep reporting the trip.
+  FsmStep step(bool data_bit, bool done);
+
+  FsmState state() const noexcept { return state_; }
+  std::size_t steps() const noexcept { return steps_; }
+  core::WatchdogTrip trip() const noexcept { return trip_; }
+
+  /// Back to kIdle (pattern-boundary resync); the step meter keeps running.
+  void reset() noexcept { state_ = FsmState::kIdle; }
+
+ private:
+  FsmState state_ = FsmState::kIdle;
+  std::size_t steps_ = 0;
+  core::Watchdog* watchdog_;
+  core::WatchdogTrip trip_ = core::WatchdogTrip::kNone;
+};
 
 /// The codeword class recognized by a (plan_a, plan_b) pair -- the inverse
 /// mapping, used by tests to tie the FSM back to Table I.

@@ -26,7 +26,8 @@ std::vector<TritVector> deinterleave(const TritVector& stream,
 }  // namespace
 
 ArchitectureReport run_single_scan(const TestSet& td,
-                                   const codec::NineCoded& coder, unsigned p) {
+                                   const codec::NineCoded& coder, unsigned p,
+                                   core::Watchdog* watchdog) {
   ArchitectureReport report;
   report.name = "single-scan single-pin (Fig. 4a)";
   report.ate_pins = 1;
@@ -36,7 +37,12 @@ ArchitectureReport run_single_scan(const TestSet& td,
   const TritVector stream = td.flatten();
   const TritVector te = coder.encode(stream);
   const SingleScanDecoder decoder(coder.block_size(), p);
-  const DecoderTrace trace = decoder.run(te, stream.size());
+  DecoderTrace trace;
+  try {
+    trace = decoder.run(te, stream.size(), watchdog);
+  } catch (const codec::DecodeError& e) {
+    throw e.with_pin(0);
+  }
 
   report.soc_cycles = trace.soc_cycles;
   report.encoded_bits = te.size();
@@ -49,7 +55,8 @@ ArchitectureReport run_single_scan(const TestSet& td,
 ArchitectureReport run_multi_scan_single_pin(const TestSet& td,
                                              std::size_t chains,
                                              const codec::NineCoded& coder,
-                                             unsigned p) {
+                                             unsigned p,
+                                             core::Watchdog* watchdog) {
   if (chains == 0) throw std::invalid_argument("need at least one chain");
   ArchitectureReport report;
   report.name = "multi-scan single-pin (Fig. 4b)";
@@ -66,7 +73,7 @@ ArchitectureReport run_multi_scan_single_pin(const TestSet& td,
   const SingleScanDecoder decoder(coder.block_size(), p);
   DecoderTrace trace;
   try {
-    trace = decoder.run(te, stream.size());
+    trace = decoder.run(te, stream.size(), watchdog);
   } catch (const codec::DecodeError& e) {
     throw e.with_pin(0);  // the architecture's only ATE pin
   }
@@ -81,7 +88,8 @@ ArchitectureReport run_multi_scan_single_pin(const TestSet& td,
 
 ArchitectureReport run_multi_scan_banked(const TestSet& td, std::size_t chains,
                                          const codec::NineCoded& coder,
-                                         unsigned p) {
+                                         unsigned p,
+                                         core::Watchdog* watchdog) {
   const std::size_t k = coder.block_size();
   if (chains == 0 || chains % k != 0)
     throw std::invalid_argument(
@@ -116,7 +124,9 @@ ArchitectureReport run_multi_scan_banked(const TestSet& td, std::size_t chains,
     const TritVector te = coder.encode(slice);
     DecoderTrace trace;
     try {
-      trace = decoder.run(te, slice.size());
+      // One shared watchdog across banks: the budget bounds the whole
+      // architecture run, not each pin separately.
+      trace = decoder.run(te, slice.size(), watchdog);
     } catch (const codec::DecodeError& e) {
       throw e.with_pin(bank);  // each bank streams on its own ATE pin
     }

@@ -34,20 +34,26 @@ struct ArchitectureReport {
 };
 
 /// Fig. 4(a): the single-scan reference (1 pin, 1 decoder, 1 chain).
+/// All three runners take an optional borrowed core::Watchdog that meters
+/// the whole architecture run (summed across banks for 4c); a trip raises
+/// codec::DecodeError(kWatchdogExpired) annotated with the failing pin.
 ArchitectureReport run_single_scan(const bits::TestSet& td,
-                                   const codec::NineCoded& coder, unsigned p);
+                                   const codec::NineCoded& coder, unsigned p,
+                                   core::Watchdog* watchdog = nullptr);
 
 /// Fig. 3 / 4(b): m chains, one pin, one decoder + m-bit staging shifter.
 ArchitectureReport run_multi_scan_single_pin(const bits::TestSet& td,
                                              std::size_t chains,
                                              const codec::NineCoded& coder,
-                                             unsigned p);
+                                             unsigned p,
+                                             core::Watchdog* watchdog = nullptr);
 
 /// Fig. 4(c): m chains, m/K pins, m/K decoders working in parallel (K =
 /// coder.block_size(); `chains` must be a multiple of it).
 ArchitectureReport run_multi_scan_banked(const bits::TestSet& td,
                                          std::size_t chains,
                                          const codec::NineCoded& coder,
-                                         unsigned p);
+                                         unsigned p,
+                                         core::Watchdog* watchdog = nullptr);
 
 }  // namespace nc::decomp

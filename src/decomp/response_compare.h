@@ -1,0 +1,45 @@
+// Shared response-compare helper for session-layer runners.
+//
+// Applies one decoded pattern to the fault-free machine and to the DUT
+// (optionally carrying a stuck-at defect) and reports whether the captured
+// responses provably differ. Both the single-device ATE session and the
+// fleet manager reuse this; each instance owns its two simulators, so one
+// instance per concurrent device keeps the parallel paths share-nothing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "bits/test_set.h"
+#include "circuit/netlist.h"
+#include "sim/fault.h"
+#include "sim/logic_sim.h"
+
+namespace nc::decomp {
+
+class ResponseComparator {
+ public:
+  ResponseComparator(const circuit::Netlist& netlist, std::size_t width)
+      : good_sim_(netlist), dut_sim_(netlist), one_(1, width) {}
+
+  bool pattern_fails(const bits::TritVector& applied,
+                     const std::optional<sim::Fault>& fault) {
+    one_.set_pattern(0, applied);
+    good_sim_.load(one_, 0);
+    good_sim_.run();
+    dut_sim_.load(one_, 0);
+    if (fault.has_value())
+      dut_sim_.run_with_fault(fault->node, fault->consumer, fault->pin,
+                              fault->stuck_value);
+    else
+      dut_sim_.run();
+    return dut_sim_.diff_mask(good_sim_.values()) != 0;
+  }
+
+ private:
+  sim::ParallelSim good_sim_;
+  sim::ParallelSim dut_sim_;
+  bits::TestSet one_;
+};
+
+}  // namespace nc::decomp

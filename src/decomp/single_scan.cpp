@@ -18,19 +18,29 @@ SingleScanDecoder::SingleScanDecoder(std::size_t block_size, unsigned p)
 }
 
 DecoderTrace SingleScanDecoder::run(const TritVector& te,
-                                    std::size_t original_bits) const {
+                                    std::size_t original_bits,
+                                    core::Watchdog* watchdog) const {
   DecoderTrace trace;
   bits::TritReader in(te);
   const std::size_t half = k_ / 2;
 
-  FsmState state = FsmState::kIdle;
+  FsmEngine fsm(watchdog);
   HalfPlan plan_a = HalfPlan::kFill0;
   HalfPlan plan_b = HalfPlan::kFill0;
 
+  auto expired = [&]() {
+    return codec::DecodeError(codec::DecodeFault::kWatchdogExpired,
+                              in.position(), trace.codewords);
+  };
   auto stream_half = [&](HalfPlan plan) {
     // kHalfA/kHalfB: the counter walks K/2 positions; each position costs
     // one SoC cycle for locally generated fill or one ATE cycle (= p SoC
     // cycles) for a bit streamed from the tester through the shifter.
+    // Every position is one watchdog step: streamed scan bits are the
+    // decoder's progress unit, so the budget bounds total output too.
+    if (watchdog != nullptr &&
+        watchdog->tick(half) != core::WatchdogTrip::kNone)
+      throw expired();
     for (std::size_t i = 0; i < half; ++i) {
       switch (plan) {
         case HalfPlan::kFill0:
@@ -56,35 +66,35 @@ DecoderTrace SingleScanDecoder::run(const TritVector& te,
   // the index of the block in flight, so the session layer can retry.
   try {
     while (trace.scan_stream.size() < original_bits ||
-           state != FsmState::kIdle) {
-      switch (state) {
+           fsm.state() != FsmState::kIdle) {
+      switch (fsm.state()) {
         case FsmState::kHalfA:
           stream_half(plan_a);
-          state = fsm_step(state, false, /*done=*/true).next;
+          fsm.step(false, /*done=*/true);
           break;
         case FsmState::kHalfB:
           stream_half(plan_b);
-          state = fsm_step(state, false, /*done=*/true).next;
+          fsm.step(false, /*done=*/true);
           break;
         case FsmState::kAck:
           // Handshake overlaps the next codeword fetch; no extra cycles in
           // the paper's model.
-          state = fsm_step(state, false, false).next;
+          fsm.step(false, false);
           break;
         default: {  // recognition states consume one ATE bit each
           const bool bit = in.next_bit();
           trace.ate_cycles += 1;
           trace.soc_cycles += p_;
-          const FsmStep step = fsm_step(state, bit, false);
+          const FsmStep step = fsm.step(bit, false);
           if (step.recognized) {
             plan_a = step.plan_a;
             plan_b = step.plan_b;
             ++trace.codewords;
           }
-          state = step.next;
           break;
         }
       }
+      if (fsm.trip() != core::WatchdogTrip::kNone) throw expired();
     }
   } catch (const bits::StreamOverrun& e) {
     throw codec::DecodeError(codec::DecodeFault::kTruncated, e.offset(),

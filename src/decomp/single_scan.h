@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "bits/trit_vector.h"
+#include "core/cancel.h"
 #include "decomp/decoder_fsm.h"
 
 namespace nc::decomp {
@@ -36,8 +37,13 @@ class SingleScanDecoder {
   /// A corrupted TE (truncated, X in a codeword position, or symbols left
   /// over after the last block) raises codec::DecodeError with the TE
   /// offset and the index of the block in flight.
-  DecoderTrace run(const bits::TritVector& te,
-                   std::size_t original_bits) const;
+  ///
+  /// `watchdog` (optional, borrowed) meters the run: one step per FSM
+  /// transition and per scan bit streamed. A trip raises
+  /// codec::DecodeError(kWatchdogExpired), so a runaway or crafted stream
+  /// is stopped with bounded work instead of being allowed to spin.
+  DecoderTrace run(const bits::TritVector& te, std::size_t original_bits,
+                   core::Watchdog* watchdog = nullptr) const;
 
   std::size_t block_size() const noexcept { return k_; }
   unsigned p() const noexcept { return p_; }

@@ -78,6 +78,75 @@ TEST(TritReader, NextTritsPastEndThrows) {
   EXPECT_THROW(r.next_trits(3), std::out_of_range);
 }
 
+TEST(TritReader, SeekMovesBothDirections) {
+  const TritVector v = TritVector::from_string("01X10110");
+  TritReader r(v);
+  r.seek(5);
+  EXPECT_EQ(r.position(), 5u);
+  EXPECT_EQ(r.next(), Trit::One);
+  r.seek(2);  // backwards: re-reading is legal
+  EXPECT_EQ(r.next(), Trit::X);
+  EXPECT_EQ(r.position(), 3u);
+}
+
+TEST(TritReader, SeekToEndIsDoneSeekPastEndThrows) {
+  const TritVector v = TritVector::from_string("0101");
+  TritReader r(v);
+  r.seek(4);  // one-past-last is a valid cursor: done, not an error
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.seek(5), StreamOverrun);
+  EXPECT_EQ(r.position(), 4u);  // a failed seek must not move the cursor
+}
+
+TEST(TritReader, SkipBoundaries) {
+  const TritVector v = TritVector::from_string("010101");
+  TritReader r(v);
+  r.skip(0);
+  EXPECT_EQ(r.position(), 0u);
+  r.skip(6);  // exactly to the end
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.skip(1), StreamOverrun);
+  EXPECT_EQ(r.position(), 6u);
+}
+
+TEST(TritReader, SkipOverrunReportsOffsets) {
+  const TritVector v = TritVector::from_string("0101");
+  TritReader r(v);
+  r.skip(3);
+  try {
+    r.skip(4);
+    FAIL() << "skip past the end must throw";
+  } catch (const StreamOverrun& e) {
+    EXPECT_EQ(e.offset(), 3u);
+    EXPECT_EQ(e.requested(), 4u);
+    EXPECT_EQ(e.available(), 1u);
+  }
+}
+
+TEST(TritReader, WindowRestrictsSeekAndSkip) {
+  const TritVector v = TritVector::from_string("00110011");
+  TritReader r(v, 2, 4);  // window [2, 6)
+  EXPECT_EQ(r.position(), 2u);  // position() is absolute
+  EXPECT_EQ(r.remaining(), 4u);
+  r.skip(4);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.skip(1), StreamOverrun);  // the vector goes on; the window ends
+  r.seek(3);
+  EXPECT_EQ(r.next(), Trit::One);
+  EXPECT_THROW(r.seek(7), StreamOverrun);  // absolute 7 is past the window end
+}
+
+TEST(TritReader, WindowClampsToVector) {
+  const TritVector v = TritVector::from_string("0011");
+  TritReader past(v, 9, 3);  // begin beyond the vector: empty window
+  EXPECT_TRUE(past.done());
+  EXPECT_EQ(past.remaining(), 0u);
+  TritReader long_len(v, 2, 100);  // length clamps to what exists
+  EXPECT_EQ(long_len.remaining(), 2u);
+  EXPECT_EQ(long_len.next(), Trit::One);
+}
+
 TEST(WriterReaderRoundTrip, ValuesOfManyWidths) {
   BitWriter w;
   for (unsigned n = 1; n <= 16; ++n) w.put_bits((1u << n) - 1, n);

@@ -400,5 +400,68 @@ TEST(ResilientSession, FaultyDeviceStillDetectedOverNoisyLink) {
   EXPECT_TRUE(tried);
 }
 
+// ------------------------------------------------- bursts at boundaries
+// Per-pattern streaming means one transmission per pattern: a burst that
+// would run past the end of pattern k's stream must clip there, never
+// bleed into pattern k+1's transmission.
+
+TEST(ChannelModel, BurstClipsAtTransmissionEnd) {
+  ChannelConfig cfg;
+  cfg.burst_rate = 1.0;  // a burst starts at the first symbol, every time
+  cfg.burst_length = 1000;
+  const TritVector te(10, Trit::Zero);
+  ChannelModel ch(cfg);
+  const TritVector rx = ch.transmit(te);
+  ASSERT_EQ(rx.size(), te.size());  // nothing spills past the end
+  for (std::size_t i = 0; i < rx.size(); ++i) EXPECT_EQ(rx.get(i), Trit::One);
+  EXPECT_EQ(ch.stats().flipped_symbols, te.size());
+
+  // The clipped remainder of the burst must NOT carry into the next
+  // pattern's transmission: the next stream is corrupted by its own burst
+  // of full length, not by a leftover tail.
+  const TritVector rx2 = ch.transmit(te);
+  EXPECT_EQ(ch.stats().flipped_symbols, 2 * te.size());
+  for (std::size_t i = 0; i < rx2.size(); ++i)
+    EXPECT_EQ(rx2.get(i), Trit::One);
+}
+
+TEST(ChannelModel, BurstStartingAtLastSymbolCorruptsOneSymbol) {
+  ChannelConfig cfg;
+  cfg.burst_rate = 1.0;
+  cfg.burst_length = 64;
+  const TritVector te(1, Trit::One);
+  ChannelModel ch(cfg);
+  const TritVector rx = ch.transmit(te);
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx.get(0), Trit::Zero);
+  EXPECT_EQ(ch.stats().flipped_symbols, 1u);
+  EXPECT_EQ(ch.stats().bursts, 1u);
+}
+
+TEST(ChannelModel, ReseedAtPatternBoundaryIsolatesTransmissions) {
+  // The fleet manager reseeds the channel at every batch boundary so that
+  // batch k's fault stream is independent of how much of batch k-1 ran --
+  // including a burst in flight when the boundary hit. Pin that property:
+  // after reseed, a transmission is identical whether or not any earlier
+  // traffic (with bursts straddling its end) happened on the channel.
+  ChannelConfig cfg;
+  cfg.flip_rate = 0.05;
+  cfg.burst_rate = 0.05;
+  cfg.burst_length = 16;
+  const TritVector a(40, Trit::One);   // traffic before the boundary
+  const TritVector b(64, Trit::Zero);  // the pattern after the boundary
+
+  ChannelModel busy(cfg);
+  for (int i = 0; i < 3; ++i) busy.transmit(a);
+  busy.reseed(42);
+  const TritVector via_busy = busy.transmit(b);
+
+  ChannelModel fresh(cfg);
+  fresh.reseed(42);
+  const TritVector via_fresh = fresh.transmit(b);
+
+  EXPECT_EQ(via_busy, via_fresh);
+}
+
 }  // namespace
 }  // namespace nc::decomp

@@ -44,3 +44,54 @@ echo "cli roundtrip OK"
 "$NINEC" session --bench "$DIR/c.bench" --tests "$DIR/atpg.tests" --k 8 --p 8
 
 echo "cli session OK"
+
+# Malformed count flags must fail fast with exit code 2 (not crash, not
+# silently coerce): non-numeric, zero, negative, overflow.
+expect_usage_error() {
+  set +e
+  "$NINEC" "$@" >/dev/null 2>"$DIR/err.txt"
+  code=$?
+  set -e
+  if [ "$code" -ne 2 ]; then
+    echo "expected exit 2 from: ninec $*  (got $code)"; exit 1
+  fi
+  test -s "$DIR/err.txt"  # one-line diagnostic on stderr
+}
+expect_usage_error compress --in "$DIR/td.tests" --out "$DIR/x.9c" --shards abc
+expect_usage_error compress --in "$DIR/td.tests" --out "$DIR/x.9c" --shards 0
+expect_usage_error compress --in "$DIR/td.tests" --out "$DIR/x.9c" --jobs -3
+expect_usage_error compress --in "$DIR/td.tests" --out "$DIR/x.9c" --k 0
+expect_usage_error decompress --in "$DIR/te.9c" --out "$DIR/x.tests" --jobs 1x
+expect_usage_error session --bench "$DIR/c.bench" --tests "$DIR/atpg.tests" \
+  --jobs 99999999999999999999999
+expect_usage_error fleet --bench "$DIR/c.bench" --tests "$DIR/atpg.tests" \
+  --devices 0
+# 'auto' spells out the old 0-means-auto convention.
+"$NINEC" compress --in "$DIR/td.tests" --out "$DIR/ta.9c" --shards auto --jobs auto
+"$NINEC" decompress --in "$DIR/ta.9c" --out "$DIR/backa.tests" --jobs auto
+
+echo "cli strict parsing OK"
+
+# Fleet run with a checkpoint, killed after 2 batches, then resumed: the
+# resumed run must report the same deterministic fingerprint as an
+# uninterrupted one.
+FLEET_ARGS="--bench $DIR/c.bench --tests $DIR/atpg.tests --devices 3 \
+  --inject flip=2e-3 --seed 9 --batch 4"
+"$NINEC" fleet $FLEET_ARGS > "$DIR/fleet_ref.txt"
+grep -q "fingerprint:" "$DIR/fleet_ref.txt"
+set +e
+"$NINEC" fleet $FLEET_ARGS --checkpoint "$DIR/j.nc9j" --stop-after 2 \
+  > "$DIR/fleet_kill.txt"
+set -e
+grep -q "STOPPED EARLY" "$DIR/fleet_kill.txt"
+test -s "$DIR/j.nc9j"
+"$NINEC" fleet $FLEET_ARGS --checkpoint "$DIR/j.nc9j" --resume --jobs 4 \
+  > "$DIR/fleet_resume.txt"
+grep -q "resumed" "$DIR/fleet_resume.txt"
+REF=$(grep fingerprint "$DIR/fleet_ref.txt")
+RES=$(grep fingerprint "$DIR/fleet_resume.txt")
+if [ "$REF" != "$RES" ]; then
+  echo "fleet resume diverged: '$REF' vs '$RES'"; exit 1
+fi
+
+echo "cli fleet OK"

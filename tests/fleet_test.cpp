@@ -1,0 +1,461 @@
+// Fleet session manager: determinism (jobs-invariance), kill-and-resume
+// bit-identity, the circuit breaker, the per-attempt watchdog, and the NC9J
+// journal's refusal to resume from anything it cannot trust.
+#include "decomp/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "atpg/atpg.h"
+#include "circuit/samples.h"
+#include "core/cancel.h"
+#include "sim/fault_sim.h"
+
+namespace nc::decomp {
+namespace {
+
+using bits::TestSet;
+using circuit::Netlist;
+
+struct Fixture {
+  Netlist netlist = circuit::samples::s27();
+  std::vector<sim::Fault> faults = sim::collapsed_fault_list(netlist);
+  TestSet tests;
+
+  Fixture() {
+    atpg::AtpgConfig cfg;
+    tests = atpg::generate_tests(netlist, faults, cfg).tests;
+  }
+
+  /// A fault the test set provably detects, for the failing-device cases.
+  sim::Fault detected_fault() const {
+    sim::FaultSimulator fsim(netlist);
+    const auto cover = fsim.run(tests, faults);
+    for (std::size_t f = 0; f < faults.size(); ++f)
+      if (cover.detected[f]) return faults[f];
+    throw std::logic_error("no detected fault in fixture");
+  }
+};
+
+std::vector<DeviceProfile> clean_devices(std::size_t n) {
+  return std::vector<DeviceProfile>(n);
+}
+
+std::vector<DeviceProfile> noisy_devices(std::size_t n, double flip_rate) {
+  std::vector<DeviceProfile> devices(n);
+  for (auto& d : devices) d.channel.flip_rate = flip_rate;
+  return devices;
+}
+
+FleetConfig small_batches() {
+  FleetConfig cfg;
+  cfg.batch_patterns = 2;  // several batches even on the tiny s27 test set
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::string temp_journal(const char* name) {
+  return testing::TempDir() + name;
+}
+
+// ------------------------------------------------------------- happy path
+
+TEST(Fleet, CleanFleetAllDevicesPass) {
+  Fixture fx;
+  const FleetResult r =
+      run_fleet(fx.netlist, fx.tests, small_batches(), clean_devices(3));
+  ASSERT_EQ(r.devices.size(), 3u);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.passed, 3u);
+  EXPECT_EQ(r.failed + r.quarantined + r.aborted, 0u);
+  for (const DeviceResult& d : r.devices) {
+    EXPECT_EQ(d.verdict, DeviceVerdict::kPassed);
+    EXPECT_EQ(d.session.patterns_applied, fx.tests.pattern_count());
+    EXPECT_EQ(d.session.pattern_failed.size(), fx.tests.pattern_count());
+    EXPECT_EQ(d.watchdog_trips, 0u);
+    EXPECT_EQ(d.breaker, BreakerState::kClosed);
+  }
+}
+
+TEST(Fleet, DefectiveDeviceFailsOthersPass) {
+  Fixture fx;
+  std::vector<DeviceProfile> devices = clean_devices(3);
+  devices[1].fault = fx.detected_fault();
+  const FleetResult r =
+      run_fleet(fx.netlist, fx.tests, small_batches(), devices);
+  EXPECT_EQ(r.devices[0].verdict, DeviceVerdict::kPassed);
+  EXPECT_EQ(r.devices[1].verdict, DeviceVerdict::kFailed);
+  EXPECT_GT(r.devices[1].session.failing_patterns, 0u);
+  EXPECT_EQ(r.devices[2].verdict, DeviceVerdict::kPassed);
+  EXPECT_EQ(r.passed, 2u);
+  EXPECT_EQ(r.failed, 1u);
+}
+
+TEST(Fleet, RejectsBadConfig) {
+  Fixture fx;
+  FleetConfig cfg = small_batches();
+  EXPECT_THROW(run_fleet(fx.netlist, fx.tests, cfg, {}),
+               std::invalid_argument);
+  cfg.batch_patterns = 0;
+  EXPECT_THROW(run_fleet(fx.netlist, fx.tests, cfg, clean_devices(1)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(Fleet, FingerprintIsReproducible) {
+  Fixture fx;
+  const FleetConfig cfg = small_batches();
+  const auto devices = noisy_devices(4, 2e-3);
+  const FleetResult a = run_fleet(fx.netlist, fx.tests, cfg, devices);
+  const FleetResult b = run_fleet(fx.netlist, fx.tests, cfg, devices);
+  EXPECT_EQ(fleet_fingerprint(a), fleet_fingerprint(b));
+}
+
+TEST(Fleet, FingerprintDependsOnSeed) {
+  Fixture fx;
+  FleetConfig cfg = small_batches();
+  const auto devices = noisy_devices(4, 2e-2);
+  const FleetResult a = run_fleet(fx.netlist, fx.tests, cfg, devices);
+  cfg.seed = 12;
+  const FleetResult b = run_fleet(fx.netlist, fx.tests, cfg, devices);
+  EXPECT_NE(fleet_fingerprint(a), fleet_fingerprint(b));
+}
+
+TEST(Fleet, ResultIndependentOfJobs) {
+  Fixture fx;
+  FleetConfig cfg = small_batches();
+  const auto devices = noisy_devices(5, 5e-3);
+  cfg.jobs = 1;
+  const std::uint64_t ref =
+      fleet_fingerprint(run_fleet(fx.netlist, fx.tests, cfg, devices));
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    cfg.jobs = jobs;
+    EXPECT_EQ(fleet_fingerprint(run_fleet(fx.netlist, fx.tests, cfg, devices)),
+              ref)
+        << "jobs=" << jobs;
+  }
+}
+
+// -------------------------------------------------------- kill and resume
+
+TEST(Fleet, KillAndResumeIsBitIdentical) {
+  Fixture fx;
+  const auto devices = noisy_devices(4, 5e-3);
+
+  FleetConfig ref_cfg = small_batches();
+  const FleetResult ref = run_fleet(fx.netlist, fx.tests, ref_cfg, devices);
+  ASSERT_TRUE(ref.complete);
+
+  for (const std::size_t jobs :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t stop : {std::size_t{1}, std::size_t{3}}) {
+      const std::string path = temp_journal("kill_resume.nc9j");
+      std::remove(path.c_str());
+
+      FleetConfig cfg = small_batches();
+      cfg.jobs = jobs;
+      cfg.checkpoint_path = path;
+      cfg.stop_after_batches = stop;
+      const FleetResult killed = run_fleet(fx.netlist, fx.tests, cfg, devices);
+      EXPECT_FALSE(killed.complete);
+      EXPECT_EQ(killed.batches_run, stop);
+      EXPECT_EQ(killed.checkpoints_written, stop);
+
+      cfg.stop_after_batches = FleetConfig::kNoLimit;
+      cfg.resume = true;
+      const FleetResult resumed =
+          run_fleet(fx.netlist, fx.tests, cfg, devices);
+      EXPECT_TRUE(resumed.complete);
+      EXPECT_TRUE(resumed.resumed);
+      EXPECT_EQ(fleet_fingerprint(resumed), fleet_fingerprint(ref))
+          << "jobs=" << jobs << " stop=" << stop;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(Fleet, RepeatedKillsStillConverge) {
+  Fixture fx;
+  const auto devices = noisy_devices(3, 5e-3);
+  FleetConfig ref_cfg = small_batches();
+  const std::uint64_t ref =
+      fleet_fingerprint(run_fleet(fx.netlist, fx.tests, ref_cfg, devices));
+
+  const std::string path = temp_journal("repeated_kills.nc9j");
+  std::remove(path.c_str());
+  FleetConfig cfg = small_batches();
+  cfg.checkpoint_path = path;
+  cfg.resume = true;  // first run: no journal yet -> fresh start
+  cfg.stop_after_batches = 1;
+  FleetResult last;
+  for (int segment = 0; segment < 64; ++segment) {
+    last = run_fleet(fx.netlist, fx.tests, cfg, devices);
+    if (last.complete) break;
+  }
+  ASSERT_TRUE(last.complete);
+  EXPECT_EQ(fleet_fingerprint(last), ref);
+  std::remove(path.c_str());
+}
+
+TEST(Fleet, ResumeWithoutJournalStartsFresh) {
+  Fixture fx;
+  FleetConfig cfg = small_batches();
+  cfg.checkpoint_path = temp_journal("never_written.nc9j");
+  std::remove(cfg.checkpoint_path.c_str());
+  cfg.resume = true;
+  const FleetResult r =
+      run_fleet(fx.netlist, fx.tests, cfg, clean_devices(2));
+  EXPECT_FALSE(r.resumed);
+  EXPECT_TRUE(r.complete);
+  std::remove(cfg.checkpoint_path.c_str());
+}
+
+TEST(Fleet, CompletedJournalResumesToSameResult) {
+  Fixture fx;
+  const auto devices = noisy_devices(2, 5e-3);
+  FleetConfig cfg = small_batches();
+  cfg.checkpoint_path = temp_journal("completed.nc9j");
+  std::remove(cfg.checkpoint_path.c_str());
+  const FleetResult full = run_fleet(fx.netlist, fx.tests, cfg, devices);
+  cfg.resume = true;
+  const FleetResult again = run_fleet(fx.netlist, fx.tests, cfg, devices);
+  EXPECT_TRUE(again.resumed);
+  EXPECT_EQ(fleet_fingerprint(again), fleet_fingerprint(full));
+  std::remove(cfg.checkpoint_path.c_str());
+}
+
+// ------------------------------------------------------- journal distrust
+
+class FleetJournal : public testing::Test {
+ protected:
+  void write_journal() {
+    path_ = temp_journal("tamper.nc9j");
+    std::remove(path_.c_str());
+    cfg_ = FleetConfig{};
+    cfg_.batch_patterns = 2;
+    cfg_.seed = 11;
+    cfg_.checkpoint_path = path_;
+    cfg_.stop_after_batches = 2;
+    devices_ = noisy_devices(2, 5e-3);
+    const FleetResult killed =
+        run_fleet(fx_.netlist, fx_.tests, cfg_, devices_);
+    ASSERT_FALSE(killed.complete);
+    cfg_.stop_after_batches = FleetConfig::kNoLimit;
+    cfg_.resume = true;
+  }
+
+  std::vector<char> read_bytes() {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void write_bytes(const std::vector<char>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Fingerprint of the same fleet run uninterrupted and unjournalled;
+  /// fingerprints exclude checkpoint bookkeeping, so any successful resume
+  /// must reproduce this exactly.
+  std::uint64_t reference_fingerprint() {
+    FleetConfig ref = cfg_;
+    ref.resume = false;
+    ref.checkpoint_path.clear();
+    return fleet_fingerprint(run_fleet(fx_.netlist, fx_.tests, ref, devices_));
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Fixture fx_;
+  FleetConfig cfg_;
+  std::vector<DeviceProfile> devices_;
+  std::string path_;
+};
+
+// The journal is append-only with a CRC per record: damage to the newest
+// record (a kill mid-append, a flipped bit in the tail) costs at most one
+// batch of replay and still converges to the uninterrupted result. Damage
+// further back leaves no trustworthy checkpoint and must be rejected.
+TEST_F(FleetJournal, CorruptTailFallsBackToPreviousCheckpoint) {
+  write_journal();
+  std::vector<char> bytes = read_bytes();
+  ASSERT_GT(bytes.size(), 20u);
+  bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 0x40);
+  write_bytes(bytes);
+  const FleetResult resumed = run_fleet(fx_.netlist, fx_.tests, cfg_, devices_);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(fleet_fingerprint(resumed), reference_fingerprint());
+}
+
+TEST_F(FleetJournal, TornTailFallsBackToPreviousCheckpoint) {
+  write_journal();
+  std::vector<char> bytes = read_bytes();
+  bytes.resize(bytes.size() - 7);  // kill mid-append of the newest record
+  write_bytes(bytes);
+  const FleetResult resumed = run_fleet(fx_.netlist, fx_.tests, cfg_, devices_);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(fleet_fingerprint(resumed), reference_fingerprint());
+}
+
+TEST_F(FleetJournal, CorruptionBeforeTheTailIsRejected) {
+  write_journal();
+  std::vector<char> bytes = read_bytes();
+  // Flip a byte in the first record, just past the 13-byte header: every
+  // checkpoint from there on is untrusted, so nothing valid remains.
+  bytes[20] = static_cast<char>(bytes[20] ^ 0x40);
+  write_bytes(bytes);
+  EXPECT_THROW(run_fleet(fx_.netlist, fx_.tests, cfg_, devices_),
+               std::runtime_error);
+}
+
+TEST_F(FleetJournal, TruncationIntoHeaderIsRejected) {
+  write_journal();
+  std::vector<char> bytes = read_bytes();
+  bytes.resize(6);
+  write_bytes(bytes);
+  EXPECT_THROW(run_fleet(fx_.netlist, fx_.tests, cfg_, devices_),
+               std::runtime_error);
+}
+
+TEST_F(FleetJournal, HeaderWithNoRecordsIsRejected) {
+  write_journal();
+  std::vector<char> bytes = read_bytes();
+  bytes.resize(13);  // magic + version + config hash, zero records
+  write_bytes(bytes);
+  EXPECT_THROW(run_fleet(fx_.netlist, fx_.tests, cfg_, devices_),
+               std::runtime_error);
+}
+
+TEST_F(FleetJournal, BadMagicIsRejected) {
+  write_journal();
+  std::vector<char> bytes = read_bytes();
+  bytes[0] = 'X';
+  write_bytes(bytes);
+  EXPECT_THROW(run_fleet(fx_.netlist, fx_.tests, cfg_, devices_),
+               std::runtime_error);
+}
+
+TEST_F(FleetJournal, DifferentConfigurationIsRejected) {
+  write_journal();
+  cfg_.seed = 999;  // not the configuration the journal was written under
+  EXPECT_THROW(run_fleet(fx_.netlist, fx_.tests, cfg_, devices_),
+               std::runtime_error);
+}
+
+TEST_F(FleetJournal, DifferentDeviceListIsRejected) {
+  write_journal();
+  devices_.push_back(DeviceProfile{});
+  EXPECT_THROW(run_fleet(fx_.netlist, fx_.tests, cfg_, devices_),
+               std::runtime_error);
+}
+
+// -------------------------------------------------- breaker and watchdog
+
+TEST(Fleet, BreakerQuarantinesDeadLinkAndSparesTheRest) {
+  Fixture fx;
+  std::vector<DeviceProfile> devices = clean_devices(3);
+  devices[1].channel.flip_rate = 0.45;  // hopeless link
+
+  FleetConfig cfg = small_batches();
+  cfg.retry.max_retries = 1;
+  cfg.breaker.open_after = 2;
+  cfg.breaker.probe_after = 1;
+  const FleetResult r = run_fleet(fx.netlist, fx.tests, cfg, devices);
+
+  EXPECT_EQ(r.devices[0].verdict, DeviceVerdict::kPassed);
+  EXPECT_EQ(r.devices[2].verdict, DeviceVerdict::kPassed);
+  const DeviceResult& sick = r.devices[1];
+  EXPECT_GT(sick.breaker_opens, 0u);
+  EXPECT_GT(sick.patterns_skipped, 0u);
+  EXPECT_NE(sick.verdict, DeviceVerdict::kPassed);
+  // Quarantine costs the sick device coverage, never the healthy ones.
+  EXPECT_EQ(r.devices[0].session.patterns_applied, fx.tests.pattern_count());
+  EXPECT_EQ(r.devices[2].session.patterns_applied, fx.tests.pattern_count());
+}
+
+TEST(Fleet, HalfOpenProbeRecloses) {
+  Fixture fx;
+  // The breaker opens on real corruption, then the probe (one clean
+  // transmission, since the per-batch reseed gives each batch a fresh
+  // stream) may reclose it. With an aggressive open_after and a mild
+  // channel the breaker must cycle: some probes happen and succeed.
+  FleetConfig cfg;
+  cfg.batch_patterns = 2;
+  cfg.seed = 5;
+  cfg.retry.max_retries = 0;
+  cfg.breaker.open_after = 1;
+  cfg.breaker.probe_after = 1;
+
+  // The exact corruption odds depend on per-pattern TE lengths, so scan a
+  // few rates: the full open -> half-open -> closed cycle must be
+  // reachable at some of them (each individual run stays deterministic).
+  bool cycled = false;
+  for (const double rate : {0.01, 0.02, 0.04, 0.08, 0.15, 0.25}) {
+    std::vector<DeviceProfile> devices = clean_devices(1);
+    devices[0].channel.flip_rate = rate;
+    const FleetResult r = run_fleet(fx.netlist, fx.tests, cfg, devices);
+    const DeviceResult& d = r.devices[0];
+    EXPECT_LE(d.probe_successes, d.probes);
+    EXPECT_LE(d.probes, d.breaker_opens + 1);  // one probe per open window
+    if (d.breaker_opens > 0 && d.probe_successes > 0) {
+      cycled = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cycled) << "no scanned rate exhibited open -> probe -> close";
+}
+
+TEST(Fleet, TinyWatchdogBudgetTripsEveryDecode) {
+  Fixture fx;
+  FleetConfig cfg = small_batches();
+  cfg.watchdog_steps = 2;  // below the cost of even one block
+  cfg.retry.max_retries = 1;
+  const FleetResult r =
+      run_fleet(fx.netlist, fx.tests, cfg, clean_devices(2));
+  EXPECT_TRUE(r.complete);  // bounded: trips, never hangs
+  EXPECT_GT(r.watchdog_trips, 0u);
+  for (const DeviceResult& d : r.devices) {
+    EXPECT_NE(d.verdict, DeviceVerdict::kPassed);
+    EXPECT_EQ(d.session.patterns_applied, 0u);
+    // Fail-safe: every unstreamed pattern is recorded as failed.
+    for (std::size_t p = 0; p < d.session.pattern_failed.size(); ++p)
+      EXPECT_TRUE(d.session.pattern_failed[p]);
+  }
+}
+
+TEST(Fleet, AbortAfterAbortsOnlyTheDevice) {
+  Fixture fx;
+  std::vector<DeviceProfile> devices = clean_devices(2);
+  devices[0].channel.flip_rate = 0.45;
+
+  FleetConfig cfg = small_batches();
+  cfg.retry.max_retries = 0;
+  cfg.breaker.open_after = 1000;  // keep the breaker out of the way
+  cfg.retry.abort_after = 1;
+  const FleetResult r = run_fleet(fx.netlist, fx.tests, cfg, devices);
+  EXPECT_EQ(r.devices[0].verdict, DeviceVerdict::kAborted);
+  EXPECT_EQ(r.devices[1].verdict, DeviceVerdict::kPassed);
+  EXPECT_EQ(r.devices[1].session.patterns_applied, fx.tests.pattern_count());
+  EXPECT_EQ(r.aborted, 1u);
+}
+
+TEST(Fleet, CancelStopsAtBatchBoundary) {
+  Fixture fx;
+  core::CancelToken cancel;
+  cancel.cancel();
+  FleetConfig cfg = small_batches();
+  cfg.cancel = &cancel;
+  const FleetResult r =
+      run_fleet(fx.netlist, fx.tests, cfg, clean_devices(2));
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.batches_run, 0u);
+}
+
+}  // namespace
+}  // namespace nc::decomp

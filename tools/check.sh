@@ -2,7 +2,8 @@
 # CI entry point: run the tier-1 verify three ways -- a plain build, an
 # ASan/UBSan-instrumented one, and a ThreadSanitizer build that runs the
 # concurrency suites (thread pool, sharded parallel codec, container
-# format) to catch data races in the parallel pipeline.
+# format, fleet session manager, decoder fuzz/watchdog) to catch data
+# races in the parallel pipeline.
 #
 #   tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 #
@@ -43,10 +44,11 @@ if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
   cmake -B "$builddir" -S "$repo" -DNC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$builddir" -j "$jobs" \
-    --target thread_pool_test parallel_pipeline_test sharded_format_test
+    --target thread_pool_test parallel_pipeline_test sharded_format_test \
+    fleet_test decoder_fuzz_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$builddir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat'
+    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|Watchdog'
 fi
 
 echo "== check.sh: all suites green =="

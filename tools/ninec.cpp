@@ -7,6 +7,8 @@
 //                   [--shards N] [--jobs N]
 //   ninec decompress --in te.9c --out back.tests [--jobs N]
 //   ninec stats     --in td.tests [--k-min 4] [--k-max 32]
+//   ninec fleet     --bench c.bench --tests td.tests --devices N
+//                   [--inject SPECS] [--checkpoint FILE] [--resume] ...
 //
 // Test sets travel as text (one pattern per line, 0/1/X; '#' comments) when
 // the file ends in .tests/.txt and as the packed binary format of
@@ -17,15 +19,20 @@
 // concurrently behind a per-shard offset/length/CRC index, which decompress
 // decodes with --jobs workers. --jobs 0 means one per hardware thread.
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "atpg/atpg.h"
 #include "bits/serialize.h"
 #include "decomp/ate_session.h"
+#include "decomp/fleet.h"
 #include "circuit/bench_io.h"
 #include "circuit/generator.h"
 #include "codec/nine_coded.h"
@@ -58,8 +65,36 @@ using nc::bits::TritVector;
       "             [--inject SPEC] [--retry N] [--abort-after N]\n"
       "             SPEC: flip=R,burst=R[:LEN],trunc=R,stuck=R,seed=N\n"
       "             (faulty ATE channel; detected corruptions re-stream the\n"
-      "             pattern up to --retry times, default 3)\n";
+      "             pattern up to --retry times, default 3)\n"
+      "  fleet      --bench FILE --tests FILE --devices N [--inject SPECS]\n"
+      "             [--checkpoint FILE] [--resume] [--watchdog-steps N]\n"
+      "             [--breaker-threshold N] [--breaker-probe N] [--batch N]\n"
+      "             [--jobs N] [--retry N] [--seed N] [--k N] [--p N]\n"
+      "             (N devices through per-device faulty channels with\n"
+      "             retry, watchdog, circuit breaker and an NC9J checkpoint\n"
+      "             journal; SPECS may be ';'-separated, assigned to\n"
+      "             devices round-robin)\n"
+      "count options (--devices, --shards, --jobs, --batch, --k, --p, ...)\n"
+      "take a positive integer; --shards/--jobs also accept 'auto' (one\n"
+      "shard/worker per hardware thread). Malformed values exit with code 2.\n";
   std::exit(error.empty() ? 0 : 2);
+}
+
+/// Strict non-negative integer: the whole text must be digits and fit in
+/// size_t. Anything else -- sign, trailing junk, empty, overflow -- is a
+/// usage error (exit 2), never a silent 0 or a stoul crash.
+std::size_t parse_size(const std::string& key, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos)
+    usage("--" + key + " expects a non-negative integer, got '" + text + "'");
+  try {
+    const unsigned long long v = std::stoull(text);
+    if (v > std::numeric_limits<std::size_t>::max())
+      throw std::out_of_range(text);
+    return static_cast<std::size_t>(v);
+  } catch (const std::out_of_range&) {
+    usage("--" + key + " value '" + text + "' is out of range");
+  }
 }
 
 /// Tiny flag parser: --name value pairs plus boolean switches.
@@ -87,7 +122,22 @@ class Args {
     return values_.at(key);
   }
   std::size_t get_size(const std::string& key, std::size_t fallback) const {
-    return has(key) ? std::stoul(values_.at(key)) : fallback;
+    return has(key) ? parse_size(key, values_.at(key)) : fallback;
+  }
+
+  /// Count flag: a positive integer. When `auto_value` is set, the literal
+  /// "auto" is also accepted and maps to it (the library's 0-means-auto
+  /// convention, which the CLI spells out instead of accepting a bare 0).
+  std::size_t get_count(const std::string& key, std::size_t fallback,
+                        std::optional<std::size_t> auto_value = {}) const {
+    if (!has(key)) return fallback;
+    const std::string& text = values_.at(key);
+    if (auto_value.has_value() && text == "auto") return *auto_value;
+    const std::size_t v = parse_size(key, text);
+    if (v == 0)
+      usage("--" + key + " must be >= 1" +
+            std::string(auto_value.has_value() ? " (or 'auto')" : ""));
+    return v;
   }
 
  private:
@@ -226,7 +276,7 @@ int cmd_atpg(const Args& args) {
 
 int cmd_compress(const Args& args) {
   const TestSet td = load_tests(args.require("in"));
-  const std::size_t k = args.get_size("k", 8);
+  const std::size_t k = args.get_count("k", 8);
   const TritVector stream = td.flatten();
   const nc::codec::NineCoded coder =
       args.has("freq-directed")
@@ -236,8 +286,8 @@ int cmd_compress(const Args& args) {
     // Sharded container: --shards 0 (or absent) means one shard per job.
     nc::codec::ShardedStats sstats;
     const TritVector container = nc::codec::encode_sharded(
-        coder, td, args.get_size("shards", 0), args.get_size("jobs", 1),
-        &sstats);
+        coder, td, args.get_count("shards", 0, std::size_t{0}),
+        args.get_count("jobs", 1, std::size_t{0}), &sstats);
     save_stream(args.require("out"), coder, td, container, /*sharded=*/true);
     std::cout << coder.name() << ": " << td.bit_count() << " -> "
               << sstats.total_bits << " bits in " << sstats.shard_count
@@ -259,10 +309,12 @@ int cmd_compress(const Args& args) {
 }
 
 int cmd_decompress(const Args& args) {
+  // Validate up front: a bad --jobs must exit 2 even when the input turns
+  // out to be a plain (unsharded) stream that decodes serially.
+  const std::size_t jobs = args.get_count("jobs", 1, std::size_t{0});
   const LoadedStream s = load_stream(args.require("in"));
   if (s.sharded) {
-    const TestSet back =
-        nc::codec::decode_sharded(s.coder, s.te, args.get_size("jobs", 1));
+    const TestSet back = nc::codec::decode_sharded(s.coder, s.te, jobs);
     save_tests(args.require("out"), back);
     std::cout << "decoded " << back.pattern_count() << " x "
               << back.pattern_length() << " patterns (sharded) -> "
@@ -280,8 +332,8 @@ int cmd_decompress(const Args& args) {
 int cmd_stats(const Args& args) {
   const TestSet td = load_tests(args.require("in"));
   const TritVector stream = td.flatten();
-  const std::size_t k_min = args.get_size("k-min", 4);
-  const std::size_t k_max = args.get_size("k-max", 32);
+  const std::size_t k_min = args.get_count("k-min", 4);
+  const std::size_t k_max = args.get_count("k-max", 32);
   nc::report::Table table("9C sweep of " + args.get("in") + " (" +
                           std::to_string(stream.size()) + " bits, " +
                           std::to_string(100.0 * stream.x_fraction()) +
@@ -301,7 +353,7 @@ int cmd_stats(const Args& args) {
 }
 
 int cmd_rtl(const Args& args) {
-  const std::size_t k = args.get_size("k", 8);
+  const std::size_t k = args.get_count("k", 8);
   nc::codec::CodewordTable table = nc::codec::CodewordTable::standard();
   if (args.has("freq-directed")) {
     // Tune the codeword tree to a training test set.
@@ -331,10 +383,10 @@ int cmd_session(const Args& args) {
       nc::circuit::load_bench_file(args.require("bench"));
   const TestSet tests = load_tests(args.require("tests"));
   nc::decomp::SessionConfig cfg;
-  cfg.block_size = args.get_size("k", 8);
-  cfg.p = static_cast<unsigned>(args.get_size("p", 8));
-  cfg.jobs = args.get_size("jobs", 1);
-  cfg.shards = args.get_size("shards", 0);
+  cfg.block_size = args.get_count("k", 8);
+  cfg.p = static_cast<unsigned>(args.get_count("p", 8));
+  cfg.jobs = args.get_count("jobs", 1, std::size_t{0});
+  cfg.shards = args.get_count("shards", 0, std::size_t{0});
   if (args.has("inject") || args.has("retry") || args.has("abort-after")) {
     nc::decomp::ResilienceConfig res;
     if (args.has("inject"))
@@ -374,6 +426,83 @@ int cmd_session(const Args& args) {
   return r.device_passes() ? 0 : 1;
 }
 
+int cmd_fleet(const Args& args) {
+  const nc::circuit::Netlist nl =
+      nc::circuit::load_bench_file(args.require("bench"));
+  const TestSet tests = load_tests(args.require("tests"));
+
+  nc::decomp::FleetConfig cfg;
+  cfg.block_size = args.get_count("k", 8);
+  cfg.p = static_cast<unsigned>(args.get_count("p", 8));
+  cfg.retry.max_retries = static_cast<unsigned>(args.get_size("retry", 3));
+  if (args.has("abort-after"))
+    cfg.retry.abort_after = args.get_count("abort-after", 1);
+  cfg.breaker.open_after =
+      static_cast<unsigned>(args.get_count("breaker-threshold", 3));
+  cfg.breaker.probe_after = args.get_size("breaker-probe", 2);
+  cfg.watchdog_steps = args.get_size("watchdog-steps", 0);  // 0 = auto
+  cfg.batch_patterns = args.get_count("batch", 8);
+  cfg.jobs = args.get_count("jobs", 1, std::size_t{0});
+  cfg.seed = args.get_size("seed", 1);
+  cfg.checkpoint_path = args.get("checkpoint");
+  cfg.resume = args.has("resume");
+  if (args.has("stop-after"))
+    cfg.stop_after_batches = args.get_count("stop-after", 1);
+  if (cfg.resume && cfg.checkpoint_path.empty())
+    usage("--resume needs --checkpoint");
+
+  // One profile per device; a ';'-separated --inject list is assigned
+  // round-robin, so heterogeneous fleets are one flag away.
+  const std::size_t devices = args.get_count("devices", 4);
+  std::vector<nc::decomp::DeviceProfile> profiles(devices);
+  if (args.has("inject")) {
+    std::vector<nc::decomp::ChannelConfig> specs;
+    const std::string& list = args.get("inject");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t split = std::min(list.find(';', start), list.size());
+      specs.push_back(
+          nc::decomp::ChannelConfig::parse(list.substr(start, split - start)));
+      start = split + 1;
+    }
+    for (std::size_t i = 0; i < devices; ++i)
+      profiles[i].channel = specs[i % specs.size()];
+  }
+
+  const nc::decomp::FleetResult r =
+      nc::decomp::run_fleet(nl, tests, cfg, profiles);
+
+  std::cout << "fleet: " << devices << " devices x "
+            << tests.pattern_count() << " patterns, " << r.batches_run
+            << " batches (" << cfg.batch_patterns << " patterns each)"
+            << (r.resumed ? ", resumed" : "")
+            << (r.complete ? "" : ", STOPPED EARLY") << '\n';
+  for (std::size_t i = 0; i < r.devices.size(); ++i) {
+    const nc::decomp::DeviceResult& d = r.devices[i];
+    std::cout << "  device " << i << ": "
+              << nc::decomp::to_string(d.verdict) << " (breaker "
+              << nc::decomp::to_string(d.breaker) << ", "
+              << d.session.failing_patterns << " failing, "
+              << d.session.retries << " retries, " << d.watchdog_trips
+              << " watchdog trips, " << d.patterns_skipped << " skipped)\n";
+  }
+  std::cout << "verdicts: " << r.passed << " passed, " << r.failed
+            << " failed, " << r.quarantined << " quarantined, " << r.aborted
+            << " aborted\n"
+            << "channel: " << r.ate_bits << " ATE bits applied, "
+            << r.wasted_ate_bits << " wasted, " << r.retries << " retries, "
+            << r.watchdog_trips << " watchdog trips, " << r.patterns_skipped
+            << " patterns skipped\n";
+  if (!cfg.checkpoint_path.empty())
+    std::cout << "journal: " << cfg.checkpoint_path << " ("
+              << r.checkpoints_written << " checkpoints written)\n";
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(nc::decomp::fleet_fingerprint(r)));
+  std::cout << "fingerprint: " << fp << '\n';
+  return r.complete && r.passed == devices ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -389,6 +518,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "rtl") return cmd_rtl(args);
     if (command == "session") return cmd_session(args);
+    if (command == "fleet") return cmd_fleet(args);
     if (command == "help" || command == "--help") usage();
     usage("unknown command " + command);
   } catch (const std::exception& e) {
