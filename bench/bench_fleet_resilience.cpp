@@ -24,6 +24,7 @@
 #include "atpg/atpg.h"
 #include "circuit/generator.h"
 #include "decomp/fleet.h"
+#include "report/json.h"
 #include "report/table.h"
 
 namespace {
@@ -96,6 +97,13 @@ int main() {
   out.set_header({"scenario", "pat/s", "ATE bits", "waste%", "retries",
                   "wdog", "quarant", "skipped"});
 
+  nc::report::Json doc = nc::report::Json::object();
+  doc["bench"] = "fleet_resilience";
+  doc["devices"] = 16;
+  doc["patterns_per_device"] =
+      static_cast<std::uint64_t>(tests.pattern_count());
+  nc::report::Json rows = nc::report::Json::array();
+
   for (const Scenario& scenario : scenarios) {
     const auto start = Clock::now();
     const nc::decomp::FleetResult r =
@@ -103,6 +111,20 @@ int main() {
     const double elapsed = seconds_since(start);
     std::size_t applied = 0;
     for (const auto& d : r.devices) applied += d.session.patterns_applied;
+
+    nc::report::Json row = nc::report::Json::object();
+    row["scenario"] = scenario.name;
+    row["patterns_per_s"] =
+        elapsed > 0 ? static_cast<double>(applied) / elapsed : 0.0;
+    row["ate_bits"] = static_cast<std::uint64_t>(r.ate_bits);
+    row["wasted_ate_bits"] = static_cast<std::uint64_t>(r.wasted_ate_bits);
+    row["retries"] = static_cast<std::uint64_t>(r.retries);
+    row["watchdog_trips"] = static_cast<std::uint64_t>(r.watchdog_trips);
+    row["quarantined"] = static_cast<std::uint64_t>(r.quarantined);
+    row["patterns_skipped"] =
+        static_cast<std::uint64_t>(r.patterns_skipped);
+    rows.push_back(std::move(row));
+
     out.row()
         .add(scenario.name)
         .add(elapsed > 0 ? static_cast<double>(applied) / elapsed : 0.0, 0)
@@ -146,5 +168,12 @@ int main() {
       "\ncheckpoint journal: %.3fs -> %.3fs per mixed-fleet run "
       "(%+.2f%% overhead, target < 2%%)\n",
       without, with, overhead);
+
+  doc["rows"] = std::move(rows);
+  doc["checkpoint_seconds_without"] = without;
+  doc["checkpoint_seconds_with"] = with;
+  doc["checkpoint_overhead_percent"] = overhead;
+  nc::report::write_json_file("BENCH_fleet_resilience.json", doc);
+  std::printf("wrote BENCH_fleet_resilience.json\n");
   return 0;
 }

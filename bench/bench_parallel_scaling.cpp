@@ -17,6 +17,7 @@
 #include "codec/nine_coded.h"
 #include "codec/sharded.h"
 #include "core/thread_pool.h"
+#include "report/json.h"
 #include "report/table.h"
 
 namespace {
@@ -66,6 +67,15 @@ int main() {
       nc::codec::encode_sharded(coder, td, shards, 1, &stats);
   const double mbits = static_cast<double>(td.bit_count()) / 1e6;
 
+  nc::report::Json doc = nc::report::Json::object();
+  doc["bench"] = "parallel_scaling";
+  doc["circuit"] = largest->name;
+  doc["bits"] = static_cast<std::uint64_t>(td.bit_count());
+  doc["shards"] = static_cast<std::uint64_t>(shards);
+  doc["hardware_threads"] =
+      static_cast<std::uint64_t>(nc::core::ThreadPool::hardware_threads());
+  nc::report::Json rows = nc::report::Json::array();
+
   bool deterministic = true;
   double enc_base = 0.0, dec_base = 0.0;
   double enc_speedup_at_8 = 1.0;
@@ -93,6 +103,14 @@ int main() {
         .add(mbits / dec_s, 2)
         .add(dec_base / dec_s, 2)
         .add(stats.index_overhead_percent(), 3);
+
+    nc::report::Json row = nc::report::Json::object();
+    row["jobs"] = static_cast<std::uint64_t>(jobs);
+    row["encode_mbit_s"] = mbits / enc_s;
+    row["encode_speedup"] = enc_base / enc_s;
+    row["decode_mbit_s"] = mbits / dec_s;
+    row["decode_speedup"] = dec_base / dec_s;
+    rows.push_back(std::move(row));
   }
   out.print(std::cout);
 
@@ -108,5 +126,12 @@ int main() {
   const bool overhead_ok = stats.index_overhead_percent() < 2.0;
   std::cout << "index overhead < 2%: " << (overhead_ok ? "yes" : "NO")
             << '\n';
+
+  doc["rows"] = std::move(rows);
+  doc["index_overhead_percent"] = stats.index_overhead_percent();
+  doc["encode_speedup_at_8"] = enc_speedup_at_8;
+  doc["deterministic"] = deterministic;
+  nc::report::write_json_file("BENCH_parallel_scaling.json", doc);
+  std::cout << "wrote BENCH_parallel_scaling.json\n";
   return deterministic && overhead_ok ? 0 : 1;
 }

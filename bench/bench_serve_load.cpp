@@ -1,0 +1,134 @@
+// Load benchmark of the compression service (src/serve): an in-process
+// Server driven by the loadgen at three operating points -- clean channel,
+// fault-injected channel, and deliberate overload -- reporting throughput,
+// p50/p99 request latency, cache hit rate and rejection rate. Every number
+// also lands in BENCH_serve_load.json for the perf trajectory.
+//
+// The exit code is an acceptance gate: all runs must be clean (every reply
+// byte-identical to the serial reference or a typed error; zero lost,
+// duplicated or corrupted responses).
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "report/json.h"
+#include "report/table.h"
+#include "serve/loadgen.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+struct RunResult {
+  nc::serve::LoadgenStats load;
+  nc::serve::Metrics::Snapshot metrics;
+  nc::serve::CacheStats cache;
+};
+
+RunResult run_point(const nc::serve::ServerConfig& sconfig,
+                    const nc::serve::LoadgenConfig& lconfig) {
+  nc::serve::Server server(sconfig);
+  RunResult r;
+  r.load = nc::serve::run_loadgen_inprocess(lconfig, server);
+  r.metrics = server.metrics_snapshot();
+  r.cache = server.cache_stats();
+  server.stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  nc::serve::ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.queue_capacity = 128;
+  sconfig.inflight_cap = 16;
+
+  nc::serve::LoadgenConfig base;
+  base.clients = 8;
+  base.requests_per_client = 40;
+  base.pipeline = 4;
+  base.distinct = 6;
+  base.patterns = 16;
+  base.width = 64;
+
+  struct Point {
+    const char* name;
+    nc::serve::ServerConfig server;
+    nc::serve::LoadgenConfig load;
+  };
+  std::vector<Point> points;
+  points.push_back({"clean x8", sconfig, base});
+  {
+    nc::serve::LoadgenConfig faulty = base;
+    faulty.fault_period = 4;
+    faulty.channel.flip_rate = 2e-3;
+    faulty.channel.truncate_rate = 0.05;
+    points.push_back({"faulty ch x8", sconfig, faulty});
+  }
+  {
+    // Overload: a tiny queue and inflight cap against an aggressive
+    // pipeline, so admission control has to reject.
+    nc::serve::ServerConfig tight = sconfig;
+    tight.queue_capacity = 4;
+    tight.inflight_cap = 2;
+    tight.batch_window = std::chrono::milliseconds(5);
+    nc::serve::LoadgenConfig heavy = base;
+    heavy.pipeline = 8;
+    points.push_back({"overload x8", tight, heavy});
+  }
+
+  nc::report::Table out(
+      "Compression service under load -- 8 concurrent clients "
+      "(in-process pipes, K=8)");
+  out.set_header({"scenario", "req/s", "p50 us", "p99 us", "hit%", "rej%",
+                  "retrans", "clean"});
+
+  nc::report::Json doc = nc::report::Json::object();
+  doc["bench"] = "serve_load";
+  doc["clients"] = static_cast<std::uint64_t>(base.clients);
+  nc::report::Json runs = nc::report::Json::array();
+  bool all_clean = true;
+  for (const Point& point : points) {
+    const RunResult r = run_point(point.server, point.load);
+    all_clean = all_clean && r.load.clean();
+    const auto& lat = r.metrics.request_latency;
+    out.row()
+        .add(point.name)
+        .add(r.load.throughput_rps(), 0)
+        .add(lat.quantile_micros(0.50))
+        .add(lat.quantile_micros(0.99))
+        .add(100.0 * r.cache.hit_rate(), 1)
+        .add(100.0 * r.metrics.rejection_rate(), 1)
+        .add(r.load.retransmits)
+        .add(r.load.clean() ? "yes" : "NO");
+
+    nc::report::Json run = nc::report::Json::object();
+    run["scenario"] = point.name;
+    run["requests"] = r.load.requests;
+    run["throughput_rps"] = r.load.throughput_rps();
+    run["p50_us"] = lat.quantile_micros(0.50);
+    run["p99_us"] = lat.quantile_micros(0.99);
+    run["mean_us"] = lat.mean_micros();
+    run["cache_hit_rate"] = r.cache.hit_rate();
+    run["rejection_rate"] = r.metrics.rejection_rate();
+    run["typed_rejections"] = r.load.typed_rejections;
+    run["retransmits"] = r.load.retransmits;
+    run["corrupted_sends"] = r.load.corrupted_sends;
+    run["frame_errors"] = r.load.frame_errors;
+    run["byte_mismatches"] = r.load.byte_mismatches;
+    run["duplicates"] = r.load.duplicates;
+    run["unresolved"] = r.load.unresolved;
+    run["mean_batch_size"] = r.metrics.mean_batch_size();
+    run["clean"] = r.load.clean();
+    runs.push_back(std::move(run));
+  }
+  doc["runs"] = std::move(runs);
+  out.print(std::cout);
+
+  nc::report::write_json_file("BENCH_serve_load.json", doc);
+  std::cout << "\nwrote BENCH_serve_load.json\n";
+  std::cout << "all runs clean (byte-identical or typed error): "
+            << (all_clean ? "yes" : "NO") << '\n';
+  return all_clean ? 0 : 1;
+}

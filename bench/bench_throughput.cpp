@@ -1,7 +1,11 @@
 // Software throughput of the coders (google-benchmark). Not a paper table;
 // documents that the encoder is linear-time and fast enough for the
-// multi-Mbit industrial sweeps of Table VIII.
+// multi-Mbit industrial sweeps of Table VIII. Unless the caller passes its
+// own --benchmark_out, results are also written to BENCH_throughput.json.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "baselines/fdr.h"
 #include "baselines/golomb.h"
@@ -65,4 +69,23 @@ BENCHMARK(BM_GolombEncode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_throughput.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool caller_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+      caller_out = true;
+  if (!caller_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

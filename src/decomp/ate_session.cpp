@@ -9,6 +9,7 @@
 #include "codec/sharded.h"
 #include "core/thread_pool.h"
 #include "decomp/response_compare.h"
+#include "decomp/retry.h"
 #include "decomp/single_scan.h"
 #include "sim/logic_sim.h"
 
@@ -141,46 +142,12 @@ SessionResult run_resilient(const circuit::Netlist& netlist,
     const TritVector cube = cubes.pattern(pat);
     const TritVector te = coder.encode(cube);
 
-    bool applied_ok = false;
-    unsigned used_retries = 0;
-    TritVector applied;
-    while (true) {
-      const TritVector rx = channel.transmit(te);
-      const bool corrupted = channel.last_corrupted();
+    // Shared transmit/decode/validate/re-stream loop (decomp/retry.h);
+    // this path runs it unguarded (no watchdog), the paper model.
+    StreamOutcome streamed = stream_pattern_with_retry(
+        channel, decoder, te, cube, res.retry.max_retries + 1, result);
 
-      bool detected = false;
-      DecoderTrace trace;
-      try {
-        trace = decoder.run(rx, cube.size());
-      } catch (const codec::DecodeError&) {
-        detected = true;  // decode-level detection (typed, per-block)
-      }
-      // Stimulus check: a decoded pattern that contradicts a specified
-      // stimulus bit is what the response compare against the fault-free
-      // expectation exposes on the tester -- the pattern cannot be trusted,
-      // so it is re-streamed rather than reported as a device verdict.
-      if (!detected && !cube.covered_by(trace.scan_stream)) detected = true;
-
-      if (!detected) {
-        // Either the link was clean, or every corrupted symbol landed on a
-        // leftover-X position (a legal fill): provably X-masked.
-        if (corrupted) ++result.corruptions_undetected;
-        applied = std::move(trace.scan_stream);
-        applied_ok = true;
-        result.ate_bits += rx.size();
-        result.soc_cycles += trace.soc_cycles + 1;  // + capture cycle
-        break;
-      }
-
-      ++result.corruptions_detected;
-      result.wasted_ate_bits += rx.size();
-      if (used_retries >= res.retry.max_retries) break;  // budget exhausted
-      ++used_retries;
-      ++result.retries;
-    }
-    if (used_retries > 0) ++result.patterns_retried;
-
-    if (!applied_ok) {
+    if (!streamed.applied) {
       // Fail-safe: an unstreamable pattern is never reported as passing.
       ++result.patterns_unrecovered;
       result.pattern_failed.push_back(true);
@@ -191,7 +158,7 @@ SessionResult run_resilient(const circuit::Netlist& netlist,
       continue;
     }
 
-    const bool failed = compare.pattern_fails(applied, fault);
+    const bool failed = compare.pattern_fails(streamed.scan_stream, fault);
     result.pattern_failed.push_back(failed);
     if (failed) ++result.failing_patterns;
     ++result.patterns_applied;

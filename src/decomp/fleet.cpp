@@ -14,6 +14,7 @@
 #include "core/parallel.h"
 #include "core/thread_pool.h"
 #include "decomp/response_compare.h"
+#include "decomp/retry.h"
 #include "decomp/single_scan.h"
 
 namespace nc::decomp {
@@ -373,50 +374,21 @@ class FleetRunner {
     // A half-open breaker risks exactly one transmission on the device.
     const unsigned attempts = probe ? 1 : config_.retry.max_retries + 1;
 
-    bool applied_ok = false;
-    unsigned used_retries = 0;
-    TritVector applied;
-    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
-      const TritVector rx = st.channel.transmit(te);
-      const bool corrupted = st.channel.last_corrupted();
+    // Shared transmit/decode/validate/re-stream loop (decomp/retry.h),
+    // here with the fleet's per-attempt watchdog budget.
+    const StreamOutcome streamed = stream_pattern_with_retry(
+        st.channel, decoder_, te, cube, attempts, st.session,
+        [this](std::size_t rx_symbols) { return watchdog_budget(rx_symbols); });
+    st.watchdog_trips += streamed.watchdog_trips;
 
-      bool detected = false;
-      core::Watchdog watchdog(watchdog_budget(rx.size()));
-      DecoderTrace trace;
-      try {
-        trace = decoder_.run(rx, cube.size(), &watchdog);
-      } catch (const codec::DecodeError& e) {
-        detected = true;
-        if (e.fault() == codec::DecodeFault::kWatchdogExpired)
-          ++st.watchdog_trips;
-      }
-      if (!detected && !cube.covered_by(trace.scan_stream)) detected = true;
-
-      if (!detected) {
-        if (corrupted) ++st.session.corruptions_undetected;
-        st.session.ate_bits += rx.size();
-        st.session.soc_cycles += trace.soc_cycles + 1;  // + capture cycle
-        applied = std::move(trace.scan_stream);
-        applied_ok = true;
-        break;
-      }
-      ++st.session.corruptions_detected;
-      st.session.wasted_ate_bits += rx.size();
-      if (attempt + 1 < attempts) {
-        ++used_retries;
-        ++st.session.retries;
-      }
-    }
-    if (used_retries > 0) ++st.session.patterns_retried;
-
-    if (applied_ok) {
+    if (streamed.applied) {
       st.consecutive_failures = 0;
       if (probe) {
         ++st.probe_successes;
         st.breaker = BreakerState::kClosed;
       }
       const bool failed =
-          st.compare->pattern_fails(applied, profiles_[dev].fault);
+          st.compare->pattern_fails(streamed.scan_stream, profiles_[dev].fault);
       st.session.pattern_failed.push_back(failed);
       if (failed) ++st.session.failing_patterns;
       ++st.session.patterns_applied;

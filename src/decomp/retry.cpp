@@ -1,0 +1,63 @@
+#include "decomp/retry.h"
+
+#include <utility>
+
+#include "codec/decode_error.h"
+#include "core/cancel.h"
+
+namespace nc::decomp {
+
+StreamOutcome stream_pattern_with_retry(ChannelModel& channel,
+                                        const SingleScanDecoder& decoder,
+                                        const bits::TritVector& te,
+                                        const bits::TritVector& cube,
+                                        unsigned attempts,
+                                        SessionResult& session,
+                                        const WatchdogBudgetFn& budget) {
+  StreamOutcome out;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    const bits::TritVector rx = channel.transmit(te);
+    const bool corrupted = channel.last_corrupted();
+
+    bool detected = false;
+    DecoderTrace trace;
+    try {
+      if (budget) {
+        core::Watchdog watchdog(budget(rx.size()));
+        trace = decoder.run(rx, cube.size(), &watchdog);
+      } else {
+        trace = decoder.run(rx, cube.size());
+      }
+    } catch (const codec::DecodeError& e) {
+      detected = true;  // decode-level detection (typed, per-block)
+      if (e.fault() == codec::DecodeFault::kWatchdogExpired)
+        ++out.watchdog_trips;
+    }
+    // Stimulus check: a decoded pattern that contradicts a specified
+    // stimulus bit cannot be trusted, so it is re-streamed rather than
+    // reported as a device verdict.
+    if (!detected && !cube.covered_by(trace.scan_stream)) detected = true;
+
+    if (!detected) {
+      // Either the link was clean, or every corrupted symbol landed on a
+      // leftover-X position (a legal fill): provably X-masked.
+      if (corrupted) ++session.corruptions_undetected;
+      session.ate_bits += rx.size();
+      session.soc_cycles += trace.soc_cycles + 1;  // + capture cycle
+      out.scan_stream = std::move(trace.scan_stream);
+      out.applied = true;
+      break;
+    }
+
+    ++session.corruptions_detected;
+    session.wasted_ate_bits += rx.size();
+    if (attempt + 1 < attempts) {
+      ++out.used_retries;
+      ++session.retries;
+    }
+  }
+  if (out.used_retries > 0) ++session.patterns_retried;
+  return out;
+}
+
+}  // namespace nc::decomp

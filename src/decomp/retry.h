@@ -1,0 +1,56 @@
+// The per-pattern transmit / decode / validate / re-stream loop shared by
+// the resilient ATE session (ate_session.cpp) and the fleet manager
+// (fleet.cpp). Both call this helper so the retry semantics -- what counts
+// as a detected corruption, which attempt charges which SessionResult
+// counter, when a retry is booked -- exist exactly once:
+//
+//  * each attempt transmits `te` through the (fault-injecting) channel and
+//    decodes the received stream;
+//  * a corruption is DETECTED when the decode raises a typed
+//    codec::DecodeError or the decoded stream contradicts a specified
+//    stimulus bit of `cube` (covered_by check); either way the attempt's
+//    bits are booked as wasted and the pattern may be re-streamed;
+//  * a clean decode of a corrupted stream is provably X-masked (every
+//    corrupted symbol landed on a leftover-X fill) and is accepted, counted
+//    as an undetected corruption;
+//  * a retry is booked only when another attempt actually follows, so
+//    `retries` equals re-streams issued, never attempts budgeted.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "bits/trit_vector.h"
+#include "decomp/ate_session.h"
+#include "decomp/channel.h"
+#include "decomp/single_scan.h"
+
+namespace nc::decomp {
+
+/// Step budget for the watchdog guarding one decode attempt, as a function
+/// of the received stream's symbol count (truncation makes it per-attempt).
+/// An empty function runs the decode unguarded (the paper-model session).
+using WatchdogBudgetFn = std::function<std::size_t(std::size_t rx_symbols)>;
+
+/// What one pattern's streaming loop produced. `session` accumulation
+/// (ate_bits, soc_cycles, corruption/retry counters, patterns_retried)
+/// happens inside the helper; the caller handles only success/fail-safe.
+struct StreamOutcome {
+  bool applied = false;          // a trusted decode landed in scan_stream
+  unsigned used_retries = 0;     // re-streams this pattern consumed
+  std::size_t watchdog_trips = 0;
+  bits::TritVector scan_stream;  // valid when `applied`
+};
+
+/// Streams `te` (the compressed form of `cube`) through `channel` up to
+/// `attempts` times, decoding with `decoder`, accumulating accounting into
+/// `session`. Stops at the first trusted decode.
+StreamOutcome stream_pattern_with_retry(ChannelModel& channel,
+                                        const SingleScanDecoder& decoder,
+                                        const bits::TritVector& te,
+                                        const bits::TritVector& cube,
+                                        unsigned attempts,
+                                        SessionResult& session,
+                                        const WatchdogBudgetFn& budget = {});
+
+}  // namespace nc::decomp

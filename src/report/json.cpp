@@ -1,0 +1,144 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nc::report {
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out << buf;
+  // "%g" of a whole number prints no decimal point; keep the value a JSON
+  // number either way (it already is), nothing to fix up.
+}
+
+void newline_indent(std::ostream& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out << '\n';
+  for (int i = 0; i < indent * depth; ++i) out << ' ';
+}
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject)
+    throw std::logic_error("Json::operator[] on a non-object value");
+  for (auto& [k, v] : object_)
+    if (k == key) return v;
+  object_.emplace_back(key, Json());
+  return object_.back().second;
+}
+
+Json& Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray)
+    throw std::logic_error("Json::push_back on a non-array value");
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+std::size_t Json::size() const noexcept {
+  switch (kind_) {
+    case Kind::kArray: return array_.size();
+    case Kind::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+void Json::write(std::ostream& out, int indent) const {
+  write_impl(out, indent, 0);
+}
+
+void Json::write_impl(std::ostream& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out << "null"; break;
+    case Kind::kBool: out << (bool_ ? "true" : "false"); break;
+    case Kind::kInt: out << int_; break;
+    case Kind::kUint: out << uint_; break;
+    case Kind::kDouble: write_double(out, double_); break;
+    case Kind::kString: write_escaped(out, string_); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out << ',';
+        newline_indent(out, indent, depth + 1);
+        array_[i].write_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out << ',';
+        newline_indent(out, indent, depth + 1);
+        write_escaped(out, object_[i].first);
+        out << (indent > 0 ? ": " : ":");
+        object_[i].second.write_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out << '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream out;
+  write(out, indent);
+  return out.str();
+}
+
+void write_json_file(const std::string& path, const Json& json) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  json.write(out, 2);
+  out << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace nc::report

@@ -1,0 +1,82 @@
+// Minimal JSON value builder + writer for machine-readable bench and
+// metrics output.
+//
+// The bench binaries print paper-style text tables (table.h) for humans;
+// the perf trajectory needs the same numbers machine-readable, so every
+// scaling/throughput bench also drops a BENCH_<name>.json next to its
+// table, and the serve layer's Stats reply is a Json dump. The type is a
+// deliberately small subset of JSON:
+//  * objects preserve insertion order (stable diffs across runs);
+//  * numbers are int64 / uint64 / double; non-finite doubles emit null
+//    (JSON has no NaN/Inf);
+//  * no parsing -- this library only ever produces JSON.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nc::report {
+
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(long v) : kind_(Kind::kInt), int_(v) {}
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned v) : kind_(Kind::kUint), uint_(v) {}
+  Json(unsigned long v) : kind_(Kind::kUint), uint_(v) {}
+  Json(unsigned long long v) : kind_(Kind::kUint), uint_(v) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Object access: inserts a null member on first use (a null or default-
+  /// constructed Json silently becomes an object, so j["a"]["b"] = 1 works).
+  Json& operator[](const std::string& key);
+
+  /// Array append; a null Json silently becomes an array.
+  Json& push_back(Json v);
+
+  std::size_t size() const noexcept;
+
+  /// Serialization. `indent` 0 writes compact one-line JSON; > 0 pretty-
+  /// prints with that many spaces per level.
+  void write(std::ostream& out, int indent = 2) const;
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind : unsigned char {
+    kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject,
+  };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void write_impl(std::ostream& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Writes `json` (pretty-printed, trailing newline) to `path`; throws
+/// std::runtime_error on I/O failure. The bench binaries use this for their
+/// BENCH_<name>.json outputs.
+void write_json_file(const std::string& path, const Json& json);
+
+}  // namespace nc::report

@@ -1,0 +1,119 @@
+#include "serve/cache.h"
+
+#include <cstdio>
+
+namespace nc::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+constexpr std::uint64_t kFnvOffsetLo = 0xCBF29CE484222325ull;
+// A second, independent offset basis turns one FNV-1a pass into a 128-bit
+// address; both halves see every input byte.
+constexpr std::uint64_t kFnvOffsetHi = 0x6C62272E07BB0142ull;
+
+struct Fnv2 {
+  std::uint64_t lo = kFnvOffsetLo;
+  std::uint64_t hi = kFnvOffsetHi;
+
+  void update(std::uint8_t byte) noexcept {
+    lo = (lo ^ byte) * kFnvPrime;
+    hi = (hi ^ byte) * kFnvPrime;
+  }
+  void update_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) update(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void update_bytes(const std::uint8_t* data, std::size_t len) noexcept {
+    for (std::size_t i = 0; i < len; ++i) update(data[i]);
+  }
+};
+
+}  // namespace
+
+std::string CacheKey::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+CacheKey cache_key(FrameType kind, const CodecSpec& spec,
+                   const std::uint8_t* payload, std::size_t len) {
+  Fnv2 fnv;
+  fnv.update(static_cast<std::uint8_t>(kind));
+  fnv.update_u64(spec.k);
+  for (const unsigned l : spec.lengths) fnv.update(static_cast<std::uint8_t>(l));
+  fnv.update_u64(len);  // length-prefix the variable part
+  fnv.update_bytes(payload, len);
+  return {fnv.lo, fnv.hi};
+}
+
+ArtifactCache::ArtifactCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+std::optional<std::vector<std::uint8_t>> ArtifactCache::get(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  if (crc32(entry.payload.data(), entry.payload.size()) != entry.crc) {
+    stats_.bytes_stored -= entry.charged;
+    lru_.erase(it->second);
+    map_.erase(it);
+    stats_.entries = map_.size();
+    ++stats_.crc_drops;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  return entry.payload;
+}
+
+void ArtifactCache::put(const CacheKey& key,
+                        const std::vector<std::uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh: same content address implies same payload, so only recency
+    // and the CRC (guarding against in-memory rot) need updating.
+    it->second->crc = crc32(it->second->payload.data(),
+                            it->second->payload.size());
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.payload = payload;
+  entry.crc = crc32(payload.data(), payload.size());
+  entry.charged = charge(entry);
+  if (entry.charged > capacity_) return;  // would never fit
+  while (stats_.bytes_stored + entry.charged > capacity_ && !lru_.empty())
+    evict_lru_locked();
+  stats_.bytes_stored += entry.charged;
+  lru_.push_front(std::move(entry));
+  map_[key] = lru_.begin();
+  stats_.entries = map_.size();
+  ++stats_.insertions;
+}
+
+void ArtifactCache::evict_lru_locked() {
+  const Entry& victim = lru_.back();
+  stats_.bytes_stored -= victim.charged;
+  map_.erase(victim.key);
+  lru_.pop_back();
+  stats_.entries = map_.size();
+  ++stats_.evictions;
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace nc::serve

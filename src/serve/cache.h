@@ -1,0 +1,107 @@
+// Content-addressed artifact cache for the compression service.
+//
+// A 9C encode artifact is fully determined by its inputs: the test set's
+// bytes and the codec configuration (K, codeword lengths). The same holds
+// for a decode artifact given (TE bytes, geometry, config). That makes the
+// reply payload content-addressable: the cache key is a 128-bit FNV-1a
+// digest over a kind tag, the codec spec and the request payload bytes, so
+// identical requests -- from any client -- hit the same entry and receive a
+// byte-identical reply.
+//
+// Entries carry a CRC-32 of the stored payload, re-verified on every hit;
+// a corrupted entry is dropped and reported as a miss rather than served.
+// Eviction is strict LRU bounded by a byte capacity (key + payload bytes
+// are charged). All operations are thread-safe; stats are cumulative.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/frame.h"
+
+namespace nc::serve {
+
+/// 128-bit content address. FNV-1a run twice with different offset bases;
+/// not cryptographic, but collision-safe at cache scale and dependency-free.
+struct CacheKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const CacheKey&) const = default;
+  std::string hex() const;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// Digest of (artifact kind, codec spec, request payload bytes). `kind`
+/// separates encode from decode artifacts with identical input bytes.
+CacheKey cache_key(FrameType kind, const CodecSpec& spec,
+                   const std::uint8_t* payload, std::size_t len);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t crc_drops = 0;     // hits invalidated by CRC mismatch
+  std::uint64_t bytes_stored = 0;  // current charged bytes
+  std::uint64_t entries = 0;       // current entry count
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Thread-safe LRU artifact cache with a byte-capacity bound.
+class ArtifactCache {
+ public:
+  /// `capacity_bytes` bounds the sum of charged entry sizes (key size +
+  /// payload size). 0 disables storage: every get is a miss, puts drop.
+  explicit ArtifactCache(std::size_t capacity_bytes);
+
+  /// Returns a copy of the stored payload, refreshing recency. A stored
+  /// entry whose CRC no longer matches is evicted and counted in
+  /// `crc_drops`; the caller sees a miss.
+  std::optional<std::vector<std::uint8_t>> get(const CacheKey& key);
+
+  /// Inserts (or refreshes) the payload for `key`, evicting LRU entries
+  /// until the capacity bound holds. A payload larger than the whole
+  /// capacity is not stored.
+  void put(const CacheKey& key, const std::vector<std::uint8_t>& payload);
+
+  CacheStats stats() const;
+  std::size_t capacity_bytes() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::vector<std::uint8_t> payload;
+    std::uint32_t crc = 0;
+    std::size_t charged = 0;
+  };
+
+  std::size_t charge(const Entry& e) const noexcept {
+    return sizeof(CacheKey) + e.payload.size();
+  }
+  void evict_lru_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+  CacheStats stats_;
+};
+
+}  // namespace nc::serve

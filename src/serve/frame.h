@@ -1,0 +1,228 @@
+// Frame protocol of the compression service.
+//
+// Every message between a client and the server travels as one length-
+// prefixed, CRC-guarded frame over a ByteStream (transport.h). Layout
+// (little-endian):
+//
+//   offset size
+//   0      4    magic "NC9F"
+//   4      1    version (currently 1)
+//   5      1    frame type (FrameType)
+//   6      2    header CRC: low 16 bits of CRC-32 over bytes [4, 20) with
+//               this field zeroed
+//   8      8    seq -- client-chosen request id, echoed in the reply
+//   16     4    payload length N (<= FrameLimits::max_payload)
+//   20     N    payload
+//   20+N   4    CRC-32 (IEEE 802.3) over bytes [4, 20+N)
+//
+// Two checksums on purpose. The trailing CRC covers everything after the
+// magic, so any bit flip in header, seq, length or payload is detected --
+// but only once the full declared payload has arrived. The header CRC
+// validates the length field the moment the 20-byte header is buffered: a
+// bit flip in the length would otherwise leave the reader waiting
+// megabytes for a payload that never comes, wedging a live connection that
+// has no EOF to break the wait. The magic itself is the resync anchor.
+// FrameReader is an incremental parser built for a faulty world:
+//
+//  * a frame whose magic/version/length/CRC check fails is reported as ONE
+//    typed protocol error, then the reader silently scans forward to the
+//    next magic (resync) -- a corrupted frame costs one error reply, never
+//    the connection;
+//  * a stream that ends mid-frame reports kTruncated, then clean EOF;
+//  * an oversized declared length is rejected BEFORE buffering the payload
+//    (a forged length cannot make the server allocate or stall);
+//  * all scanning is metered by a core::Watchdog step budget, so crafted
+//    input yields a typed error within a known bound -- never a hang.
+//
+// Request/reply payload schemas (EncodeRequest etc.) live here too, built
+// on the serialized formats of bits/serialize.h so the service speaks the
+// same byte formats as the on-disk tooling.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "bits/trit_vector.h"
+#include "codec/nine_coded.h"
+#include "core/cancel.h"
+#include "serve/transport.h"
+
+namespace nc::serve {
+
+inline constexpr std::array<std::uint8_t, 4> kFrameMagic = {'N', 'C', '9',
+                                                            'F'};
+inline constexpr unsigned kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 20;
+inline constexpr std::size_t kFrameTrailerSize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected) over raw bytes; the frame trailer and the
+/// artifact cache's hit validation both use it.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept;
+
+enum class FrameType : std::uint8_t {
+  kSessionRequest = 1,  // open a named client session
+  kSessionReply,
+  kEncodeRequest,
+  kEncodeReply,
+  kDecodeRequest,
+  kDecodeReply,
+  kStatsRequest,
+  kStatsReply,
+  kError,  // typed error reply (ErrorCode + detail text)
+};
+
+/// Wire error codes carried by kError frames. The first group is emitted by
+/// the frame layer (FrameReader), the second by the server's request
+/// handling.
+enum class ErrorCode : std::uint16_t {
+  // frame layer
+  kBadMagic = 1,    // junk where a frame should start; reader resynced
+  kBadVersion,      // unsupported protocol version
+  kBadCrc,          // frame failed its CRC
+  kOversized,       // declared payload length above the limit
+  kTruncated,       // stream ended mid-frame
+  kResyncOverrun,   // resync scan exhausted its watchdog budget
+  kBadHeader,       // header CRC failed (e.g. a flipped length field)
+  // server layer
+  kBadType = 32,    // frame type is not a request the server accepts
+  kBadPayload,      // request payload failed to parse / validate
+  kOverloaded,      // admission control: request queue at capacity
+  kInflightLimit,   // admission control: per-client in-flight cap reached
+  kDecodeFailed,    // typed codec::DecodeError while serving the request
+  kShuttingDown,    // server is stopping
+};
+
+const char* to_string(ErrorCode code) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct FrameLimits {
+  std::size_t max_payload = 16u << 20;  // 16 MiB
+  /// Watchdog step budget per read() call: one step per byte scanned or
+  /// buffered. 0 derives 4 * (header + max_payload + trailer), which a
+  /// well-formed stream can never trip.
+  std::size_t watchdog_steps = 0;
+};
+
+/// Serializes a frame (header + payload + CRC) ready for write_all.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Serializes and writes `frame` to `stream` as one write_all call (the
+/// caller serializes concurrent writers).
+void write_frame(ByteStream& stream, const Frame& frame);
+
+/// Incremental, resyncing frame parser over one ByteStream.
+class FrameReader {
+ public:
+  explicit FrameReader(ByteStream& stream, FrameLimits limits = {});
+
+  enum class Status : std::uint8_t {
+    kFrame,          // `frame` holds a validated frame
+    kProtocolError,  // `error`/`detail` describe it; reader has resynced
+    kTimeout,        // nothing parseable within the deadline
+    kEof,            // orderly end of stream, buffer empty
+  };
+
+  struct Result {
+    Status status = Status::kEof;
+    Frame frame;
+    ErrorCode error = ErrorCode::kBadMagic;
+    std::string detail;
+  };
+
+  /// Returns the next frame, protocol error, timeout or EOF. Each call is
+  /// bounded by `timeout` wall-clock and by the configured watchdog step
+  /// budget; a single corrupted frame yields exactly one kProtocolError.
+  Result read(std::chrono::milliseconds timeout);
+
+  /// Bytes currently buffered (tests assert the oversized-length guard).
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  Result parse_step(core::Watchdog& watchdog, bool& need_more);
+  void consume(std::size_t n);
+
+  ByteStream& stream_;
+  FrameLimits limits_;
+  std::vector<std::uint8_t> buffer_;
+  bool eof_ = false;
+  bool resyncing_ = false;  // a reported bad frame is being skipped
+};
+
+// ------------------------------------------------------- message payloads
+//
+// Parse functions throw std::runtime_error / std::invalid_argument on any
+// malformed payload; the server maps both to ErrorCode::kBadPayload.
+
+/// The codec configuration a request names: block size K plus the nine
+/// codeword lengths (canonical prefix code, codec/codeword_table.h). The
+/// batching scheduler groups requests with equal specs; the artifact cache
+/// folds the spec into its content address.
+struct CodecSpec {
+  std::size_t k = 8;
+  std::array<unsigned, codec::kNumClasses> lengths =
+      {1, 2, 5, 5, 5, 5, 5, 5, 4};  // the paper's Table I assignment
+
+  bool operator==(const CodecSpec&) const = default;
+
+  /// Validates and instantiates the coder; throws std::invalid_argument on
+  /// an illegal K or a length set violating Kraft's inequality.
+  codec::NineCoded make_coder() const;
+};
+
+struct EncodeRequest {
+  CodecSpec spec;
+  bits::TestSet tests;
+};
+
+struct DecodeRequest {
+  CodecSpec spec;
+  std::size_t patterns = 0;
+  std::size_t width = 0;
+  bits::TritVector te;
+};
+
+std::vector<std::uint8_t> to_payload(const EncodeRequest& req);
+EncodeRequest parse_encode_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> to_payload(const DecodeRequest& req);
+DecodeRequest parse_decode_request(const std::vector<std::uint8_t>& payload);
+
+/// Encode replies carry the serialized TE trit stream; decode replies the
+/// serialized test set (both bits/serialize.h formats).
+std::vector<std::uint8_t> trits_payload(const bits::TritVector& v);
+bits::TritVector parse_trits_payload(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> test_set_payload(const bits::TestSet& ts);
+bits::TestSet parse_test_set_payload(const std::vector<std::uint8_t>& payload);
+
+/// Session request payload: the client's self-reported name.
+std::vector<std::uint8_t> session_payload(const std::string& name);
+std::string parse_session_payload(const std::vector<std::uint8_t>& payload);
+
+/// Session reply payload: assigned client id + granted in-flight cap.
+struct SessionGrant {
+  std::uint64_t client_id = 0;
+  std::uint32_t inflight_cap = 0;
+};
+std::vector<std::uint8_t> session_grant_payload(const SessionGrant& grant);
+SessionGrant parse_session_grant(const std::vector<std::uint8_t>& payload);
+
+/// Error payload: wire code + human-readable detail.
+std::vector<std::uint8_t> error_payload(ErrorCode code,
+                                        const std::string& detail);
+struct ParsedError {
+  ErrorCode code = ErrorCode::kBadPayload;
+  std::string detail;
+};
+ParsedError parse_error_payload(const std::vector<std::uint8_t>& payload);
+
+}  // namespace nc::serve

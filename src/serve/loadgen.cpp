@@ -1,0 +1,318 @@
+#include "serve/loadgen.h"
+
+#include <atomic>
+#include <map>
+#include <random>
+#include <thread>
+
+#include "bits/test_set.h"
+#include "core/cancel.h"
+#include "serve/server.h"
+
+namespace nc::serve {
+
+namespace {
+
+/// Frame bytes ride the trit channel as 8 binary trits per byte (MSB
+/// first). The channel never sees an X on input; a post-channel X (a flip
+/// landing on a don't-care cannot happen here, but a stuck pin may emit
+/// one) maps back to 0 -- any concrete corruption is equally good.
+bits::TritVector bytes_to_trits(const std::vector<std::uint8_t>& bytes) {
+  bits::TritVector v;
+  v.resize(bytes.size() * 8, bits::Trit::Zero);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    for (int b = 0; b < 8; ++b)
+      v.set(i * 8 + b, ((bytes[i] >> (7 - b)) & 1) != 0 ? bits::Trit::One
+                                                        : bits::Trit::Zero);
+  return v;
+}
+
+std::vector<std::uint8_t> trits_to_bytes(const bits::TritVector& v) {
+  std::vector<std::uint8_t> bytes(v.size() / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    for (int b = 0; b < 8; ++b)
+      if (v.get(i * 8 + b) == bits::Trit::One)
+        bytes[i] |= static_cast<std::uint8_t>(1u << (7 - b));
+  return bytes;
+}
+
+bits::TestSet random_test_set(std::size_t patterns, std::size_t width,
+                              double x_density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::bernoulli_distribution bit(0.5);
+  bits::TestSet ts(patterns, width);
+  for (std::size_t p = 0; p < patterns; ++p)
+    for (std::size_t c = 0; c < width; ++c) {
+      if (unit(rng) < x_density)
+        ts.set(p, c, bits::Trit::X);
+      else
+        ts.set(p, c, bit(rng) ? bits::Trit::One : bits::Trit::Zero);
+    }
+  return ts;
+}
+
+struct Outstanding {
+  std::size_t workload = 0;
+  std::chrono::steady_clock::time_point sent;
+  std::size_t transmits = 0;
+};
+
+class Client {
+ public:
+  Client(const LoadgenConfig& config, const std::vector<Workload>& pool,
+         std::unique_ptr<ByteStream> stream, std::size_t index)
+      : config_(config),
+        pool_(pool),
+        stream_(std::move(stream)),
+        index_(index),
+        channel_(with_seed(config.channel, config.seed * 7919 + index)),
+        fault_rng_(config.seed * 31337 + index) {}
+
+  LoadgenStats run() {
+    FrameReader reader(*stream_, FrameLimits{});
+    core::Watchdog watchdog(
+        0, core::Deadline::after(config_.deadline));
+    std::uint64_t next_seq = 1;
+    std::size_t issued = 0;
+    std::map<std::uint64_t, Outstanding> live;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    while (true) {
+      if (watchdog.check() != core::WatchdogTrip::kNone) break;
+      // Keep the pipeline full.
+      while (live.size() < config_.pipeline &&
+             issued < config_.requests_per_client) {
+        Outstanding o;
+        o.workload = workload_index(issued);
+        const std::uint64_t seq = next_seq++;
+        live[seq] = o;
+        transmit(seq, live[seq]);
+        ++issued;
+      }
+      if (live.empty() && issued >= config_.requests_per_client) break;
+
+      // Retransmit anything that has waited past the timeout.
+      const auto now = std::chrono::steady_clock::now();
+      bool gave_up = false;
+      for (auto it = live.begin(); it != live.end();) {
+        if (now - it->second.sent > config_.retransmit_timeout) {
+          if (it->second.transmits > config_.max_retransmits) {
+            ++stats_.unresolved;
+            it = live.erase(it);
+            gave_up = true;
+            continue;
+          }
+          ++stats_.timeouts;
+          ++stats_.retransmits;
+          transmit(it->first, it->second);
+        }
+        ++it;
+      }
+      if (gave_up) continue;
+
+      FrameReader::Result r = reader.read(std::chrono::milliseconds(50));
+      if (r.status == FrameReader::Status::kEof) break;
+      if (r.status != FrameReader::Status::kFrame) continue;
+      handle_reply(std::move(r.frame), live);
+    }
+    stats_.unresolved += live.size();
+    stats_.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    stream_->close();
+    return stats_;
+  }
+
+ private:
+  static decomp::ChannelConfig with_seed(decomp::ChannelConfig c,
+                                         std::uint64_t seed) {
+    c.seed = seed;
+    return c;
+  }
+
+  std::size_t workload_index(std::size_t issued) const {
+    return (index_ * 31 + issued) % pool_.size();
+  }
+
+  void transmit(std::uint64_t seq, Outstanding& o) {
+    const Workload& w = pool_[o.workload];
+    Frame frame;
+    frame.type = w.request_type;
+    frame.seq = seq;
+    frame.payload = w.request_payload;
+    std::vector<std::uint8_t> bytes = encode_frame(frame);
+    // Seeded Bernoulli at rate 1/fault_period, NOT a strict every-Nth
+    // counter: a deterministic counter phase-locks with the retry loop
+    // (each stall interleaves a fixed number of fresh transmits between a
+    // victim's retransmits, so the victim lands on a faulted slot every
+    // time and exhausts its budget).
+    if (config_.fault_period != 0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(fault_rng_) *
+                static_cast<double>(config_.fault_period) <
+            1.0) {
+      bytes = trits_to_bytes(channel_.transmit(bytes_to_trits(bytes)));
+      if (channel_.last_corrupted()) ++stats_.corrupted_sends;
+    }
+    try {
+      stream_->write_all(bytes.data(), bytes.size());
+    } catch (const std::exception&) {
+      // Connection gone; outstanding requests will drain as unresolved.
+    }
+    o.sent = std::chrono::steady_clock::now();
+    ++o.transmits;
+  }
+
+  void handle_reply(Frame frame, std::map<std::uint64_t, Outstanding>& live) {
+    if (frame.type == FrameType::kError && frame.seq == 0) {
+      // Frame-layer report: some transmit was mangled; the retransmit
+      // timer recovers the victim.
+      ++stats_.frame_errors;
+      return;
+    }
+    const auto it = live.find(frame.seq);
+    if (it == live.end()) {
+      // A reply for a request already resolved: legitimate only when we
+      // transmitted it more than once; otherwise the server duplicated.
+      const auto done = done_transmits_.find(frame.seq);
+      if (done != done_transmits_.end() && done->second < 2)
+        ++stats_.duplicates;
+      return;
+    }
+    Outstanding& o = it->second;
+    const Workload& w = pool_[o.workload];
+    if (frame.type == FrameType::kError) {
+      ParsedError err;
+      try {
+        err = parse_error_payload(frame.payload);
+      } catch (const std::exception&) {
+        ++stats_.frame_errors;
+        return;
+      }
+      if (err.code == ErrorCode::kOverloaded ||
+          err.code == ErrorCode::kInflightLimit ||
+          err.code == ErrorCode::kShuttingDown) {
+        ++stats_.typed_rejections;
+        ++stats_.retransmits;
+        transmit(frame.seq, o);  // back off by virtue of the reply trip
+        return;
+      }
+      if (err.code == ErrorCode::kDecodeFailed) ++stats_.decode_failures;
+      // Any other typed error resolves the request as a typed reply.
+      ++stats_.requests;
+      finish(it, live);
+      return;
+    }
+    if (frame.type != w.expected_type ||
+        frame.payload != w.expected_payload) {
+      ++stats_.byte_mismatches;
+      finish(it, live);
+      return;
+    }
+    ++stats_.requests;
+    finish(it, live);
+  }
+
+  void finish(std::map<std::uint64_t, Outstanding>::iterator it,
+              std::map<std::uint64_t, Outstanding>& live) {
+    done_transmits_[it->first] = it->second.transmits;
+    if (done_transmits_.size() > 512)
+      done_transmits_.erase(done_transmits_.begin());
+    live.erase(it);
+  }
+
+  const LoadgenConfig& config_;
+  const std::vector<Workload>& pool_;
+  std::unique_ptr<ByteStream> stream_;
+  std::size_t index_;
+  decomp::ChannelModel channel_;
+  std::mt19937_64 fault_rng_;
+  std::map<std::uint64_t, std::size_t> done_transmits_;
+  LoadgenStats stats_;
+};
+
+}  // namespace
+
+void LoadgenStats::merge(const LoadgenStats& other) noexcept {
+  requests += other.requests;
+  byte_mismatches += other.byte_mismatches;
+  typed_rejections += other.typed_rejections;
+  decode_failures += other.decode_failures;
+  frame_errors += other.frame_errors;
+  corrupted_sends += other.corrupted_sends;
+  retransmits += other.retransmits;
+  timeouts += other.timeouts;
+  duplicates += other.duplicates;
+  unresolved += other.unresolved;
+  seconds = std::max(seconds, other.seconds);
+}
+
+std::vector<Workload> build_workloads(const LoadgenConfig& config) {
+  const codec::NineCoded coder = config.spec.make_coder();
+  std::vector<Workload> pool;
+  pool.reserve(config.distinct * 2);
+  for (std::size_t d = 0; d < config.distinct; ++d) {
+    const bits::TestSet ts = random_test_set(
+        config.patterns, config.width, config.x_density,
+        config.seed * 1000003 + d);
+    const bits::TritVector te = coder.encode(ts.flatten());
+
+    Workload enc;
+    enc.request_type = FrameType::kEncodeRequest;
+    enc.request_payload = to_payload(EncodeRequest{config.spec, ts});
+    enc.expected_type = FrameType::kEncodeReply;
+    enc.expected_payload = trits_payload(te);
+    pool.push_back(std::move(enc));
+
+    Workload dec;
+    dec.request_type = FrameType::kDecodeRequest;
+    DecodeRequest dr;
+    dr.spec = config.spec;
+    dr.patterns = config.patterns;
+    dr.width = config.width;
+    dr.te = te;
+    dec.request_payload = to_payload(dr);
+    dec.expected_type = FrameType::kDecodeReply;
+    // Reference computed with the server's exact path (same watchdog
+    // budget, same unflatten), so verification is byte-identity.
+    const std::size_t original = config.patterns * config.width;
+    core::Watchdog watchdog(64 + 8 * (original + te.size()));
+    const codec::DecodeOutcome outcome =
+        coder.decode_checked(te, original, &watchdog);
+    dec.expected_payload = test_set_payload(
+        bits::TestSet::unflatten(outcome.data, config.patterns,
+                                 config.width));
+    pool.push_back(std::move(dec));
+  }
+  return pool;
+}
+
+LoadgenStats run_loadgen(
+    const LoadgenConfig& config,
+    const std::function<std::unique_ptr<ByteStream>()>& connect) {
+  const std::vector<Workload> pool = build_workloads(config);
+  std::vector<LoadgenStats> results(config.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(config, pool, connect(), i);
+      results[i] = client.run();
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadgenStats total;
+  for (const LoadgenStats& r : results) total.merge(r);
+  return total;
+}
+
+LoadgenStats run_loadgen_inprocess(const LoadgenConfig& config,
+                                   Server& server) {
+  return run_loadgen(config, [&server] {
+    auto [client_end, server_end] = make_pipe();
+    server.serve(std::move(server_end));
+    return std::move(client_end);
+  });
+}
+
+}  // namespace nc::serve

@@ -1,0 +1,105 @@
+// Load generator for the compression service.
+//
+// Drives N concurrent clients at one Server (in-process pipes) or a Unix
+// socket, each replaying a deterministic mix of encode and decode requests
+// drawn from a shared pool of distinct workloads (shared on purpose: the
+// pool is what makes the artifact cache earn hits).
+//
+// Every request's reply bytes are precomputed SERIALLY with the exact code
+// path the server runs, so verification is byte-identity, not plausibility:
+// a success reply that differs by one byte is a `byte_mismatches` failure.
+//
+// Fault injection: on average one in `fault_period` transmits of each
+// client is pushed through a decomp::ChannelModel (frame bytes mapped to 8
+// binary trits each), so the server-side FrameReader sees flipped,
+// burst-corrupted and truncated frames. Selection is a seeded Bernoulli
+// draw per transmit -- a strict every-Nth counter would phase-lock with
+// the fixed-interval retry loop and starve a single victim request. The client recovers by retransmission on timeout or
+// frame-layer error; a core::Watchdog deadline bounds the whole client so a
+// protocol bug shows up as `unresolved` counts, never a hang.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decomp/channel.h"
+#include "serve/frame.h"
+#include "serve/transport.h"
+
+namespace nc::serve {
+
+class Server;
+
+struct LoadgenConfig {
+  std::size_t clients = 8;
+  std::size_t requests_per_client = 50;
+  std::size_t pipeline = 4;  // per-client in-flight requests
+  /// Workload pool: `distinct` test sets of `patterns` x `width` trits at
+  /// `x_density` don't-care fraction; each yields one encode and one decode
+  /// request.
+  std::size_t distinct = 6;
+  std::size_t patterns = 16;
+  std::size_t width = 64;
+  double x_density = 0.6;
+  CodecSpec spec;
+  /// On average one in `fault_period` transmits goes through the channel
+  /// (seeded Bernoulli per transmit; 0 = never).
+  std::size_t fault_period = 0;
+  decomp::ChannelConfig channel;
+  std::size_t max_retransmits = 8;
+  std::chrono::milliseconds retransmit_timeout{250};
+  /// Hard wall-clock bound per client; expiry abandons outstanding
+  /// requests as `unresolved` instead of hanging.
+  std::chrono::milliseconds deadline{30000};
+  std::uint64_t seed = 1;
+};
+
+struct LoadgenStats {
+  std::uint64_t requests = 0;         // logical requests resolved ok
+  std::uint64_t byte_mismatches = 0;  // success reply != serial reference
+  std::uint64_t typed_rejections = 0;  // kOverloaded / kInflightLimit seen
+  std::uint64_t decode_failures = 0;   // kDecodeFailed replies
+  std::uint64_t frame_errors = 0;     // frame-layer kError (seq 0) received
+  std::uint64_t corrupted_sends = 0;  // transmits the channel altered
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t duplicates = 0;   // reply for a seq never retransmitted
+  std::uint64_t unresolved = 0;   // abandoned at deadline/retry exhaustion
+  double seconds = 0.0;
+  double throughput_rps() const noexcept {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(requests) / seconds;
+  }
+  /// The soak acceptance gate: every request resolved, byte-identical.
+  bool clean() const noexcept {
+    return byte_mismatches == 0 && duplicates == 0 && unresolved == 0;
+  }
+  void merge(const LoadgenStats& other) noexcept;
+};
+
+/// Runs the configured load against streams produced by `connect` (one call
+/// per client). Blocks until all clients finish.
+LoadgenStats run_loadgen(
+    const LoadgenConfig& config,
+    const std::function<std::unique_ptr<ByteStream>()>& connect);
+
+/// Convenience: in-process run against `server` over pipes.
+LoadgenStats run_loadgen_inprocess(const LoadgenConfig& config,
+                                   Server& server);
+
+/// Deterministic workload pool builder (exposed for tests/bench): returns
+/// request payload + expected reply (type, payload) pairs, computed with
+/// the same code path the server executes.
+struct Workload {
+  FrameType request_type = FrameType::kEncodeRequest;
+  std::vector<std::uint8_t> request_payload;
+  FrameType expected_type = FrameType::kEncodeReply;
+  std::vector<std::uint8_t> expected_payload;
+};
+std::vector<Workload> build_workloads(const LoadgenConfig& config);
+
+}  // namespace nc::serve

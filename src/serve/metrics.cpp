@@ -1,0 +1,119 @@
+#include "serve/metrics.h"
+
+#include "serve/cache.h"
+
+namespace nc::serve {
+
+std::uint64_t LatencyHistogram::Snapshot::quantile_micros(
+    double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return i == 0 ? 1 : (1ull << i);
+  }
+  return 1ull << (kBuckets - 1);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Metrics::Snapshot::rejection_rate() const noexcept {
+  const std::uint64_t rejected =
+      requests_rejected_queue + requests_rejected_inflight;
+  const std::uint64_t offered = requests_accepted + rejected;
+  return offered == 0
+             ? 0.0
+             : static_cast<double>(rejected) / static_cast<double>(offered);
+}
+
+Metrics::Snapshot Metrics::snapshot() const noexcept {
+  Snapshot s;
+  s.requests_accepted = requests_accepted.load(std::memory_order_relaxed);
+  s.requests_completed = requests_completed.load(std::memory_order_relaxed);
+  s.requests_rejected_queue =
+      requests_rejected_queue.load(std::memory_order_relaxed);
+  s.requests_rejected_inflight =
+      requests_rejected_inflight.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+  s.decode_failures = decode_failures.load(std::memory_order_relaxed);
+  s.bad_payloads = bad_payloads.load(std::memory_order_relaxed);
+  s.batches = batches.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests.load(std::memory_order_relaxed);
+  s.connections = connections.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out.load(std::memory_order_relaxed);
+  s.request_latency = request_latency.snapshot();
+  s.batch_latency = batch_latency.snapshot();
+  return s;
+}
+
+namespace {
+
+report::Json histogram_json(const LatencyHistogram::Snapshot& h) {
+  report::Json j = report::Json::object();
+  j["count"] = report::Json(h.count);
+  j["mean_us"] = report::Json(h.mean_micros());
+  j["p50_us"] = report::Json(h.quantile_micros(0.50));
+  j["p90_us"] = report::Json(h.quantile_micros(0.90));
+  j["p99_us"] = report::Json(h.quantile_micros(0.99));
+  report::Json buckets = report::Json::array();
+  // Only the populated prefix matters; trailing zero buckets are noise.
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+    if (h.buckets[i] != 0) last = i + 1;
+  for (std::size_t i = 0; i < last; ++i)
+    buckets.push_back(report::Json(h.buckets[i]));
+  j["buckets_pow2_us"] = std::move(buckets);
+  return j;
+}
+
+}  // namespace
+
+report::Json metrics_json(const Metrics::Snapshot& m,
+                          const CacheStats* cache) {
+  report::Json j = report::Json::object();
+  j["requests_accepted"] = report::Json(m.requests_accepted);
+  j["requests_completed"] = report::Json(m.requests_completed);
+  j["rejected_queue_full"] = report::Json(m.requests_rejected_queue);
+  j["rejected_inflight_cap"] = report::Json(m.requests_rejected_inflight);
+  j["rejection_rate"] = report::Json(m.rejection_rate());
+  j["protocol_errors"] = report::Json(m.protocol_errors);
+  j["decode_failures"] = report::Json(m.decode_failures);
+  j["bad_payloads"] = report::Json(m.bad_payloads);
+  j["batches"] = report::Json(m.batches);
+  j["batched_requests"] = report::Json(m.batched_requests);
+  j["mean_batch_size"] = report::Json(m.mean_batch_size());
+  j["connections"] = report::Json(m.connections);
+  j["bytes_in"] = report::Json(m.bytes_in);
+  j["bytes_out"] = report::Json(m.bytes_out);
+  j["request_latency"] = histogram_json(m.request_latency);
+  j["batch_latency"] = histogram_json(m.batch_latency);
+  if (cache != nullptr) {
+    report::Json c = report::Json::object();
+    c["hits"] = report::Json(cache->hits);
+    c["misses"] = report::Json(cache->misses);
+    c["hit_rate"] = report::Json(cache->hit_rate());
+    c["insertions"] = report::Json(cache->insertions);
+    c["evictions"] = report::Json(cache->evictions);
+    c["crc_drops"] = report::Json(cache->crc_drops);
+    c["bytes_stored"] = report::Json(cache->bytes_stored);
+    c["entries"] = report::Json(cache->entries);
+    j["cache"] = std::move(c);
+  }
+  return j;
+}
+
+}  // namespace nc::serve

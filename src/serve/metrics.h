@@ -1,0 +1,112 @@
+// Service metrics: lock-free counters and fixed-bucket latency histograms.
+//
+// Request handlers record on the hot path, so everything here is an atomic
+// with relaxed ordering -- a snapshot is a consistent-enough view for
+// reporting, never a synchronization point. Latencies land in power-of-two
+// microsecond buckets; quantiles are read back as the upper bound of the
+// bucket containing the target rank, which is exact to within one bucket
+// (a factor of two) and needs no sample storage.
+//
+// A snapshot renders to report::Json for the Stats reply and the
+// BENCH_serve_load.json artifact.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "report/json.h"
+
+namespace nc::serve {
+
+/// Power-of-two-bucket histogram of microsecond latencies. Bucket i counts
+/// samples in [2^(i-1), 2^i) µs (bucket 0: [0, 1)); the last bucket is
+/// open-ended.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(std::uint64_t micros) noexcept {
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && (1ull << bucket) <= micros) ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum_micros = 0;
+
+    /// Upper bound (µs) of the bucket holding the q-quantile sample,
+    /// q in [0, 1]. 0 when empty.
+    std::uint64_t quantile_micros(double q) const noexcept;
+    double mean_micros() const noexcept {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum_micros) /
+                              static_cast<double>(count);
+    }
+  };
+
+  Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+/// All counters the server exposes. Incremented relaxed from any thread.
+class Metrics {
+ public:
+  std::atomic<std::uint64_t> requests_accepted{0};
+  std::atomic<std::uint64_t> requests_completed{0};
+  std::atomic<std::uint64_t> requests_rejected_queue{0};     // kOverloaded
+  std::atomic<std::uint64_t> requests_rejected_inflight{0};  // kInflightLimit
+  std::atomic<std::uint64_t> protocol_errors{0};  // frame-layer errors replied
+  std::atomic<std::uint64_t> decode_failures{0};  // kDecodeFailed replies
+  std::atomic<std::uint64_t> bad_payloads{0};     // kBadPayload replies
+  std::atomic<std::uint64_t> batches{0};          // scheduler batches run
+  std::atomic<std::uint64_t> batched_requests{0};  // requests inside batches
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+
+  LatencyHistogram request_latency;  // accept -> reply written
+  LatencyHistogram batch_latency;    // batch formation -> all replies built
+
+  struct Snapshot {
+    std::uint64_t requests_accepted = 0;
+    std::uint64_t requests_completed = 0;
+    std::uint64_t requests_rejected_queue = 0;
+    std::uint64_t requests_rejected_inflight = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t decode_failures = 0;
+    std::uint64_t bad_payloads = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_requests = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    LatencyHistogram::Snapshot request_latency;
+    LatencyHistogram::Snapshot batch_latency;
+
+    double rejection_rate() const noexcept;
+    double mean_batch_size() const noexcept {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(batched_requests) /
+                                static_cast<double>(batches);
+    }
+  };
+
+  Snapshot snapshot() const noexcept;
+};
+
+/// Stats-reply / bench-artifact rendering. `cache` fields come from the
+/// server's ArtifactCache; pass nullptr when no cache is attached.
+struct CacheStats;
+report::Json metrics_json(const Metrics::Snapshot& m,
+                          const CacheStats* cache);
+
+}  // namespace nc::serve

@@ -1,0 +1,381 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bits/test_set.h"
+#include "codec/decode_error.h"
+
+namespace nc::serve {
+
+namespace {
+
+constexpr std::chrono::milliseconds kReaderPoll{100};
+
+/// Largest decode output the server will materialize. Geometry beyond this
+/// is rejected as kBadPayload before any allocation.
+constexpr std::size_t kMaxDecodeSymbols = std::size_t{1} << 28;
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
+  const auto d = std::chrono::steady_clock::now() - t0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+/// Peeks the CodecSpec prefix shared by encode and decode payloads; the
+/// scheduler batches on it without paying for a full parse.
+CodecSpec peek_spec(const std::vector<std::uint8_t>& payload) {
+  constexpr std::size_t kSpecBytes = 4 + codec::kNumClasses;
+  if (payload.size() < kSpecBytes)
+    throw std::runtime_error("payload shorter than its codec spec");
+  CodecSpec spec;
+  spec.k = 0;
+  for (int i = 0; i < 4; ++i)
+    spec.k |= static_cast<std::size_t>(payload[i]) << (8 * i);
+  for (std::size_t i = 0; i < codec::kNumClasses; ++i)
+    spec.lengths[i] = payload[4 + i];
+  return spec;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(config.worker_threads == 0 ? core::ThreadPool::hardware_threads()
+                                       : config.worker_threads) {
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::serve(std::unique_ptr<ByteStream> stream) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load()) {
+      stream->close();
+      return;
+    }
+    conn = std::make_shared<Connection>(std::move(stream));
+    conn->client_id = next_client_id_++;
+    connections_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+  metrics_.connections.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.exchange(true)) {
+      // A concurrent/second stop: the first caller owns the joins; wait for
+      // the scheduler thread to be gone and return.
+      while (scheduler_.joinable())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return;
+    }
+  }
+  queue_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+
+  // All batches that will ever run are submitted; wait for them to finish
+  // so no pool task touches a connection after we start closing.
+  {
+    std::unique_lock<std::mutex> lock(batch_mutex_);
+    batches_done_cv_.wait(lock,
+                          [this] { return batches_inflight_.load() == 0; });
+  }
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns = connections_;
+    readers.swap(reader_threads_);
+  }
+  for (const auto& conn : conns) {
+    conn->dead.store(true);
+    conn->stream->close();
+  }
+  for (auto& t : readers)
+    if (t.joinable()) t.join();
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  FrameReader reader(*conn->stream, config_.limits);
+  try {
+    while (!conn->dead.load()) {
+      FrameReader::Result r = reader.read(kReaderPoll);
+      switch (r.status) {
+        case FrameReader::Status::kFrame:
+          handle_frame(conn, std::move(r.frame));
+          break;
+        case FrameReader::Status::kProtocolError:
+          // One typed error frame per corrupted frame; seq 0 because the
+          // corrupted header's seq is untrustworthy.
+          metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          send_error(conn, 0, r.error, r.detail);
+          break;
+        case FrameReader::Status::kTimeout:
+          if (stopping_.load()) return;
+          break;
+        case FrameReader::Status::kEof:
+          return;
+      }
+    }
+  } catch (const std::exception&) {
+    // Transport fault: the connection is gone; nothing to reply to.
+  }
+  conn->dead.store(true);
+  conn->stream->close();
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          Frame frame) {
+  metrics_.bytes_in.fetch_add(
+      kFrameHeaderSize + frame.payload.size() + kFrameTrailerSize,
+      std::memory_order_relaxed);
+  switch (frame.type) {
+    case FrameType::kSessionRequest: {
+      try {
+        (void)parse_session_payload(frame.payload);
+      } catch (const std::exception& e) {
+        metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, frame.seq, ErrorCode::kBadPayload, e.what());
+        return;
+      }
+      Frame reply;
+      reply.type = FrameType::kSessionReply;
+      reply.seq = frame.seq;
+      reply.payload = session_grant_payload(
+          SessionGrant{conn->client_id, config_.inflight_cap});
+      send_frame(conn, reply);
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      Frame reply;
+      reply.type = FrameType::kStatsReply;
+      reply.seq = frame.seq;
+      reply.payload = stats_payload();
+      send_frame(conn, reply);
+      return;
+    }
+    case FrameType::kEncodeRequest:
+    case FrameType::kDecodeRequest: {
+      Request req;
+      req.conn = conn;
+      req.type = frame.type;
+      req.seq = frame.seq;
+      req.accepted = std::chrono::steady_clock::now();
+      try {
+        req.spec = peek_spec(frame.payload);
+      } catch (const std::exception& e) {
+        metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, frame.seq, ErrorCode::kBadPayload, e.what());
+        return;
+      }
+      req.payload = std::move(frame.payload);
+
+      // Admission, layer 1: per-client in-flight cap.
+      const std::uint32_t inflight =
+          conn->inflight.load(std::memory_order_relaxed);
+      if (inflight >= config_.inflight_cap) {
+        metrics_.requests_rejected_inflight.fetch_add(
+            1, std::memory_order_relaxed);
+        send_error(conn, req.seq, ErrorCode::kInflightLimit,
+                   "client has " + std::to_string(inflight) +
+                       " requests in flight (cap " +
+                       std::to_string(config_.inflight_cap) + ")");
+        return;
+      }
+      // Admission, layer 2: bounded queue depth.
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (stopping_.load()) {
+          send_error(conn, req.seq, ErrorCode::kShuttingDown,
+                     to_string(ErrorCode::kShuttingDown));
+          return;
+        }
+        if (queue_.size() >= config_.queue_capacity) {
+          metrics_.requests_rejected_queue.fetch_add(
+              1, std::memory_order_relaxed);
+          send_error(conn, req.seq, ErrorCode::kOverloaded,
+                     "queue at capacity " +
+                         std::to_string(config_.queue_capacity));
+          return;
+        }
+        conn->inflight.fetch_add(1, std::memory_order_relaxed);
+        metrics_.requests_accepted.fetch_add(1, std::memory_order_relaxed);
+        queue_.push_back(std::move(req));
+      }
+      queue_cv_.notify_one();
+      return;
+    }
+    default:
+      send_error(conn, frame.seq, ErrorCode::kBadType,
+                 "frame type " +
+                     std::to_string(static_cast<unsigned>(frame.type)) +
+                     " is not a request");
+      return;
+  }
+}
+
+void Server::scheduler_loop() {
+  while (true) {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock,
+                   [this] { return stopping_.load() || !queue_.empty(); });
+    if (stopping_.load()) break;
+
+    // Linger briefly so compatible requests arriving just behind the first
+    // one join its batch instead of forming singleton batches.
+    if (queue_.size() < config_.max_batch &&
+        config_.batch_window.count() > 0) {
+      queue_cv_.wait_for(lock, config_.batch_window, [this] {
+        return stopping_.load() || queue_.size() >= config_.max_batch;
+      });
+      if (stopping_.load()) break;
+    }
+
+    const CodecSpec spec = queue_.front().spec;
+    std::vector<Request> batch;
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < config_.max_batch;) {
+      if (it->spec == spec) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+
+    {
+      std::lock_guard<std::mutex> block(batch_mutex_);
+      batches_inflight_.fetch_add(1);
+    }
+    pool_.submit([this, b = std::move(batch)]() mutable {
+      run_batch(std::move(b));
+    });
+  }
+
+  // Shutdown drain: every queued request gets a typed reply.
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftover.swap(queue_);
+  }
+  for (const Request& req : leftover) {
+    send_error(req.conn, req.seq, ErrorCode::kShuttingDown,
+               to_string(ErrorCode::kShuttingDown));
+    req.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::run_batch(std::vector<Request> batch) {
+  const auto t0 = std::chrono::steady_clock::now();
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batched_requests.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
+  try {
+    // One coder per batch: the whole group shares its table and K.
+    const codec::NineCoded coder = batch.front().spec.make_coder();
+    for (const Request& req : batch) process_request(coder, req);
+  } catch (const std::exception& e) {
+    // The spec itself is illegal: fail the whole batch as bad payloads.
+    for (const Request& req : batch) {
+      metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+      send_error(req.conn, req.seq, ErrorCode::kBadPayload, e.what());
+      finish_request(req);
+    }
+  }
+  metrics_.batch_latency.record(micros_since(t0));
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    batches_inflight_.fetch_sub(1);
+  }
+  batches_done_cv_.notify_all();
+}
+
+void Server::process_request(const codec::NineCoded& coder,
+                             const Request& req) {
+  const FrameType reply_type = req.type == FrameType::kEncodeRequest
+                                   ? FrameType::kEncodeReply
+                                   : FrameType::kDecodeReply;
+  try {
+    const CacheKey key =
+        cache_key(req.type, req.spec, req.payload.data(), req.payload.size());
+    std::vector<std::uint8_t> out;
+    if (auto hit = cache_.get(key)) {
+      out = std::move(*hit);
+    } else if (req.type == FrameType::kEncodeRequest) {
+      const EncodeRequest er = parse_encode_request(req.payload);
+      out = trits_payload(coder.encode(er.tests.flatten()));
+      cache_.put(key, out);
+    } else {
+      const DecodeRequest dr = parse_decode_request(req.payload);
+      if (dr.width != 0 && dr.patterns > kMaxDecodeSymbols / dr.width)
+        throw std::runtime_error("decode geometry too large");
+      const std::size_t original = dr.patterns * dr.width;
+      // Same budget shape as the decompression fleet: linear in the work a
+      // well-formed stream needs, so only runaway streams trip it.
+      core::Watchdog watchdog(64 + 8 * (original + dr.te.size()));
+      const codec::DecodeOutcome outcome =
+          coder.decode_checked(dr.te, original, &watchdog);
+      out = test_set_payload(
+          bits::TestSet::unflatten(outcome.data, dr.patterns, dr.width));
+      cache_.put(key, out);
+    }
+    Frame reply;
+    reply.type = reply_type;
+    reply.seq = req.seq;
+    reply.payload = std::move(out);
+    send_frame(req.conn, reply);
+  } catch (const codec::DecodeError& e) {
+    metrics_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+    send_error(req.conn, req.seq, ErrorCode::kDecodeFailed, e.what());
+  } catch (const std::exception& e) {
+    metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+    send_error(req.conn, req.seq, ErrorCode::kBadPayload, e.what());
+  }
+  finish_request(req);
+}
+
+void Server::send_frame(const std::shared_ptr<Connection>& conn,
+                        const Frame& frame) {
+  if (conn->dead.load()) return;
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  try {
+    conn->stream->write_all(bytes.data(), bytes.size());
+    metrics_.bytes_out.fetch_add(bytes.size(), std::memory_order_relaxed);
+  } catch (const std::exception&) {
+    conn->dead.store(true);
+    conn->stream->close();
+  }
+}
+
+void Server::send_error(const std::shared_ptr<Connection>& conn,
+                        std::uint64_t seq, ErrorCode code,
+                        const std::string& detail) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.seq = seq;
+  frame.payload = error_payload(code, detail);
+  send_frame(conn, frame);
+}
+
+void Server::finish_request(const Request& req) {
+  req.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+  metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.request_latency.record(micros_since(req.accepted));
+}
+
+std::vector<std::uint8_t> Server::stats_payload() const {
+  const CacheStats cs = cache_.stats();
+  const std::string json = metrics_json(metrics_.snapshot(), &cs).dump(0);
+  return std::vector<std::uint8_t>(json.begin(), json.end());
+}
+
+}  // namespace nc::serve

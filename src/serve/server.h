@@ -1,0 +1,139 @@
+// The concurrent compression server.
+//
+// Threading model (per Server instance):
+//
+//   reader threads --------+                        +-- nc_core::ThreadPool
+//   (one per connection)   |   bounded MPMC queue   |   (batch execution)
+//     FrameReader ---------+-->  [ admission ] -----+--> coder per batch
+//     parse + admit        |        scheduler       |    reply via conn
+//     inline replies ------+     (grouping thread)  +--> write mutex
+//
+//  * Each accepted connection gets a reader thread running a FrameReader.
+//    Protocol errors, session/stats requests and admission rejections are
+//    answered inline; encode/decode requests enter the shared queue.
+//  * Admission control is two-layered and applied before enqueue: a bounded
+//    queue depth (reject with kOverloaded) and a per-client in-flight cap
+//    (reject with kInflightLimit). A rejected request costs one error
+//    frame, never a stall.
+//  * The scheduler thread groups queued requests by CodecSpec -- block size
+//    K plus the codeword table -- and hands each group to the thread pool
+//    as one batch, so the coder construction and the scan_half/
+//    classify_halves hot path run against a single coder instance per
+//    batch instead of per request.
+//  * Results are cached content-addressed (cache.h): a hit returns the
+//    stored reply payload byte-identical to what a miss would compute.
+//
+// Every reply -- success or typed error -- echoes the request's seq, so
+// clients correlate out-of-order replies. All waits are bounded; stop()
+// always completes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "serve/cache.h"
+#include "serve/frame.h"
+#include "serve/metrics.h"
+#include "serve/transport.h"
+
+namespace nc::serve {
+
+struct ServerConfig {
+  std::size_t worker_threads = 0;   // 0 = ThreadPool::hardware_threads()
+  std::size_t queue_capacity = 64;  // admission bound on queued requests
+  std::uint32_t inflight_cap = 8;   // per-client outstanding requests
+  std::size_t cache_capacity = 8u << 20;  // artifact cache bytes; 0 = off
+  std::size_t max_batch = 16;             // requests per scheduler batch
+  /// How long the scheduler lingers for more spec-compatible requests
+  /// after the first one arrives.
+  std::chrono::milliseconds batch_window{2};
+  FrameLimits limits;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Adopts a connected stream and serves it on a dedicated reader thread
+  /// until EOF, transport fault, or stop().
+  void serve(std::unique_ptr<ByteStream> stream);
+
+  /// Stops accepting work, fails pending queued requests with
+  /// kShuttingDown, closes every connection and joins all threads.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  const Metrics& metrics() const noexcept { return metrics_; }
+  Metrics::Snapshot metrics_snapshot() const { return metrics_.snapshot(); }
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// The Stats reply payload: metrics + cache stats as compact JSON bytes.
+  std::vector<std::uint8_t> stats_payload() const;
+
+ private:
+  struct Connection {
+    explicit Connection(std::unique_ptr<ByteStream> s)
+        : stream(std::move(s)) {}
+    std::unique_ptr<ByteStream> stream;
+    std::mutex write_mutex;
+    std::atomic<std::uint32_t> inflight{0};
+    std::atomic<bool> dead{false};
+    std::uint64_t client_id = 0;
+  };
+
+  struct Request {
+    std::shared_ptr<Connection> conn;
+    FrameType type = FrameType::kEncodeRequest;
+    std::uint64_t seq = 0;
+    CodecSpec spec;
+    std::vector<std::uint8_t> payload;  // raw request payload (cache key)
+    std::chrono::steady_clock::time_point accepted;
+  };
+
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void scheduler_loop();
+  void run_batch(std::vector<Request> batch);
+  void process_request(const codec::NineCoded& coder, const Request& req);
+  void send_frame(const std::shared_ptr<Connection>& conn,
+                  const Frame& frame);
+  void send_error(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
+                  ErrorCode code, const std::string& detail);
+  void finish_request(const Request& req);
+
+  ServerConfig config_;
+  Metrics metrics_;
+  ArtifactCache cache_;
+  core::ThreadPool pool_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+
+  std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+  std::uint64_t next_client_id_ = 1;
+
+  std::mutex batch_mutex_;  // serializes run_batch completions accounting
+  std::atomic<std::size_t> batches_inflight_{0};
+  std::condition_variable batches_done_cv_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread scheduler_;
+};
+
+}  // namespace nc::serve

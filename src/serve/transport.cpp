@@ -1,0 +1,231 @@
+#include "serve/transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace nc::serve {
+
+namespace {
+
+// -------------------------------------------------------- in-process pipe
+
+/// One direction of the pipe: a bounded byte queue. Closing either end of
+/// the connection closes both directions, waking all waiters.
+struct PipeChannel {
+  explicit PipeChannel(std::size_t capacity) : capacity(capacity) {}
+
+  std::mutex mutex;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::deque<std::uint8_t> bytes;
+  const std::size_t capacity;
+  bool closed = false;
+};
+
+struct PipeShared {
+  explicit PipeShared(std::size_t capacity)
+      : a_to_b(capacity), b_to_a(capacity) {}
+  PipeChannel a_to_b;
+  PipeChannel b_to_a;
+};
+
+class PipeEnd final : public ByteStream {
+ public:
+  PipeEnd(std::shared_ptr<PipeShared> shared, PipeChannel* in,
+          PipeChannel* out)
+      : shared_(std::move(shared)), in_(in), out_(out) {}
+
+  ~PipeEnd() override { close(); }
+
+  std::optional<std::size_t> read_some(
+      std::uint8_t* buf, std::size_t max,
+      std::chrono::milliseconds timeout) override {
+    if (max == 0) return std::size_t{0};
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    if (!in_->readable.wait_for(lock, timeout, [this] {
+          return !in_->bytes.empty() || in_->closed;
+        }))
+      return std::nullopt;  // timed out
+    if (in_->bytes.empty()) return std::size_t{0};  // closed and drained
+    std::size_t n = 0;
+    while (n < max && !in_->bytes.empty()) {
+      buf[n++] = in_->bytes.front();
+      in_->bytes.pop_front();
+    }
+    in_->writable.notify_all();
+    return n;
+  }
+
+  void write_all(const std::uint8_t* data, std::size_t len) override {
+    std::size_t written = 0;
+    while (written < len) {
+      std::unique_lock<std::mutex> lock(out_->mutex);
+      out_->writable.wait(lock, [this] {
+        return out_->bytes.size() < out_->capacity || out_->closed;
+      });
+      if (out_->closed) throw std::runtime_error("pipe closed by peer");
+      while (written < len && out_->bytes.size() < out_->capacity)
+        out_->bytes.push_back(data[written++]);
+      out_->readable.notify_all();
+    }
+  }
+
+  void close() override {
+    for (PipeChannel* ch : {in_, out_}) {
+      std::lock_guard<std::mutex> lock(ch->mutex);
+      ch->closed = true;
+      ch->readable.notify_all();
+      ch->writable.notify_all();
+    }
+  }
+
+ private:
+  std::shared_ptr<PipeShared> shared_;
+  PipeChannel* in_;
+  PipeChannel* out_;
+};
+
+// ---------------------------------------------------- unix-domain sockets
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+class UnixStream final : public ByteStream {
+ public:
+  explicit UnixStream(int fd) : fd_(fd) {}
+  ~UnixStream() override { close(); }
+
+  std::optional<std::size_t> read_some(
+      std::uint8_t* buf, std::size_t max,
+      std::chrono::milliseconds timeout) override {
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) throw_errno("poll");
+    if (rc == 0) return std::nullopt;
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buf, max, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("recv");
+    return static_cast<std::size_t>(n);
+  }
+
+  void write_all(const std::uint8_t* data, std::size_t len) override {
+    std::size_t written = 0;
+    while (written < len) {
+      // MSG_NOSIGNAL: a peer that vanished surfaces as EPIPE, not SIGPIPE.
+      const ssize_t n =
+          ::send(fd_, data + written, len - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("send");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(close_mutex_);
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  std::mutex close_mutex_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+make_pipe(std::size_t capacity) {
+  auto shared = std::make_shared<PipeShared>(capacity == 0 ? 1 : capacity);
+  auto a = std::make_unique<PipeEnd>(shared, &shared->b_to_a, &shared->a_to_b);
+  auto b = std::make_unique<PipeEnd>(shared, &shared->a_to_b, &shared->b_to_a);
+  return {std::move(a), std::move(b)};
+}
+
+std::unique_ptr<ByteStream> connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect " + path);
+  }
+  return std::make_unique<UnixStream>(fd);
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  ::unlink(path.c_str());  // a stale socket file from a dead server
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen " + path);
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+std::unique_ptr<ByteStream> UnixListener::accept(
+    std::chrono::milliseconds timeout) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("poll");
+  if (rc == 0) return nullptr;
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) throw_errno("accept");
+  return std::make_unique<UnixStream>(client);
+}
+
+}  // namespace nc::serve

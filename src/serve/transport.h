@@ -1,0 +1,87 @@
+// Byte transports for the compression service.
+//
+// The frame protocol (frame.h) is transport-agnostic: it reads and writes
+// through the ByteStream interface below. Two implementations ship:
+//
+//  * an in-process duplex byte pipe -- a pair of bounded byte queues, one
+//    per direction, used by the tests, the load generator's self-hosted
+//    mode and the bench. Deterministic and dependency-free;
+//  * Unix-domain sockets -- `ninec serve --socket PATH` binds a listener,
+//    `ninec loadgen --socket PATH` connects to it, so the service can be
+//    driven across processes on one host.
+//
+// Both transports are byte-oriented and may deliver arbitrary fragments;
+// the frame layer owns message boundaries, CRC validation and resync.
+// Reads take a timeout so a connection handler can never block forever on
+// a dead peer; writes block until accepted (the pipe's capacity and the
+// socket's buffer provide the only transport-level backpressure -- real
+// admission control lives in the server).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nc::serve {
+
+/// One end of a duplex byte connection. Thread model: one concurrent reader
+/// plus one concurrent writer per end is safe; multiple writers must
+/// serialize externally (the server guards each connection's write side
+/// with a mutex so responses and error replies interleave whole-frame).
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Reads between 1 and `max` bytes into `buf`, waiting up to `timeout`.
+  /// Returns the byte count, 0 on orderly end-of-stream (peer closed), or
+  /// std::nullopt when the timeout expired with nothing readable. Throws
+  /// std::runtime_error on a transport fault (reset, I/O error).
+  virtual std::optional<std::size_t> read_some(
+      std::uint8_t* buf, std::size_t max,
+      std::chrono::milliseconds timeout) = 0;
+
+  /// Writes all `len` bytes, blocking as needed. Throws std::runtime_error
+  /// when the peer is gone (the caller treats the connection as dead).
+  virtual void write_all(const std::uint8_t* data, std::size_t len) = 0;
+
+  /// Closes both directions; unblocks any pending read/write on either
+  /// side. Idempotent.
+  virtual void close() = 0;
+};
+
+/// Creates a connected in-process duplex pipe; first is the "client" end,
+/// second the "server" end (the labels are symmetric). `capacity` bounds
+/// each direction's buffered bytes; writers block when full.
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+make_pipe(std::size_t capacity = 1 << 20);
+
+/// Connects to a Unix-domain socket at `path` (SOCK_STREAM). Throws
+/// std::runtime_error on failure.
+std::unique_ptr<ByteStream> connect_unix(const std::string& path);
+
+/// Listening Unix-domain socket. Binds (unlinking a stale socket file
+/// first) and listens on construction; the destructor closes and unlinks.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Waits up to `timeout` for an inbound connection; nullptr on timeout.
+  /// Throws std::runtime_error on listener failure.
+  std::unique_ptr<ByteStream> accept(std::chrono::milliseconds timeout);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace nc::serve

@@ -1,0 +1,157 @@
+// Artifact cache: content addressing, LRU eviction order, byte-capacity
+// accounting, CRC validation on hit, and concurrent access.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/frame.h"
+
+namespace nc::serve {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> v;
+  for (int x : vals) v.push_back(static_cast<std::uint8_t>(x));
+  return v;
+}
+
+CacheKey key_for(int n) {
+  const auto payload = bytes({n & 0xFF, (n >> 8) & 0xFF});
+  return cache_key(FrameType::kEncodeRequest, CodecSpec{}, payload.data(),
+                   payload.size());
+}
+
+TEST(CacheKeyTest, DistinguishesKindSpecAndPayload) {
+  const auto payload = bytes({1, 2, 3});
+  const CacheKey enc = cache_key(FrameType::kEncodeRequest, CodecSpec{},
+                                 payload.data(), payload.size());
+  const CacheKey dec = cache_key(FrameType::kDecodeRequest, CodecSpec{},
+                                 payload.data(), payload.size());
+  EXPECT_NE(enc, dec) << "kind must separate artifact namespaces";
+
+  CodecSpec other;
+  other.k = 16;
+  const CacheKey enc16 = cache_key(FrameType::kEncodeRequest, other,
+                                   payload.data(), payload.size());
+  EXPECT_NE(enc, enc16) << "block size is part of the address";
+
+  other = CodecSpec{};
+  other.lengths[2] = 4;
+  other.lengths[8] = 5;
+  const CacheKey enc_table = cache_key(FrameType::kEncodeRequest, other,
+                                       payload.data(), payload.size());
+  EXPECT_NE(enc, enc_table) << "codeword table is part of the address";
+
+  const auto payload2 = bytes({1, 2, 4});
+  const CacheKey enc2 = cache_key(FrameType::kEncodeRequest, CodecSpec{},
+                                  payload2.data(), payload2.size());
+  EXPECT_NE(enc, enc2);
+
+  const CacheKey again = cache_key(FrameType::kEncodeRequest, CodecSpec{},
+                                   payload.data(), payload.size());
+  EXPECT_EQ(enc, again) << "the address is a pure function of the inputs";
+}
+
+TEST(ArtifactCacheTest, HitReturnsExactBytes) {
+  ArtifactCache cache(1 << 16);
+  const auto value = bytes({9, 8, 7, 6, 5});
+  cache.put(key_for(1), value);
+  const auto hit = cache.get(key_for(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, value);
+  EXPECT_FALSE(cache.get(key_for(2)).has_value());
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ArtifactCacheTest, EvictsInLruOrder) {
+  // Each entry charges sizeof(CacheKey) + payload bytes; size the capacity
+  // for exactly three entries.
+  const std::size_t entry = sizeof(CacheKey) + 8;
+  ArtifactCache cache(3 * entry);
+  const auto payload = std::vector<std::uint8_t>(8, 0x55);
+  cache.put(key_for(1), payload);
+  cache.put(key_for(2), payload);
+  cache.put(key_for(3), payload);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch 1 so 2 becomes least-recently-used, then insert 4.
+  EXPECT_TRUE(cache.get(key_for(1)).has_value());
+  cache.put(key_for(4), payload);
+
+  EXPECT_TRUE(cache.get(key_for(1)).has_value());
+  EXPECT_FALSE(cache.get(key_for(2)).has_value()) << "LRU victim";
+  EXPECT_TRUE(cache.get(key_for(3)).has_value());
+  EXPECT_TRUE(cache.get(key_for(4)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ArtifactCacheTest, ByteCapacityAccounting) {
+  const std::size_t capacity = 4 * (sizeof(CacheKey) + 16);
+  ArtifactCache cache(capacity);
+  for (int i = 0; i < 32; ++i)
+    cache.put(key_for(i), std::vector<std::uint8_t>(16, 0xAA));
+  const CacheStats s = cache.stats();
+  EXPECT_LE(s.bytes_stored, capacity);
+  EXPECT_EQ(s.bytes_stored, s.entries * (sizeof(CacheKey) + 16));
+  EXPECT_EQ(s.entries + s.evictions, s.insertions);
+}
+
+TEST(ArtifactCacheTest, OversizedPayloadNotStored) {
+  ArtifactCache cache(64);
+  cache.put(key_for(1), std::vector<std::uint8_t>(1024, 1));
+  EXPECT_FALSE(cache.get(key_for(1)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_stored, 0u);
+}
+
+TEST(ArtifactCacheTest, ZeroCapacityDisablesStorage) {
+  ArtifactCache cache(0);
+  cache.put(key_for(1), bytes({1}));
+  EXPECT_FALSE(cache.get(key_for(1)).has_value());
+}
+
+TEST(ArtifactCacheTest, RefreshKeepsSingleEntry) {
+  ArtifactCache cache(1 << 12);
+  cache.put(key_for(1), bytes({1, 2, 3}));
+  cache.put(key_for(1), bytes({1, 2, 3}));
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+}
+
+TEST(ArtifactCacheTest, ConcurrentMixedAccessStaysConsistent) {
+  ArtifactCache cache(1 << 14);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int k = (t * 13 + i) % 40;
+        if (i % 3 == 0)
+          cache.put(key_for(k),
+                    std::vector<std::uint8_t>(static_cast<std::size_t>(k + 1),
+                                              static_cast<std::uint8_t>(k)));
+        else if (auto hit = cache.get(key_for(k)); hit.has_value())
+          // A hit must always return the exact bytes that key stores.
+          EXPECT_EQ(*hit, std::vector<std::uint8_t>(
+                              static_cast<std::size_t>(k + 1),
+                              static_cast<std::uint8_t>(k)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.crc_drops, 0u);
+  EXPECT_EQ(s.entries + s.evictions, s.insertions);
+  EXPECT_LE(s.bytes_stored, std::size_t{1} << 14);
+}
+
+}  // namespace
+}  // namespace nc::serve

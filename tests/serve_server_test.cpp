@@ -1,0 +1,361 @@
+// End-to-end tests of the compression service: request/reply correctness,
+// cache hit byte-identity, admission control under saturation, typed error
+// replies for corrupt frames, and clean shutdown.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "serve/frame.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace nc::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+bits::TestSet small_test_set() {
+  return bits::TestSet::from_strings({
+      "01XX10X0",
+      "XX01XX11",
+      "1X0X0X0X",
+      "0110XXXX",
+  });
+}
+
+/// One synchronous test client over an in-process pipe.
+class TestClient {
+ public:
+  explicit TestClient(Server& server)
+      : stream_(), reader_(nullptr) {
+    auto [client_end, server_end] = make_pipe();
+    server.serve(std::move(server_end));
+    stream_ = std::move(client_end);
+    reader_ = std::make_unique<FrameReader>(*stream_);
+  }
+
+  void send(const Frame& frame) { write_frame(*stream_, frame); }
+
+  void send_raw(const std::vector<std::uint8_t>& bytes) {
+    stream_->write_all(bytes.data(), bytes.size());
+  }
+
+  /// Next frame from the server (fails the test on timeout/EOF).
+  Frame next(milliseconds timeout = milliseconds(5000)) {
+    FrameReader::Result r = reader_->read(timeout);
+    EXPECT_EQ(r.status, FrameReader::Status::kFrame)
+        << "status " << static_cast<int>(r.status) << " detail " << r.detail;
+    return r.frame;
+  }
+
+  /// Sends a request and waits for the reply with the same seq, skipping
+  /// unrelated frames (e.g. seq-0 protocol error reports).
+  Frame round_trip(const Frame& request,
+                   milliseconds timeout = milliseconds(5000)) {
+    send(request);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      FrameReader::Result r = reader_->read(milliseconds(100));
+      if (r.status == FrameReader::Status::kFrame &&
+          r.frame.seq == request.seq)
+        return r.frame;
+      if (r.status == FrameReader::Status::kEof) break;
+    }
+    ADD_FAILURE() << "no reply for seq " << request.seq;
+    return Frame{};
+  }
+
+  ByteStream& stream() { return *stream_; }
+
+ private:
+  std::unique_ptr<ByteStream> stream_;
+  std::unique_ptr<FrameReader> reader_;
+};
+
+Frame encode_request(std::uint64_t seq, const bits::TestSet& ts) {
+  Frame f;
+  f.type = FrameType::kEncodeRequest;
+  f.seq = seq;
+  f.payload = to_payload(EncodeRequest{CodecSpec{}, ts});
+  return f;
+}
+
+TEST(ServeServerTest, SessionGrantEchoesConfiguredCap) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  config.inflight_cap = 5;
+  Server server(config);
+  TestClient client(server);
+
+  Frame req;
+  req.type = FrameType::kSessionRequest;
+  req.seq = 1;
+  req.payload = session_payload("tester");
+  const Frame reply = client.round_trip(req);
+  ASSERT_EQ(reply.type, FrameType::kSessionReply);
+  const SessionGrant grant = parse_session_grant(reply.payload);
+  EXPECT_GT(grant.client_id, 0u);
+  EXPECT_EQ(grant.inflight_cap, 5u);
+  server.stop();
+}
+
+TEST(ServeServerTest, EncodeAndDecodeRoundTrip) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+  const bits::TestSet ts = small_test_set();
+  const CodecSpec spec;
+  const codec::NineCoded coder = spec.make_coder();
+
+  const Frame enc_reply = client.round_trip(encode_request(1, ts));
+  ASSERT_EQ(enc_reply.type, FrameType::kEncodeReply);
+  const bits::TritVector te = parse_trits_payload(enc_reply.payload);
+  EXPECT_EQ(te, coder.encode(ts.flatten()));
+
+  Frame dec;
+  dec.type = FrameType::kDecodeRequest;
+  dec.seq = 2;
+  DecodeRequest dr;
+  dr.spec = spec;
+  dr.patterns = ts.pattern_count();
+  dr.width = ts.pattern_length();
+  dr.te = te;
+  dec.payload = to_payload(dr);
+  const Frame dec_reply = client.round_trip(dec);
+  ASSERT_EQ(dec_reply.type, FrameType::kDecodeReply);
+  const bits::TestSet decoded = parse_test_set_payload(dec_reply.payload);
+  // The decode resolves don't-cares; every specified stimulus bit must
+  // survive exactly.
+  ASSERT_EQ(decoded.pattern_count(), ts.pattern_count());
+  EXPECT_TRUE(ts.flatten().covered_by(decoded.flatten()));
+  server.stop();
+}
+
+TEST(ServeServerTest, CacheHitIsByteIdenticalToMiss) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+  const bits::TestSet ts = small_test_set();
+
+  const Frame first = client.round_trip(encode_request(1, ts));
+  const Frame second = client.round_trip(encode_request(2, ts));
+  ASSERT_EQ(first.type, FrameType::kEncodeReply);
+  ASSERT_EQ(second.type, FrameType::kEncodeReply);
+  EXPECT_EQ(first.payload, second.payload)
+      << "a cache hit must be byte-identical to the miss that filled it";
+  const CacheStats cs = server.cache_stats();
+  EXPECT_GE(cs.hits, 1u);
+  EXPECT_GE(cs.insertions, 1u);
+  server.stop();
+}
+
+TEST(ServeServerTest, QueueSaturationYieldsTypedOverloadedReply) {
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.queue_capacity = 1;
+  config.inflight_cap = 100;
+  // A long batch window keeps the first request parked in the queue while
+  // the rest arrive, making the rejection deterministic.
+  config.batch_window = milliseconds(300);
+  Server server(config);
+  TestClient client(server);
+  const bits::TestSet ts = small_test_set();
+
+  const int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) client.send(encode_request(1 + i, ts));
+
+  int ok = 0;
+  int overloaded = 0;
+  std::map<std::uint64_t, int> replies;
+  for (int i = 0; i < kRequests; ++i) {
+    const Frame reply = client.next();
+    ++replies[reply.seq];
+    if (reply.type == FrameType::kEncodeReply) ++ok;
+    if (reply.type == FrameType::kError) {
+      const ParsedError e = parse_error_payload(reply.payload);
+      EXPECT_EQ(e.code, ErrorCode::kOverloaded);
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kRequests) << "every request gets a reply";
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(overloaded, 1) << "saturation must reject, not stall";
+  for (const auto& [seq, count] : replies)
+    EXPECT_EQ(count, 1) << "seq " << seq << " answered more than once";
+  EXPECT_GE(server.metrics_snapshot().requests_rejected_queue, 1u);
+  server.stop();
+}
+
+TEST(ServeServerTest, InflightCapYieldsTypedReply) {
+  ServerConfig config;
+  config.worker_threads = 1;
+  config.queue_capacity = 100;
+  config.inflight_cap = 1;
+  config.batch_window = milliseconds(300);
+  Server server(config);
+  TestClient client(server);
+  const bits::TestSet ts = small_test_set();
+
+  const int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) client.send(encode_request(1 + i, ts));
+  int ok = 0;
+  int capped = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const Frame reply = client.next();
+    if (reply.type == FrameType::kEncodeReply) ++ok;
+    if (reply.type == FrameType::kError) {
+      const ParsedError e = parse_error_payload(reply.payload);
+      EXPECT_EQ(e.code, ErrorCode::kInflightLimit);
+      ++capped;
+    }
+  }
+  EXPECT_EQ(ok + capped, kRequests);
+  EXPECT_GE(capped, 1);
+  EXPECT_GE(server.metrics_snapshot().requests_rejected_inflight, 1u);
+  server.stop();
+}
+
+TEST(ServeServerTest, CorruptFrameGetsTypedErrorAndConnectionSurvives) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+  const bits::TestSet ts = small_test_set();
+
+  // A frame with a flipped payload byte: the server must reply with one
+  // typed protocol error (seq 0) and keep the connection usable.
+  std::vector<std::uint8_t> bad = encode_frame(encode_request(1, ts));
+  bad[kFrameHeaderSize + 3] ^= 0x40;
+  client.send_raw(bad);
+  const Frame err = client.next();
+  ASSERT_EQ(err.type, FrameType::kError);
+  EXPECT_EQ(err.seq, 0u);
+  const ParsedError e = parse_error_payload(err.payload);
+  EXPECT_EQ(e.code, ErrorCode::kBadCrc);
+
+  const Frame reply = client.round_trip(encode_request(2, ts));
+  EXPECT_EQ(reply.type, FrameType::kEncodeReply)
+      << "connection must resync after a corrupt frame";
+  EXPECT_GE(server.metrics_snapshot().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(ServeServerTest, MalformedPayloadAndBadTypeAreTypedErrors) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+
+  Frame bad_payload;
+  bad_payload.type = FrameType::kEncodeRequest;
+  bad_payload.seq = 1;
+  bad_payload.payload = {1, 2, 3};  // shorter than a codec spec
+  Frame reply = client.round_trip(bad_payload);
+  ASSERT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(parse_error_payload(reply.payload).code, ErrorCode::kBadPayload);
+
+  Frame bad_type;
+  bad_type.type = FrameType::kEncodeReply;  // a reply is not a request
+  bad_type.seq = 2;
+  reply = client.round_trip(bad_type);
+  ASSERT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(parse_error_payload(reply.payload).code, ErrorCode::kBadType);
+  server.stop();
+}
+
+TEST(ServeServerTest, StatsReplyIsJson) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+  client.round_trip(encode_request(1, small_test_set()));
+
+  Frame stats;
+  stats.type = FrameType::kStatsRequest;
+  stats.seq = 9;
+  const Frame reply = client.round_trip(stats);
+  ASSERT_EQ(reply.type, FrameType::kStatsReply);
+  const std::string json(reply.payload.begin(), reply.payload.end());
+  EXPECT_NE(json.find("\"requests_accepted\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  server.stop();
+}
+
+TEST(ServeServerTest, StopIsIdempotentAndDestructorClean) {
+  auto server = std::make_unique<Server>(ServerConfig{});
+  TestClient client(*server);
+  client.round_trip(encode_request(1, small_test_set()));
+  server->stop();
+  server->stop();
+  server.reset();  // destructor after explicit stop must not hang
+}
+
+TEST(ServeServerTest, LoadgenCleanChannelAllByteIdentical) {
+  ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.queue_capacity = 256;
+  sconfig.inflight_cap = 16;
+  Server server(sconfig);
+
+  LoadgenConfig lconfig;
+  lconfig.clients = 4;
+  lconfig.requests_per_client = 20;
+  lconfig.pipeline = 4;
+  lconfig.distinct = 3;
+  lconfig.patterns = 8;
+  lconfig.width = 32;
+  const LoadgenStats stats = run_loadgen_inprocess(lconfig, server);
+  EXPECT_TRUE(stats.clean()) << "mismatches " << stats.byte_mismatches
+                             << " dup " << stats.duplicates << " unresolved "
+                             << stats.unresolved;
+  EXPECT_EQ(stats.requests,
+            lconfig.clients * lconfig.requests_per_client);
+  EXPECT_EQ(stats.byte_mismatches, 0u);
+  server.stop();
+}
+
+TEST(ServeServerTest, LoadgenFaultInjectedChannelStaysClean) {
+  ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.queue_capacity = 256;
+  sconfig.inflight_cap = 16;
+  Server server(sconfig);
+
+  LoadgenConfig lconfig;
+  lconfig.clients = 8;
+  lconfig.requests_per_client = 12;
+  lconfig.pipeline = 3;
+  lconfig.distinct = 3;
+  lconfig.patterns = 8;
+  lconfig.width = 32;
+  lconfig.fault_period = 3;  // every 3rd transmit rides the faulty channel
+  lconfig.channel.flip_rate = 2e-3;
+  lconfig.channel.burst_rate = 1e-4;
+  lconfig.channel.truncate_rate = 0.05;
+  lconfig.retransmit_timeout = milliseconds(200);
+  lconfig.deadline = milliseconds(20000);
+  const LoadgenStats stats = run_loadgen_inprocess(lconfig, server);
+
+  // The acceptance gate: zero lost, duplicated or corrupted responses --
+  // every response is byte-identical to the serial reference or a typed
+  // error, even with corrupted frames on the wire.
+  EXPECT_TRUE(stats.clean()) << "mismatches " << stats.byte_mismatches
+                             << " dup " << stats.duplicates << " unresolved "
+                             << stats.unresolved;
+  EXPECT_EQ(stats.requests,
+            lconfig.clients * lconfig.requests_per_client);
+  EXPECT_GT(stats.corrupted_sends, 0u)
+      << "the channel must actually corrupt something for this test to bite";
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nc::serve

@@ -2,8 +2,9 @@
 # CI entry point: run the tier-1 verify three ways -- a plain build, an
 # ASan/UBSan-instrumented one, and a ThreadSanitizer build that runs the
 # concurrency suites (thread pool, sharded parallel codec, container
-# format, fleet session manager, decoder fuzz/watchdog) to catch data
-# races in the parallel pipeline.
+# format, fleet session manager, decoder fuzz/watchdog, and the serve
+# layer: frame protocol, artifact cache, concurrent server + loadgen) to
+# catch data races in the parallel pipeline and the service.
 #
 #   tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 #
@@ -45,10 +46,11 @@ if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$builddir" -j "$jobs" \
     --target thread_pool_test parallel_pipeline_test sharded_format_test \
-    fleet_test decoder_fuzz_test
+    fleet_test decoder_fuzz_test frame_fuzz_test serve_cache_test \
+    serve_server_test retry_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$builddir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|Watchdog'
+    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|Watchdog|FrameFuzz|ServeServer|ArtifactCache|CacheKey|RetryHelper'
 fi
 
 echo "== check.sh: all suites green =="

@@ -9,6 +9,8 @@
 //   ninec stats     --in td.tests [--k-min 4] [--k-max 32]
 //   ninec fleet     --bench c.bench --tests td.tests --devices N
 //                   [--inject SPECS] [--checkpoint FILE] [--resume] ...
+//   ninec serve     --socket /tmp/nc9.sock [--workers N] [--duration-ms N]
+//   ninec loadgen   --socket /tmp/nc9.sock [--clients N] [--inject SPEC]
 //
 // Test sets travel as text (one pattern per line, 0/1/X; '#' comments) when
 // the file ends in .tests/.txt and as the packed binary format of
@@ -38,8 +40,13 @@
 #include "codec/nine_coded.h"
 #include "codec/sharded.h"
 #include "gen/cube_gen.h"
+#include "report/json.h"
 #include "report/table.h"
 #include "rtl/verilog.h"
+#include "serve/loadgen.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+#include "serve/transport.h"
 
 namespace {
 
@@ -74,6 +81,18 @@ using nc::bits::TritVector;
       "             retry, watchdog, circuit breaker and an NC9J checkpoint\n"
       "             journal; SPECS may be ';'-separated, assigned to\n"
       "             devices round-robin)\n"
+      "  serve      --socket PATH [--workers N] [--queue N] [--inflight N]\n"
+      "             [--cache-bytes N] [--duration-ms N]\n"
+      "             (frame-protocol compression service on a Unix socket;\n"
+      "             runs until --duration-ms elapses, default forever)\n"
+      "  loadgen    --socket PATH [--clients N] [--requests N] [--pipeline N]\n"
+      "             [--distinct N] [--patterns N] [--width N] [--seed N]\n"
+      "             [--fault-period N] [--inject SPEC] [--deadline-ms N]\n"
+      "             [--json FILE]\n"
+      "             (N concurrent clients replay a deterministic workload;\n"
+      "             every reply is checked byte-identical to a serial\n"
+      "             reference; exit 0 only if nothing was lost, duplicated\n"
+      "             or corrupted)\n"
       "count options (--devices, --shards, --jobs, --batch, --k, --p, ...)\n"
       "take a positive integer; --shards/--jobs also accept 'auto' (one\n"
       "shard/worker per hardware thread). Malformed values exit with code 2.\n";
@@ -503,6 +522,87 @@ int cmd_fleet(const Args& args) {
   return r.complete && r.passed == devices ? 0 : 1;
 }
 
+int cmd_serve(const Args& args) {
+  nc::serve::ServerConfig cfg;
+  cfg.worker_threads =
+      args.get_count("workers", cfg.worker_threads, std::size_t{0});
+  cfg.queue_capacity = args.get_count("queue", cfg.queue_capacity);
+  cfg.inflight_cap = args.get_count("inflight", cfg.inflight_cap);
+  cfg.cache_capacity = args.get_size("cache-bytes", cfg.cache_capacity);
+  const std::size_t duration_ms = args.get_size("duration-ms", 0);
+
+  nc::serve::UnixListener listener(args.require("socket"));
+  nc::serve::Server server(cfg);
+  std::cout << "serving on " << listener.path()
+            << (duration_ms > 0
+                    ? " for " + std::to_string(duration_ms) + " ms"
+                    : std::string(" until killed"))
+            << '\n';
+  const auto start = std::chrono::steady_clock::now();
+  while (duration_ms == 0 ||
+         std::chrono::steady_clock::now() - start <
+             std::chrono::milliseconds(duration_ms)) {
+    auto conn = listener.accept(std::chrono::milliseconds(200));
+    if (conn) server.serve(std::move(conn));
+  }
+  server.stop();
+  const nc::serve::CacheStats cache = server.cache_stats();
+  std::cout << nc::serve::metrics_json(server.metrics_snapshot(), &cache)
+                   .dump(2)
+            << '\n';
+  return 0;
+}
+
+int cmd_loadgen(const Args& args) {
+  const std::string socket = args.require("socket");
+  nc::serve::LoadgenConfig cfg;
+  cfg.clients = args.get_count("clients", cfg.clients);
+  cfg.requests_per_client =
+      args.get_count("requests", cfg.requests_per_client);
+  cfg.pipeline = args.get_count("pipeline", cfg.pipeline);
+  cfg.distinct = args.get_count("distinct", cfg.distinct);
+  cfg.patterns = args.get_count("patterns", cfg.patterns);
+  cfg.width = args.get_count("width", cfg.width);
+  cfg.seed = args.get_size("seed", cfg.seed);
+  cfg.fault_period = args.get_size("fault-period", cfg.fault_period);
+  if (args.has("inject"))
+    cfg.channel = nc::decomp::ChannelConfig::parse(args.require("inject"));
+  cfg.deadline = std::chrono::milliseconds(
+      args.get_count("deadline-ms", 30000));
+
+  const nc::serve::LoadgenStats stats = nc::serve::run_loadgen(
+      cfg, [&socket] { return nc::serve::connect_unix(socket); });
+
+  std::cout << stats.requests << " requests resolved in " << stats.seconds
+            << " s (" << stats.throughput_rps() << " req/s)\n"
+            << "rejections " << stats.typed_rejections << ", retransmits "
+            << stats.retransmits << ", corrupted sends "
+            << stats.corrupted_sends << ", frame errors "
+            << stats.frame_errors << '\n'
+            << "byte mismatches " << stats.byte_mismatches << ", duplicates "
+            << stats.duplicates << ", unresolved " << stats.unresolved
+            << '\n';
+  if (args.has("json")) {
+    nc::report::Json doc = nc::report::Json::object();
+    doc["requests"] = stats.requests;
+    doc["throughput_rps"] = stats.throughput_rps();
+    doc["typed_rejections"] = stats.typed_rejections;
+    doc["retransmits"] = stats.retransmits;
+    doc["corrupted_sends"] = stats.corrupted_sends;
+    doc["frame_errors"] = stats.frame_errors;
+    doc["byte_mismatches"] = stats.byte_mismatches;
+    doc["duplicates"] = stats.duplicates;
+    doc["unresolved"] = stats.unresolved;
+    doc["clean"] = stats.clean();
+    nc::report::write_json_file(args.require("json"), doc);
+  }
+  const bool all_resolved =
+      stats.requests == cfg.clients * cfg.requests_per_client;
+  std::cout << "clean: " << (stats.clean() && all_resolved ? "yes" : "NO")
+            << '\n';
+  return stats.clean() && all_resolved ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -519,6 +619,8 @@ int main(int argc, char** argv) {
     if (command == "rtl") return cmd_rtl(args);
     if (command == "session") return cmd_session(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "loadgen") return cmd_loadgen(args);
     if (command == "help" || command == "--help") usage();
     usage("unknown command " + command);
   } catch (const std::exception& e) {
