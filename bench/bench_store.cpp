@@ -1,0 +1,165 @@
+// Benchmark of the persistent artifact store as the serve layer's L2 tier:
+// the same workload against a cold store (every artifact computed and
+// written through) and against a warm restart on the same directory (the
+// in-memory cache is empty, so first touches must come from the store),
+// reporting p50/p99 request latency for both, the warm run's L2 hit count,
+// and the space a compaction pass reclaims from churn garbage. Every number
+// lands in BENCH_store.json for the perf trajectory.
+//
+// The exit code is an acceptance gate: both runs must be clean (loadgen
+// verifies every reply byte-identical to its serial reference), the warm
+// run must actually hit the store, and compaction must reclaim bytes.
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "report/table.h"
+#include "serve/loadgen.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+#include "store/store.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  nc::serve::LoadgenStats load;
+  nc::serve::Metrics::Snapshot metrics;
+  nc::store::StoreStats store;
+};
+
+RunResult run_point(const nc::serve::ServerConfig& sconfig,
+                    const nc::serve::LoadgenConfig& lconfig) {
+  nc::serve::Server server(sconfig);
+  RunResult r;
+  r.load = nc::serve::run_loadgen_inprocess(lconfig, server);
+  r.metrics = server.metrics_snapshot();
+  r.store = server.store_stats();
+  server.stop();
+  return r;
+}
+
+nc::report::Json run_json(const char* name, const RunResult& r) {
+  const auto& lat = r.metrics.request_latency;
+  nc::report::Json run = nc::report::Json::object();
+  run["scenario"] = name;
+  run["requests"] = r.load.requests;
+  run["throughput_rps"] = r.load.throughput_rps();
+  run["p50_us"] = lat.quantile_micros(0.50);
+  run["p99_us"] = lat.quantile_micros(0.99);
+  run["mean_us"] = lat.mean_micros();
+  run["l1_hits"] = r.metrics.l1_hits;
+  run["l2_hits"] = r.metrics.l2_hits;
+  run["misses"] = r.metrics.misses;
+  run["revalidation_failures"] = r.metrics.revalidation_failures;
+  run["store_records"] = r.store.records;
+  run["store_live_bytes"] = r.store.live_bytes;
+  run["clean"] = r.load.clean();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path dir = fs::temp_directory_path() / "nc_bench_store";
+  fs::remove_all(dir);
+
+  nc::serve::ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.queue_capacity = 128;
+  sconfig.inflight_cap = 16;
+  sconfig.store_dir = dir.string();
+
+  nc::serve::LoadgenConfig lconfig;
+  lconfig.clients = 8;
+  lconfig.requests_per_client = 40;
+  lconfig.pipeline = 4;
+  lconfig.distinct = 8;
+  lconfig.patterns = 16;
+  lconfig.width = 64;
+
+  // Cold: empty directory, every distinct artifact is computed once and
+  // written through. Warm: a fresh server process-equivalent on the same
+  // directory -- its L1 is empty, so each artifact's first touch must be
+  // served by the persistent store, never recomputed.
+  const RunResult cold = run_point(sconfig, lconfig);
+  const RunResult warm = run_point(sconfig, lconfig);
+
+  // Compaction: churn the store directly (erase + re-put makes garbage in
+  // every segment), then measure what one full pass gives back.
+  std::uint64_t reclaimed = 0;
+  nc::store::StoreStats compacted;
+  {
+    nc::store::StoreConfig cfg;
+    cfg.dir = dir.string();
+    cfg.segment_target_bytes = 16u << 10;
+    cfg.auto_compact = false;
+    nc::store::Store store(cfg);
+    std::mt19937_64 rng(42);
+    std::vector<std::uint8_t> blob(1024);
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+    for (std::uint64_t n = 0; n < 256; ++n)
+      store.put(nc::store::Key{n + 1000, ~n}, blob);
+    for (std::uint64_t n = 0; n < 256; n += 2)
+      store.erase(nc::store::Key{n + 1000, ~n});
+    reclaimed = store.compact(0.0);
+    compacted = store.stats();
+  }
+
+  nc::report::Table out(
+      "Persistent artifact store -- cold vs warm restart (in-process pipes)");
+  out.set_header({"scenario", "req/s", "p50 us", "p99 us", "l1", "l2",
+                  "miss", "clean"});
+  for (const auto& [name, r] :
+       {std::pair<const char*, const RunResult&>{"cold store", cold},
+        {"warm restart", warm}}) {
+    const auto& lat = r.metrics.request_latency;
+    out.row()
+        .add(name)
+        .add(r.load.throughput_rps(), 0)
+        .add(lat.quantile_micros(0.50))
+        .add(lat.quantile_micros(0.99))
+        .add(r.metrics.l1_hits)
+        .add(r.metrics.l2_hits)
+        .add(r.metrics.misses)
+        .add(r.load.clean() ? "yes" : "NO");
+  }
+  out.print(std::cout);
+  std::cout << "\ncompaction reclaimed " << reclaimed << " bytes ("
+            << compacted.compactions << " segments retired, "
+            << compacted.records_moved << " records moved)\n";
+
+  nc::report::Json doc = nc::report::Json::object();
+  doc["bench"] = "store";
+  doc["clients"] = static_cast<std::uint64_t>(lconfig.clients);
+  nc::report::Json runs = nc::report::Json::array();
+  runs.push_back(run_json("cold", cold));
+  runs.push_back(run_json("warm", warm));
+  doc["runs"] = std::move(runs);
+  nc::report::Json comp = nc::report::Json::object();
+  comp["bytes_reclaimed"] = reclaimed;
+  comp["segments_retired"] = compacted.compactions;
+  comp["records_moved"] = compacted.records_moved;
+  comp["dead_bytes_after"] = compacted.dead_bytes;
+  doc["compaction"] = std::move(comp);
+  nc::report::write_json_file("BENCH_store.json", doc);
+  std::cout << "wrote BENCH_store.json\n";
+
+  const bool clean = cold.load.clean() && warm.load.clean();
+  const bool warm_hit_store = warm.metrics.l2_hits > 0;
+  const bool cold_never_hit_store = cold.metrics.l2_hits == 0;
+  std::cout << "all runs clean: " << (clean ? "yes" : "NO")
+            << ", warm run served from store: "
+            << (warm_hit_store ? "yes" : "NO")
+            << ", compaction reclaimed space: "
+            << (reclaimed > 0 ? "yes" : "NO") << '\n';
+  fs::remove_all(dir);
+  return clean && warm_hit_store && cold_never_hit_store && reclaimed > 0
+             ? 0
+             : 1;
+}

@@ -1,10 +1,12 @@
 #include "codec/sharded.h"
 
+#include <algorithm>
 #include <array>
 #include <limits>
 #include <stdexcept>
 
 #include "bits/bitstream.h"
+#include "core/crc.h"
 #include "core/parallel.h"
 #include "core/thread_pool.h"
 
@@ -50,22 +52,20 @@ std::vector<std::pair<std::size_t, std::size_t>> shard_plan(
 
 std::uint32_t shard_crc(const TritVector& v, std::size_t begin,
                         std::size_t len) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit)
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i) {
-    const auto symbol = static_cast<std::uint8_t>(v.get(begin + i));
-    crc = table[(crc ^ symbol) & 0xFFu] ^ (crc >> 8);
+  // Streamed through the shared core CRC in small chunks: the trit symbols
+  // have to be materialized as bytes anyway, and a stack buffer keeps the
+  // slice-by-8 fast path fed without a heap allocation per shard.
+  std::array<std::uint8_t, 256> chunk;
+  std::uint32_t state = core::crc32_init();
+  std::size_t done = 0;
+  while (done < len) {
+    const std::size_t n = std::min(len - done, chunk.size());
+    for (std::size_t i = 0; i < n; ++i)
+      chunk[i] = static_cast<std::uint8_t>(v.get(begin + done + i));
+    state = core::crc32_update(state, chunk.data(), n);
+    done += n;
   }
-  return crc ^ 0xFFFFFFFFu;
+  return core::crc32_final(state);
 }
 
 bool is_sharded(const TritVector& stream) noexcept {

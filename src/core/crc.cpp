@@ -1,0 +1,68 @@
+#include "core/crc.h"
+
+#include <array>
+
+namespace nc::core {
+
+namespace {
+
+// Slice-by-8 lookup tables. Table 0 is the classic per-byte table; table
+// k maps a byte that still has k more table-0 steps ahead of it, so eight
+// bytes fold into the CRC with eight independent lookups and no serial
+// per-byte dependency chain.
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+constexpr CrcTables make_tables() {
+  CrcTables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    t[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+  return t;
+}
+
+constexpr CrcTables kTables = make_tables();
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t len) noexcept {
+  std::uint32_t crc = state;
+  while (len >= 8) {
+    const std::uint32_t lo = crc ^ load_le32(data);
+    const std::uint32_t hi = load_le32(data + 4);
+    crc = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+          kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+          kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    data += 8;
+    len -= 8;
+  }
+  for (std::size_t i = 0; i < len; ++i)
+    crc = kTables[0][(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+}  // namespace nc::core

@@ -1,0 +1,30 @@
+// The one CRC-32 implementation in the tree.
+//
+// Everything that guards bytes against corruption -- the sharded container's
+// per-shard index, the service frame protocol, the fleet checkpoint journal,
+// the artifact caches and the persistent store's segment/manifest records --
+// computes the same checksum: CRC-32 (IEEE 802.3), reflected, polynomial
+// 0xEDB88320, init/final xor 0xFFFFFFFF. It used to be copy-pasted as a
+// bit-at-a-time table in three places; this header is the single shared
+// definition, byte-compatible with all of them (pinned by crc_test.cpp's
+// standard check vector) but implemented slice-by-8, which processes eight
+// input bytes per iteration instead of one table lookup per byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nc::core {
+
+/// One-shot CRC-32 over `len` raw bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept;
+
+/// Streaming form: feed chunks through repeated calls, starting from
+/// `crc32_init()` and finishing with `crc32_final()`. The one-shot form is
+/// exactly crc32_final(crc32_update(crc32_init(), data, len)).
+std::uint32_t crc32_init() noexcept;
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* data,
+                           std::size_t len) noexcept;
+std::uint32_t crc32_final(std::uint32_t state) noexcept;
+
+}  // namespace nc::core

@@ -11,6 +11,7 @@
 
 #include "codec/decode_error.h"
 #include "codec/nine_coded.h"
+#include "core/crc.h"
 #include "core/parallel.h"
 #include "core/thread_pool.h"
 #include "decomp/response_compare.h"
@@ -64,23 +65,10 @@ std::uint64_t double_bits(double d) noexcept {
   return out;
 }
 
-/// CRC-32 (IEEE 802.3, reflected) over raw bytes, guarding the journal the
+/// CRC-32 over raw bytes (the shared core::crc32), guarding the journal the
 /// same way the sharded container guards its payload.
 std::uint32_t crc32_bytes(const unsigned char* data, std::size_t len) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit)
-        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i)
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
+  return core::crc32(data, len);
 }
 
 std::uint32_t read_le32(const unsigned char* p) {

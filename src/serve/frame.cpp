@@ -99,23 +99,6 @@ void write_spec(std::ostringstream& out, const CodecSpec& spec) {
 
 }  // namespace
 
-std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit)
-        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i)
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  return crc ^ 0xFFFFFFFFu;
-}
-
 const char* to_string(ErrorCode code) noexcept {
   switch (code) {
     case ErrorCode::kBadMagic: return "bad frame magic";

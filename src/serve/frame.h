@@ -50,6 +50,7 @@
 #include "bits/trit_vector.h"
 #include "codec/nine_coded.h"
 #include "core/cancel.h"
+#include "core/crc.h"
 #include "serve/transport.h"
 
 namespace nc::serve {
@@ -60,9 +61,9 @@ inline constexpr unsigned kFrameVersion = 1;
 inline constexpr std::size_t kFrameHeaderSize = 20;
 inline constexpr std::size_t kFrameTrailerSize = 4;
 
-/// CRC-32 (IEEE 802.3, reflected) over raw bytes; the frame trailer and the
-/// artifact cache's hit validation both use it.
-std::uint32_t crc32(const std::uint8_t* data, std::size_t len) noexcept;
+/// CRC-32 over raw bytes (the shared core::crc32); the frame trailer and
+/// the artifact cache's hit validation both use it.
+using core::crc32;
 
 enum class FrameType : std::uint8_t {
   kSessionRequest = 1,  // open a named client session

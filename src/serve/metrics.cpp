@@ -1,6 +1,7 @@
 #include "serve/metrics.h"
 
 #include "serve/cache.h"
+#include "store/store.h"
 
 namespace nc::serve {
 
@@ -55,6 +56,11 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
   s.connections = connections.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out.load(std::memory_order_relaxed);
+  s.l1_hits = l1_hits.load(std::memory_order_relaxed);
+  s.l2_hits = l2_hits.load(std::memory_order_relaxed);
+  s.misses = misses.load(std::memory_order_relaxed);
+  s.revalidation_failures =
+      revalidation_failures.load(std::memory_order_relaxed);
   s.request_latency = request_latency.snapshot();
   s.batch_latency = batch_latency.snapshot();
   return s;
@@ -82,8 +88,8 @@ report::Json histogram_json(const LatencyHistogram::Snapshot& h) {
 
 }  // namespace
 
-report::Json metrics_json(const Metrics::Snapshot& m,
-                          const CacheStats* cache) {
+report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
+                          const nc::store::StoreStats* store) {
   report::Json j = report::Json::object();
   j["requests_accepted"] = report::Json(m.requests_accepted);
   j["requests_completed"] = report::Json(m.requests_completed);
@@ -99,6 +105,10 @@ report::Json metrics_json(const Metrics::Snapshot& m,
   j["connections"] = report::Json(m.connections);
   j["bytes_in"] = report::Json(m.bytes_in);
   j["bytes_out"] = report::Json(m.bytes_out);
+  j["l1_hits"] = report::Json(m.l1_hits);
+  j["l2_hits"] = report::Json(m.l2_hits);
+  j["misses"] = report::Json(m.misses);
+  j["revalidation_failures"] = report::Json(m.revalidation_failures);
   j["request_latency"] = histogram_json(m.request_latency);
   j["batch_latency"] = histogram_json(m.batch_latency);
   if (cache != nullptr) {
@@ -112,6 +122,31 @@ report::Json metrics_json(const Metrics::Snapshot& m,
     c["bytes_stored"] = report::Json(cache->bytes_stored);
     c["entries"] = report::Json(cache->entries);
     j["cache"] = std::move(c);
+  }
+  if (store != nullptr) {
+    report::Json s = report::Json::object();
+    s["records"] = report::Json(store->records);
+    s["segments"] = report::Json(store->segments);
+    s["live_bytes"] = report::Json(store->live_bytes);
+    s["dead_bytes"] = report::Json(store->dead_bytes);
+    s["garbage_ratio"] = report::Json(store->garbage_ratio());
+    s["manifest_bytes"] = report::Json(store->manifest_bytes);
+    s["tombstones"] = report::Json(store->tombstones);
+    s["gets"] = report::Json(store->gets);
+    s["hits"] = report::Json(store->hits);
+    s["misses"] = report::Json(store->misses);
+    s["puts"] = report::Json(store->puts);
+    s["duplicate_puts"] = report::Json(store->duplicate_puts);
+    s["erases"] = report::Json(store->erases);
+    s["corrupt_drops"] = report::Json(store->corrupt_drops);
+    s["compactions"] = report::Json(store->compactions);
+    s["records_moved"] = report::Json(store->records_moved);
+    s["bytes_reclaimed"] = report::Json(store->bytes_reclaimed);
+    s["recovered"] = report::Json(store->recovered);
+    s["replayed_records"] = report::Json(store->replayed_records);
+    s["torn_bytes_discarded"] = report::Json(store->torn_bytes_discarded);
+    s["dropped_at_open"] = report::Json(store->dropped_at_open);
+    j["store"] = std::move(s);
   }
   return j;
 }

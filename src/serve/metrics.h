@@ -19,6 +19,10 @@
 
 #include "report/json.h"
 
+namespace nc::store {
+struct StoreStats;
+}
+
 namespace nc::serve {
 
 /// Power-of-two-bucket histogram of microsecond latencies. Bucket i counts
@@ -72,6 +76,14 @@ class Metrics {
   std::atomic<std::uint64_t> connections{0};
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
+  // Tiered artifact lookups. Monotonic, so a Stats reply distinguishes an
+  // answer served from memory (l1), from the persistent store after a
+  // restart (l2), and a full recompute (miss) -- the in-memory CacheStats
+  // alone cannot tell the last two apart across restarts.
+  std::atomic<std::uint64_t> l1_hits{0};
+  std::atomic<std::uint64_t> l2_hits{0};
+  std::atomic<std::uint64_t> misses{0};  // computed from scratch
+  std::atomic<std::uint64_t> revalidation_failures{0};  // corrupt L2 records
 
   LatencyHistogram request_latency;  // accept -> reply written
   LatencyHistogram batch_latency;    // batch formation -> all replies built
@@ -89,6 +101,10 @@ class Metrics {
     std::uint64_t connections = 0;
     std::uint64_t bytes_in = 0;
     std::uint64_t bytes_out = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t revalidation_failures = 0;
     LatencyHistogram::Snapshot request_latency;
     LatencyHistogram::Snapshot batch_latency;
 
@@ -104,9 +120,10 @@ class Metrics {
 };
 
 /// Stats-reply / bench-artifact rendering. `cache` fields come from the
-/// server's ArtifactCache; pass nullptr when no cache is attached.
+/// server's ArtifactCache, `store` from the persistent L2 artifact store;
+/// pass nullptr for a tier that is not attached.
 struct CacheStats;
-report::Json metrics_json(const Metrics::Snapshot& m,
-                          const CacheStats* cache);
+report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
+                          const nc::store::StoreStats* store = nullptr);
 
 }  // namespace nc::serve

@@ -44,6 +44,14 @@ Server::Server(ServerConfig config)
       cache_(config.cache_capacity),
       pool_(config.worker_threads == 0 ? core::ThreadPool::hardware_threads()
                                        : config.worker_threads) {
+  if (!config_.store_dir.empty()) {
+    store::StoreConfig sc;
+    sc.dir = config_.store_dir;
+    sc.segment_target_bytes = config_.store_segment_bytes;
+    sc.compact_garbage_ratio = config_.store_garbage_ratio;
+    sc.pool = &pool_;
+    store_ = std::make_unique<store::Store>(sc);
+  }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -306,26 +314,55 @@ void Server::process_request(const codec::NineCoded& coder,
   try {
     const CacheKey key =
         cache_key(req.type, req.spec, req.payload.data(), req.payload.size());
+    const store::Key skey{key.lo, key.hi};
     std::vector<std::uint8_t> out;
+    bool resolved = false;
     if (auto hit = cache_.get(key)) {
+      metrics_.l1_hits.fetch_add(1, std::memory_order_relaxed);
       out = std::move(*hit);
-    } else if (req.type == FrameType::kEncodeRequest) {
-      const EncodeRequest er = parse_encode_request(req.payload);
-      out = trits_payload(coder.encode(er.tests.flatten()));
+      resolved = true;
+    } else if (store_ != nullptr) {
+      // L2: the persistent store. Any failure here -- corrupt record, I/O
+      // error -- degrades to a miss; the request still computes.
+      try {
+        store::GetResult r = store_->get(skey);
+        if (r.status == store::GetStatus::kHit) {
+          metrics_.l2_hits.fetch_add(1, std::memory_order_relaxed);
+          out = std::move(r.payload);
+          cache_.put(key, out);  // promote to L1
+          resolved = true;
+        } else if (r.status == store::GetStatus::kCorrupt) {
+          metrics_.revalidation_failures.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
+      } catch (const std::exception&) {
+      }
+    }
+    if (!resolved) {
+      metrics_.misses.fetch_add(1, std::memory_order_relaxed);
+      if (req.type == FrameType::kEncodeRequest) {
+        const EncodeRequest er = parse_encode_request(req.payload);
+        out = trits_payload(coder.encode(er.tests.flatten()));
+      } else {
+        const DecodeRequest dr = parse_decode_request(req.payload);
+        if (dr.width != 0 && dr.patterns > kMaxDecodeSymbols / dr.width)
+          throw std::runtime_error("decode geometry too large");
+        const std::size_t original = dr.patterns * dr.width;
+        // Same budget shape as the decompression fleet: linear in the work
+        // a well-formed stream needs, so only runaway streams trip it.
+        core::Watchdog watchdog(64 + 8 * (original + dr.te.size()));
+        const codec::DecodeOutcome outcome =
+            coder.decode_checked(dr.te, original, &watchdog);
+        out = test_set_payload(
+            bits::TestSet::unflatten(outcome.data, dr.patterns, dr.width));
+      }
       cache_.put(key, out);
-    } else {
-      const DecodeRequest dr = parse_decode_request(req.payload);
-      if (dr.width != 0 && dr.patterns > kMaxDecodeSymbols / dr.width)
-        throw std::runtime_error("decode geometry too large");
-      const std::size_t original = dr.patterns * dr.width;
-      // Same budget shape as the decompression fleet: linear in the work a
-      // well-formed stream needs, so only runaway streams trip it.
-      core::Watchdog watchdog(64 + 8 * (original + dr.te.size()));
-      const codec::DecodeOutcome outcome =
-          coder.decode_checked(dr.te, original, &watchdog);
-      out = test_set_payload(
-          bits::TestSet::unflatten(outcome.data, dr.patterns, dr.width));
-      cache_.put(key, out);
+      if (store_ != nullptr) {
+        try {
+          store_->put(skey, out);  // write-through; durable for restarts
+        } catch (const std::exception&) {
+        }
+      }
     }
     Frame reply;
     reply.type = reply_type;
@@ -374,7 +411,13 @@ void Server::finish_request(const Request& req) {
 
 std::vector<std::uint8_t> Server::stats_payload() const {
   const CacheStats cs = cache_.stats();
-  const std::string json = metrics_json(metrics_.snapshot(), &cs).dump(0);
+  std::string json;
+  if (store_ != nullptr) {
+    const store::StoreStats ss = store_->stats();
+    json = metrics_json(metrics_.snapshot(), &cs, &ss).dump(0);
+  } else {
+    json = metrics_json(metrics_.snapshot(), &cs).dump(0);
+  }
   return std::vector<std::uint8_t>(json.begin(), json.end());
 }
 

@@ -44,6 +44,7 @@
 #include "serve/frame.h"
 #include "serve/metrics.h"
 #include "serve/transport.h"
+#include "store/store.h"
 
 namespace nc::serve {
 
@@ -56,6 +57,15 @@ struct ServerConfig {
   /// How long the scheduler lingers for more spec-compatible requests
   /// after the first one arrives.
   std::chrono::milliseconds batch_window{2};
+  /// Directory of the persistent artifact store (L2 tier). Empty = no
+  /// store: every cache miss recomputes. Lookups go L1 (in-memory LRU) ->
+  /// L2 (store, CRC-revalidated; a corrupt record degrades to a miss) ->
+  /// compute, and computed artifacts are written through to both tiers, so
+  /// a restarted server on the same directory answers warm.
+  std::string store_dir;
+  /// Passed through to StoreConfig when store_dir is set.
+  std::size_t store_segment_bytes = 4u << 20;
+  double store_garbage_ratio = 0.35;
   FrameLimits limits;
 };
 
@@ -79,6 +89,9 @@ class Server {
   const Metrics& metrics() const noexcept { return metrics_; }
   Metrics::Snapshot metrics_snapshot() const { return metrics_.snapshot(); }
   CacheStats cache_stats() const { return cache_.stats(); }
+  bool has_store() const noexcept { return store_ != nullptr; }
+  /// Valid only when has_store().
+  store::StoreStats store_stats() const { return store_->stats(); }
 
   /// The Stats reply payload: metrics + cache stats as compact JSON bytes.
   std::vector<std::uint8_t> stats_payload() const;
@@ -118,6 +131,9 @@ class Server {
   Metrics metrics_;
   ArtifactCache cache_;
   core::ThreadPool pool_;
+  // Declared after pool_: ~Store waits out its background compaction task,
+  // which needs the pool still alive (members destroy in reverse order).
+  std::unique_ptr<store::Store> store_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,880 @@
+#include "store/store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "core/crc.h"
+
+namespace nc::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kSegmentMagic = {'N', 'C', '9', 'A'};
+constexpr std::array<std::uint8_t, 4> kManifestMagic = {'N', 'C', '9', 'M'};
+constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 13;  // magic + version + u64
+// Record framing overhead: payload_len + key + trailer CRC.
+constexpr std::size_t kRecordOverhead = 4 + 16 + 4;
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpErase = 2;
+constexpr std::uint8_t kOpRetire = 3;
+
+constexpr std::size_t kPutBodySize = 1 + 16 + 8 + 8 + 4 + 4;
+constexpr std::size_t kEraseBodySize = 1 + 16;
+constexpr std::size_t kRetireBodySize = 1 + 8;
+
+std::uint32_t read_le32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+/// Version-keyed hash in the manifest header, same role as the fleet
+/// journal's config hash: a manifest written by an incompatible layout
+/// refuses to replay instead of being misparsed.
+std::uint64_t manifest_config_hash() {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  const char tag[] = "nc9-artifact-store";
+  for (const char c : tag) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  h ^= kFormatVersion;
+  h *= 0x100000001B3ull;
+  return h;
+}
+
+std::vector<std::uint8_t> manifest_header_bytes() {
+  std::vector<std::uint8_t> out(kManifestMagic.begin(), kManifestMagic.end());
+  out.push_back(kFormatVersion);
+  put_u64(out, manifest_config_hash());
+  return out;
+}
+
+std::vector<std::uint8_t> segment_header_bytes(std::uint64_t id) {
+  std::vector<std::uint8_t> out(kSegmentMagic.begin(), kSegmentMagic.end());
+  out.push_back(kFormatVersion);
+  put_u64(out, id);
+  return out;
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+bool pread_all(int fd, std::uint8_t* buf, std::size_t len, std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done,
+                              static_cast<off_t>(off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // past end of file
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void pwrite_all(int fd, const std::uint8_t* buf, std::size_t len,
+                std::uint64_t off, const std::string& path) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, buf + done, len - done,
+                               static_cast<off_t>(off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed:", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void write_all_fd(int fd, const std::uint8_t* buf, std::size_t len,
+                  const std::string& path) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, buf + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed:", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t file_size_of(int fd) {
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::string segment_file_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.nc9a",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Segment files present in `dir`, sorted by id.
+std::vector<std::pair<std::uint64_t, std::string>> list_segment_files(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) != 0 || !name.ends_with(".nc9a")) continue;
+    const std::string digits = name.substr(4, name.size() - 4 - 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    out.emplace_back(std::stoull(digits), entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string Key::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Store::Segment::~Segment() {
+  if (fd >= 0) ::close(fd);
+}
+
+// ----------------------------------------------------------------- open
+
+Store::Store(StoreConfig config) : config_(std::move(config)) {
+  if (config_.dir.empty())
+    throw std::runtime_error("store: empty directory path");
+  fs::create_directories(config_.dir);
+  manifest_path_ = (fs::path(config_.dir) / "manifest.nc9m").string();
+  for (const auto& [id, path] : list_segment_files(config_.dir))
+    next_segment_id_ = std::max(next_segment_id_, id + 1);
+  replay_manifest();
+  rewrite_manifest_if_bloated();
+}
+
+Store::~Store() {
+  std::unique_lock<std::mutex> clock(compact_mutex_);
+  closing_ = true;
+  compact_cv_.notify_all();
+  compact_cv_.wait(clock,
+                   [this] { return !compact_scheduled_ && !compact_busy_; });
+  clock.unlock();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (manifest_fd_ >= 0) ::close(manifest_fd_);
+  manifest_fd_ = -1;
+}
+
+void Store::replay_manifest() {
+  std::vector<std::uint8_t> bytes;
+  {
+    std::FILE* in = std::fopen(manifest_path_.c_str(), "rb");
+    if (in != nullptr) {
+      std::fseek(in, 0, SEEK_END);
+      const long size = std::ftell(in);
+      std::fseek(in, 0, SEEK_SET);
+      bytes.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+      if (!bytes.empty() &&
+          std::fread(bytes.data(), 1, bytes.size(), in) != bytes.size()) {
+        std::fclose(in);
+        throw std::runtime_error("cannot read store manifest " +
+                                 manifest_path_);
+      }
+      std::fclose(in);
+    }
+  }
+
+  const std::vector<std::uint8_t> header = manifest_header_bytes();
+  if (bytes.size() < kHeaderSize) {
+    // Missing manifest, or a kill mid-header-write while the store was
+    // being created (nothing could have been stored yet). Anything else --
+    // a short foreign file -- must not be clobbered.
+    if (!std::equal(bytes.begin(), bytes.end(), header.begin()))
+      throw std::runtime_error(manifest_path_ +
+                               " is not a store manifest (bad magic)");
+    open_manifest_for_append(0, bytes.size());
+    write_all_fd(manifest_fd_, header.data(), header.size(), manifest_path_);
+    manifest_bytes_ = header.size();
+    return;
+  }
+  if (!std::equal(kManifestMagic.begin(), kManifestMagic.end(), bytes.begin()))
+    throw std::runtime_error(manifest_path_ +
+                             " is not a store manifest (bad magic)");
+  if (bytes[4] != kFormatVersion)
+    throw std::runtime_error(manifest_path_ +
+                             ": unsupported store manifest version");
+  if (read_le64(bytes.data() + 5) != manifest_config_hash())
+    throw std::runtime_error(manifest_path_ +
+                             ": manifest belongs to a different store layout");
+  stats_.recovered = true;
+
+  // Replay: walk records front to back, stopping at the first record whose
+  // length or CRC fails -- everything past it is a torn tail (kill
+  // mid-append) or tampering and is truncated away below.
+  struct PendingLoc {
+    std::uint64_t segment = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t payload_len = 0;
+    std::uint32_t record_crc = 0;
+  };
+  std::unordered_map<Key, PendingLoc, KeyHash> pending;
+  std::unordered_set<std::uint64_t> retired;
+  std::size_t off = kHeaderSize;
+  std::size_t valid_end = kHeaderSize;
+  while (bytes.size() - off >= 8) {
+    const std::uint32_t len = read_le32(bytes.data() + off);
+    if (len == 0 || len > bytes.size() - off - 8) break;
+    const std::uint8_t* body = bytes.data() + off + 4;
+    if (core::crc32(body, len) != read_le32(body + len)) break;
+    const std::uint8_t op = body[0];
+    if (op == kOpPut && len == kPutBodySize) {
+      const Key key{read_le64(body + 1), read_le64(body + 9)};
+      PendingLoc loc;
+      loc.segment = read_le64(body + 17);
+      loc.offset = read_le64(body + 25);
+      loc.payload_len = read_le32(body + 33);
+      loc.record_crc = read_le32(body + 37);
+      pending[key] = loc;
+      tombstones_.erase(key);
+    } else if (op == kOpErase && len == kEraseBodySize) {
+      const Key key{read_le64(body + 1), read_le64(body + 9)};
+      pending.erase(key);
+      tombstones_.insert(key);
+    } else if (op == kOpRetire && len == kRetireBodySize) {
+      retired.insert(read_le64(body + 1));
+    } else {
+      // A record with a valid CRC but a malformed body is not torn damage;
+      // refuse to guess.
+      throw std::runtime_error(manifest_path_ +
+                               ": manifest holds a malformed record");
+    }
+    ++stats_.replayed_records;
+    off += 8 + len;
+    valid_end = off;
+  }
+  stats_.torn_bytes_discarded = bytes.size() - valid_end;
+
+  // Materialize the referenced segments and drop entries the segment files
+  // cannot back (manifest/segment disagreement degrades, never lies).
+  for (const auto& [key, loc] : pending) {
+    if (retired.contains(loc.segment)) {
+      ++stats_.dropped_at_open;
+      continue;
+    }
+    auto seg_it = segments_.find(loc.segment);
+    if (seg_it == segments_.end()) {
+      const std::string path =
+          (fs::path(config_.dir) / segment_file_name(loc.segment)).string();
+      const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) {
+        ++stats_.dropped_at_open;
+        continue;
+      }
+      auto seg = std::make_shared<Segment>();
+      seg->id = loc.segment;
+      seg->path = path;
+      seg->fd = fd;
+      seg->sealed = true;
+      seg->size = file_size_of(fd);
+      seg_it = segments_.emplace(loc.segment, std::move(seg)).first;
+    }
+    const std::shared_ptr<Segment>& seg = seg_it->second;
+    const std::uint64_t rec_size = kRecordOverhead + loc.payload_len;
+    if (loc.offset < kHeaderSize || loc.offset + rec_size > seg->size) {
+      ++stats_.dropped_at_open;
+      continue;
+    }
+    index_[key] = Location{seg, loc.offset, loc.payload_len, loc.record_crc};
+    seg->live_bytes += rec_size;
+    ++seg->live_records;
+  }
+
+  if (stats_.torn_bytes_discarded > 0) {
+    if (::truncate(manifest_path_.c_str(),
+                   static_cast<off_t>(valid_end)) != 0)
+      throw_errno("cannot truncate store manifest", manifest_path_);
+  }
+  open_manifest_for_append(valid_end, valid_end);
+  manifest_bytes_ = valid_end;
+}
+
+void Store::open_manifest_for_append(std::uint64_t valid_end,
+                                     std::uint64_t file_size) {
+  (void)valid_end;
+  (void)file_size;
+  const int fd = ::open(manifest_path_.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("cannot append to store manifest", manifest_path_);
+  manifest_fd_ = fd;
+}
+
+void Store::rewrite_manifest_if_bloated() {
+  // Compaction and churn append put/erase records without bound; once the
+  // manifest carries 4x more records than the store has live state, rewrite
+  // it as one snapshot (tmp + rename, atomic on POSIX). Open-time only, so
+  // no reader or writer can observe the swap.
+  const std::uint64_t state = index_.size() + tombstones_.size();
+  if (stats_.replayed_records <= 64 ||
+      stats_.replayed_records <= 4 * state)
+    return;
+  const std::string tmp = manifest_path_ + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("cannot write", tmp);
+  std::vector<std::uint8_t> out = manifest_header_bytes();
+  auto frame = [&out](const std::vector<std::uint8_t>& body) {
+    put_u32(out, static_cast<std::uint32_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+    put_u32(out, core::crc32(body.data(), body.size()));
+  };
+  for (const auto& [key, loc] : index_) {
+    std::vector<std::uint8_t> body;
+    body.push_back(kOpPut);
+    put_u64(body, key.lo);
+    put_u64(body, key.hi);
+    put_u64(body, loc.segment->id);
+    put_u64(body, loc.offset);
+    put_u32(body, loc.payload_len);
+    put_u32(body, loc.record_crc);
+    frame(body);
+  }
+  for (const Key& key : tombstones_) {
+    std::vector<std::uint8_t> body;
+    body.push_back(kOpErase);
+    put_u64(body, key.lo);
+    put_u64(body, key.hi);
+    frame(body);
+  }
+  write_all_fd(fd, out.data(), out.size(), tmp);
+  ::fsync(fd);
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, manifest_path_, ec);
+  if (ec) throw std::runtime_error("cannot replace store manifest " +
+                                   manifest_path_ + ": " + ec.message());
+  if (manifest_fd_ >= 0) ::close(manifest_fd_);
+  open_manifest_for_append(out.size(), out.size());
+  manifest_bytes_ = out.size();
+}
+
+// ------------------------------------------------------------- mutation
+
+void Store::ensure_active_segment_locked() {
+  if (active_ != nullptr) return;
+  const std::uint64_t id = next_segment_id_++;
+  auto seg = std::make_shared<Segment>();
+  seg->id = id;
+  seg->path = (fs::path(config_.dir) / segment_file_name(id)).string();
+  seg->fd = ::open(seg->path.c_str(),
+                   O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (seg->fd < 0) throw_errno("cannot create store segment", seg->path);
+  const std::vector<std::uint8_t> header = segment_header_bytes(id);
+  pwrite_all(seg->fd, header.data(), header.size(), 0, seg->path);
+  seg->size = header.size();
+  segments_.emplace(id, seg);
+  active_ = std::move(seg);
+}
+
+void Store::seal_active_locked() {
+  if (active_ == nullptr) return;
+  active_->sealed = true;
+  active_ = nullptr;
+}
+
+Store::Location Store::append_record_locked(const Key& key,
+                                            const std::uint8_t* data,
+                                            std::size_t len) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kRecordOverhead + len);
+  put_u32(rec, static_cast<std::uint32_t>(len));
+  put_u64(rec, key.lo);
+  put_u64(rec, key.hi);
+  rec.insert(rec.end(), data, data + len);
+  const std::uint32_t crc = core::crc32(rec.data() + 4, 16 + len);
+  put_u32(rec, crc);
+  // Segment bytes land (and optionally reach disk) before the manifest
+  // record that references them ever exists.
+  pwrite_all(active_->fd, rec.data(), rec.size(), active_->size,
+             active_->path);
+  if (config_.fsync_writes) ::fdatasync(active_->fd);
+  Location loc{active_, active_->size, static_cast<std::uint32_t>(len), crc};
+  active_->size += rec.size();
+  return loc;
+}
+
+void Store::append_manifest_locked(const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + body.size());
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  put_u32(out, core::crc32(body.data(), body.size()));
+  write_all_fd(manifest_fd_, out.data(), out.size(), manifest_path_);
+  if (config_.fsync_writes) ::fdatasync(manifest_fd_);
+  manifest_bytes_ += out.size();
+}
+
+void Store::manifest_put_locked(const Key& key, const Location& loc) {
+  std::vector<std::uint8_t> body;
+  body.reserve(kPutBodySize);
+  body.push_back(kOpPut);
+  put_u64(body, key.lo);
+  put_u64(body, key.hi);
+  put_u64(body, loc.segment->id);
+  put_u64(body, loc.offset);
+  put_u32(body, loc.payload_len);
+  put_u32(body, loc.record_crc);
+  append_manifest_locked(body);
+}
+
+void Store::manifest_erase_locked(const Key& key) {
+  std::vector<std::uint8_t> body;
+  body.reserve(kEraseBodySize);
+  body.push_back(kOpErase);
+  put_u64(body, key.lo);
+  put_u64(body, key.hi);
+  append_manifest_locked(body);
+}
+
+void Store::manifest_retire_locked(std::uint64_t segment_id) {
+  std::vector<std::uint8_t> body;
+  body.reserve(kRetireBodySize);
+  body.push_back(kOpRetire);
+  put_u64(body, segment_id);
+  append_manifest_locked(body);
+}
+
+void Store::drop_entry_locked(const Key& key, const Location& loc) {
+  loc.segment->live_bytes -= kRecordOverhead + loc.payload_len;
+  --loc.segment->live_records;
+  index_.erase(key);
+  tombstones_.insert(key);
+  manifest_erase_locked(key);
+}
+
+void Store::put(const Key& key, const std::uint8_t* data, std::size_t len) {
+  if (len > (std::uint32_t{1} << 30))
+    throw std::runtime_error("store: payload too large");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.puts;
+    if (index_.contains(key)) {
+      // Content-addressed: the stored bytes are already these bytes.
+      ++stats_.duplicate_puts;
+      return;
+    }
+    ensure_active_segment_locked();
+    const Location loc = append_record_locked(key, data, len);
+    manifest_put_locked(key, loc);
+    index_.emplace(key, loc);
+    tombstones_.erase(key);
+    active_->live_bytes += kRecordOverhead + len;
+    ++active_->live_records;
+    if (active_->size >= config_.segment_target_bytes) seal_active_locked();
+  }
+  maybe_schedule_compaction();
+}
+
+void Store::put(const Key& key, const std::vector<std::uint8_t>& payload) {
+  put(key, payload.data(), payload.size());
+}
+
+bool Store::erase(const Key& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    ++stats_.erases;
+    drop_entry_locked(key, it->second);
+  }
+  maybe_schedule_compaction();
+  return true;
+}
+
+bool Store::contains(const Key& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.contains(key);
+}
+
+// ---------------------------------------------------------------- lookup
+
+bool Store::read_record(const Location& loc, const Key& key,
+                        std::vector<std::uint8_t>& payload) const {
+  const std::size_t rec_size = kRecordOverhead + loc.payload_len;
+  std::vector<std::uint8_t> buf(rec_size);
+  if (!pread_all(loc.segment->fd, buf.data(), rec_size, loc.offset))
+    return false;
+  if (read_le32(buf.data()) != loc.payload_len) return false;
+  if (read_le64(buf.data() + 4) != key.lo ||
+      read_le64(buf.data() + 12) != key.hi)
+    return false;
+  const std::uint32_t crc = core::crc32(buf.data() + 4, 16 + loc.payload_len);
+  if (crc != read_le32(buf.data() + 20 + loc.payload_len) ||
+      crc != loc.record_crc)
+    return false;
+  payload.assign(buf.begin() + 20, buf.begin() + 20 + loc.payload_len);
+  return true;
+}
+
+GetResult Store::get(const Key& key) {
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.gets;
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return {};
+    }
+    loc = it->second;  // pins the segment via shared_ptr
+  }
+  std::vector<std::uint8_t> payload;
+  if (read_record(loc, key, payload)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return {GetStatus::kHit, std::move(payload)};
+  }
+  // Revalidation failed: degrade to a miss and tombstone the record so it
+  // is never served again, in this process or after a restart.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_drops;
+    ++stats_.misses;
+    const auto it = index_.find(key);
+    if (it != index_.end() && it->second.segment == loc.segment &&
+        it->second.offset == loc.offset)
+      drop_entry_locked(key, it->second);
+  }
+  return {GetStatus::kCorrupt, {}};
+}
+
+// ------------------------------------------------------------ compaction
+
+std::uint64_t Store::dead_bytes_locked(const Segment& seg) const {
+  return seg.size - kHeaderSize - seg.live_bytes;
+}
+
+std::shared_ptr<Store::Segment> Store::pick_victim_locked(
+    double min_garbage_ratio) const {
+  std::shared_ptr<Segment> best;
+  double best_ratio = -1.0;
+  for (const auto& [id, seg] : segments_) {
+    if (!seg->sealed) continue;
+    const std::uint64_t dead = dead_bytes_locked(*seg);
+    if (dead == 0) continue;
+    const std::uint64_t total = seg->size - kHeaderSize;
+    const double ratio =
+        total == 0 ? 1.0
+                   : static_cast<double>(dead) / static_cast<double>(total);
+    if (ratio < min_garbage_ratio) continue;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = seg;
+    }
+  }
+  return best;
+}
+
+std::uint64_t Store::compact(double min_garbage_ratio) {
+  {
+    std::unique_lock<std::mutex> clock(compact_mutex_);
+    compact_cv_.wait(clock, [this] { return !compact_busy_ || closing_; });
+    if (closing_) return 0;
+    compact_busy_ = true;
+  }
+  std::uint64_t reclaimed = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> clock(compact_mutex_);
+      if (closing_) break;
+    }
+    std::shared_ptr<Segment> victim;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      victim = pick_victim_locked(min_garbage_ratio);
+    }
+    if (victim == nullptr) break;
+    const std::uint64_t got = compact_segment(victim);
+    if (got == 0) break;  // no progress; avoid re-picking the same victim
+    reclaimed += got;
+  }
+  {
+    std::lock_guard<std::mutex> clock(compact_mutex_);
+    compact_busy_ = false;
+  }
+  compact_cv_.notify_all();
+  return reclaimed;
+}
+
+std::uint64_t Store::compact_segment(const std::shared_ptr<Segment>& victim) {
+  // Snapshot the victim's live entries; the victim is sealed, so no new
+  // record can land in it while we work.
+  std::vector<std::pair<Key, Location>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, loc] : index_)
+      if (loc.segment == victim) live.emplace_back(key, loc);
+  }
+  for (const auto& [key, old] : live) {
+    // Read outside the lock (concurrent gets proceed), swap under it.
+    std::vector<std::uint8_t> payload;
+    const bool ok = read_record(old, key, payload);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end() || it->second.segment != victim ||
+        it->second.offset != old.offset)
+      continue;  // raced with an erase or a corrupt-drop; nothing to move
+    if (!ok) {
+      // A live record that no longer verifies: same degradation as get().
+      ++stats_.corrupt_drops;
+      drop_entry_locked(key, it->second);
+      continue;
+    }
+    ensure_active_segment_locked();
+    const Location moved =
+        append_record_locked(key, payload.data(), payload.size());
+    manifest_put_locked(key, moved);
+    it->second = moved;
+    victim->live_bytes -= kRecordOverhead + old.payload_len;
+    --victim->live_records;
+    active_->live_bytes += kRecordOverhead + payload.size();
+    ++active_->live_records;
+    ++stats_.records_moved;
+    if (active_->size >= config_.segment_target_bytes) seal_active_locked();
+  }
+  std::uint64_t file_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (victim->live_records != 0) return 0;  // defensive; cannot happen
+    segments_.erase(victim->id);
+    manifest_retire_locked(victim->id);
+    file_bytes = victim->size;
+    // Readers that pinned the victim before the swap keep reading through
+    // their open fd; the name disappears now, the inode when they let go.
+    ::unlink(victim->path.c_str());
+    ++stats_.compactions;
+    stats_.bytes_reclaimed += file_bytes;
+  }
+  return file_bytes;
+}
+
+void Store::maybe_schedule_compaction() {
+  if (!config_.auto_compact) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pick_victim_locked(config_.compact_garbage_ratio) == nullptr) return;
+  }
+  if (config_.pool == nullptr) {
+    compact(config_.compact_garbage_ratio);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> clock(compact_mutex_);
+    if (closing_ || compact_scheduled_) return;
+    compact_scheduled_ = true;
+  }
+  config_.pool->submit([this] {
+    compact(config_.compact_garbage_ratio);
+    {
+      std::lock_guard<std::mutex> clock(compact_mutex_);
+      compact_scheduled_ = false;
+    }
+    compact_cv_.notify_all();
+  });
+}
+
+// ------------------------------------------------------------------ fsck
+
+FsckReport Store::fsck(bool repair) {
+  // Quiesce compaction: fsck's cross-check must see a stable mapping.
+  {
+    std::unique_lock<std::mutex> clock(compact_mutex_);
+    compact_cv_.wait(clock, [this] { return !compact_busy_; });
+    compact_busy_ = true;
+  }
+  FsckReport rep;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, path] : list_segment_files(config_.dir)) {
+      ++rep.segments_scanned;
+      const auto known = segments_.find(id);
+      std::shared_ptr<Segment> seg =
+          known != segments_.end() ? known->second : nullptr;
+      int fd = seg != nullptr ? seg->fd : -1;
+      bool local_fd = false;
+      if (fd < 0) {
+        fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd < 0) continue;
+        local_fd = true;
+      }
+      const std::uint64_t fsize = file_size_of(fd);
+
+      struct Found {
+        Key key;
+        std::uint64_t offset;
+        std::uint32_t len;
+        std::uint32_t crc;
+      };
+      std::vector<Found> found;
+      std::uint64_t off = kHeaderSize;
+      while (off + kRecordOverhead <= fsize) {
+        std::uint8_t len_buf[4];
+        if (!pread_all(fd, len_buf, 4, off)) break;
+        const std::uint32_t len = read_le32(len_buf);
+        if (off + kRecordOverhead + len > fsize) {
+          // Unparseable tail: a kill mid-segment-append, or a flipped
+          // length field. Either way the walk cannot continue safely.
+          rep.torn_segment_bytes += fsize - off;
+          break;
+        }
+        ++rep.records_scanned;
+        std::vector<std::uint8_t> buf(kRecordOverhead + len);
+        if (!pread_all(fd, buf.data(), buf.size(), off)) break;
+        const std::uint32_t crc = core::crc32(buf.data() + 4, 16 + len);
+        if (crc != read_le32(buf.data() + 20 + len)) {
+          ++rep.corrupt_records;
+        } else {
+          found.push_back(Found{
+              Key{read_le64(buf.data() + 4), read_le64(buf.data() + 12)},
+              off, len, crc});
+        }
+        off += kRecordOverhead + len;
+      }
+
+      std::uint64_t live_here = 0;
+      for (const Found& f : found) {
+        const auto it = index_.find(f.key);
+        if (it != index_.end() && it->second.segment != nullptr &&
+            it->second.segment->id == id && it->second.offset == f.offset) {
+          ++live_here;
+          continue;
+        }
+        if (it != index_.end()) {
+          ++rep.duplicate_records;  // an older dead copy; garbage
+          continue;
+        }
+        if (tombstones_.contains(f.key)) continue;  // deliberately dead
+        ++rep.orphan_records;
+        if (!repair) continue;
+        // Re-index the orphan. Sound because content addressing makes any
+        // CRC-valid record for a key byte-identical to what a fresh
+        // compute would produce.
+        if (seg == nullptr) {
+          seg = std::make_shared<Segment>();
+          seg->id = id;
+          seg->path = path;
+          seg->fd = fd;
+          seg->sealed = true;
+          seg->size = fsize;
+          segments_.emplace(id, seg);
+          local_fd = false;  // adopted
+        }
+        index_[f.key] = Location{seg, f.offset, f.len, f.crc};
+        seg->live_bytes += kRecordOverhead + f.len;
+        ++seg->live_records;
+        ++live_here;
+        manifest_put_locked(f.key, index_[f.key]);
+        ++rep.orphans_recovered;
+        rep.repaired = true;
+      }
+
+      // A file with nothing live and no append handle is a stray: a fully
+      // compacted segment whose unlink was lost to a crash, or pure
+      // garbage.
+      const bool is_active = seg != nullptr && seg == active_;
+      if (live_here == 0 && !is_active &&
+          (seg == nullptr || seg->live_records == 0)) {
+        ++rep.stray_segments;
+        if (repair) {
+          if (seg != nullptr) {
+            segments_.erase(id);
+            manifest_retire_locked(id);
+          }
+          ::unlink(path.c_str());
+          ++rep.stray_segments_removed;
+          rep.repaired = true;
+          local_fd = local_fd && seg == nullptr;
+        }
+      }
+      if (local_fd && fd >= 0) ::close(fd);
+    }
+
+    // Dangling check: every index entry must still verify end to end.
+    std::vector<std::pair<Key, Location>> entries(index_.begin(),
+                                                  index_.end());
+    for (const auto& [key, loc] : entries) {
+      std::vector<std::uint8_t> payload;
+      if (read_record(loc, key, payload)) continue;
+      ++rep.dangling_entries;
+      if (repair) {
+        ++stats_.corrupt_drops;
+        drop_entry_locked(key, loc);
+        rep.repaired = true;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> clock(compact_mutex_);
+    compact_busy_ = false;
+  }
+  compact_cv_.notify_all();
+  rep.clean = rep.dangling_entries == 0 && rep.orphan_records == 0 &&
+              rep.stray_segments == 0;
+  return rep;
+}
+
+// ----------------------------------------------------------------- stats
+
+StoreStats Store::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreStats s = stats_;
+  s.records = index_.size();
+  s.segments = segments_.size();
+  s.tombstones = tombstones_.size();
+  s.manifest_bytes = manifest_bytes_;
+  s.live_bytes = 0;
+  s.dead_bytes = 0;
+  for (const auto& [id, seg] : segments_) {
+    s.live_bytes += seg->live_bytes;
+    s.dead_bytes += dead_bytes_locked(*seg);
+  }
+  return s;
+}
+
+}  // namespace nc::store

@@ -1,0 +1,286 @@
+// Persistent content-addressed artifact store.
+//
+// The serve layer's in-memory artifact cache (serve/cache.h) dies with the
+// process; this store is its durable L2 tier: artifacts keyed by the same
+// 128-bit content address survive restarts, so a rebooted server answers
+// warm instead of recomputing every 9C artifact. The paper's TD-independent
+// decompressor is what makes this sound -- an encoded artifact is a pure
+// function of (kind, codec spec, input bytes), so a stored payload is valid
+// forever and two stores never disagree about a key's bytes.
+//
+// On-disk layout (`dir/`):
+//
+//   manifest.nc9m           write-ahead manifest log (index of record births
+//                           and deaths; the only thing replayed at open)
+//   seg-000001.nc9a ...     append-only segment files holding the payloads
+//
+// Segment file ("NC9A"):
+//   header: magic "NC9A" | u8 version | u64 segment id          (13 bytes)
+//   record: u32 payload_len | u64 key.lo | u64 key.hi |
+//           payload bytes | u32 CRC-32 over (key bytes + payload)
+//
+// Manifest ("NC9M", same discipline as the NC9J fleet journal):
+//   header: magic "NC9M" | u8 version | u64 config hash         (13 bytes)
+//   record: u32 body_len | body | u32 CRC-32(body)
+//   body:   u8 op=1 (put)    | key | u64 segment | u64 offset |
+//                              u32 payload_len | u32 record CRC
+//           u8 op=2 (erase)  | key            (deletion / corruption tombstone)
+//           u8 op=3 (retire) | u64 segment    (segment fully compacted)
+//
+// Crash safety: every mutation appends the segment record FIRST, then the
+// manifest record, each CRC-framed. Replay walks the manifest front to back
+// and stops at the first record whose length or CRC fails -- a kill at any
+// byte offset therefore loses at most the newest record and never corrupts
+// the index; torn tail bytes are truncated away on reopen. A record whose
+// segment bytes landed but whose manifest entry did not is an *orphan*:
+// invisible after reopen, but recoverable by fsck(repair), which re-indexes
+// any CRC-valid segment record that is neither indexed nor tombstoned
+// (sound because content addressing makes every valid record for a key
+// byte-identical).
+//
+// Reads revalidate: get() rereads the record and checks key + CRC; a
+// corrupt record degrades to a miss, is dropped from the index and
+// tombstoned in the manifest so it is never served, now or after restart.
+//
+// Compaction rewrites the live records of the most-garbage sealed segment
+// into the active segment, then retires and unlinks the victim. It is
+// concurrent-reader-safe without a stop-the-world phase: the index maps
+// keys to (shared_ptr<Segment>, offset), readers copy that reference under
+// the lock and pread outside it, so a reader that raced the move still
+// reads the old record through its still-open fd -- byte-identical to the
+// new copy -- and never observes a partially compacted view. When
+// `auto_compact` is on and a segment crosses `compact_garbage_ratio`, the
+// rewrite runs as a background task on the configured nc_core::ThreadPool
+// (or inline when no pool is given).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace nc::store {
+
+/// 128-bit content address (the serve layer's FNV-1a cache key verbatim).
+struct Key {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const Key&) const = default;
+  std::string hex() const;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+struct StoreConfig {
+  std::string dir;
+  /// The active segment is sealed (and a new one started) once it grows
+  /// past this; smaller segments mean finer-grained compaction.
+  std::size_t segment_target_bytes = 4u << 20;
+  /// A sealed segment whose dead fraction reaches this becomes a
+  /// compaction victim.
+  double compact_garbage_ratio = 0.35;
+  /// Schedule compaction automatically after puts/erases that create
+  /// enough garbage. Off for tools that want explicit control (fsck, CLI).
+  bool auto_compact = true;
+  /// Pool for background compaction; nullptr runs eligible compactions
+  /// inline on the mutating thread. Not owned; must outlive the store.
+  core::ThreadPool* pool = nullptr;
+  /// fsync segment + manifest on every mutation. Off by default: the
+  /// store's crash contract (lose at most the newest record) already holds
+  /// against process kills; fsync extends it to power loss at a large
+  /// throughput cost.
+  bool fsync_writes = false;
+};
+
+struct StoreStats {
+  // Current state.
+  std::uint64_t records = 0;        // live keys in the index
+  std::uint64_t segments = 0;       // segment files (including active)
+  std::uint64_t live_bytes = 0;     // record bytes reachable from the index
+  std::uint64_t dead_bytes = 0;     // garbage awaiting compaction
+  std::uint64_t manifest_bytes = 0;
+  std::uint64_t tombstones = 0;
+  // Monotonic since open.
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t duplicate_puts = 0;  // key already stored (content-addressed)
+  std::uint64_t erases = 0;
+  std::uint64_t corrupt_drops = 0;   // records failing revalidation
+  std::uint64_t compactions = 0;     // segments retired
+  std::uint64_t records_moved = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  // Recovery facts from open().
+  bool recovered = false;                  // an existing manifest was replayed
+  std::uint64_t replayed_records = 0;      // manifest records applied
+  std::uint64_t torn_bytes_discarded = 0;  // manifest tail truncated
+  std::uint64_t dropped_at_open = 0;       // entries disagreeing with segments
+
+  double garbage_ratio() const noexcept {
+    const std::uint64_t total = live_bytes + dead_bytes;
+    return total == 0 ? 0.0
+                      : static_cast<double>(dead_bytes) /
+                            static_cast<double>(total);
+  }
+};
+
+struct FsckReport {
+  /// True when the manifest-derived index and the segment files fully
+  /// agree: no index entry without a valid record behind it, no
+  /// recoverable orphan record, no stray segment file. Dead-but-harmless
+  /// garbage (overwritten copies, CRC-invalid unindexed records, torn
+  /// segment tails) is reported in the counters but does not make the
+  /// store unclean -- compaction, not fsck, reclaims it.
+  bool clean = true;
+  bool repaired = false;  // ran with repair=true and changed something
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_scanned = 0;
+  std::uint64_t corrupt_records = 0;      // CRC-invalid segment records
+  std::uint64_t torn_segment_bytes = 0;   // unparseable segment tails
+  std::uint64_t dangling_entries = 0;     // index entries with no valid record
+  std::uint64_t orphan_records = 0;       // valid, unindexed, not tombstoned
+  std::uint64_t orphans_recovered = 0;    // re-indexed by repair
+  std::uint64_t duplicate_records = 0;    // dead extra copies of live keys
+  std::uint64_t stray_segments = 0;       // files with nothing live
+  std::uint64_t stray_segments_removed = 0;
+};
+
+enum class GetStatus : std::uint8_t {
+  kHit,      // payload returned, CRC-revalidated
+  kMiss,     // key not present
+  kCorrupt,  // record failed revalidation; dropped + tombstoned, see a miss
+};
+
+struct GetResult {
+  GetStatus status = GetStatus::kMiss;
+  std::vector<std::uint8_t> payload;  // filled only on kHit
+};
+
+class Store {
+ public:
+  /// Opens (creating the directory and manifest if absent) and replays the
+  /// manifest into the in-memory index. Throws std::runtime_error on a
+  /// manifest that exists but cannot be trusted (foreign magic, wrong
+  /// version/config hash) or on I/O failure. A torn manifest tail is
+  /// truncated, losing at most the newest record.
+  explicit Store(StoreConfig config);
+
+  /// Waits for any in-flight background compaction, flushes and closes.
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Looks the key up and revalidates the stored record (key echo + CRC).
+  /// kCorrupt means the record was dropped and tombstoned; callers treat
+  /// it as a miss but may count it separately.
+  GetResult get(const Key& key);
+
+  /// Durably stores the payload. A key already present is a no-op (content
+  /// addressing: same key implies same bytes). Throws on I/O failure.
+  void put(const Key& key, const std::uint8_t* data, std::size_t len);
+  void put(const Key& key, const std::vector<std::uint8_t>& payload);
+
+  /// Removes the key (manifest tombstone; segment bytes become garbage for
+  /// compaction). Returns false when the key was not present.
+  bool erase(const Key& key);
+
+  bool contains(const Key& key) const;
+
+  /// Compacts sealed segments whose garbage ratio is at least
+  /// `min_garbage_ratio` (0 compacts any sealed segment holding garbage),
+  /// repeatedly until none qualifies. Returns file bytes reclaimed.
+  /// Safe to call concurrently with readers and writers; concurrent
+  /// compactions serialize.
+  std::uint64_t compact(double min_garbage_ratio);
+
+  /// Full segment scan cross-checked against the index. With repair=true,
+  /// drops dangling index entries (tombstoning them), re-indexes orphan
+  /// records and deletes stray segment files. Quiesces compaction for its
+  /// duration; readers and writers block on the store mutex.
+  FsckReport fsck(bool repair);
+
+  StoreStats stats() const;
+  const StoreConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Segment {
+    std::uint64_t id = 0;
+    std::string path;
+    int fd = -1;
+    bool sealed = false;
+    // Mutated only under Store::mutex_.
+    std::uint64_t size = 0;        // append offset / file size
+    std::uint64_t live_bytes = 0;  // record bytes the index references
+    std::uint64_t live_records = 0;
+
+    ~Segment();
+  };
+
+  struct Location {
+    std::shared_ptr<Segment> segment;
+    std::uint64_t offset = 0;       // of the record start within the file
+    std::uint32_t payload_len = 0;
+    std::uint32_t record_crc = 0;   // trailer CRC, cross-checked on read
+  };
+
+  // All *_locked members require mutex_.
+  void ensure_active_segment_locked();
+  void seal_active_locked();
+  Location append_record_locked(const Key& key, const std::uint8_t* data,
+                                std::size_t len);
+  void append_manifest_locked(const std::vector<std::uint8_t>& body);
+  void manifest_put_locked(const Key& key, const Location& loc);
+  void manifest_erase_locked(const Key& key);
+  void manifest_retire_locked(std::uint64_t segment_id);
+  void drop_entry_locked(const Key& key, const Location& loc);
+  std::uint64_t dead_bytes_locked(const Segment& seg) const;
+  std::shared_ptr<Segment> pick_victim_locked(double min_garbage_ratio) const;
+
+  bool read_record(const Location& loc, const Key& key,
+                   std::vector<std::uint8_t>& payload) const;
+  std::uint64_t compact_segment(const std::shared_ptr<Segment>& victim);
+  void maybe_schedule_compaction();
+  void replay_manifest();
+  void rewrite_manifest_if_bloated();
+  void open_manifest_for_append(std::uint64_t valid_end,
+                                std::uint64_t file_size);
+
+  StoreConfig config_;
+  std::string manifest_path_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Location, KeyHash> index_;
+  std::unordered_set<Key, KeyHash> tombstones_;
+  std::map<std::uint64_t, std::shared_ptr<Segment>> segments_;  // id-ordered
+  std::shared_ptr<Segment> active_;
+  std::uint64_t next_segment_id_ = 1;
+  int manifest_fd_ = -1;
+  std::uint64_t manifest_bytes_ = 0;
+  StoreStats stats_;
+
+  // Compaction exclusion: one compaction (or fsck) at a time; the
+  // destructor waits until nothing is in flight.
+  std::mutex compact_mutex_;
+  std::condition_variable compact_cv_;
+  bool compact_busy_ = false;       // a compact()/fsck() pass is running
+  bool compact_scheduled_ = false;  // a background task is queued/running
+  bool closing_ = false;
+};
+
+}  // namespace nc::store

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -355,6 +356,99 @@ TEST(ServeServerTest, LoadgenFaultInjectedChannelStaysClean) {
   EXPECT_GT(stats.corrupted_sends, 0u)
       << "the channel must actually corrupt something for this test to bite";
   server.stop();
+}
+
+// Deterministic distinct test sets for the warm-restart soak; i selects the
+// content, so the same i always produces the same request bytes.
+bits::TestSet varied_test_set(int i) {
+  std::vector<std::string> rows;
+  for (int r = 0; r < 4; ++r) {
+    std::string row;
+    for (int c = 0; c < 8; ++c) {
+      const int v = (i * 31 + r * 7 + c) % 3;
+      row += v == 0 ? '0' : (v == 1 ? '1' : 'X');
+    }
+    rows.push_back(row);
+  }
+  return bits::TestSet::from_strings(rows);
+}
+
+// Warm-restart soak: run load against a server backed by the persistent
+// store, stop it, reopen a fresh server on the same store directory and
+// replay the same work. The warm server must (a) actually serve from the L2
+// store (l2_hits > 0 -- it never computed these artifacts) and (b) return
+// every reply byte-identical to its cold counterpart.
+TEST(ServeServerTest, WarmRestartServesFromStoreByteIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "nc_serve_warm_restart_test";
+  fs::remove_all(dir);
+
+  ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.queue_capacity = 256;
+  sconfig.inflight_cap = 16;
+  sconfig.store_dir = dir.string();
+
+  LoadgenConfig lconfig;
+  lconfig.clients = 4;
+  lconfig.requests_per_client = 15;
+  lconfig.pipeline = 4;
+  lconfig.distinct = 3;
+  lconfig.patterns = 8;
+  lconfig.width = 32;
+
+  constexpr int kProbes = 6;
+  std::vector<std::vector<std::uint8_t>> cold(kProbes);
+  {
+    Server server(sconfig);
+    const LoadgenStats stats = run_loadgen_inprocess(lconfig, server);
+    EXPECT_TRUE(stats.clean()) << "cold soak not clean";
+    TestClient client(server);
+    for (int i = 0; i < kProbes; ++i) {
+      const Frame reply =
+          client.round_trip(encode_request(100 + i, varied_test_set(i)));
+      ASSERT_EQ(reply.type, FrameType::kEncodeReply) << "probe " << i;
+      cold[i] = reply.payload;
+    }
+    // A cold store can't have served anything: every artifact was computed.
+    EXPECT_EQ(server.metrics_snapshot().l2_hits, 0u);
+    EXPECT_GT(server.metrics_snapshot().misses, 0u);
+    server.stop();
+  }
+  {
+    Server server(sconfig);  // same store directory: reopen warm
+    ASSERT_TRUE(server.has_store());
+    EXPECT_TRUE(server.store_stats().recovered);
+    EXPECT_GT(server.store_stats().records, 0u);
+
+    const LoadgenStats stats = run_loadgen_inprocess(lconfig, server);
+    EXPECT_TRUE(stats.clean()) << "warm soak not clean";
+
+    TestClient client(server);
+    for (int i = 0; i < kProbes; ++i) {
+      const Frame reply =
+          client.round_trip(encode_request(200 + i, varied_test_set(i)));
+      ASSERT_EQ(reply.type, FrameType::kEncodeReply) << "probe " << i;
+      EXPECT_EQ(reply.payload, cold[i])
+          << "warm reply " << i << " differs from its cold counterpart";
+    }
+    EXPECT_GT(server.metrics_snapshot().l2_hits, 0u)
+        << "the warm server never touched the persistent store";
+
+    // The Stats reply now carries the store tier.
+    Frame stats_req;
+    stats_req.type = FrameType::kStatsRequest;
+    stats_req.seq = 999;
+    const Frame stats_reply = client.round_trip(stats_req);
+    ASSERT_EQ(stats_reply.type, FrameType::kStatsReply);
+    const std::string json(stats_reply.payload.begin(),
+                           stats_reply.payload.end());
+    EXPECT_NE(json.find("\"store\""), std::string::npos);
+    EXPECT_NE(json.find("\"l2_hits\""), std::string::npos);
+    server.stop();
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -47,6 +47,7 @@
 #include "serve/metrics.h"
 #include "serve/server.h"
 #include "serve/transport.h"
+#include "store/store.h"
 
 namespace {
 
@@ -82,9 +83,20 @@ using nc::bits::TritVector;
       "             journal; SPECS may be ';'-separated, assigned to\n"
       "             devices round-robin)\n"
       "  serve      --socket PATH [--workers N] [--queue N] [--inflight N]\n"
-      "             [--cache-bytes N] [--duration-ms N]\n"
+      "             [--cache-bytes N] [--duration-ms N] [--store DIR]\n"
       "             (frame-protocol compression service on a Unix socket;\n"
-      "             runs until --duration-ms elapses, default forever)\n"
+      "             runs until --duration-ms elapses, default forever;\n"
+      "             --store adds a persistent artifact tier: cache misses\n"
+      "             check DIR before computing, results are written through,\n"
+      "             and a restart on the same DIR answers warm)\n"
+      "  store      <fsck|stats|compact> --dir DIR\n"
+      "             fsck: full segment scan cross-checked against the\n"
+      "             manifest; repairs by default (recover orphans, drop\n"
+      "             dangling entries, remove stray segments) unless\n"
+      "             --scan-only; exit 0 iff the store is clean\n"
+      "             stats: print store statistics as JSON\n"
+      "             compact: rewrite live records out of garbage segments\n"
+      "             [--min-garbage R, default 0 = any garbage]\n"
       "  loadgen    --socket PATH [--clients N] [--requests N] [--pipeline N]\n"
       "             [--distinct N] [--patterns N] [--width N] [--seed N]\n"
       "             [--fault-period N] [--inject SPEC] [--deadline-ms N]\n"
@@ -529,6 +541,9 @@ int cmd_serve(const Args& args) {
   cfg.queue_capacity = args.get_count("queue", cfg.queue_capacity);
   cfg.inflight_cap = args.get_count("inflight", cfg.inflight_cap);
   cfg.cache_capacity = args.get_size("cache-bytes", cfg.cache_capacity);
+  cfg.store_dir = args.get("store");
+  cfg.store_segment_bytes =
+      args.get_size("store-segment-bytes", cfg.store_segment_bytes);
   const std::size_t duration_ms = args.get_size("duration-ms", 0);
 
   nc::serve::UnixListener listener(args.require("socket"));
@@ -547,10 +562,103 @@ int cmd_serve(const Args& args) {
   }
   server.stop();
   const nc::serve::CacheStats cache = server.cache_stats();
-  std::cout << nc::serve::metrics_json(server.metrics_snapshot(), &cache)
-                   .dump(2)
-            << '\n';
+  if (server.has_store()) {
+    const nc::store::StoreStats ss = server.store_stats();
+    std::cout << nc::serve::metrics_json(server.metrics_snapshot(), &cache,
+                                         &ss)
+                     .dump(2)
+              << '\n';
+  } else {
+    std::cout << nc::serve::metrics_json(server.metrics_snapshot(), &cache)
+                     .dump(2)
+              << '\n';
+  }
   return 0;
+}
+
+nc::report::Json store_stats_json(const nc::store::StoreStats& s) {
+  nc::report::Json j = nc::report::Json::object();
+  j["records"] = s.records;
+  j["segments"] = s.segments;
+  j["live_bytes"] = s.live_bytes;
+  j["dead_bytes"] = s.dead_bytes;
+  j["garbage_ratio"] = s.garbage_ratio();
+  j["manifest_bytes"] = s.manifest_bytes;
+  j["tombstones"] = s.tombstones;
+  j["recovered"] = s.recovered;
+  j["replayed_records"] = s.replayed_records;
+  j["torn_bytes_discarded"] = s.torn_bytes_discarded;
+  j["dropped_at_open"] = s.dropped_at_open;
+  j["compactions"] = s.compactions;
+  j["records_moved"] = s.records_moved;
+  j["bytes_reclaimed"] = s.bytes_reclaimed;
+  return j;
+}
+
+nc::report::Json fsck_report_json(const nc::store::FsckReport& r) {
+  nc::report::Json j = nc::report::Json::object();
+  j["clean"] = r.clean;
+  j["repaired"] = r.repaired;
+  j["segments_scanned"] = r.segments_scanned;
+  j["records_scanned"] = r.records_scanned;
+  j["corrupt_records"] = r.corrupt_records;
+  j["torn_segment_bytes"] = r.torn_segment_bytes;
+  j["dangling_entries"] = r.dangling_entries;
+  j["orphan_records"] = r.orphan_records;
+  j["orphans_recovered"] = r.orphans_recovered;
+  j["duplicate_records"] = r.duplicate_records;
+  j["stray_segments"] = r.stray_segments;
+  j["stray_segments_removed"] = r.stray_segments_removed;
+  return j;
+}
+
+int cmd_store(const std::string& action, const Args& args) {
+  nc::store::StoreConfig cfg;
+  cfg.dir = args.require("dir");
+  cfg.auto_compact = false;  // the CLI acts only when told to
+  nc::store::Store store(cfg);
+
+  if (action == "stats") {
+    std::cout << store_stats_json(store.stats()).dump(2) << '\n';
+    return 0;
+  }
+  if (action == "fsck") {
+    const bool repair = !args.has("scan-only");
+    nc::store::FsckReport report = store.fsck(repair);
+    if (repair && report.repaired) {
+      // Rescan so the verdict (and the exit code) reflects the repaired
+      // state, not the damage that was just fixed.
+      const nc::store::FsckReport after = store.fsck(false);
+      nc::report::Json j = nc::report::Json::object();
+      j["repair_pass"] = fsck_report_json(report);
+      j["verify_pass"] = fsck_report_json(after);
+      std::cout << j.dump(2) << '\n';
+      return after.clean ? 0 : 1;
+    }
+    std::cout << fsck_report_json(report).dump(2) << '\n';
+    return report.clean ? 0 : 1;
+  }
+  if (action == "compact") {
+    double min_garbage = 0.0;
+    if (args.has("min-garbage")) {
+      const std::string text = args.require("min-garbage");
+      try {
+        std::size_t pos = 0;
+        min_garbage = std::stod(text, &pos);
+        if (pos != text.size() || min_garbage < 0.0 || min_garbage > 1.0)
+          throw std::invalid_argument(text);
+      } catch (const std::exception&) {
+        usage("--min-garbage expects a ratio in [0,1], got '" + text + "'");
+      }
+    }
+    const std::uint64_t reclaimed = store.compact(min_garbage);
+    nc::report::Json j = nc::report::Json::object();
+    j["bytes_reclaimed"] = reclaimed;
+    j["stats"] = store_stats_json(store.stats());
+    std::cout << j.dump(2) << '\n';
+    return 0;
+  }
+  usage("unknown store action '" + action + "' (fsck|stats|compact)");
 }
 
 int cmd_loadgen(const Args& args) {
@@ -608,6 +716,19 @@ int cmd_loadgen(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "store") {
+    // `store` takes a positional action before the flags.
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
+      usage("store needs an action: ninec store <fsck|stats|compact>");
+    const std::string action = argv[2];
+    const Args store_args(argc, argv, 3);
+    try {
+      return cmd_store(action, store_args);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+  }
   const Args args(argc, argv, 2);
   try {
     if (command == "gen") return cmd_gen(args);
