@@ -154,7 +154,9 @@ std::vector<std::pair<std::uint64_t, std::string>> list_segment_files(
     const std::string name = entry.path().filename().string();
     if (name.rfind("seg-", 0) != 0 || !name.ends_with(".nc9a")) continue;
     const std::string digits = name.substr(4, name.size() - 4 - 5);
-    if (digits.empty() ||
+    // 19 digits is the largest count that always fits a u64; anything
+    // longer is a stray file, not a segment -- skip, don't throw.
+    if (digits.empty() || digits.size() > 19 ||
         digits.find_first_not_of("0123456789") != std::string::npos)
       continue;
     out.emplace_back(std::stoull(digits), entry.path().string());
@@ -326,19 +328,18 @@ void Store::replay_manifest() {
     ++seg->live_records;
   }
 
-  if (stats_.torn_bytes_discarded > 0) {
-    if (::truncate(manifest_path_.c_str(),
-                   static_cast<off_t>(valid_end)) != 0)
-      throw_errno("cannot truncate store manifest", manifest_path_);
-  }
-  open_manifest_for_append(valid_end, valid_end);
+  open_manifest_for_append(valid_end, bytes.size());
   manifest_bytes_ = valid_end;
 }
 
 void Store::open_manifest_for_append(std::uint64_t valid_end,
                                      std::uint64_t file_size) {
-  (void)valid_end;
-  (void)file_size;
+  // A kill can leave bytes past the verified prefix (torn tail, or a
+  // partial header from a kill at store creation). O_APPEND would write
+  // after them, so cut the file back before appending.
+  if (file_size > valid_end &&
+      ::truncate(manifest_path_.c_str(), static_cast<off_t>(valid_end)) != 0)
+    throw_errno("cannot truncate store manifest", manifest_path_);
   const int fd = ::open(manifest_path_.c_str(),
                         O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0) throw_errno("cannot append to store manifest", manifest_path_);
@@ -635,10 +636,12 @@ std::uint64_t Store::compact(double min_garbage_ratio) {
     reclaimed += got;
   }
   {
+    // Notify while holding the lock: ~Store may destroy the CV as soon as
+    // it can observe the predicate, which it cannot until we release.
     std::lock_guard<std::mutex> clock(compact_mutex_);
     compact_busy_ = false;
+    compact_cv_.notify_all();
   }
-  compact_cv_.notify_all();
   return reclaimed;
 }
 
@@ -711,10 +714,10 @@ void Store::maybe_schedule_compaction() {
   }
   config_.pool->submit([this] {
     compact(config_.compact_garbage_ratio);
-    {
-      std::lock_guard<std::mutex> clock(compact_mutex_);
-      compact_scheduled_ = false;
-    }
+    // Notify under the lock; see compact(). After the guard releases, this
+    // task never touches the Store again, so ~Store is free to proceed.
+    std::lock_guard<std::mutex> clock(compact_mutex_);
+    compact_scheduled_ = false;
     compact_cv_.notify_all();
   });
 }
@@ -852,8 +855,8 @@ FsckReport Store::fsck(bool repair) {
   {
     std::lock_guard<std::mutex> clock(compact_mutex_);
     compact_busy_ = false;
+    compact_cv_.notify_all();
   }
-  compact_cv_.notify_all();
   rep.clean = rep.dangling_entries == 0 && rep.orphan_records == 0 &&
               rep.stray_segments == 0;
   return rep;

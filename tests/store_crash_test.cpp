@@ -41,8 +41,9 @@ std::vector<std::uint8_t> slurp(const fs::path& p) {
   const long size = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  if (!bytes.empty())
+  if (!bytes.empty()) {
     EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
   std::fclose(f);
   return bytes;
 }
@@ -50,8 +51,9 @@ std::vector<std::uint8_t> slurp(const fs::path& p) {
 void spew(const fs::path& p, const std::vector<std::uint8_t>& bytes) {
   std::FILE* f = std::fopen(p.string().c_str(), "wb");
   ASSERT_NE(f, nullptr) << p;
-  if (!bytes.empty())
+  if (!bytes.empty()) {
     ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
   std::fclose(f);
 }
 
@@ -142,6 +144,21 @@ TEST_F(StoreCrashTest, ManifestTruncatedAtEveryOffset) {
         ASSERT_EQ(store.get(key_of(n)).payload, payload_of(n, 40 + n * 13))
             << "cut " << cut << " key " << n;
     }
+    // Recovery must itself be recoverable: reopening the repaired directory
+    // a second time must see the full repaired state. (Guards the
+    // partial-header path in particular -- a recovery that appends a fresh
+    // header after surviving torn bytes works once, then bricks the store.)
+    {
+      Store reopened(config(work_));
+      ASSERT_EQ(reopened.stats().records, kKeys) << "cut " << cut;
+      for (std::uint64_t n = 0; n < kKeys; ++n) {
+        const GetResult got = reopened.get(key_of(n));
+        ASSERT_EQ(got.status, GetStatus::kHit) << "cut " << cut << " key " << n;
+        ASSERT_EQ(got.payload, payload_of(n, 40 + n * 13))
+            << "cut " << cut << " key " << n;
+      }
+      ASSERT_TRUE(reopened.fsck(/*repair=*/false).clean) << "cut " << cut;
+    }
   }
   // The full file loses nothing even before repair.
   EXPECT_EQ(prev_live, kKeys);
@@ -171,9 +188,10 @@ TEST_F(StoreCrashTest, ChurnedManifestTruncatedAtEveryOffset) {
     Store store(config(work_));
     for (std::uint64_t n = 0; n < kKeys; ++n) {
       const GetResult got = store.get(key_of(n));
-      if (got.status == GetStatus::kHit)
+      if (got.status == GetStatus::kHit) {
         ASSERT_EQ(got.payload, payload_of(n, 64))
             << "cut " << cut << " key " << n;
+      }
     }
     // Reopen-after-recovery is stable: a second reopen of the same
     // directory sees the same live set.
@@ -243,16 +261,34 @@ TEST_F(StoreCrashTest, SegmentBitFlipsNeverYieldWrongPayload) {
     Store store(config(work_));
     for (std::uint64_t n = 0; n < kKeys; ++n) {
       const GetResult got = store.get(key_of(n));
-      if (got.status == GetStatus::kHit)
+      if (got.status == GetStatus::kHit) {
         ASSERT_EQ(got.payload, payload_of(n, 50))
             << "bit " << bit << " key " << n;
+      }
       // kMiss/kCorrupt: degraded, acceptable. A corrupt result must also be
       // sticky -- the second read of the same key is a plain miss.
-      if (got.status == GetStatus::kCorrupt)
+      if (got.status == GetStatus::kCorrupt) {
         ASSERT_EQ(store.get(key_of(n)).status, GetStatus::kMiss)
             << "bit " << bit << " key " << n;
+      }
     }
   }
+}
+
+// A stray file whose name matches the segment pattern but whose id cannot
+// fit a u64 must be skipped like any other stray, not abort open or fsck.
+TEST_F(StoreCrashTest, OversizedSegmentIdFilenameIsIgnored) {
+  {
+    Store store(config(base_));
+    store.put(key_of(1), payload_of(1, 32));
+  }
+  spew(base_ / "seg-99999999999999999999999.nc9a", {});
+
+  Store store(config(base_));
+  const GetResult got = store.get(key_of(1));
+  ASSERT_EQ(got.status, GetStatus::kHit);
+  EXPECT_EQ(got.payload, payload_of(1, 32));
+  store.fsck(/*repair=*/false);  // must not throw
 }
 
 // Deleting a whole segment file out from under the manifest (worst-case
