@@ -1,0 +1,247 @@
+// Benchmark of the erasure-coded shard tier: the same artifact population
+// read three ways -- clean (all shards healthy), degraded (one whole shard
+// directory deleted; striped payloads reconstruct from k surviving strips,
+// inline payloads fall back to a surviving replica), and post-scrub (the
+// repair pass has restored full redundancy). Reports p50/p99 get latency
+// for each phase and the scrub's repair throughput, all into
+// BENCH_store_erasure.json for the perf trajectory.
+//
+// The exit code is an acceptance gate, not decoration: every get in every
+// phase must return the exact bytes that were put (ZERO wrong payloads,
+// degraded included), the degraded phase must actually reconstruct, and
+// scrub must end with full redundancy and nothing unrecoverable.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "report/table.h"
+#include "store/sharded_store.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned kShards = 4;
+constexpr unsigned kParity = 1;
+constexpr std::size_t kStripeThreshold = 1024;
+constexpr std::uint64_t kArtifacts = 320;
+
+nc::store::Key key_of(std::uint64_t n) {
+  return nc::store::Key{n * 0x9E3779B97F4A7C15ull + 1, ~n};
+}
+
+// Mixed population: ~1/4 inline replicas, the rest striped at various
+// sizes, content deterministic per key so reads can be verified exactly.
+std::vector<std::uint8_t> payload_of(std::uint64_t n) {
+  const std::size_t len = (n % 4 == 0)
+                              ? 128 + n % 256
+                              : kStripeThreshold * (1 + n % 7) + n % 509;
+  std::mt19937_64 rng(n ^ 0xE5C9B63722C2EE79ull);
+  std::vector<std::uint8_t> p(len);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+  return p;
+}
+
+nc::store::ShardedStoreConfig config(const fs::path& dir) {
+  nc::store::ShardedStoreConfig cfg;
+  cfg.dir = dir.string();
+  cfg.shards = kShards;
+  cfg.parity = kParity;
+  cfg.stripe_threshold_bytes = kStripeThreshold;
+  cfg.auto_compact = false;
+  return cfg;
+}
+
+struct Phase {
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+  std::uint64_t wrong_payloads = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_read = 0;
+  double elapsed_ms = 0;
+};
+
+double quantile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+/// Reads every artifact once in a shuffled order, timing each get and
+/// byte-comparing each payload against the generator.
+Phase read_phase(nc::store::ShardedStore& store, std::uint64_t seed) {
+  std::vector<std::uint64_t> order(kArtifacts);
+  for (std::uint64_t n = 0; n < kArtifacts; ++n) order[n] = n;
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  Phase ph;
+  std::vector<double> lat_us;
+  lat_us.reserve(kArtifacts);
+  const auto phase_start = Clock::now();
+  for (const std::uint64_t n : order) {
+    const auto t0 = Clock::now();
+    const nc::store::GetResult got = store.get(key_of(n));
+    const auto t1 = Clock::now();
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    if (got.status != nc::store::GetStatus::kHit) {
+      ++ph.misses;
+      continue;
+    }
+    if (got.payload != payload_of(n)) ++ph.wrong_payloads;
+    ph.bytes_read += got.payload.size();
+  }
+  ph.elapsed_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            phase_start)
+                      .count();
+  std::sort(lat_us.begin(), lat_us.end());
+  ph.p50_us = quantile(lat_us, 0.50);
+  ph.p99_us = quantile(lat_us, 0.99);
+  double sum = 0;
+  for (const double v : lat_us) sum += v;
+  ph.mean_us = lat_us.empty() ? 0 : sum / static_cast<double>(lat_us.size());
+  return ph;
+}
+
+nc::report::Json phase_json(const Phase& ph) {
+  nc::report::Json j = nc::report::Json::object();
+  j["p50_us"] = ph.p50_us;
+  j["p99_us"] = ph.p99_us;
+  j["mean_us"] = ph.mean_us;
+  j["wrong_payloads"] = ph.wrong_payloads;
+  j["misses"] = ph.misses;
+  j["bytes_read"] = ph.bytes_read;
+  j["elapsed_ms"] = ph.elapsed_ms;
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path dir = fs::temp_directory_path() / "nc_bench_store_erasure";
+  fs::remove_all(dir);
+
+  std::uint64_t total_payload_bytes = 0;
+
+  // Populate, then read back clean through a warm reopen (cold caches,
+  // same process -- the comparison point for the degraded run).
+  {
+    nc::store::ShardedStore store(config(dir));
+    for (std::uint64_t n = 0; n < kArtifacts; ++n) {
+      const auto payload = payload_of(n);
+      total_payload_bytes += payload.size();
+      store.put(key_of(n), payload);
+    }
+  }
+  Phase clean;
+  nc::store::ShardedStats clean_stats;
+  {
+    nc::store::ShardedStore store(config(dir));
+    clean = read_phase(store, 1);
+    clean_stats = store.stats();
+  }
+
+  // Kill one whole shard directory; reads must degrade, never lie.
+  fs::remove_all(dir / nc::store::ShardedStore::shard_dir_name(1));
+  Phase degraded;
+  Phase repaired;
+  nc::store::ShardedStats degraded_stats;
+  nc::store::ScrubReport scrub;
+  double scrub_ms = 0;
+  {
+    nc::store::ShardedStore store(config(dir));
+    degraded = read_phase(store, 2);
+    degraded_stats = store.stats();
+
+    const auto t0 = Clock::now();
+    scrub = store.scrub();
+    scrub_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    repaired = read_phase(store, 3);
+  }
+
+  const std::uint64_t repairs = scrub.strips_repaired + scrub.heads_repaired +
+                                scrub.copies_repaired;
+  const double repair_mib_s =
+      scrub_ms > 0 ? static_cast<double>(total_payload_bytes) / (1u << 20) /
+                         (scrub_ms / 1000.0)
+                   : 0;
+
+  nc::report::Table out("Erasure-coded shard tier -- clean vs degraded vs "
+                        "post-scrub reads");
+  out.set_header({"phase", "p50 us", "p99 us", "mean us", "miss", "wrong"});
+  for (const auto& [name, ph] :
+       {std::pair<const char*, const Phase&>{"clean", clean},
+        {"degraded", degraded},
+        {"post-scrub", repaired}}) {
+    out.row()
+        .add(name)
+        .add(ph.p50_us)
+        .add(ph.p99_us)
+        .add(ph.mean_us)
+        .add(ph.misses)
+        .add(ph.wrong_payloads);
+  }
+  out.print(std::cout);
+  std::cout << "\nscrub: " << repairs << " records repaired in " << scrub_ms
+            << " ms (" << repair_mib_s << " MiB/s over the population), "
+            << "degraded reads " << degraded_stats.degraded_reads
+            << ", strips reconstructed "
+            << degraded_stats.strips_reconstructed << '\n';
+
+  nc::report::Json doc = nc::report::Json::object();
+  doc["bench"] = "store_erasure";
+  doc["shards"] = static_cast<std::uint64_t>(kShards);
+  doc["parity"] = static_cast<std::uint64_t>(kParity);
+  doc["stripe_threshold_bytes"] =
+      static_cast<std::uint64_t>(kStripeThreshold);
+  doc["artifacts"] = kArtifacts;
+  doc["payload_bytes"] = total_payload_bytes;
+  doc["clean"] = phase_json(clean);
+  nc::report::Json deg = phase_json(degraded);
+  deg["degraded_reads"] = degraded_stats.degraded_reads;
+  deg["strips_reconstructed"] = degraded_stats.strips_reconstructed;
+  deg["unrecoverable_reads"] = degraded_stats.unrecoverable_reads;
+  doc["degraded"] = std::move(deg);
+  doc["post_scrub"] = phase_json(repaired);
+  nc::report::Json sj = nc::report::Json::object();
+  sj["elapsed_ms"] = scrub_ms;
+  sj["strips_repaired"] = scrub.strips_repaired;
+  sj["heads_repaired"] = scrub.heads_repaired;
+  sj["copies_repaired"] = scrub.copies_repaired;
+  sj["unrecoverable"] = scrub.unrecoverable;
+  sj["full_redundancy"] = scrub.full_redundancy;
+  sj["repair_mib_per_s"] = repair_mib_s;
+  doc["scrub"] = std::move(sj);
+  nc::report::write_json_file("BENCH_store_erasure.json", doc);
+  std::cout << "wrote BENCH_store_erasure.json\n";
+
+  const bool zero_wrong = clean.wrong_payloads == 0 &&
+                          degraded.wrong_payloads == 0 &&
+                          repaired.wrong_payloads == 0;
+  const bool zero_missed = clean.misses == 0 && degraded.misses == 0 &&
+                           repaired.misses == 0;
+  const bool reconstructed = degraded_stats.degraded_reads > 0 &&
+                             degraded_stats.strips_reconstructed > 0;
+  const bool healed = scrub.full_redundancy && scrub.unrecoverable == 0 &&
+                      repairs > 0;
+  std::cout << "zero wrong payloads: " << (zero_wrong ? "yes" : "NO")
+            << ", all hits: " << (zero_missed ? "yes" : "NO")
+            << ", degraded phase reconstructed: "
+            << (reconstructed ? "yes" : "NO")
+            << ", scrub healed to full redundancy: "
+            << (healed ? "yes" : "NO") << '\n';
+  fs::remove_all(dir);
+  return zero_wrong && zero_missed && reconstructed && healed ? 0 : 1;
+}

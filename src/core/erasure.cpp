@@ -1,0 +1,205 @@
+#include "core/erasure.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nc::core {
+
+namespace {
+
+// GF(2^8) with the conventional reducing polynomial x^8+x^4+x^3+x^2+1
+// (0x11D); 2 generates the multiplicative group, so exp/log tables over
+// powers of 2 cover every nonzero element.
+struct GfTables {
+  std::uint8_t exp[512];  // doubled so mul can skip the mod-255 branch
+  std::uint8_t log[256];
+
+  GfTables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // log(0) is undefined; mul() guards the zero case
+  }
+};
+
+const GfTables& gf() {
+  static const GfTables tables;
+  return tables;
+}
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = gf();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  if (a == 0) throw std::invalid_argument("erasure: inverse of 0");
+  const GfTables& t = gf();
+  return t.exp[255 - t.log[a]];
+}
+
+/// Accumulates dst ^= coef * src over a whole strip.
+void axpy(std::uint8_t* dst, const std::uint8_t* src, std::size_t len,
+          std::uint8_t coef) noexcept {
+  if (coef == 0) return;
+  if (coef == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const GfTables& t = gf();
+  const unsigned lc = t.log[coef];
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t s = src[i];
+    if (s) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+/// Inverts a k x k matrix over GF(2^8) in place by Gauss-Jordan.
+/// Throws if singular (cannot happen for Cauchy submatrices; kept as a
+/// defensive check against caller bugs).
+void gf_invert(std::vector<std::uint8_t>& a, unsigned k) {
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(k) * k, 0);
+  for (unsigned i = 0; i < k; ++i) inv[i * k + i] = 1;
+  for (unsigned col = 0; col < k; ++col) {
+    unsigned pivot = col;
+    while (pivot < k && a[pivot * k + col] == 0) ++pivot;
+    if (pivot == k) throw std::invalid_argument("erasure: singular matrix");
+    if (pivot != col) {
+      for (unsigned j = 0; j < k; ++j) {
+        std::swap(a[pivot * k + j], a[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const std::uint8_t scale = gf_inv(a[col * k + col]);
+    for (unsigned j = 0; j < k; ++j) {
+      a[col * k + j] = gf_mul(a[col * k + j], scale);
+      inv[col * k + j] = gf_mul(inv[col * k + j], scale);
+    }
+    for (unsigned row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const std::uint8_t f = a[row * k + col];
+      if (f == 0) continue;
+      for (unsigned j = 0; j < k; ++j) {
+        a[row * k + j] ^= gf_mul(f, a[col * k + j]);
+        inv[row * k + j] ^= gf_mul(f, inv[col * k + j]);
+      }
+    }
+  }
+  a = std::move(inv);
+}
+
+std::size_t common_length(const std::vector<std::vector<std::uint8_t>>& strips,
+                          const std::vector<bool>& present) {
+  std::size_t len = 0;
+  bool seen = false;
+  for (std::size_t i = 0; i < strips.size(); ++i) {
+    if (!present[i]) continue;
+    if (!seen) {
+      len = strips[i].size();
+      seen = true;
+    } else if (strips[i].size() != len) {
+      throw std::invalid_argument("erasure: strip length mismatch");
+    }
+  }
+  if (!seen) throw std::invalid_argument("erasure: no strips present");
+  return len;
+}
+
+}  // namespace
+
+ErasureCodec::ErasureCodec(unsigned data_strips, unsigned parity_strips)
+    : k_(data_strips), m_(parity_strips) {
+  if (k_ < 1 || k_ + m_ > 255)
+    throw std::invalid_argument("erasure: geometry out of range");
+  // Cauchy matrix C[j][i] = 1 / (x_j ^ y_i) with disjoint coordinate sets
+  // x_j = 255 - j (parity rows) and y_i = i (data columns); disjointness
+  // holds because k + m <= 255, and it is what makes every square
+  // submatrix of [I; C] invertible.
+  coding_.resize(static_cast<std::size_t>(m_) * k_);
+  for (unsigned j = 0; j < m_; ++j)
+    for (unsigned i = 0; i < k_; ++i)
+      coding_[j * k_ + i] =
+          gf_inv(static_cast<std::uint8_t>((255 - j) ^ i));
+}
+
+std::vector<std::vector<std::uint8_t>> ErasureCodec::encode(
+    const std::vector<std::vector<std::uint8_t>>& data) const {
+  if (data.size() != k_)
+    throw std::invalid_argument("erasure: encode expects k data strips");
+  const std::size_t len =
+      common_length(data, std::vector<bool>(k_, true));
+  std::vector<std::vector<std::uint8_t>> parity(
+      m_, std::vector<std::uint8_t>(len, 0));
+  for (unsigned j = 0; j < m_; ++j)
+    for (unsigned i = 0; i < k_; ++i)
+      axpy(parity[j].data(), data[i].data(), len, coding_[j * k_ + i]);
+  return parity;
+}
+
+void ErasureCodec::decode(std::vector<std::vector<std::uint8_t>>& strips,
+                          std::vector<unsigned> erased) const {
+  const unsigned n = k_ + m_;
+  if (strips.size() != n)
+    throw std::invalid_argument("erasure: decode expects k+m strips");
+  std::sort(erased.begin(), erased.end());
+  if (std::adjacent_find(erased.begin(), erased.end()) != erased.end())
+    throw std::invalid_argument("erasure: duplicate erased index");
+  if (erased.size() > m_)
+    throw std::invalid_argument("erasure: more erasures than parity");
+  if (!erased.empty() && erased.back() >= n)
+    throw std::invalid_argument("erasure: erased index out of range");
+  if (erased.empty()) return;
+
+  std::vector<bool> present(n, true);
+  for (const unsigned e : erased) present[e] = false;
+  const std::size_t len = common_length(strips, present);
+
+  // Pick the first k surviving strips as the reconstruction basis. Each
+  // survivor is a known linear combination of the k data strips: row i of
+  // the identity for a data strip i, coding row j for parity strip k+j.
+  std::vector<unsigned> basis;
+  for (unsigned i = 0; i < n && basis.size() < k_; ++i)
+    if (present[i]) basis.push_back(i);
+
+  std::vector<std::uint8_t> mat(static_cast<std::size_t>(k_) * k_, 0);
+  for (unsigned r = 0; r < k_; ++r) {
+    const unsigned s = basis[r];
+    if (s < k_)
+      mat[r * k_ + s] = 1;
+    else
+      for (unsigned i = 0; i < k_; ++i)
+        mat[r * k_ + i] = coding_[(s - k_) * k_ + i];
+  }
+  gf_invert(mat, k_);  // mat now maps surviving strips -> data strips
+
+  // Rebuild the erased data strips first (every output depends on them).
+  std::vector<std::vector<std::uint8_t>> data(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    if (present[i]) {
+      data[i] = strips[i];
+      continue;
+    }
+    data[i].assign(len, 0);
+    for (unsigned r = 0; r < k_; ++r)
+      axpy(data[i].data(), strips[basis[r]].data(), len, mat[i * k_ + r]);
+  }
+  for (unsigned i = 0; i < k_; ++i)
+    if (!present[i]) strips[i] = data[i];
+
+  // Then re-derive any erased parity strips from the full data set.
+  for (const unsigned e : erased) {
+    if (e < k_) continue;
+    const unsigned j = e - k_;
+    strips[e].assign(len, 0);
+    for (unsigned i = 0; i < k_; ++i)
+      axpy(strips[e].data(), data[i].data(), len, coding_[j * k_ + i]);
+  }
+}
+
+}  // namespace nc::core

@@ -1,0 +1,54 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// The sharded artifact store splits large artifacts into k equal data
+// strips and derives m parity strips so that ANY k of the k+m strips
+// reconstruct the original bytes exactly. The coding matrix is the
+// systematic [I; C] stack where C is a k-column Cauchy matrix: every k-row
+// subset of a Cauchy-extended matrix is invertible, which is precisely the
+// any-k-of-n guarantee. Field arithmetic is GF(2^8) with the conventional
+// polynomial 0x11D (generator 2), via log/exp tables built at first use.
+//
+// Shape follows the NErasure::ICodec idiom -- encode(data) -> parity,
+// decode(strips, erased) repairs in place -- but sized for this repo:
+// strips are plain byte vectors and geometry is fixed per codec instance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nc::core {
+
+/// Reed-Solomon codec for a fixed (k data, m parity) geometry.
+/// Valid geometries: 1 <= k, 0 <= m, k + m <= 255. All strips in one
+/// encode/decode call must have identical length.
+class ErasureCodec {
+ public:
+  ErasureCodec(unsigned data_strips, unsigned parity_strips);
+
+  unsigned data_strips() const noexcept { return k_; }
+  unsigned parity_strips() const noexcept { return m_; }
+  unsigned total_strips() const noexcept { return k_ + m_; }
+
+  /// Computes the m parity strips for k equal-length data strips.
+  /// Throws std::invalid_argument on geometry or length mismatch.
+  std::vector<std::vector<std::uint8_t>> encode(
+      const std::vector<std::vector<std::uint8_t>>& data) const;
+
+  /// Repairs `strips` in place. `strips` holds all k+m strips in index
+  /// order; entries listed in `erased` are reconstructed from the others
+  /// (their prior contents are ignored -- they may be empty; they are
+  /// resized to the strip length). At most m indices may be erased.
+  /// Throws std::invalid_argument when more than m strips are erased, an
+  /// index is out of range or duplicated, or lengths mismatch.
+  void decode(std::vector<std::vector<std::uint8_t>>& strips,
+              std::vector<unsigned> erased) const;
+
+ private:
+  unsigned k_;
+  unsigned m_;
+  // Row-major m x k Cauchy coding matrix: parity[j] = sum_i C[j][i]*data[i].
+  std::vector<std::uint8_t> coding_;
+};
+
+}  // namespace nc::core

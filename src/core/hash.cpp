@@ -1,0 +1,21 @@
+#include "core/hash.h"
+
+#include <cstdio>
+
+namespace nc::core {
+
+std::string Hash128::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Hash128 fnv128(const std::uint8_t* data, std::size_t len) noexcept {
+  Fnv128 fnv;
+  fnv.update_bytes(data, len);
+  return fnv.digest();
+}
+
+}  // namespace nc::core

@@ -1,52 +1,25 @@
 #include "serve/cache.h"
 
-#include <cstdio>
+#include "core/hash.h"
 
 namespace nc::serve {
 
-namespace {
-
-constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
-constexpr std::uint64_t kFnvOffsetLo = 0xCBF29CE484222325ull;
-// A second, independent offset basis turns one FNV-1a pass into a 128-bit
-// address; both halves see every input byte.
-constexpr std::uint64_t kFnvOffsetHi = 0x6C62272E07BB0142ull;
-
-struct Fnv2 {
-  std::uint64_t lo = kFnvOffsetLo;
-  std::uint64_t hi = kFnvOffsetHi;
-
-  void update(std::uint8_t byte) noexcept {
-    lo = (lo ^ byte) * kFnvPrime;
-    hi = (hi ^ byte) * kFnvPrime;
-  }
-  void update_u64(std::uint64_t v) noexcept {
-    for (int i = 0; i < 8; ++i) update(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void update_bytes(const std::uint8_t* data, std::size_t len) noexcept {
-    for (std::size_t i = 0; i < len; ++i) update(data[i]);
-  }
-};
-
-}  // namespace
-
 std::string CacheKey::hex() const {
-  char buf[33];
-  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
-                static_cast<unsigned long long>(hi),
-                static_cast<unsigned long long>(lo));
-  return buf;
+  return core::Hash128{lo, hi}.hex();
 }
 
 CacheKey cache_key(FrameType kind, const CodecSpec& spec,
                    const std::uint8_t* payload, std::size_t len) {
-  Fnv2 fnv;
+  // The shared 128-bit FNV-1a (core/hash.h) -- byte-compatible with the
+  // digest this file used to compute privately, pinned by hash_test.cpp.
+  core::Fnv128 fnv;
   fnv.update(static_cast<std::uint8_t>(kind));
   fnv.update_u64(spec.k);
   for (const unsigned l : spec.lengths) fnv.update(static_cast<std::uint8_t>(l));
   fnv.update_u64(len);  // length-prefix the variable part
   fnv.update_bytes(payload, len);
-  return {fnv.lo, fnv.hi};
+  const core::Hash128 h = fnv.digest();
+  return {h.lo, h.hi};
 }
 
 ArtifactCache::ArtifactCache(std::size_t capacity_bytes)

@@ -1,6 +1,7 @@
 #include "serve/metrics.h"
 
 #include "serve/cache.h"
+#include "store/sharded_store.h"
 #include "store/store.h"
 
 namespace nc::serve {
@@ -61,6 +62,8 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
   s.misses = misses.load(std::memory_order_relaxed);
   s.revalidation_failures =
       revalidation_failures.load(std::memory_order_relaxed);
+  s.store_put_retries = store_put_retries.load(std::memory_order_relaxed);
+  s.store_put_failures = store_put_failures.load(std::memory_order_relaxed);
   s.request_latency = request_latency.snapshot();
   s.batch_latency = batch_latency.snapshot();
   return s;
@@ -89,7 +92,8 @@ report::Json histogram_json(const LatencyHistogram::Snapshot& h) {
 }  // namespace
 
 report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
-                          const nc::store::StoreStats* store) {
+                          const nc::store::StoreStats* store,
+                          const nc::store::ShardedStats* sharded) {
   report::Json j = report::Json::object();
   j["requests_accepted"] = report::Json(m.requests_accepted);
   j["requests_completed"] = report::Json(m.requests_completed);
@@ -109,6 +113,8 @@ report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
   j["l2_hits"] = report::Json(m.l2_hits);
   j["misses"] = report::Json(m.misses);
   j["revalidation_failures"] = report::Json(m.revalidation_failures);
+  j["store_put_retries"] = report::Json(m.store_put_retries);
+  j["store_put_failures"] = report::Json(m.store_put_failures);
   j["request_latency"] = histogram_json(m.request_latency);
   j["batch_latency"] = histogram_json(m.batch_latency);
   if (cache != nullptr) {
@@ -147,6 +153,28 @@ report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
     s["torn_bytes_discarded"] = report::Json(store->torn_bytes_discarded);
     s["dropped_at_open"] = report::Json(store->dropped_at_open);
     j["store"] = std::move(s);
+  }
+  if (sharded != nullptr) {
+    report::Json s = report::Json::object();
+    s["gets"] = report::Json(sharded->gets);
+    s["hits"] = report::Json(sharded->hits);
+    s["misses"] = report::Json(sharded->misses);
+    s["puts"] = report::Json(sharded->puts);
+    s["erases"] = report::Json(sharded->erases);
+    s["inline_puts"] = report::Json(sharded->inline_puts);
+    s["striped_puts"] = report::Json(sharded->striped_puts);
+    s["degraded_reads"] = report::Json(sharded->degraded_reads);
+    s["strips_reconstructed"] = report::Json(sharded->strips_reconstructed);
+    s["unrecoverable_reads"] = report::Json(sharded->unrecoverable_reads);
+    s["degraded_writes"] = report::Json(sharded->degraded_writes);
+    s["failed_writes"] = report::Json(sharded->failed_writes);
+    s["shard_errors"] = report::Json(sharded->shard_errors);
+    s["breaker_opens"] = report::Json(sharded->breaker_opens);
+    s["breaker_probes"] = report::Json(sharded->breaker_probes);
+    s["skipped_shard_ops"] = report::Json(sharded->skipped_shard_ops);
+    s["scrubs"] = report::Json(sharded->scrubs);
+    s["shards_degraded"] = report::Json(sharded->shards_degraded);
+    j["sharded_store"] = std::move(s);
   }
   return j;
 }

@@ -21,6 +21,7 @@
 
 namespace nc::store {
 struct StoreStats;
+struct ShardedStats;
 }
 
 namespace nc::serve {
@@ -84,6 +85,12 @@ class Metrics {
   std::atomic<std::uint64_t> l2_hits{0};
   std::atomic<std::uint64_t> misses{0};  // computed from scratch
   std::atomic<std::uint64_t> revalidation_failures{0};  // corrupt L2 records
+  // Write-through durability. A transient store I/O error is retried with
+  // a capped backoff (store_put_retries counts the extra attempts); a put
+  // that exhausts its attempts or hits ENOSPC gives up and the server runs
+  // compute-only for a cooldown (store_put_failures).
+  std::atomic<std::uint64_t> store_put_retries{0};
+  std::atomic<std::uint64_t> store_put_failures{0};
 
   LatencyHistogram request_latency;  // accept -> reply written
   LatencyHistogram batch_latency;    // batch formation -> all replies built
@@ -105,6 +112,8 @@ class Metrics {
     std::uint64_t l2_hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t revalidation_failures = 0;
+    std::uint64_t store_put_retries = 0;
+    std::uint64_t store_put_failures = 0;
     LatencyHistogram::Snapshot request_latency;
     LatencyHistogram::Snapshot batch_latency;
 
@@ -124,6 +133,7 @@ class Metrics {
 /// pass nullptr for a tier that is not attached.
 struct CacheStats;
 report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
-                          const nc::store::StoreStats* store = nullptr);
+                          const nc::store::StoreStats* store = nullptr,
+                          const nc::store::ShardedStats* sharded = nullptr);
 
 }  // namespace nc::serve

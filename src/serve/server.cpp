@@ -45,12 +45,28 @@ Server::Server(ServerConfig config)
       pool_(config.worker_threads == 0 ? core::ThreadPool::hardware_threads()
                                        : config.worker_threads) {
   if (!config_.store_dir.empty()) {
-    store::StoreConfig sc;
-    sc.dir = config_.store_dir;
-    sc.segment_target_bytes = config_.store_segment_bytes;
-    sc.compact_garbage_ratio = config_.store_garbage_ratio;
-    sc.pool = &pool_;
-    store_ = std::make_unique<store::Store>(sc);
+    if (config_.store_shards >= 2) {
+      store::ShardedStoreConfig sc;
+      sc.dir = config_.store_dir;
+      sc.shards = config_.store_shards;
+      sc.parity = config_.store_parity;
+      sc.stripe_threshold_bytes = config_.store_stripe_threshold;
+      sc.segment_target_bytes = config_.store_segment_bytes;
+      sc.compact_garbage_ratio = config_.store_garbage_ratio;
+      sc.pool = &pool_;
+      sc.scrub_interval =
+          std::chrono::milliseconds(config_.store_scrub_interval_ms);
+      sharded_store_ = std::make_unique<store::ShardedStore>(sc);
+      tier_ = sharded_store_.get();
+    } else {
+      store::StoreConfig sc;
+      sc.dir = config_.store_dir;
+      sc.segment_target_bytes = config_.store_segment_bytes;
+      sc.compact_garbage_ratio = config_.store_garbage_ratio;
+      sc.pool = &pool_;
+      store_ = std::make_unique<store::Store>(sc);
+      tier_ = store_.get();
+    }
   }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
@@ -317,15 +333,16 @@ void Server::process_request(const codec::NineCoded& coder,
     const store::Key skey{key.lo, key.hi};
     std::vector<std::uint8_t> out;
     bool resolved = false;
+    store::ArtifactTier* tier = store_tier();
     if (auto hit = cache_.get(key)) {
       metrics_.l1_hits.fetch_add(1, std::memory_order_relaxed);
       out = std::move(*hit);
       resolved = true;
-    } else if (store_ != nullptr) {
+    } else if (tier != nullptr) {
       // L2: the persistent store. Any failure here -- corrupt record, I/O
       // error -- degrades to a miss; the request still computes.
       try {
-        store::GetResult r = store_->get(skey);
+        store::GetResult r = tier->get(skey);
         if (r.status == store::GetStatus::kHit) {
           metrics_.l2_hits.fetch_add(1, std::memory_order_relaxed);
           out = std::move(r.payload);
@@ -357,12 +374,7 @@ void Server::process_request(const codec::NineCoded& coder,
             bits::TestSet::unflatten(outcome.data, dr.patterns, dr.width));
       }
       cache_.put(key, out);
-      if (store_ != nullptr) {
-        try {
-          store_->put(skey, out);  // write-through; durable for restarts
-        } catch (const std::exception&) {
-        }
-      }
+      if (tier != nullptr) store_write_through(skey, out);
     }
     Frame reply;
     reply.type = reply_type;
@@ -403,6 +415,47 @@ void Server::send_error(const std::shared_ptr<Connection>& conn,
   send_frame(conn, frame);
 }
 
+store::ArtifactTier* Server::store_tier() {
+  if (tier_ == nullptr) return nullptr;
+  const auto bench = store_resume_at_.load(std::memory_order_relaxed);
+  if (bench != 0) {
+    if (std::chrono::steady_clock::now().time_since_epoch().count() < bench)
+      return nullptr;  // compute-only: the cooldown has not expired
+    store_resume_at_.store(0, std::memory_order_relaxed);
+  }
+  return tier_;
+}
+
+void Server::store_write_through(const store::Key& key,
+                                 const std::vector<std::uint8_t>& payload) {
+  const unsigned attempts = std::max(1u, config_.store_put_attempts);
+  std::chrono::milliseconds backoff{1};
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      metrics_.store_put_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds{2});
+    }
+    try {
+      tier_->put(key, payload.data(), payload.size());
+      return;
+    } catch (const store::StoreError& e) {
+      // Out of space will not heal inside our backoff window; retrying
+      // just burns latency. Bench immediately.
+      if (e.code() == store::StoreErrc::kNoSpace) break;
+    } catch (const std::exception&) {
+      // Transient I/O (or anything else): worth another attempt.
+    }
+  }
+  // Write-through failed for good: the reply still went out (the artifact
+  // lives in L1), but durability is gone. Bench the store so the next
+  // requests skip straight to compute instead of stalling in retries.
+  metrics_.store_put_failures.fetch_add(1, std::memory_order_relaxed);
+  const auto resume = std::chrono::steady_clock::now() + config_.store_cooldown;
+  store_resume_at_.store(resume.time_since_epoch().count(),
+                         std::memory_order_relaxed);
+}
+
 void Server::finish_request(const Request& req) {
   req.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
   metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
@@ -412,7 +465,10 @@ void Server::finish_request(const Request& req) {
 std::vector<std::uint8_t> Server::stats_payload() const {
   const CacheStats cs = cache_.stats();
   std::string json;
-  if (store_ != nullptr) {
+  if (sharded_store_ != nullptr) {
+    const store::ShardedStats ss = sharded_store_->stats();
+    json = metrics_json(metrics_.snapshot(), &cs, nullptr, &ss).dump(0);
+  } else if (store_ != nullptr) {
     const store::StoreStats ss = store_->stats();
     json = metrics_json(metrics_.snapshot(), &cs, &ss).dump(0);
   } else {

@@ -44,6 +44,7 @@
 #include "serve/frame.h"
 #include "serve/metrics.h"
 #include "serve/transport.h"
+#include "store/sharded_store.h"
 #include "store/store.h"
 
 namespace nc::serve {
@@ -66,6 +67,22 @@ struct ServerConfig {
   /// Passed through to StoreConfig when store_dir is set.
   std::size_t store_segment_bytes = 4u << 20;
   double store_garbage_ratio = 0.35;
+  /// L2 tier shape. 0 or 1 = a single plain Store in store_dir (the
+  /// pre-sharding layout); >= 2 = a store::ShardedStore with that many
+  /// shards, `store_parity` of them parity, striping payloads at or above
+  /// `store_stripe_threshold` bytes. Reads that lose up to store_parity
+  /// shards still hit; the damage is visible only in the stats payload.
+  unsigned store_shards = 0;
+  unsigned store_parity = 1;
+  std::size_t store_stripe_threshold = 4096;
+  /// Background scrub period for the sharded tier; 0 = no scrub thread.
+  std::uint32_t store_scrub_interval_ms = 0;
+  /// Write-through durability: a transient store I/O failure is retried
+  /// up to this many attempts (1 = no retry) with a capped backoff; after
+  /// that -- or immediately on ENOSPC -- the store is benched and the
+  /// server runs compute-only until the cooldown expires.
+  unsigned store_put_attempts = 3;
+  std::chrono::milliseconds store_cooldown{2000};
   FrameLimits limits;
 };
 
@@ -89,9 +106,23 @@ class Server {
   const Metrics& metrics() const noexcept { return metrics_; }
   Metrics::Snapshot metrics_snapshot() const { return metrics_.snapshot(); }
   CacheStats cache_stats() const { return cache_.stats(); }
-  bool has_store() const noexcept { return store_ != nullptr; }
-  /// Valid only when has_store().
+  bool has_store() const noexcept { return tier_ != nullptr; }
+  bool has_sharded_store() const noexcept { return sharded_store_ != nullptr; }
+  /// Valid only when has_store() and the tier is a plain single store.
   store::StoreStats store_stats() const { return store_->stats(); }
+  /// Valid only when has_sharded_store().
+  store::ShardedStats sharded_store_stats() const {
+    return sharded_store_->stats();
+  }
+  /// Test access to the plain single-store tier; null when absent or
+  /// sharded. Maintenance (fsck/compact) may run through this while the
+  /// server is serving -- the store serializes internally.
+  store::Store* store() noexcept { return store_.get(); }
+  /// Test/CLI access to the sharded tier; null when the tier is a plain
+  /// store (or no store at all).
+  store::ShardedStore* sharded_store() noexcept {
+    return sharded_store_.get();
+  }
 
   /// The Stats reply payload: metrics + cache stats as compact JSON bytes.
   std::vector<std::uint8_t> stats_payload() const;
@@ -127,13 +158,27 @@ class Server {
                   ErrorCode code, const std::string& detail);
   void finish_request(const Request& req);
 
+  /// The L2 tier to use right now: null when no store is configured or the
+  /// store is benched (cooling down after a failed write-through).
+  store::ArtifactTier* store_tier();
+  /// Write-through with bounded retries; failures bench the store for
+  /// config_.store_cooldown instead of surfacing to the client.
+  void store_write_through(const store::Key& key,
+                           const std::vector<std::uint8_t>& payload);
+
   ServerConfig config_;
   Metrics metrics_;
   ArtifactCache cache_;
   core::ThreadPool pool_;
   // Declared after pool_: ~Store waits out its background compaction task,
   // which needs the pool still alive (members destroy in reverse order).
+  // Exactly one of store_ / sharded_store_ is set when a store directory
+  // is configured; tier_ points at it.
   std::unique_ptr<store::Store> store_;
+  std::unique_ptr<store::ShardedStore> sharded_store_;
+  store::ArtifactTier* tier_ = nullptr;
+  // steady_clock ticks until which the store is benched; 0 = healthy.
+  std::atomic<std::chrono::steady_clock::rep> store_resume_at_{0};
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,329 @@
+#include "store/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <system_error>
+
+namespace nc::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// POSIX passthrough. EINTR is retried here so no caller ever sees it;
+/// short counts from the kernel are passed up (callers loop).
+class PosixIo final : public Io {
+ public:
+  int open_read(const std::string& path) override {
+    for (;;) {
+      const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd >= 0) return fd;
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  int open_rw_trunc(const std::string& path) override {
+    for (;;) {
+      const int fd =
+          ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+      if (fd >= 0) return fd;
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  int open_append(const std::string& path) override {
+    for (;;) {
+      const int fd = ::open(path.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+      if (fd >= 0) return fd;
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  long pread(int fd, std::uint8_t* buf, std::size_t len,
+             std::uint64_t off) override {
+    for (;;) {
+      const ssize_t n = ::pread(fd, buf, len, static_cast<off_t>(off));
+      if (n >= 0) return static_cast<long>(n);
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  long pwrite(int fd, const std::uint8_t* buf, std::size_t len,
+              std::uint64_t off) override {
+    for (;;) {
+      const ssize_t n = ::pwrite(fd, buf, len, static_cast<off_t>(off));
+      if (n >= 0) return static_cast<long>(n);
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  long append(int fd, const std::uint8_t* buf, std::size_t len) override {
+    for (;;) {
+      const ssize_t n = ::write(fd, buf, len);
+      if (n >= 0) return static_cast<long>(n);
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  int fsync_fd(int fd) override {
+    for (;;) {
+      if (::fdatasync(fd) == 0) return 0;
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  long long file_size(int fd) override {
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) return -errno;
+    return static_cast<long long>(st.st_size);
+  }
+
+  int close_fd(int fd) override {
+    // Never retry close on EINTR: POSIX leaves the fd state unspecified
+    // and Linux always releases it.
+    return ::close(fd) == 0 ? 0 : -errno;
+  }
+
+  int truncate_file(const std::string& path, std::uint64_t len) override {
+    for (;;) {
+      if (::truncate(path.c_str(), static_cast<off_t>(len)) == 0) return 0;
+      if (errno != EINTR) return -errno;
+    }
+  }
+
+  int unlink_file(const std::string& path) override {
+    return ::unlink(path.c_str()) == 0 ? 0 : -errno;
+  }
+
+  int rename_file(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) == 0 ? 0 : -errno;
+  }
+
+  int create_dirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    return ec ? -(ec.value() != 0 ? ec.value() : EIO) : 0;
+  }
+
+  int list_dir(const std::string& dir,
+               std::vector<std::string>& names) override {
+    names.clear();
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) return -(ec.value() != 0 ? ec.value() : EIO);
+    for (const auto& entry : it)
+      names.push_back(entry.path().filename().string());
+    return 0;
+  }
+};
+
+}  // namespace
+
+Io& Io::posix() {
+  static PosixIo io;
+  return io;
+}
+
+// ------------------------------------------------------ FaultInjectingIo
+
+void FaultInjectingIo::add_rule(Rule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // count == 0 means "forever"; internally that is a saturated counter so
+  // an exhausted rule (count decremented to 0) is distinguishable.
+  if (rule.count == 0) rule.count = ~std::uint64_t{0};
+  rules_.push_back(std::move(rule));
+}
+
+void FaultInjectingIo::kill_path(std::string substr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  killed_.push_back(std::move(substr));
+}
+
+void FaultInjectingIo::revive_path(const std::string& substr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(killed_, [&substr](const std::string& k) {
+    return k.rfind(substr, 0) == 0;
+  });
+}
+
+void FaultInjectingIo::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  killed_.clear();
+}
+
+FaultInjectingIo::Stats FaultInjectingIo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string FaultInjectingIo::path_of_locked(int fd) const {
+  const auto it = fd_paths_.find(fd);
+  return it != fd_paths_.end() ? it->second : std::string();
+}
+
+int FaultInjectingIo::check_locked(Op op, const std::string& path,
+                                   std::size_t* short_out) {
+  for (const std::string& dead : killed_) {
+    if (path.find(dead) != std::string::npos) {
+      ++stats_.killed_ops;
+      return -EIO;
+    }
+  }
+  for (Rule& rule : rules_) {
+    const bool op_match = rule.op == Op::kAny || rule.op == op;
+    if (!op_match) continue;
+    if (!rule.path_contains.empty() &&
+        path.find(rule.path_contains) == std::string::npos)
+      continue;
+    if (rule.count == 0) continue;  // exhausted; later rules may still match
+    if (rule.skip > 0) {
+      --rule.skip;
+      return 0;
+    }
+    --rule.count;
+    if (rule.short_len > 0 && op == Op::kWrite && short_out != nullptr) {
+      *short_out = rule.short_len;
+      ++stats_.short_writes;
+      return 0;  // the caller performs the (short) write for real
+    }
+    ++stats_.faults_injected;
+    return -rule.err;
+  }
+  return 0;
+}
+
+int FaultInjectingIo::check(Op op, const std::string& path,
+                            std::size_t* short_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return check_locked(op, path, short_out);
+}
+
+int FaultInjectingIo::open_read(const std::string& path) {
+  if (const int err = check(Op::kOpen, path)) return err;
+  const int fd = base_->open_read(path);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+int FaultInjectingIo::open_rw_trunc(const std::string& path) {
+  if (const int err = check(Op::kOpen, path)) return err;
+  const int fd = base_->open_rw_trunc(path);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+int FaultInjectingIo::open_append(const std::string& path) {
+  if (const int err = check(Op::kOpen, path)) return err;
+  const int fd = base_->open_append(path);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+long FaultInjectingIo::pread(int fd, std::uint8_t* buf, std::size_t len,
+                             std::uint64_t off) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path = path_of_locked(fd);
+    if (const int err = check_locked(Op::kRead, path, nullptr)) return err;
+  }
+  return base_->pread(fd, buf, len, off);
+}
+
+long FaultInjectingIo::pwrite(int fd, const std::uint8_t* buf,
+                              std::size_t len, std::uint64_t off) {
+  std::size_t short_len = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string path = path_of_locked(fd);
+    if (const int err = check_locked(Op::kWrite, path, &short_len)) return err;
+  }
+  if (short_len > 0 && short_len < len) len = short_len;
+  return base_->pwrite(fd, buf, len, off);
+}
+
+long FaultInjectingIo::append(int fd, const std::uint8_t* buf,
+                              std::size_t len) {
+  std::size_t short_len = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string path = path_of_locked(fd);
+    if (const int err = check_locked(Op::kWrite, path, &short_len)) return err;
+  }
+  if (short_len > 0 && short_len < len) len = short_len;
+  return base_->append(fd, buf, len);
+}
+
+int FaultInjectingIo::fsync_fd(int fd) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path = path_of_locked(fd);
+    if (const int err = check_locked(Op::kFsync, path, nullptr)) return err;
+  }
+  return base_->fsync_fd(fd);
+}
+
+long long FaultInjectingIo::file_size(int fd) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path = path_of_locked(fd);
+    if (const int err = check_locked(Op::kMeta, path, nullptr)) return err;
+  }
+  return base_->file_size(fd);
+}
+
+int FaultInjectingIo::close_fd(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_.erase(fd);
+  }
+  return base_->close_fd(fd);
+}
+
+int FaultInjectingIo::truncate_file(const std::string& path,
+                                    std::uint64_t len) {
+  if (const int err = check(Op::kMeta, path)) return err;
+  return base_->truncate_file(path, len);
+}
+
+int FaultInjectingIo::unlink_file(const std::string& path) {
+  if (const int err = check(Op::kMeta, path)) return err;
+  return base_->unlink_file(path);
+}
+
+int FaultInjectingIo::rename_file(const std::string& from,
+                                  const std::string& to) {
+  if (const int err = check(Op::kMeta, from)) return err;
+  if (const int err = check(Op::kMeta, to)) return err;
+  return base_->rename_file(from, to);
+}
+
+int FaultInjectingIo::create_dirs(const std::string& path) {
+  if (const int err = check(Op::kMeta, path)) return err;
+  return base_->create_dirs(path);
+}
+
+int FaultInjectingIo::list_dir(const std::string& dir,
+                               std::vector<std::string>& names) {
+  if (const int err = check(Op::kMeta, dir)) return err;
+  return base_->list_dir(dir, names);
+}
+
+}  // namespace nc::store

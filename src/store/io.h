@@ -1,0 +1,144 @@
+// Raw file I/O behind the persistent store, as an interface.
+//
+// Store and ShardedStore never call open/pread/pwrite/fsync directly; they
+// go through an `Io`, so the crash and fault tests can interpose
+// `FaultInjectingIo` and drive *deterministic* schedules of the failures
+// real disks produce -- EIO, ENOSPC, short writes, fsync failure, and a
+// whole directory dying mid-flight -- without root, loop devices or luck.
+//
+// Contract: every call returns its result or a NEGATIVE errno; nothing
+// here throws. Short reads/writes are legal returns (the caller loops),
+// which is exactly the seam the injector uses to tear records.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nc::store {
+
+/// File-system access used by the store. All methods return >= 0 on
+/// success or -errno on failure; none throw.
+class Io {
+ public:
+  virtual ~Io() = default;
+
+  // --- fd ops (open_* return an fd) ---
+  virtual int open_read(const std::string& path) = 0;
+  /// Read/write, create, truncate -- how segment files are born.
+  virtual int open_rw_trunc(const std::string& path) = 0;
+  /// Write-only append, create -- how the manifest log is held.
+  virtual int open_append(const std::string& path) = 0;
+  /// May return short counts; 0 from pread means end of file.
+  virtual long pread(int fd, std::uint8_t* buf, std::size_t len,
+                     std::uint64_t off) = 0;
+  virtual long pwrite(int fd, const std::uint8_t* buf, std::size_t len,
+                      std::uint64_t off) = 0;
+  virtual long append(int fd, const std::uint8_t* buf, std::size_t len) = 0;
+  virtual int fsync_fd(int fd) = 0;
+  /// -errno on failure (never a bogus 0-size success).
+  virtual long long file_size(int fd) = 0;
+  virtual int close_fd(int fd) = 0;
+
+  // --- path ops ---
+  virtual int truncate_file(const std::string& path, std::uint64_t len) = 0;
+  virtual int unlink_file(const std::string& path) = 0;
+  virtual int rename_file(const std::string& from, const std::string& to) = 0;
+  virtual int create_dirs(const std::string& path) = 0;
+  /// Fills `names` with the entry names (not paths) in `dir`.
+  virtual int list_dir(const std::string& dir,
+                       std::vector<std::string>& names) = 0;
+
+  /// The real thing; process-wide singleton, stateless and thread-safe.
+  static Io& posix();
+};
+
+/// Deterministic failure injection around a base Io (default: posix).
+///
+/// Faults come from an ordered rule list. Each intercepted call finds the
+/// FIRST rule matching its operation class and path; a match consumes one
+/// trigger: the rule lets `skip` matching calls through untouched, then
+/// fires `count` times (0 = forever), returning `-err` -- or, for writes
+/// with `short_len` set, performing a genuine short write of `short_len`
+/// bytes before the error takes effect on the next call. `kill_path`
+/// additionally marks a path substring as dead: every operation touching
+/// it fails with EIO, which is what a yanked shard directory looks like.
+///
+/// Thread-safe; fd->path tracking is internal so rules match by path even
+/// for fd-level calls.
+class FaultInjectingIo final : public Io {
+ public:
+  enum class Op : std::uint8_t {
+    kAny,
+    kOpen,   // open_read / open_rw_trunc / open_append
+    kRead,   // pread
+    kWrite,  // pwrite / append
+    kFsync,
+    kMeta,   // truncate / unlink / rename / create_dirs / list_dir
+  };
+
+  struct Rule {
+    Op op = Op::kAny;
+    std::string path_contains;   // empty matches every path
+    std::uint64_t skip = 0;      // matching calls to pass through first
+    std::uint64_t count = 1;     // times to fire after that; 0 = forever
+    int err = EIO;               // errno to inject (returned negated)
+    std::size_t short_len = 0;   // writes only: bytes actually written when
+                                 // firing; err is ignored for that call
+  };
+
+  struct Stats {
+    std::uint64_t faults_injected = 0;
+    std::uint64_t short_writes = 0;
+    std::uint64_t killed_ops = 0;  // ops refused on a killed path
+  };
+
+  explicit FaultInjectingIo(Io* base = nullptr)
+      : base_(base != nullptr ? base : &Io::posix()) {}
+
+  void add_rule(Rule rule);
+  /// Every op whose path contains `substr` fails with EIO from now on.
+  void kill_path(std::string substr);
+  /// Lifts a previous kill_path (prefix match on the registered substring).
+  void revive_path(const std::string& substr);
+  void clear();
+  Stats stats() const;
+
+  int open_read(const std::string& path) override;
+  int open_rw_trunc(const std::string& path) override;
+  int open_append(const std::string& path) override;
+  long pread(int fd, std::uint8_t* buf, std::size_t len,
+             std::uint64_t off) override;
+  long pwrite(int fd, const std::uint8_t* buf, std::size_t len,
+              std::uint64_t off) override;
+  long append(int fd, const std::uint8_t* buf, std::size_t len) override;
+  int fsync_fd(int fd) override;
+  long long file_size(int fd) override;
+  int close_fd(int fd) override;
+  int truncate_file(const std::string& path, std::uint64_t len) override;
+  int unlink_file(const std::string& path) override;
+  int rename_file(const std::string& from, const std::string& to) override;
+  int create_dirs(const std::string& path) override;
+  int list_dir(const std::string& dir,
+               std::vector<std::string>& names) override;
+
+ private:
+  /// Returns 0 to pass through, or the negative errno to inject.
+  /// `short_out` is set for writes when the rule asks for a short write.
+  int check_locked(Op op, const std::string& path, std::size_t* short_out);
+  int check(Op op, const std::string& path, std::size_t* short_out = nullptr);
+  std::string path_of_locked(int fd) const;
+
+  Io* base_;
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+  std::vector<std::string> killed_;
+  std::unordered_map<int, std::string> fd_paths_;
+  Stats stats_;
+};
+
+}  // namespace nc::store

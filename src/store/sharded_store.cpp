@@ -1,0 +1,939 @@
+#include "store/sharded_store.h"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/crc.h"
+#include "core/hash.h"
+#include "store/io.h"
+
+namespace nc::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Record type bytes, the first payload byte of every record a ShardedStore
+// writes into its shard Stores. Anything else in a shard directory was not
+// written by this router.
+constexpr std::uint8_t kInlineHead = 0xA1;  // | u8 copies | u32 crc | payload
+constexpr std::uint8_t kStripedHead = 0xA2;  // | u8 k | u8 m | u64 len | u32 crc
+constexpr std::uint8_t kStripRecord = 0xA3;  // | u8 index | u8 k | u8 m | bytes
+
+constexpr std::size_t kInlineHeadBytes = 6;
+constexpr std::size_t kStripedHeadBytes = 15;
+constexpr std::size_t kStripHeaderBytes = 4;
+
+constexpr char kMarkerName[] = "sharded.nc9x";
+constexpr std::array<std::uint8_t, 4> kMarkerMagic = {'N', 'C', '9', 'X'};
+constexpr std::uint8_t kMarkerVersion = 1;
+constexpr std::size_t kMarkerBytes = 4 + 1 + 1 + 1 + 4;  // magic ver n m crc
+
+std::uint32_t read_le32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+}
+
+struct HeadInfo {
+  std::uint8_t type = 0;  // kInlineHead or kStripedHead
+  unsigned copies = 0;    // inline
+  unsigned k = 0, m = 0;  // striped
+  std::uint64_t total_len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Parses a head record; false for anything malformed (served strips are
+/// also "not a head"). Inline payload bytes start at kInlineHeadBytes.
+bool parse_head(const std::vector<std::uint8_t>& rec, HeadInfo& out) {
+  if (rec.empty()) return false;
+  if (rec[0] == kInlineHead) {
+    if (rec.size() < kInlineHeadBytes) return false;
+    out.type = kInlineHead;
+    out.copies = rec[1];
+    out.crc = read_le32(rec.data() + 2);
+    return out.copies >= 1;
+  }
+  if (rec[0] == kStripedHead) {
+    if (rec.size() != kStripedHeadBytes) return false;
+    out.type = kStripedHead;
+    out.k = rec[1];
+    out.m = rec[2];
+    out.total_len = read_le64(rec.data() + 3);
+    out.crc = read_le32(rec.data() + 11);
+    return out.k >= 1;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> inline_head_record(unsigned copies,
+                                             const std::uint8_t* data,
+                                             std::size_t len) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kInlineHeadBytes + len);
+  rec.push_back(kInlineHead);
+  rec.push_back(static_cast<std::uint8_t>(copies));
+  put_u32(rec, core::crc32(data, len));
+  rec.insert(rec.end(), data, data + len);
+  return rec;
+}
+
+std::vector<std::uint8_t> striped_head_record(unsigned k, unsigned m,
+                                              std::uint64_t total_len,
+                                              std::uint32_t crc) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kStripedHeadBytes);
+  rec.push_back(kStripedHead);
+  rec.push_back(static_cast<std::uint8_t>(k));
+  rec.push_back(static_cast<std::uint8_t>(m));
+  put_u64(rec, total_len);
+  put_u32(rec, crc);
+  return rec;
+}
+
+std::vector<std::uint8_t> strip_record(unsigned index, unsigned k, unsigned m,
+                                       const std::uint8_t* data,
+                                       std::size_t len) {
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kStripHeaderBytes + len);
+  rec.push_back(kStripRecord);
+  rec.push_back(static_cast<std::uint8_t>(index));
+  rec.push_back(static_cast<std::uint8_t>(k));
+  rec.push_back(static_cast<std::uint8_t>(m));
+  rec.insert(rec.end(), data, data + len);
+  return rec;
+}
+
+/// Validates a fetched strip record against the stripe geometry; on
+/// success copies the strip bytes out.
+bool parse_strip(const std::vector<std::uint8_t>& rec, unsigned index,
+                 unsigned k, unsigned m, std::size_t strip_len,
+                 std::vector<std::uint8_t>& out) {
+  if (rec.size() != kStripHeaderBytes + strip_len) return false;
+  if (rec[0] != kStripRecord || rec[1] != index || rec[2] != k || rec[3] != m)
+    return false;
+  out.assign(rec.begin() + kStripHeaderBytes, rec.end());
+  return true;
+}
+
+std::size_t strip_length(std::uint64_t total_len, unsigned k) {
+  return static_cast<std::size_t>((total_len + k - 1) / k);
+}
+
+}  // namespace
+
+const char* to_string(ShardHealth health) noexcept {
+  switch (health) {
+    case ShardHealth::kClosed:
+      return "closed";
+    case ShardHealth::kOpen:
+      return "open";
+    case ShardHealth::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+std::string ShardedStore::shard_dir_name(unsigned shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%02u", shard);
+  return buf;
+}
+
+bool ShardedStore::is_sharded_dir(const std::string& dir) {
+  std::error_code ec;
+  return fs::exists(fs::path(dir) / kMarkerName, ec);
+}
+
+// ------------------------------------------------------------------ open
+
+ShardedStore::ShardedStore(ShardedStoreConfig config)
+    : config_(std::move(config)),
+      io_(config_.io != nullptr ? config_.io : &Io::posix()),
+      codec_(1, 0) {
+  if (config_.dir.empty())
+    throw StoreError(StoreErrc::kInvalid, "sharded store: empty directory");
+  if (const int err = io_->create_dirs(config_.dir))
+    throw StoreError(StoreErrc::kIoError,
+                     "cannot create sharded store directory " + config_.dir +
+                         ": " + std::strerror(-err));
+  load_or_write_marker();
+  if (config_.shards < 2 || config_.shards > 64)
+    throw StoreError(StoreErrc::kInvalid,
+                     "sharded store: shard count must be in [2, 64]");
+  if (config_.parity >= config_.shards)
+    throw StoreError(StoreErrc::kInvalid,
+                     "sharded store: parity must be < shards");
+  codec_ = core::ErasureCodec(data_strips(), config_.parity);
+
+  shards_.resize(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    try {
+      shards_[s].store = open_shard(s);
+    } catch (const std::exception&) {
+      // An unopenable shard quarantines itself instead of failing the
+      // whole tier; a later half-open probe retries the open.
+      shards_[s].health = ShardHealth::kOpen;
+      ++stats_.breaker_opens;
+    }
+  }
+
+  if (config_.scrub_interval.count() > 0) {
+    scrub_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(scrub_mutex_);
+      while (!stop_scrub_) {
+        if (scrub_cv_.wait_for(lock, config_.scrub_interval,
+                               [this] { return stop_scrub_; }))
+          break;
+        lock.unlock();
+        try {
+          scrub();
+        } catch (const std::exception&) {
+          // Background scrub is best-effort; the next pass retries.
+        }
+        lock.lock();
+      }
+    });
+  }
+}
+
+ShardedStore::~ShardedStore() {
+  if (scrub_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(scrub_mutex_);
+      stop_scrub_ = true;
+    }
+    scrub_cv_.notify_all();
+    scrub_thread_.join();
+  }
+}
+
+void ShardedStore::load_or_write_marker() {
+  const std::string path = (fs::path(config_.dir) / kMarkerName).string();
+  const int fd = io_->open_read(path);
+  if (fd >= 0) {
+    std::uint8_t buf[kMarkerBytes];
+    bool ok = true;
+    std::size_t done = 0;
+    while (done < kMarkerBytes) {
+      const long n = io_->pread(fd, buf + done, kMarkerBytes - done, done);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    io_->close_fd(fd);
+    ok = ok && std::equal(kMarkerMagic.begin(), kMarkerMagic.end(), buf) &&
+         buf[4] == kMarkerVersion &&
+         read_le32(buf + 7) == core::crc32(buf, 7);
+    if (!ok)
+      throw StoreError(StoreErrc::kCorrupt,
+                       path + " is not a valid sharded store marker");
+    const unsigned shards = buf[5];
+    const unsigned parity = buf[6];
+    if (config_.shards == 0) {
+      config_.shards = shards;
+      config_.parity = parity;
+      return;
+    }
+    if (config_.shards != shards || config_.parity != parity)
+      throw StoreError(
+          StoreErrc::kInvalid,
+          "sharded store geometry mismatch: " + path + " records " +
+              std::to_string(shards) + "+" + std::to_string(parity) +
+              " but configuration asks for " + std::to_string(config_.shards) +
+              "+" + std::to_string(config_.parity));
+    return;
+  }
+  if (fd != -ENOENT)
+    throw StoreError(StoreErrc::kIoError,
+                     "cannot read " + path + ": " + std::strerror(-fd));
+  if (config_.shards == 0)
+    throw StoreError(StoreErrc::kInvalid,
+                     config_.dir + " holds no sharded store (no " +
+                         kMarkerName + ")");
+
+  // Write the marker atomically (tmp + rename): a kill mid-create leaves
+  // either no marker (the next open rewrites it) or a complete one.
+  std::vector<std::uint8_t> bytes(kMarkerMagic.begin(), kMarkerMagic.end());
+  bytes.push_back(kMarkerVersion);
+  bytes.push_back(static_cast<std::uint8_t>(config_.shards));
+  bytes.push_back(static_cast<std::uint8_t>(config_.parity));
+  put_u32(bytes, core::crc32(bytes.data(), bytes.size()));
+  const std::string tmp = path + ".tmp";
+  const int wfd = io_->open_rw_trunc(tmp);
+  if (wfd < 0)
+    throw StoreError(-wfd == ENOSPC ? StoreErrc::kNoSpace : StoreErrc::kIoError,
+                     "cannot write " + tmp + ": " + std::strerror(-wfd));
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const long n =
+        io_->pwrite(wfd, bytes.data() + done, bytes.size() - done, done);
+    if (n <= 0) {
+      io_->close_fd(wfd);
+      throw StoreError(StoreErrc::kIoError, "cannot write " + tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  io_->fsync_fd(wfd);
+  io_->close_fd(wfd);
+  if (const int err = io_->rename_file(tmp, path))
+    throw StoreError(StoreErrc::kIoError,
+                     "cannot place " + path + ": " + std::strerror(-err));
+}
+
+std::shared_ptr<Store> ShardedStore::open_shard(unsigned shard) const {
+  StoreConfig sc;
+  sc.dir = (fs::path(config_.dir) / shard_dir_name(shard)).string();
+  sc.segment_target_bytes = config_.segment_target_bytes;
+  sc.compact_garbage_ratio = config_.compact_garbage_ratio;
+  sc.auto_compact = config_.auto_compact;
+  sc.fsync_writes = config_.fsync_writes;
+  sc.pool = config_.pool;
+  sc.io = io_;
+  return std::make_shared<Store>(std::move(sc));
+}
+
+// --------------------------------------------------------------- breaker
+
+std::shared_ptr<Store> ShardedStore::acquire(unsigned shard) {
+  bool need_reopen = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard& s = shards_[shard];
+    switch (s.health) {
+      case ShardHealth::kClosed:
+        return s.store;  // non-null by invariant (else health is open)
+      case ShardHealth::kHalfOpen:
+        // A probe is already in flight; stay out of its way.
+        ++s.skipped;
+        ++stats_.skipped_shard_ops;
+        return nullptr;
+      case ShardHealth::kOpen:
+        ++s.skipped;
+        ++stats_.skipped_shard_ops;
+        if (s.skipped < config_.breaker_probe_after) return nullptr;
+        s.health = ShardHealth::kHalfOpen;
+        ++stats_.breaker_probes;
+        need_reopen = s.store == nullptr;
+        if (!need_reopen) return s.store;
+        break;
+    }
+  }
+  // Half-open probe on a shard with no usable Store: retry the open
+  // outside the lock (directory may have come back).
+  std::shared_ptr<Store> reopened;
+  try {
+    reopened = open_shard(shard);
+  } catch (const std::exception&) {
+    report_failure(shard);
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_[shard].store = reopened;
+  }
+  return reopened;
+}
+
+void ShardedStore::report_ok(unsigned shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& s = shards_[shard];
+  s.consecutive_failures = 0;
+  s.skipped = 0;
+  s.health = ShardHealth::kClosed;
+}
+
+void ShardedStore::report_failure(unsigned shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Shard& s = shards_[shard];
+  ++stats_.shard_errors;
+  ++s.consecutive_failures;
+  const bool trip = s.health == ShardHealth::kHalfOpen ||
+                    s.consecutive_failures >= config_.breaker_open_after;
+  if (trip && s.health != ShardHealth::kOpen) {
+    s.health = ShardHealth::kOpen;
+    s.skipped = 0;
+    ++stats_.breaker_opens;
+  } else if (trip) {
+    s.skipped = 0;
+  }
+}
+
+ShardedStore::ShardGet ShardedStore::try_get(unsigned shard, const Key& key) {
+  ShardGet out;
+  const std::shared_ptr<Store> store = acquire(shard);
+  if (store == nullptr) return out;
+  try {
+    out.result = store->get(key);
+    out.attempted = true;
+    report_ok(shard);
+  } catch (const std::exception&) {
+    report_failure(shard);
+  }
+  return out;
+}
+
+bool ShardedStore::try_put(unsigned shard, const Key& key,
+                           const std::uint8_t* data, std::size_t len,
+                           StoreErrc* errc_out) {
+  const std::shared_ptr<Store> store = acquire(shard);
+  if (store == nullptr) {
+    if (errc_out != nullptr) *errc_out = StoreErrc::kIoError;
+    return false;
+  }
+  try {
+    store->put(key, data, len);
+    report_ok(shard);
+    return true;
+  } catch (const StoreError& e) {
+    if (errc_out != nullptr) *errc_out = e.code();
+    report_failure(shard);
+    return false;
+  } catch (const std::exception&) {
+    if (errc_out != nullptr) *errc_out = StoreErrc::kIoError;
+    report_failure(shard);
+    return false;
+  }
+}
+
+// --------------------------------------------------------------- routing
+
+std::vector<unsigned> ShardedStore::rank(const Key& key) const {
+  struct Scored {
+    std::uint64_t weight;
+    unsigned shard;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    core::Fnv128 fnv;
+    fnv.update_u64(key.lo);
+    fnv.update_u64(key.hi);
+    fnv.update_u64(s);
+    const core::Hash128 h = fnv.digest();
+    scored.push_back({h.lo ^ h.hi, s});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.weight != b.weight ? a.weight > b.weight : a.shard < b.shard;
+  });
+  std::vector<unsigned> out;
+  out.reserve(scored.size());
+  for (const Scored& sc : scored) out.push_back(sc.shard);
+  return out;
+}
+
+Key ShardedStore::strip_key(const Key& key, unsigned index) {
+  core::Fnv128 fnv;
+  fnv.update_u64(key.lo);
+  fnv.update_u64(key.hi);
+  const char tag[] = "nc9-strip";
+  fnv.update_bytes(reinterpret_cast<const std::uint8_t*>(tag), sizeof(tag));
+  fnv.update_u64(index);
+  const core::Hash128 h = fnv.digest();
+  return Key{h.lo, h.hi};
+}
+
+// ------------------------------------------------------------------- get
+
+GetResult ShardedStore::get(const Key& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.gets;
+  }
+  const std::vector<unsigned> ranking = rank(key);
+  bool saw_corrupt = false;
+  for (unsigned r = 0; r < ranking.size(); ++r) {
+    ShardGet got = try_get(ranking[r], key);
+    if (!got.attempted) continue;
+    if (got.result.status == GetStatus::kCorrupt) {
+      saw_corrupt = true;
+      continue;
+    }
+    if (got.result.status != GetStatus::kHit) continue;
+    HeadInfo head;
+    if (!parse_head(got.result.payload, head)) {
+      saw_corrupt = true;  // foreign bytes under our key; keep scanning
+      continue;
+    }
+    if (head.type == kInlineHead) {
+      std::vector<std::uint8_t> payload(
+          got.result.payload.begin() + kInlineHeadBytes,
+          got.result.payload.end());
+      if (core::crc32(payload.data(), payload.size()) != head.crc) {
+        saw_corrupt = true;
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+      if (r > 0) ++stats_.degraded_reads;
+      return {GetStatus::kHit, std::move(payload)};
+    }
+    // Striped: the head told us the geometry; gather strips.
+    return get_striped(key, ranking, head.k, head.m, head.total_len, head.crc,
+                       r > 0);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  if (saw_corrupt) {
+    ++stats_.unrecoverable_reads;
+    return {GetStatus::kCorrupt, {}};
+  }
+  return {};
+}
+
+GetResult ShardedStore::get_striped(const Key& key,
+                                    const std::vector<unsigned>& ranking,
+                                    unsigned k, unsigned m,
+                                    std::uint64_t total_len,
+                                    std::uint32_t payload_crc,
+                                    bool head_degraded) {
+  const unsigned n = k + m;
+  const std::size_t strip_len = strip_length(total_len, k);
+  std::vector<std::vector<std::uint8_t>> strips(n);
+  std::vector<unsigned> erased;
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned home = ranking[i % ranking.size()];
+    ShardGet got = try_get(home, strip_key(key, i));
+    if (!got.attempted || got.result.status != GetStatus::kHit ||
+        !parse_strip(got.result.payload, i, k, m, strip_len, strips[i]))
+      erased.push_back(i);
+  }
+  const auto fail = [this]() -> GetResult {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    ++stats_.unrecoverable_reads;
+    return {GetStatus::kCorrupt, {}};
+  };
+  if (erased.size() > m || n != codec_.total_strips() ||
+      k != codec_.data_strips()) {
+    // A geometry that does not match this codec can appear only through
+    // marker tampering; refuse rather than mis-decode.
+    if (erased.size() > m) return fail();
+    try {
+      core::ErasureCodec codec(k, m);
+      codec.decode(strips, erased);
+    } catch (const std::exception&) {
+      return fail();
+    }
+  } else if (!erased.empty()) {
+    try {
+      codec_.decode(strips, erased);
+    } catch (const std::exception&) {
+      return fail();
+    }
+  }
+  std::vector<std::uint8_t> payload;
+  payload.reserve(static_cast<std::size_t>(total_len));
+  for (unsigned i = 0; i < k && payload.size() < total_len; ++i) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(strip_len, total_len - payload.size()));
+    payload.insert(payload.end(), strips[i].begin(), strips[i].begin() + want);
+  }
+  if (payload.size() != total_len ||
+      core::crc32(payload.data(), payload.size()) != payload_crc)
+    return fail();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.hits;
+  if (!erased.empty() || head_degraded) {
+    ++stats_.degraded_reads;
+    stats_.strips_reconstructed += erased.size();
+  }
+  return {GetStatus::kHit, std::move(payload)};
+}
+
+// ------------------------------------------------------------------- put
+
+void ShardedStore::put(const Key& key, const std::uint8_t* data,
+                       std::size_t len) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.puts;
+  }
+  const std::vector<unsigned> ranking = rank(key);
+  const unsigned k = data_strips();
+  const unsigned m = config_.parity;
+
+  if (len < config_.stripe_threshold_bytes || k < 2) {
+    // Inline: parity+1 byte-identical replicas on the ranking's head.
+    const unsigned copies = std::min(config_.shards, m + 1);
+    const std::vector<std::uint8_t> rec = inline_head_record(copies, data, len);
+    unsigned ok = 0;
+    StoreErrc last = StoreErrc::kIoError;
+    for (unsigned r = 0; r < copies; ++r)
+      if (try_put(ranking[r], key, rec.data(), rec.size(), &last)) ++ok;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (ok == 0) {
+      ++stats_.failed_writes;
+      lock.unlock();
+      throw StoreError(last, "sharded store: no shard accepted inline put of " +
+                                 key.hex());
+    }
+    ++stats_.inline_puts;
+    if (ok < copies) ++stats_.degraded_writes;
+    return;
+  }
+
+  // Striped: k data strips (zero-padded to equal length) + m parity.
+  const std::size_t strip_len = strip_length(len, k);
+  std::vector<std::vector<std::uint8_t>> data_strips_v(k);
+  for (unsigned i = 0; i < k; ++i) {
+    const std::size_t begin = std::min(len, i * strip_len);
+    const std::size_t end = std::min(len, begin + strip_len);
+    data_strips_v[i].assign(data + begin, data + end);
+    data_strips_v[i].resize(strip_len, 0);
+  }
+  std::vector<std::vector<std::uint8_t>> parity_strips =
+      codec_.encode(data_strips_v);
+
+  // Strips land before any head: a head implies its stripe was attempted,
+  // and a head-less strip is a scrub-visible orphan, never a wrong read.
+  unsigned strip_failures = 0;
+  StoreErrc last = StoreErrc::kIoError;
+  for (unsigned i = 0; i < k + m; ++i) {
+    const std::vector<std::uint8_t>& bytes =
+        i < k ? data_strips_v[i] : parity_strips[i - k];
+    const std::vector<std::uint8_t> rec =
+        strip_record(i, k, m, bytes.data(), bytes.size());
+    if (!try_put(ranking[i], strip_key(key, i), rec.data(), rec.size(), &last))
+      ++strip_failures;
+  }
+  const std::vector<std::uint8_t> head =
+      striped_head_record(k, m, len, core::crc32(data, len));
+  unsigned heads_ok = 0;
+  for (unsigned s = 0; s < config_.shards; ++s)
+    if (try_put(s, key, head.data(), head.size(), &last)) ++heads_ok;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (heads_ok == 0 || strip_failures > m) {
+    // Beyond reconstruction (or unreadable): the caller must know the
+    // payload is NOT durable.
+    ++stats_.failed_writes;
+    lock.unlock();
+    throw StoreError(last, "sharded store: striped put of " + key.hex() +
+                               " lost " + std::to_string(strip_failures) +
+                               " strips (parity " + std::to_string(m) + ")");
+  }
+  ++stats_.striped_puts;
+  if (strip_failures > 0 || heads_ok < config_.shards)
+    ++stats_.degraded_writes;
+}
+
+void ShardedStore::put(const Key& key, const std::vector<std::uint8_t>& payload) {
+  put(key, payload.data(), payload.size());
+}
+
+// ----------------------------------------------------------------- erase
+
+bool ShardedStore::erase(const Key& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.erases;
+  }
+  // Learn the geometry first so the strips can be purged too.
+  HeadInfo head;
+  bool have_head = false;
+  for (unsigned s = 0; s < config_.shards && !have_head; ++s) {
+    ShardGet got = try_get(s, key);
+    if (got.attempted && got.result.status == GetStatus::kHit)
+      have_head = parse_head(got.result.payload, head);
+  }
+  bool any = false;
+  if (have_head && head.type == kStripedHead) {
+    const std::vector<unsigned> ranking = rank(key);
+    for (unsigned i = 0; i < head.k + head.m; ++i) {
+      const Key sk = strip_key(key, i);
+      const unsigned home = ranking[i % ranking.size()];
+      const std::shared_ptr<Store> store = acquire(home);
+      if (store == nullptr) continue;
+      try {
+        store->erase(sk);
+        report_ok(home);
+      } catch (const std::exception&) {
+        report_failure(home);
+      }
+    }
+  }
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    const std::shared_ptr<Store> store = acquire(s);
+    if (store == nullptr) continue;
+    try {
+      if (store->erase(key)) any = true;
+      report_ok(s);
+    } catch (const std::exception&) {
+      report_failure(s);
+    }
+  }
+  return any;
+}
+
+bool ShardedStore::contains(const Key& key) {
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    const std::shared_ptr<Store> store = acquire(s);
+    if (store == nullptr) continue;
+    const bool held = store->contains(key);  // in-memory; cannot fail
+    report_ok(s);
+    if (held) return true;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------------- scrub
+
+void ShardedStore::scrub_inline(const Key& key, unsigned copies,
+                                ScrubReport& rep) {
+  const std::vector<unsigned> ranking = rank(key);
+  copies = std::min(copies, config_.shards);
+  // Find one intact replica to repair from.
+  std::vector<std::uint8_t> good_record;
+  std::vector<bool> shard_ok(config_.shards, false);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    ShardGet got = try_get(s, key);
+    if (!got.attempted || got.result.status != GetStatus::kHit) continue;
+    HeadInfo head;
+    if (!parse_head(got.result.payload, head) || head.type != kInlineHead)
+      continue;
+    if (core::crc32(got.result.payload.data() + kInlineHeadBytes,
+                    got.result.payload.size() - kInlineHeadBytes) != head.crc)
+      continue;
+    shard_ok[s] = true;
+    if (good_record.empty()) good_record = std::move(got.result.payload);
+  }
+  if (good_record.empty()) {
+    ++rep.unrecoverable;
+    rep.full_redundancy = false;
+    return;
+  }
+  for (unsigned r = 0; r < copies; ++r) {
+    const unsigned home = ranking[r];
+    if (shard_ok[home]) continue;
+    ++rep.copies_missing;
+    if (try_put(home, key, good_record.data(), good_record.size()))
+      ++rep.copies_repaired;
+    else
+      rep.full_redundancy = false;
+  }
+}
+
+void ShardedStore::scrub_striped(const Key& key, unsigned k, unsigned m,
+                                 std::uint64_t total_len,
+                                 std::uint32_t payload_crc,
+                                 const std::vector<std::uint8_t>& head_record,
+                                 ScrubReport& rep) {
+  const std::vector<unsigned> ranking = rank(key);
+  const unsigned n = k + m;
+  const std::size_t strip_len = strip_length(total_len, k);
+  std::vector<std::vector<std::uint8_t>> strips(n);
+  std::vector<unsigned> erased;
+  for (unsigned i = 0; i < n; ++i) {
+    ++rep.strips_checked;
+    const unsigned home = ranking[i % ranking.size()];
+    ShardGet got = try_get(home, strip_key(key, i));
+    if (!got.attempted || got.result.status != GetStatus::kHit ||
+        !parse_strip(got.result.payload, i, k, m, strip_len, strips[i])) {
+      erased.push_back(i);
+      ++rep.strips_missing;
+    }
+  }
+  if (erased.size() > m) {
+    ++rep.unrecoverable;
+    rep.full_redundancy = false;
+    return;
+  }
+  if (!erased.empty()) {
+    try {
+      if (k == codec_.data_strips() && m == codec_.parity_strips()) {
+        codec_.decode(strips, erased);
+      } else {
+        core::ErasureCodec codec(k, m);
+        codec.decode(strips, erased);
+      }
+    } catch (const std::exception&) {
+      ++rep.unrecoverable;
+      rep.full_redundancy = false;
+      return;
+    }
+    // Verify the reconstruction against the head CRC before writing
+    // anything back -- a scrub must never "repair" wrong bytes into place.
+    std::vector<std::uint8_t> payload;
+    for (unsigned i = 0; i < k && payload.size() < total_len; ++i) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(strip_len, total_len - payload.size()));
+      payload.insert(payload.end(), strips[i].begin(),
+                     strips[i].begin() + want);
+    }
+    if (payload.size() != total_len ||
+        core::crc32(payload.data(), payload.size()) != payload_crc) {
+      ++rep.unrecoverable;
+      rep.full_redundancy = false;
+      return;
+    }
+    for (const unsigned i : erased) {
+      const unsigned home = ranking[i % ranking.size()];
+      const std::vector<std::uint8_t> rec =
+          strip_record(i, k, m, strips[i].data(), strips[i].size());
+      if (try_put(home, strip_key(key, i), rec.data(), rec.size()))
+        ++rep.strips_repaired;
+      else
+        rep.full_redundancy = false;
+    }
+  }
+  // Every shard re-learns the head (it is tiny and content addressing
+  // dedupes the ones already present).
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    ShardGet got = try_get(s, key);
+    const bool have = got.attempted && got.result.status == GetStatus::kHit;
+    if (have) continue;
+    ++rep.heads_missing;
+    if (try_put(s, key, head_record.data(), head_record.size()))
+      ++rep.heads_repaired;
+    else
+      rep.full_redundancy = false;
+  }
+}
+
+ScrubReport ShardedStore::scrub() {
+  ScrubReport rep;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.scrubs;
+  }
+  // Pass 1: enumerate and classify every key on every reachable shard.
+  std::unordered_set<Key, KeyHash> seen;
+  std::unordered_map<Key, HeadInfo, KeyHash> heads;
+  std::unordered_map<Key, std::vector<std::uint8_t>, KeyHash> head_records;
+  std::unordered_set<Key, KeyHash> strip_keys_found;
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    const std::shared_ptr<Store> store = acquire(s);
+    if (store == nullptr) {
+      ++rep.shards_down;
+      rep.full_redundancy = false;
+      continue;
+    }
+    report_ok(s);  // keys() below is in-memory; reaching the Store at all
+                   // is the probe's success signal
+    for (const Key& key : store->keys()) {
+      if (!seen.insert(key).second) continue;
+      ShardGet got = try_get(s, key);
+      if (!got.attempted || got.result.status != GetStatus::kHit) continue;
+      HeadInfo head;
+      if (parse_head(got.result.payload, head)) {
+        heads.emplace(key, head);
+        if (head.type == kStripedHead)
+          head_records.emplace(key, std::move(got.result.payload));
+      } else if (!got.result.payload.empty() &&
+                 got.result.payload[0] == kStripRecord) {
+        strip_keys_found.insert(key);
+      }
+      // Anything else is foreign bytes; leave it alone.
+    }
+  }
+  // Pass 2: verify and repair each artifact on its home shards.
+  std::unordered_set<Key, KeyHash> expected_strips;
+  for (const auto& [key, head] : heads) {
+    ++rep.artifacts;
+    if (head.type == kInlineHead) {
+      scrub_inline(key, head.copies, rep);
+    } else {
+      for (unsigned i = 0; i < head.k + head.m; ++i)
+        expected_strips.insert(strip_key(key, i));
+      scrub_striped(key, head.k, head.m, head.total_len, head.crc,
+                    head_records[key], rep);
+    }
+  }
+  // Pass 3: strips whose stripe head no longer exists anywhere. Counted,
+  // not deleted: an orphan is recoverable garbage, and a concurrent put's
+  // strips-before-head window looks identical.
+  for (const Key& sk : strip_keys_found)
+    if (!expected_strips.contains(sk)) ++rep.orphan_strips;
+  return rep;
+}
+
+// ------------------------------------------------------------ management
+
+std::uint64_t ShardedStore::compact(double min_garbage_ratio) {
+  std::uint64_t reclaimed = 0;
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    const std::shared_ptr<Store> store = acquire(s);
+    if (store == nullptr) continue;
+    try {
+      reclaimed += store->compact(min_garbage_ratio);
+      report_ok(s);
+    } catch (const std::exception&) {
+      report_failure(s);
+    }
+  }
+  return reclaimed;
+}
+
+FsckReport ShardedStore::fsck_shard(unsigned shard, bool repair) {
+  if (shard >= config_.shards)
+    throw StoreError(StoreErrc::kInvalid, "sharded store: no such shard");
+  const std::shared_ptr<Store> store = acquire(shard);
+  if (store == nullptr)
+    throw StoreError(StoreErrc::kIoError,
+                     "shard " + std::to_string(shard) + " is unavailable");
+  try {
+    FsckReport rep = store->fsck(repair);
+    report_ok(shard);
+    return rep;
+  } catch (...) {
+    report_failure(shard);
+    throw;
+  }
+}
+
+StoreStats ShardedStore::shard_stats(unsigned shard) {
+  if (shard >= config_.shards)
+    throw StoreError(StoreErrc::kInvalid, "sharded store: no such shard");
+  const std::shared_ptr<Store> store = acquire(shard);
+  if (store == nullptr)
+    throw StoreError(StoreErrc::kIoError,
+                     "shard " + std::to_string(shard) + " is unavailable");
+  StoreStats st = store->stats();
+  report_ok(shard);
+  return st;
+}
+
+ShardedStats ShardedStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ShardedStats s = stats_;
+  s.shards_degraded = 0;
+  for (const Shard& shard : shards_)
+    if (shard.health != ShardHealth::kClosed) ++s.shards_degraded;
+  return s;
+}
+
+std::vector<ShardHealth> ShardedStore::shard_health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ShardHealth> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) out.push_back(shard.health);
+  return out;
+}
+
+}  // namespace nc::store

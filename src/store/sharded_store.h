@@ -1,0 +1,240 @@
+// Erasure-coded multi-shard artifact store tier.
+//
+// A ShardedStore routes the existing 128-bit content keys across N
+// independent store::Store instances ("shards", each its own directory)
+// so losing one directory degrades instead of destroying:
+//
+//   - Small artifacts (below `stripe_threshold_bytes`) are written INLINE:
+//     parity+1 byte-identical replicas on the top parity+1 shards of the
+//     key's rendezvous ranking.
+//   - Large artifacts are STRIPED: split into k = N - parity equal data
+//     strips, extended with m = parity Reed-Solomon parity strips
+//     (core/erasure.h), strip i stored on ranking[i] under a derived
+//     per-strip key; a small stripe head carrying (k, m, total length,
+//     payload CRC) is replicated on every shard. Any k of the k+m strips
+//     reconstruct the artifact byte-identically.
+//
+// Placement is rendezvous (highest-random-weight) hashing: each shard is
+// scored by fnv128(key, shard index) and the ranking is the descending
+// score order -- deterministic, uniform, and stable when a shard count
+// never changes (the shard count is pinned by a `sharded.nc9x` marker in
+// the root directory; reopening with a different count refuses).
+//
+// Reads degrade, never lie: a missing/corrupt/erroring shard during get()
+// routes around the damage -- another inline replica, or reconstruction
+// from any k surviving strips -- counted in `degraded_reads` but invisible
+// to the caller until more than m strips are gone (then kCorrupt, i.e. a
+// recomputable miss). Every reconstructed payload is CRC-checked against
+// the stripe head before it is served.
+//
+// Each shard has a closed/open/half-open health breaker (same idiom as
+// the decomp fleet's device breaker): `breaker_open_after` consecutive
+// failures quarantine the shard, `breaker_probe_after` skipped operations
+// later a single probe is let through and re-closes the breaker on
+// success. A shard whose directory died entirely is reopened (fresh
+// Store) by the probe when the directory comes back.
+//
+// scrub() walks every stripe and replica, re-verifies CRCs, rewrites
+// missing/corrupt strips, replicas and heads onto their home shards, and
+// reports whether full n-strip redundancy holds. With
+// `scrub_interval > 0` a background thread runs it periodically.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/erasure.h"
+#include "core/thread_pool.h"
+#include "store/store.h"
+
+namespace nc::store {
+
+struct ShardedStoreConfig {
+  /// Root directory; shards live in `dir/shard-00` .. `dir/shard-NN`.
+  std::string dir;
+  /// Shard count, 2..64. 0 means adopt the count (and parity) recorded in
+  /// an existing `sharded.nc9x` marker -- how the CLI opens a store it
+  /// did not create. Mismatching an existing marker throws.
+  unsigned shards = 4;
+  /// Parity strips per stripe / extra inline replicas. Survivable
+  /// simultaneous shard losses. Must be < shards.
+  unsigned parity = 1;
+  /// Payloads at or above this are striped; smaller ones are replicated.
+  std::size_t stripe_threshold_bytes = 4096;
+
+  // Forwarded to every shard's StoreConfig.
+  std::size_t segment_target_bytes = 4u << 20;
+  double compact_garbage_ratio = 0.35;
+  bool auto_compact = true;
+  bool fsync_writes = false;
+  core::ThreadPool* pool = nullptr;
+  Io* io = nullptr;
+
+  /// Consecutive shard failures that open its breaker.
+  unsigned breaker_open_after = 3;
+  /// Operations an open breaker skips before letting a probe through.
+  std::uint64_t breaker_probe_after = 16;
+
+  /// Background scrub period; 0 disables the thread (scrub() stays
+  /// callable).
+  std::chrono::milliseconds scrub_interval{0};
+};
+
+/// Breaker state of one shard.
+enum class ShardHealth : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+const char* to_string(ShardHealth health) noexcept;
+
+/// Router-level counters (per-shard Store stats are separate; see
+/// shard_stats()). Monotonic since open.
+struct ShardedStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t inline_puts = 0;
+  std::uint64_t striped_puts = 0;
+  std::uint64_t degraded_reads = 0;      // served despite missing data
+  std::uint64_t strips_reconstructed = 0;
+  std::uint64_t unrecoverable_reads = 0;  // > m strips gone -> kCorrupt
+  std::uint64_t degraded_writes = 0;     // acked with < full redundancy
+  std::uint64_t failed_writes = 0;       // threw back to the caller
+  std::uint64_t shard_errors = 0;        // shard ops that threw
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t skipped_shard_ops = 0;   // refused while a breaker was open
+  std::uint64_t scrubs = 0;
+  std::uint64_t shards_degraded = 0;     // shards currently not closed
+};
+
+struct ScrubReport {
+  /// Every artifact holds its full strip/replica/head complement on its
+  /// home shards (after any repairs this pass made).
+  bool full_redundancy = true;
+  std::uint64_t artifacts = 0;        // stripe heads + inline heads walked
+  std::uint64_t strips_checked = 0;
+  std::uint64_t heads_missing = 0;    // stripe heads absent from a shard
+  std::uint64_t heads_repaired = 0;
+  std::uint64_t strips_missing = 0;   // missing or CRC-invalid on arrival
+  std::uint64_t strips_repaired = 0;
+  std::uint64_t copies_missing = 0;   // inline replicas absent/corrupt
+  std::uint64_t copies_repaired = 0;
+  std::uint64_t unrecoverable = 0;    // artifacts beyond reconstruction
+  std::uint64_t orphan_strips = 0;    // strips whose head is gone everywhere
+  std::uint64_t shards_down = 0;      // shards unavailable during the pass
+};
+
+class ShardedStore : public ArtifactTier {
+ public:
+  /// Opens (creating directories, marker and shard stores as needed).
+  /// Throws StoreError{kInvalid} on bad geometry or a marker mismatch.
+  /// A shard directory that cannot be opened does NOT fail construction:
+  /// the shard starts with its breaker open and is probed later.
+  explicit ShardedStore(ShardedStoreConfig config);
+  ~ShardedStore() override;
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  /// kHit with the byte-identical payload whenever at most `parity` of
+  /// the relevant shards are missing/corrupt/unreachable; kCorrupt (treat
+  /// as a recomputable miss) beyond that; never throws for shard damage.
+  GetResult get(const Key& key) override;
+
+  /// Stores with full redundancy when every shard cooperates; acks a
+  /// degraded write while the payload is still guaranteed reconstructable
+  /// and repairable; throws StoreError once it is not.
+  void put(const Key& key, const std::uint8_t* data, std::size_t len) override;
+  void put(const Key& key, const std::vector<std::uint8_t>& payload);
+
+  /// Removes the artifact (head + strips/replicas) from every reachable
+  /// shard. Returns false when no shard held it.
+  bool erase(const Key& key);
+
+  bool contains(const Key& key);
+
+  /// One verify-and-repair pass over every artifact; see the file
+  /// comment. Safe to run concurrently with reads and writes.
+  ScrubReport scrub();
+
+  /// Compacts every reachable shard; returns total bytes reclaimed.
+  std::uint64_t compact(double min_garbage_ratio);
+
+  /// Per-shard passthroughs (CLI). Throw StoreError{kIoError} when the
+  /// shard is unreachable.
+  FsckReport fsck_shard(unsigned shard, bool repair);
+  StoreStats shard_stats(unsigned shard);
+
+  ShardedStats stats() const;
+  std::vector<ShardHealth> shard_health() const;
+  unsigned shards() const noexcept { return config_.shards; }
+  unsigned parity() const noexcept { return config_.parity; }
+  unsigned data_strips() const noexcept { return config_.shards - config_.parity; }
+  const ShardedStoreConfig& config() const noexcept { return config_; }
+
+  static std::string shard_dir_name(unsigned shard);
+  /// True when `dir` holds a sharded.nc9x marker.
+  static bool is_sharded_dir(const std::string& dir);
+
+ private:
+  struct Shard {
+    std::shared_ptr<Store> store;  // null while unopenable
+    ShardHealth health = ShardHealth::kClosed;
+    unsigned consecutive_failures = 0;
+    std::uint64_t skipped = 0;  // ops refused since the breaker opened
+  };
+
+  /// Result of one guarded shard operation.
+  struct ShardGet {
+    bool attempted = false;  // false: breaker refused or the op threw
+    GetResult result;
+  };
+
+  void load_or_write_marker();
+  std::shared_ptr<Store> open_shard(unsigned shard) const;  // may throw
+  /// Breaker gate: returns the store to use, or null when the shard is
+  /// quarantined (counting the skip). May reopen a dead shard on probe.
+  std::shared_ptr<Store> acquire(unsigned shard);
+  void report_ok(unsigned shard);
+  void report_failure(unsigned shard);
+
+  ShardGet try_get(unsigned shard, const Key& key);
+  bool try_put(unsigned shard, const Key& key, const std::uint8_t* data,
+               std::size_t len, StoreErrc* errc_out = nullptr);
+
+  std::vector<unsigned> rank(const Key& key) const;
+  static Key strip_key(const Key& key, unsigned index);
+
+  GetResult get_striped(const Key& key, const std::vector<unsigned>& ranking,
+                        unsigned k, unsigned m, std::uint64_t total_len,
+                        std::uint32_t payload_crc, bool head_degraded);
+
+  void scrub_inline(const Key& key, unsigned copies, ScrubReport& rep);
+  void scrub_striped(const Key& key, unsigned k, unsigned m,
+                     std::uint64_t total_len, std::uint32_t payload_crc,
+                     const std::vector<std::uint8_t>& head_record,
+                     ScrubReport& rep);
+
+  ShardedStoreConfig config_;
+  Io* io_ = nullptr;
+  core::ErasureCodec codec_;
+
+  mutable std::mutex mutex_;  // shards_ + stats_; never held across I/O
+  std::vector<Shard> shards_;
+  ShardedStats stats_;
+
+  std::thread scrub_thread_;
+  std::mutex scrub_mutex_;
+  std::condition_variable scrub_cv_;
+  bool stop_scrub_ = false;
+};
+
+}  // namespace nc::store

@@ -1,7 +1,5 @@
 #include "store/store.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -13,6 +11,7 @@
 #include <utility>
 
 #include "core/crc.h"
+#include "store/io.h"
 
 namespace nc::store {
 
@@ -86,56 +85,67 @@ std::vector<std::uint8_t> segment_header_bytes(std::uint64_t id) {
   return out;
 }
 
-[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+/// Maps a negative errno from Io onto the typed error space: a full
+/// device is its own category (retrying without freeing space is futile),
+/// everything else is kIoError.
+StoreErrc errc_of(int neg_errno) noexcept {
+  switch (-neg_errno) {
+    case ENOSPC:
+    case EDQUOT:
+    case EFBIG:
+      return StoreErrc::kNoSpace;
+    default:
+      return StoreErrc::kIoError;
+  }
 }
 
-bool pread_all(int fd, std::uint8_t* buf, std::size_t len, std::uint64_t off) {
+[[noreturn]] void throw_io(int neg_errno, const std::string& what,
+                           const std::string& path) {
+  throw StoreError(errc_of(neg_errno),
+                   what + " " + path + ": " + std::strerror(-neg_errno));
+}
+
+bool pread_all(Io& io, int fd, std::uint8_t* buf, std::size_t len,
+               std::uint64_t off) {
   std::size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::pread(fd, buf + done, len - done,
-                              static_cast<off_t>(off + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // past end of file
+    const long n = io.pread(fd, buf + done, len - done, off + done);
+    if (n <= 0) return false;  // error, or past end of file
     done += static_cast<std::size_t>(n);
   }
   return true;
 }
 
-void pwrite_all(int fd, const std::uint8_t* buf, std::size_t len,
+void pwrite_all(Io& io, int fd, const std::uint8_t* buf, std::size_t len,
                 std::uint64_t off, const std::string& path) {
   std::size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::pwrite(fd, buf + done, len - done,
-                               static_cast<off_t>(off + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("write failed:", path);
-    }
+    const long n = io.pwrite(fd, buf + done, len - done, off + done);
+    if (n < 0) throw_io(static_cast<int>(n), "write failed:", path);
+    if (n == 0)
+      throw StoreError(StoreErrc::kIoError, "write stalled: " + path);
     done += static_cast<std::size_t>(n);
   }
 }
 
-void write_all_fd(int fd, const std::uint8_t* buf, std::size_t len,
-                  const std::string& path) {
-  std::size_t done = 0;
+/// Appends the whole buffer; returns 0 or a negative errno, with `done`
+/// reporting how many bytes actually landed (so the caller can roll the
+/// file back on a torn append).
+int append_all(Io& io, int fd, const std::uint8_t* buf, std::size_t len,
+               std::size_t& done) {
+  done = 0;
   while (done < len) {
-    const ssize_t n = ::write(fd, buf + done, len - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("write failed:", path);
-    }
+    const long n = io.append(fd, buf + done, len - done);
+    if (n < 0) return static_cast<int>(n);
+    if (n == 0) return -EIO;  // no progress; avoid an infinite loop
     done += static_cast<std::size_t>(n);
   }
+  return 0;
 }
 
-std::uint64_t file_size_of(int fd) {
-  struct stat st{};
-  if (::fstat(fd, &st) != 0) return 0;
-  return static_cast<std::uint64_t>(st.st_size);
+std::uint64_t file_size_of(Io& io, int fd) {
+  const long long n = io.file_size(fd);
+  return n > 0 ? static_cast<std::uint64_t>(n) : 0;
 }
 
 std::string segment_file_name(std::uint64_t id) {
@@ -147,11 +157,11 @@ std::string segment_file_name(std::uint64_t id) {
 
 /// Segment files present in `dir`, sorted by id.
 std::vector<std::pair<std::uint64_t, std::string>> list_segment_files(
-    const std::string& dir) {
+    Io& io, const std::string& dir) {
   std::vector<std::pair<std::uint64_t, std::string>> out;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
+  std::vector<std::string> names;
+  io.list_dir(dir, names);  // a listing failure reads as an empty store
+  for (const std::string& name : names) {
     if (name.rfind("seg-", 0) != 0 || !name.ends_with(".nc9a")) continue;
     const std::string digits = name.substr(4, name.size() - 4 - 5);
     // 19 digits is the largest count that always fits a u64; anything
@@ -159,7 +169,7 @@ std::vector<std::pair<std::uint64_t, std::string>> list_segment_files(
     if (digits.empty() || digits.size() > 19 ||
         digits.find_first_not_of("0123456789") != std::string::npos)
       continue;
-    out.emplace_back(std::stoull(digits), entry.path().string());
+    out.emplace_back(std::stoull(digits), (fs::path(dir) / name).string());
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -183,10 +193,12 @@ Store::Segment::~Segment() {
 
 Store::Store(StoreConfig config) : config_(std::move(config)) {
   if (config_.dir.empty())
-    throw std::runtime_error("store: empty directory path");
-  fs::create_directories(config_.dir);
+    throw StoreError(StoreErrc::kInvalid, "store: empty directory path");
+  io_ = config_.io != nullptr ? config_.io : &Io::posix();
+  if (const int err = io_->create_dirs(config_.dir))
+    throw_io(err, "cannot create store directory", config_.dir);
   manifest_path_ = (fs::path(config_.dir) / "manifest.nc9m").string();
-  for (const auto& [id, path] : list_segment_files(config_.dir))
+  for (const auto& [id, path] : list_segment_files(*io_, config_.dir))
     next_segment_id_ = std::max(next_segment_id_, id + 1);
   replay_manifest();
   rewrite_manifest_if_bloated();
@@ -200,26 +212,31 @@ Store::~Store() {
                    [this] { return !compact_scheduled_ && !compact_busy_; });
   clock.unlock();
   std::lock_guard<std::mutex> lock(mutex_);
-  if (manifest_fd_ >= 0) ::close(manifest_fd_);
+  if (manifest_fd_ >= 0) io_->close_fd(manifest_fd_);
   manifest_fd_ = -1;
 }
 
 void Store::replay_manifest() {
   std::vector<std::uint8_t> bytes;
   {
-    std::FILE* in = std::fopen(manifest_path_.c_str(), "rb");
-    if (in != nullptr) {
-      std::fseek(in, 0, SEEK_END);
-      const long size = std::ftell(in);
-      std::fseek(in, 0, SEEK_SET);
-      bytes.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
-      if (!bytes.empty() &&
-          std::fread(bytes.data(), 1, bytes.size(), in) != bytes.size()) {
-        std::fclose(in);
-        throw std::runtime_error("cannot read store manifest " +
-                                 manifest_path_);
+    const int fd = io_->open_read(manifest_path_);
+    if (fd >= 0) {
+      const long long size = io_->file_size(fd);
+      if (size < 0) {
+        io_->close_fd(fd);
+        throw_io(static_cast<int>(size), "cannot stat store manifest",
+                 manifest_path_);
       }
-      std::fclose(in);
+      bytes.resize(static_cast<std::size_t>(size));
+      if (!bytes.empty() &&
+          !pread_all(*io_, fd, bytes.data(), bytes.size(), 0)) {
+        io_->close_fd(fd);
+        throw StoreError(StoreErrc::kIoError,
+                         "cannot read store manifest " + manifest_path_);
+      }
+      io_->close_fd(fd);
+    } else if (fd != -ENOENT) {
+      throw_io(fd, "cannot open store manifest", manifest_path_);
     }
   }
 
@@ -229,22 +246,28 @@ void Store::replay_manifest() {
     // being created (nothing could have been stored yet). Anything else --
     // a short foreign file -- must not be clobbered.
     if (!std::equal(bytes.begin(), bytes.end(), header.begin()))
-      throw std::runtime_error(manifest_path_ +
-                               " is not a store manifest (bad magic)");
+      throw StoreError(StoreErrc::kCorrupt,
+                       manifest_path_ +
+                           " is not a store manifest (bad magic)");
     open_manifest_for_append(0, bytes.size());
-    write_all_fd(manifest_fd_, header.data(), header.size(), manifest_path_);
+    std::size_t done = 0;
+    if (const int err =
+            append_all(*io_, manifest_fd_, header.data(), header.size(), done))
+      throw_io(err, "cannot write store manifest header", manifest_path_);
     manifest_bytes_ = header.size();
     return;
   }
   if (!std::equal(kManifestMagic.begin(), kManifestMagic.end(), bytes.begin()))
-    throw std::runtime_error(manifest_path_ +
-                             " is not a store manifest (bad magic)");
+    throw StoreError(StoreErrc::kCorrupt,
+                     manifest_path_ + " is not a store manifest (bad magic)");
   if (bytes[4] != kFormatVersion)
-    throw std::runtime_error(manifest_path_ +
-                             ": unsupported store manifest version");
+    throw StoreError(StoreErrc::kCorrupt,
+                     manifest_path_ +
+                         ": unsupported store manifest version");
   if (read_le64(bytes.data() + 5) != manifest_config_hash())
-    throw std::runtime_error(manifest_path_ +
-                             ": manifest belongs to a different store layout");
+    throw StoreError(StoreErrc::kCorrupt,
+                     manifest_path_ +
+                         ": manifest belongs to a different store layout");
   stats_.recovered = true;
 
   // Replay: walk records front to back, stopping at the first record whose
@@ -284,8 +307,8 @@ void Store::replay_manifest() {
     } else {
       // A record with a valid CRC but a malformed body is not torn damage;
       // refuse to guess.
-      throw std::runtime_error(manifest_path_ +
-                               ": manifest holds a malformed record");
+      throw StoreError(StoreErrc::kCorrupt,
+                       manifest_path_ + ": manifest holds a malformed record");
     }
     ++stats_.replayed_records;
     off += 8 + len;
@@ -304,7 +327,7 @@ void Store::replay_manifest() {
     if (seg_it == segments_.end()) {
       const std::string path =
           (fs::path(config_.dir) / segment_file_name(loc.segment)).string();
-      const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      const int fd = io_->open_read(path);
       if (fd < 0) {
         ++stats_.dropped_at_open;
         continue;
@@ -314,7 +337,7 @@ void Store::replay_manifest() {
       seg->path = path;
       seg->fd = fd;
       seg->sealed = true;
-      seg->size = file_size_of(fd);
+      seg->size = file_size_of(*io_, fd);
       seg_it = segments_.emplace(loc.segment, std::move(seg)).first;
     }
     const std::shared_ptr<Segment>& seg = seg_it->second;
@@ -337,12 +360,12 @@ void Store::open_manifest_for_append(std::uint64_t valid_end,
   // A kill can leave bytes past the verified prefix (torn tail, or a
   // partial header from a kill at store creation). O_APPEND would write
   // after them, so cut the file back before appending.
-  if (file_size > valid_end &&
-      ::truncate(manifest_path_.c_str(), static_cast<off_t>(valid_end)) != 0)
-    throw_errno("cannot truncate store manifest", manifest_path_);
-  const int fd = ::open(manifest_path_.c_str(),
-                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) throw_errno("cannot append to store manifest", manifest_path_);
+  if (file_size > valid_end) {
+    if (const int err = io_->truncate_file(manifest_path_, valid_end))
+      throw_io(err, "cannot truncate store manifest", manifest_path_);
+  }
+  const int fd = io_->open_append(manifest_path_);
+  if (fd < 0) throw_io(fd, "cannot append to store manifest", manifest_path_);
   manifest_fd_ = fd;
 }
 
@@ -356,9 +379,8 @@ void Store::rewrite_manifest_if_bloated() {
       stats_.replayed_records <= 4 * state)
     return;
   const std::string tmp = manifest_path_ + ".tmp";
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) throw_errno("cannot write", tmp);
+  const int fd = io_->open_rw_trunc(tmp);
+  if (fd < 0) throw_io(fd, "cannot write", tmp);
   std::vector<std::uint8_t> out = manifest_header_bytes();
   auto frame = [&out](const std::vector<std::uint8_t>& body) {
     put_u32(out, static_cast<std::uint32_t>(body.size()));
@@ -383,14 +405,12 @@ void Store::rewrite_manifest_if_bloated() {
     put_u64(body, key.hi);
     frame(body);
   }
-  write_all_fd(fd, out.data(), out.size(), tmp);
-  ::fsync(fd);
-  ::close(fd);
-  std::error_code ec;
-  fs::rename(tmp, manifest_path_, ec);
-  if (ec) throw std::runtime_error("cannot replace store manifest " +
-                                   manifest_path_ + ": " + ec.message());
-  if (manifest_fd_ >= 0) ::close(manifest_fd_);
+  pwrite_all(*io_, fd, out.data(), out.size(), 0, tmp);
+  io_->fsync_fd(fd);
+  io_->close_fd(fd);
+  if (const int err = io_->rename_file(tmp, manifest_path_))
+    throw_io(err, "cannot replace store manifest", manifest_path_);
+  if (manifest_fd_ >= 0) io_->close_fd(manifest_fd_);
   open_manifest_for_append(out.size(), out.size());
   manifest_bytes_ = out.size();
 }
@@ -403,11 +423,10 @@ void Store::ensure_active_segment_locked() {
   auto seg = std::make_shared<Segment>();
   seg->id = id;
   seg->path = (fs::path(config_.dir) / segment_file_name(id)).string();
-  seg->fd = ::open(seg->path.c_str(),
-                   O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (seg->fd < 0) throw_errno("cannot create store segment", seg->path);
+  seg->fd = io_->open_rw_trunc(seg->path);
+  if (seg->fd < 0) throw_io(seg->fd, "cannot create store segment", seg->path);
   const std::vector<std::uint8_t> header = segment_header_bytes(id);
-  pwrite_all(seg->fd, header.data(), header.size(), 0, seg->path);
+  pwrite_all(*io_, seg->fd, header.data(), header.size(), 0, seg->path);
   seg->size = header.size();
   segments_.emplace(id, seg);
   active_ = std::move(seg);
@@ -431,23 +450,48 @@ Store::Location Store::append_record_locked(const Key& key,
   const std::uint32_t crc = core::crc32(rec.data() + 4, 16 + len);
   put_u32(rec, crc);
   // Segment bytes land (and optionally reach disk) before the manifest
-  // record that references them ever exists.
-  pwrite_all(active_->fd, rec.data(), rec.size(), active_->size,
+  // record that references them ever exists. A failure part-way leaves
+  // garbage past `size`, which the next append simply overwrites; the
+  // manifest never references it.
+  pwrite_all(*io_, active_->fd, rec.data(), rec.size(), active_->size,
              active_->path);
-  if (config_.fsync_writes) ::fdatasync(active_->fd);
+  if (config_.fsync_writes) {
+    if (const int err = io_->fsync_fd(active_->fd))
+      throw_io(err, "fsync failed on store segment", active_->path);
+  }
   Location loc{active_, active_->size, static_cast<std::uint32_t>(len), crc};
   active_->size += rec.size();
   return loc;
 }
 
 void Store::append_manifest_locked(const std::vector<std::uint8_t>& body) {
+  if (manifest_broken_)
+    throw StoreError(StoreErrc::kIoError,
+                     "store manifest has torn bytes after a failed append: " +
+                         manifest_path_);
   std::vector<std::uint8_t> out;
   out.reserve(8 + body.size());
   put_u32(out, static_cast<std::uint32_t>(body.size()));
   out.insert(out.end(), body.begin(), body.end());
   put_u32(out, core::crc32(body.data(), body.size()));
-  write_all_fd(manifest_fd_, out.data(), out.size(), manifest_path_);
-  if (config_.fsync_writes) ::fdatasync(manifest_fd_);
+  std::size_t done = 0;
+  int err = append_all(*io_, manifest_fd_, out.data(), out.size(), done);
+  if (err == 0 && config_.fsync_writes) {
+    // An unsynced record is indistinguishable from an unwritten one after
+    // power loss; treat fsync failure exactly like a torn append.
+    if (const int sync_err = io_->fsync_fd(manifest_fd_)) {
+      err = sync_err;
+      done = out.size();
+    }
+  }
+  if (err != 0) {
+    // Roll the log back to its last good end. O_APPEND would otherwise
+    // write the NEXT record after these torn bytes, corrupting every
+    // record that follows -- replay stops at the first bad frame.
+    if (done > 0 && io_->truncate_file(manifest_path_, manifest_bytes_) != 0)
+      manifest_broken_ = true;  // failed-stop: all later appends refuse
+    throw_io(err, "manifest append failed:", manifest_path_);
+  }
   manifest_bytes_ += out.size();
 }
 
@@ -491,7 +535,7 @@ void Store::drop_entry_locked(const Key& key, const Location& loc) {
 
 void Store::put(const Key& key, const std::uint8_t* data, std::size_t len) {
   if (len > (std::uint32_t{1} << 30))
-    throw std::runtime_error("store: payload too large");
+    throw StoreError(StoreErrc::kInvalid, "store: payload too large");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.puts;
@@ -533,13 +577,21 @@ bool Store::contains(const Key& key) const {
   return index_.contains(key);
 }
 
+std::vector<Key> Store::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Key> out;
+  out.reserve(index_.size());
+  for (const auto& [key, loc] : index_) out.push_back(key);
+  return out;
+}
+
 // ---------------------------------------------------------------- lookup
 
 bool Store::read_record(const Location& loc, const Key& key,
                         std::vector<std::uint8_t>& payload) const {
   const std::size_t rec_size = kRecordOverhead + loc.payload_len;
   std::vector<std::uint8_t> buf(rec_size);
-  if (!pread_all(loc.segment->fd, buf.data(), rec_size, loc.offset))
+  if (!pread_all(*io_, loc.segment->fd, buf.data(), rec_size, loc.offset))
     return false;
   if (read_le32(buf.data()) != loc.payload_len) return false;
   if (read_le64(buf.data() + 4) != key.lo ||
@@ -620,20 +672,30 @@ std::uint64_t Store::compact(double min_garbage_ratio) {
     compact_busy_ = true;
   }
   std::uint64_t reclaimed = 0;
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> clock(compact_mutex_);
-      if (closing_) break;
+  try {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> clock(compact_mutex_);
+        if (closing_) break;
+      }
+      std::shared_ptr<Segment> victim;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        victim = pick_victim_locked(min_garbage_ratio);
+      }
+      if (victim == nullptr) break;
+      const std::uint64_t got = compact_segment(victim);
+      if (got == 0) break;  // no progress; avoid re-picking the same victim
+      reclaimed += got;
     }
-    std::shared_ptr<Segment> victim;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      victim = pick_victim_locked(min_garbage_ratio);
-    }
-    if (victim == nullptr) break;
-    const std::uint64_t got = compact_segment(victim);
-    if (got == 0) break;  // no progress; avoid re-picking the same victim
-    reclaimed += got;
+  } catch (...) {
+    // An I/O failure mid-rewrite (dying disk, injected fault) must not
+    // leave compaction wedged busy forever; release and let the caller
+    // decide what the error means.
+    std::lock_guard<std::mutex> clock(compact_mutex_);
+    compact_busy_ = false;
+    compact_cv_.notify_all();
+    throw;
   }
   {
     // Notify while holding the lock: ~Store may destroy the CV as soon as
@@ -690,7 +752,7 @@ std::uint64_t Store::compact_segment(const std::shared_ptr<Segment>& victim) {
     file_bytes = victim->size;
     // Readers that pinned the victim before the swap keep reading through
     // their open fd; the name disappears now, the inode when they let go.
-    ::unlink(victim->path.c_str());
+    io_->unlink_file(victim->path);
     ++stats_.compactions;
     stats_.bytes_reclaimed += file_bytes;
   }
@@ -704,7 +766,12 @@ void Store::maybe_schedule_compaction() {
     if (pick_victim_locked(config_.compact_garbage_ratio) == nullptr) return;
   }
   if (config_.pool == nullptr) {
-    compact(config_.compact_garbage_ratio);
+    try {
+      compact(config_.compact_garbage_ratio);
+    } catch (const std::exception&) {
+      // Housekeeping is best-effort: the put/erase that triggered it has
+      // already succeeded, so its caller must not see a compaction error.
+    }
     return;
   }
   {
@@ -713,7 +780,13 @@ void Store::maybe_schedule_compaction() {
     compact_scheduled_ = true;
   }
   config_.pool->submit([this] {
-    compact(config_.compact_garbage_ratio);
+    try {
+      compact(config_.compact_garbage_ratio);
+    } catch (const std::exception&) {
+      // Background compaction has no caller to inform; the failed shard
+      // surfaces through the mutation path (and the sharded breaker), not
+      // by crashing the pool thread.
+    }
     // Notify under the lock; see compact(). After the guard releases, this
     // task never touches the Store again, so ~Store is free to proceed.
     std::lock_guard<std::mutex> clock(compact_mutex_);
@@ -732,9 +805,9 @@ FsckReport Store::fsck(bool repair) {
     compact_busy_ = true;
   }
   FsckReport rep;
-  {
+  try {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [id, path] : list_segment_files(config_.dir)) {
+    for (const auto& [id, path] : list_segment_files(*io_, config_.dir)) {
       ++rep.segments_scanned;
       const auto known = segments_.find(id);
       std::shared_ptr<Segment> seg =
@@ -742,11 +815,11 @@ FsckReport Store::fsck(bool repair) {
       int fd = seg != nullptr ? seg->fd : -1;
       bool local_fd = false;
       if (fd < 0) {
-        fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        fd = io_->open_read(path);
         if (fd < 0) continue;
         local_fd = true;
       }
-      const std::uint64_t fsize = file_size_of(fd);
+      const std::uint64_t fsize = file_size_of(*io_, fd);
 
       struct Found {
         Key key;
@@ -758,7 +831,7 @@ FsckReport Store::fsck(bool repair) {
       std::uint64_t off = kHeaderSize;
       while (off + kRecordOverhead <= fsize) {
         std::uint8_t len_buf[4];
-        if (!pread_all(fd, len_buf, 4, off)) break;
+        if (!pread_all(*io_, fd, len_buf, 4, off)) break;
         const std::uint32_t len = read_le32(len_buf);
         if (off + kRecordOverhead + len > fsize) {
           // Unparseable tail: a kill mid-segment-append, or a flipped
@@ -768,7 +841,7 @@ FsckReport Store::fsck(bool repair) {
         }
         ++rep.records_scanned;
         std::vector<std::uint8_t> buf(kRecordOverhead + len);
-        if (!pread_all(fd, buf.data(), buf.size(), off)) break;
+        if (!pread_all(*io_, fd, buf.data(), buf.size(), off)) break;
         const std::uint32_t crc = core::crc32(buf.data() + 4, 16 + len);
         if (crc != read_le32(buf.data() + 20 + len)) {
           ++rep.corrupt_records;
@@ -829,13 +902,13 @@ FsckReport Store::fsck(bool repair) {
             segments_.erase(id);
             manifest_retire_locked(id);
           }
-          ::unlink(path.c_str());
+          io_->unlink_file(path);
           ++rep.stray_segments_removed;
           rep.repaired = true;
           local_fd = local_fd && seg == nullptr;
         }
       }
-      if (local_fd && fd >= 0) ::close(fd);
+      if (local_fd && fd >= 0) io_->close_fd(fd);
     }
 
     // Dangling check: every index entry must still verify end to end.
@@ -851,6 +924,12 @@ FsckReport Store::fsck(bool repair) {
         rep.repaired = true;
       }
     }
+  } catch (...) {
+    // Same discipline as compact(): never leave the busy flag wedged.
+    std::lock_guard<std::mutex> clock(compact_mutex_);
+    compact_busy_ = false;
+    compact_cv_.notify_all();
+    throw;
   }
   {
     std::lock_guard<std::mutex> clock(compact_mutex_);

@@ -61,6 +61,7 @@
 #include <mutex>
 #include <condition_variable>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -69,6 +70,30 @@
 #include "core/thread_pool.h"
 
 namespace nc::store {
+
+class Io;
+
+/// What went wrong, machine-readably. Callers that can react differently
+/// to a full disk than to a flaky one (the serve write-through retry, the
+/// sharded router's breaker) dispatch on this instead of parsing strings.
+enum class StoreErrc : std::uint8_t {
+  kIoError,   // EIO, short read, fsync failure ... possibly transient
+  kNoSpace,   // ENOSPC/EDQUOT/EFBIG: retrying without freeing space is futile
+  kCorrupt,   // on-disk bytes that cannot be trusted (bad magic/version/CRC)
+  kInvalid,   // caller error: bad config, oversized payload
+};
+
+/// Typed store failure. Still a std::runtime_error so existing catch
+/// sites keep working; new ones switch on code().
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrc code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  StoreErrc code() const noexcept { return code_; }
+
+ private:
+  StoreErrc code_;
+};
 
 /// 128-bit content address (the serve layer's FNV-1a cache key verbatim).
 struct Key {
@@ -104,6 +129,10 @@ struct StoreConfig {
   /// against process kills; fsync extends it to power loss at a large
   /// throughput cost.
   bool fsync_writes = false;
+  /// File I/O implementation; nullptr means the real POSIX one. Tests
+  /// substitute a FaultInjectingIo (io.h). Not owned; must outlive the
+  /// store.
+  Io* io = nullptr;
 };
 
 struct StoreStats {
@@ -171,7 +200,18 @@ struct GetResult {
   std::vector<std::uint8_t> payload;  // filled only on kHit
 };
 
-class Store {
+/// What the serve layer needs from an L2 tier -- implemented by both the
+/// single-directory Store and the erasure-coded ShardedStore, so the
+/// server holds one pointer either way.
+class ArtifactTier {
+ public:
+  virtual ~ArtifactTier() = default;
+  virtual GetResult get(const Key& key) = 0;
+  virtual void put(const Key& key, const std::uint8_t* data,
+                   std::size_t len) = 0;
+};
+
+class Store : public ArtifactTier {
  public:
   /// Opens (creating the directory and manifest if absent) and replays the
   /// manifest into the in-memory index. Throws std::runtime_error on a
@@ -189,11 +229,12 @@ class Store {
   /// Looks the key up and revalidates the stored record (key echo + CRC).
   /// kCorrupt means the record was dropped and tombstoned; callers treat
   /// it as a miss but may count it separately.
-  GetResult get(const Key& key);
+  GetResult get(const Key& key) override;
 
   /// Durably stores the payload. A key already present is a no-op (content
-  /// addressing: same key implies same bytes). Throws on I/O failure.
-  void put(const Key& key, const std::uint8_t* data, std::size_t len);
+  /// addressing: same key implies same bytes). Throws StoreError on I/O
+  /// failure -- code kNoSpace when the device is full, kIoError otherwise.
+  void put(const Key& key, const std::uint8_t* data, std::size_t len) override;
   void put(const Key& key, const std::vector<std::uint8_t>& payload);
 
   /// Removes the key (manifest tombstone; segment bytes become garbage for
@@ -201,6 +242,10 @@ class Store {
   bool erase(const Key& key);
 
   bool contains(const Key& key) const;
+
+  /// Snapshot of every live key, unordered. The sharded store's scrub
+  /// walks this to enumerate stripe members per shard.
+  std::vector<Key> keys() const;
 
   /// Compacts sealed segments whose garbage ratio is at least
   /// `min_garbage_ratio` (0 compacts any sealed segment holding garbage),
@@ -262,7 +307,12 @@ class Store {
                                 std::uint64_t file_size);
 
   StoreConfig config_;
+  Io* io_ = nullptr;  // config_.io or the POSIX singleton
   std::string manifest_path_;
+  /// Set when a failed manifest append could not be rolled back: the log
+  /// has torn bytes mid-file and further appends would corrupt it, so
+  /// every later mutation fails fast instead.
+  bool manifest_broken_ = false;
 
   mutable std::mutex mutex_;
   std::unordered_map<Key, Location, KeyHash> index_;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "store/io.h"
 #include "store/store.h"
 
 namespace nc::store {
@@ -323,6 +324,196 @@ TEST_F(StoreCrashTest, MissingSegmentFileDegradesAndRepairs) {
   EXPECT_LT(hits, 12u);
   store.fsck(/*repair=*/true);
   EXPECT_TRUE(store.fsck(/*repair=*/false).clean);
+}
+
+// ----------------------------------------------------------- fault injection
+//
+// The tests above damage files between process lifetimes; these inject
+// failures into live syscalls through store::Io and check the typed-error
+// contract serve's write-through retry depends on: ENOSPC surfaces as
+// StoreErrc::kNoSpace, everything else transient as kIoError, and no
+// failure mode leaves the store serving wrong bytes or refusing good keys.
+
+using Op = FaultInjectingIo::Op;
+
+TEST_F(StoreCrashTest, SegmentWriteEioIsTypedAndRecoverable) {
+  FaultInjectingIo io;
+  StoreConfig cfg = config(base_);
+  cfg.io = &io;
+  Store store(cfg);
+  store.put(key_of(1), payload_of(1, 200));
+
+  io.add_rule({Op::kWrite, ".nc9a", 0, 1, EIO, 0});
+  try {
+    store.put(key_of(2), payload_of(2, 200));
+    FAIL() << "put must surface the injected EIO";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.code(), StoreErrc::kIoError);
+  }
+  EXPECT_GE(io.stats().faults_injected, 1u);
+
+  // The failed put is simply not there; everything acked before it is,
+  // and a retry (serve's write-through policy) lands cleanly.
+  EXPECT_EQ(store.get(key_of(2)).status, GetStatus::kMiss);
+  EXPECT_EQ(store.get(key_of(1)).payload, payload_of(1, 200));
+  store.put(key_of(2), payload_of(2, 200));
+  EXPECT_EQ(store.get(key_of(2)).payload, payload_of(2, 200));
+  EXPECT_TRUE(store.fsck(/*repair=*/false).clean);
+}
+
+TEST_F(StoreCrashTest, EnospcSurfacesAsTypedNoSpace) {
+  FaultInjectingIo io;
+  StoreConfig cfg = config(base_);
+  cfg.io = &io;
+  Store store(cfg);
+
+  io.add_rule({Op::kWrite, "", 0, 1, ENOSPC, 0});
+  try {
+    store.put(key_of(7), payload_of(7, 64));
+    FAIL() << "put must surface the injected ENOSPC";
+  } catch (const StoreError& e) {
+    // Typed, so callers can tell "disk full" (do not retry) from "disk
+    // flaky" (retry): serve short-circuits its backoff loop on kNoSpace.
+    EXPECT_EQ(e.code(), StoreErrc::kNoSpace);
+  }
+  store.put(key_of(7), payload_of(7, 64));
+  EXPECT_EQ(store.get(key_of(7)).payload, payload_of(7, 64));
+}
+
+TEST_F(StoreCrashTest, ShortManifestAppendRollsBackAndStoreRemainsUsable) {
+  FaultInjectingIo io;
+  StoreConfig cfg = config(base_);
+  cfg.io = &io;
+  {
+    Store store(cfg);
+    store.put(key_of(1), payload_of(1, 100));
+
+    // First matching write lands 3 real bytes (a torn manifest frame),
+    // the second fails outright. The store must truncate the log back to
+    // its last good end instead of letting O_APPEND bury the tear.
+    io.add_rule({Op::kWrite, "manifest", 0, 1, EIO, 3});
+    io.add_rule({Op::kWrite, "manifest", 0, 1, EIO, 0});
+    try {
+      store.put(key_of(2), payload_of(2, 100));
+      FAIL() << "put must surface the torn manifest append";
+    } catch (const StoreError& e) {
+      EXPECT_EQ(e.code(), StoreErrc::kIoError);
+    }
+    EXPECT_GE(io.stats().short_writes, 1u);
+
+    // Rolled back, not broken: the very next mutation appends cleanly.
+    store.put(key_of(3), payload_of(3, 100));
+    EXPECT_EQ(store.get(key_of(1)).payload, payload_of(1, 100));
+    EXPECT_EQ(store.get(key_of(2)).status, GetStatus::kMiss);
+    EXPECT_EQ(store.get(key_of(3)).payload, payload_of(3, 100));
+  }
+  // A cold replay of that manifest sees only whole frames. The failed
+  // put's record DID land in the segment before the manifest tore, so it
+  // is an orphan: invisible to gets, but recoverable -- repair re-indexes
+  // it and the payload comes back byte-identical.
+  Store reopened(config(base_));
+  EXPECT_EQ(reopened.get(key_of(1)).payload, payload_of(1, 100));
+  EXPECT_EQ(reopened.get(key_of(2)).status, GetStatus::kMiss);
+  EXPECT_EQ(reopened.get(key_of(3)).payload, payload_of(3, 100));
+  const FsckReport rep = reopened.fsck(/*repair=*/true);
+  EXPECT_EQ(rep.orphan_records, 1u);
+  EXPECT_EQ(rep.orphans_recovered, 1u);
+  EXPECT_EQ(reopened.get(key_of(2)).payload, payload_of(2, 100));
+  EXPECT_TRUE(reopened.fsck(/*repair=*/false).clean);
+}
+
+TEST_F(StoreCrashTest, FsyncFailureIsTypedWhenDurabilityRequested) {
+  FaultInjectingIo io;
+  StoreConfig cfg = config(base_);
+  cfg.io = &io;
+  cfg.fsync_writes = true;
+  Store store(cfg);
+  store.put(key_of(1), payload_of(1, 80));
+
+  // Segment fsync failure: the record may not survive power loss, so a
+  // durability-mode store must report the put as failed.
+  io.add_rule({Op::kFsync, ".nc9a", 0, 1, EIO, 0});
+  try {
+    store.put(key_of(2), payload_of(2, 80));
+    FAIL() << "fsync failure must fail a durable put";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.code(), StoreErrc::kIoError);
+  }
+  EXPECT_EQ(store.get(key_of(2)).status, GetStatus::kMiss);
+
+  // Manifest fsync failure is treated exactly like a torn append: rolled
+  // back, typed, and the store keeps working afterwards.
+  io.add_rule({Op::kFsync, "manifest", 0, 1, EIO, 0});
+  try {
+    store.put(key_of(3), payload_of(3, 80));
+    FAIL() << "manifest fsync failure must fail a durable put";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.code(), StoreErrc::kIoError);
+  }
+  store.put(key_of(4), payload_of(4, 80));
+  EXPECT_EQ(store.get(key_of(1)).payload, payload_of(1, 80));
+  EXPECT_EQ(store.get(key_of(4)).payload, payload_of(4, 80));
+}
+
+TEST_F(StoreCrashTest, ManifestRollbackFailureIsFailedStop) {
+  FaultInjectingIo io;
+  StoreConfig cfg = config(base_);
+  cfg.io = &io;
+  {
+    Store store(cfg);
+    store.put(key_of(1), payload_of(1, 120));
+
+    // Tear a manifest append AND fail the truncate that would repair it.
+    // The log now ends in garbage the store cannot remove, so accepting
+    // further appends would corrupt every frame after the tear; the only
+    // safe behaviour is failed-stop for mutations while reads keep
+    // serving.
+    io.add_rule({Op::kWrite, "manifest", 0, 1, EIO, 3});
+    io.add_rule({Op::kWrite, "manifest", 0, 1, EIO, 0});
+    io.add_rule({Op::kMeta, "manifest", 0, 1, EIO, 0});
+    EXPECT_THROW(store.put(key_of(2), payload_of(2, 120)), StoreError);
+
+    try {
+      store.put(key_of(3), payload_of(3, 120));
+      FAIL() << "a store with torn manifest bytes must refuse mutations";
+    } catch (const StoreError& e) {
+      EXPECT_EQ(e.code(), StoreErrc::kIoError);
+    }
+    EXPECT_EQ(store.get(key_of(1)).payload, payload_of(1, 120));
+  }
+  // Reopen replays whole frames, drops the torn tail, and is writable
+  // again -- failed-stop is per-process, not a bricked directory. The two
+  // refused puts left orphan segment records behind; repair recovers
+  // them.
+  Store reopened(config(base_));
+  EXPECT_EQ(reopened.get(key_of(1)).payload, payload_of(1, 120));
+  reopened.put(key_of(5), payload_of(5, 120));
+  EXPECT_EQ(reopened.get(key_of(5)).payload, payload_of(5, 120));
+  const FsckReport rep = reopened.fsck(/*repair=*/true);
+  EXPECT_EQ(rep.orphans_recovered, rep.orphan_records);
+  EXPECT_EQ(reopened.get(key_of(2)).payload, payload_of(2, 120));
+  EXPECT_TRUE(reopened.fsck(/*repair=*/false).clean);
+}
+
+TEST_F(StoreCrashTest, WholeDirectoryDeathThenReviveServesAckedKeys) {
+  FaultInjectingIo io;
+  StoreConfig cfg = config(base_);
+  cfg.io = &io;
+  Store store(cfg);
+  for (std::uint64_t n = 0; n < 5; ++n)
+    store.put(key_of(n), payload_of(n, 90));
+
+  io.kill_path(base_.filename().string());
+  EXPECT_THROW(store.put(key_of(9), payload_of(9, 90)), StoreError);
+  EXPECT_GE(io.stats().killed_ops, 1u);
+
+  // The disk comes back (remount, cable reseated): previously-acked keys
+  // must still read byte-identically through the SAME open store.
+  io.revive_path(base_.filename().string());
+  for (std::uint64_t n = 0; n < 5; ++n)
+    EXPECT_EQ(store.get(key_of(n)).payload, payload_of(n, 90)) << n;
+  store.put(key_of(9), payload_of(9, 90));
+  EXPECT_EQ(store.get(key_of(9)).payload, payload_of(9, 90));
 }
 
 }  // namespace

@@ -1,0 +1,510 @@
+// The erasure-coded shard tier's crash/fault contract
+// (store/sharded_store.h): every previously-acknowledged artifact must
+// come back byte-identical after any single-shard directory deletion, any
+// <= parity subset loss, corrupt strip bytes, or a torn cross-shard write
+// -- and scrub must restore full redundancy afterwards. Faults are driven
+// deterministically through FaultInjectingIo (store/io.h) rather than by
+// luck. The codec layer underneath has its own exhaustive matrix in
+// erasure_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "store/io.h"
+#include "store/sharded_store.h"
+#include "store/store.h"
+
+namespace nc::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+Key key_of(std::uint64_t n) { return Key{n * 0x9E3779B97F4A7C15ull + 1, ~n}; }
+
+std::vector<std::uint8_t> payload_of(std::uint64_t n, std::size_t len) {
+  std::mt19937_64 rng(n ^ 0xD1B54A32D192ED03ull);
+  std::vector<std::uint8_t> p(len);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng());
+  return p;
+}
+
+/// Mix of inline (< threshold) and striped (>= threshold) sizes.
+std::size_t size_of(std::uint64_t n, std::size_t threshold) {
+  switch (n % 4) {
+    case 0: return 16 + n;                    // inline
+    case 1: return threshold - 1;             // inline, boundary
+    case 2: return threshold + (n % 97);      // striped, boundary
+    default: return 3 * threshold + (n % 61); // striped, multi-segment
+  }
+}
+
+class ShardedStoreTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kThreshold = 512;
+
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("nc_sharded_") + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ShardedStoreConfig config(unsigned shards, unsigned parity,
+                            Io* io = nullptr) const {
+    ShardedStoreConfig c;
+    c.dir = dir_.string();
+    c.shards = shards;
+    c.parity = parity;
+    c.stripe_threshold_bytes = kThreshold;
+    c.auto_compact = false;
+    c.io = io;
+    return c;
+  }
+
+  void fill(ShardedStore& store, std::uint64_t keys) {
+    for (std::uint64_t n = 0; n < keys; ++n)
+      store.put(key_of(n), payload_of(n, size_of(n, kThreshold)));
+  }
+
+  /// Every key byte-identical. `allow_miss` tolerates kMiss/kCorrupt (used
+  /// when damage legitimately exceeds parity) but NEVER wrong bytes.
+  void expect_all(ShardedStore& store, std::uint64_t keys,
+                  bool allow_miss = false) {
+    for (std::uint64_t n = 0; n < keys; ++n) {
+      GetResult r = store.get(key_of(n));
+      if (r.status != GetStatus::kHit) {
+        EXPECT_TRUE(allow_miss) << "key " << n << " lost";
+        continue;
+      }
+      ASSERT_EQ(r.payload, payload_of(n, size_of(n, kThreshold)))
+          << "key " << n << " served WRONG bytes";
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ShardedStoreTest, InlineAndStripedRoundTrip) {
+  constexpr std::uint64_t kKeys = 24;
+  ShardedStore store(config(4, 1));
+  fill(store, kKeys);
+  expect_all(store, kKeys);
+
+  const ShardedStats s = store.stats();
+  EXPECT_EQ(s.puts, kKeys);
+  EXPECT_GT(s.inline_puts, 0u);
+  EXPECT_GT(s.striped_puts, 0u);
+  EXPECT_EQ(s.inline_puts + s.striped_puts, kKeys);
+  EXPECT_EQ(s.degraded_reads, 0u);
+  EXPECT_EQ(s.unrecoverable_reads, 0u);
+  EXPECT_EQ(s.failed_writes, 0u);
+
+  // A healthy store reports no damage to repair.
+  const ScrubReport rep = store.scrub();
+  EXPECT_TRUE(rep.full_redundancy);
+  EXPECT_EQ(rep.strips_repaired + rep.heads_repaired + rep.copies_repaired,
+            0u);
+  EXPECT_EQ(rep.unrecoverable, 0u);
+}
+
+TEST_F(ShardedStoreTest, DuplicatePutAndEraseRemoveEverywhere) {
+  ShardedStore store(config(4, 1));
+  const Key inline_key = key_of(0);
+  const Key striped_key = key_of(3);
+  store.put(inline_key, payload_of(0, 100));
+  store.put(inline_key, payload_of(0, 100));  // content-addressed: no-op
+  store.put(striped_key, payload_of(3, 4 * kThreshold));
+
+  EXPECT_TRUE(store.contains(inline_key));
+  EXPECT_TRUE(store.erase(striped_key));
+  EXPECT_FALSE(store.contains(striped_key));
+  EXPECT_EQ(store.get(striped_key).status, GetStatus::kMiss);
+  EXPECT_TRUE(store.erase(inline_key));
+  EXPECT_FALSE(store.erase(inline_key));  // already gone
+
+  // Erase must purge strips too, or they would read as orphans forever.
+  const ScrubReport rep = store.scrub();
+  EXPECT_EQ(rep.artifacts, 0u);
+  EXPECT_EQ(rep.orphan_strips, 0u);
+}
+
+TEST_F(ShardedStoreTest, WarmReopenServesEverything) {
+  constexpr std::uint64_t kKeys = 16;
+  {
+    ShardedStore store(config(4, 1));
+    fill(store, kKeys);
+  }
+  ShardedStore store(config(4, 1));
+  expect_all(store, kKeys);
+  EXPECT_EQ(store.stats().degraded_reads, 0u);
+}
+
+// The acceptance matrix: delete each shard directory in turn; every
+// previously-acknowledged artifact must still be served byte-identically
+// (reconstructing where needed), and a scrub must restore full redundancy
+// so a SECOND, different shard loss is also survivable.
+TEST_F(ShardedStoreTest, EverySingleShardDeletionStillServesEverything) {
+  constexpr std::uint64_t kKeys = 20;
+  constexpr unsigned kShards = 4;
+  const fs::path pristine = dir_.string() + "_pristine";
+  {
+    ShardedStore store(config(kShards, 1));
+    fill(store, kKeys);
+  }
+  fs::remove_all(pristine);
+  fs::copy(dir_, pristine, fs::copy_options::recursive);
+
+  for (unsigned victim = 0; victim < kShards; ++victim) {
+    fs::remove_all(dir_);
+    fs::copy(pristine, dir_, fs::copy_options::recursive);
+    fs::remove_all(dir_ / ShardedStore::shard_dir_name(victim));
+
+    ShardedStore store(config(0, 1));  // adopt geometry from the marker
+    EXPECT_EQ(store.shards(), kShards);
+    expect_all(store, kKeys);
+    EXPECT_GT(store.stats().degraded_reads, 0u)
+        << "losing shard " << victim << " went unnoticed";
+
+    const ScrubReport rep = store.scrub();
+    EXPECT_TRUE(rep.full_redundancy) << "victim " << victim;
+    EXPECT_EQ(rep.unrecoverable, 0u);
+    EXPECT_GT(rep.strips_repaired + rep.copies_repaired, 0u);
+
+    // Redundancy is back: lose a DIFFERENT shard and read again.
+    const unsigned second = (victim + 1) % kShards;
+    fs::remove_all(dir_ / ShardedStore::shard_dir_name(second));
+    ShardedStore after(config(0, 1));
+    for (std::uint64_t n = 0; n < kKeys; ++n) {
+      GetResult r = after.get(key_of(n));
+      ASSERT_EQ(r.status, GetStatus::kHit)
+          << "key " << n << " lost after repair + second loss";
+      ASSERT_EQ(r.payload, payload_of(n, size_of(n, kThreshold)));
+    }
+  }
+  fs::remove_all(pristine);
+}
+
+TEST_F(ShardedStoreTest, TwoParityTwoShardLossesSurvive) {
+  constexpr std::uint64_t kKeys = 12;
+  constexpr unsigned kShards = 5;
+  {
+    ShardedStore store(config(kShards, 2));
+    fill(store, kKeys);
+  }
+  fs::remove_all(dir_ / ShardedStore::shard_dir_name(1));
+  fs::remove_all(dir_ / ShardedStore::shard_dir_name(3));
+  ShardedStore store(config(kShards, 2));
+  expect_all(store, kKeys);
+  EXPECT_GT(store.stats().strips_reconstructed, 0u);
+}
+
+TEST_F(ShardedStoreTest, CorruptStripBytesAreRoutedAround) {
+  constexpr std::uint64_t kKeys = 10;
+  {
+    ShardedStore store(config(4, 1));
+    fill(store, kKeys);
+  }
+  // Scribble over every segment payload byte of one shard. Each read from
+  // that shard now fails CRC revalidation; reconstruction must cover.
+  const fs::path victim = dir_ / ShardedStore::shard_dir_name(2);
+  for (const auto& entry : fs::directory_iterator(victim)) {
+    if (entry.path().extension() != ".nc9a") continue;
+    std::vector<std::uint8_t> bytes;
+    {
+      std::FILE* f = std::fopen(entry.path().string().c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      std::fseek(f, 0, SEEK_END);
+      bytes.resize(static_cast<std::size_t>(std::ftell(f)));
+      std::fseek(f, 0, SEEK_SET);
+      ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+      std::fclose(f);
+    }
+    for (std::size_t i = 13; i < bytes.size(); i += 7) bytes[i] ^= 0x5A;
+    std::FILE* f = std::fopen(entry.path().string().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  ShardedStore store(config(4, 1));
+  expect_all(store, kKeys);
+  const ScrubReport rep = store.scrub();
+  EXPECT_TRUE(rep.full_redundancy);
+  EXPECT_EQ(rep.unrecoverable, 0u);
+}
+
+TEST_F(ShardedStoreTest, GeometryIsPinnedByTheMarker) {
+  { ShardedStore store(config(4, 1)); }
+  // Different shard count or parity must refuse -- silently rehashing
+  // would orphan every record.
+  try {
+    ShardedStore store(config(5, 1));
+    FAIL() << "geometry mismatch accepted";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.code(), StoreErrc::kInvalid);
+  }
+  EXPECT_THROW(ShardedStore(config(4, 2)), StoreError);
+  // shards=0 adopts.
+  ShardedStore adopted(config(0, 0));
+  EXPECT_EQ(adopted.shards(), 4u);
+  EXPECT_EQ(adopted.parity(), 1u);
+  EXPECT_TRUE(ShardedStore::is_sharded_dir(dir_.string()));
+  EXPECT_FALSE(ShardedStore::is_sharded_dir(dir_.string() + "_nope"));
+}
+
+TEST_F(ShardedStoreTest, RejectsBadGeometry) {
+  EXPECT_THROW(ShardedStore(config(1, 0)), StoreError);   // < 2 shards
+  EXPECT_THROW(ShardedStore(config(4, 4)), StoreError);   // parity >= shards
+  EXPECT_THROW(ShardedStore(config(65, 1)), StoreError);  // > 64 shards
+}
+
+// ------------------------------------------------------- fault injection
+
+TEST_F(ShardedStoreTest, BreakerQuarantinesDeadShardAndProbesItBack) {
+  constexpr std::uint64_t kKeys = 12;
+  FaultInjectingIo io;
+  ShardedStoreConfig cfg = config(4, 1, &io);
+  cfg.breaker_open_after = 2;
+  cfg.breaker_probe_after = 3;
+  ShardedStore store(cfg);
+  fill(store, kKeys);
+
+  // Yank shard-01's disk out from under live file descriptors, then trip
+  // the breaker with two deterministic disk-touching failures: each
+  // striped get reads exactly one strip from the dead shard (and serves
+  // the payload by reconstruction). Two DIFFERENT keys, because the first
+  // failure drops that strip from the shard's in-memory index and a
+  // repeat would be an index miss -- which counts as shard-alive.
+  io.kill_path(ShardedStore::shard_dir_name(1));
+  EXPECT_EQ(store.get(key_of(2)).status, GetStatus::kHit);   // striped
+  EXPECT_EQ(store.get(key_of(3)).status, GetStatus::kHit);   // striped
+  EXPECT_NE(store.shard_health()[1], ShardHealth::kClosed);
+
+  // Quarantined shard: reads still serve everything, degraded.
+  for (int round = 0; round < 4; ++round) expect_all(store, kKeys);
+  const ShardedStats s = store.stats();
+  EXPECT_GE(s.shard_errors, 2u);
+  EXPECT_GT(s.breaker_opens, 0u);
+  EXPECT_GT(s.skipped_shard_ops, 0u);
+
+  // Disk comes back: keep operating until a probe re-closes the breaker.
+  io.revive_path(ShardedStore::shard_dir_name(1));
+  for (int round = 0; round < 32; ++round) {
+    expect_all(store, kKeys);
+    if (store.shard_health()[1] == ShardHealth::kClosed) break;
+  }
+  EXPECT_EQ(store.shard_health()[1], ShardHealth::kClosed);
+  EXPECT_GT(store.stats().breaker_probes, 0u);
+
+  // Writes taken while the shard was dead were degraded; scrub heals.
+  const ScrubReport rep = store.scrub();
+  EXPECT_TRUE(rep.full_redundancy);
+  expect_all(store, kKeys);
+}
+
+// A shard whose directory is unopenable at construction starts with its
+// breaker open and a null store; once the obstruction is gone, a breaker
+// probe must build a fresh Store and bring the shard back.
+TEST_F(ShardedStoreTest, ProbeReopensShardThatFailedToOpen) {
+  constexpr std::uint64_t kKeys = 10;
+  {
+    ShardedStore store(config(4, 1));
+    fill(store, kKeys);
+  }
+  // Replace shard-01's manifest with garbage: Store's ctor refuses it.
+  const fs::path manifest =
+      dir_ / ShardedStore::shard_dir_name(1) / "manifest.nc9m";
+  {
+    std::FILE* f = std::fopen(manifest.string().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a manifest at all", f);
+    std::fclose(f);
+  }
+  ShardedStoreConfig cfg = config(0, 1);
+  cfg.breaker_probe_after = 2;
+  ShardedStore store(cfg);
+  EXPECT_NE(store.shard_health()[1], ShardHealth::kClosed);
+  EXPECT_GT(store.stats().breaker_opens, 0u);
+  expect_all(store, kKeys);  // serves around the dead shard meanwhile
+
+  // Clear the obstruction; fsck(repair) on reopen would also have done it,
+  // but here the shard directory is simply reset.
+  fs::remove_all(dir_ / ShardedStore::shard_dir_name(1));
+  for (int round = 0; round < 32; ++round) {
+    expect_all(store, kKeys);
+    if (store.shard_health()[1] == ShardHealth::kClosed) break;
+  }
+  EXPECT_EQ(store.shard_health()[1], ShardHealth::kClosed);
+
+  // The reopened shard is empty; scrub restores its strip complement.
+  const ScrubReport rep = store.scrub();
+  EXPECT_TRUE(rep.full_redundancy);
+  EXPECT_EQ(rep.unrecoverable, 0u);
+  expect_all(store, kKeys);
+}
+
+// Torn cross-shard write matrix: fail the Nth write of a striped put, for
+// every N, both as EIO and as a short write. The put may ack degraded or
+// throw; either way NO previously-acked artifact may be damaged, a get of
+// the new key must return right bytes or a clean miss -- never garbage --
+// and after reopen + scrub the survivors hold full redundancy.
+TEST_F(ShardedStoreTest, TornCrossShardWriteNeverServesWrongBytes) {
+  constexpr std::uint64_t kOldKeys = 6;
+  const Key fresh = key_of(777);
+  const auto fresh_payload = payload_of(777, 3 * kThreshold);
+
+  for (const bool short_write : {false, true}) {
+    for (std::uint64_t fail_at = 0; fail_at < 10; ++fail_at) {
+      fs::remove_all(dir_);
+      FaultInjectingIo io;
+      ShardedStoreConfig cfg = config(4, 1, &io);
+      {
+        ShardedStore store(cfg);
+        fill(store, kOldKeys);
+
+        FaultInjectingIo::Rule rule;
+        rule.op = FaultInjectingIo::Op::kWrite;
+        rule.skip = fail_at;
+        rule.count = 0;  // everything after the cut fails too (crash-like)
+        if (short_write) rule.short_len = 3;
+        io.add_rule(rule);
+        try {
+          store.put(fresh, fresh_payload.data(), fresh_payload.size());
+        } catch (const StoreError&) {
+        }
+        io.clear();
+
+        GetResult r = store.get(fresh);
+        if (r.status == GetStatus::kHit) {
+          ASSERT_EQ(r.payload, fresh_payload)
+              << "fail_at=" << fail_at << " short=" << short_write;
+        }
+      }
+
+      // Reopen clean: old artifacts intact, fresh one right-or-missing.
+      ShardedStore store(cfg);
+      expect_all(store, kOldKeys);
+      GetResult r = store.get(fresh);
+      if (r.status == GetStatus::kHit) {
+        ASSERT_EQ(r.payload, fresh_payload);
+      }
+      const ScrubReport rep = store.scrub();
+      EXPECT_EQ(rep.unrecoverable, 0u)
+          << "fail_at=" << fail_at << " short=" << short_write;
+      expect_all(store, kOldKeys);
+    }
+  }
+}
+
+TEST_F(ShardedStoreTest, NoSpaceEverywhereSurfacesTyped) {
+  FaultInjectingIo io;
+  ShardedStore store(config(4, 1, &io));
+  FaultInjectingIo::Rule rule;
+  rule.op = FaultInjectingIo::Op::kWrite;
+  rule.count = 0;  // forever
+  rule.err = ENOSPC;
+  io.add_rule(rule);
+  try {
+    store.put(key_of(1), payload_of(1, 64));
+    FAIL() << "put acked with every shard out of space";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.code(), StoreErrc::kNoSpace);
+  }
+  EXPECT_GT(store.stats().failed_writes, 0u);
+}
+
+// Seeded soak: random EIO/ENOSPC/short-write rules come and go while keys
+// are put and read. Acked puts are remembered; after the storm every acked
+// key must read back byte-identical (reopened, faults cleared, scrubbed).
+TEST_F(ShardedStoreTest, SeededFaultScheduleSoak) {
+  constexpr int kOps = 120;
+  std::mt19937_64 rng(20260808);
+  FaultInjectingIo io;
+  ShardedStoreConfig cfg = config(4, 1, &io);
+  cfg.breaker_open_after = 2;
+  cfg.breaker_probe_after = 2;
+  std::vector<std::uint64_t> acked;
+  {
+    ShardedStore store(cfg);
+    for (int op = 0; op < kOps; ++op) {
+      if (rng() % 8 == 0) {
+        FaultInjectingIo::Rule rule;
+        rule.op = FaultInjectingIo::Op::kWrite;
+        rule.path_contains = ShardedStore::shard_dir_name(
+            static_cast<unsigned>(rng() % 4));
+        rule.count = 1 + rng() % 3;
+        switch (rng() % 3) {
+          case 0: rule.err = EIO; break;
+          case 1: rule.err = ENOSPC; break;
+          default: rule.short_len = 1 + rng() % 8; break;
+        }
+        io.add_rule(rule);
+      }
+      if (rng() % 16 == 0) io.clear();
+      const std::uint64_t n = rng() % 64;
+      try {
+        store.put(key_of(n), payload_of(n, size_of(n, kThreshold)));
+        acked.push_back(n);
+      } catch (const StoreError&) {
+      }
+      if (!acked.empty() && rng() % 3 == 0) {
+        const std::uint64_t probe = acked[rng() % acked.size()];
+        GetResult r = store.get(key_of(probe));
+        if (r.status == GetStatus::kHit) {
+          ASSERT_EQ(r.payload,
+                    payload_of(probe, size_of(probe, kThreshold)))
+              << "op " << op << ": wrong bytes under faults";
+        }
+      }
+    }
+    io.clear();
+  }
+  ASSERT_FALSE(acked.empty());
+  ShardedStore store(config(0, 1));
+  (void)store.scrub();
+  for (const std::uint64_t n : acked) {
+    GetResult r = store.get(key_of(n));
+    ASSERT_EQ(r.status, GetStatus::kHit) << "acked key " << n << " lost";
+    ASSERT_EQ(r.payload, payload_of(n, size_of(n, kThreshold)));
+  }
+  const ScrubReport rep = store.scrub();
+  EXPECT_TRUE(rep.full_redundancy);
+  EXPECT_EQ(rep.unrecoverable, 0u);
+}
+
+TEST_F(ShardedStoreTest, CompactionPreservesEveryArtifact) {
+  constexpr std::uint64_t kKeys = 16;
+  ShardedStoreConfig cfg = config(4, 1);
+  cfg.segment_target_bytes = 2048;  // force several segments per shard
+  ShardedStore store(cfg);
+  fill(store, kKeys);
+  // Overwrite-free store: garbage comes from erases.
+  for (std::uint64_t n = 0; n < kKeys; n += 2) store.erase(key_of(n));
+  (void)store.compact(0.0);
+  for (std::uint64_t n = 1; n < kKeys; n += 2) {
+    GetResult r = store.get(key_of(n));
+    ASSERT_EQ(r.status, GetStatus::kHit);
+    ASSERT_EQ(r.payload, payload_of(n, size_of(n, kThreshold)));
+  }
+  for (std::uint64_t n = 0; n < kKeys; n += 2)
+    EXPECT_EQ(store.get(key_of(n)).status, GetStatus::kMiss);
+}
+
+TEST_F(ShardedStoreTest, FsckShardIteratesCleanly) {
+  constexpr std::uint64_t kKeys = 8;
+  ShardedStore store(config(4, 1));
+  fill(store, kKeys);
+  for (unsigned s = 0; s < store.shards(); ++s) {
+    const FsckReport rep = store.fsck_shard(s, false);
+    EXPECT_TRUE(rep.clean) << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace nc::store

@@ -5,8 +5,9 @@
 # format, fleet session manager, decoder fuzz/watchdog, the serve layer:
 # frame protocol, artifact cache, concurrent server + loadgen, and the
 # persistent artifact store: crash-recovery matrices plus compaction racing
-# concurrent readers) to catch data races in the parallel pipeline and the
-# service.
+# concurrent readers, and the erasure-coded sharded tier: degraded reads,
+# breaker probes and scrub repair under fault injection) to catch data
+# races in the parallel pipeline and the service.
 #
 #   tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
 #
@@ -49,10 +50,11 @@ if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
   cmake --build "$builddir" -j "$jobs" \
     --target thread_pool_test parallel_pipeline_test sharded_format_test \
     fleet_test decoder_fuzz_test frame_fuzz_test serve_cache_test \
-    serve_server_test retry_test crc_test store_test store_crash_test
+    serve_server_test retry_test crc_test hash_test erasure_test \
+    store_test store_crash_test store_erasure_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$builddir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|Watchdog|FrameFuzz|ServeServer|ArtifactCache|CacheKey|RetryHelper|Crc|Store'
+    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|Watchdog|FrameFuzz|ServeServer|ArtifactCache|CacheKey|RetryHelper|Crc|Fnv128|ErasureCodec|Store'
 fi
 
 echo "== check.sh: all suites green =="

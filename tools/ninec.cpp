@@ -47,6 +47,7 @@
 #include "serve/metrics.h"
 #include "serve/server.h"
 #include "serve/transport.h"
+#include "store/sharded_store.h"
 #include "store/store.h"
 
 namespace {
@@ -84,12 +85,21 @@ using nc::bits::TritVector;
       "             devices round-robin)\n"
       "  serve      --socket PATH [--workers N] [--queue N] [--inflight N]\n"
       "             [--cache-bytes N] [--duration-ms N] [--store DIR]\n"
+      "             [--store-shards N] [--store-parity N]\n"
+      "             [--store-stripe-bytes N] [--store-scrub-ms N]\n"
       "             (frame-protocol compression service on a Unix socket;\n"
       "             runs until --duration-ms elapses, default forever;\n"
       "             --store adds a persistent artifact tier: cache misses\n"
       "             check DIR before computing, results are written through,\n"
-      "             and a restart on the same DIR answers warm)\n"
-      "  store      <fsck|stats|compact> --dir DIR\n"
+      "             and a restart on the same DIR answers warm;\n"
+      "             --store-shards >= 2 makes DIR an erasure-coded multi-\n"
+      "             shard tier that survives --store-parity shard losses,\n"
+      "             striping payloads >= --store-stripe-bytes and scrubbing\n"
+      "             every --store-scrub-ms when > 0)\n"
+      "  store      <fsck|stats|compact|scrub> --dir DIR\n"
+      "             A DIR holding a sharded.nc9x marker is opened as the\n"
+      "             erasure-coded multi-shard tier (fsck/stats/compact\n"
+      "             iterate its shards); otherwise as a single store.\n"
       "             fsck: full segment scan cross-checked against the\n"
       "             manifest; repairs by default (recover orphans, drop\n"
       "             dangling entries, remove stray segments) unless\n"
@@ -97,6 +107,9 @@ using nc::bits::TritVector;
       "             stats: print store statistics as JSON\n"
       "             compact: rewrite live records out of garbage segments\n"
       "             [--min-garbage R, default 0 = any garbage]\n"
+      "             scrub (sharded only): verify every stripe/replica,\n"
+      "             rewrite missing strips onto healthy shards; exit 0 iff\n"
+      "             full redundancy holds afterwards\n"
       "  loadgen    --socket PATH [--clients N] [--requests N] [--pipeline N]\n"
       "             [--distinct N] [--patterns N] [--width N] [--seed N]\n"
       "             [--fault-period N] [--inject SPEC] [--deadline-ms N]\n"
@@ -544,6 +557,14 @@ int cmd_serve(const Args& args) {
   cfg.store_dir = args.get("store");
   cfg.store_segment_bytes =
       args.get_size("store-segment-bytes", cfg.store_segment_bytes);
+  cfg.store_shards =
+      static_cast<unsigned>(args.get_size("store-shards", cfg.store_shards));
+  cfg.store_parity =
+      static_cast<unsigned>(args.get_size("store-parity", cfg.store_parity));
+  cfg.store_stripe_threshold =
+      args.get_size("store-stripe-bytes", cfg.store_stripe_threshold);
+  cfg.store_scrub_interval_ms = static_cast<std::uint32_t>(
+      args.get_size("store-scrub-ms", cfg.store_scrub_interval_ms));
   const std::size_t duration_ms = args.get_size("duration-ms", 0);
 
   nc::serve::UnixListener listener(args.require("socket"));
@@ -562,7 +583,13 @@ int cmd_serve(const Args& args) {
   }
   server.stop();
   const nc::serve::CacheStats cache = server.cache_stats();
-  if (server.has_store()) {
+  if (server.has_sharded_store()) {
+    const nc::store::ShardedStats ss = server.sharded_store_stats();
+    std::cout << nc::serve::metrics_json(server.metrics_snapshot(), &cache,
+                                         nullptr, &ss)
+                     .dump(2)
+              << '\n';
+  } else if (server.has_store()) {
     const nc::store::StoreStats ss = server.store_stats();
     std::cout << nc::serve::metrics_json(server.metrics_snapshot(), &cache,
                                          &ss)
@@ -612,9 +639,124 @@ nc::report::Json fsck_report_json(const nc::store::FsckReport& r) {
   return j;
 }
 
+double parse_min_garbage(const Args& args) {
+  double min_garbage = 0.0;
+  if (args.has("min-garbage")) {
+    const std::string text = args.require("min-garbage");
+    try {
+      std::size_t pos = 0;
+      min_garbage = std::stod(text, &pos);
+      if (pos != text.size() || min_garbage < 0.0 || min_garbage > 1.0)
+        throw std::invalid_argument(text);
+    } catch (const std::exception&) {
+      usage("--min-garbage expects a ratio in [0,1], got '" + text + "'");
+    }
+  }
+  return min_garbage;
+}
+
+nc::report::Json scrub_report_json(const nc::store::ScrubReport& r) {
+  nc::report::Json j = nc::report::Json::object();
+  j["full_redundancy"] = r.full_redundancy;
+  j["artifacts"] = r.artifacts;
+  j["strips_checked"] = r.strips_checked;
+  j["heads_missing"] = r.heads_missing;
+  j["heads_repaired"] = r.heads_repaired;
+  j["strips_missing"] = r.strips_missing;
+  j["strips_repaired"] = r.strips_repaired;
+  j["copies_missing"] = r.copies_missing;
+  j["copies_repaired"] = r.copies_repaired;
+  j["unrecoverable"] = r.unrecoverable;
+  j["orphan_strips"] = r.orphan_strips;
+  j["shards_down"] = r.shards_down;
+  return j;
+}
+
+int cmd_store_sharded(const std::string& action, const Args& args,
+                      const std::string& dir) {
+  nc::store::ShardedStoreConfig cfg;
+  cfg.dir = dir;
+  cfg.shards = 0;  // adopt the geometry recorded in the marker
+  cfg.auto_compact = false;  // the CLI acts only when told to
+  nc::store::ShardedStore store(cfg);
+
+  if (action == "stats") {
+    nc::report::Json j = nc::report::Json::object();
+    j["shards"] = std::uint64_t{store.shards()};
+    j["parity"] = std::uint64_t{store.parity()};
+    nc::report::Json per_shard = nc::report::Json::object();
+    for (unsigned s = 0; s < store.shards(); ++s) {
+      try {
+        per_shard[nc::store::ShardedStore::shard_dir_name(s)] =
+            store_stats_json(store.shard_stats(s));
+      } catch (const std::exception& e) {
+        nc::report::Json down = nc::report::Json::object();
+        down["unreachable"] = std::string(e.what());
+        per_shard[nc::store::ShardedStore::shard_dir_name(s)] =
+            std::move(down);
+      }
+    }
+    j["per_shard"] = std::move(per_shard);
+    std::cout << j.dump(2) << '\n';
+    return 0;
+  }
+  if (action == "fsck") {
+    const bool repair = !args.has("scan-only");
+    nc::report::Json per_shard = nc::report::Json::object();
+    bool all_clean = true;
+    for (unsigned s = 0; s < store.shards(); ++s) {
+      const std::string name = nc::store::ShardedStore::shard_dir_name(s);
+      try {
+        nc::store::FsckReport report = store.fsck_shard(s, repair);
+        if (repair && report.repaired) {
+          const nc::store::FsckReport after = store.fsck_shard(s, false);
+          nc::report::Json j = nc::report::Json::object();
+          j["repair_pass"] = fsck_report_json(report);
+          j["verify_pass"] = fsck_report_json(after);
+          per_shard[name] = std::move(j);
+          all_clean = all_clean && after.clean;
+        } else {
+          per_shard[name] = fsck_report_json(report);
+          all_clean = all_clean && report.clean;
+        }
+      } catch (const std::exception& e) {
+        nc::report::Json down = nc::report::Json::object();
+        down["unreachable"] = std::string(e.what());
+        per_shard[name] = std::move(down);
+        all_clean = false;
+      }
+    }
+    nc::report::Json j = nc::report::Json::object();
+    j["clean"] = all_clean;
+    j["per_shard"] = std::move(per_shard);
+    std::cout << j.dump(2) << '\n';
+    return all_clean ? 0 : 1;
+  }
+  if (action == "compact") {
+    const std::uint64_t reclaimed = store.compact(parse_min_garbage(args));
+    nc::report::Json j = nc::report::Json::object();
+    j["bytes_reclaimed"] = reclaimed;
+    std::cout << j.dump(2) << '\n';
+    return 0;
+  }
+  if (action == "scrub") {
+    const nc::store::ScrubReport report = store.scrub();
+    std::cout << scrub_report_json(report).dump(2) << '\n';
+    return report.full_redundancy && report.unrecoverable == 0 ? 0 : 1;
+  }
+  usage("unknown store action '" + action +
+        "' (fsck|stats|compact|scrub)");
+}
+
 int cmd_store(const std::string& action, const Args& args) {
+  const std::string dir = args.require("dir");
+  if (nc::store::ShardedStore::is_sharded_dir(dir))
+    return cmd_store_sharded(action, args, dir);
+  if (action == "scrub")
+    usage("scrub needs a sharded store (no sharded.nc9x marker in " + dir +
+          ")");
   nc::store::StoreConfig cfg;
-  cfg.dir = args.require("dir");
+  cfg.dir = dir;
   cfg.auto_compact = false;  // the CLI acts only when told to
   nc::store::Store store(cfg);
 
@@ -639,26 +781,14 @@ int cmd_store(const std::string& action, const Args& args) {
     return report.clean ? 0 : 1;
   }
   if (action == "compact") {
-    double min_garbage = 0.0;
-    if (args.has("min-garbage")) {
-      const std::string text = args.require("min-garbage");
-      try {
-        std::size_t pos = 0;
-        min_garbage = std::stod(text, &pos);
-        if (pos != text.size() || min_garbage < 0.0 || min_garbage > 1.0)
-          throw std::invalid_argument(text);
-      } catch (const std::exception&) {
-        usage("--min-garbage expects a ratio in [0,1], got '" + text + "'");
-      }
-    }
-    const std::uint64_t reclaimed = store.compact(min_garbage);
+    const std::uint64_t reclaimed = store.compact(parse_min_garbage(args));
     nc::report::Json j = nc::report::Json::object();
     j["bytes_reclaimed"] = reclaimed;
     j["stats"] = store_stats_json(store.stats());
     std::cout << j.dump(2) << '\n';
     return 0;
   }
-  usage("unknown store action '" + action + "' (fsck|stats|compact)");
+  usage("unknown store action '" + action + "' (fsck|stats|compact|scrub)");
 }
 
 int cmd_loadgen(const Args& args) {
@@ -719,7 +849,7 @@ int main(int argc, char** argv) {
   if (command == "store") {
     // `store` takes a positional action before the flags.
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
-      usage("store needs an action: ninec store <fsck|stats|compact>");
+      usage("store needs an action: ninec store <fsck|stats|compact|scrub>");
     const std::string action = argv[2];
     const Args store_args(argc, argv, 3);
     try {
