@@ -1,0 +1,81 @@
+#include "bits/bitplane.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace nc::bits {
+
+namespace {
+
+/// Compacts the 32 even-position bits of `w` into the low 32 bits
+/// (inverse Morton interleave). Each step may use | instead of ^ because
+/// the shifted copies land on disjoint bit positions.
+constexpr std::uint64_t compact_even(std::uint64_t w) noexcept {
+  w &= 0x5555555555555555ull;
+  w = (w | (w >> 1)) & 0x3333333333333333ull;
+  w = (w | (w >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  w = (w | (w >> 4)) & 0x00FF00FF00FF00FFull;
+  w = (w | (w >> 8)) & 0x0000FFFF0000FFFFull;
+  w = (w | (w >> 16)) & 0x00000000FFFFFFFFull;
+  return w;
+}
+
+/// Spreads the low 32 bits of `v` onto the even positions of a 64-bit
+/// word (Morton interleave with zeros).
+constexpr std::uint64_t expand_even(std::uint64_t v) noexcept {
+  v &= 0x00000000FFFFFFFFull;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+}  // namespace
+
+Bitplanes::Bitplanes(const TritVector& v) : size_(v.size()) {
+  const std::size_t plane_words = (size_ + 63) / 64;
+  value_.assign(plane_words, 0);
+  x_.assign(plane_words, 0);
+  // Each packed word holds 32 trits; two consecutive packed words fill one
+  // plane word. TritVector keeps bits past size() zero, so the plane tails
+  // come out zero without extra masking.
+  for (std::size_t pw = 0; pw < v.packed_word_count(); ++pw) {
+    const std::uint64_t w = v.packed_word(pw);
+    const unsigned shift = (pw & 1u) ? 32u : 0u;
+    value_[pw >> 1] |= compact_even(w) << shift;
+    x_[pw >> 1] |= compact_even(w >> 1) << shift;
+  }
+}
+
+TritVector Bitplanes::to_trits() const {
+  std::vector<std::uint64_t> packed((size_ + 31) / 32, 0);
+  for (std::size_t pw = 0; pw < packed.size(); ++pw) {
+    const unsigned shift = (pw & 1u) ? 32u : 0u;
+    const std::uint64_t val = value_[pw >> 1] >> shift;
+    const std::uint64_t xs = x_[pw >> 1] >> shift;
+    packed[pw] = expand_even(val) | (expand_even(xs) << 1);
+  }
+  return TritVector::from_packed(std::move(packed), size_);
+}
+
+void Bitplanes::append_bits_msb(std::uint32_t bits, unsigned len) {
+  std::uint64_t value = 0;
+  for (unsigned j = 0; j < len; ++j)
+    value |= ((bits >> (len - 1 - j)) & 1ull) << j;
+  append_word(value, 0, len);
+}
+
+void Bitplanes::append_run(std::size_t n, Trit t) {
+  const std::uint64_t vpat = t == Trit::One ? ~std::uint64_t{0} : 0;
+  const std::uint64_t xpat = t == Trit::X ? ~std::uint64_t{0} : 0;
+  while (n > 0) {
+    const unsigned take = static_cast<unsigned>(std::min<std::size_t>(n, 64));
+    const std::uint64_t mask = low_mask(take);
+    append_word(vpat & mask, xpat & mask, take);
+    n -= take;
+  }
+}
+
+}  // namespace nc::bits

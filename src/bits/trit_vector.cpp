@@ -13,23 +13,62 @@ TritVector TritVector::from_string(std::string_view s) {
 }
 
 void TritVector::append(const TritVector& other) {
-  const std::size_t base = size_;
-  resize(size_ + other.size_, Trit::Zero);
-  for (std::size_t i = 0; i < other.size_; ++i) set(base + i, other.get(i));
+  if (&other == this) {  // self-append would read words being reallocated
+    const TritVector copy = other;
+    append(copy);
+    return;
+  }
+  if (other.size_ == 0) return;
+  // Word-parallel shifted copy of the packed 2-bit representation. The
+  // bit offset is even (trit-aligned), the source tail past other.size()
+  // is zero, and this vector's tail is zero, so plain OR merges cleanly.
+  const std::size_t dst_bit = size_ * 2;
+  words_.resize((size_ + other.size_ + 31) / 32, 0);
+  size_ += other.size_;
+  const std::size_t w = dst_bit >> 6;
+  const unsigned off = dst_bit & 63;
+  if (off == 0) {
+    for (std::size_t i = 0; i < other.words_.size(); ++i)
+      words_[w + i] = other.words_[i];
+  } else {
+    for (std::size_t i = 0; i < other.words_.size(); ++i) {
+      words_[w + i] |= other.words_[i] << off;
+      if (w + i + 1 < words_.size())
+        words_[w + i + 1] |= other.words_[i] >> (64 - off);
+    }
+  }
 }
 
 void TritVector::append_run(std::size_t n, Trit t) {
-  const std::size_t base = size_;
-  resize(size_ + n, Trit::Zero);
-  for (std::size_t i = 0; i < n; ++i) set(base + i, t);
+  if (n == 0) return;
+  // New words arrive zeroed and the old tail is zero, so only non-Zero
+  // fills need bits OR-ed in; the fill patterns repeat with period 2 bits,
+  // matching any even (trit-aligned) offset.
+  words_.resize((size_ + n + 31) / 32, 0);
+  std::size_t pos = size_ * 2;
+  const std::size_t end_bit = (size_ + n) * 2;
+  size_ += n;
+  if (t == Trit::Zero) return;
+  const Word pattern =
+      t == Trit::One ? 0x5555555555555555ull : 0xAAAAAAAAAAAAAAAAull;
+  while (pos < end_bit) {
+    const unsigned off = pos & 63;
+    const std::size_t take = std::min<std::size_t>(end_bit - pos, 64 - off);
+    const Word mask =
+        (take == 64 ? ~Word{0} : (Word{1} << take) - 1) << off;
+    words_[pos >> 6] |= pattern & mask;
+    pos += take;
+  }
 }
 
 void TritVector::resize(std::size_t n, Trit fill) {
-  const std::size_t old = size_;
-  words_.resize((n + 31) / 32, 0);
+  if (n >= size_) {
+    append_run(n - size_, fill);
+    return;
+  }
+  words_.resize((n + 31) / 32);
   size_ = n;
-  for (std::size_t i = old; i < n; ++i) set(i, fill);
-  if (n < old && n % 32 != 0) {
+  if (n % 32 != 0) {
     // Zero the tail of the last word so equality can compare words directly.
     Word& w = words_.back();
     const unsigned used = static_cast<unsigned>((n & 31u) * 2);
@@ -41,9 +80,31 @@ TritVector TritVector::slice(std::size_t begin, std::size_t len) const {
   TritVector out;
   if (begin >= size_) return out;
   len = std::min(len, size_ - begin);
-  out.resize(len, Trit::Zero);
-  for (std::size_t i = 0; i < len; ++i) out.set(i, get(begin + i));
+  out.size_ = len;
+  out.words_.assign((len + 31) / 32, 0);
+  const std::size_t src_bit = begin * 2;
+  const std::size_t w = src_bit >> 6;
+  const unsigned off = src_bit & 63;
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    Word bits = words_[w + i] >> off;
+    if (off != 0 && w + i + 1 < words_.size())
+      bits |= words_[w + i + 1] << (64 - off);
+    out.words_[i] = bits;
+  }
+  if (len % 32 != 0)
+    out.words_.back() &= (Word{1} << ((len & 31u) * 2)) - 1;
   return out;
+}
+
+TritVector TritVector::from_packed(std::vector<std::uint64_t> words,
+                                   std::size_t n) {
+  TritVector v;
+  v.words_ = std::move(words);
+  v.words_.resize((n + 31) / 32, 0);
+  v.size_ = n;
+  if (n % 32 != 0)
+    v.words_.back() &= (Word{1} << ((n & 31u) * 2)) - 1;
+  return v;
 }
 
 std::size_t TritVector::care_count() const noexcept {

@@ -64,10 +64,10 @@ class TritVector {
     set(size_ - 1, t);
   }
 
-  /// Appends every trit of `other`.
+  /// Appends every trit of `other` (word-parallel shifted copy).
   void append(const TritVector& other);
 
-  /// Appends `n` copies of `t`.
+  /// Appends `n` copies of `t`, whole packed words at a time.
   void append_run(std::size_t n, Trit t);
 
   void resize(std::size_t n, Trit fill = Trit::X);
@@ -97,6 +97,26 @@ class TritVector {
   bool operator==(const TritVector& other) const noexcept;
 
   std::string to_string() const;
+
+  // --- bitplane interop (bits/bitplane.h) ---
+  // The packed representation is part of the bits-layer contract: 2-bit
+  // fields, 32 trits per 64-bit word, low bit = value, high bit = X, every
+  // bit at position >= size() zero. Bitplanes de-interleaves these words
+  // for plane extraction and rebuilds them for injection.
+
+  /// Number of backing 64-bit words (== ceil(size()/32)).
+  std::size_t packed_word_count() const noexcept { return words_.size(); }
+
+  /// The `wi`-th packed word, trit 32*wi at its low 2 bits.
+  std::uint64_t packed_word(std::size_t wi) const noexcept {
+    return words_[wi];
+  }
+
+  /// Adopts `words` as the packed representation of `n` trits. `words`
+  /// must have exactly ceil(n/32) entries; bits past `n` are masked off so
+  /// the canonical-tail invariant (and word-wise equality) holds.
+  static TritVector from_packed(std::vector<std::uint64_t> words,
+                                std::size_t n);
 
  private:
   void check_index(std::size_t i) const {

@@ -82,20 +82,35 @@ unsigned CodewordTable::max_length() const noexcept {
   return m;
 }
 
-BlockClass CodewordTable::match(bits::TritReader& reader) const {
+namespace {
+
+/// One matcher body shared by both stream backends, so the scalar and
+/// bitplane decoders recognize codewords -- and fail -- identically.
+template <typename Reader>
+BlockClass match_words(const std::array<Codeword, kNumClasses>& words,
+                       unsigned maxlen, Reader& reader) {
   const std::size_t start = reader.position();
   std::uint32_t acc = 0;
   unsigned len = 0;
-  const unsigned maxlen = max_length();
   while (len < maxlen) {
     acc = (acc << 1) | (reader.next_bit() ? 1u : 0u);
     ++len;
     for (std::size_t c = 0; c < kNumClasses; ++c) {
-      if (words_[c].length == len && words_[c].bits == acc)
+      if (words[c].length == len && words[c].bits == acc)
         return static_cast<BlockClass>(c);
     }
   }
   throw DecodeError(DecodeFault::kInvalidCodeword, start);
+}
+
+}  // namespace
+
+BlockClass CodewordTable::match(bits::TritReader& reader) const {
+  return match_words(words_, max_length(), reader);
+}
+
+BlockClass CodewordTable::match(bits::BitplaneReader& reader) const {
+  return match_words(words_, max_length(), reader);
 }
 
 bool CodewordTable::prefix_free() const {

@@ -1,11 +1,17 @@
 #include "codec/nine_coded.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <utility>
 
+#include "bits/bitplane.h"
 #include "bits/bitstream.h"
 
 namespace nc::codec {
 
+using bits::Bitplanes;
+using bits::BitplaneReader;
 using bits::Trit;
 using bits::TritVector;
 
@@ -15,8 +21,9 @@ std::size_t NineCodedStats::blocks() const noexcept {
   return n;
 }
 
-NineCoded::NineCoded(std::size_t block_size, CodewordTable table)
-    : k_(block_size), table_(table) {
+NineCoded::NineCoded(std::size_t block_size, CodewordTable table,
+                     CodecImpl impl)
+    : k_(block_size), table_(table), impl_(impl) {
   if (k_ < 2 || k_ % 2 != 0)
     throw std::invalid_argument("9C block size K must be even and >= 2");
 }
@@ -33,6 +40,18 @@ TritVector NineCoded::encode(const TritVector& td) const {
 
 NineCodedStats NineCoded::analyze(const TritVector& td,
                                   TritVector* out_stream) const {
+  return resolved_impl() == CodecImpl::kScalar
+             ? analyze_scalar(td, out_stream)
+             : analyze_bitplane(td, out_stream);
+}
+
+// ------------------------------------------------------------ scalar path
+// The per-trit reference implementation. Kept verbatim behind the
+// CodecImpl selector so the word-parallel path below can be differentially
+// tested against it forever.
+
+NineCodedStats NineCoded::analyze_scalar(const TritVector& td,
+                                         TritVector* out_stream) const {
   NineCodedStats stats;
   stats.block_size = k_;
   stats.original_bits = td.size();
@@ -98,6 +117,81 @@ NineCodedStats NineCoded::analyze(const TritVector& td,
   return stats;
 }
 
+// ---------------------------------------------------------- bitplane path
+// Word-parallel implementation: TD is de-interleaved once into a value
+// plane and an X plane, each half is classified with AND/OR/popcount on
+// 64-bit words, and codewords/payloads are emitted as shifted word writes.
+// Produces byte-identical TE and identical statistics to the scalar path.
+
+NineCodedStats NineCoded::analyze_bitplane(const TritVector& td,
+                                           TritVector* out_stream) const {
+  NineCodedStats stats;
+  stats.block_size = k_;
+  stats.original_bits = td.size();
+
+  Bitplanes planes(td);
+  if (planes.size() % k_ != 0)
+    planes.append_run(k_ - planes.size() % k_, Trit::X);
+  stats.padded_bits = planes.size();
+
+  const std::size_t half = k_ / 2;
+
+  // Codewords in stream order (first transmitted bit lowest), precomputed
+  // once so emission is a single masked word write per block.
+  struct StreamWord {
+    std::uint64_t bits = 0;
+    unsigned length = 0;
+  };
+  std::array<StreamWord, kNumClasses> codewords;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const Codeword& w = table_.at(static_cast<BlockClass>(c));
+    for (unsigned j = 0; j < w.length; ++j)
+      codewords[c].bits |= ((w.bits >> (w.length - 1 - j)) & 1ull) << j;
+    codewords[c].length = w.length;
+  }
+
+  Bitplanes stream;
+  stream.reserve(planes.size() / 2);
+  for (std::size_t b = 0; b < planes.size(); b += k_) {
+    const HalfScan left = scan_half(planes, b, half);
+    const HalfScan right = scan_half(planes, b + half, half);
+    const BlockClass cls = classify_halves(left.kind, right.kind);
+    ++stats.counts[static_cast<std::size_t>(cls)];
+    const StreamWord& cw = codewords[static_cast<std::size_t>(cls)];
+    stream.append_word(cw.bits, 0, cw.length);
+    switch (cls) {
+      case BlockClass::kC1:
+      case BlockClass::kC2:
+      case BlockClass::kC3:
+      case BlockClass::kC4:
+        stats.filled_x += left.x_count + right.x_count;
+        break;
+      case BlockClass::kC5:
+      case BlockClass::kC7:
+        stats.filled_x += left.x_count;
+        stats.leftover_x += right.x_count;
+        stream.append_range(planes, b + half, half);
+        break;
+      case BlockClass::kC6:
+      case BlockClass::kC8:
+        stats.filled_x += right.x_count;
+        stats.leftover_x += left.x_count;
+        stream.append_range(planes, b, half);
+        break;
+      case BlockClass::kC9:
+        stats.leftover_x += left.x_count + right.x_count;
+        stream.append_range(planes, b, k_);
+        break;
+    }
+  }
+
+  stats.encoded_bits = stream.size();
+  if (out_stream != nullptr) *out_stream = stream.to_trits();
+  return stats;
+}
+
+// ----------------------------------------------------------------- decode
+
 TritVector NineCoded::decode(const TritVector& te,
                              std::size_t original_bits) const {
   return decode_checked(te, original_bits).data;
@@ -106,6 +200,14 @@ TritVector NineCoded::decode(const TritVector& te,
 DecodeOutcome NineCoded::decode_checked(const TritVector& te,
                                         std::size_t original_bits,
                                         core::Watchdog* watchdog) const {
+  return resolved_impl() == CodecImpl::kScalar
+             ? decode_scalar(te, original_bits, watchdog)
+             : decode_bitplane(te, original_bits, watchdog);
+}
+
+DecodeOutcome NineCoded::decode_scalar(const TritVector& te,
+                                       std::size_t original_bits,
+                                       core::Watchdog* watchdog) const {
   const std::size_t half = k_ / 2;
   const std::size_t expected_blocks = (original_bits + k_ - 1) / k_;
   DecodeOutcome outcome;
@@ -169,11 +271,88 @@ DecodeOutcome NineCoded::decode_checked(const TritVector& te,
   return outcome;
 }
 
+DecodeOutcome NineCoded::decode_bitplane(const TritVector& te,
+                                         std::size_t original_bits,
+                                         core::Watchdog* watchdog) const {
+  const std::size_t half = k_ / 2;
+  const std::size_t expected_blocks = (original_bits + k_ - 1) / k_;
+  DecodeOutcome outcome;
+  const Bitplanes in(te);
+  BitplaneReader reader(in);
+  Bitplanes out;
+  // Reservation is only a hint and must not trust `original_bits`: a
+  // corrupted length header has to surface as the typed truncation error
+  // after a bounded parse, not as bad_alloc here. Every block consumes at
+  // least one TE symbol, so te.size()+1 blocks bounds any real decode.
+  out.reserve(std::min(expected_blocks, te.size() + 1) * k_);
+  // Same loop skeleton, watchdog schedule and exception mapping as the
+  // scalar decoder -- only the fill/copy data paths differ (word-parallel
+  // append_run/copy_to instead of per-trit appends).
+  for (std::size_t block = 0; block < expected_blocks; ++block) {
+    if (watchdog != nullptr &&
+        watchdog->tick(k_ + 5) != core::WatchdogTrip::kNone)
+      throw DecodeError(DecodeFault::kWatchdogExpired, reader.position(),
+                        block);
+    try {
+      const BlockClass cls = table_.match(reader);
+      switch (cls) {
+        case BlockClass::kC1:
+        case BlockClass::kC2:
+        case BlockClass::kC3:
+        case BlockClass::kC4: {
+          const auto fill = uniform_fill(cls);
+          out.append_run(half, bits::trit_from_bit(fill[0]));
+          out.append_run(half, bits::trit_from_bit(fill[1]));
+          break;
+        }
+        case BlockClass::kC5:
+        case BlockClass::kC6:
+        case BlockClass::kC7:
+        case BlockClass::kC8: {
+          const MixedShape shape = mixed_shape(cls);
+          if (shape.mismatch_is_left) {
+            reader.copy_to(out, half);
+            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+          } else {
+            // Check the payload is available *before* emitting the uniform
+            // half so a truncated stream reports the same offset as the
+            // scalar decoder, which reads the payload first.
+            if (reader.remaining() < half)
+              throw bits::StreamOverrun(reader.position(), half,
+                                        reader.remaining());
+            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+            reader.copy_to(out, half);
+          }
+          break;
+        }
+        case BlockClass::kC9:
+          reader.copy_to(out, k_);
+          break;
+      }
+    } catch (const bits::StreamOverrun& e) {
+      throw DecodeError(DecodeFault::kTruncated, e.offset(), block);
+    } catch (const bits::InvalidSymbol& e) {
+      throw DecodeError(DecodeFault::kXInCodeword, e.offset(), block);
+    } catch (const DecodeError& e) {
+      throw e.with_block(block);
+    }
+  }
+  if (!reader.done())
+    throw DecodeError(DecodeFault::kTrailingData, reader.position(),
+                      expected_blocks);
+  outcome.blocks = expected_blocks;
+  outcome.consumed = reader.position();
+  outcome.data = out.to_trits();
+  outcome.data.resize(original_bits);
+  return outcome;
+}
+
 NineCoded NineCoded::tuned_for(const bits::TritVector& td,
-                               std::size_t block_size) {
-  const NineCoded probe(block_size);
+                               std::size_t block_size, CodecImpl impl) {
+  const NineCoded probe(block_size, CodewordTable::standard(), impl);
   const NineCodedStats stats = probe.analyze(td);
-  return NineCoded(block_size, CodewordTable::frequency_directed(stats.counts));
+  return NineCoded(block_size, CodewordTable::frequency_directed(stats.counts),
+                   impl);
 }
 
 }  // namespace nc::codec

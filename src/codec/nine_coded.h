@@ -58,12 +58,25 @@ class NineCoded final : public Codec {
  public:
   /// `block_size` is K: even, >= 2. The default table is the paper's
   /// Table I assignment; pass a frequency-directed table for Table VII.
+  /// `impl` selects the hot-path implementation (DESIGN.md section 13);
+  /// kAuto resolves to the word-parallel bitplane path.
   explicit NineCoded(std::size_t block_size,
-                     CodewordTable table = CodewordTable::standard());
+                     CodewordTable table = CodewordTable::standard(),
+                     CodecImpl impl = CodecImpl::kAuto);
+
+  /// Convenience: standard table with an explicit implementation.
+  NineCoded(std::size_t block_size, CodecImpl impl)
+      : NineCoded(block_size, CodewordTable::standard(), impl) {}
 
   std::string name() const override;
   std::size_t block_size() const noexcept { return k_; }
   const CodewordTable& table() const noexcept { return table_; }
+  CodecImpl impl() const noexcept { return impl_; }
+  /// The implementation that actually runs (kAuto resolved).
+  CodecImpl resolved_impl() const noexcept {
+    return impl_ == CodecImpl::kScalar ? CodecImpl::kScalar
+                                       : CodecImpl::kBitplane;
+  }
 
   bits::TritVector encode(const bits::TritVector& td) const override;
 
@@ -93,11 +106,24 @@ class NineCoded final : public Codec {
   /// gathers N_i with the standard table, second pass encodes with the
   /// re-assigned table). Returns the coder to use.
   static NineCoded tuned_for(const bits::TritVector& td,
-                             std::size_t block_size);
+                             std::size_t block_size,
+                             CodecImpl impl = CodecImpl::kAuto);
 
  private:
+  NineCodedStats analyze_scalar(const bits::TritVector& td,
+                                bits::TritVector* out_stream) const;
+  NineCodedStats analyze_bitplane(const bits::TritVector& td,
+                                  bits::TritVector* out_stream) const;
+  DecodeOutcome decode_scalar(const bits::TritVector& te,
+                              std::size_t original_bits,
+                              core::Watchdog* watchdog) const;
+  DecodeOutcome decode_bitplane(const bits::TritVector& te,
+                                std::size_t original_bits,
+                                core::Watchdog* watchdog) const;
+
   std::size_t k_;
   CodewordTable table_;
+  CodecImpl impl_ = CodecImpl::kAuto;
 };
 
 }  // namespace nc::codec

@@ -243,7 +243,7 @@ class FleetRunner {
         cubes_(cubes),
         config_(config),
         profiles_(profiles),
-        coder_(config.block_size),
+        coder_(config.block_size, config.codec_impl),
         decoder_(config.block_size, config.p) {
     if (profiles_.empty())
       throw std::invalid_argument("fleet needs at least one device");

@@ -41,22 +41,28 @@ DecoderTrace SingleScanDecoder::run(const TritVector& te,
     if (watchdog != nullptr &&
         watchdog->tick(half) != core::WatchdogTrip::kNone)
       throw expired();
-    for (std::size_t i = 0; i < half; ++i) {
-      switch (plan) {
-        case HalfPlan::kFill0:
-          trace.scan_stream.push_back(Trit::Zero);
-          trace.soc_cycles += 1;
-          break;
-        case HalfPlan::kFill1:
-          trace.scan_stream.push_back(Trit::One);
-          trace.soc_cycles += 1;
-          break;
-        case HalfPlan::kData:
-          trace.scan_stream.push_back(in.next());
-          trace.ate_cycles += 1;
-          trace.soc_cycles += p_;
-          break;
-      }
+    // Fills and full-half payload copies land word-parallel; the per-trit
+    // walk only survives for a payload the stream cannot fully satisfy, so
+    // the StreamOverrun offset stays exactly where the reader ran dry.
+    switch (plan) {
+      case HalfPlan::kFill0:
+        trace.scan_stream.append_run(half, Trit::Zero);
+        trace.soc_cycles += half;
+        break;
+      case HalfPlan::kFill1:
+        trace.scan_stream.append_run(half, Trit::One);
+        trace.soc_cycles += half;
+        break;
+      case HalfPlan::kData:
+        if (in.remaining() >= half) {
+          trace.scan_stream.append(in.next_trits(half));
+        } else {
+          for (std::size_t i = 0; i < half; ++i)
+            trace.scan_stream.push_back(in.next());
+        }
+        trace.ate_cycles += half;
+        trace.soc_cycles += static_cast<std::size_t>(p_) * half;
+        break;
     }
   };
 

@@ -304,7 +304,8 @@ void Server::run_batch(std::vector<Request> batch) {
                                       std::memory_order_relaxed);
   try {
     // One coder per batch: the whole group shares its table and K.
-    const codec::NineCoded coder = batch.front().spec.make_coder();
+    const codec::NineCoded coder =
+        batch.front().spec.make_coder(config_.codec_impl);
     for (const Request& req : batch) process_request(coder, req);
   } catch (const std::exception& e) {
     // The spec itself is illegal: fail the whole batch as bad payloads.

@@ -26,13 +26,16 @@ TritVector random_cube(std::mt19937& rng, std::size_t n, double x_density) {
   return v;
 }
 
+// Every sweep runs under both codec implementations: the properties are
+// statements about the 9C code itself, so they must hold identically for
+// the scalar reference and the word-parallel bitplane path.
 class NineCodedSweep
-    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+    : public ::testing::TestWithParam<std::tuple<int, double, CodecImpl>> {};
 
 TEST_P(NineCodedSweep, RoundTripCoversEveryCareBit) {
-  const auto [k, x_density] = GetParam();
+  const auto [k, x_density, impl] = GetParam();
   std::mt19937 rng(static_cast<unsigned>(k * 1000 + x_density * 100));
-  const NineCoded nc(static_cast<std::size_t>(k));
+  const NineCoded nc(static_cast<std::size_t>(k), impl);
   for (int trial = 0; trial < 20; ++trial) {
     const std::size_t n = 1 + rng() % 600;  // deliberately not block-aligned
     const TritVector td = random_cube(rng, n, x_density);
@@ -46,9 +49,9 @@ TEST_P(NineCodedSweep, RoundTripCoversEveryCareBit) {
 }
 
 TEST_P(NineCodedSweep, EncodedSizeMatchesPaperFormula) {
-  const auto [k, x_density] = GetParam();
+  const auto [k, x_density, impl] = GetParam();
   std::mt19937 rng(static_cast<unsigned>(k * 77 + x_density * 10));
-  const NineCoded nc(static_cast<std::size_t>(k));
+  const NineCoded nc(static_cast<std::size_t>(k), impl);
   const TritVector td = random_cube(rng, 3000, x_density);
   const NineCodedStats s = nc.analyze(td);
   // |TE| = sum_i N_i * |C_i| + (N5..8) * K/2 + N9 * K  (Section IV formula).
@@ -63,9 +66,9 @@ TEST_P(NineCodedSweep, EncodedSizeMatchesPaperFormula) {
 
 TEST_P(NineCodedSweep, XAccountingIsComplete) {
   // Every X of (padded) TD is either filled or leftover -- none vanish.
-  const auto [k, x_density] = GetParam();
+  const auto [k, x_density, impl] = GetParam();
   std::mt19937 rng(static_cast<unsigned>(k * 13 + x_density * 1000));
-  const NineCoded nc(static_cast<std::size_t>(k));
+  const NineCoded nc(static_cast<std::size_t>(k), impl);
   const TritVector td = random_cube(rng, 2048, x_density);
   const NineCodedStats s = nc.analyze(td);
   const std::size_t padding_x = s.padded_bits - s.original_bits;
@@ -73,9 +76,9 @@ TEST_P(NineCodedSweep, XAccountingIsComplete) {
 }
 
 TEST_P(NineCodedSweep, LeftoverXSurvivesInStream) {
-  const auto [k, x_density] = GetParam();
+  const auto [k, x_density, impl] = GetParam();
   std::mt19937 rng(static_cast<unsigned>(k + x_density * 31));
-  const NineCoded nc(static_cast<std::size_t>(k));
+  const NineCoded nc(static_cast<std::size_t>(k), impl);
   const TritVector td = random_cube(rng, 1024, x_density);
   TritVector te;
   const NineCodedStats s = nc.analyze(td, &te);
@@ -83,11 +86,12 @@ TEST_P(NineCodedSweep, LeftoverXSurvivesInStream) {
 }
 
 TEST_P(NineCodedSweep, FrequencyDirectedNeverWorseOnTrainingSet) {
-  const auto [k, x_density] = GetParam();
+  const auto [k, x_density, impl] = GetParam();
   std::mt19937 rng(static_cast<unsigned>(k * 3 + x_density * 7));
   const TritVector td = random_cube(rng, 4096, x_density);
-  const NineCoded std_coder(static_cast<std::size_t>(k));
-  const NineCoded tuned = NineCoded::tuned_for(td, static_cast<std::size_t>(k));
+  const NineCoded std_coder(static_cast<std::size_t>(k), impl);
+  const NineCoded tuned =
+      NineCoded::tuned_for(td, static_cast<std::size_t>(k), impl);
   EXPECT_LE(tuned.encode(td).size(), std_coder.encode(td).size());
   const TritVector d = tuned.decode(tuned.encode(td), td.size());
   EXPECT_TRUE(td.covered_by(d));
@@ -96,10 +100,14 @@ TEST_P(NineCodedSweep, FrequencyDirectedNeverWorseOnTrainingSet) {
 INSTANTIATE_TEST_SUITE_P(
     AllKAndDensities, NineCodedSweep,
     ::testing::Combine(::testing::Values(2, 4, 8, 12, 16, 20, 24, 28, 32, 48),
-                       ::testing::Values(0.0, 0.3, 0.7, 0.95)),
-    [](const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+                       ::testing::Values(0.0, 0.3, 0.7, 0.95),
+                       ::testing::Values(CodecImpl::kScalar,
+                                         CodecImpl::kBitplane)),
+    [](const ::testing::TestParamInfo<std::tuple<int, double, CodecImpl>>&
+           info) {
       return "K" + std::to_string(std::get<0>(info.param)) + "_X" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_" + to_string(std::get<2>(info.param));
     });
 
 // Exhaustive check for small K: every possible 4-trit block round-trips.

@@ -27,6 +27,12 @@ using bits::TritVector;
 
 const std::vector<std::size_t> kJobSweep = {2, 4, 8};
 
+/// The whole pipeline sweep runs under both codec implementations: the
+/// serial-vs-parallel identities must hold for each, and (since the two
+/// produce byte-identical TE) the containers themselves must not depend on
+/// which one encoded them.
+class ParallelPipelineSweep : public ::testing::TestWithParam<CodecImpl> {};
+
 std::vector<std::size_t> shard_sweep(std::size_t patterns) {
   return {1, 3, 16, patterns};
 }
@@ -45,8 +51,8 @@ TestSet random_cubes(std::uint64_t seed, std::size_t patterns,
   return ts;
 }
 
-TEST(ParallelPipeline, EncodeIsBitIdenticalToSerialOnEveryIscasSet) {
-  const NineCoded coder(8);
+TEST_P(ParallelPipelineSweep, EncodeIsBitIdenticalToSerialOnEveryIscasSet) {
+  const NineCoded coder(8, GetParam());
   for (const auto& profile : gen::iscas89_profiles()) {
     const TestSet td = gen::calibrated_cubes(profile, /*seed=*/1);
     for (const std::size_t shards : shard_sweep(td.pattern_count())) {
@@ -60,8 +66,8 @@ TEST(ParallelPipeline, EncodeIsBitIdenticalToSerialOnEveryIscasSet) {
   }
 }
 
-TEST(ParallelPipeline, DecodeReproducesSerialDecodeExactly) {
-  const NineCoded coder(8);
+TEST_P(ParallelPipelineSweep, DecodeReproducesSerialDecodeExactly) {
+  const NineCoded coder(8, GetParam());
   for (const auto& profile : gen::iscas89_profiles()) {
     const TestSet td = gen::calibrated_cubes(profile, /*seed=*/2);
     for (const std::size_t shards : shard_sweep(td.pattern_count())) {
@@ -78,14 +84,14 @@ TEST(ParallelPipeline, DecodeReproducesSerialDecodeExactly) {
   }
 }
 
-TEST(ParallelPipeline, RandomizedCubeSetsRoundTripAtEveryShardCount) {
+TEST_P(ParallelPipelineSweep, RandomizedCubeSetsRoundTripAtEveryShardCount) {
   std::mt19937_64 rng(7);
   for (int trial = 0; trial < 8; ++trial) {
     const std::size_t patterns = 1 + rng() % 40;
     const std::size_t width = 1 + rng() % 90;
     const double density = (trial % 4) * 0.3;
     const TestSet td = random_cubes(rng(), patterns, width, density);
-    const NineCoded coder(trial % 2 == 0 ? 8 : 4);
+    const NineCoded coder(trial % 2 == 0 ? 8 : 4, GetParam());
     for (const std::size_t shards : shard_sweep(patterns)) {
       const TritVector serial = encode_sharded(coder, td, shards, 1);
       for (const std::size_t jobs : kJobSweep)
@@ -100,10 +106,10 @@ TEST(ParallelPipeline, RandomizedCubeSetsRoundTripAtEveryShardCount) {
   }
 }
 
-TEST(ParallelPipeline, OneShardPayloadEqualsPlainCodecStream) {
+TEST_P(ParallelPipelineSweep, OneShardPayloadEqualsPlainCodecStream) {
   // Index stripping on a 1-shard container must yield exactly the serial
   // codec.encode() of the whole flattened set -- same padding, same bits.
-  const NineCoded coder(8);
+  const NineCoded coder(8, GetParam());
   for (const auto& profile : gen::iscas89_profiles()) {
     const TestSet td = gen::calibrated_cubes(profile, /*seed=*/3);
     const TritVector container = encode_sharded(coder, td, /*shards=*/1, 4);
@@ -112,10 +118,10 @@ TEST(ParallelPipeline, OneShardPayloadEqualsPlainCodecStream) {
   }
 }
 
-TEST(ParallelPipeline, ContainersAreDeterministicAcrossRunsAndThreadCounts) {
+TEST_P(ParallelPipelineSweep, ContainersAreDeterministicAcrossRunsAndThreadCounts) {
   // Same input + same shard count -> byte-identical container, across
   // repeated runs and every thread count (no iteration-order leakage).
-  const NineCoded coder(8);
+  const NineCoded coder(8, GetParam());
   const TestSet td = random_cubes(99, 33, 120, 0.6);
   const TritVector reference = encode_sharded(coder, td, 5, 1);
   for (int run = 0; run < 3; ++run)
@@ -147,8 +153,8 @@ TEST(ParallelPipeline, ShardPlanIsBalancedAndPatternAligned) {
   }
 }
 
-TEST(ParallelPipeline, EmptyAndSinglePatternSetsSurvive) {
-  const NineCoded coder(4);
+TEST_P(ParallelPipelineSweep, EmptyAndSinglePatternSetsSurvive) {
+  const NineCoded coder(4, GetParam());
   const TestSet empty;
   const TritVector c0 = encode_sharded(coder, empty, 4, 4);
   EXPECT_EQ(decode_sharded(coder, c0, 4).pattern_count(), 0u);
@@ -172,9 +178,10 @@ struct SessionFixture {
   }
 };
 
-TEST(ParallelPipeline, PipelinedSessionMatchesSerialSession) {
+TEST_P(ParallelPipelineSweep, PipelinedSessionMatchesSerialSession) {
   SessionFixture fx;
   decomp::SessionConfig serial_cfg;
+  serial_cfg.codec_impl = GetParam();
   const decomp::SessionResult serial =
       decomp::run_test_session(fx.netlist, fx.tests, serial_cfg);
 
@@ -182,6 +189,7 @@ TEST(ParallelPipeline, PipelinedSessionMatchesSerialSession) {
     for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
                                      fx.tests.pattern_count()}) {
       decomp::SessionConfig cfg;
+      cfg.codec_impl = GetParam();
       cfg.jobs = jobs;
       cfg.shards = shards;
       const decomp::SessionResult parallel =
@@ -200,7 +208,7 @@ TEST(ParallelPipeline, PipelinedSessionMatchesSerialSession) {
   }
 }
 
-TEST(ParallelPipeline, PipelinedSessionDetectsFaultsLikeSerial) {
+TEST_P(ParallelPipelineSweep, PipelinedSessionDetectsFaultsLikeSerial) {
   // Two guarantees, exercised on faulty devices where the decoded X-fill
   // actually shows up in the verdicts:
   //  1. shards=1 is the serial session: one TE, bit-identical stimulus,
@@ -211,11 +219,13 @@ TEST(ParallelPipeline, PipelinedSessionDetectsFaultsLikeSerial) {
   SessionFixture fx;
   for (std::size_t f = 0; f < fx.faults.size(); f += 3) {
     decomp::SessionConfig serial_cfg;
+    serial_cfg.codec_impl = GetParam();
     const decomp::SessionResult serial =
         decomp::run_test_session(fx.netlist, fx.tests, serial_cfg,
                                  fx.faults[f]);
 
     decomp::SessionConfig one_shard;
+    one_shard.codec_impl = GetParam();
     one_shard.jobs = 8;
     one_shard.shards = 1;
     const decomp::SessionResult single = decomp::run_test_session(
@@ -225,6 +235,7 @@ TEST(ParallelPipeline, PipelinedSessionDetectsFaultsLikeSerial) {
     EXPECT_EQ(single.ate_bits, serial.ate_bits);
 
     decomp::SessionConfig sharded_ref;
+    sharded_ref.codec_impl = GetParam();
     sharded_ref.jobs = 1;
     sharded_ref.shards = 3;
     const decomp::SessionResult reference = decomp::run_test_session(
@@ -245,6 +256,43 @@ TEST(ParallelPipeline, PipelinedSessionDetectsFaultsLikeSerial) {
       EXPECT_EQ(parallel.soc_cycles, reference.soc_cycles);
     }
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothImpls, ParallelPipelineSweep,
+                         ::testing::Values(CodecImpl::kScalar,
+                                           CodecImpl::kBitplane),
+                         [](const ::testing::TestParamInfo<CodecImpl>& info) {
+                           return to_string(info.param);
+                         });
+
+// Implementation invariance of the artifacts themselves: a container (and
+// a session's full accounting) must not depend on which codec impl
+// produced it, across thread counts.
+TEST(ParallelPipeline, ContainersAndSessionsAreImplInvariant) {
+  const TestSet td = random_cubes(4242, 25, 130, 0.7);
+  const NineCoded scalar(8, CodecImpl::kScalar);
+  const NineCoded bitplane(8, CodecImpl::kBitplane);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{5}})
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}})
+      ASSERT_TRUE(encode_sharded(scalar, td, shards, jobs) ==
+                  encode_sharded(bitplane, td, shards, jobs))
+          << "shards=" << shards << " jobs=" << jobs;
+
+  SessionFixture fx;
+  decomp::SessionConfig cfg_s;
+  cfg_s.codec_impl = CodecImpl::kScalar;
+  decomp::SessionConfig cfg_b;
+  cfg_b.codec_impl = CodecImpl::kBitplane;
+  cfg_b.jobs = 4;
+  cfg_b.shards = 3;
+  cfg_s.jobs = 4;
+  cfg_s.shards = 3;
+  const auto rs = decomp::run_test_session(fx.netlist, fx.tests, cfg_s);
+  const auto rb = decomp::run_test_session(fx.netlist, fx.tests, cfg_b);
+  EXPECT_EQ(rs.patterns_applied, rb.patterns_applied);
+  EXPECT_EQ(rs.failing_patterns, rb.failing_patterns);
+  EXPECT_EQ(rs.ate_bits, rb.ate_bits);
+  EXPECT_EQ(rs.soc_cycles, rb.soc_cycles);
 }
 
 }  // namespace

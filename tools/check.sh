@@ -49,12 +49,12 @@ if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$builddir" -j "$jobs" \
     --target thread_pool_test parallel_pipeline_test sharded_format_test \
-    fleet_test decoder_fuzz_test frame_fuzz_test serve_cache_test \
-    serve_server_test retry_test crc_test hash_test erasure_test \
-    store_test store_crash_test store_erasure_test
+    fleet_test decoder_fuzz_test codec_diff_fuzz_test frame_fuzz_test \
+    serve_cache_test serve_server_test retry_test crc_test hash_test \
+    erasure_test store_test store_crash_test store_erasure_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$builddir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|Watchdog|FrameFuzz|ServeServer|ArtifactCache|CacheKey|RetryHelper|Crc|Fnv128|ErasureCodec|Store'
+    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|CodecDiffFuzz|Watchdog|FrameFuzz|ServeServer|ArtifactCache|CacheKey|RetryHelper|Crc|Fnv128|ErasureCodec|Store'
 fi
 
 echo "== check.sh: all suites green =="

@@ -120,7 +120,11 @@ using nc::bits::TritVector;
       "             or corrupted)\n"
       "count options (--devices, --shards, --jobs, --batch, --k, --p, ...)\n"
       "take a positive integer; --shards/--jobs also accept 'auto' (one\n"
-      "shard/worker per hardware thread). Malformed values exit with code 2.\n";
+      "shard/worker per hardware thread). Malformed values exit with code 2.\n"
+      "compress/decompress/stats/session/fleet/serve also take\n"
+      "  --codec-impl auto|scalar|bitplane   9C hot-path implementation\n"
+      "(auto = word-parallel bitplane; scalar is the per-trit reference;\n"
+      "both produce byte-identical streams -- see DESIGN.md section 13).\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -188,6 +192,16 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// --codec-impl auto|scalar|bitplane (default auto). Anything else exits 2.
+nc::codec::CodecImpl parse_codec_impl(const Args& args) {
+  const std::string text = args.get("codec-impl", "auto");
+  const auto impl = nc::codec::codec_impl_from_string(text);
+  if (!impl.has_value())
+    usage("--codec-impl expects auto, scalar or bitplane, got '" + text +
+          "'");
+  return *impl;
+}
+
 bool is_text_path(const std::string& path) {
   return path.ends_with(".tests") || path.ends_with(".txt");
 }
@@ -239,7 +253,8 @@ struct LoadedStream {
   bool sharded = false;
 };
 
-LoadedStream load_stream(const std::string& path) {
+LoadedStream load_stream(const std::string& path,
+                         nc::codec::CodecImpl impl = nc::codec::CodecImpl::kAuto) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   char magic[4];
@@ -262,7 +277,8 @@ LoadedStream load_stream(const std::string& path) {
   if (!in) throw std::runtime_error(path + " is truncated");
   TritVector te = nc::bits::load_trits(in);
   return LoadedStream{
-      nc::codec::NineCoded(k, nc::codec::CodewordTable::from_lengths(lengths)),
+      nc::codec::NineCoded(k, nc::codec::CodewordTable::from_lengths(lengths),
+                           impl),
       patterns, width, std::move(te), sharded};
 }
 
@@ -321,11 +337,12 @@ int cmd_atpg(const Args& args) {
 int cmd_compress(const Args& args) {
   const TestSet td = load_tests(args.require("in"));
   const std::size_t k = args.get_count("k", 8);
+  const nc::codec::CodecImpl impl = parse_codec_impl(args);
   const TritVector stream = td.flatten();
   const nc::codec::NineCoded coder =
       args.has("freq-directed")
-          ? nc::codec::NineCoded::tuned_for(stream, k)
-          : nc::codec::NineCoded(k);
+          ? nc::codec::NineCoded::tuned_for(stream, k, impl)
+          : nc::codec::NineCoded(k, impl);
   if (args.has("shards") || args.has("jobs")) {
     // Sharded container: --shards 0 (or absent) means one shard per job.
     nc::codec::ShardedStats sstats;
@@ -356,7 +373,8 @@ int cmd_decompress(const Args& args) {
   // Validate up front: a bad --jobs must exit 2 even when the input turns
   // out to be a plain (unsharded) stream that decodes serially.
   const std::size_t jobs = args.get_count("jobs", 1, std::size_t{0});
-  const LoadedStream s = load_stream(args.require("in"));
+  const LoadedStream s =
+      load_stream(args.require("in"), parse_codec_impl(args));
   if (s.sharded) {
     const TestSet back = nc::codec::decode_sharded(s.coder, s.te, jobs);
     save_tests(args.require("out"), back);
@@ -378,6 +396,7 @@ int cmd_stats(const Args& args) {
   const TritVector stream = td.flatten();
   const std::size_t k_min = args.get_count("k-min", 4);
   const std::size_t k_max = args.get_count("k-max", 32);
+  const nc::codec::CodecImpl impl = parse_codec_impl(args);
   nc::report::Table table("9C sweep of " + args.get("in") + " (" +
                           std::to_string(stream.size()) + " bits, " +
                           std::to_string(100.0 * stream.x_fraction()) +
@@ -385,7 +404,7 @@ int cmd_stats(const Args& args) {
   table.set_header({"K", "CR%", "LX%", "|TE|"});
   for (std::size_t k = k_min; k <= k_max; k += 4) {
     if (k % 2 != 0) continue;
-    const auto stats = nc::codec::NineCoded(k).analyze(stream);
+    const auto stats = nc::codec::NineCoded(k, impl).analyze(stream);
     table.row()
         .add(k)
         .add(stats.compression_ratio(), 2)
@@ -429,6 +448,7 @@ int cmd_session(const Args& args) {
   nc::decomp::SessionConfig cfg;
   cfg.block_size = args.get_count("k", 8);
   cfg.p = static_cast<unsigned>(args.get_count("p", 8));
+  cfg.codec_impl = parse_codec_impl(args);
   cfg.jobs = args.get_count("jobs", 1, std::size_t{0});
   cfg.shards = args.get_count("shards", 0, std::size_t{0});
   if (args.has("inject") || args.has("retry") || args.has("abort-after")) {
@@ -478,6 +498,7 @@ int cmd_fleet(const Args& args) {
   nc::decomp::FleetConfig cfg;
   cfg.block_size = args.get_count("k", 8);
   cfg.p = static_cast<unsigned>(args.get_count("p", 8));
+  cfg.codec_impl = parse_codec_impl(args);
   cfg.retry.max_retries = static_cast<unsigned>(args.get_size("retry", 3));
   if (args.has("abort-after"))
     cfg.retry.abort_after = args.get_count("abort-after", 1);
@@ -549,6 +570,7 @@ int cmd_fleet(const Args& args) {
 
 int cmd_serve(const Args& args) {
   nc::serve::ServerConfig cfg;
+  cfg.codec_impl = parse_codec_impl(args);
   cfg.worker_threads =
       args.get_count("workers", cfg.worker_threads, std::size_t{0});
   cfg.queue_capacity = args.get_count("queue", cfg.queue_capacity);
