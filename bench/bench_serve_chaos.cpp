@@ -1,0 +1,173 @@
+// Chaos benchmark of the serve tier's timing robustness: the loadgen driven
+// through a deterministic ChaosStream schedule (resets, stalls, dribbles,
+// latency) at three operating points -- clean baseline, chaos, and chaos
+// with hedged requests + per-request deadlines -- reporting throughput,
+// p50/p99 latency, reconnects, hedges won, deadline sheds and slow-client
+// disconnects. Every number also lands in BENCH_serve_chaos.json.
+//
+// The exit code is the PR's acceptance gate: every run must resolve every
+// request with zero lost, corrupted or duplicated replies, and the chaos
+// runs must actually have exercised the fault machinery (reconnects > 0).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "report/table.h"
+#include "serve/chaos.h"
+#include "serve/loadgen.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+using std::chrono::milliseconds;
+
+struct RunResult {
+  nc::serve::LoadgenStats load;
+  nc::serve::Metrics::Snapshot metrics;
+};
+
+RunResult run_point(const nc::serve::ServerConfig& sconfig,
+                    const nc::serve::LoadgenConfig& lconfig,
+                    const std::vector<nc::serve::ChaosRule>& rules) {
+  nc::serve::Server server(sconfig);
+  std::atomic<std::uint64_t> connection_no{0};
+  RunResult r;
+  r.load = nc::serve::run_loadgen(
+      lconfig, [&server, &rules, &connection_no] {
+        auto [client_end, server_end] = nc::serve::make_pipe();
+        server.serve(std::move(server_end));
+        if (rules.empty()) return std::move(client_end);
+        // Per-connection seeds keep reconnect schedules distinct while the
+        // whole run stays reproducible.
+        return std::unique_ptr<nc::serve::ByteStream>(
+            std::make_unique<nc::serve::ChaosStream>(
+                std::move(client_end), rules,
+                0x9e3779b9ull + connection_no.fetch_add(1)));
+      });
+  r.metrics = server.metrics_snapshot();
+  server.stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  nc::serve::ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.queue_capacity = 128;
+  sconfig.inflight_cap = 16;
+  sconfig.write_deadline = milliseconds(2000);
+  sconfig.min_progress_bps = 16;  // generous floor; dribble stays above it
+  sconfig.default_deadline_ms = 10000;
+
+  nc::serve::LoadgenConfig base;
+  base.clients = 4;
+  base.requests_per_client = 40;
+  base.pipeline = 4;
+  base.distinct = 4;
+  base.patterns = 16;
+  base.width = 64;
+  base.max_retransmits = 30;
+  base.retransmit_timeout = milliseconds(50);
+  base.deadline = milliseconds(120000);
+
+  const auto chaos_rules = nc::serve::parse_chaos_spec(
+      "any:reset@60,write:dribble@10x30,read:stall=20@15x3,"
+      "write:latency=2@5x40");
+
+  struct Point {
+    const char* name;
+    nc::serve::LoadgenConfig load;
+    std::vector<nc::serve::ChaosRule> rules;
+    bool expect_faults;
+  };
+  std::vector<Point> points;
+  points.push_back({"clean x4", base, {}, false});
+  points.push_back({"chaos x4", base, chaos_rules, true});
+  {
+    nc::serve::LoadgenConfig hedged = base;
+    hedged.request_deadline_ms = 5000;
+    hedged.hedge_after = milliseconds(300);
+    points.push_back({"chaos+hedge x4", hedged, chaos_rules, true});
+  }
+
+  nc::report::Table out(
+      "Serve tier under a deterministic chaos transport -- 4 clients "
+      "(in-process pipes, resets/stalls/dribbles/latency)");
+  out.set_header({"scenario", "req/s", "p50 us", "p99 us", "reconn",
+                  "retrans", "hedge won", "sheds", "slow/idle", "clean"});
+
+  nc::report::Json doc = nc::report::Json::object();
+  doc["bench"] = "serve_chaos";
+  doc["clients"] = static_cast<std::uint64_t>(base.clients);
+  nc::report::Json runs = nc::report::Json::array();
+  bool gate_ok = true;
+  for (const Point& point : points) {
+    const RunResult r = run_point(sconfig, point.load, point.rules);
+    const std::uint64_t expected =
+        point.load.clients * point.load.requests_per_client;
+    const bool resolved_all = r.load.requests == expected;
+    const std::uint64_t sheds = r.metrics.deadline_shed_queue +
+                                r.metrics.deadline_shed_decode +
+                                r.metrics.deadline_shed_write;
+    const std::uint64_t drops =
+        r.metrics.slow_client_disconnects + r.metrics.idle_disconnects;
+    const bool faults_fired = !point.expect_faults || r.load.reconnects > 0;
+    gate_ok = gate_ok && r.load.clean() && resolved_all && faults_fired;
+
+    const auto& lat = r.metrics.request_latency;
+    out.row()
+        .add(point.name)
+        .add(r.load.throughput_rps(), 0)
+        .add(lat.quantile_micros(0.50))
+        .add(lat.quantile_micros(0.99))
+        .add(r.load.reconnects)
+        .add(r.load.retransmits)
+        .add(r.load.hedge_wins)
+        .add(sheds)
+        .add(drops)
+        .add(r.load.clean() && resolved_all ? "yes" : "NO");
+
+    nc::report::Json run = nc::report::Json::object();
+    run["scenario"] = point.name;
+    run["requests"] = r.load.requests;
+    run["expected_requests"] = expected;
+    run["throughput_rps"] = r.load.throughput_rps();
+    run["p50_us"] = lat.quantile_micros(0.50);
+    run["p99_us"] = lat.quantile_micros(0.99);
+    run["reconnects"] = r.load.reconnects;
+    run["retransmits"] = r.load.retransmits;
+    run["timeouts"] = r.load.timeouts;
+    run["hedges"] = r.load.hedges;
+    run["hedge_wins"] = r.load.hedge_wins;
+    run["typed_rejections"] = r.load.typed_rejections;
+    run["deadline_rejections"] = r.load.deadline_rejections;
+    run["deadline_shed_queue"] = r.metrics.deadline_shed_queue;
+    run["deadline_shed_decode"] = r.metrics.deadline_shed_decode;
+    run["deadline_shed_write"] = r.metrics.deadline_shed_write;
+    run["slow_client_disconnects"] = r.metrics.slow_client_disconnects;
+    run["idle_disconnects"] = r.metrics.idle_disconnects;
+    run["write_timeouts"] = r.metrics.write_timeouts;
+    run["byte_mismatches"] = r.load.byte_mismatches;
+    run["duplicates"] = r.load.duplicates;
+    run["unresolved"] = r.load.unresolved;
+    run["clean"] = r.load.clean();
+    run["resolved_all"] = resolved_all;
+    runs.push_back(std::move(run));
+  }
+  doc["runs"] = std::move(runs);
+  out.print(std::cout);
+
+  nc::report::write_json_file("BENCH_serve_chaos.json", doc);
+  std::cout << "\nwrote BENCH_serve_chaos.json\n";
+  std::cout << "gate (all resolved, zero lost/corrupt/duplicated, chaos "
+               "fired): "
+            << (gate_ok ? "yes" : "NO") << '\n';
+  return gate_ok ? 0 : 1;
+}

@@ -2,15 +2,34 @@
 
 namespace nc::core {
 
-Deadline Deadline::after(std::chrono::nanoseconds budget) {
+Deadline Deadline::after(std::chrono::nanoseconds budget,
+                         const Clock* clock) {
   Deadline d;
-  d.at_ = std::chrono::steady_clock::now() + budget;
+  d.clock_ = clock;
+  d.at_ = d.now() + budget;
   d.limited_ = true;
   return d;
 }
 
-bool Deadline::expired() const noexcept {
-  return limited_ && std::chrono::steady_clock::now() >= at_;
+Deadline Deadline::at(Clock::time_point at, const Clock* clock) {
+  Deadline d;
+  d.clock_ = clock;
+  d.at_ = at;
+  d.limited_ = true;
+  return d;
+}
+
+Clock::time_point Deadline::now() const noexcept {
+  return clock_ != nullptr ? clock_->now()
+                           : std::chrono::steady_clock::now();
+}
+
+bool Deadline::expired() const noexcept { return limited_ && now() >= at_; }
+
+std::chrono::nanoseconds Deadline::remaining() const noexcept {
+  if (!limited_) return std::chrono::nanoseconds::max();
+  const auto left = at_ - now();
+  return left.count() < 0 ? std::chrono::nanoseconds{0} : left;
 }
 
 const char* to_string(WatchdogTrip trip) noexcept {

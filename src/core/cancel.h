@@ -29,6 +29,8 @@
 #include <chrono>
 #include <cstddef>
 
+#include "core/clock.h"
+
 namespace nc::core {
 
 /// A latch another thread raises to request cooperative cancellation.
@@ -48,20 +50,36 @@ class CancelToken {
   std::atomic<bool> flag_{false};
 };
 
-/// A wall-clock cut-off on the steady clock. Default-constructed deadlines
-/// are unlimited (never expire).
+/// A wall-clock cut-off. Default-constructed deadlines are unlimited
+/// (never expire). Reads the steady clock unless built against an explicit
+/// core::Clock (tests hand a VirtualClock so deadline expiry is driven by
+/// the test, not the wall).
 class Deadline {
  public:
   Deadline() = default;
 
-  /// Expires `budget` from now.
-  static Deadline after(std::chrono::nanoseconds budget);
+  /// Expires `budget` from now on `clock` (null = the real steady clock).
+  static Deadline after(std::chrono::nanoseconds budget,
+                        const Clock* clock = nullptr);
+
+  /// Expires at the absolute instant `at` on `clock`.
+  static Deadline at(Clock::time_point at, const Clock* clock = nullptr);
 
   bool limited() const noexcept { return limited_; }
   bool expired() const noexcept;
 
+  /// Time left before expiry; 0 when expired, nanoseconds::max() when
+  /// unlimited.
+  std::chrono::nanoseconds remaining() const noexcept;
+
+  /// The cut-off instant (meaningful only when limited()).
+  Clock::time_point when() const noexcept { return at_; }
+
  private:
-  std::chrono::steady_clock::time_point at_{};
+  Clock::time_point now() const noexcept;
+
+  Clock::time_point at_{};
+  const Clock* clock_ = nullptr;  // null = steady
   bool limited_ = false;
 };
 

@@ -1,0 +1,24 @@
+#include "core/clock.h"
+
+#include <thread>
+
+namespace nc::core {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  time_point now() const override { return std::chrono::steady_clock::now(); }
+  void sleep_for(std::chrono::nanoseconds d) override {
+    if (d.count() > 0) std::this_thread::sleep_for(d);
+  }
+};
+
+}  // namespace
+
+Clock& Clock::steady() {
+  static SteadyClock instance;
+  return instance;
+}
+
+}  // namespace nc::core

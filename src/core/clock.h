@@ -1,0 +1,75 @@
+// Injectable time source for everything that must be testable under time.
+//
+// The serve tier's robustness properties are *timing* properties: a request
+// deadline expires, a slow client falls under its minimum progress rate, a
+// retry backs off for 40 ms. Testing those against the real steady clock
+// means every test either sleeps for real (slow) or races the scheduler
+// (flaky). A Clock breaks the dependency:
+//
+//  * Clock::steady() is the real thing -- std::chrono::steady_clock plus a
+//    genuine sleep -- and the default everywhere, so production code pays
+//    one virtual call per time read and nothing else;
+//  * VirtualClock is a manually-advanced counter that only moves when a
+//    test says so; its sleep_for() advances virtual time *instantly*, so a
+//    "2-second stall" costs microseconds of wall time and is exactly
+//    reproducible.
+//
+// Both hand out std::chrono::steady_clock::time_point values, so deadline
+// arithmetic downstream (core::Deadline, the serve scheduler, the retry
+// client) is identical under either source. Time reads are thread-safe;
+// VirtualClock::advance may race readers by design (a reader sees the time
+// before or after the advance, both valid).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace nc::core {
+
+class Clock {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+
+  virtual time_point now() const = 0;
+
+  /// Blocks the caller for `d` of this clock's time. The steady clock
+  /// really sleeps; a virtual clock advances itself and returns at once.
+  virtual void sleep_for(std::chrono::nanoseconds d) = 0;
+
+  /// The real steady clock; process-wide singleton, stateless.
+  static Clock& steady();
+
+  /// `clock` if non-null, else the steady singleton -- the idiom every
+  /// config with an optional clock hook uses.
+  static Clock& or_steady(Clock* clock) {
+    return clock != nullptr ? *clock : steady();
+  }
+};
+
+/// Manually-advanced clock for tests. Starts at the real steady now() so
+/// time_points remain plausible; advances only via advance()/sleep_for().
+class VirtualClock final : public Clock {
+ public:
+  VirtualClock() : epoch_(std::chrono::steady_clock::now()), offset_ns_(0) {}
+
+  time_point now() const override {
+    return epoch_ + std::chrono::nanoseconds(
+                        offset_ns_.load(std::memory_order_acquire));
+  }
+
+  void sleep_for(std::chrono::nanoseconds d) override { advance(d); }
+
+  /// Moves virtual time forward; never backward (negative is ignored).
+  void advance(std::chrono::nanoseconds d) {
+    if (d.count() > 0)
+      offset_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  const time_point epoch_;
+  std::atomic<std::int64_t> offset_ns_;
+};
+
+}  // namespace nc::core

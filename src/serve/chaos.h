@@ -1,0 +1,132 @@
+// Deterministic chaos transport: a ByteStream wrapper that injects timing
+// and fault behavior according to an ordered rule schedule.
+//
+// The serve tier's robustness claims -- deadlines shed, slow clients cut,
+// retries converge -- are claims about behavior under bad networks, and bad
+// networks do not show up in CI on demand. ChaosStream manufactures them on
+// a schedule, the same way store::FaultInjectingIo manufactures disk
+// faults: each rule names an operation (read/write/any), a skip count
+// ("let N matching ops through first"), an affected count, and an action:
+//
+//   kLatency  -- delay the op, then perform it normally;
+//   kStall    -- consume the caller's timeout and deliver nothing (a
+//                mid-frame stall when a frame is partially delivered);
+//   kDribble  -- deliver/accept at most one byte (byte-dribble);
+//   kPartial  -- cap the op at `limit` bytes (short read/write);
+//   kReset    -- close the stream and throw (connection reset by peer).
+//
+// An asymmetric partition is a composition: a kStall rule with
+// count = kForever on exactly one direction. Every rule advances its own
+// skip/count independently; the first *active* matching rule claims the
+// operation. Latency durations are jittered within [d/2, d] by a seeded
+// splitmix64 sequence, so runs are reproducible from (rules, seed) alone.
+// Sleeps go through an injectable core::Clock: under a VirtualClock a
+// "2-second stall" costs microseconds of wall time.
+//
+// A compact spec grammar drives the CLI (`ninec loadgen --chaos ...`) and
+// keeps test schedules one-line:
+//
+//   spec   := rule (',' rule)*
+//   rule   := op ':' action ['=' param] ['@' skip ['x' count]]
+//   op     := 'read' | 'write' | 'any'
+//   action := 'latency' | 'stall' | 'dribble' | 'partial' | 'reset'
+//
+// param is milliseconds for latency/stall, bytes for partial; count '*'
+// means forever. Example: "write:dribble@4x64,read:stall=40@9,any:reset@199"
+// dribbles writes 5..68, stalls the 10th read 40 ms, resets the 200th op.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "serve/transport.h"
+
+namespace nc::serve {
+
+struct ChaosRule {
+  enum class Op : std::uint8_t { kRead, kWrite, kAny };
+  enum class Action : std::uint8_t {
+    kLatency,
+    kStall,
+    kDribble,
+    kPartial,
+    kReset,
+  };
+
+  static constexpr std::size_t kForever = static_cast<std::size_t>(-1);
+
+  Op op = Op::kAny;
+  Action action = Action::kLatency;
+  std::size_t skip = 0;   // matching ops to let through before activating
+  std::size_t count = 1;  // ops to affect once active (kForever = always)
+  std::chrono::milliseconds latency{10};  // kLatency/kStall duration
+  std::size_t limit = 1;                  // kPartial byte cap
+};
+
+/// Parses the spec grammar above. Throws std::invalid_argument with a
+/// position-bearing message on any malformed rule.
+std::vector<ChaosRule> parse_chaos_spec(const std::string& spec);
+
+class ChaosStream final : public ByteStream {
+ public:
+  /// Wraps `inner`; `seed` drives latency jitter, `clock` the sleeps
+  /// (null = real). The schedule is fixed for the stream's lifetime.
+  ChaosStream(std::unique_ptr<ByteStream> inner, std::vector<ChaosRule> rules,
+              std::uint64_t seed, core::Clock* clock = nullptr);
+
+  std::optional<std::size_t> read_some(
+      std::uint8_t* buf, std::size_t max,
+      std::chrono::milliseconds timeout) override;
+  void write_all(const std::uint8_t* data, std::size_t len) override;
+  std::optional<std::size_t> write_some(
+      const std::uint8_t* data, std::size_t len,
+      std::chrono::milliseconds timeout) override;
+  void close() override;
+
+  /// How often each action fired (test/bench assertions that the schedule
+  /// actually exercised what it promised).
+  struct Counters {
+    std::uint64_t latencies = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t dribbles = 0;
+    std::uint64_t partials = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t total() const noexcept {
+      return latencies + stalls + dribbles + partials + resets;
+    }
+  };
+  Counters counters() const;
+
+ private:
+  struct RuleState {
+    ChaosRule rule;
+    std::size_t skipped = 0;
+    std::size_t applied = 0;
+  };
+
+  /// Claims the first active rule matching `op` (advancing every matching
+  /// rule's skip phase) or nullptr when the op passes through clean.
+  const ChaosRule* claim(ChaosRule::Op op);
+  std::chrono::milliseconds jittered(std::chrono::milliseconds d);
+
+  std::unique_ptr<ByteStream> inner_;
+  core::Clock& clock_;
+  mutable std::mutex mutex_;
+  std::vector<RuleState> rules_;
+  std::uint64_t rng_;
+  Counters counters_;
+};
+
+/// Convenience for tests: wrap both directions of a fresh pipe pair.
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+make_chaos_pipe(std::vector<ChaosRule> client_rules,
+                std::vector<ChaosRule> server_rules, std::uint64_t seed,
+                core::Clock* clock = nullptr, std::size_t capacity = 1 << 20);
+
+}  // namespace nc::serve

@@ -114,23 +114,31 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kInflightLimit: return "client in-flight cap reached";
     case ErrorCode::kDecodeFailed: return "decode failed";
     case ErrorCode::kShuttingDown: return "server shutting down";
+    case ErrorCode::kDeadlineExceeded: return "request deadline exceeded";
+    case ErrorCode::kSlowClient: return "connection below minimum progress";
   }
   return "unknown error";
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  // A frame without a deadline stays version 1, byte-identical to the
+  // pre-deadline protocol; only frames that carry one pay the 4 bytes.
+  const bool v2 = frame.deadline_ms != 0;
+  const std::size_t header_size = v2 ? kFrameHeaderSizeV2 : kFrameHeaderSize;
   std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeaderSize + frame.payload.size() + kFrameTrailerSize);
+  out.reserve(header_size + frame.payload.size() + kFrameTrailerSize);
   out.insert(out.end(), kFrameMagic.begin(), kFrameMagic.end());
-  out.push_back(static_cast<std::uint8_t>(kFrameVersion));
+  out.push_back(
+      static_cast<std::uint8_t>(v2 ? kFrameVersionDeadline : kFrameVersion));
   out.push_back(static_cast<std::uint8_t>(frame.type));
   out.push_back(0);  // header CRC, patched below
   out.push_back(0);
   put_le64(out, frame.seq);
   put_le32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  if (v2) put_le32(out, frame.deadline_ms);
   const std::uint32_t hcrc =
       crc32(out.data() + kFrameMagic.size(),
-            kFrameHeaderSize - kFrameMagic.size());
+            header_size - kFrameMagic.size());
   out[6] = static_cast<std::uint8_t>(hcrc & 0xFF);
   out[7] = static_cast<std::uint8_t>((hcrc >> 8) & 0xFF);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
@@ -224,7 +232,7 @@ FrameReader::Result FrameReader::parse_step(core::Watchdog& watchdog,
       return r;
     }
     const unsigned version = buffer_[4];
-    if (version != kFrameVersion) {
+    if (version != kFrameVersion && version != kFrameVersionDeadline) {
       consume(1);
       resyncing_ = true;
       r.status = Status::kProtocolError;
@@ -232,12 +240,20 @@ FrameReader::Result FrameReader::parse_step(core::Watchdog& watchdog,
       r.detail = "frame version " + std::to_string(version);
       return r;
     }
+    const std::size_t header_size =
+        version == kFrameVersionDeadline ? kFrameHeaderSizeV2
+                                         : kFrameHeaderSize;
+    if (buffer_.size() < header_size) {
+      need_more = true;
+      r.status = Status::kTimeout;
+      return r;
+    }
     // Header CRC before the length is trusted: a flipped length field must
     // not send the reader waiting for payload bytes that will never come.
     {
-      std::array<std::uint8_t, kFrameHeaderSize> header{};
+      std::array<std::uint8_t, kFrameHeaderSizeV2> header{};
       std::copy(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(header_size),
                 header.begin());
       const std::uint16_t want_hcrc =
           static_cast<std::uint16_t>(header[6] | (header[7] << 8));
@@ -245,7 +261,7 @@ FrameReader::Result FrameReader::parse_step(core::Watchdog& watchdog,
       header[7] = 0;
       const std::uint16_t got_hcrc = static_cast<std::uint16_t>(
           crc32(header.data() + kFrameMagic.size(),
-                kFrameHeaderSize - kFrameMagic.size()) &
+                header_size - kFrameMagic.size()) &
           0xFFFF);
       if (want_hcrc != got_hcrc) {
         consume(1);
@@ -268,19 +284,17 @@ FrameReader::Result FrameReader::parse_step(core::Watchdog& watchdog,
                  " bytes (limit " + std::to_string(limits_.max_payload) + ")";
       return r;
     }
-    const std::size_t total =
-        kFrameHeaderSize + length + kFrameTrailerSize;
+    const std::size_t total = header_size + length + kFrameTrailerSize;
     if (buffer_.size() < total) {
       need_more = true;
       r.status = Status::kTimeout;
       return r;
     }
-    const std::size_t crc_region = kFrameHeaderSize + length;
+    const std::size_t crc_region = header_size + length;
     const std::uint32_t want = read_le32(buffer_.data() + crc_region);
     const std::uint32_t got = crc32(buffer_.data() + kFrameMagic.size(),
                                     crc_region - kFrameMagic.size());
-    if (watchdog.tick(length + kFrameHeaderSize) !=
-        core::WatchdogTrip::kNone) {
+    if (watchdog.tick(length + header_size) != core::WatchdogTrip::kNone) {
       buffer_.clear();
       r.status = Status::kProtocolError;
       r.error = ErrorCode::kResyncOverrun;
@@ -298,7 +312,11 @@ FrameReader::Result FrameReader::parse_step(core::Watchdog& watchdog,
     r.status = Status::kFrame;
     r.frame.type = static_cast<FrameType>(buffer_[5]);
     r.frame.seq = read_le64(buffer_.data() + 8);
-    r.frame.payload.assign(buffer_.begin() + kFrameHeaderSize,
+    r.frame.deadline_ms = version == kFrameVersionDeadline
+                              ? read_le32(buffer_.data() + 20)
+                              : 0;
+    r.frame.payload.assign(buffer_.begin() +
+                               static_cast<std::ptrdiff_t>(header_size),
                            buffer_.begin() +
                                static_cast<std::ptrdiff_t>(crc_region));
     consume(total);
@@ -353,6 +371,7 @@ FrameReader::Result FrameReader::read(std::chrono::milliseconds timeout) {
       eof_ = true;
       continue;
     }
+    bytes_consumed_ += *n;
     buffer_.insert(buffer_.end(), chunk.begin(), chunk.begin() + *n);
   }
 }

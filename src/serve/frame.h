@@ -6,14 +6,26 @@
 //
 //   offset size
 //   0      4    magic "NC9F"
-//   4      1    version (currently 1)
+//   4      1    version (1 or 2)
 //   5      1    frame type (FrameType)
-//   6      2    header CRC: low 16 bits of CRC-32 over bytes [4, 20) with
-//               this field zeroed
+//   6      2    header CRC: low 16 bits of CRC-32 over the header bytes
+//               [4, header_size) with this field zeroed
 //   8      8    seq -- client-chosen request id, echoed in the reply
 //   16     4    payload length N (<= FrameLimits::max_payload)
-//   20     N    payload
-//   20+N   4    CRC-32 (IEEE 802.3) over bytes [4, 20+N)
+//   [20    4    version 2 only: request deadline budget in milliseconds,
+//               relative to frame arrival (0 = no deadline); clocks are
+//               never compared across hosts]
+//   hdr    N    payload (hdr = 20 for v1, 24 for v2)
+//   hdr+N  4    CRC-32 (IEEE 802.3) over bytes [4, hdr+N)
+//
+// Version 2 adds end-to-end deadlines: a client that knows it will abandon
+// a reply after D ms says so in the header, and the server sheds the
+// request -- before batching, before computing, and before writing the
+// reply -- with a typed kDeadlineExceeded once D expires. The budget is
+// RELATIVE (a duration, not a timestamp) because the two ends do not share
+// a clock. Version 1 frames remain fully accepted (old clients simply have
+// no deadline), and the writer emits v1 whenever no deadline is set, so
+// pre-deadline byte streams are bit-identical to what they always were.
 //
 // Two checksums on purpose. The trailing CRC covers everything after the
 // magic, so any bit flip in header, seq, length or payload is detected --
@@ -58,7 +70,11 @@ namespace nc::serve {
 inline constexpr std::array<std::uint8_t, 4> kFrameMagic = {'N', 'C', '9',
                                                             'F'};
 inline constexpr unsigned kFrameVersion = 1;
+/// Version 2: header carries a relative deadline budget (u32 ms) after the
+/// length field. Emitted only when a frame sets one; always accepted.
+inline constexpr unsigned kFrameVersionDeadline = 2;
 inline constexpr std::size_t kFrameHeaderSize = 20;
+inline constexpr std::size_t kFrameHeaderSizeV2 = 24;
 inline constexpr std::size_t kFrameTrailerSize = 4;
 
 /// CRC-32 over raw bytes (the shared core::crc32); the frame trailer and
@@ -96,6 +112,8 @@ enum class ErrorCode : std::uint16_t {
   kInflightLimit,   // admission control: per-client in-flight cap reached
   kDecodeFailed,    // typed codec::DecodeError while serving the request
   kShuttingDown,    // server is stopping
+  kDeadlineExceeded,  // the request's deadline expired before its reply
+  kSlowClient,      // connection dropped: peer below minimum progress rate
 };
 
 const char* to_string(ErrorCode code) noexcept;
@@ -103,6 +121,9 @@ const char* to_string(ErrorCode code) noexcept;
 struct Frame {
   FrameType type = FrameType::kError;
   std::uint64_t seq = 0;
+  /// Relative deadline budget in ms (0 = none). Non-zero makes the frame a
+  /// version-2 frame on the wire; replies never carry one.
+  std::uint32_t deadline_ms = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -148,6 +169,12 @@ class FrameReader {
   /// Bytes currently buffered (tests assert the oversized-length guard).
   std::size_t buffered() const noexcept { return buffer_.size(); }
 
+  /// Total bytes ever pulled from the stream. The server's per-connection
+  /// progress watchdog compares successive readings to tell a live peer
+  /// dribbling a frame from a stalled one: any byte counts as progress,
+  /// whether or not a whole frame has landed yet.
+  std::uint64_t bytes_consumed() const noexcept { return bytes_consumed_; }
+
  private:
   Result parse_step(core::Watchdog& watchdog, bool& need_more);
   void consume(std::size_t n);
@@ -155,6 +182,7 @@ class FrameReader {
   ByteStream& stream_;
   FrameLimits limits_;
   std::vector<std::uint8_t> buffer_;
+  std::uint64_t bytes_consumed_ = 0;
   bool eof_ = false;
   bool resyncing_ = false;  // a reported bad frame is being skipped
 };

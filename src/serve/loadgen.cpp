@@ -7,6 +7,7 @@
 
 #include "bits/test_set.h"
 #include "core/cancel.h"
+#include "serve/client.h"
 #include "serve/server.h"
 
 namespace nc::serve {
@@ -52,75 +53,92 @@ bits::TestSet random_test_set(std::size_t patterns, std::size_t width,
   return ts;
 }
 
-struct Outstanding {
-  std::size_t workload = 0;
-  std::chrono::steady_clock::time_point sent;
-  std::size_t transmits = 0;
-};
-
 class Client {
  public:
   Client(const LoadgenConfig& config, const std::vector<Workload>& pool,
-         std::unique_ptr<ByteStream> stream, std::size_t index)
+         RetryingClient::Connect connect, std::size_t index)
       : config_(config),
         pool_(pool),
-        stream_(std::move(stream)),
+        connect_(std::move(connect)),
         index_(index),
         channel_(with_seed(config.channel, config.seed * 7919 + index)),
         fault_rng_(config.seed * 31337 + index) {}
 
   LoadgenStats run() {
-    FrameReader reader(*stream_, FrameLimits{});
+    RetryPolicy policy;
+    policy.max_attempts = config_.max_retransmits + 1;
+    policy.initial_backoff = config_.retransmit_timeout;
+    policy.backoff_cap = config_.retransmit_timeout * 8;
+    policy.retry_budget = config_.retry_budget;
+    policy.hedge_after = config_.hedge_after;
+    policy.request_deadline_ms = config_.request_deadline_ms;
+    policy.seed = config_.seed * 104729 + index_;
+    policy.clock = config_.clock;
+    RetryingClient client(connect_, policy);
+    client.set_transmit_hook([this](std::vector<std::uint8_t> bytes) {
+      return maybe_corrupt(std::move(bytes));
+    });
+
     core::Watchdog watchdog(
-        0, core::Deadline::after(config_.deadline));
-    std::uint64_t next_seq = 1;
+        0, core::Deadline::after(config_.deadline, config_.clock));
     std::size_t issued = 0;
-    std::map<std::uint64_t, Outstanding> live;
+    std::map<std::uint64_t, std::size_t> seq_to_workload;
 
     const auto t0 = std::chrono::steady_clock::now();
     while (true) {
       if (watchdog.check() != core::WatchdogTrip::kNone) break;
       // Keep the pipeline full.
-      while (live.size() < config_.pipeline &&
+      while (client.inflight() < config_.pipeline &&
              issued < config_.requests_per_client) {
-        Outstanding o;
-        o.workload = workload_index(issued);
-        const std::uint64_t seq = next_seq++;
-        live[seq] = o;
-        transmit(seq, live[seq]);
+        const std::size_t widx = workload_index(issued);
+        const Workload& w = pool_[widx];
+        const std::uint64_t seq =
+            client.submit(w.request_type, w.request_payload);
+        seq_to_workload[seq] = widx;
         ++issued;
       }
-      if (live.empty() && issued >= config_.requests_per_client) break;
+      if (client.inflight() == 0 && issued >= config_.requests_per_client)
+        break;
 
-      // Retransmit anything that has waited past the timeout.
-      const auto now = std::chrono::steady_clock::now();
-      bool gave_up = false;
-      for (auto it = live.begin(); it != live.end();) {
-        if (now - it->second.sent > config_.retransmit_timeout) {
-          if (it->second.transmits > config_.max_retransmits) {
+      for (auto& [seq, outcome] :
+           client.poll(std::chrono::milliseconds(50))) {
+        const Workload& w = pool_[seq_to_workload.at(seq)];
+        seq_to_workload.erase(seq);
+        switch (outcome.status) {
+          case RetryingClient::Outcome::Status::kReply:
+            if (outcome.reply.type != w.expected_type ||
+                outcome.reply.payload != w.expected_payload)
+              ++stats_.byte_mismatches;
+            else
+              ++stats_.requests;
+            break;
+          case RetryingClient::Outcome::Status::kTypedError:
+            if (outcome.error == ErrorCode::kDecodeFailed)
+              ++stats_.decode_failures;
+            // A terminal typed error still resolves the request.
+            ++stats_.requests;
+            break;
+          case RetryingClient::Outcome::Status::kExhausted:
             ++stats_.unresolved;
-            it = live.erase(it);
-            gave_up = true;
-            continue;
-          }
-          ++stats_.timeouts;
-          ++stats_.retransmits;
-          transmit(it->first, it->second);
+            break;
         }
-        ++it;
       }
-      if (gave_up) continue;
-
-      FrameReader::Result r = reader.read(std::chrono::milliseconds(50));
-      if (r.status == FrameReader::Status::kEof) break;
-      if (r.status != FrameReader::Status::kFrame) continue;
-      handle_reply(std::move(r.frame), live);
     }
-    stats_.unresolved += live.size();
+    stats_.unresolved += client.inflight();
+    const RetryingClient::Stats& cs = client.stats();
+    stats_.typed_rejections += cs.typed_rejections;
+    stats_.deadline_rejections += cs.deadline_rejections;
+    stats_.frame_errors += cs.frame_errors;
+    stats_.retransmits += cs.retransmits;
+    stats_.timeouts += cs.timeouts;
+    stats_.duplicates += cs.duplicates;
+    stats_.hedges += cs.hedges;
+    stats_.hedge_wins += cs.hedge_wins;
+    stats_.reconnects += cs.reconnects;
     stats_.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
-    stream_->close();
+    client.close();
     return stats_;
   }
 
@@ -135,18 +153,12 @@ class Client {
     return (index_ * 31 + issued) % pool_.size();
   }
 
-  void transmit(std::uint64_t seq, Outstanding& o) {
-    const Workload& w = pool_[o.workload];
-    Frame frame;
-    frame.type = w.request_type;
-    frame.seq = seq;
-    frame.payload = w.request_payload;
-    std::vector<std::uint8_t> bytes = encode_frame(frame);
-    // Seeded Bernoulli at rate 1/fault_period, NOT a strict every-Nth
-    // counter: a deterministic counter phase-locks with the retry loop
-    // (each stall interleaves a fixed number of fresh transmits between a
-    // victim's retransmits, so the victim lands on a faulted slot every
-    // time and exhausts its budget).
+  /// Seeded Bernoulli at rate 1/fault_period, NOT a strict every-Nth
+  /// counter: a deterministic counter phase-locks with the retry loop
+  /// (each stall interleaves a fixed number of fresh transmits between a
+  /// victim's retransmits, so the victim lands on a faulted slot every
+  /// time and exhausts its budget).
+  std::vector<std::uint8_t> maybe_corrupt(std::vector<std::uint8_t> bytes) {
     if (config_.fault_period != 0 &&
         std::uniform_real_distribution<double>(0.0, 1.0)(fault_rng_) *
                 static_cast<double>(config_.fault_period) <
@@ -154,80 +166,15 @@ class Client {
       bytes = trits_to_bytes(channel_.transmit(bytes_to_trits(bytes)));
       if (channel_.last_corrupted()) ++stats_.corrupted_sends;
     }
-    try {
-      stream_->write_all(bytes.data(), bytes.size());
-    } catch (const std::exception&) {
-      // Connection gone; outstanding requests will drain as unresolved.
-    }
-    o.sent = std::chrono::steady_clock::now();
-    ++o.transmits;
-  }
-
-  void handle_reply(Frame frame, std::map<std::uint64_t, Outstanding>& live) {
-    if (frame.type == FrameType::kError && frame.seq == 0) {
-      // Frame-layer report: some transmit was mangled; the retransmit
-      // timer recovers the victim.
-      ++stats_.frame_errors;
-      return;
-    }
-    const auto it = live.find(frame.seq);
-    if (it == live.end()) {
-      // A reply for a request already resolved: legitimate only when we
-      // transmitted it more than once; otherwise the server duplicated.
-      const auto done = done_transmits_.find(frame.seq);
-      if (done != done_transmits_.end() && done->second < 2)
-        ++stats_.duplicates;
-      return;
-    }
-    Outstanding& o = it->second;
-    const Workload& w = pool_[o.workload];
-    if (frame.type == FrameType::kError) {
-      ParsedError err;
-      try {
-        err = parse_error_payload(frame.payload);
-      } catch (const std::exception&) {
-        ++stats_.frame_errors;
-        return;
-      }
-      if (err.code == ErrorCode::kOverloaded ||
-          err.code == ErrorCode::kInflightLimit ||
-          err.code == ErrorCode::kShuttingDown) {
-        ++stats_.typed_rejections;
-        ++stats_.retransmits;
-        transmit(frame.seq, o);  // back off by virtue of the reply trip
-        return;
-      }
-      if (err.code == ErrorCode::kDecodeFailed) ++stats_.decode_failures;
-      // Any other typed error resolves the request as a typed reply.
-      ++stats_.requests;
-      finish(it, live);
-      return;
-    }
-    if (frame.type != w.expected_type ||
-        frame.payload != w.expected_payload) {
-      ++stats_.byte_mismatches;
-      finish(it, live);
-      return;
-    }
-    ++stats_.requests;
-    finish(it, live);
-  }
-
-  void finish(std::map<std::uint64_t, Outstanding>::iterator it,
-              std::map<std::uint64_t, Outstanding>& live) {
-    done_transmits_[it->first] = it->second.transmits;
-    if (done_transmits_.size() > 512)
-      done_transmits_.erase(done_transmits_.begin());
-    live.erase(it);
+    return bytes;
   }
 
   const LoadgenConfig& config_;
   const std::vector<Workload>& pool_;
-  std::unique_ptr<ByteStream> stream_;
+  RetryingClient::Connect connect_;
   std::size_t index_;
   decomp::ChannelModel channel_;
   std::mt19937_64 fault_rng_;
-  std::map<std::uint64_t, std::size_t> done_transmits_;
   LoadgenStats stats_;
 };
 
@@ -244,6 +191,10 @@ void LoadgenStats::merge(const LoadgenStats& other) noexcept {
   timeouts += other.timeouts;
   duplicates += other.duplicates;
   unresolved += other.unresolved;
+  hedges += other.hedges;
+  hedge_wins += other.hedge_wins;
+  reconnects += other.reconnects;
+  deadline_rejections += other.deadline_rejections;
   seconds = std::max(seconds, other.seconds);
 }
 
@@ -296,7 +247,9 @@ LoadgenStats run_loadgen(
   threads.reserve(config.clients);
   for (std::size_t i = 0; i < config.clients; ++i) {
     threads.emplace_back([&, i] {
-      Client client(config, pool, connect(), i);
+      // Each client owns the factory, not a stream: a transport fault
+      // mid-run reconnects and retransmits instead of abandoning.
+      Client client(config, pool, connect, i);
       results[i] = client.run();
     });
   }

@@ -14,9 +14,14 @@
 // binary trits each), so the server-side FrameReader sees flipped,
 // burst-corrupted and truncated frames. Selection is a seeded Bernoulli
 // draw per transmit -- a strict every-Nth counter would phase-lock with
-// the fixed-interval retry loop and starve a single victim request. The client recovers by retransmission on timeout or
-// frame-layer error; a core::Watchdog deadline bounds the whole client so a
-// protocol bug shows up as `unresolved` counts, never a hang.
+// the retry loop and starve a single victim request.
+//
+// Recovery is serve::RetryingClient (client.h): jittered exponential
+// backoff, an optional per-client retry budget, optional hedged requests,
+// and reconnect-on-fault through the connect factory -- so a chaos
+// schedule full of resets and stalls still converges. A core::Watchdog
+// deadline bounds the whole client; a protocol bug shows up as
+// `unresolved` counts, never a hang.
 #pragma once
 
 #include <chrono>
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/clock.h"
 #include "decomp/channel.h"
 #include "serve/frame.h"
 #include "serve/transport.h"
@@ -52,10 +58,21 @@ struct LoadgenConfig {
   std::size_t fault_period = 0;
   decomp::ChannelConfig channel;
   std::size_t max_retransmits = 8;
+  /// Initial retransmit backoff; doubles (jittered) up to 8x per request.
   std::chrono::milliseconds retransmit_timeout{250};
   /// Hard wall-clock bound per client; expiry abandons outstanding
   /// requests as `unresolved` instead of hanging.
   std::chrono::milliseconds deadline{30000};
+  /// Relative per-request deadline stamped into frames (v2); 0 = none.
+  std::uint32_t request_deadline_ms = 0;
+  /// Hedge a request (one duplicate transmit) after this long without a
+  /// reply; 0 = no hedging.
+  std::chrono::milliseconds hedge_after{0};
+  /// Per-client cap on total retransmits across all requests; 0 =
+  /// unlimited.
+  std::size_t retry_budget = 0;
+  /// Time source for the retry machinery; null = real steady clock.
+  core::Clock* clock = nullptr;
   std::uint64_t seed = 1;
 };
 
@@ -70,6 +87,10 @@ struct LoadgenStats {
   std::uint64_t timeouts = 0;
   std::uint64_t duplicates = 0;   // reply for a seq never retransmitted
   std::uint64_t unresolved = 0;   // abandoned at deadline/retry exhaustion
+  std::uint64_t hedges = 0;       // duplicate transmits fired
+  std::uint64_t hedge_wins = 0;   // requests resolved after their hedge
+  std::uint64_t reconnects = 0;   // transport faults survived via factory
+  std::uint64_t deadline_rejections = 0;  // kDeadlineExceeded replies seen
   double seconds = 0.0;
   double throughput_rps() const noexcept {
     return seconds <= 0.0 ? 0.0 : static_cast<double>(requests) / seconds;

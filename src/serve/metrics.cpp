@@ -64,6 +64,14 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
       revalidation_failures.load(std::memory_order_relaxed);
   s.store_put_retries = store_put_retries.load(std::memory_order_relaxed);
   s.store_put_failures = store_put_failures.load(std::memory_order_relaxed);
+  s.deadline_shed_queue = deadline_shed_queue.load(std::memory_order_relaxed);
+  s.deadline_shed_decode =
+      deadline_shed_decode.load(std::memory_order_relaxed);
+  s.deadline_shed_write = deadline_shed_write.load(std::memory_order_relaxed);
+  s.slow_client_disconnects =
+      slow_client_disconnects.load(std::memory_order_relaxed);
+  s.idle_disconnects = idle_disconnects.load(std::memory_order_relaxed);
+  s.write_timeouts = write_timeouts.load(std::memory_order_relaxed);
   s.request_latency = request_latency.snapshot();
   s.batch_latency = batch_latency.snapshot();
   return s;
@@ -115,6 +123,16 @@ report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
   j["revalidation_failures"] = report::Json(m.revalidation_failures);
   j["store_put_retries"] = report::Json(m.store_put_retries);
   j["store_put_failures"] = report::Json(m.store_put_failures);
+  {
+    report::Json t = report::Json::object();
+    t["deadline_shed_queue"] = report::Json(m.deadline_shed_queue);
+    t["deadline_shed_decode"] = report::Json(m.deadline_shed_decode);
+    t["deadline_shed_write"] = report::Json(m.deadline_shed_write);
+    t["slow_client_disconnects"] = report::Json(m.slow_client_disconnects);
+    t["idle_disconnects"] = report::Json(m.idle_disconnects);
+    t["write_timeouts"] = report::Json(m.write_timeouts);
+    j["timing"] = std::move(t);
+  }
   j["request_latency"] = histogram_json(m.request_latency);
   j["batch_latency"] = histogram_json(m.batch_latency);
   if (cache != nullptr) {

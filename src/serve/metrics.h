@@ -91,6 +91,17 @@ class Metrics {
   // compute-only for a cooldown (store_put_failures).
   std::atomic<std::uint64_t> store_put_retries{0};
   std::atomic<std::uint64_t> store_put_failures{0};
+  // Timing robustness. Requests can carry an end-to-end deadline; the
+  // server sheds expired work at three points (before batching, while
+  // decoding, before writing the reply) rather than burning compute on a
+  // reply nobody waits for. Slow or idle peers are disconnected by the
+  // per-connection progress watchdog instead of wedging a writer thread.
+  std::atomic<std::uint64_t> deadline_shed_queue{0};   // shed before compute
+  std::atomic<std::uint64_t> deadline_shed_decode{0};  // cancelled mid-decode
+  std::atomic<std::uint64_t> deadline_shed_write{0};   // shed at reply-write
+  std::atomic<std::uint64_t> slow_client_disconnects{0};  // below min bps
+  std::atomic<std::uint64_t> idle_disconnects{0};         // idle timeout
+  std::atomic<std::uint64_t> write_timeouts{0};  // reply writes cut short
 
   LatencyHistogram request_latency;  // accept -> reply written
   LatencyHistogram batch_latency;    // batch formation -> all replies built
@@ -114,6 +125,12 @@ class Metrics {
     std::uint64_t revalidation_failures = 0;
     std::uint64_t store_put_retries = 0;
     std::uint64_t store_put_failures = 0;
+    std::uint64_t deadline_shed_queue = 0;
+    std::uint64_t deadline_shed_decode = 0;
+    std::uint64_t deadline_shed_write = 0;
+    std::uint64_t slow_client_disconnects = 0;
+    std::uint64_t idle_disconnects = 0;
+    std::uint64_t write_timeouts = 0;
     LatencyHistogram::Snapshot request_latency;
     LatencyHistogram::Snapshot batch_latency;
 

@@ -22,6 +22,13 @@ std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
       std::chrono::duration_cast<std::chrono::microseconds>(d).count());
 }
 
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Peeks the CodecSpec prefix shared by encode and decode payloads; the
 /// scheduler batches on it without paying for a full parse.
 CodecSpec peek_spec(const std::vector<std::uint8_t>& payload) {
@@ -90,25 +97,46 @@ void Server::serve(std::unique_ptr<ByteStream> stream) {
 }
 
 void Server::stop() {
+  bool first;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    if (stopping_.exchange(true)) {
-      // A concurrent/second stop: the first caller owns the joins; wait for
-      // the scheduler thread to be gone and return.
-      while (scheduler_.joinable())
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      return;
-    }
+    first = !stopping_.exchange(true);
+  }
+  if (!first) {
+    // A concurrent/second stop: the first caller owns the joins; sleep on
+    // the completion CV until it is done.
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stopped_cv_.wait(lock, [this] { return stop_complete_; });
+    return;
   }
   queue_cv_.notify_all();
   if (scheduler_.joinable()) scheduler_.join();
 
   // All batches that will ever run are submitted; wait for them to finish
-  // so no pool task touches a connection after we start closing.
+  // so no pool task touches a connection after we start closing. The wait
+  // is bounded by the drain deadline: a batch can be stuck writing a reply
+  // to a peer that stopped draining, and force-closing the connections is
+  // exactly what unwedges it.
   {
     std::unique_lock<std::mutex> lock(batch_mutex_);
-    batches_done_cv_.wait(lock,
-                          [this] { return batches_inflight_.load() == 0; });
+    const bool drained = batches_done_cv_.wait_for(
+        lock, config_.stop_drain,
+        [this] { return batches_inflight_.load() == 0; });
+    if (!drained) {
+      lock.unlock();
+      std::vector<std::shared_ptr<Connection>> conns;
+      {
+        std::lock_guard<std::mutex> clock_guard(conn_mutex_);
+        conns = connections_;
+      }
+      for (const auto& conn : conns) {
+        conn->dead.store(true);
+        conn->stream->close();
+      }
+      lock.lock();
+      batches_done_cv_.wait(lock,
+                            [this] { return batches_inflight_.load() == 0; });
+    }
   }
 
   std::vector<std::shared_ptr<Connection>> conns;
@@ -124,10 +152,24 @@ void Server::stop() {
   }
   for (auto& t : readers)
     if (t.joinable()) t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_complete_ = true;
+  }
+  stopped_cv_.notify_all();
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
   FrameReader reader(*conn->stream, config_.limits);
+  const core::Clock& clock = core::Clock::or_steady(config_.clock);
+  // Progress watchdog state. `last_progress` is the instant the last byte
+  // arrived; the window pair measures the inbound rate over ~1 s spans.
+  auto last_progress = clock.now();
+  auto window_start = last_progress;
+  std::uint64_t last_bytes = 0;
+  std::uint64_t window_bytes = 0;
+  constexpr std::chrono::milliseconds kProgressWindow{1000};
   try {
     while (!conn->dead.load()) {
       FrameReader::Result r = reader.read(kReaderPoll);
@@ -147,6 +189,49 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
         case FrameReader::Status::kEof:
           return;
       }
+      const auto now = clock.now();
+      const std::uint64_t consumed = reader.bytes_consumed();
+      if (consumed != last_bytes) {
+        last_bytes = consumed;
+        last_progress = now;
+      }
+      // Idle defense: a peer holding the connection open with nothing
+      // inbound and nothing in flight is paying for a reader thread it
+      // does not use.
+      if (config_.idle_timeout.count() > 0 &&
+          conn->inflight.load(std::memory_order_relaxed) == 0 &&
+          reader.buffered() == 0 &&
+          now - last_progress >= config_.idle_timeout) {
+        metrics_.idle_disconnects.fetch_add(1, std::memory_order_relaxed);
+        drop_connection(conn, ErrorCode::kSlowClient,
+                        "idle timeout: no request activity");
+        return;
+      }
+      // Slowloris defense: once a partial frame is buffered the peer has
+      // committed to delivering it; dribbling below the minimum rate keeps
+      // this thread hostage byte by byte. Any byte counts as progress
+      // (bytes_consumed, not whole frames), so a legitimately slow link
+      // above the floor is never cut.
+      if (config_.min_progress_bps > 0 && now - window_start >= kProgressWindow) {
+        const auto elapsed = now - window_start;
+        const std::uint64_t got = consumed - window_bytes;
+        const double secs =
+            std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+                .count();
+        if (reader.buffered() > 0 &&
+            static_cast<double>(got) <
+                static_cast<double>(config_.min_progress_bps) * secs) {
+          metrics_.slow_client_disconnects.fetch_add(
+              1, std::memory_order_relaxed);
+          drop_connection(conn, ErrorCode::kSlowClient,
+                          "inbound progress below " +
+                              std::to_string(config_.min_progress_bps) +
+                              " bytes/sec");
+          return;
+        }
+        window_start = now;
+        window_bytes = consumed;
+      }
     }
   } catch (const std::exception&) {
     // Transport fault: the connection is gone; nothing to reply to.
@@ -155,10 +240,32 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   conn->stream->close();
 }
 
+void Server::drop_connection(const std::shared_ptr<Connection>& conn,
+                             ErrorCode code, const std::string& detail) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.seq = 0;
+  frame.payload = error_payload(code, detail);
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  {
+    // Best-effort courtesy frame with a tiny budget: the peer we are
+    // dropping is by definition not draining; never wait on it.
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    try {
+      (void)conn->stream->write_some(bytes.data(), bytes.size(),
+                                     std::chrono::milliseconds{10});
+    } catch (const std::exception&) {
+    }
+  }
+  conn->dead.store(true);
+  conn->stream->close();
+}
+
 void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                           Frame frame) {
   metrics_.bytes_in.fetch_add(
-      kFrameHeaderSize + frame.payload.size() + kFrameTrailerSize,
+      (frame.deadline_ms != 0 ? kFrameHeaderSizeV2 : kFrameHeaderSize) +
+          frame.payload.size() + kFrameTrailerSize,
       std::memory_order_relaxed);
   switch (frame.type) {
     case FrameType::kSessionRequest: {
@@ -192,6 +299,15 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       req.type = frame.type;
       req.seq = frame.seq;
       req.accepted = std::chrono::steady_clock::now();
+      // The deadline budget starts counting at arrival (it is relative:
+      // the two ends share no clock). A frame without one inherits the
+      // server-wide default, which may be "unlimited".
+      const std::uint32_t budget_ms = frame.deadline_ms != 0
+                                          ? frame.deadline_ms
+                                          : config_.default_deadline_ms;
+      if (budget_ms != 0)
+        req.deadline = core::Deadline::after(
+            std::chrono::milliseconds(budget_ms), config_.clock);
       try {
         req.spec = peek_spec(frame.payload);
       } catch (const std::exception& e) {
@@ -306,7 +422,18 @@ void Server::run_batch(std::vector<Request> batch) {
     // One coder per batch: the whole group shares its table and K.
     const codec::NineCoded coder =
         batch.front().spec.make_coder(config_.codec_impl);
-    for (const Request& req : batch) process_request(coder, req);
+    for (const Request& req : batch) {
+      // Shed before compute: a request that expired while queued gets its
+      // typed reply now instead of a result nobody is waiting for.
+      if (req.deadline.expired()) {
+        metrics_.deadline_shed_queue.fetch_add(1, std::memory_order_relaxed);
+        send_error(req.conn, req.seq, ErrorCode::kDeadlineExceeded,
+                   "deadline expired before compute");
+        finish_request(req);
+        continue;
+      }
+      process_request(coder, req);
+    }
   } catch (const std::exception& e) {
     // The spec itself is illegal: fail the whole batch as bad payloads.
     for (const Request& req : batch) {
@@ -367,8 +494,11 @@ void Server::process_request(const codec::NineCoded& coder,
           throw std::runtime_error("decode geometry too large");
         const std::size_t original = dr.patterns * dr.width;
         // Same budget shape as the decompression fleet: linear in the work
-        // a well-formed stream needs, so only runaway streams trip it.
-        core::Watchdog watchdog(64 + 8 * (original + dr.te.size()));
+        // a well-formed stream needs, so only runaway streams trip it. The
+        // request deadline rides along, cancelling an in-flight decode the
+        // moment its client stops waiting.
+        core::Watchdog watchdog(64 + 8 * (original + dr.te.size()),
+                                req.deadline);
         const codec::DecodeOutcome outcome =
             coder.decode_checked(dr.te, original, &watchdog);
         out = test_set_payload(
@@ -377,12 +507,30 @@ void Server::process_request(const codec::NineCoded& coder,
       cache_.put(key, out);
       if (tier != nullptr) store_write_through(skey, out);
     }
+    // Shed before reply-write: computing may have outlived the deadline
+    // (the artifact still landed in the cache for the retry to hit).
+    if (req.deadline.expired()) {
+      metrics_.deadline_shed_write.fetch_add(1, std::memory_order_relaxed);
+      send_error(req.conn, req.seq, ErrorCode::kDeadlineExceeded,
+                 "deadline expired before reply write");
+      finish_request(req);
+      return;
+    }
     Frame reply;
     reply.type = reply_type;
     reply.seq = req.seq;
     reply.payload = std::move(out);
     send_frame(req.conn, reply);
   } catch (const codec::DecodeError& e) {
+    // A watchdog trip caused by the request's own deadline is not a codec
+    // failure -- the stream may be perfectly well-formed.
+    if (req.deadline.expired()) {
+      metrics_.deadline_shed_decode.fetch_add(1, std::memory_order_relaxed);
+      send_error(req.conn, req.seq, ErrorCode::kDeadlineExceeded,
+                 "deadline expired mid-decode");
+      finish_request(req);
+      return;
+    }
     metrics_.decode_failures.fetch_add(1, std::memory_order_relaxed);
     send_error(req.conn, req.seq, ErrorCode::kDecodeFailed, e.what());
   } catch (const std::exception& e) {
@@ -397,8 +545,27 @@ void Server::send_frame(const std::shared_ptr<Connection>& conn,
   if (conn->dead.load()) return;
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
   std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->dead.load()) return;
   try {
-    conn->stream->write_all(bytes.data(), bytes.size());
+    if (config_.write_deadline.count() > 0) {
+      // Bounded write: a peer that stops draining its socket costs at most
+      // the write budget, never a wedged worker thread holding the write
+      // mutex hostage.
+      const core::Deadline budget =
+          core::Deadline::after(config_.write_deadline, config_.clock);
+      const std::size_t n =
+          write_all_within(*conn->stream, bytes.data(), bytes.size(), budget);
+      if (n != bytes.size()) {
+        metrics_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+        metrics_.slow_client_disconnects.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        conn->dead.store(true);
+        conn->stream->close();
+        return;
+      }
+    } else {
+      conn->stream->write_all(bytes.data(), bytes.size());
+    }
     metrics_.bytes_out.fetch_add(bytes.size(), std::memory_order_relaxed);
   } catch (const std::exception&) {
     conn->dead.store(true);
@@ -430,12 +597,25 @@ store::ArtifactTier* Server::store_tier() {
 void Server::store_write_through(const store::Key& key,
                                  const std::vector<std::uint8_t>& payload) {
   const unsigned attempts = std::max(1u, config_.store_put_attempts);
-  std::chrono::milliseconds backoff{1};
+  const std::chrono::milliseconds cap =
+      std::max(config_.store_backoff_cap, config_.store_backoff_initial);
+  std::chrono::milliseconds backoff =
+      std::max(config_.store_backoff_initial, std::chrono::milliseconds{1});
+  // Seeded per-key jitter: workers whose writes failed together (one disk
+  // hiccup) spread their retries instead of hammering in lockstep.
+  std::uint64_t rng = config_.backoff_jitter_seed ^ key.lo ^ (key.hi << 1);
+  core::Clock& clock = core::Clock::or_steady(config_.clock);
   for (unsigned attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       metrics_.store_put_retries.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, std::chrono::milliseconds{2});
+      // Sleep U[backoff/2, backoff]: "equal jitter", so the floor still
+      // grows exponentially and the spread scales with it.
+      const auto half = backoff.count() / 2;
+      const auto span = backoff.count() - half + 1;
+      clock.sleep_for(std::chrono::milliseconds(
+          half + static_cast<std::int64_t>(splitmix64(rng) %
+                                           static_cast<std::uint64_t>(span))));
+      backoff = std::min(backoff * 2, cap);
     }
     try {
       tier_->put(key, payload.data(), payload.size());

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/cancel.h"
+#include "core/clock.h"
 #include "core/thread_pool.h"
 #include "serve/cache.h"
 #include "serve/frame.h"
@@ -87,6 +89,38 @@ struct ServerConfig {
   /// server runs compute-only until the cooldown expires.
   unsigned store_put_attempts = 3;
   std::chrono::milliseconds store_cooldown{2000};
+  /// Write-through retry backoff: doubles from `initial` up to `cap`, each
+  /// sleep jittered (seeded, deterministic) so workers that failed together
+  /// do not retry in lockstep against a recovering disk.
+  std::chrono::milliseconds store_backoff_initial{1};
+  std::chrono::milliseconds store_backoff_cap{64};
+  std::uint64_t backoff_jitter_seed = 0x9e3779b97f4a7c15ull;
+
+  // ---- timing robustness ------------------------------------------------
+  /// Time source for deadlines, backoff sleeps and the progress watchdog.
+  /// Null = the real steady clock; tests inject a core::VirtualClock so
+  /// expiry is driven by the test, not the wall.
+  core::Clock* clock = nullptr;
+  /// Deadline applied to requests that carry none (0 = unlimited). A
+  /// request whose deadline expires is shed -- before its batch computes,
+  /// mid-decode and before its reply is written -- with a typed
+  /// kDeadlineExceeded reply instead of burning compute nobody waits for.
+  std::uint32_t default_deadline_ms = 0;
+  /// Per-reply write budget: a reply that cannot be fully written within
+  /// this (peer not draining its socket) abandons the write and drops the
+  /// connection as a slow client. 0 = block forever (the old behavior).
+  std::chrono::milliseconds write_deadline{5000};
+  /// Minimum inbound progress once a partial frame is buffered, bytes/sec
+  /// measured over ~1 s windows; a peer dribbling below it is disconnected
+  /// (slowloris defense). 0 = off.
+  std::uint64_t min_progress_bps = 0;
+  /// Disconnect a connection with no inbound bytes and no in-flight work
+  /// for this long. 0 = never.
+  std::chrono::milliseconds idle_timeout{0};
+  /// stop(): how long to wait for in-flight batches to drain before
+  /// force-closing connections (which unwedges any writer stuck on a slow
+  /// peer) and finishing the shutdown.
+  std::chrono::milliseconds stop_drain{5000};
   FrameLimits limits;
 };
 
@@ -149,6 +183,7 @@ class Server {
     CodecSpec spec;
     std::vector<std::uint8_t> payload;  // raw request payload (cache key)
     std::chrono::steady_clock::time_point accepted;
+    core::Deadline deadline;  // unlimited when the frame carried none
   };
 
   void reader_loop(std::shared_ptr<Connection> conn);
@@ -161,6 +196,10 @@ class Server {
   void send_error(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
                   ErrorCode code, const std::string& detail);
   void finish_request(const Request& req);
+  /// Progress-watchdog disconnect: best-effort typed error frame (the peer
+  /// is probably not reading it), then kill the connection.
+  void drop_connection(const std::shared_ptr<Connection>& conn,
+                       ErrorCode code, const std::string& detail);
 
   /// The L2 tier to use right now: null when no store is configured or the
   /// store is benched (cooling down after a failed write-through).
@@ -199,6 +238,12 @@ class Server {
 
   std::atomic<bool> stopping_{false};
   std::thread scheduler_;
+
+  // A second stop() caller waits here for the first to finish the joins
+  // (its own mutex: the first caller needs conn_mutex_ during shutdown).
+  std::mutex stop_mutex_;
+  std::condition_variable stopped_cv_;
+  bool stop_complete_ = false;
 };
 
 }  // namespace nc::serve

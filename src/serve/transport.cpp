@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
@@ -79,6 +80,23 @@ class PipeEnd final : public ByteStream {
     }
   }
 
+  std::optional<std::size_t> write_some(
+      const std::uint8_t* data, std::size_t len,
+      std::chrono::milliseconds timeout) override {
+    if (len == 0) return std::size_t{0};
+    std::unique_lock<std::mutex> lock(out_->mutex);
+    if (!out_->writable.wait_for(lock, timeout, [this] {
+          return out_->bytes.size() < out_->capacity || out_->closed;
+        }))
+      return std::nullopt;  // peer is not draining
+    if (out_->closed) throw std::runtime_error("pipe closed by peer");
+    std::size_t written = 0;
+    while (written < len && out_->bytes.size() < out_->capacity)
+      out_->bytes.push_back(data[written++]);
+    out_->readable.notify_all();
+    return written;
+  }
+
   void close() override {
     for (PipeChannel* ch : {in_, out_}) {
       std::lock_guard<std::mutex> lock(ch->mutex);
@@ -146,6 +164,30 @@ class UnixStream final : public ByteStream {
     }
   }
 
+  std::optional<std::size_t> write_some(
+      const std::uint8_t* data, std::size_t len,
+      std::chrono::milliseconds timeout) override {
+    if (len == 0) return std::size_t{0};
+    pollfd pfd{fd_, POLLOUT, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) throw_errno("poll");
+    if (rc == 0) return std::nullopt;
+    // MSG_DONTWAIT: the socket could have filled again between poll and
+    // send; a bounded write must never fall back to blocking.
+    ssize_t n;
+    do {
+      n = ::send(fd_, data, len, MSG_NOSIGNAL | MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      throw_errno("send");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
   void close() override {
     std::lock_guard<std::mutex> lock(close_mutex_);
     if (fd_ >= 0) {
@@ -161,6 +203,22 @@ class UnixStream final : public ByteStream {
 };
 
 }  // namespace
+
+std::size_t write_all_within(ByteStream& stream, const std::uint8_t* data,
+                             std::size_t len, const core::Deadline& deadline,
+                             std::chrono::milliseconds slice) {
+  std::size_t written = 0;
+  while (written < len) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline.remaining());
+    if (left <= std::chrono::milliseconds{0}) break;
+    const auto wait = deadline.limited() ? std::min(left, slice) : slice;
+    const auto n = stream.write_some(data + written, len - written,
+                                     std::max(wait, std::chrono::milliseconds{1}));
+    if (n.has_value()) written += *n;
+  }
+  return written;
+}
 
 std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
 make_pipe(std::size_t capacity) {

@@ -13,9 +13,12 @@
 // Both transports are byte-oriented and may deliver arbitrary fragments;
 // the frame layer owns message boundaries, CRC validation and resync.
 // Reads take a timeout so a connection handler can never block forever on
-// a dead peer; writes block until accepted (the pipe's capacity and the
-// socket's buffer provide the only transport-level backpressure -- real
-// admission control lives in the server).
+// a dead peer. Writes come in two shapes: write_all blocks until accepted
+// (the pipe's capacity and the socket's buffer provide the only
+// transport-level backpressure), and write_some waits at most a timeout for
+// room -- the building block of the server's slow-client defense, where a
+// peer that stops draining its socket must cost a bounded wait, never a
+// wedged writer thread.
 #pragma once
 
 #include <chrono>
@@ -25,6 +28,8 @@
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "core/cancel.h"
 
 namespace nc::serve {
 
@@ -48,10 +53,29 @@ class ByteStream {
   /// when the peer is gone (the caller treats the connection as dead).
   virtual void write_all(const std::uint8_t* data, std::size_t len) = 0;
 
+  /// Writes between 1 and `len` bytes, waiting up to `timeout` for the
+  /// transport to accept any. Returns the count written, or std::nullopt
+  /// when the timeout expired with no room (a peer that is not draining).
+  /// Throws std::runtime_error on a transport fault.
+  virtual std::optional<std::size_t> write_some(
+      const std::uint8_t* data, std::size_t len,
+      std::chrono::milliseconds timeout) = 0;
+
   /// Closes both directions; unblocks any pending read/write on either
   /// side. Idempotent.
   virtual void close() = 0;
 };
+
+/// Writes all `len` bytes via repeated write_some, never waiting past
+/// `deadline`. Returns the bytes actually written: `len` on success, less
+/// when the deadline expired first (the caller decides whether a short
+/// write kills the connection). Waits in slices of at most `slice` so a
+/// virtual-clock deadline advanced by a test is noticed promptly. Throws
+/// std::runtime_error on a transport fault, like write_all.
+std::size_t write_all_within(
+    ByteStream& stream, const std::uint8_t* data, std::size_t len,
+    const core::Deadline& deadline,
+    std::chrono::milliseconds slice = std::chrono::milliseconds{50});
 
 /// Creates a connected in-process duplex pipe; first is the "client" end,
 /// second the "server" end (the labels are symmetric). `capacity` bounds

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/chaos.h"
 #include "serve/frame.h"
 #include "serve/transport.h"
 
@@ -296,6 +297,133 @@ TEST(FrameFuzz, FragmentedDeliveryReassembles) {
   feeder.join();
   ASSERT_EQ(r.status, FrameReader::Status::kFrame);
   EXPECT_EQ(r.frame.payload, f.payload);
+}
+
+TEST(FrameFuzz, DeadlineFrameRoundTripsAsV2) {
+  Frame sent = make_frame(88, 72);
+  sent.deadline_ms = 1500;
+  const std::vector<std::uint8_t> wire = encode_frame(sent);
+  EXPECT_EQ(wire[4], kFrameVersionDeadline);
+  EXPECT_EQ(wire.size(), kFrameHeaderSizeV2 + sent.payload.size() + 4);
+  const auto results = feed(wire);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results[0].status, FrameReader::Status::kFrame);
+  EXPECT_EQ(results[0].frame.deadline_ms, 1500u);
+  EXPECT_EQ(results[0].frame.payload, sent.payload);
+}
+
+TEST(FrameFuzz, ZeroDeadlineStaysByteCompatibleV1) {
+  Frame sent = make_frame(89, 72);
+  sent.deadline_ms = 0;
+  const std::vector<std::uint8_t> wire = encode_frame(sent);
+  EXPECT_EQ(wire[4], kFrameVersion);
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + sent.payload.size() + 4);
+  const auto results = feed(wire);
+  ASSERT_EQ(results[0].status, FrameReader::Status::kFrame);
+  EXPECT_EQ(results[0].frame.deadline_ms, 0u);
+}
+
+TEST(FrameFuzz, V2EverySingleBitFlipIsDetected) {
+  Frame sent = make_frame(90, 48);
+  sent.deadline_ms = 250;  // forces the 24-byte v2 header
+  const std::vector<std::uint8_t> wire = encode_frame(sent);
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = wire;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const auto results = feed(mutated);
+      for (const auto& r : results)
+        EXPECT_NE(r.status, FrameReader::Status::kFrame)
+            << "v2 flip at byte " << byte << " bit " << bit
+            << " delivered a frame";
+    }
+  }
+}
+
+TEST(FrameFuzz, ByteDribbleOneBytePerReadReassembles) {
+  // A peer that trickles one byte per read op (slowloris shape) must still
+  // yield the exact frame -- the reader's resume paths may never lose or
+  // reorder a byte regardless of how reads fragment.
+  Frame f = make_frame(91, 257);
+  f.deadline_ms = 40;  // dribble the v2 shape too
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  auto [writer, reader_raw] = make_pipe(1 << 16);
+  writer->write_all(wire.data(), wire.size());
+  writer->close();
+  std::vector<ChaosRule> rules(1);
+  rules[0].op = ChaosRule::Op::kRead;
+  rules[0].action = ChaosRule::Action::kDribble;
+  rules[0].count = ChaosRule::kForever;
+  ChaosStream dribbled(std::move(reader_raw), rules, /*seed=*/7);
+  FrameReader reader(dribbled);
+  FrameReader::Result r = reader.read(milliseconds(10000));
+  ASSERT_EQ(r.status, FrameReader::Status::kFrame);
+  EXPECT_EQ(r.frame.payload, f.payload);
+  EXPECT_EQ(r.frame.deadline_ms, 40u);
+  EXPECT_EQ(reader.bytes_consumed(), wire.size());
+  EXPECT_GE(dribbled.counters().dribbles, wire.size());
+}
+
+TEST(FrameFuzz, MidFrameStallThenResumeDeliversIntact) {
+  // Stall with the header and part of the payload delivered, let the
+  // reader time out (NOT error), then resume: the partial frame must
+  // survive the stall and complete byte-exact.
+  const Frame f = make_frame(92, 300);
+  const std::vector<std::uint8_t> wire = encode_frame(f);
+  auto [writer, reader_end] = make_pipe(1 << 16);
+  const std::size_t half = kFrameHeaderSize + 150;
+  writer->write_all(wire.data(), half);
+
+  FrameReader reader(*reader_end);
+  FrameReader::Result r = reader.read(milliseconds(50));
+  EXPECT_EQ(r.status, FrameReader::Status::kTimeout);
+  EXPECT_GT(reader.buffered(), 0u) << "partial frame should be buffered";
+  r = reader.read(milliseconds(50));
+  EXPECT_EQ(r.status, FrameReader::Status::kTimeout)
+      << "a stall must not decay into a protocol error";
+
+  writer->write_all(wire.data() + half, wire.size() - half);
+  writer->close();
+  r = reader.read(milliseconds(2000));
+  ASSERT_EQ(r.status, FrameReader::Status::kFrame);
+  EXPECT_EQ(r.frame.payload, f.payload);
+  EXPECT_EQ(r.frame.seq, f.seq);
+}
+
+TEST(FrameFuzz, ChaosScheduleOfStallsAndPartialsConvergesOnPipelinedFrames) {
+  // Ten pipelined frames through a chaos schedule mixing stalls, dribbles
+  // and short reads: all ten must come out byte-exact and in order.
+  std::vector<std::uint8_t> wire;
+  std::vector<Frame> sent;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    Frame f = make_frame(s, 64 + s * 17);
+    if (s % 2 == 0) f.deadline_ms = static_cast<std::uint32_t>(s * 100);
+    const auto one = encode_frame(f);
+    wire.insert(wire.end(), one.begin(), one.end());
+    sent.push_back(std::move(f));
+  }
+  auto [writer, reader_raw] = make_pipe(1 << 20);
+  writer->write_all(wire.data(), wire.size());
+  writer->close();
+  const auto rules = parse_chaos_spec(
+      "read:stall=5@3x4,read:dribble@1x40,read:partial=3@0x200");
+  ChaosStream chaotic(std::move(reader_raw), rules, /*seed=*/11);
+  FrameReader reader(chaotic);
+  std::vector<Frame> got;
+  while (true) {
+    FrameReader::Result r = reader.read(milliseconds(10000));
+    ASSERT_NE(r.status, FrameReader::Status::kProtocolError);
+    if (r.status == FrameReader::Status::kEof) break;
+    if (r.status == FrameReader::Status::kFrame) got.push_back(r.frame);
+    ASSERT_LT(got.size(), 100u);
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].seq, sent[i].seq);
+    EXPECT_EQ(got[i].payload, sent[i].payload);
+    EXPECT_EQ(got[i].deadline_ms, sent[i].deadline_ms);
+  }
+  EXPECT_GT(chaotic.counters().total(), 0u);
 }
 
 TEST(FrameFuzz, ErrorPayloadRoundTrip) {

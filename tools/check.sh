@@ -3,7 +3,8 @@
 # ASan/UBSan-instrumented one, and a ThreadSanitizer build that runs the
 # concurrency suites (thread pool, sharded parallel codec, container
 # format, fleet session manager, decoder fuzz/watchdog, the serve layer:
-# frame protocol, artifact cache, concurrent server + loadgen, and the
+# frame protocol, artifact cache, concurrent server + loadgen, deadline /
+# slow-client timing, retrying client, chaos transport soak, and the
 # persistent artifact store: crash-recovery matrices plus compaction racing
 # concurrent readers, and the erasure-coded sharded tier: degraded reads,
 # breaker probes and scrub repair under fault injection) to catch data
@@ -50,11 +51,12 @@ if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
   cmake --build "$builddir" -j "$jobs" \
     --target thread_pool_test parallel_pipeline_test sharded_format_test \
     fleet_test decoder_fuzz_test codec_diff_fuzz_test frame_fuzz_test \
-    serve_cache_test serve_server_test retry_test crc_test hash_test \
+    serve_cache_test serve_server_test serve_timing_test serve_client_test \
+    serve_chaos_test retry_test crc_test hash_test \
     erasure_test store_test store_crash_test store_erasure_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$builddir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|CodecDiffFuzz|Watchdog|FrameFuzz|ServeServer|ArtifactCache|CacheKey|RetryHelper|Crc|Fnv128|ErasureCodec|Store'
+    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|CodecDiffFuzz|Watchdog|FrameFuzz|ServeServer|ServeTiming|RetryingClient|ChaosSpec|ChaosStream|ChaosSoak|ArtifactCache|CacheKey|RetryHelper|Crc|Fnv128|ErasureCodec|Store'
 fi
 
 echo "== check.sh: all suites green =="

@@ -21,12 +21,15 @@
 // concurrently behind a per-shard offset/length/CRC index, which decompress
 // decodes with --jobs workers. --jobs 0 means one per hardware thread.
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +46,7 @@
 #include "report/json.h"
 #include "report/table.h"
 #include "rtl/verilog.h"
+#include "serve/chaos.h"
 #include "serve/loadgen.h"
 #include "serve/metrics.h"
 #include "serve/server.h"
@@ -87,8 +91,15 @@ using nc::bits::TritVector;
       "             [--cache-bytes N] [--duration-ms N] [--store DIR]\n"
       "             [--store-shards N] [--store-parity N]\n"
       "             [--store-stripe-bytes N] [--store-scrub-ms N]\n"
+      "             [--request-deadline-ms N] [--write-deadline-ms N]\n"
+      "             [--min-progress-bps N] [--idle-timeout-ms N]\n"
       "             (frame-protocol compression service on a Unix socket;\n"
       "             runs until --duration-ms elapses, default forever;\n"
+      "             --request-deadline-ms is the default budget for\n"
+      "             requests that carry none (expired work is shed with a\n"
+      "             typed reply); --write-deadline-ms bounds each reply\n"
+      "             write, --min-progress-bps/--idle-timeout-ms disconnect\n"
+      "             dribbling/idle peers -- the slow-client defense;\n"
       "             --store adds a persistent artifact tier: cache misses\n"
       "             check DIR before computing, results are written through,\n"
       "             and a restart on the same DIR answers warm;\n"
@@ -113,11 +124,20 @@ using nc::bits::TritVector;
       "  loadgen    --socket PATH [--clients N] [--requests N] [--pipeline N]\n"
       "             [--distinct N] [--patterns N] [--width N] [--seed N]\n"
       "             [--fault-period N] [--inject SPEC] [--deadline-ms N]\n"
-      "             [--json FILE]\n"
+      "             [--request-deadline-ms N] [--hedge-after-ms N]\n"
+      "             [--retry-budget N] [--chaos RULES] [--json FILE]\n"
       "             (N concurrent clients replay a deterministic workload;\n"
       "             every reply is checked byte-identical to a serial\n"
       "             reference; exit 0 only if nothing was lost, duplicated\n"
-      "             or corrupted)\n"
+      "             or corrupted. --request-deadline-ms stamps an\n"
+      "             end-to-end deadline into each request; --hedge-after-ms\n"
+      "             races a duplicate transmit against a quiet reply;\n"
+      "             --retry-budget caps total retransmits per client;\n"
+      "             --chaos wraps each connection in a deterministic fault\n"
+      "             schedule, e.g. 'write:dribble@4x64,read:stall=40@9,\n"
+      "             any:reset@199' -- op:action[=param][@skip[xcount]],\n"
+      "             op read|write|any, action latency|stall|dribble|\n"
+      "             partial|reset, count '*' = forever)\n"
       "count options (--devices, --shards, --jobs, --batch, --k, --p, ...)\n"
       "take a positive integer; --shards/--jobs also accept 'auto' (one\n"
       "shard/worker per hardware thread). Malformed values exit with code 2.\n"
@@ -587,6 +607,14 @@ int cmd_serve(const Args& args) {
       args.get_size("store-stripe-bytes", cfg.store_stripe_threshold);
   cfg.store_scrub_interval_ms = static_cast<std::uint32_t>(
       args.get_size("store-scrub-ms", cfg.store_scrub_interval_ms));
+  cfg.default_deadline_ms = static_cast<std::uint32_t>(
+      args.get_size("request-deadline-ms", cfg.default_deadline_ms));
+  cfg.write_deadline = std::chrono::milliseconds(args.get_size(
+      "write-deadline-ms",
+      static_cast<std::size_t>(cfg.write_deadline.count())));
+  cfg.min_progress_bps = args.get_size("min-progress-bps", cfg.min_progress_bps);
+  cfg.idle_timeout = std::chrono::milliseconds(args.get_size(
+      "idle-timeout-ms", static_cast<std::size_t>(cfg.idle_timeout.count())));
   const std::size_t duration_ms = args.get_size("duration-ms", 0);
 
   nc::serve::UnixListener listener(args.require("socket"));
@@ -829,16 +857,39 @@ int cmd_loadgen(const Args& args) {
     cfg.channel = nc::decomp::ChannelConfig::parse(args.require("inject"));
   cfg.deadline = std::chrono::milliseconds(
       args.get_count("deadline-ms", 30000));
+  cfg.request_deadline_ms = static_cast<std::uint32_t>(
+      args.get_size("request-deadline-ms", cfg.request_deadline_ms));
+  cfg.hedge_after = std::chrono::milliseconds(args.get_size(
+      "hedge-after-ms", static_cast<std::size_t>(cfg.hedge_after.count())));
+  cfg.retry_budget = args.get_size("retry-budget", cfg.retry_budget);
 
-  const nc::serve::LoadgenStats stats = nc::serve::run_loadgen(
-      cfg, [&socket] { return nc::serve::connect_unix(socket); });
+  std::function<std::unique_ptr<nc::serve::ByteStream>()> connect =
+      [&socket] { return nc::serve::connect_unix(socket); };
+  if (args.has("chaos")) {
+    const std::vector<nc::serve::ChaosRule> rules =
+        nc::serve::parse_chaos_spec(args.require("chaos"));
+    // Each connection (including reconnects) gets its own seed so chaos
+    // schedules differ per connection but the run stays reproducible.
+    auto chaos_seq = std::make_shared<std::atomic<std::uint64_t>>(0);
+    const std::uint64_t base_seed = cfg.seed;
+    connect = [&socket, rules, chaos_seq, base_seed] {
+      return std::make_unique<nc::serve::ChaosStream>(
+          nc::serve::connect_unix(socket), rules,
+          base_seed * 48271 + chaos_seq->fetch_add(1));
+    };
+  }
+
+  const nc::serve::LoadgenStats stats = nc::serve::run_loadgen(cfg, connect);
 
   std::cout << stats.requests << " requests resolved in " << stats.seconds
             << " s (" << stats.throughput_rps() << " req/s)\n"
-            << "rejections " << stats.typed_rejections << ", retransmits "
+            << "rejections " << stats.typed_rejections << " ("
+            << stats.deadline_rejections << " deadline), retransmits "
             << stats.retransmits << ", corrupted sends "
             << stats.corrupted_sends << ", frame errors "
             << stats.frame_errors << '\n'
+            << "hedges " << stats.hedges << " (" << stats.hedge_wins
+            << " won), reconnects " << stats.reconnects << '\n'
             << "byte mismatches " << stats.byte_mismatches << ", duplicates "
             << stats.duplicates << ", unresolved " << stats.unresolved
             << '\n';
@@ -853,6 +904,10 @@ int cmd_loadgen(const Args& args) {
     doc["byte_mismatches"] = stats.byte_mismatches;
     doc["duplicates"] = stats.duplicates;
     doc["unresolved"] = stats.unresolved;
+    doc["hedges"] = stats.hedges;
+    doc["hedge_wins"] = stats.hedge_wins;
+    doc["reconnects"] = stats.reconnects;
+    doc["deadline_rejections"] = stats.deadline_rejections;
     doc["clean"] = stats.clean();
     nc::report::write_json_file(args.require("json"), doc);
   }
