@@ -1,0 +1,338 @@
+#include "compact/analyzer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "core/parallel.h"
+#include "core/thread_pool.h"
+#include "sim/logic_sim.h"
+#include "sim/misr.h"
+
+namespace nc::compact {
+
+using bits::Trit;
+using bits::TritVector;
+using sim::ParallelSim;
+using sim::Val64;
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t position_hash(std::uint64_t seed, std::uint64_t pattern,
+                            std::uint64_t pos) noexcept {
+  return mix64(seed ^ (pattern * 0x9E3779B97F4A7C15ull) ^
+               (pos * 0xC2B2AE3D27D4EB4Full));
+}
+
+/// Deterministic fill for unknowable device bits (observed_signatures).
+bool fill_bit(std::uint64_t seed, std::uint64_t pattern,
+              std::uint64_t pos) noexcept {
+  return position_hash(seed ^ 0x5DEECE66Dull, pattern, pos) & 1ull;
+}
+
+/// Good- or faulty-machine responses of one 64-pattern pass, with the
+/// environment overlay applied and slots past `loaded` forced to X.
+struct BatchResponses {
+  std::size_t first = 0;
+  std::size_t loaded = 0;
+  std::uint64_t load_mask = 0;
+  std::vector<Val64> raw;                 // n entries
+  std::vector<std::uint64_t> overlay;     // per raw pos: environment-X bits
+  std::vector<Val64> sig;                 // m entries (good batches only)
+};
+
+void extract_raw(const circuit::Netlist& netlist, const ParallelSim& sim,
+                 std::vector<Val64>& raw) {
+  raw.clear();
+  for (std::size_t o : netlist.outputs()) raw.push_back(sim.value(o));
+  for (std::size_t f = 0; f < netlist.flops().size(); ++f)
+    raw.push_back(sim.captured(f));
+}
+
+void apply_masks(std::vector<Val64>& raw, const std::vector<std::uint64_t>& overlay,
+                 std::uint64_t load_mask) {
+  for (std::size_t pos = 0; pos < raw.size(); ++pos) {
+    const std::uint64_t keep = ~overlay[pos] & load_mask;
+    raw[pos].one &= keep;
+    raw[pos].zero &= keep;
+  }
+}
+
+Trit trit_at(const Val64& v, std::size_t slot) noexcept {
+  if ((v.one >> slot) & 1ull) return Trit::One;
+  if ((v.zero >> slot) & 1ull) return Trit::Zero;
+  return Trit::X;
+}
+
+/// Streams one machine's responses of a batch into a MISR in width-sized
+/// words; returns false if an X poisoned the signature along the way.
+void absorb_batch(sim::Misr& misr, const std::vector<Val64>& raw,
+                  std::size_t loaded) {
+  TritVector response(raw.size(), Trit::X);
+  for (std::size_t p = 0; p < loaded; ++p) {
+    for (std::size_t pos = 0; pos < raw.size(); ++pos)
+      response.set(pos, trit_at(raw[pos], p));
+    for (std::size_t at = 0; at < response.size(); at += misr.width())
+      misr.absorb_masked(response.slice(at, misr.width()));
+  }
+}
+
+}  // namespace
+
+bool overlay_is_x(std::uint64_t seed, std::uint64_t pattern, std::uint64_t pos,
+                  double density) noexcept {
+  if (density <= 0.0) return false;
+  if (density >= 1.0) return true;
+  // Compare the hash's top 53 bits against a density threshold: the same
+  // position stays X at every higher density, so X sets nest.
+  const std::uint64_t threshold =
+      static_cast<std::uint64_t>(density * 9007199254740992.0);  // 2^53
+  return (position_hash(seed, pattern, pos) >> 11) < threshold;
+}
+
+ResponseAnalyzer::ResponseAnalyzer(const circuit::Netlist& netlist, XCode code,
+                                   AnalyzerConfig config)
+    : netlist_(&netlist), compactor_(std::move(code)), config_(config) {
+  if (compactor_.code().inputs() != netlist.response_width())
+    throw std::invalid_argument(
+        "analyzer: X-code inputs (" +
+        std::to_string(compactor_.code().inputs()) +
+        ") != circuit response width (" +
+        std::to_string(netlist.response_width()) + ")");
+  if (config_.x_density < 0.0 || config_.x_density > 1.0)
+    throw std::invalid_argument("analyzer: x_density must be in [0, 1]");
+}
+
+namespace {
+
+/// Simulates the good machine over all patterns and precomputes everything
+/// the per-fault loop reads: overlaid raw responses, compacted signatures
+/// and the environment overlay masks.
+std::vector<BatchResponses> good_batches(const circuit::Netlist& netlist,
+                                         const Compactor& compactor,
+                                         const AnalyzerConfig& cfg,
+                                         const bits::TestSet& patterns) {
+  if (patterns.pattern_length() != netlist.pattern_width())
+    throw std::invalid_argument("analyzer: pattern width mismatch");
+  const std::size_t n = netlist.response_width();
+  std::vector<BatchResponses> batches;
+  ParallelSim sim(netlist);
+  for (std::size_t first = 0; first < patterns.pattern_count(); first += 64) {
+    BatchResponses b;
+    b.first = first;
+    b.loaded = sim.load(patterns, first);
+    b.load_mask = b.loaded == 64 ? ~0ull : (1ull << b.loaded) - 1;
+    sim.run();
+    extract_raw(netlist, sim, b.raw);
+    b.overlay.assign(n, 0);
+    for (std::size_t pos = 0; pos < n; ++pos)
+      for (std::size_t p = 0; p < b.loaded; ++p)
+        if (overlay_is_x(cfg.x_seed, first + p, pos, cfg.x_density))
+          b.overlay[pos] |= 1ull << p;
+    apply_masks(b.raw, b.overlay, b.load_mask);
+    b.sig.assign(compactor.code().outputs(), Val64::all_x());
+    compactor.compact64(b.raw.data(), b.sig.data());
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+struct FaultScore {
+  FaultVerdict verdict = FaultVerdict::kUndetected;
+  bool violation = false;       // masked despite a within-tolerance 1-bit diff
+  bool misr_poisoned = false;
+  std::uint64_t misr_signature = 0;
+};
+
+FaultScore score_fault(const circuit::Netlist& netlist,
+                       const Compactor& compactor, const AnalyzerConfig& cfg,
+                       const bits::TestSet& patterns,
+                       const std::vector<BatchResponses>& good,
+                       const sim::Fault& fault, ParallelSim& fsim,
+                       sim::Misr misr) {
+  const std::size_t n = netlist.response_width();
+  const std::size_t m = compactor.code().outputs();
+  const unsigned t = compactor.code().tolerance();
+  bool uncomp = false, comp = false, qualifying = false;
+  std::vector<Val64> raw, fsig(m);
+  for (const BatchResponses& b : good) {
+    fsim.load(patterns, b.first);
+    fsim.run_with_fault(fault.node, fault.consumer, fault.pin,
+                        fault.stuck_value);
+    extract_raw(netlist, fsim, raw);
+    apply_masks(raw, b.overlay, b.load_mask);
+
+    std::uint64_t d = 0;
+    for (std::size_t pos = 0; pos < n; ++pos)
+      d |= (b.raw[pos].one & raw[pos].zero) | (b.raw[pos].zero & raw[pos].one);
+    if (d != 0) uncomp = true;
+
+    compactor.compact64(raw.data(), fsig.data());
+    std::uint64_t dc = 0;
+    for (std::size_t r = 0; r < m; ++r)
+      dc |= (b.sig[r].one & fsig[r].zero) | (b.sig[r].zero & fsig[r].one);
+    if (dc != 0) comp = true;
+
+    // Tolerance self-check: a cycle with exactly one provable diff and at
+    // most t unknowns (either machine) must be caught by the compactor.
+    for (std::uint64_t rest = d & ~dc; rest != 0; rest &= rest - 1) {
+      const unsigned p = static_cast<unsigned>(__builtin_ctzll(rest));
+      unsigned diffs = 0, unknowns = 0;
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        const bool gspec =
+            ((b.raw[pos].one | b.raw[pos].zero) >> p) & 1ull;
+        const bool fspec = ((raw[pos].one | raw[pos].zero) >> p) & 1ull;
+        if (!gspec || !fspec) {
+          ++unknowns;
+          continue;
+        }
+        if ((((b.raw[pos].one ^ raw[pos].one) >> p) & 1ull) != 0) ++diffs;
+      }
+      if (diffs == 1 && unknowns <= t) qualifying = true;
+    }
+
+    if (cfg.with_misr) absorb_batch(misr, raw, b.loaded);
+  }
+  FaultScore score;
+  score.verdict = comp ? FaultVerdict::kDetected
+                       : (uncomp ? FaultVerdict::kMaskedByCompaction
+                                 : FaultVerdict::kUndetected);
+  score.violation = uncomp && !comp && qualifying;
+  score.misr_poisoned = misr.poisoned();
+  score.misr_signature = misr.signature();
+  return score;
+}
+
+}  // namespace
+
+AnalyzerReport ResponseAnalyzer::analyze(
+    const bits::TestSet& patterns, const std::vector<sim::Fault>& faults) const {
+  const std::vector<BatchResponses> batches =
+      good_batches(*netlist_, compactor_, config_, patterns);
+
+  AnalyzerReport report;
+  report.faults = faults.size();
+  report.patterns = patterns.pattern_count();
+  report.response_width = netlist_->response_width();
+  report.compact_outputs = compactor_.code().outputs();
+  report.tolerance = compactor_.code().tolerance();
+  report.raw_bits =
+      static_cast<std::uint64_t>(report.response_width) * report.patterns;
+  report.compacted_bits =
+      static_cast<std::uint64_t>(report.compact_outputs) * report.patterns;
+
+  // Tester-visible unknowns per cycle (expected responses).
+  for (const BatchResponses& b : batches)
+    for (std::size_t p = 0; p < b.loaded; ++p) {
+      std::size_t count = 0;
+      for (const Val64& v : b.raw)
+        if (((~(v.one | v.zero)) >> p) & 1ull) ++count;
+      report.total_x += count;
+      report.max_cycle_x = std::max(report.max_cycle_x, count);
+      if (count > report.tolerance) ++report.cycles_over_tolerance;
+    }
+
+  std::uint64_t good_misr_sig = 0;
+  if (config_.with_misr) {
+    report.misr_enabled = true;
+    sim::Misr misr = sim::Misr::standard(config_.misr_width);
+    for (const BatchResponses& b : batches) absorb_batch(misr, b.raw, b.loaded);
+    report.misr_good_poisoned = misr.poisoned();
+    good_misr_sig = misr.signature();
+  }
+
+  std::vector<FaultScore> scores(faults.size());
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    ParallelSim fsim(*netlist_);
+    for (std::size_t i = begin; i < end; ++i)
+      scores[i] = score_fault(*netlist_, compactor_, config_, patterns,
+                              batches, faults[i], fsim,
+                              sim::Misr::standard(config_.misr_width));
+  };
+  std::size_t jobs = config_.jobs == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : config_.jobs;
+  jobs = std::min(jobs, std::max<std::size_t>(1, faults.size()));
+  if (jobs <= 1) {
+    run_range(0, faults.size());
+  } else {
+    core::ThreadPool pool(jobs);
+    const std::size_t chunk = (faults.size() + jobs - 1) / jobs;
+    core::parallel_for(pool, 0, jobs, [&](std::size_t j) {
+      const std::size_t begin = j * chunk;
+      run_range(begin, std::min(begin + chunk, faults.size()));
+    });
+  }
+
+  report.verdicts.reserve(scores.size());
+  for (const FaultScore& s : scores) {
+    report.verdicts.push_back(s.verdict);
+    if (s.verdict != FaultVerdict::kUndetected) ++report.detected_uncompacted;
+    if (s.verdict == FaultVerdict::kDetected) ++report.detected_compacted;
+    if (s.verdict == FaultVerdict::kMaskedByCompaction)
+      ++report.masked_by_compaction;
+    if (s.violation) ++report.tolerance_violations;
+    if (config_.with_misr) {
+      if (report.misr_good_poisoned || s.misr_poisoned)
+        ++report.misr_no_verdict;
+      else if (s.misr_signature != good_misr_sig)
+        ++report.misr_detected;
+    }
+  }
+  return report;
+}
+
+bits::TritVector ResponseAnalyzer::expected_responses(
+    const bits::TestSet& patterns) const {
+  const std::vector<BatchResponses> batches =
+      good_batches(*netlist_, compactor_, config_, patterns);
+  TritVector out;
+  for (const BatchResponses& b : batches)
+    for (std::size_t p = 0; p < b.loaded; ++p)
+      for (const Val64& v : b.raw) out.push_back(trit_at(v, p));
+  return out;
+}
+
+bits::TritVector ResponseAnalyzer::expected_signatures(
+    const bits::TestSet& patterns) const {
+  return compactor_.compact_stream(expected_responses(patterns),
+                                   patterns.pattern_count());
+}
+
+bits::TritVector ResponseAnalyzer::observed_signatures(
+    const bits::TestSet& patterns, const sim::Fault* fault,
+    std::uint64_t fill_seed) const {
+  const std::size_t n = netlist_->response_width();
+  TritVector responses;
+  ParallelSim sim(*netlist_);
+  std::vector<Val64> raw;
+  for (std::size_t first = 0; first < patterns.pattern_count(); first += 64) {
+    const std::size_t loaded = sim.load(patterns, first);
+    if (fault == nullptr)
+      sim.run();
+    else
+      sim.run_with_fault(fault->node, fault->consumer, fault->pin,
+                         fault->stuck_value);
+    extract_raw(*netlist_, sim, raw);
+    for (std::size_t p = 0; p < loaded; ++p)
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        Trit t = trit_at(raw[pos], p);
+        // The physical device holds SOME value on every line: unknowable
+        // bits (X propagation or the environment overlay) read back as a
+        // deterministic pseudo-random fill.
+        if (overlay_is_x(config_.x_seed, first + p, pos, config_.x_density) ||
+            t == Trit::X)
+          t = fill_bit(fill_seed, first + p, pos) ? Trit::One : Trit::Zero;
+        responses.push_back(t);
+      }
+  }
+  return compactor_.compact_stream(responses, patterns.pattern_count());
+}
+
+}  // namespace nc::compact

@@ -1,0 +1,159 @@
+// ResponseAnalyzer: per-fault detect/mask verdicts under X-compaction.
+//
+// Given a netlist, an applied test set and a fault list, the analyzer
+// simulates the good machine and every faulty machine (64 patterns per
+// dual-rail pass, faults fanned out over a thread pool) and scores each
+// fault three ways:
+//
+//  * uncompacted -- a tester comparing all n raw response bits per cycle
+//    (the coverage baseline);
+//  * X-compacted -- the same tester reading only the m outputs of the
+//    configured X-code compactor;
+//  * MISR        -- a classic signature register, which has no X story: a
+//    single X poisons the whole signature and forfeits every verdict.
+//
+// Unknowns come from two sources and are treated identically: X bits the
+// stimulus leaves in the response, and an environment overlay injected at
+// `x_density`. The overlay is a threshold hash of (seed, pattern, bit), so
+// the X set at a lower density is a SUBSET of the set at a higher one --
+// coverage degradation across a density sweep is monotone by construction,
+// not statistically.
+//
+// Detection is provable-difference semantics throughout (both machines
+// specified and opposite, the fault simulator's diff_mask rule). The
+// analyzer also self-checks the X-code's tolerance claim: a masked fault
+// that had a single-bit provable diff in a cycle whose X count (good and
+// faulty unknowns combined) is within the code's tolerance t would
+// contradict (1, t)-separability and is counted as a tolerance_violation
+// -- tests and bench_compact gate that count at zero.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "bits/trit_vector.h"
+#include "circuit/netlist.h"
+#include "compact/compactor.h"
+#include "compact/xcode.h"
+#include "sim/fault.h"
+
+namespace nc::compact {
+
+/// Deterministic environment-X overlay: true iff response bit `pos` of
+/// pattern `pattern` reads as unknown at `density`. Threshold hash -- the
+/// same (seed, pattern, pos) stays X at every higher density (nesting).
+bool overlay_is_x(std::uint64_t seed, std::uint64_t pattern, std::uint64_t pos,
+                  double density) noexcept;
+
+struct AnalyzerConfig {
+  /// Fraction of response bits read as unknown by the environment overlay.
+  double x_density = 0.0;
+  /// Overlay position seed. Keep fixed across a density sweep so the X
+  /// sets nest.
+  std::uint64_t x_seed = 1;
+  /// Fault-parallel worker threads (0 = hardware concurrency).
+  std::size_t jobs = 1;
+  /// Score a MISR of `misr_width` bits side by side.
+  bool with_misr = true;
+  unsigned misr_width = 16;
+};
+
+enum class FaultVerdict : std::uint8_t {
+  kUndetected = 0,        // not even the uncompacted tester sees it
+  kDetected = 1,          // seen through the compactor
+  kMaskedByCompaction = 2,  // uncompacted sees it, compacted does not
+};
+
+struct AnalyzerReport {
+  std::size_t faults = 0;
+  std::size_t patterns = 0;
+  std::size_t response_width = 0;   // n: raw bits per cycle
+  std::size_t compact_outputs = 0;  // m: compacted bits per cycle
+  unsigned tolerance = 0;           // the code's verified t
+
+  std::size_t detected_uncompacted = 0;
+  std::size_t detected_compacted = 0;
+  std::size_t masked_by_compaction = 0;
+  /// Masked faults with a single-bit diff in a within-tolerance cycle --
+  /// impossible for a correct (1, t)-separable code; must be 0.
+  std::size_t tolerance_violations = 0;
+
+  // Expected-response X accounting (tester-visible unknowns per cycle).
+  std::size_t cycles_over_tolerance = 0;
+  std::size_t max_cycle_x = 0;
+  std::uint64_t total_x = 0;
+
+  bool misr_enabled = false;
+  bool misr_good_poisoned = false;  // an X reached the reference signature
+  std::size_t misr_detected = 0;
+  std::size_t misr_no_verdict = 0;  // good or faulty signature poisoned
+
+  std::vector<FaultVerdict> verdicts;  // parallel to the input fault list
+
+  std::uint64_t raw_bits = 0;        // n * patterns
+  std::uint64_t compacted_bits = 0;  // m * patterns
+
+  double compaction_ratio() const noexcept {
+    return compacted_bits == 0
+               ? 0.0
+               : static_cast<double>(raw_bits) /
+                     static_cast<double>(compacted_bits);
+  }
+  double coverage_uncompacted_percent() const noexcept {
+    return faults == 0 ? 0.0
+                       : 100.0 * static_cast<double>(detected_uncompacted) /
+                             static_cast<double>(faults);
+  }
+  double coverage_compacted_percent() const noexcept {
+    return faults == 0 ? 0.0
+                       : 100.0 * static_cast<double>(detected_compacted) /
+                             static_cast<double>(faults);
+  }
+  double coverage_loss_percent() const noexcept {
+    return coverage_uncompacted_percent() - coverage_compacted_percent();
+  }
+  double misr_coverage_percent() const noexcept {
+    return faults == 0 ? 0.0
+                       : 100.0 * static_cast<double>(misr_detected) /
+                             static_cast<double>(faults);
+  }
+};
+
+class ResponseAnalyzer {
+ public:
+  /// `code.inputs()` must equal `netlist.response_width()`.
+  ResponseAnalyzer(const circuit::Netlist& netlist, XCode code,
+                   AnalyzerConfig config = {});
+
+  const Compactor& compactor() const noexcept { return compactor_; }
+  const AnalyzerConfig& config() const noexcept { return config_; }
+
+  /// Scores every fault of `faults` against `patterns` (pattern width must
+  /// match the netlist).
+  AnalyzerReport analyze(const bits::TestSet& patterns,
+                         const std::vector<sim::Fault>& faults) const;
+
+  /// Good-machine responses with the overlay applied: patterns * n trits,
+  /// pattern-major. This is what the tester expects to read back raw.
+  bits::TritVector expected_responses(const bits::TestSet& patterns) const;
+
+  /// Compacted expected responses: patterns * m trits. The reference
+  /// stream a serve signature-check publishes.
+  bits::TritVector expected_signatures(const bits::TestSet& patterns) const;
+
+  /// What a physical device under `fault` (nullptr = fault-free) would
+  /// upload: unknowable bits take a deterministic pseudo-random value
+  /// seeded by `fill_seed` before compaction, so the stream is binary.
+  bits::TritVector observed_signatures(const bits::TestSet& patterns,
+                                       const sim::Fault* fault,
+                                       std::uint64_t fill_seed) const;
+
+ private:
+  const circuit::Netlist* netlist_;
+  Compactor compactor_;
+  AnalyzerConfig config_;
+};
+
+}  // namespace nc::compact

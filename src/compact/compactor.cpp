@@ -1,0 +1,99 @@
+#include "compact/compactor.h"
+
+#include <stdexcept>
+
+namespace nc::compact {
+
+using bits::Trit;
+using bits::TritVector;
+using sim::Val64;
+
+Compactor::Compactor(XCode code) : code_(std::move(code)) {
+  row_cols_.reserve(code_.outputs());
+  for (std::size_t r = 0; r < code_.outputs(); ++r)
+    row_cols_.push_back(code_.row_columns(r));
+}
+
+TritVector Compactor::compact(const TritVector& response) const {
+  if (response.size() != code_.inputs())
+    throw std::invalid_argument("compactor: response width mismatch");
+  TritVector out(code_.outputs(), Trit::Zero);
+  for (std::size_t r = 0; r < row_cols_.size(); ++r) {
+    bool parity = false;
+    bool unknown = false;
+    for (std::size_t c : row_cols_[r]) {
+      const Trit t = response.get(c);
+      if (t == Trit::X) {
+        unknown = true;
+        break;
+      }
+      parity ^= (t == Trit::One);
+    }
+    out.set(r, unknown ? Trit::X : (parity ? Trit::One : Trit::Zero));
+  }
+  return out;
+}
+
+TritVector Compactor::compact_stream(const TritVector& responses,
+                                     std::size_t cycles) const {
+  if (responses.size() != cycles * code_.inputs())
+    throw std::invalid_argument("compactor: stream length mismatch");
+  TritVector out;
+  for (std::size_t cy = 0; cy < cycles; ++cy)
+    out.append(compact(responses.slice(cy * code_.inputs(), code_.inputs())));
+  return out;
+}
+
+void Compactor::compact64(const Val64* in, Val64* out) const {
+  for (std::size_t r = 0; r < row_cols_.size(); ++r) {
+    // 3-valued XOR fold in dual rail: start at constant 0; an X operand
+    // (neither rail set) clears both rails of the accumulator, so X is
+    // sticky across the fold -- the same semantics as ParallelSim's XOR.
+    Val64 acc = Val64::constant(false);
+    for (std::size_t c : row_cols_[r]) {
+      const Val64 v = in[c];
+      acc = Val64{(acc.one & v.zero) | (acc.zero & v.one),
+                  (acc.zero & v.zero) | (acc.one & v.one)};
+    }
+    out[r] = acc;
+  }
+}
+
+CheckVerdict check_signatures(const TritVector& expected,
+                              const TritVector& observed,
+                              std::size_t outputs_per_cycle) {
+  if (outputs_per_cycle == 0)
+    throw std::invalid_argument("check_signatures: zero-width cycle");
+  if (expected.size() != observed.size())
+    throw std::invalid_argument("check_signatures: stream size mismatch");
+  if (expected.size() % outputs_per_cycle != 0)
+    throw std::invalid_argument(
+        "check_signatures: stream not a whole number of cycles");
+  CheckVerdict v;
+  v.cycles = expected.size() / outputs_per_cycle;
+  for (std::uint64_t cy = 0; cy < v.cycles; ++cy) {
+    bool cycle_mismatch = false;
+    for (std::size_t o = 0; o < outputs_per_cycle; ++o) {
+      const std::size_t at = cy * outputs_per_cycle + o;
+      const Trit e = expected.get(at);
+      const Trit g = observed.get(at);
+      if (e == Trit::X || g == Trit::X) {
+        ++v.unknown_outputs;
+        continue;
+      }
+      if (e != g) {
+        ++v.mismatched_outputs;
+        cycle_mismatch = true;
+      }
+    }
+    if (cycle_mismatch) {
+      ++v.mismatched_cycles;
+      if (v.first_mismatch_cycle == CheckVerdict::kNoMismatch)
+        v.first_mismatch_cycle = cy;
+    }
+  }
+  v.pass = v.mismatched_cycles == 0;
+  return v;
+}
+
+}  // namespace nc::compact

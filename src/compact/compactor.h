@@ -1,0 +1,76 @@
+// Combinational X-tolerant response compactor.
+//
+// One capture cycle presents n response trits (POs then PPOs, the order of
+// sim::extract_response); the compactor XORs the subsets selected by an
+// XCode into m output trits under 3-valued logic: an X on any folded input
+// makes that output X. Two evaluation paths share the semantics:
+//
+//  * TritVector in / TritVector out -- one cycle (or a whole session
+//    stream) at a time, used by the serve signature path and the CLI;
+//  * Val64 in / Val64 out -- 64 patterns per pass in the dual-rail
+//    encoding of sim::ParallelSim, used by the ResponseAnalyzer's fault
+//    loop.
+//
+// `check_signatures` is the single verdict routine both the local analyzer
+// and the serve signature-check handler call, so a server-side check is
+// byte-identical to a local one by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bits/trit_vector.h"
+#include "compact/xcode.h"
+#include "sim/logic_sim.h"
+
+namespace nc::compact {
+
+class Compactor {
+ public:
+  explicit Compactor(XCode code);
+
+  const XCode& code() const noexcept { return code_; }
+
+  /// Compacts one cycle: `response.size()` must equal code().inputs().
+  bits::TritVector compact(const bits::TritVector& response) const;
+
+  /// Compacts a row-major stream of `cycles` responses into a stream of
+  /// m-trit signatures. `responses.size()` must be cycles * inputs().
+  bits::TritVector compact_stream(const bits::TritVector& responses,
+                                  std::size_t cycles) const;
+
+  /// Dual-rail path: folds `in` (inputs() entries, 64 patterns each) into
+  /// `out` (outputs() entries). X in any folded slot stays X.
+  void compact64(const sim::Val64* in, sim::Val64* out) const;
+
+ private:
+  XCode code_;
+  /// row_cols_[r] = input columns folded into output r (flattened).
+  std::vector<std::vector<std::size_t>> row_cols_;
+};
+
+/// Outcome of comparing an observed signature stream against the expected
+/// one, cycle by cycle. A position is a provable mismatch when expected and
+/// observed both carry a care value and the values differ; an X on either
+/// side is uncomparable and counted as unknown.
+struct CheckVerdict {
+  bool pass = true;  // no provable mismatch anywhere
+  std::uint64_t cycles = 0;
+  std::uint64_t mismatched_cycles = 0;   // cycles with >= 1 mismatch
+  std::uint64_t mismatched_outputs = 0;  // total mismatching positions
+  std::uint64_t unknown_outputs = 0;     // positions with an X on a side
+  std::uint64_t first_mismatch_cycle = kNoMismatch;
+
+  static constexpr std::uint64_t kNoMismatch = ~0ull;
+  bool operator==(const CheckVerdict&) const = default;
+};
+
+/// Compares two equal-length signature streams of `outputs_per_cycle`-trit
+/// cycles. Throws std::invalid_argument on a size mismatch or a length not
+/// divisible by the cycle width.
+CheckVerdict check_signatures(const bits::TritVector& expected,
+                              const bits::TritVector& observed,
+                              std::size_t outputs_per_cycle);
+
+}  // namespace nc::compact

@@ -1,0 +1,123 @@
+// X-codes: binary parity matrices for X-tolerant response compaction.
+//
+// An X-code is an m x n binary matrix H. Each of the n scan-out bits of a
+// capture cycle feeds the XOR trees selected by its column; the compactor
+// emits m parity bits per cycle instead of n raw bits. Because the XOR is
+// evaluated in 3-valued logic, an unknown (X) response bit poisons every
+// output whose column includes it -- tolerance to X is therefore a purely
+// combinatorial property of H.
+//
+// The property we construct for is (1, t)-separability (Fujiwara &
+// Colbourn, "A Combinatorial Approach to X-Tolerant Compaction Circuits"):
+// for every column c and every set S of at most t other columns, some row
+// covers c and no member of S. Then a single-bit error on line c is
+// observed on at least one non-X output whenever the cycle carries at most
+// t unknowns -- no single-bit fault effect is ever masked by t or fewer X.
+//
+// Three constructions:
+//  * identity      -- pass-through (m = n), tolerance bounded only by n;
+//                     the uncompacted baseline expressed as an X-code.
+//  * steiner       -- constant-weight-3 columns whose pairwise row
+//                     intersection is at most one (a partial Steiner triple
+//                     packing). Two X columns can kill at most two of a
+//                     column's three rows, so t = 2 by construction.
+//  * greedy        -- seeded random search for weight-w columns, accepting
+//                     a candidate only if the (1, t)-separability of the
+//                     grown set survives an exhaustive check (small t).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nc::compact {
+
+enum class XCodeKind : std::uint8_t {
+  kIdentity = 0,
+  kSteiner = 1,
+  kGreedy = 2,
+};
+
+const char* to_string(XCodeKind kind) noexcept;
+
+/// Parameters naming a construction (CLI- and test-facing).
+struct XCodeSpec {
+  XCodeKind kind = XCodeKind::kSteiner;
+  /// Response bits per cycle (the code's n). Fixed by the circuit.
+  std::size_t inputs = 0;
+  /// Compacted outputs per cycle (the code's m); 0 = smallest m the
+  /// construction supports for `inputs`.
+  std::size_t outputs = 0;
+  /// Column weight for the greedy search (ignored by the others).
+  unsigned weight = 3;
+  /// Tolerance target t the greedy search verifies while growing.
+  unsigned tolerance = 2;
+  std::uint64_t seed = 1;
+};
+
+class XCode {
+ public:
+  /// Pass-through: m = n, column c covers row c only.
+  static XCode identity(std::size_t n);
+
+  /// Constant-weight-3 columns over m rows, pairwise intersecting in at
+  /// most one row; guarantees t = 2. `m == 0` picks the smallest feasible
+  /// row count. Throws std::invalid_argument when m cannot host n such
+  /// columns (needs roughly m*(m-1)/6 >= n).
+  static XCode steiner(std::size_t n, std::size_t m = 0);
+
+  /// Seeded random growth of weight-`weight` columns over m rows; every
+  /// candidate is admitted only if the set stays (1, t)-separable, checked
+  /// exhaustively against the already-accepted columns. Deterministic per
+  /// seed. Throws std::invalid_argument when the search cannot place n
+  /// columns (m too small for the requested n/t/weight).
+  static XCode greedy(std::size_t n, std::size_t m, unsigned tolerance,
+                      unsigned weight = 3, std::uint64_t seed = 1);
+
+  /// Builds from a spec (`spec.inputs` must be set).
+  static XCode build(const XCodeSpec& spec);
+
+  std::size_t inputs() const noexcept { return columns_.size(); }
+  std::size_t outputs() const noexcept { return rows_; }
+  XCodeKind kind() const noexcept { return kind_; }
+
+  /// Verified X-tolerance t: per-cycle X counts up to t cannot mask a
+  /// single-bit error (see verify_tolerance). For identity this is n.
+  unsigned tolerance() const noexcept { return tolerance_; }
+
+  /// Number of rows set in column c.
+  unsigned column_weight(std::size_t c) const;
+
+  bool bit(std::size_t row, std::size_t col) const;
+
+  /// Column c as a row bitmask, word w covering rows [64w, 64w+63].
+  const std::vector<std::uint64_t>& column_mask(std::size_t c) const {
+    return columns_[c];
+  }
+
+  /// Sorted input columns folded into output row r.
+  std::vector<std::size_t> row_columns(std::size_t r) const;
+
+  /// Exhaustive (1, x)-separability check: for every column c and every
+  /// set S of at most x other columns, some row covers c and no member of
+  /// S. Cost grows as n^(x+1); intended for x <= 3 at test sizes.
+  static bool verify_tolerance(const XCode& code, unsigned x);
+
+  /// Largest x <= limit for which verify_tolerance holds.
+  static unsigned max_tolerance(const XCode& code, unsigned limit);
+
+  std::string describe() const;
+
+ private:
+  XCode(XCodeKind kind, std::size_t rows,
+        std::vector<std::vector<std::uint64_t>> columns, unsigned tolerance);
+
+  XCodeKind kind_ = XCodeKind::kIdentity;
+  std::size_t rows_ = 0;
+  /// columns_[c] = bitmask over rows, ceil(rows/64) words each.
+  std::vector<std::vector<std::uint64_t>> columns_;
+  unsigned tolerance_ = 0;
+};
+
+}  // namespace nc::compact

@@ -22,6 +22,16 @@ CacheKey cache_key(FrameType kind, const CodecSpec& spec,
   return {h.lo, h.hi};
 }
 
+CacheKey signature_ref_key(const std::uint8_t* payload, std::size_t len) {
+  core::Fnv128 fnv;
+  fnv.update(
+      static_cast<std::uint8_t>(FrameType::kSignaturePublishRequest));
+  fnv.update_u64(len);
+  fnv.update_bytes(payload, len);
+  const core::Hash128 h = fnv.digest();
+  return {h.lo, h.hi};
+}
+
 ArtifactCache::ArtifactCache(std::size_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 

@@ -48,6 +48,12 @@ struct CacheKeyHash {
 CacheKey cache_key(FrameType kind, const CodecSpec& spec,
                    const std::uint8_t* payload, std::size_t len);
 
+/// Content address of a published signature stream: digest of the publish
+/// payload bytes under the signature kind tag (no codec spec -- signatures
+/// are codec-independent). Clients derive the same ref from the same
+/// expected stream, making publishes idempotent.
+CacheKey signature_ref_key(const std::uint8_t* payload, std::size_t len);
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;

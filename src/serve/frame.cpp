@@ -116,6 +116,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kShuttingDown: return "server shutting down";
     case ErrorCode::kDeadlineExceeded: return "request deadline exceeded";
     case ErrorCode::kSlowClient: return "connection below minimum progress";
+    case ErrorCode::kUnknownSignature: return "unknown signature reference";
   }
   return "unknown error";
 }
@@ -479,6 +480,101 @@ SessionGrant parse_session_grant(const std::vector<std::uint8_t>& payload) {
   grant.inflight_cap = in.u32();
   in.expect_end();
   return grant;
+}
+
+std::vector<std::uint8_t> to_payload(const SignaturePublish& pub) {
+  if (pub.expected.size() !=
+      static_cast<std::uint64_t>(pub.outputs_per_cycle) * pub.cycles)
+    throw std::invalid_argument("signature publish: geometry mismatch");
+  std::ostringstream out;
+  std::vector<std::uint8_t> head;
+  put_le32(head, pub.outputs_per_cycle);
+  put_le64(head, pub.cycles);
+  out.write(reinterpret_cast<const char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+  bits::save_trits(out, pub.expected);
+  return to_bytes(out);
+}
+
+SignaturePublish parse_signature_publish(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadStream in(payload);
+  SignaturePublish pub;
+  pub.outputs_per_cycle = in.u32();
+  pub.cycles = in.u64();
+  pub.expected = bits::load_trits(in.stream());
+  in.expect_end();
+  if (pub.outputs_per_cycle == 0)
+    throw std::runtime_error("signature publish: zero outputs per cycle");
+  if (pub.expected.size() !=
+      static_cast<std::uint64_t>(pub.outputs_per_cycle) * pub.cycles)
+    throw std::runtime_error("signature publish: geometry mismatch");
+  return pub;
+}
+
+std::vector<std::uint8_t> signature_ref_payload(const SignatureRef& ref) {
+  std::vector<std::uint8_t> out;
+  put_le64(out, ref.lo);
+  put_le64(out, ref.hi);
+  return out;
+}
+
+SignatureRef parse_signature_ref(const std::vector<std::uint8_t>& payload) {
+  PayloadStream in(payload);
+  SignatureRef ref;
+  ref.lo = in.u64();
+  ref.hi = in.u64();
+  in.expect_end();
+  return ref;
+}
+
+std::vector<std::uint8_t> to_payload(const SignatureCheck& chk) {
+  std::ostringstream out;
+  std::vector<std::uint8_t> head;
+  put_le64(head, chk.ref.lo);
+  put_le64(head, chk.ref.hi);
+  out.write(reinterpret_cast<const char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+  bits::save_trits(out, chk.observed);
+  return to_bytes(out);
+}
+
+SignatureCheck parse_signature_check(const std::vector<std::uint8_t>& payload) {
+  PayloadStream in(payload);
+  SignatureCheck chk;
+  chk.ref.lo = in.u64();
+  chk.ref.hi = in.u64();
+  chk.observed = bits::load_trits(in.stream());
+  in.expect_end();
+  return chk;
+}
+
+std::vector<std::uint8_t> check_verdict_payload(
+    const compact::CheckVerdict& verdict) {
+  std::vector<std::uint8_t> out;
+  out.push_back(verdict.pass ? 1 : 0);
+  put_le64(out, verdict.cycles);
+  put_le64(out, verdict.mismatched_cycles);
+  put_le64(out, verdict.mismatched_outputs);
+  put_le64(out, verdict.unknown_outputs);
+  put_le64(out, verdict.first_mismatch_cycle);
+  return out;
+}
+
+compact::CheckVerdict parse_check_verdict(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadStream in(payload);
+  compact::CheckVerdict v;
+  const std::uint8_t pass = in.u8();
+  if (pass > 1) throw std::runtime_error("check verdict: bad pass flag");
+  v.pass = pass == 1;
+  v.cycles = in.u64();
+  v.mismatched_cycles = in.u64();
+  v.mismatched_outputs = in.u64();
+  v.unknown_outputs = in.u64();
+  v.first_mismatch_cycle = in.u64();
+  in.expect_end();
+  return v;
 }
 
 std::vector<std::uint8_t> error_payload(ErrorCode code,

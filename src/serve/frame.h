@@ -61,6 +61,7 @@
 #include "bits/test_set.h"
 #include "bits/trit_vector.h"
 #include "codec/nine_coded.h"
+#include "compact/compactor.h"
 #include "core/cancel.h"
 #include "core/crc.h"
 #include "serve/transport.h"
@@ -91,6 +92,15 @@ enum class FrameType : std::uint8_t {
   kStatsRequest,
   kStatsReply,
   kError,  // typed error reply (ErrorCode + detail text)
+  // Response-side signature checking (compact/): a tester publishes the
+  // expected X-compacted response stream of a session once, then devices
+  // upload only their m-bits-per-cycle signatures for a server-side
+  // verdict -- response bandwidth drops with the same ratio the compactor
+  // achieves on chip.
+  kSignaturePublishRequest,  // expected stream -> content-addressed ref
+  kSignaturePublishReply,    // the assigned SignatureRef
+  kSignatureCheckRequest,    // ref + observed stream
+  kSignatureCheckReply,      // serialized compact::CheckVerdict
 };
 
 /// Wire error codes carried by kError frames. The first group is emitted by
@@ -114,6 +124,7 @@ enum class ErrorCode : std::uint16_t {
   kShuttingDown,    // server is stopping
   kDeadlineExceeded,  // the request's deadline expired before its reply
   kSlowClient,      // connection dropped: peer below minimum progress rate
+  kUnknownSignature,  // check names a signature ref no tier has
 };
 
 const char* to_string(ErrorCode code) noexcept;
@@ -248,6 +259,51 @@ struct SessionGrant {
 };
 std::vector<std::uint8_t> session_grant_payload(const SessionGrant& grant);
 SessionGrant parse_session_grant(const std::vector<std::uint8_t>& payload);
+
+/// Signature publish request: geometry plus the expected compacted trit
+/// stream (`expected.size() == outputs_per_cycle * cycles`; X trits mark
+/// outputs the tester cannot predict). The reply is the stream's content
+/// address, so publishing is idempotent and any client that can derive the
+/// same expected stream derives the same ref.
+struct SignaturePublish {
+  std::uint32_t outputs_per_cycle = 0;
+  std::uint64_t cycles = 0;
+  bits::TritVector expected;
+};
+
+std::vector<std::uint8_t> to_payload(const SignaturePublish& pub);
+SignaturePublish parse_signature_publish(
+    const std::vector<std::uint8_t>& payload);
+
+/// Content address of a published signature stream: the 128-bit digest of
+/// its publish payload (computed by `signature_ref`, cache.h).
+struct SignatureRef {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const SignatureRef&) const = default;
+};
+
+std::vector<std::uint8_t> signature_ref_payload(const SignatureRef& ref);
+SignatureRef parse_signature_ref(const std::vector<std::uint8_t>& payload);
+
+/// Signature check request: a published ref plus the device's observed
+/// signature stream (same geometry as the published one).
+struct SignatureCheck {
+  SignatureRef ref;
+  bits::TritVector observed;
+};
+
+std::vector<std::uint8_t> to_payload(const SignatureCheck& chk);
+SignatureCheck parse_signature_check(const std::vector<std::uint8_t>& payload);
+
+/// Check reply payload: the verdict of compact::check_signatures, byte for
+/// byte -- a client running the shared routine locally builds the exact
+/// reply the server sends.
+std::vector<std::uint8_t> check_verdict_payload(
+    const compact::CheckVerdict& verdict);
+compact::CheckVerdict parse_check_verdict(
+    const std::vector<std::uint8_t>& payload);
 
 /// Error payload: wire code + human-readable detail.
 std::vector<std::uint8_t> error_payload(ErrorCode code,

@@ -6,9 +6,13 @@
 #include <thread>
 
 #include "bits/test_set.h"
+#include "circuit/generator.h"
+#include "compact/analyzer.h"
 #include "core/cancel.h"
+#include "serve/cache.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "sim/fault.h"
 
 namespace nc::serve {
 
@@ -115,6 +119,8 @@ class Client {
           case RetryingClient::Outcome::Status::kTypedError:
             if (outcome.error == ErrorCode::kDecodeFailed)
               ++stats_.decode_failures;
+            if (outcome.error == ErrorCode::kUnknownSignature)
+              ++stats_.signature_unknowns;
             // A terminal typed error still resolves the request.
             ++stats_.requests;
             break;
@@ -195,6 +201,7 @@ void LoadgenStats::merge(const LoadgenStats& other) noexcept {
   hedge_wins += other.hedge_wins;
   reconnects += other.reconnects;
   deadline_rejections += other.deadline_rejections;
+  signature_unknowns += other.signature_unknowns;
   seconds = std::max(seconds, other.seconds);
 }
 
@@ -238,10 +245,104 @@ std::vector<Workload> build_workloads(const LoadgenConfig& config) {
   return pool;
 }
 
+SignatureWorkloads build_signature_workloads(const LoadgenConfig& config) {
+  // A deterministic scan circuit wide enough that the Steiner code
+  // actually compacts (32 response bits -> ~15 signature bits per cycle).
+  circuit::GeneratorConfig gc;
+  gc.num_inputs = 8;
+  gc.num_flops = 24;
+  gc.num_gates = 150;
+  gc.num_outputs = 8;
+  gc.seed = 17;
+  const circuit::Netlist netlist = circuit::generate_circuit(gc);
+
+  const bits::TestSet patterns =
+      random_test_set(16, netlist.pattern_width(), 0.25,
+                      config.seed * 52361 + 1);
+
+  compact::XCodeSpec spec;
+  spec.kind = compact::XCodeKind::kSteiner;
+  spec.inputs = netlist.response_width();
+  compact::AnalyzerConfig acfg;
+  acfg.x_density = config.signature_x_density;
+  acfg.x_seed = config.seed;
+  acfg.with_misr = false;
+  const compact::ResponseAnalyzer analyzer(netlist,
+                                           compact::XCode::build(spec), acfg);
+
+  SignaturePublish pub;
+  pub.outputs_per_cycle =
+      static_cast<std::uint32_t>(analyzer.compactor().code().outputs());
+  pub.cycles = patterns.pattern_count();
+  pub.expected = analyzer.expected_signatures(patterns);
+
+  SignatureWorkloads out;
+  out.publish.request_type = FrameType::kSignaturePublishRequest;
+  out.publish.request_payload = to_payload(pub);
+  out.publish.expected_type = FrameType::kSignaturePublishReply;
+  const CacheKey key = signature_ref_key(out.publish.request_payload.data(),
+                                         out.publish.request_payload.size());
+  const SignatureRef ref{key.lo, key.hi};
+  out.publish.expected_payload = signature_ref_payload(ref);
+
+  const std::vector<sim::Fault> faults = sim::full_fault_list(netlist);
+  out.checks.reserve(config.signature_checks);
+  for (std::size_t i = 0; i < config.signature_checks; ++i) {
+    // Device 0 is fault-free (its check must pass); the rest carry sampled
+    // stuck-at faults whose verdicts the server must reproduce exactly.
+    const sim::Fault* fault =
+        i == 0 || faults.empty() ? nullptr : &faults[(i - 1) % faults.size()];
+    SignatureCheck chk;
+    chk.ref = ref;
+    chk.observed =
+        analyzer.observed_signatures(patterns, fault, config.seed * 77 + i);
+    Workload w;
+    w.request_type = FrameType::kSignatureCheckRequest;
+    w.request_payload = to_payload(chk);
+    w.expected_type = FrameType::kSignatureCheckReply;
+    // The reference verdict runs the very routine the server runs; a reply
+    // differing in one byte is a real divergence, not noise.
+    w.expected_payload = check_verdict_payload(compact::check_signatures(
+        pub.expected, chk.observed, pub.outputs_per_cycle));
+    out.checks.push_back(std::move(w));
+  }
+  return out;
+}
+
+namespace {
+
+/// Publishes the signature stream before any client starts, through the
+/// same retrying machinery the clients use (the transport may be faulty).
+/// A failed publish is not fatal here: the resulting kUnknownSignature
+/// replies fail the clean() gate, which is the honest outcome.
+void publish_signatures(const LoadgenConfig& config, const Workload& publish,
+                        const RetryingClient::Connect& connect) {
+  RetryPolicy policy;
+  policy.max_attempts = config.max_retransmits + 1;
+  policy.initial_backoff = config.retransmit_timeout;
+  policy.backoff_cap = config.retransmit_timeout * 8;
+  policy.seed = config.seed * 912367;
+  policy.clock = config.clock;
+  RetryingClient client(connect, policy);
+  (void)client.call(publish.request_type, publish.request_payload,
+                    config.deadline);
+  client.close();
+}
+
+}  // namespace
+
 LoadgenStats run_loadgen(
     const LoadgenConfig& config,
     const std::function<std::unique_ptr<ByteStream>()>& connect) {
-  const std::vector<Workload> pool = build_workloads(config);
+  std::vector<Workload> pool = build_workloads(config);
+  if (config.signature_checks > 0) {
+    SignatureWorkloads sig = build_signature_workloads(config);
+    publish_signatures(config, sig.publish, connect);
+    // Republishing from the pool is idempotent (content-addressed), so the
+    // publish itself stays under load too.
+    pool.push_back(std::move(sig.publish));
+    for (Workload& w : sig.checks) pool.push_back(std::move(w));
+  }
   std::vector<LoadgenStats> results(config.clients);
   std::vector<std::thread> threads;
   threads.reserve(config.clients);

@@ -74,6 +74,17 @@ struct LoadgenConfig {
   /// Time source for the retry machinery; null = real steady clock.
   core::Clock* clock = nullptr;
   std::uint64_t seed = 1;
+  /// Response-side signature workloads: when nonzero, the expected
+  /// X-compacted response stream of a small scan circuit is published
+  /// serially up front, then `signature_checks` check requests (device
+  /// signatures of a fault-free machine and of sampled stuck-at faults)
+  /// join the workload pool. Expected check replies are precomputed with
+  /// the shared compact::check_signatures, so verification stays
+  /// byte-identity -- the server must return exactly the verdict a local
+  /// analyzer computes.
+  std::size_t signature_checks = 0;
+  /// Environment X-overlay density on the signature circuit's responses.
+  double signature_x_density = 0.02;
 };
 
 struct LoadgenStats {
@@ -91,13 +102,17 @@ struct LoadgenStats {
   std::uint64_t hedge_wins = 0;   // requests resolved after their hedge
   std::uint64_t reconnects = 0;   // transport faults survived via factory
   std::uint64_t deadline_rejections = 0;  // kDeadlineExceeded replies seen
+  std::uint64_t signature_unknowns = 0;  // kUnknownSignature replies seen
   double seconds = 0.0;
   double throughput_rps() const noexcept {
     return seconds <= 0.0 ? 0.0 : static_cast<double>(requests) / seconds;
   }
-  /// The soak acceptance gate: every request resolved, byte-identical.
+  /// The soak acceptance gate: every request resolved, byte-identical. A
+  /// kUnknownSignature reply means a check raced or outlived its publish
+  /// -- a protocol ordering bug, so it fails the gate too.
   bool clean() const noexcept {
-    return byte_mismatches == 0 && duplicates == 0 && unresolved == 0;
+    return byte_mismatches == 0 && duplicates == 0 && unresolved == 0 &&
+           signature_unknowns == 0;
   }
   void merge(const LoadgenStats& other) noexcept;
 };
@@ -122,5 +137,15 @@ struct Workload {
   std::vector<std::uint8_t> expected_payload;
 };
 std::vector<Workload> build_workloads(const LoadgenConfig& config);
+
+/// Signature workload builder (exposed for tests/bench): one publish of
+/// the expected compacted stream of a deterministic generated scan
+/// circuit, plus `config.signature_checks` check workloads whose expected
+/// replies are serialized compact::check_signatures verdicts.
+struct SignatureWorkloads {
+  Workload publish;
+  std::vector<Workload> checks;
+};
+SignatureWorkloads build_signature_workloads(const LoadgenConfig& config);
 
 }  // namespace nc::serve

@@ -72,6 +72,12 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
       slow_client_disconnects.load(std::memory_order_relaxed);
   s.idle_disconnects = idle_disconnects.load(std::memory_order_relaxed);
   s.write_timeouts = write_timeouts.load(std::memory_order_relaxed);
+  s.signature_publishes = signature_publishes.load(std::memory_order_relaxed);
+  s.signature_checks = signature_checks.load(std::memory_order_relaxed);
+  s.signature_mismatches =
+      signature_mismatches.load(std::memory_order_relaxed);
+  s.signature_unknown_refs =
+      signature_unknown_refs.load(std::memory_order_relaxed);
   s.request_latency = request_latency.snapshot();
   s.batch_latency = batch_latency.snapshot();
   return s;
@@ -132,6 +138,14 @@ report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
     t["idle_disconnects"] = report::Json(m.idle_disconnects);
     t["write_timeouts"] = report::Json(m.write_timeouts);
     j["timing"] = std::move(t);
+  }
+  {
+    report::Json s = report::Json::object();
+    s["publishes"] = report::Json(m.signature_publishes);
+    s["checks"] = report::Json(m.signature_checks);
+    s["mismatches"] = report::Json(m.signature_mismatches);
+    s["unknown_refs"] = report::Json(m.signature_unknown_refs);
+    j["signatures"] = std::move(s);
   }
   j["request_latency"] = histogram_json(m.request_latency);
   j["batch_latency"] = histogram_json(m.batch_latency);

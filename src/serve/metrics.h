@@ -102,6 +102,13 @@ class Metrics {
   std::atomic<std::uint64_t> slow_client_disconnects{0};  // below min bps
   std::atomic<std::uint64_t> idle_disconnects{0};         // idle timeout
   std::atomic<std::uint64_t> write_timeouts{0};  // reply writes cut short
+  // Response-side signature checking (compact/). A publish stores the
+  // expected compacted stream under its content address; a check compares
+  // an uploaded device signature against it server-side.
+  std::atomic<std::uint64_t> signature_publishes{0};
+  std::atomic<std::uint64_t> signature_checks{0};
+  std::atomic<std::uint64_t> signature_mismatches{0};    // verdicts failing
+  std::atomic<std::uint64_t> signature_unknown_refs{0};  // kUnknownSignature
 
   LatencyHistogram request_latency;  // accept -> reply written
   LatencyHistogram batch_latency;    // batch formation -> all replies built
@@ -131,6 +138,10 @@ class Metrics {
     std::uint64_t slow_client_disconnects = 0;
     std::uint64_t idle_disconnects = 0;
     std::uint64_t write_timeouts = 0;
+    std::uint64_t signature_publishes = 0;
+    std::uint64_t signature_checks = 0;
+    std::uint64_t signature_mismatches = 0;
+    std::uint64_t signature_unknown_refs = 0;
     LatencyHistogram::Snapshot request_latency;
     LatencyHistogram::Snapshot batch_latency;
 

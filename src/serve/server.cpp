@@ -292,6 +292,87 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       send_frame(conn, reply);
       return;
     }
+    // Signature publish/check are handled inline on the reader thread like
+    // Stats: the work is a linear scan of an already-size-bounded payload,
+    // far below a 9C encode/decode -- batching would only add latency.
+    case FrameType::kSignaturePublishRequest: {
+      try {
+        (void)parse_signature_publish(frame.payload);  // validate geometry
+      } catch (const std::exception& e) {
+        metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, frame.seq, ErrorCode::kBadPayload, e.what());
+        return;
+      }
+      const CacheKey key =
+          signature_ref_key(frame.payload.data(), frame.payload.size());
+      cache_.put(key, frame.payload);
+      if (store::ArtifactTier* tier = store_tier(); tier != nullptr)
+        store_write_through(store::Key{key.lo, key.hi}, frame.payload);
+      metrics_.signature_publishes.fetch_add(1, std::memory_order_relaxed);
+      Frame reply;
+      reply.type = FrameType::kSignaturePublishReply;
+      reply.seq = frame.seq;
+      reply.payload = signature_ref_payload(SignatureRef{key.lo, key.hi});
+      send_frame(conn, reply);
+      return;
+    }
+    case FrameType::kSignatureCheckRequest: {
+      SignatureCheck chk;
+      try {
+        chk = parse_signature_check(frame.payload);
+      } catch (const std::exception& e) {
+        metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, frame.seq, ErrorCode::kBadPayload, e.what());
+        return;
+      }
+      // Resolve the published stream through the same tiers as artifacts:
+      // L1, then the persistent store (promoting a hit), else unknown.
+      const CacheKey key{chk.ref.lo, chk.ref.hi};
+      std::vector<std::uint8_t> published;
+      bool found = false;
+      if (auto hit = cache_.get(key)) {
+        published = std::move(*hit);
+        found = true;
+      } else if (store::ArtifactTier* tier = store_tier(); tier != nullptr) {
+        try {
+          store::GetResult r = tier->get(store::Key{key.lo, key.hi});
+          if (r.status == store::GetStatus::kHit) {
+            published = std::move(r.payload);
+            cache_.put(key, published);
+            found = true;
+          } else if (r.status == store::GetStatus::kCorrupt) {
+            metrics_.revalidation_failures.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+        }
+      }
+      if (!found) {
+        metrics_.signature_unknown_refs.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        send_error(conn, frame.seq, ErrorCode::kUnknownSignature,
+                   "signature ref " + key.hex() + " not published");
+        return;
+      }
+      try {
+        const SignaturePublish pub = parse_signature_publish(published);
+        const compact::CheckVerdict verdict = compact::check_signatures(
+            pub.expected, chk.observed, pub.outputs_per_cycle);
+        metrics_.signature_checks.fetch_add(1, std::memory_order_relaxed);
+        if (!verdict.pass)
+          metrics_.signature_mismatches.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        Frame reply;
+        reply.type = FrameType::kSignatureCheckReply;
+        reply.seq = frame.seq;
+        reply.payload = check_verdict_payload(verdict);
+        send_frame(conn, reply);
+      } catch (const std::exception& e) {
+        metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+        send_error(conn, frame.seq, ErrorCode::kBadPayload, e.what());
+      }
+      return;
+    }
     case FrameType::kEncodeRequest:
     case FrameType::kDecodeRequest: {
       Request req;

@@ -44,6 +44,24 @@ void Misr::absorb(const TritVector& slice) {
   state_ ^= input;
 }
 
+void Misr::absorb_masked(const TritVector& slice) {
+  if (slice.size() > width_)
+    throw std::invalid_argument("MISR slice wider than the register");
+  std::uint64_t input = 0;
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    const Trit t = slice.get(i);
+    if (!bits::is_care(t)) {
+      poisoned_ = true;
+      continue;
+    }
+    if (t == Trit::One) input |= 1ull << i;
+  }
+  const bool feedback_bit = (state_ >> (width_ - 1)) & 1ull;
+  state_ = (state_ << 1) & mask_;
+  if (feedback_bit) state_ ^= feedback_;
+  state_ ^= input;
+}
+
 namespace {
 
 std::uint64_t run_signature(const circuit::Netlist& netlist,

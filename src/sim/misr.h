@@ -28,18 +28,33 @@ class Misr {
 
   unsigned width() const noexcept { return width_; }
   std::uint64_t signature() const noexcept { return state_; }
-  void reset(std::uint64_t seed = 0) noexcept { state_ = seed; }
+  void reset(std::uint64_t seed = 0) noexcept {
+    state_ = seed;
+    poisoned_ = false;
+  }
 
   /// Absorbs one response word: `slice` must be fully specified and at most
   /// `width` trits wide (bit i of the slice XORs into state bit i).
   /// Throws std::invalid_argument on X or oversize input.
   void absorb(const bits::TritVector& slice);
 
+  /// X-masking absorb: care trits behave exactly like absorb(); an X trit
+  /// contributes nothing to the state but permanently sets poisoned().
+  /// The register keeps shifting so pattern alignment is preserved, but a
+  /// poisoned signature can no longer support a pass/fail verdict -- the
+  /// MISR has no per-bit X story, which is exactly the weakness X-codes
+  /// fix. Still throws on an oversize slice.
+  void absorb_masked(const bits::TritVector& slice);
+
+  /// True once any X reached absorb_masked() since the last reset().
+  bool poisoned() const noexcept { return poisoned_; }
+
  private:
   unsigned width_;
   std::uint64_t feedback_;
   std::uint64_t mask_;
   std::uint64_t state_ = 0;
+  bool poisoned_ = false;
 };
 
 /// Signature of a full test session: simulates every (fully specified)

@@ -70,7 +70,23 @@ expect_usage_error fleet --bench "$DIR/c.bench" --tests "$DIR/atpg.tests" \
 "$NINEC" compress --in "$DIR/td.tests" --out "$DIR/ta.9c" --shards auto --jobs auto
 "$NINEC" decompress --in "$DIR/ta.9c" --out "$DIR/backa.tests" --jobs auto
 
+# The closed tester loop shares the strict parsers: ratios outside [0,1],
+# garbage, a zero output count and an unknown code kind all exit 2.
+expect_usage_error roundtrip --bench "$DIR/c.bench" --x-density 1.5
+expect_usage_error roundtrip --bench "$DIR/c.bench" --x-density abc
+expect_usage_error roundtrip --bench "$DIR/c.bench" --compact-outputs 0
+expect_usage_error roundtrip --bench "$DIR/c.bench" --xcode nope
+
 echo "cli strict parsing OK"
+
+# Closed tester loop: identity compaction is the uncompacted tester, so the
+# zero-loss gate (exit 0) must hold, and the JSON report lands.
+"$NINEC" roundtrip --bench "$DIR/c.bench" --tests "$DIR/atpg.tests" \
+  --xcode identity --json "$DIR/rt.json"
+test -s "$DIR/rt.json"
+grep -q '"masked_by_compaction": 0' "$DIR/rt.json"
+
+echo "cli roundtrip loop OK"
 
 # Fleet run with a checkpoint, killed after 2 batches, then resumed: the
 # resumed run must report the same deterministic fingerprint as an

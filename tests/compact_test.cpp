@@ -1,0 +1,393 @@
+#include "compact/compactor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "atpg/atpg.h"
+#include "bits/test_set.h"
+#include "bits/trit_vector.h"
+#include "circuit/generator.h"
+#include "circuit/samples.h"
+#include "compact/analyzer.h"
+#include "compact/xcode.h"
+#include "sim/fault.h"
+#include "sim/fault_sim.h"
+
+namespace nc::compact {
+namespace {
+
+using bits::TestSet;
+using bits::Trit;
+using bits::TritVector;
+using sim::Val64;
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+TritVector random_trits(std::size_t n, std::uint64_t seed,
+                        unsigned x_percent) {
+  TritVector v(n, Trit::Zero);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = splitmix(seed);
+    v.set(i, r % 100 < x_percent ? Trit::X
+                                 : (r >> 32) & 1 ? Trit::One : Trit::Zero);
+  }
+  return v;
+}
+
+/// Independent reference: output r is the XOR of its column-selected
+/// inputs, X if any of them is X. This is the definition the Compactor
+/// must implement word-parallel.
+TritVector reference_compact(const XCode& code, const TritVector& in) {
+  TritVector out(code.outputs(), Trit::Zero);
+  for (std::size_t r = 0; r < code.outputs(); ++r) {
+    bool parity = false, any_x = false;
+    for (std::size_t c = 0; c < code.inputs(); ++c) {
+      if (!code.bit(r, c)) continue;
+      if (in.get(c) == Trit::X)
+        any_x = true;
+      else
+        parity ^= in.get(c) == Trit::One;
+    }
+    out.set(r, any_x ? Trit::X : parity ? Trit::One : Trit::Zero);
+  }
+  return out;
+}
+
+TEST(CompactorUnit, MatchesReferenceDefinition) {
+  const Compactor compactor(XCode::steiner(20));
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const TritVector in = random_trits(20, seed * 31 + 7, seed % 2 ? 30 : 0);
+    EXPECT_EQ(compactor.compact(in),
+              reference_compact(compactor.code(), in))
+        << in.to_string();
+  }
+}
+
+TEST(CompactorUnit, RejectsWrongWidth) {
+  const Compactor compactor(XCode::steiner(10));
+  EXPECT_THROW(compactor.compact(TritVector(9, Trit::Zero)),
+               std::invalid_argument);
+}
+
+TEST(CompactorUnit, StreamIsPerCycleConcatenation) {
+  const Compactor compactor(XCode::steiner(12));
+  TritVector stream;
+  std::vector<TritVector> cycles;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    cycles.push_back(random_trits(12, i + 100, 20));
+    stream.append(cycles.back());
+  }
+  const TritVector sig = compactor.compact_stream(stream, 5);
+  ASSERT_EQ(sig.size(), 5 * compactor.code().outputs());
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(sig.slice(i * compactor.code().outputs(),
+                        compactor.code().outputs()),
+              compactor.compact(cycles[i]))
+        << "cycle " << i;
+  EXPECT_THROW(compactor.compact_stream(stream, 4), std::invalid_argument);
+}
+
+TEST(CompactorUnit, DualRailMatchesScalar) {
+  const Compactor compactor(XCode::steiner(16));
+  const std::size_t n = compactor.code().inputs();
+  const std::size_t m = compactor.code().outputs();
+  // 64 random response cycles, packed one Val64 per input line.
+  std::vector<TritVector> cycles;
+  for (std::uint64_t p = 0; p < 64; ++p)
+    cycles.push_back(random_trits(n, p * 7 + 3, 25));
+  std::vector<Val64> in(n), out(m);
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t p = 0; p < 64; ++p) {
+      if (cycles[p].get(c) == Trit::One) in[c].one |= 1ull << p;
+      if (cycles[p].get(c) == Trit::Zero) in[c].zero |= 1ull << p;
+    }
+  compactor.compact64(in.data(), out.data());
+  for (std::size_t p = 0; p < 64; ++p) {
+    const TritVector expect = compactor.compact(cycles[p]);
+    for (std::size_t r = 0; r < m; ++r) {
+      const Trit got = (out[r].one >> p) & 1   ? Trit::One
+                       : (out[r].zero >> p) & 1 ? Trit::Zero
+                                                : Trit::X;
+      EXPECT_EQ(got, expect.get(r)) << "pattern " << p << " output " << r;
+    }
+  }
+}
+
+TEST(CheckSignatures, CleanPassAndCounts) {
+  const TritVector expected = TritVector::from_string("0110X101");
+  const CheckVerdict v = check_signatures(expected, expected, 4);
+  EXPECT_TRUE(v.pass);
+  EXPECT_EQ(v.cycles, 2u);
+  EXPECT_EQ(v.mismatched_cycles, 0u);
+  EXPECT_EQ(v.mismatched_outputs, 0u);
+  EXPECT_EQ(v.unknown_outputs, 1u);  // the X position compares unknown
+  EXPECT_EQ(v.first_mismatch_cycle, CheckVerdict::kNoMismatch);
+}
+
+TEST(CheckSignatures, ProvableMismatchOnly) {
+  const TritVector expected = TritVector::from_string("01X0");
+  // Position 0 differs provably; position 2 is X-vs-1 (uncomparable).
+  const TritVector observed = TritVector::from_string("1110");
+  const CheckVerdict v = check_signatures(expected, observed, 2);
+  EXPECT_FALSE(v.pass);
+  EXPECT_EQ(v.cycles, 2u);
+  EXPECT_EQ(v.mismatched_cycles, 1u);
+  EXPECT_EQ(v.mismatched_outputs, 1u);
+  EXPECT_EQ(v.unknown_outputs, 1u);
+  EXPECT_EQ(v.first_mismatch_cycle, 0u);
+}
+
+TEST(CheckSignatures, FirstMismatchCycleIsEarliest) {
+  const TritVector expected = TritVector::from_string("000000");
+  const TritVector observed = TritVector::from_string("000101");
+  const CheckVerdict v = check_signatures(expected, observed, 2);
+  EXPECT_EQ(v.first_mismatch_cycle, 1u);
+  EXPECT_EQ(v.mismatched_cycles, 2u);
+  EXPECT_EQ(v.mismatched_outputs, 2u);
+}
+
+TEST(CheckSignatures, RejectsBadGeometry) {
+  const TritVector a = TritVector::from_string("0101");
+  EXPECT_THROW(check_signatures(a, a, 0), std::invalid_argument);
+  EXPECT_THROW(check_signatures(a, a, 3), std::invalid_argument);
+  EXPECT_THROW(check_signatures(a, TritVector::from_string("01"), 2),
+               std::invalid_argument);
+}
+
+TEST(Overlay, DensityNestsAndLands) {
+  // The X set at a lower density must be a subset of the set at a higher
+  // one -- the structural basis of monotone degradation.
+  std::size_t hits_low = 0, hits_high = 0;
+  for (std::uint64_t p = 0; p < 40; ++p)
+    for (std::uint64_t pos = 0; pos < 200; ++pos) {
+      const bool low = overlay_is_x(9, p, pos, 0.05);
+      const bool high = overlay_is_x(9, p, pos, 0.3);
+      if (low) {
+        EXPECT_TRUE(high) << p << ":" << pos;
+      }
+      hits_low += low;
+      hits_high += high;
+    }
+  EXPECT_NEAR(static_cast<double>(hits_low) / 8000.0, 0.05, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits_high) / 8000.0, 0.3, 0.03);
+  EXPECT_FALSE(overlay_is_x(9, 1, 2, 0.0));
+  EXPECT_TRUE(overlay_is_x(9, 1, 2, 1.0));
+}
+
+// ------------------------------------------------------------- analyzer
+
+TEST(Analyzer, IdentityCodeMatchesFaultSimulator) {
+  // With the pass-through code and no overlay, "compacted" IS the raw
+  // tester: every verdict must agree with the fault simulator.
+  const auto nl = circuit::samples::s27();
+  const TestSet patterns =
+      atpg::generate_tests(nl, atpg::AtpgConfig{}).tests;
+  const auto faults = sim::full_fault_list(nl);
+
+  AnalyzerConfig cfg;
+  cfg.with_misr = false;
+  const ResponseAnalyzer analyzer(nl, XCode::identity(nl.response_width()),
+                                  cfg);
+  const AnalyzerReport report = analyzer.analyze(patterns, faults);
+
+  sim::FaultSimulator fsim(nl);
+  const sim::FaultSimResult ref = fsim.run(patterns, faults);
+
+  ASSERT_EQ(report.verdicts.size(), faults.size());
+  EXPECT_EQ(report.masked_by_compaction, 0u);
+  EXPECT_EQ(report.tolerance_violations, 0u);
+  EXPECT_EQ(report.detected_uncompacted, ref.detected_count());
+  EXPECT_EQ(report.detected_compacted, ref.detected_count());
+  for (std::size_t f = 0; f < faults.size(); ++f)
+    EXPECT_EQ(report.verdicts[f] == FaultVerdict::kDetected,
+              ref.detected[f])
+        << faults[f].to_string(nl);
+}
+
+TEST(Analyzer, SteinerNoUnknownsNoLoss) {
+  // Fully specified stimulus + zero overlay: no X anywhere, and on this
+  // fixed setup the weight-3 code loses nothing. A generated scan circuit
+  // gives a response wide enough (32) for real compaction; the bundled
+  // toys are 4 and 2 bits wide.
+  circuit::GeneratorConfig gcfg;
+  gcfg.num_inputs = 8;
+  gcfg.num_flops = 24;
+  gcfg.num_gates = 150;
+  gcfg.num_outputs = 8;
+  gcfg.seed = 17;
+  const circuit::Netlist nl = circuit::generate_circuit(gcfg);
+  const TestSet patterns = atpg::random_fill(
+      atpg::generate_tests(nl, atpg::AtpgConfig{}).tests, 11);
+  const auto faults = sim::full_fault_list(nl);
+
+  AnalyzerConfig cfg;
+  const ResponseAnalyzer analyzer(nl, XCode::steiner(nl.response_width()),
+                                  cfg);
+  const AnalyzerReport report = analyzer.analyze(patterns, faults);
+
+  EXPECT_EQ(report.total_x, 0u);
+  EXPECT_EQ(report.max_cycle_x, 0u);
+  EXPECT_EQ(report.cycles_over_tolerance, 0u);
+  EXPECT_EQ(report.tolerance_violations, 0u);
+  EXPECT_EQ(report.masked_by_compaction, 0u);
+  EXPECT_DOUBLE_EQ(report.coverage_loss_percent(), 0.0);
+  EXPECT_GT(report.compaction_ratio(), 1.0);
+
+  // MISR side by side: with zero X it renders verdicts, and an X-free run
+  // never poisons the reference.
+  EXPECT_TRUE(report.misr_enabled);
+  EXPECT_FALSE(report.misr_good_poisoned);
+  EXPECT_EQ(report.misr_no_verdict, 0u);
+  // The MISR may alias the odd fault (16-bit signature, ~2^-16 per fault);
+  // it must land within a hair of the raw baseline, never above it.
+  EXPECT_LE(report.misr_detected, report.detected_uncompacted);
+  EXPECT_GE(report.misr_detected + 5, report.detected_uncompacted);
+}
+
+/// Shared sweep body: nested overlay densities on one circuit.
+void sweep_densities(const circuit::Netlist& nl, const TestSet& patterns) {
+  const auto faults = sim::full_fault_list(nl);
+  const double densities[] = {0.0, 0.001, 0.01, 0.05, 0.2};
+
+  std::size_t prev_unc = faults.size() + 1, prev_cmp = faults.size() + 1;
+  std::uint64_t prev_x = 0;
+  for (const double d : densities) {
+    AnalyzerConfig cfg;
+    cfg.x_density = d;
+    cfg.x_seed = 5;  // fixed across the sweep so the X sets nest
+    cfg.with_misr = false;
+    const ResponseAnalyzer analyzer(nl, XCode::steiner(nl.response_width()),
+                                    cfg);
+    const AnalyzerReport r = analyzer.analyze(patterns, faults);
+
+    // The tolerance self-check is the theorem: a masked fault with a
+    // single-bit diff inside a within-tolerance cycle is impossible.
+    EXPECT_EQ(r.tolerance_violations, 0u) << "density " << d;
+    // Nested X sets => both coverages degrade monotonically.
+    EXPECT_LE(r.detected_uncompacted, prev_unc) << "density " << d;
+    EXPECT_LE(r.detected_compacted, prev_cmp) << "density " << d;
+    EXPECT_GE(r.total_x, prev_x) << "density " << d;
+    // Compaction can only lose coverage, never invent it.
+    EXPECT_LE(r.detected_compacted, r.detected_uncompacted);
+    if (r.cycles_over_tolerance == 0) {
+      EXPECT_EQ(r.masked_by_compaction, 0u)
+          << "density " << d << ": loss with every cycle within t";
+    }
+    prev_unc = r.detected_uncompacted;
+    prev_cmp = r.detected_compacted;
+    prev_x = r.total_x;
+  }
+}
+
+TEST(Analyzer, DensitySweepS27) {
+  const auto nl = circuit::samples::s27();
+  sweep_densities(
+      nl, atpg::random_fill(
+              atpg::generate_tests(nl, atpg::AtpgConfig{}).tests, 3));
+}
+
+TEST(Analyzer, DensitySweepC17) {
+  const auto nl = circuit::samples::c17();
+  sweep_densities(
+      nl, atpg::random_fill(
+              atpg::generate_tests(nl, atpg::AtpgConfig{}).tests, 3));
+}
+
+TEST(Analyzer, HeavyXPoisonsMisrButNotXCode) {
+  const auto nl = circuit::samples::s27();
+  const TestSet patterns = atpg::random_fill(
+      atpg::generate_tests(nl, atpg::AtpgConfig{}).tests, 7);
+  const auto faults = sim::full_fault_list(nl);
+
+  AnalyzerConfig cfg;
+  cfg.x_density = 0.05;
+  const ResponseAnalyzer analyzer(nl, XCode::steiner(nl.response_width()),
+                                  cfg);
+  const AnalyzerReport r = analyzer.analyze(patterns, faults);
+
+  ASSERT_GT(r.total_x, 0u);
+  // The MISR has no X story: one unknown poisons the reference signature
+  // and forfeits every verdict. The X-code keeps scoring.
+  EXPECT_TRUE(r.misr_good_poisoned);
+  EXPECT_EQ(r.misr_no_verdict, faults.size());
+  EXPECT_EQ(r.misr_detected, 0u);
+  EXPECT_GT(r.detected_compacted, 0u);
+}
+
+TEST(Analyzer, ParallelJobsMatchSerial) {
+  const auto nl = circuit::samples::s27();
+  const TestSet patterns =
+      atpg::generate_tests(nl, atpg::AtpgConfig{}).tests;
+  const auto faults = sim::full_fault_list(nl);
+
+  AnalyzerConfig serial;
+  serial.x_density = 0.01;
+  AnalyzerConfig parallel = serial;
+  parallel.jobs = 4;
+  const XCode code = XCode::steiner(nl.response_width());
+  const AnalyzerReport a =
+      ResponseAnalyzer(nl, code, serial).analyze(patterns, faults);
+  const AnalyzerReport b =
+      ResponseAnalyzer(nl, code, parallel).analyze(patterns, faults);
+
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.detected_uncompacted, b.detected_uncompacted);
+  EXPECT_EQ(a.detected_compacted, b.detected_compacted);
+  EXPECT_EQ(a.misr_detected, b.misr_detected);
+  EXPECT_EQ(a.misr_no_verdict, b.misr_no_verdict);
+  EXPECT_EQ(a.tolerance_violations, b.tolerance_violations);
+}
+
+TEST(Analyzer, SignatureStreamsRoundTrip) {
+  const auto nl = circuit::samples::s27();
+  const TestSet patterns =
+      atpg::generate_tests(nl, atpg::AtpgConfig{}).tests;
+  const auto faults = sim::full_fault_list(nl);
+
+  AnalyzerConfig cfg;
+  cfg.x_density = 0.02;
+  cfg.with_misr = false;
+  const ResponseAnalyzer analyzer(nl, XCode::steiner(nl.response_width()),
+                                  cfg);
+  const std::size_t m = analyzer.compactor().code().outputs();
+
+  const TritVector expected = analyzer.expected_signatures(patterns);
+  ASSERT_EQ(expected.size(), patterns.pattern_count() * m);
+  // The expected stream is exactly the compaction of the expected raw
+  // responses.
+  EXPECT_EQ(expected,
+            analyzer.compactor().compact_stream(
+                analyzer.expected_responses(patterns),
+                patterns.pattern_count()));
+
+  // A fault-free device upload is binary and passes the check.
+  const TritVector good = analyzer.observed_signatures(patterns, nullptr, 99);
+  EXPECT_EQ(good.x_count(), 0u);
+  EXPECT_TRUE(check_signatures(expected, good, m).pass);
+
+  // A device carrying a compaction-visible fault must fail it.
+  const AnalyzerReport report = analyzer.analyze(patterns, faults);
+  bool checked_faulty = false;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (report.verdicts[f] != FaultVerdict::kDetected) continue;
+    const TritVector bad =
+        analyzer.observed_signatures(patterns, &faults[f], 99);
+    EXPECT_FALSE(check_signatures(expected, bad, m).pass)
+        << faults[f].to_string(nl);
+    checked_faulty = true;
+    break;
+  }
+  EXPECT_TRUE(checked_faulty);
+}
+
+}  // namespace
+}  // namespace nc::compact

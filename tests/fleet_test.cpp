@@ -234,7 +234,13 @@ TEST(Fleet, CompletedJournalResumesToSameResult) {
 class FleetJournal : public testing::Test {
  protected:
   void write_journal() {
-    path_ = temp_journal("tamper.nc9j");
+    // One journal file per test: ctest runs each discovered test as its own
+    // process, so a shared name races when the suite runs with -j.
+    path_ = temp_journal(
+        (std::string("tamper_") +
+         testing::UnitTest::GetInstance()->current_test_info()->name() +
+         ".nc9j")
+            .c_str());
     std::remove(path_.c_str());
     cfg_ = FleetConfig{};
     cfg_.batch_patterns = 2;

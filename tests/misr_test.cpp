@@ -59,6 +59,56 @@ TEST(MisrUnit, OrderSensitive) {
   EXPECT_NE(a.signature(), b.signature());
 }
 
+TEST(MisrMasked, NoXMatchesStrictAbsorb) {
+  Misr strict(8, 0b10011);
+  Misr masked(8, 0b10011);
+  for (const char* slice : {"1010", "0110", "11", "00000001"}) {
+    strict.absorb(TritVector::from_string(slice));
+    masked.absorb_masked(TritVector::from_string(slice));
+  }
+  EXPECT_EQ(masked.signature(), strict.signature());
+  EXPECT_FALSE(masked.poisoned());
+}
+
+TEST(MisrMasked, XSetsStickyPoisonFlag) {
+  Misr m = Misr::standard(16);
+  m.absorb_masked(TritVector::from_string("01"));
+  EXPECT_FALSE(m.poisoned());
+  m.absorb_masked(TritVector::from_string("0X"));
+  EXPECT_TRUE(m.poisoned());
+  // Poison is sticky across further clean slices -- the signature can no
+  // longer be trusted even if later cycles are specified.
+  m.absorb_masked(TritVector::from_string("01"));
+  EXPECT_TRUE(m.poisoned());
+}
+
+TEST(MisrMasked, XContributesZeroAndKeepsShifting) {
+  // An X trit is masked to 0, so "X0" must leave the same register state
+  // as "00" -- the shift happens, only the unknown contribution is dropped.
+  Misr with_x(8, 0b10011);
+  Misr zeros(8, 0b10011);
+  with_x.absorb_masked(TritVector::from_string("X0"));
+  zeros.absorb_masked(TritVector::from_string("00"));
+  EXPECT_EQ(with_x.signature(), zeros.signature());
+  EXPECT_TRUE(with_x.poisoned());
+  EXPECT_FALSE(zeros.poisoned());
+}
+
+TEST(MisrMasked, ResetClearsPoison) {
+  Misr m = Misr::standard(8);
+  m.absorb_masked(TritVector::from_string("X"));
+  ASSERT_TRUE(m.poisoned());
+  m.reset();
+  EXPECT_FALSE(m.poisoned());
+  EXPECT_EQ(m.signature(), 0u);
+}
+
+TEST(MisrMasked, RejectsOversizeSlice) {
+  Misr m(4, 0b1001);
+  EXPECT_THROW(m.absorb_masked(TritVector::from_string("00000")),
+               std::invalid_argument);
+}
+
 TEST(MisrSignature, GoodSignatureDeterministic) {
   const auto nl = circuit::samples::s27();
   const TestSet patterns = TestSet::from_strings(

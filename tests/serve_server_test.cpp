@@ -594,5 +594,207 @@ TEST(ServeServerTest, ShardedWarmRestartSurvivesShardLoss) {
   fs::remove_all(dir);
 }
 
+// ---------------------------------------------------- signature checking
+
+/// A small deterministic signature stream: `cycles` cycles of `m` trits
+/// with a sprinkling of X (the positions the tester cannot predict).
+bits::TritVector signature_stream(std::size_t m, std::size_t cycles,
+                                  int salt) {
+  bits::TritVector v(m * cycles, bits::Trit::Zero);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const int r = (static_cast<int>(i) * 13 + salt * 7) % 9;
+    v.set(i, r == 0 ? bits::Trit::X
+                    : r % 2 ? bits::Trit::One : bits::Trit::Zero);
+  }
+  return v;
+}
+
+Frame publish_request(std::uint64_t seq, const SignaturePublish& pub) {
+  Frame f;
+  f.type = FrameType::kSignaturePublishRequest;
+  f.seq = seq;
+  f.payload = to_payload(pub);
+  return f;
+}
+
+Frame check_request(std::uint64_t seq, const SignatureCheck& chk) {
+  Frame f;
+  f.type = FrameType::kSignatureCheckRequest;
+  f.seq = seq;
+  f.payload = to_payload(chk);
+  return f;
+}
+
+TEST(ServeServerTest, SignaturePublishCheckRoundTrip) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+
+  SignaturePublish pub;
+  pub.outputs_per_cycle = 5;
+  pub.cycles = 8;
+  pub.expected = signature_stream(5, 8, 1);
+
+  // Publish returns the content address of the payload; republishing is
+  // idempotent and returns the same ref.
+  const Frame reply1 = client.round_trip(publish_request(1, pub));
+  ASSERT_EQ(reply1.type, FrameType::kSignaturePublishReply);
+  const SignatureRef ref = parse_signature_ref(reply1.payload);
+  const std::vector<std::uint8_t> payload = to_payload(pub);
+  const CacheKey key = signature_ref_key(payload.data(), payload.size());
+  EXPECT_EQ(ref.lo, key.lo);
+  EXPECT_EQ(ref.hi, key.hi);
+  const Frame reply2 = client.round_trip(publish_request(2, pub));
+  ASSERT_EQ(reply2.type, FrameType::kSignaturePublishReply);
+  EXPECT_EQ(parse_signature_ref(reply2.payload), ref);
+
+  // A matching device upload passes; the reply bytes are exactly what the
+  // shared check routine computes locally.
+  bits::TritVector observed = pub.expected;
+  for (std::size_t i = 0; i < observed.size(); ++i)
+    if (observed.get(i) == bits::Trit::X) observed.set(i, bits::Trit::One);
+  const Frame ok = client.round_trip(check_request(3, {ref, observed}));
+  ASSERT_EQ(ok.type, FrameType::kSignatureCheckReply);
+  EXPECT_EQ(ok.payload,
+            check_verdict_payload(compact::check_signatures(
+                pub.expected, observed, pub.outputs_per_cycle)));
+  EXPECT_TRUE(parse_check_verdict(ok.payload).pass);
+
+  // Flip one care bit: the server must report the same failing verdict a
+  // local analyzer computes, byte for byte.
+  bits::TritVector bad = observed;
+  for (std::size_t i = 0; i < bad.size(); ++i)
+    if (pub.expected.get(i) != bits::Trit::X) {
+      bad.set(i, pub.expected.get(i) == bits::Trit::One ? bits::Trit::Zero
+                                                        : bits::Trit::One);
+      break;
+    }
+  const Frame fail = client.round_trip(check_request(4, {ref, bad}));
+  ASSERT_EQ(fail.type, FrameType::kSignatureCheckReply);
+  EXPECT_EQ(fail.payload,
+            check_verdict_payload(compact::check_signatures(
+                pub.expected, bad, pub.outputs_per_cycle)));
+  const compact::CheckVerdict verdict = parse_check_verdict(fail.payload);
+  EXPECT_FALSE(verdict.pass);
+  EXPECT_EQ(verdict.first_mismatch_cycle, 0u);
+
+  const Metrics::Snapshot m = server.metrics_snapshot();
+  EXPECT_EQ(m.signature_publishes, 2u);
+  EXPECT_EQ(m.signature_checks, 2u);
+  EXPECT_EQ(m.signature_mismatches, 1u);
+  EXPECT_EQ(m.signature_unknown_refs, 0u);
+  server.stop();
+}
+
+TEST(ServeServerTest, SignatureCheckUnknownRefIsTypedError) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+
+  SignatureCheck chk;
+  chk.ref = SignatureRef{0xDEAD, 0xBEEF};  // never published
+  chk.observed = signature_stream(4, 4, 2);
+  const Frame reply = client.round_trip(check_request(1, chk));
+  ASSERT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(parse_error_payload(reply.payload).code,
+            ErrorCode::kUnknownSignature);
+  EXPECT_EQ(server.metrics_snapshot().signature_unknown_refs, 1u);
+
+  // Malformed check payloads are kBadPayload, not a crash.
+  Frame garbage;
+  garbage.type = FrameType::kSignatureCheckRequest;
+  garbage.seq = 2;
+  garbage.payload = {1, 2, 3};
+  const Frame bad = client.round_trip(garbage);
+  ASSERT_EQ(bad.type, FrameType::kError);
+  EXPECT_EQ(parse_error_payload(bad.payload).code, ErrorCode::kBadPayload);
+  server.stop();
+}
+
+TEST(ServeServerTest, SignatureWarmRestartChecksFromStore) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "nc_serve_sig_warm_test";
+  fs::remove_all(dir);
+
+  ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.store_dir = dir.string();
+
+  SignaturePublish pub;
+  pub.outputs_per_cycle = 6;
+  pub.cycles = 10;
+  pub.expected = signature_stream(6, 10, 3);
+  bits::TritVector observed = pub.expected;
+  for (std::size_t i = 0; i < observed.size(); ++i)
+    if (observed.get(i) == bits::Trit::X) observed.set(i, bits::Trit::Zero);
+
+  SignatureRef ref;
+  std::vector<std::uint8_t> cold_reply;
+  {
+    Server server(sconfig);
+    TestClient client(server);
+    const Frame preply = client.round_trip(publish_request(1, pub));
+    ASSERT_EQ(preply.type, FrameType::kSignaturePublishReply);
+    ref = parse_signature_ref(preply.payload);
+    const Frame creply = client.round_trip(check_request(2, {ref, observed}));
+    ASSERT_EQ(creply.type, FrameType::kSignatureCheckReply);
+    cold_reply = creply.payload;
+    server.stop();
+  }
+  {
+    // Fresh server, same store: the published stream must be resolvable
+    // from the persistent tier alone, with a byte-identical verdict.
+    Server server(sconfig);
+    TestClient client(server);
+    const Frame creply = client.round_trip(check_request(5, {ref, observed}));
+    ASSERT_EQ(creply.type, FrameType::kSignatureCheckReply);
+    EXPECT_EQ(creply.payload, cold_reply);
+    server.stop();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ServeServerTest, LoadgenSignatureChecksFaultInjectedStaysClean) {
+  ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.queue_capacity = 256;
+  sconfig.inflight_cap = 16;
+  Server server(sconfig);
+
+  LoadgenConfig lconfig;
+  lconfig.clients = 4;
+  lconfig.requests_per_client = 16;
+  lconfig.pipeline = 3;
+  lconfig.distinct = 2;
+  lconfig.patterns = 8;
+  lconfig.width = 32;
+  lconfig.signature_checks = 6;  // fault-free device + 5 faulty devices
+  lconfig.fault_period = 3;
+  lconfig.channel.flip_rate = 2e-3;
+  lconfig.channel.truncate_rate = 0.05;
+  lconfig.retransmit_timeout = milliseconds(200);
+  lconfig.deadline = milliseconds(30000);
+  const LoadgenStats stats = run_loadgen_inprocess(lconfig, server);
+
+  // The acceptance gate of the tentpole: under an injected-fault channel,
+  // every signature-check reply the clients saw was byte-identical to the
+  // locally computed compact::check_signatures verdict (a mismatch counts
+  // as byte_mismatches), and no check outran its publish.
+  EXPECT_TRUE(stats.clean())
+      << "mismatches " << stats.byte_mismatches << " dup "
+      << stats.duplicates << " unresolved " << stats.unresolved
+      << " sig-unknown " << stats.signature_unknowns;
+  EXPECT_EQ(stats.requests, lconfig.clients * lconfig.requests_per_client);
+  EXPECT_GT(stats.corrupted_sends, 0u);
+
+  const Metrics::Snapshot m = server.metrics_snapshot();
+  EXPECT_GT(m.signature_publishes, 0u);
+  EXPECT_GT(m.signature_checks, 0u);
+  EXPECT_EQ(m.signature_unknown_refs, 0u);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace nc::serve

@@ -1,0 +1,305 @@
+// Differential audit of 3-valued (0/1/X) propagation in the simulators.
+//
+// The reference evaluator here defines X semantics from first principles:
+// a node is X iff its boolean completions disagree -- for every gate the
+// output is computed over all 0/1 assignments of its X inputs, and the
+// result is a care value only when every completion agrees. (This is
+// exact pessimism-free *per gate*; whole-circuit reconvergence pessimism
+// is shared by both engines since they both evaluate gate by gate.)
+//
+// simulate_pattern (scalar) and ParallelSim (dual-rail, good and faulty
+// machine) must agree with it on every node for random circuits x random
+// X-injected patterns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/test_set.h"
+#include "bits/trit_vector.h"
+#include "circuit/generator.h"
+#include "circuit/netlist.h"
+#include "circuit/samples.h"
+#include "sim/fault.h"
+#include "sim/logic_sim.h"
+
+namespace nc::sim {
+namespace {
+
+using bits::TestSet;
+using bits::Trit;
+using bits::TritVector;
+using circuit::GateType;
+using circuit::Netlist;
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+bool eval_bool(GateType type, const std::vector<bool>& ins) {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kDff: return ins[0];
+    case GateType::kNot: return !ins[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool v = true;
+      for (bool b : ins) v = v && b;
+      return type == GateType::kAnd ? v : !v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool v = false;
+      for (bool b : ins) v = v || b;
+      return type == GateType::kOr ? v : !v;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool v = false;
+      for (bool b : ins) v = v != b;
+      return type == GateType::kXor ? v : !v;
+    }
+    case GateType::kInput: break;
+  }
+  ADD_FAILURE() << "eval_bool on input node";
+  return false;
+}
+
+/// Completion-enumeration reference: output is a care value iff all boolean
+/// completions of the X inputs agree.
+Trit eval_ref(GateType type, const std::vector<Trit>& ins) {
+  std::vector<std::size_t> x_pos;
+  std::vector<bool> base(ins.size());
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (ins[i] == Trit::X)
+      x_pos.push_back(i);
+    else
+      base[i] = ins[i] == Trit::One;
+  }
+  bool seen0 = false, seen1 = false;
+  for (std::uint64_t combo = 0; combo < (1ull << x_pos.size()); ++combo) {
+    std::vector<bool> full = base;
+    for (std::size_t i = 0; i < x_pos.size(); ++i)
+      full[x_pos[i]] = (combo >> i) & 1;
+    (eval_bool(type, full) ? seen1 : seen0) = true;
+  }
+  return seen0 && seen1 ? Trit::X : seen1 ? Trit::One : Trit::Zero;
+}
+
+struct RefFault {
+  std::size_t node = Netlist::npos;  // npos = fault-free
+  std::size_t consumer = Netlist::npos;
+  std::size_t pin = 0;
+  bool stuck = false;
+};
+
+/// Whole-circuit reference: node values plus per-flop captured data, with
+/// an optional stem or branch stuck-at fault.
+struct RefResult {
+  std::vector<Trit> values;
+  std::vector<Trit> captured;
+};
+
+RefResult simulate_ref(const Netlist& nl, const TritVector& pattern,
+                       const RefFault& fault = {}) {
+  RefResult out;
+  out.values.assign(nl.size(), Trit::X);
+  const std::vector<std::size_t>& pis = nl.inputs();
+  const std::vector<std::size_t>& flops = nl.flops();
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    out.values[pis[i]] = pattern.get(i);
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    out.values[flops[i]] = pattern.get(pis.size() + i);
+
+  const bool stem_fault =
+      fault.node != Netlist::npos && fault.consumer == Netlist::npos;
+  if (stem_fault)  // PIs and PPIs can carry stem faults too
+    out.values[fault.node] = fault.stuck ? Trit::One : Trit::Zero;
+
+  for (std::size_t g : nl.levelize()) {
+    const circuit::Gate& gate = nl.gate(g);
+    if (gate.type == GateType::kInput || gate.type == GateType::kDff)
+      continue;
+    std::vector<Trit> ins;
+    ins.reserve(gate.fanins.size());
+    for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      Trit v = out.values[gate.fanins[pin]];
+      if (fault.node == gate.fanins[pin] && fault.consumer == g &&
+          fault.pin == pin)
+        v = fault.stuck ? Trit::One : Trit::Zero;
+      ins.push_back(v);
+    }
+    out.values[g] = eval_ref(gate.type, ins);
+    if (stem_fault && fault.node == g)
+      out.values[g] = fault.stuck ? Trit::One : Trit::Zero;
+  }
+
+  out.captured.reserve(flops.size());
+  for (std::size_t f : flops) {
+    const std::size_t data = nl.gate(f).fanins[0];
+    Trit v = out.values[data];
+    if (fault.node == data && fault.consumer == f && fault.pin == 0)
+      v = fault.stuck ? Trit::One : Trit::Zero;
+    out.captured.push_back(v);
+  }
+  return out;
+}
+
+TritVector random_pattern(const Netlist& nl, std::uint64_t& rng,
+                          unsigned x_percent) {
+  TritVector p(nl.pattern_width(), Trit::Zero);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const std::uint64_t r = splitmix(rng);
+    p.set(i, r % 100 < x_percent ? Trit::X
+                                 : (r >> 32) & 1 ? Trit::One : Trit::Zero);
+  }
+  return p;
+}
+
+Trit val64_trit(const Val64& v, std::size_t slot) {
+  const bool one = (v.one >> slot) & 1;
+  const bool zero = (v.zero >> slot) & 1;
+  EXPECT_FALSE(one && zero);
+  return one ? Trit::One : zero ? Trit::Zero : Trit::X;
+}
+
+TEST(XPropagation, PerGateTruthTables) {
+  // Every 2-input gate type against the completion reference on all 9
+  // trit pairs, through the real scalar simulator.
+  const Trit trits[] = {Trit::Zero, Trit::One, Trit::X};
+  const GateType types[] = {GateType::kAnd, GateType::kNand, GateType::kOr,
+                            GateType::kNor, GateType::kXor, GateType::kXnor};
+  for (GateType type : types) {
+    Netlist nl;
+    const std::size_t a = nl.add_gate(GateType::kInput, "a");
+    const std::size_t b = nl.add_gate(GateType::kInput, "b");
+    const std::size_t g = nl.add_gate(type, "g", {a, b});
+    nl.mark_output(g);
+    for (Trit ta : trits)
+      for (Trit tb : trits) {
+        TritVector p(2, Trit::X);
+        p.set(0, ta);
+        p.set(1, tb);
+        const std::vector<Trit> values = simulate_pattern(nl, p);
+        EXPECT_EQ(values[g], eval_ref(type, {ta, tb}))
+            << circuit::gate_type_name(type) << "(" << bits::to_char(ta)
+            << "," << bits::to_char(tb) << ")";
+      }
+  }
+  // NOT and BUF on the 3 single trits.
+  for (GateType type : {GateType::kNot, GateType::kBuf}) {
+    Netlist nl;
+    const std::size_t a = nl.add_gate(GateType::kInput, "a");
+    const std::size_t g = nl.add_gate(type, "g", {a});
+    nl.mark_output(g);
+    for (Trit ta : trits) {
+      TritVector p(1, ta);
+      EXPECT_EQ(simulate_pattern(nl, p)[g], eval_ref(type, {ta}))
+          << circuit::gate_type_name(type) << "(" << bits::to_char(ta) << ")";
+    }
+  }
+}
+
+TEST(XPropagation, ScalarMatchesReferenceOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    circuit::GeneratorConfig cfg;
+    cfg.num_inputs = 6;
+    cfg.num_flops = 8;
+    cfg.num_gates = 60;
+    cfg.num_outputs = 4;
+    cfg.seed = seed;
+    const Netlist nl = circuit::generate_circuit(cfg);
+    std::uint64_t rng = seed * 1234567;
+    for (int p = 0; p < 20; ++p) {
+      const TritVector pattern = random_pattern(nl, rng, 30);
+      const std::vector<Trit> got = simulate_pattern(nl, pattern);
+      const RefResult ref = simulate_ref(nl, pattern);
+      for (std::size_t n = 0; n < nl.size(); ++n)
+        ASSERT_EQ(got[n], ref.values[n])
+            << "seed " << seed << " pattern " << p << " node "
+            << nl.gate(n).name;
+    }
+  }
+}
+
+TEST(XPropagation, ParallelSimGoodMachineMatchesReference) {
+  circuit::GeneratorConfig cfg;
+  cfg.num_inputs = 7;
+  cfg.num_flops = 9;
+  cfg.num_gates = 70;
+  cfg.num_outputs = 5;
+  cfg.seed = 11;
+  const Netlist nl = circuit::generate_circuit(cfg);
+
+  std::uint64_t rng = 99;
+  TestSet patterns(100, nl.pattern_width());
+  for (std::size_t p = 0; p < 100; ++p) {
+    const TritVector row = random_pattern(nl, rng, 25);
+    patterns.set_pattern(p, row);
+  }
+
+  ParallelSim sim(nl);
+  for (std::size_t first = 0; first < 100; first += 64) {
+    const std::size_t loaded = sim.load(patterns, first);
+    sim.run();
+    for (std::size_t slot = 0; slot < loaded; ++slot) {
+      const RefResult ref = simulate_ref(nl, patterns.pattern(first + slot));
+      for (std::size_t n = 0; n < nl.size(); ++n)
+        ASSERT_EQ(val64_trit(sim.value(n), slot), ref.values[n])
+            << "pattern " << first + slot << " node " << nl.gate(n).name;
+      for (std::size_t f = 0; f < nl.flops().size(); ++f)
+        ASSERT_EQ(val64_trit(sim.captured(f), slot), ref.captured[f])
+            << "pattern " << first + slot << " flop " << f;
+    }
+  }
+}
+
+TEST(XPropagation, ParallelSimFaultyMachineMatchesReference) {
+  circuit::GeneratorConfig cfg;
+  cfg.num_inputs = 6;
+  cfg.num_flops = 6;
+  cfg.num_gates = 40;
+  cfg.num_outputs = 3;
+  cfg.seed = 21;
+  const Netlist nl = circuit::generate_circuit(cfg);
+  const std::vector<Fault> faults = full_fault_list(nl);
+
+  std::uint64_t rng = 7;
+  TestSet patterns(32, nl.pattern_width());
+  for (std::size_t p = 0; p < 32; ++p)
+    patterns.set_pattern(p, random_pattern(nl, rng, 30));
+
+  ParallelSim sim(nl);
+  ASSERT_EQ(sim.load(patterns, 0), 32u);
+  for (const Fault& fault : faults) {
+    sim.run_with_fault(fault.node, fault.consumer, fault.pin,
+                       fault.stuck_value);
+    RefFault rf{fault.node, fault.consumer, fault.pin, fault.stuck_value};
+    for (std::size_t slot = 0; slot < 32; slot += 5) {
+      const RefResult ref = simulate_ref(nl, patterns.pattern(slot), rf);
+      for (const std::size_t o : nl.outputs())
+        ASSERT_EQ(val64_trit(sim.value(o), slot), ref.values[o])
+            << fault.to_string(nl) << " pattern " << slot << " PO "
+            << nl.gate(o).name;
+      for (std::size_t f = 0; f < nl.flops().size(); ++f)
+        ASSERT_EQ(val64_trit(sim.captured(f), slot), ref.captured[f])
+            << fault.to_string(nl) << " pattern " << slot << " flop " << f;
+    }
+  }
+}
+
+TEST(XPropagation, S27AllXGivesAllXResponse) {
+  const Netlist nl = circuit::samples::s27();
+  const TritVector all_x(nl.pattern_width(), Trit::X);
+  const std::vector<Trit> values = simulate_pattern(nl, all_x);
+  const TritVector response = extract_response(nl, values);
+  // s27's core has no constant cones: an unknown world stays unknown.
+  EXPECT_EQ(response.x_count(), response.size());
+}
+
+}  // namespace
+}  // namespace nc::sim

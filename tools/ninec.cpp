@@ -3,6 +3,8 @@
 //   ninec gen       --profile s5378 --out td.tests [--seed N]
 //   ninec circuit   --gates 500 --inputs 16 --flops 32 --out c.bench [--seed N]
 //   ninec atpg      --bench c.bench --out td.tests [--no-compact]
+//   ninec roundtrip --bench c.bench [--tests td.tests] [--xcode steiner]
+//                   [--compact-outputs M] [--x-density R] [--json FILE]
 //   ninec compress  --in td.tests --out te.9c [--k 8] [--freq-directed]
 //                   [--shards N] [--jobs N]
 //   ninec decompress --in te.9c --out back.tests [--jobs N]
@@ -42,6 +44,8 @@
 #include "circuit/generator.h"
 #include "codec/nine_coded.h"
 #include "codec/sharded.h"
+#include "compact/roundtrip.h"
+#include "compact/xcode.h"
 #include "gen/cube_gen.h"
 #include "report/json.h"
 #include "report/table.h"
@@ -73,6 +77,17 @@ using nc::bits::TritVector;
       "  stats      --in FILE [--k-min N] [--k-max N]\n"
       "  rtl        --out FILE [--k N] [--freq-directed --in FILE]\n"
       "             [--testbench FILE] [--module NAME]\n"
+      "  roundtrip  --bench FILE [--tests FILE] [--k N] [--seed N]\n"
+      "             [--xcode identity|steiner|greedy] [--compact-outputs M]\n"
+      "             [--x-density R] [--jobs N] [--json FILE]\n"
+      "             (closed tester loop: TD -> 9C encode -> decode -> scan\n"
+      "             sim -> X-code response compaction -> per-fault verdicts;\n"
+      "             without --tests the cubes come from ATPG. --xcode picks\n"
+      "             the parity matrix (default steiner, t = 2),\n"
+      "             --compact-outputs fixes m (default: smallest feasible),\n"
+      "             --x-density R in [0,1] overlays environment unknowns on\n"
+      "             the responses. Exit 0 iff compaction loses no coverage\n"
+      "             and the code's tolerance self-check holds)\n"
       "  session    --bench FILE --tests FILE [--k N] [--p N]\n"
       "             [--jobs N] [--shards N]  (pipelined decode/compare)\n"
       "             [--inject SPEC] [--retry N] [--abort-after N]\n"
@@ -126,6 +141,7 @@ using nc::bits::TritVector;
       "             [--fault-period N] [--inject SPEC] [--deadline-ms N]\n"
       "             [--request-deadline-ms N] [--hedge-after-ms N]\n"
       "             [--retry-budget N] [--chaos RULES] [--json FILE]\n"
+      "             [--signatures N] [--signature-x R]\n"
       "             (N concurrent clients replay a deterministic workload;\n"
       "             every reply is checked byte-identical to a serial\n"
       "             reference; exit 0 only if nothing was lost, duplicated\n"
@@ -137,7 +153,12 @@ using nc::bits::TritVector;
       "             schedule, e.g. 'write:dribble@4x64,read:stall=40@9,\n"
       "             any:reset@199' -- op:action[=param][@skip[xcount]],\n"
       "             op read|write|any, action latency|stall|dribble|\n"
-      "             partial|reset, count '*' = forever)\n"
+      "             partial|reset, count '*' = forever;\n"
+      "             --signatures N adds a serial publish of a scan circuit's\n"
+      "             expected X-compacted response stream plus N signature-\n"
+      "             check requests (fault-free and faulty devices) whose\n"
+      "             replies must match the local analyzer byte for byte;\n"
+      "             --signature-x sets the response X-overlay density)\n"
       "count options (--devices, --shards, --jobs, --batch, --k, --p, ...)\n"
       "take a positive integer; --shards/--jobs also accept 'auto' (one\n"
       "shard/worker per hardware thread). Malformed values exit with code 2.\n"
@@ -162,6 +183,21 @@ std::size_t parse_size(const std::string& key, const std::string& text) {
     return static_cast<std::size_t>(v);
   } catch (const std::out_of_range&) {
     usage("--" + key + " value '" + text + "' is out of range");
+  }
+}
+
+/// Strict ratio: a decimal in [0,1], fully consumed. Sign, trailing junk,
+/// nan/inf, out-of-range -- usage error (exit 2), same contract as
+/// parse_size.
+double parse_ratio(const std::string& key, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size() || !(v >= 0.0 && v <= 1.0))
+      throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage("--" + key + " expects a ratio in [0,1], got '" + text + "'");
   }
 }
 
@@ -191,6 +227,9 @@ class Args {
   }
   std::size_t get_size(const std::string& key, std::size_t fallback) const {
     return has(key) ? parse_size(key, values_.at(key)) : fallback;
+  }
+  double get_ratio(const std::string& key, double fallback) const {
+    return has(key) ? parse_ratio(key, values_.at(key)) : fallback;
   }
 
   /// Count flag: a positive integer. When `auto_value` is set, the literal
@@ -352,6 +391,102 @@ int cmd_atpg(const Args& args) {
             << result.detected << " detected, " << result.untestable
             << " untestable, " << result.aborted << " aborted)\n";
   return 0;
+}
+
+/// --xcode identity|steiner|greedy (default steiner). Anything else exits 2.
+nc::compact::XCodeKind parse_xcode_kind(const Args& args) {
+  const std::string text = args.get("xcode", "steiner");
+  if (text == "identity") return nc::compact::XCodeKind::kIdentity;
+  if (text == "steiner") return nc::compact::XCodeKind::kSteiner;
+  if (text == "greedy") return nc::compact::XCodeKind::kGreedy;
+  usage("--xcode expects identity, steiner or greedy, got '" + text + "'");
+}
+
+int cmd_roundtrip(const Args& args) {
+  const nc::circuit::Netlist nl =
+      nc::circuit::load_bench_file(args.require("bench"));
+
+  TestSet td;
+  if (args.has("tests")) {
+    td = load_tests(args.require("tests"));
+  } else {
+    nc::atpg::AtpgConfig acfg;
+    acfg.compact = !args.has("no-compact");
+    td = nc::atpg::generate_tests(nl, acfg).tests;
+  }
+
+  nc::compact::RoundtripConfig cfg;
+  cfg.block_size = args.get_count("k", cfg.block_size);
+  cfg.codec_impl = parse_codec_impl(args);
+  cfg.xcode.kind = parse_xcode_kind(args);
+  // get_count rejects 0: m = 0 (auto) is spelled by omitting the flag.
+  cfg.xcode.outputs = args.get_count("compact-outputs", 0);
+  cfg.xcode.seed = args.get_size("seed", cfg.xcode.seed);
+  cfg.analyzer.x_density = args.get_ratio("x-density", 0.0);
+  cfg.analyzer.x_seed = cfg.xcode.seed;
+  cfg.analyzer.jobs = args.get_count("jobs", 1, std::size_t{0});
+
+  const std::vector<nc::sim::Fault> faults = nc::sim::full_fault_list(nl);
+  const nc::compact::RoundtripResult r =
+      nc::compact::run_roundtrip(nl, td, faults, cfg);
+  const nc::compact::AnalyzerReport& rep = r.report;
+
+  std::cout << "stimulus: " << r.patterns << " patterns x "
+            << r.pattern_width << " bits, " << r.td_bits << " -> "
+            << r.te_bits << " TE bits (CR " << r.compression_percent
+            << "%)\n"
+            << "response: " << nc::compact::to_string(r.xcode_kind)
+            << " X-code " << rep.compact_outputs << " x "
+            << rep.response_width << " (t = " << rep.tolerance
+            << "), compaction " << rep.compaction_ratio() << "x\n"
+            << "unknowns: " << rep.total_x << " X total, max "
+            << rep.max_cycle_x << " per cycle, "
+            << rep.cycles_over_tolerance << " cycles over tolerance\n"
+            << "coverage: " << rep.coverage_uncompacted_percent()
+            << "% uncompacted, " << rep.coverage_compacted_percent()
+            << "% compacted (" << rep.masked_by_compaction << " masked, "
+            << rep.coverage_loss_percent() << "% loss)\n";
+  if (rep.misr_enabled)
+    std::cout << "misr: " << rep.misr_coverage_percent() << "% coverage, "
+              << rep.misr_no_verdict << " faults with no verdict"
+              << (rep.misr_good_poisoned ? " (reference signature poisoned)"
+                                         : "")
+              << '\n';
+  if (rep.tolerance_violations > 0)
+    std::cout << "TOLERANCE VIOLATIONS: " << rep.tolerance_violations
+              << " masked faults inside the code's claimed t\n";
+
+  if (args.has("json")) {
+    nc::report::Json doc = nc::report::Json::object();
+    doc["patterns"] = r.patterns;
+    doc["pattern_width"] = r.pattern_width;
+    doc["td_bits"] = r.td_bits;
+    doc["te_bits"] = r.te_bits;
+    doc["compression_percent"] = r.compression_percent;
+    doc["xcode"] = std::string(nc::compact::to_string(r.xcode_kind));
+    doc["response_width"] = rep.response_width;
+    doc["compact_outputs"] = rep.compact_outputs;
+    doc["tolerance"] = std::uint64_t{rep.tolerance};
+    doc["compaction_ratio"] = rep.compaction_ratio();
+    doc["faults"] = rep.faults;
+    doc["detected_uncompacted"] = rep.detected_uncompacted;
+    doc["detected_compacted"] = rep.detected_compacted;
+    doc["masked_by_compaction"] = rep.masked_by_compaction;
+    doc["tolerance_violations"] = rep.tolerance_violations;
+    doc["coverage_uncompacted_percent"] = rep.coverage_uncompacted_percent();
+    doc["coverage_compacted_percent"] = rep.coverage_compacted_percent();
+    doc["coverage_loss_percent"] = rep.coverage_loss_percent();
+    doc["total_x"] = rep.total_x;
+    doc["max_cycle_x"] = rep.max_cycle_x;
+    doc["cycles_over_tolerance"] = rep.cycles_over_tolerance;
+    doc["misr_enabled"] = rep.misr_enabled;
+    doc["misr_coverage_percent"] = rep.misr_coverage_percent();
+    doc["misr_no_verdict"] = rep.misr_no_verdict;
+    doc["misr_good_poisoned"] = rep.misr_good_poisoned;
+    nc::report::write_json_file(args.require("json"), doc);
+  }
+  return rep.masked_by_compaction == 0 && rep.tolerance_violations == 0 ? 0
+                                                                        : 1;
 }
 
 int cmd_compress(const Args& args) {
@@ -690,19 +825,9 @@ nc::report::Json fsck_report_json(const nc::store::FsckReport& r) {
 }
 
 double parse_min_garbage(const Args& args) {
-  double min_garbage = 0.0;
-  if (args.has("min-garbage")) {
-    const std::string text = args.require("min-garbage");
-    try {
-      std::size_t pos = 0;
-      min_garbage = std::stod(text, &pos);
-      if (pos != text.size() || min_garbage < 0.0 || min_garbage > 1.0)
-        throw std::invalid_argument(text);
-    } catch (const std::exception&) {
-      usage("--min-garbage expects a ratio in [0,1], got '" + text + "'");
-    }
-  }
-  return min_garbage;
+  return args.has("min-garbage")
+             ? parse_ratio("min-garbage", args.require("min-garbage"))
+             : 0.0;
 }
 
 nc::report::Json scrub_report_json(const nc::store::ScrubReport& r) {
@@ -862,6 +987,9 @@ int cmd_loadgen(const Args& args) {
   cfg.hedge_after = std::chrono::milliseconds(args.get_size(
       "hedge-after-ms", static_cast<std::size_t>(cfg.hedge_after.count())));
   cfg.retry_budget = args.get_size("retry-budget", cfg.retry_budget);
+  cfg.signature_checks = args.get_size("signatures", cfg.signature_checks);
+  cfg.signature_x_density =
+      args.get_ratio("signature-x", cfg.signature_x_density);
 
   std::function<std::unique_ptr<nc::serve::ByteStream>()> connect =
       [&socket] { return nc::serve::connect_unix(socket); };
@@ -893,6 +1021,8 @@ int cmd_loadgen(const Args& args) {
             << "byte mismatches " << stats.byte_mismatches << ", duplicates "
             << stats.duplicates << ", unresolved " << stats.unresolved
             << '\n';
+  if (cfg.signature_checks > 0)
+    std::cout << "signature unknowns " << stats.signature_unknowns << '\n';
   if (args.has("json")) {
     nc::report::Json doc = nc::report::Json::object();
     doc["requests"] = stats.requests;
@@ -908,6 +1038,7 @@ int cmd_loadgen(const Args& args) {
     doc["hedge_wins"] = stats.hedge_wins;
     doc["reconnects"] = stats.reconnects;
     doc["deadline_rejections"] = stats.deadline_rejections;
+    doc["signature_unknowns"] = stats.signature_unknowns;
     doc["clean"] = stats.clean();
     nc::report::write_json_file(args.require("json"), doc);
   }
@@ -941,6 +1072,7 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(args);
     if (command == "circuit") return cmd_circuit(args);
     if (command == "atpg") return cmd_atpg(args);
+    if (command == "roundtrip") return cmd_roundtrip(args);
     if (command == "compress") return cmd_compress(args);
     if (command == "decompress") return cmd_decompress(args);
     if (command == "stats") return cmd_stats(args);
