@@ -109,19 +109,28 @@ inline BlockClass classify_halves(const HalfKind& left,
 BlockClass classify_block(const bits::TritVector& v, std::size_t begin,
                           std::size_t k) noexcept;
 
-/// Payload length in trits that case `c` appends after its codeword.
-constexpr std::size_t payload_trits(BlockClass c, std::size_t k) noexcept {
+/// Payload length in trits that case `c` appends after its codeword, for a
+/// K-trit block whose left half is `split` trits (right half is K - split).
+/// C5/C7 transmit the right half, C6/C8 the left, C9 the whole block.
+constexpr std::size_t payload_trits(BlockClass c, std::size_t k,
+                                    std::size_t split) noexcept {
   switch (c) {
     case BlockClass::kC5:
-    case BlockClass::kC6:
     case BlockClass::kC7:
+      return k - split;
+    case BlockClass::kC6:
     case BlockClass::kC8:
-      return k / 2;
+      return split;
     case BlockClass::kC9:
       return k;
     default:
       return 0;
   }
+}
+
+/// The paper's symmetric split (K/2 | K/2).
+constexpr std::size_t payload_trits(BlockClass c, std::size_t k) noexcept {
+  return payload_trits(c, k, k / 2);
 }
 
 /// For the no-payload cases, the two uniform fill bits (left, right) the

@@ -29,15 +29,20 @@ CodewordTable CodewordTable::standard() {
 
 CodewordTable CodewordTable::from_lengths(
     const std::array<unsigned, kNumClasses>& lengths) {
-  // Kraft check with 64ths (max length we ever use is tiny; cap at 32).
-  double kraft = 0.0;
+  // Exact integer Kraft check in units of 2^-31: sum of 2^(31-len) must not
+  // exceed 2^31. No floating point, so adversarial length sets from the
+  // optimizer cannot slip through on rounding slack.
+  std::uint64_t kraft = 0;
   for (unsigned len : lengths) {
     if (len == 0 || len > 31)
-      throw std::invalid_argument("codeword length out of range");
-    kraft += 1.0 / static_cast<double>(1u << len);
+      throw CodeSpecError(CodeSpecFault::kLengthOutOfRange,
+                          "codeword length " + std::to_string(len) +
+                              " out of range [1, 31]");
+    kraft += std::uint64_t{1} << (31 - len);
   }
-  if (kraft > 1.0 + 1e-12)
-    throw std::invalid_argument("codeword lengths violate Kraft inequality");
+  if (kraft > (std::uint64_t{1} << 31))
+    throw CodeSpecError(CodeSpecFault::kKraftViolation,
+                        "codeword lengths violate Kraft inequality");
 
   // Canonical code: assign in order of (length, class index). The first code
   // of each length continues the previous code + 1, left-shifted.

@@ -11,12 +11,34 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "bits/bitstream.h"
 #include "codec/block_class.h"
 
 namespace nc::codec {
+
+/// Why a codeword-length set cannot form a prefix code.
+enum class CodeSpecFault : unsigned char {
+  kLengthOutOfRange,  // a length is 0 or > 31
+  kKraftViolation,    // sum 2^-len > 1: no prefix-free assignment exists
+};
+
+/// Typed rejection of an invalid code specification. Derives from
+/// std::invalid_argument so callers that funnel construction failures into a
+/// generic bad-input path (serve's make_coder -> kBadPayload) keep working,
+/// while the tuner can read the fault kind to count, not crash on, the
+/// invalid genomes its mutations constantly produce.
+class CodeSpecError : public std::invalid_argument {
+ public:
+  CodeSpecError(CodeSpecFault fault, std::string what)
+      : std::invalid_argument(std::move(what)), fault_(fault) {}
+  CodeSpecFault fault() const noexcept { return fault_; }
+
+ private:
+  CodeSpecFault fault_;
+};
 
 /// One codeword: `length` bits of `bits`, most significant bit first
 /// (bit length-1 is transmitted first).
@@ -35,9 +57,10 @@ class CodewordTable {
   /// C1..C9 with canonical patterns (C1=0, C2=10, C9=1100, C3..C8=11010..).
   static CodewordTable standard();
 
-  /// Builds a canonical prefix code from one length per class. The length
-  /// multiset must satisfy Kraft's inequality; throws std::invalid_argument
-  /// otherwise. Shorter codewords get lexicographically smaller patterns.
+  /// Builds a canonical prefix code from one length per class. Each length
+  /// must lie in [1, 31] and the multiset must satisfy Kraft's inequality
+  /// (checked exactly in integers); throws CodeSpecError otherwise. Shorter
+  /// codewords get lexicographically smaller patterns.
   static CodewordTable from_lengths(const std::array<unsigned, kNumClasses>& lengths);
 
   /// The frequency-directed table: sorts classes by descending occurrence

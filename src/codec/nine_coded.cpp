@@ -22,14 +22,26 @@ std::size_t NineCodedStats::blocks() const noexcept {
 }
 
 NineCoded::NineCoded(std::size_t block_size, CodewordTable table,
-                     CodecImpl impl)
+                     CodecImpl impl, std::size_t split)
     : k_(block_size), table_(table), impl_(impl) {
-  if (k_ < 2 || k_ % 2 != 0)
-    throw std::invalid_argument("9C block size K must be even and >= 2");
+  if (split == 0) {
+    if (k_ < 2 || k_ % 2 != 0)
+      throw std::invalid_argument("9C block size K must be even and >= 2");
+    left_ = k_ / 2;
+  } else {
+    if (k_ < 2)
+      throw std::invalid_argument("9C block size K must be >= 2");
+    if (split >= k_)
+      throw std::invalid_argument("9C split must be in [1, K-1]");
+    left_ = split;
+  }
+  right_ = k_ - left_;
 }
 
 std::string NineCoded::name() const {
-  return "9C(K=" + std::to_string(k_) + ")";
+  std::string n = "9C(K=" + std::to_string(k_);
+  if (left_ * 2 != k_) n += ",S=" + std::to_string(left_);
+  return n + ")";
 }
 
 TritVector NineCoded::encode(const TritVector& td) const {
@@ -54,6 +66,7 @@ NineCodedStats NineCoded::analyze_scalar(const TritVector& td,
                                          TritVector* out_stream) const {
   NineCodedStats stats;
   stats.block_size = k_;
+  stats.split = left_;
   stats.original_bits = td.size();
 
   // Pad the tail to a whole block with X, which compresses maximally and is
@@ -64,7 +77,6 @@ NineCodedStats NineCoded::analyze_scalar(const TritVector& td,
   stats.padded_bits = padded.size();
 
   TritVector stream;
-  const std::size_t half = k_ / 2;
 
   auto emit_codeword = [&](BlockClass c) {
     const Codeword& w = table_.at(c);
@@ -80,8 +92,8 @@ NineCodedStats NineCoded::analyze_scalar(const TritVector& td,
   // (payload X symbols are leftover, uniform-half X symbols are filled), so
   // no symbol of TD is re-read after classification.
   for (std::size_t b = 0; b < padded.size(); b += k_) {
-    const HalfScan left = scan_half(padded, b, half);
-    const HalfScan right = scan_half(padded, b + half, half);
+    const HalfScan left = scan_half(padded, b, left_);
+    const HalfScan right = scan_half(padded, b + left_, right_);
     const BlockClass cls = classify_halves(left.kind, right.kind);
     ++stats.counts[static_cast<std::size_t>(cls)];
     emit_codeword(cls);
@@ -97,13 +109,13 @@ NineCodedStats NineCoded::analyze_scalar(const TritVector& td,
       case BlockClass::kC7:
         stats.filled_x += left.x_count;
         stats.leftover_x += right.x_count;
-        emit_payload(b + half, half);
+        emit_payload(b + left_, right_);
         break;
       case BlockClass::kC6:
       case BlockClass::kC8:
         stats.filled_x += right.x_count;
         stats.leftover_x += left.x_count;
-        emit_payload(b, half);
+        emit_payload(b, left_);
         break;
       case BlockClass::kC9:
         stats.leftover_x += left.x_count + right.x_count;
@@ -127,14 +139,13 @@ NineCodedStats NineCoded::analyze_bitplane(const TritVector& td,
                                            TritVector* out_stream) const {
   NineCodedStats stats;
   stats.block_size = k_;
+  stats.split = left_;
   stats.original_bits = td.size();
 
   Bitplanes planes(td);
   if (planes.size() % k_ != 0)
     planes.append_run(k_ - planes.size() % k_, Trit::X);
   stats.padded_bits = planes.size();
-
-  const std::size_t half = k_ / 2;
 
   // Codewords in stream order (first transmitted bit lowest), precomputed
   // once so emission is a single masked word write per block.
@@ -153,8 +164,8 @@ NineCodedStats NineCoded::analyze_bitplane(const TritVector& td,
   Bitplanes stream;
   stream.reserve(planes.size() / 2);
   for (std::size_t b = 0; b < planes.size(); b += k_) {
-    const HalfScan left = scan_half(planes, b, half);
-    const HalfScan right = scan_half(planes, b + half, half);
+    const HalfScan left = scan_half(planes, b, left_);
+    const HalfScan right = scan_half(planes, b + left_, right_);
     const BlockClass cls = classify_halves(left.kind, right.kind);
     ++stats.counts[static_cast<std::size_t>(cls)];
     const StreamWord& cw = codewords[static_cast<std::size_t>(cls)];
@@ -170,13 +181,13 @@ NineCodedStats NineCoded::analyze_bitplane(const TritVector& td,
       case BlockClass::kC7:
         stats.filled_x += left.x_count;
         stats.leftover_x += right.x_count;
-        stream.append_range(planes, b + half, half);
+        stream.append_range(planes, b + left_, right_);
         break;
       case BlockClass::kC6:
       case BlockClass::kC8:
         stats.filled_x += right.x_count;
         stats.leftover_x += left.x_count;
-        stream.append_range(planes, b, half);
+        stream.append_range(planes, b, left_);
         break;
       case BlockClass::kC9:
         stats.leftover_x += left.x_count + right.x_count;
@@ -208,7 +219,6 @@ DecodeOutcome NineCoded::decode_checked(const TritVector& te,
 DecodeOutcome NineCoded::decode_scalar(const TritVector& te,
                                        std::size_t original_bits,
                                        core::Watchdog* watchdog) const {
-  const std::size_t half = k_ / 2;
   const std::size_t expected_blocks = (original_bits + k_ - 1) / k_;
   DecodeOutcome outcome;
   TritVector& out = outcome.data;
@@ -229,8 +239,8 @@ DecodeOutcome NineCoded::decode_scalar(const TritVector& te,
         case BlockClass::kC3:
         case BlockClass::kC4: {
           const auto fill = uniform_fill(cls);
-          out.append_run(half, bits::trit_from_bit(fill[0]));
-          out.append_run(half, bits::trit_from_bit(fill[1]));
+          out.append_run(left_, bits::trit_from_bit(fill[0]));
+          out.append_run(right_, bits::trit_from_bit(fill[1]));
           break;
         }
         case BlockClass::kC5:
@@ -238,12 +248,12 @@ DecodeOutcome NineCoded::decode_scalar(const TritVector& te,
         case BlockClass::kC7:
         case BlockClass::kC8: {
           const MixedShape shape = mixed_shape(cls);
-          const TritVector payload = reader.next_trits(half);
           if (shape.mismatch_is_left) {
-            out.append(payload);
-            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+            out.append(reader.next_trits(left_));
+            out.append_run(right_, bits::trit_from_bit(shape.uniform_value));
           } else {
-            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+            const TritVector payload = reader.next_trits(right_);
+            out.append_run(left_, bits::trit_from_bit(shape.uniform_value));
             out.append(payload);
           }
           break;
@@ -274,7 +284,6 @@ DecodeOutcome NineCoded::decode_scalar(const TritVector& te,
 DecodeOutcome NineCoded::decode_bitplane(const TritVector& te,
                                          std::size_t original_bits,
                                          core::Watchdog* watchdog) const {
-  const std::size_t half = k_ / 2;
   const std::size_t expected_blocks = (original_bits + k_ - 1) / k_;
   DecodeOutcome outcome;
   const Bitplanes in(te);
@@ -301,8 +310,8 @@ DecodeOutcome NineCoded::decode_bitplane(const TritVector& te,
         case BlockClass::kC3:
         case BlockClass::kC4: {
           const auto fill = uniform_fill(cls);
-          out.append_run(half, bits::trit_from_bit(fill[0]));
-          out.append_run(half, bits::trit_from_bit(fill[1]));
+          out.append_run(left_, bits::trit_from_bit(fill[0]));
+          out.append_run(right_, bits::trit_from_bit(fill[1]));
           break;
         }
         case BlockClass::kC5:
@@ -311,17 +320,17 @@ DecodeOutcome NineCoded::decode_bitplane(const TritVector& te,
         case BlockClass::kC8: {
           const MixedShape shape = mixed_shape(cls);
           if (shape.mismatch_is_left) {
-            reader.copy_to(out, half);
-            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
+            reader.copy_to(out, left_);
+            out.append_run(right_, bits::trit_from_bit(shape.uniform_value));
           } else {
             // Check the payload is available *before* emitting the uniform
             // half so a truncated stream reports the same offset as the
             // scalar decoder, which reads the payload first.
-            if (reader.remaining() < half)
-              throw bits::StreamOverrun(reader.position(), half,
+            if (reader.remaining() < right_)
+              throw bits::StreamOverrun(reader.position(), right_,
                                         reader.remaining());
-            out.append_run(half, bits::trit_from_bit(shape.uniform_value));
-            reader.copy_to(out, half);
+            out.append_run(left_, bits::trit_from_bit(shape.uniform_value));
+            reader.copy_to(out, right_);
           }
           break;
         }

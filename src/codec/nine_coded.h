@@ -23,6 +23,7 @@ struct DecodeOutcome {
 /// Everything the paper's tables derive from one encoding run.
 struct NineCodedStats {
   std::size_t block_size = 0;     // K
+  std::size_t split = 0;          // left-half length (K/2 unless tuned)
   std::size_t original_bits = 0;  // |TD| (before padding)
   std::size_t padded_bits = 0;    // |TD| rounded up to a whole block
   std::size_t encoded_bits = 0;   // |TE|
@@ -56,13 +57,17 @@ struct NineCodedStats {
 /// (K, codeword table) configuration.
 class NineCoded final : public Codec {
  public:
-  /// `block_size` is K: even, >= 2. The default table is the paper's
-  /// Table I assignment; pass a frequency-directed table for Table VII.
-  /// `impl` selects the hot-path implementation (DESIGN.md section 13);
-  /// kAuto resolves to the word-parallel bitplane path.
+  /// `block_size` is K. The default table is the paper's Table I
+  /// assignment; pass a frequency-directed table for Table VII. `impl`
+  /// selects the hot-path implementation (DESIGN.md section 13); kAuto
+  /// resolves to the word-parallel bitplane path. `split` is the left-half
+  /// length in trits: 0 (the default) means the paper's symmetric K/2 and
+  /// requires K even >= 2; an explicit split in [1, K-1] allows asymmetric
+  /// halves (and odd K), which the tuner searches over.
   explicit NineCoded(std::size_t block_size,
                      CodewordTable table = CodewordTable::standard(),
-                     CodecImpl impl = CodecImpl::kAuto);
+                     CodecImpl impl = CodecImpl::kAuto,
+                     std::size_t split = 0);
 
   /// Convenience: standard table with an explicit implementation.
   NineCoded(std::size_t block_size, CodecImpl impl)
@@ -70,6 +75,8 @@ class NineCoded final : public Codec {
 
   std::string name() const override;
   std::size_t block_size() const noexcept { return k_; }
+  /// Left-half length (always resolved: K/2 when constructed with split 0).
+  std::size_t split() const noexcept { return left_; }
   const CodewordTable& table() const noexcept { return table_; }
   CodecImpl impl() const noexcept { return impl_; }
   /// The implementation that actually runs (kAuto resolved).
@@ -122,6 +129,8 @@ class NineCoded final : public Codec {
                                 core::Watchdog* watchdog) const;
 
   std::size_t k_;
+  std::size_t left_;   // left-half trits
+  std::size_t right_;  // right-half trits (k_ - left_)
   CodewordTable table_;
   CodecImpl impl_ = CodecImpl::kAuto;
 };

@@ -63,4 +63,17 @@ class Fnv128 {
 /// One-shot digest over raw bytes.
 Hash128 fnv128(const std::uint8_t* data, std::size_t len) noexcept;
 
+/// splitmix64 finalizer (with the golden-ratio increment): the one seed
+/// mixer in the tree. Fleet derives per-(device, batch) channel seeds and
+/// the tuner derives per-candidate RNG seeds through this, so nested
+/// `mix64(a ^ mix64(b))` compositions never correlate adjacent streams.
+/// Pinned by hash_test.cpp's golden vectors; changing it re-seeds every
+/// deterministic replay in the repo, so don't.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace nc::core

@@ -12,6 +12,7 @@
 #include "codec/decode_error.h"
 #include "codec/nine_coded.h"
 #include "core/crc.h"
+#include "core/hash.h"
 #include "core/parallel.h"
 #include "core/thread_pool.h"
 #include "decomp/response_compare.h"
@@ -32,14 +33,9 @@ constexpr std::size_t kJournalHeaderSize = sizeof(kJournalMagic) + 1 + 8;
 
 // ---------------------------------------------------------------- hashing
 
-/// splitmix64: the per-(device, batch) channel seeds derive from the fleet
-/// seed through this, so adjacent batches never share a fault stream.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
+/// The per-(device, batch) channel seeds derive from the fleet seed through
+/// core::mix64, so adjacent batches never share a fault stream.
+using core::mix64;
 
 /// Incremental FNV-1a over 64-bit words; serves both the journal's config
 /// hash and fleet_fingerprint().

@@ -5,6 +5,9 @@ namespace nc::decomp {
 std::size_t comp_soc_cycles(const codec::NineCodedStats& stats,
                             const codec::CodewordTable& table, unsigned p) {
   const std::size_t k = stats.block_size;
+  // Stats from before the split field (or zero-initialized by hand) mean
+  // the symmetric K/2 layout.
+  const std::size_t split = stats.split == 0 ? k / 2 : stats.split;
   std::size_t cycles = 0;
   for (std::size_t c = 0; c < codec::kNumClasses; ++c) {
     const auto cls = static_cast<codec::BlockClass>(c);
@@ -13,7 +16,7 @@ std::size_t comp_soc_cycles(const codec::NineCodedStats& stats,
     // Codeword bits arrive at ATE rate.
     std::size_t per_block = table.length(cls) * p;
     // Halves: uniform at SoC rate, mismatch at ATE rate.
-    const std::size_t mismatch = codec::payload_trits(cls, k);
+    const std::size_t mismatch = codec::payload_trits(cls, k, split);
     per_block += mismatch * p;        // transmitted bits
     per_block += (k - mismatch);      // locally generated bits
     cycles += n * per_block;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <sstream>
 #include <stdexcept>
 
@@ -575,6 +576,88 @@ compact::CheckVerdict parse_check_verdict(
   v.first_mismatch_cycle = in.u64();
   in.expect_end();
   return v;
+}
+
+std::vector<std::uint8_t> to_payload(const TuneRequest& req) {
+  std::ostringstream out;
+  std::vector<std::uint8_t> head;
+  put_le64(head, req.seed);
+  put_le32(head, req.generations);
+  put_le32(head, req.population);
+  // Exact double bit patterns: this payload is the artifact key, so the
+  // serialization must be canonical, not printf-rounded.
+  put_le64(head, std::bit_cast<std::uint64_t>(req.weight_cr));
+  put_le64(head, std::bit_cast<std::uint64_t>(req.weight_tat));
+  put_le64(head, std::bit_cast<std::uint64_t>(req.weight_gates));
+  put_le32(head, req.p);
+  out.write(reinterpret_cast<const char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+  bits::save_test_set(out, req.tests);
+  return to_bytes(out);
+}
+
+TuneRequest parse_tune_request(const std::vector<std::uint8_t>& payload) {
+  PayloadStream in(payload);
+  TuneRequest req;
+  req.seed = in.u64();
+  req.generations = in.u32();
+  req.population = in.u32();
+  req.weight_cr = std::bit_cast<double>(in.u64());
+  req.weight_tat = std::bit_cast<double>(in.u64());
+  req.weight_gates = std::bit_cast<double>(in.u64());
+  req.p = in.u32();
+  req.tests = bits::load_test_set(in.stream());
+  in.expect_end();
+  // Budget validation: a request is a compute grant; cap it.
+  if (req.generations == 0 || req.generations > kMaxTuneGenerations)
+    throw std::runtime_error("tune request: generations out of range");
+  if (req.population < 2 || req.population > kMaxTunePopulation)
+    throw std::runtime_error("tune request: population out of range");
+  if (req.p == 0 || req.p > 1024)
+    throw std::runtime_error("tune request: clock ratio out of range");
+  const auto finite = [](double v) { return v == v && v - v == 0.0; };
+  if (!finite(req.weight_cr) || !finite(req.weight_tat) ||
+      !finite(req.weight_gates))
+    throw std::runtime_error("tune request: non-finite weight");
+  if (req.tests.flatten().size() == 0)
+    throw std::runtime_error("tune request: empty test set");
+  return req;
+}
+
+std::vector<std::uint8_t> to_payload(const TuneReplyData& reply) {
+  std::vector<std::uint8_t> out;
+  reply.genome.append_bytes(out);
+  put_le64(out, std::bit_cast<std::uint64_t>(reply.score));
+  put_le64(out, std::bit_cast<std::uint64_t>(reply.cr_percent));
+  put_le64(out, std::bit_cast<std::uint64_t>(reply.tat_percent));
+  put_le64(out, reply.fsm_gates);
+  put_le64(out, reply.datapath_gates);
+  put_le64(out, reply.evaluations);
+  put_le64(out, reply.invalid_genomes);
+  return out;
+}
+
+TuneReplyData parse_tune_reply(const std::vector<std::uint8_t>& payload) {
+  std::size_t off = 0;
+  TuneReplyData reply;
+  try {
+    reply.genome = tune::TuneGenome::from_bytes(payload, off);
+  } catch (const tune::GenomeParseError& e) {
+    throw std::runtime_error(e.what());
+  }
+  if (payload.size() - off != 7 * 8)
+    throw std::runtime_error("tune reply: bad length");
+  const auto u64_at = [&](int i) {
+    return read_le64(payload.data() + off + 8 * i);
+  };
+  reply.score = std::bit_cast<double>(u64_at(0));
+  reply.cr_percent = std::bit_cast<double>(u64_at(1));
+  reply.tat_percent = std::bit_cast<double>(u64_at(2));
+  reply.fsm_gates = u64_at(3);
+  reply.datapath_gates = u64_at(4);
+  reply.evaluations = u64_at(5);
+  reply.invalid_genomes = u64_at(6);
+  return reply;
 }
 
 std::vector<std::uint8_t> error_payload(ErrorCode code,

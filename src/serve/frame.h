@@ -65,6 +65,7 @@
 #include "core/cancel.h"
 #include "core/crc.h"
 #include "serve/transport.h"
+#include "tune/genome.h"
 
 namespace nc::serve {
 
@@ -101,6 +102,13 @@ enum class FrameType : std::uint8_t {
   kSignaturePublishReply,    // the assigned SignatureRef
   kSignatureCheckRequest,    // ref + observed stream
   kSignatureCheckReply,      // serialized compact::CheckVerdict
+  // Search-based code tuning (tune/): run the evolutionary optimizer over
+  // coding parameters for an uploaded TD. The search is deterministic in
+  // the payload bytes, so the winning genome is a content-addressed
+  // artifact: a repeated request for the same (TD, weights, seed) is a
+  // cache/store hit, surviving warm restart.
+  kTuneRequest,
+  kTuneReply,
 };
 
 /// Wire error codes carried by kError frames. The first group is emitted by
@@ -304,6 +312,48 @@ std::vector<std::uint8_t> check_verdict_payload(
     const compact::CheckVerdict& verdict);
 compact::CheckVerdict parse_check_verdict(
     const std::vector<std::uint8_t>& payload);
+
+/// Tune request: the optimizer knobs a client may set, plus the workload.
+/// Weights travel as exact double bit patterns -- the payload bytes ARE the
+/// artifact key, so two clients asking the same question must serialize it
+/// identically. Bounds are enforced at parse time (kBadPayload) so a
+/// request cannot buy unbounded search work.
+struct TuneRequest {
+  std::uint64_t seed = 1;
+  std::uint32_t generations = 10;
+  std::uint32_t population = 24;
+  double weight_cr = 1.0;
+  double weight_tat = 0.25;
+  double weight_gates = 0.05;
+  std::uint32_t p = 8;  // ATE:SoC clock ratio for the TAT model
+  bits::TestSet tests;
+};
+
+/// Caps enforced by parse_tune_request: a tune request is CPU-bound compute,
+/// so the server bounds generations * population like it bounds payload
+/// bytes.
+inline constexpr std::uint32_t kMaxTuneGenerations = 64;
+inline constexpr std::uint32_t kMaxTunePopulation = 64;
+
+std::vector<std::uint8_t> to_payload(const TuneRequest& req);
+TuneRequest parse_tune_request(const std::vector<std::uint8_t>& payload);
+
+/// Tune reply: the winning genome (tune/genome.h byte form) plus its
+/// fitness summary. This is exactly the artifact value the cache/store
+/// tiers hold.
+struct TuneReplyData {
+  tune::TuneGenome genome;
+  double score = 0.0;
+  double cr_percent = 0.0;
+  double tat_percent = 0.0;
+  std::uint64_t fsm_gates = 0;
+  std::uint64_t datapath_gates = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t invalid_genomes = 0;
+};
+
+std::vector<std::uint8_t> to_payload(const TuneReplyData& reply);
+TuneReplyData parse_tune_reply(const std::vector<std::uint8_t>& payload);
 
 /// Error payload: wire code + human-readable detail.
 std::vector<std::uint8_t> error_payload(ErrorCode code,

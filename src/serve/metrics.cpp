@@ -78,6 +78,8 @@ Metrics::Snapshot Metrics::snapshot() const noexcept {
       signature_mismatches.load(std::memory_order_relaxed);
   s.signature_unknown_refs =
       signature_unknown_refs.load(std::memory_order_relaxed);
+  s.tune_requests = tune_requests.load(std::memory_order_relaxed);
+  s.tune_searches = tune_searches.load(std::memory_order_relaxed);
   s.request_latency = request_latency.snapshot();
   s.batch_latency = batch_latency.snapshot();
   return s;
@@ -146,6 +148,12 @@ report::Json metrics_json(const Metrics::Snapshot& m, const CacheStats* cache,
     s["mismatches"] = report::Json(m.signature_mismatches);
     s["unknown_refs"] = report::Json(m.signature_unknown_refs);
     j["signatures"] = std::move(s);
+  }
+  {
+    report::Json t = report::Json::object();
+    t["requests"] = report::Json(m.tune_requests);
+    t["searches"] = report::Json(m.tune_searches);
+    j["tune"] = std::move(t);
   }
   j["request_latency"] = histogram_json(m.request_latency);
   j["batch_latency"] = histogram_json(m.batch_latency);

@@ -109,6 +109,10 @@ class Metrics {
   std::atomic<std::uint64_t> signature_checks{0};
   std::atomic<std::uint64_t> signature_mismatches{0};    // verdicts failing
   std::atomic<std::uint64_t> signature_unknown_refs{0};  // kUnknownSignature
+  // Code tuning (tune/). A tune request either hits an artifact tier (the
+  // search is deterministic in the payload) or runs the evolutionary loop.
+  std::atomic<std::uint64_t> tune_requests{0};  // accepted tune requests
+  std::atomic<std::uint64_t> tune_searches{0};  // actually searched (misses)
 
   LatencyHistogram request_latency;  // accept -> reply written
   LatencyHistogram batch_latency;    // batch formation -> all replies built
@@ -142,6 +146,8 @@ class Metrics {
     std::uint64_t signature_checks = 0;
     std::uint64_t signature_mismatches = 0;
     std::uint64_t signature_unknown_refs = 0;
+    std::uint64_t tune_requests = 0;
+    std::uint64_t tune_searches = 0;
     LatencyHistogram::Snapshot request_latency;
     LatencyHistogram::Snapshot batch_latency;
 

@@ -5,6 +5,7 @@
 
 #include "bits/test_set.h"
 #include "codec/decode_error.h"
+#include "tune/optimizer.h"
 
 namespace nc::serve {
 
@@ -374,7 +375,8 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       return;
     }
     case FrameType::kEncodeRequest:
-    case FrameType::kDecodeRequest: {
+    case FrameType::kDecodeRequest:
+    case FrameType::kTuneRequest: {
       Request req;
       req.conn = conn;
       req.type = frame.type;
@@ -389,12 +391,20 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       if (budget_ms != 0)
         req.deadline = core::Deadline::after(
             std::chrono::milliseconds(budget_ms), config_.clock);
-      try {
-        req.spec = peek_spec(frame.payload);
-      } catch (const std::exception& e) {
-        metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
-        send_error(conn, frame.seq, ErrorCode::kBadPayload, e.what());
-        return;
+      if (frame.type == FrameType::kTuneRequest) {
+        // Tune requests keep the default spec: the scheduler then groups
+        // them into one batch (the spec is unused by the tune path, which
+        // carries its whole configuration in the payload). Payload
+        // validation happens on the worker, like encode/decode bodies.
+        metrics_.tune_requests.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        try {
+          req.spec = peek_spec(frame.payload);
+        } catch (const std::exception& e) {
+          metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+          send_error(conn, frame.seq, ErrorCode::kBadPayload, e.what());
+          return;
+        }
       }
       req.payload = std::move(frame.payload);
 
@@ -533,6 +543,10 @@ void Server::run_batch(std::vector<Request> batch) {
 
 void Server::process_request(const codec::NineCoded& coder,
                              const Request& req) {
+  if (req.type == FrameType::kTuneRequest) {
+    process_tune(req);
+    return;
+  }
   const FrameType reply_type = req.type == FrameType::kEncodeRequest
                                    ? FrameType::kEncodeReply
                                    : FrameType::kDecodeReply;
@@ -614,6 +628,87 @@ void Server::process_request(const codec::NineCoded& coder,
     }
     metrics_.decode_failures.fetch_add(1, std::memory_order_relaxed);
     send_error(req.conn, req.seq, ErrorCode::kDecodeFailed, e.what());
+  } catch (const std::exception& e) {
+    metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
+    send_error(req.conn, req.seq, ErrorCode::kBadPayload, e.what());
+  }
+  finish_request(req);
+}
+
+void Server::process_tune(const Request& req) {
+  try {
+    // The whole payload (knobs + TD bytes) is the content address, so
+    // "same TestSet, same weights, same seed" is by construction the same
+    // artifact -- in L1, in the store across restarts, everywhere.
+    const CacheKey key =
+        cache_key(req.type, req.spec, req.payload.data(), req.payload.size());
+    const store::Key skey{key.lo, key.hi};
+    std::vector<std::uint8_t> out;
+    bool resolved = false;
+    store::ArtifactTier* tier = store_tier();
+    if (auto hit = cache_.get(key)) {
+      metrics_.l1_hits.fetch_add(1, std::memory_order_relaxed);
+      out = std::move(*hit);
+      resolved = true;
+    } else if (tier != nullptr) {
+      try {
+        store::GetResult r = tier->get(skey);
+        if (r.status == store::GetStatus::kHit) {
+          metrics_.l2_hits.fetch_add(1, std::memory_order_relaxed);
+          out = std::move(r.payload);
+          cache_.put(key, out);
+          resolved = true;
+        } else if (r.status == store::GetStatus::kCorrupt) {
+          metrics_.revalidation_failures.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
+      } catch (const std::exception&) {
+      }
+    }
+    if (!resolved) {
+      metrics_.misses.fetch_add(1, std::memory_order_relaxed);
+      metrics_.tune_searches.fetch_add(1, std::memory_order_relaxed);
+      const TuneRequest tr = parse_tune_request(req.payload);
+      tune::TuneConfig cfg;
+      cfg.seed = tr.seed;
+      cfg.generations = tr.generations;
+      cfg.population = tr.population;
+      cfg.weights =
+          tune::TuneWeights{tr.weight_cr, tr.weight_tat, tr.weight_gates,
+                            tr.p};
+      cfg.impl = config_.codec_impl;
+      // Serial fitness evaluation: this code already runs on a pool
+      // worker, and nesting a blocking parallel_map onto the same pool
+      // would deadlock a small pool (the task would wait on subtasks
+      // queued behind itself). Results are jobs-invariant by contract, so
+      // the artifact is identical either way.
+      cfg.jobs = 1;
+      const tune::TuneResult result = tune::run_tune(tr.tests, cfg);
+      TuneReplyData reply;
+      reply.genome = result.best;
+      reply.score = result.best_report.score;
+      reply.cr_percent = result.best_report.cr_percent;
+      reply.tat_percent = result.best_report.tat_percent;
+      reply.fsm_gates = result.best_report.fsm_gates;
+      reply.datapath_gates = result.best_report.datapath_gates;
+      reply.evaluations = result.evaluations;
+      reply.invalid_genomes = result.invalid_genomes;
+      out = to_payload(reply);
+      cache_.put(key, out);
+      if (tier != nullptr) store_write_through(skey, out);
+    }
+    if (req.deadline.expired()) {
+      metrics_.deadline_shed_write.fetch_add(1, std::memory_order_relaxed);
+      send_error(req.conn, req.seq, ErrorCode::kDeadlineExceeded,
+                 "deadline expired before reply write");
+      finish_request(req);
+      return;
+    }
+    Frame reply;
+    reply.type = FrameType::kTuneReply;
+    reply.seq = req.seq;
+    reply.payload = std::move(out);
+    send_frame(req.conn, reply);
   } catch (const std::exception& e) {
     metrics_.bad_payloads.fetch_add(1, std::memory_order_relaxed);
     send_error(req.conn, req.seq, ErrorCode::kBadPayload, e.what());

@@ -191,6 +191,9 @@ class Server {
   void scheduler_loop();
   void run_batch(std::vector<Request> batch);
   void process_request(const codec::NineCoded& coder, const Request& req);
+  /// Tune requests: resolve through the artifact tiers, else run the
+  /// evolutionary search (serially -- it already occupies a pool worker).
+  void process_tune(const Request& req);
   void send_frame(const std::shared_ptr<Connection>& conn,
                   const Frame& frame);
   void send_error(const std::shared_ptr<Connection>& conn, std::uint64_t seq,

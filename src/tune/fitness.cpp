@@ -1,0 +1,83 @@
+#include "tune/fitness.h"
+
+#include <algorithm>
+
+#include "decomp/timing.h"
+#include "synth/code_synth.h"
+
+namespace nc::tune {
+
+FitnessEvaluator::FitnessEvaluator(const bits::TestSet& td,
+                                   TuneWeights weights, codec::CodecImpl impl)
+    : td_(td), weights_(weights), impl_(impl) {}
+
+const bits::TritVector& FitnessEvaluator::filled_stream(
+    const TuneGenome& genome) const {
+  const auto key = std::make_pair(static_cast<unsigned>(genome.fill),
+                                  genome.fill == FillPolicy::kRandom
+                                      ? genome.fill_seed
+                                      : std::uint64_t{0});
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fill_memo_.find(key);
+  if (it == fill_memo_.end())
+    it = fill_memo_.emplace(key, genome.apply_fill(td_).flatten()).first;
+  return it->second;
+}
+
+std::size_t FitnessEvaluator::fsm_cost(
+    const std::array<unsigned, codec::kNumClasses>& lengths,
+    const codec::CodewordTable& table) const {
+  std::string key(lengths.begin(), lengths.end());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fsm_memo_.find(key);
+    if (it != fsm_memo_.end()) return it->second;
+  }
+  // Synthesize outside the lock: QM minimization is the slow part and two
+  // workers racing on the same key just do the same pure work twice.
+  const synth::CodeSynthResult fsm =
+      synth::synthesize_code_fsm(synth::leaves_for_table(table), 3);
+  const std::size_t gates = fsm.total_gate_equivalents();
+  std::lock_guard<std::mutex> lock(mutex_);
+  fsm_memo_.emplace(std::move(key), gates);
+  return gates;
+}
+
+std::size_t datapath_gate_estimate(std::size_t k, std::size_t split,
+                                   std::size_t fsm_gates) noexcept {
+  // Same pricing as synth::decoder_gate_estimate, with the counter and
+  // shifter sized for the genome's larger half instead of K/2.
+  const std::size_t resolved = split == 0 ? k / 2 : split;
+  const std::size_t widest = std::max(resolved, k - resolved);
+  std::size_t counter_bits = 0;
+  while ((std::size_t{1} << counter_bits) < widest) ++counter_bits;
+  if (counter_bits == 0) counter_bits = 1;
+  return fsm_gates + counter_bits * 8 + counter_bits + widest * 6 + 3;
+}
+
+FitnessReport FitnessEvaluator::evaluate(const TuneGenome& genome) const {
+  FitnessReport report;
+  try {
+    const codec::NineCoded coder = genome.make_coder(impl_);
+    const bits::TritVector& stream = filled_stream(genome);
+    const codec::NineCodedStats stats = coder.analyze(stream);
+    report.cr_percent = stats.compression_ratio();
+    report.tat_percent =
+        decomp::tat_percent(stats, coder.table(), weights_.p);
+    report.fsm_gates = fsm_cost(genome.lengths, coder.table());
+    report.datapath_gates =
+        datapath_gate_estimate(genome.k, genome.split, report.fsm_gates);
+    report.encoded_bits = stats.encoded_bits;
+    report.score = weights_.cr * report.cr_percent +
+                   weights_.tat * report.tat_percent -
+                   weights_.gates * static_cast<double>(report.fsm_gates);
+    report.valid = true;
+  } catch (const std::invalid_argument&) {
+    // CodeSpecError (bad lengths), bad K/split, or an FSM past the
+    // synthesizer's state cap: the genome is simply unfit.
+    report = FitnessReport{};
+  }
+  return report;
+}
+
+}  // namespace nc::tune

@@ -1,0 +1,86 @@
+// Fitness of one genome on one workload: real encoder, real TAT model,
+// real synthesized decoder cost.
+//
+// Nothing in here estimates. The candidate is run end-to-end through the
+// production NineCoded path (bitplane through the CodecImpl selector) for
+// its compression ratio, through decomp's cycle accounting for TAT, and its
+// decoder controller is synthesized gate-by-gate with synth::code_synth
+// (trie FSM + Quine-McCluskey) for the hardware price. The three axes
+// combine under a weight vector into one scalar score; an invalid genome
+// (Kraft violation, oversized FSM) scores -infinity and is counted, not
+// repaired -- the optimizer's selection pressure does the repairing.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "bits/test_set.h"
+#include "tune/genome.h"
+
+namespace nc::tune {
+
+/// The scalarization. Score = cr * CR% + tat * TAT% - gates * FSM gate
+/// equivalents. CR and TAT are percentages (bigger is better); gates is an
+/// absolute count (smaller is better), so its weight is a price per gate in
+/// "CR points".
+struct TuneWeights {
+  double cr = 1.0;
+  double tat = 0.25;
+  double gates = 0.05;
+  /// ATE:SoC clock ratio for the TAT model (paper Table V uses 8).
+  unsigned p = 8;
+
+  bool operator==(const TuneWeights&) const = default;
+};
+
+struct FitnessReport {
+  bool valid = false;
+  double cr_percent = 0.0;
+  double tat_percent = 0.0;
+  std::size_t fsm_gates = 0;       // synthesized controller, gate equivalents
+  std::size_t datapath_gates = 0;  // + counter/shifter estimate (reported)
+  std::size_t encoded_bits = 0;
+  double score = -std::numeric_limits<double>::infinity();
+};
+
+/// Evaluates genomes against one TestSet. Thread-safe: the optimizer calls
+/// evaluate() from every pool worker. FSM synthesis (the expensive part,
+/// and a pure function of the length assignment) and filled TD streams
+/// (pure functions of the fill policy + seed) are memoized under a mutex.
+class FitnessEvaluator {
+ public:
+  FitnessEvaluator(const bits::TestSet& td, TuneWeights weights,
+                   codec::CodecImpl impl = codec::CodecImpl::kAuto);
+
+  /// Never throws for an invalid genome: returns report.valid = false with
+  /// score -infinity.
+  FitnessReport evaluate(const TuneGenome& genome) const;
+
+  const TuneWeights& weights() const noexcept { return weights_; }
+
+ private:
+  const bits::TritVector& filled_stream(const TuneGenome& genome) const;
+  std::size_t fsm_cost(const std::array<unsigned, codec::kNumClasses>& lengths,
+                       const codec::CodewordTable& table) const;
+
+  bits::TestSet td_;
+  TuneWeights weights_;
+  codec::CodecImpl impl_;
+
+  mutable std::mutex mutex_;
+  mutable std::map<std::pair<unsigned, std::uint64_t>, bits::TritVector>
+      fill_memo_;
+  mutable std::map<std::string, std::size_t> fsm_memo_;
+};
+
+/// The full decoder estimate for reporting: the synthesized FSM plus the
+/// same counter/shifter/mux pricing decoder_gate_estimate uses, sized for
+/// the genome's larger half.
+std::size_t datapath_gate_estimate(std::size_t k, std::size_t split,
+                                   std::size_t fsm_gates) noexcept;
+
+}  // namespace nc::tune

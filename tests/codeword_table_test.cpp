@@ -51,6 +51,59 @@ TEST(CodewordTable, FromLengthsRejectsZeroLength) {
       std::invalid_argument);
 }
 
+// The tune optimizer probes arbitrary length vectors and sorts rejections
+// by kind, so from_lengths throws a typed CodeSpecError (still an
+// invalid_argument for legacy catch sites) with the fault attached.
+TEST(CodewordTable, KraftViolationCarriesTypedFault) {
+  try {
+    CodewordTable::from_lengths({1, 1, 5, 5, 5, 5, 5, 5, 4});
+    FAIL() << "expected CodeSpecError";
+  } catch (const CodeSpecError& e) {
+    EXPECT_EQ(e.fault(), CodeSpecFault::kKraftViolation);
+  }
+}
+
+TEST(CodewordTable, ZeroLengthCarriesTypedFault) {
+  try {
+    CodewordTable::from_lengths({0, 2, 5, 5, 5, 5, 5, 5, 4});
+    FAIL() << "expected CodeSpecError";
+  } catch (const CodeSpecError& e) {
+    EXPECT_EQ(e.fault(), CodeSpecFault::kLengthOutOfRange);
+  }
+}
+
+TEST(CodewordTable, OverlongLengthCarriesTypedFault) {
+  // Length 32 would shift the integer Kraft accumulator out of range; it
+  // must be rejected as out-of-range, not wrap into a bogus Kraft verdict.
+  try {
+    CodewordTable::from_lengths({1, 2, 5, 5, 5, 5, 5, 5, 32});
+    FAIL() << "expected CodeSpecError";
+  } catch (const CodeSpecError& e) {
+    EXPECT_EQ(e.fault(), CodeSpecFault::kLengthOutOfRange);
+  }
+}
+
+TEST(CodewordTable, AllLengthOneIsTheCanonicalKraftCounterexample) {
+  EXPECT_THROW(CodewordTable::from_lengths({1, 1, 1, 1, 1, 1, 1, 1, 1}),
+               CodeSpecError);
+}
+
+TEST(CodewordTable, DeepButFeasibleLengthsAreAccepted) {
+  // 1,2,3,...,8,8 satisfies Kraft with equality; the integer accumulator
+  // must not reject it to rounding.
+  const CodewordTable t =
+      CodewordTable::from_lengths({1, 2, 3, 4, 5, 6, 7, 8, 8});
+  EXPECT_TRUE(t.prefix_free());
+  EXPECT_EQ(t.max_length(), 8u);
+}
+
+TEST(CodewordTable, UnderfullLengthsAreAccepted) {
+  // Kraft sum strictly below one (wasteful but legal) must construct.
+  const CodewordTable t =
+      CodewordTable::from_lengths({2, 3, 5, 5, 5, 5, 5, 5, 5});
+  EXPECT_TRUE(t.prefix_free());
+}
+
 TEST(CodewordTable, MatchDecodesEveryCodeword) {
   const CodewordTable t = CodewordTable::standard();
   for (std::size_t c = 0; c < kNumClasses; ++c) {

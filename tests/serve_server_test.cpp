@@ -16,6 +16,7 @@
 #include "serve/loadgen.h"
 #include "serve/server.h"
 #include "serve/transport.h"
+#include "tune/optimizer.h"
 
 namespace nc::serve {
 namespace {
@@ -793,6 +794,172 @@ TEST(ServeServerTest, LoadgenSignatureChecksFaultInjectedStaysClean) {
   EXPECT_GT(m.signature_publishes, 0u);
   EXPECT_GT(m.signature_checks, 0u);
   EXPECT_EQ(m.signature_unknown_refs, 0u);
+  server.stop();
+}
+
+// ---- code tuning over the wire ------------------------------------------
+
+Frame tune_frame(std::uint64_t seq, const TuneRequest& req) {
+  Frame f;
+  f.type = FrameType::kTuneRequest;
+  f.seq = seq;
+  f.payload = to_payload(req);
+  return f;
+}
+
+TuneRequest small_tune_request() {
+  TuneRequest req;
+  req.seed = 42;
+  req.generations = 2;
+  req.population = 4;
+  req.tests = small_test_set();
+  return req;
+}
+
+TEST(ServeServerTest, TuneComputesOnceThenServesFromCache) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+  const TuneRequest req = small_tune_request();
+
+  const Frame first = client.round_trip(tune_frame(1, req));
+  ASSERT_EQ(first.type, FrameType::kTuneReply);
+  const TuneReplyData reply = parse_tune_reply(first.payload);
+  EXPECT_EQ(reply.evaluations, std::size_t{req.generations} * req.population);
+  EXPECT_GE(reply.cr_percent, 0.0);
+  EXPECT_GT(reply.fsm_gates, 0u);
+
+  const Frame second = client.round_trip(tune_frame(2, req));
+  ASSERT_EQ(second.type, FrameType::kTuneReply);
+  EXPECT_EQ(second.payload, first.payload)
+      << "the repeated tune request must come back byte-identical";
+
+  const Metrics::Snapshot m = server.metrics_snapshot();
+  EXPECT_EQ(m.tune_requests, 2u);
+  EXPECT_EQ(m.tune_searches, 1u) << "the second request must not re-search";
+  EXPECT_GE(m.l1_hits, 1u);
+  server.stop();
+}
+
+TEST(ServeServerTest, TuneReplyMatchesLocalSearchExactly) {
+  // The server runs the same deterministic optimizer a local `ninec tune`
+  // would, so its artifact must equal the local result bit for bit --
+  // that is what makes the content-addressed caching sound.
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+  const TuneRequest req = small_tune_request();
+
+  const Frame frame = client.round_trip(tune_frame(1, req));
+  ASSERT_EQ(frame.type, FrameType::kTuneReply);
+  const TuneReplyData reply = parse_tune_reply(frame.payload);
+
+  tune::TuneConfig cfg;
+  cfg.seed = req.seed;
+  cfg.generations = req.generations;
+  cfg.population = req.population;
+  cfg.weights =
+      tune::TuneWeights{req.weight_cr, req.weight_tat, req.weight_gates,
+                        req.p};
+  const tune::TuneResult local = tune::run_tune(req.tests, cfg);
+  EXPECT_EQ(reply.genome, local.best);
+  EXPECT_EQ(reply.score, local.best_report.score);
+  EXPECT_GE(reply.score, local.standard_report.score);
+  EXPECT_GE(reply.score, local.frequency_directed_report.score);
+  server.stop();
+}
+
+TEST(ServeServerTest, TuneWarmRestartServesFromStore) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "nc_serve_tune_warm_test";
+  fs::remove_all(dir);
+
+  ServerConfig sconfig;
+  sconfig.worker_threads = 2;
+  sconfig.store_dir = dir.string();
+  const TuneRequest req = small_tune_request();
+
+  std::vector<std::uint8_t> cold;
+  {
+    Server server(sconfig);
+    TestClient client(server);
+    const Frame reply = client.round_trip(tune_frame(1, req));
+    ASSERT_EQ(reply.type, FrameType::kTuneReply);
+    cold = reply.payload;
+    EXPECT_EQ(server.metrics_snapshot().tune_searches, 1u);
+    server.stop();
+  }
+  {
+    Server server(sconfig);  // same store directory: reopen warm
+    ASSERT_TRUE(server.has_store());
+    TestClient client(server);
+    const Frame reply = client.round_trip(tune_frame(2, req));
+    ASSERT_EQ(reply.type, FrameType::kTuneReply);
+    EXPECT_EQ(reply.payload, cold)
+        << "the warm tune artifact differs from the cold search";
+    const Metrics::Snapshot m = server.metrics_snapshot();
+    EXPECT_EQ(m.tune_searches, 0u)
+        << "a warm restart must answer from the store, not re-search";
+    EXPECT_GE(m.l2_hits, 1u);
+    server.stop();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ServeServerTest, TuneBadPayloadsAreTypedErrors) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+
+  Frame junk;
+  junk.type = FrameType::kTuneRequest;
+  junk.seq = 1;
+  junk.payload = {9, 9, 9};  // far too short
+  Frame reply = client.round_trip(junk);
+  ASSERT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(parse_error_payload(reply.payload).code, ErrorCode::kBadPayload);
+
+  // Well-formed but over the search caps: same typed rejection.
+  TuneRequest oversized = small_tune_request();
+  oversized.generations = kMaxTuneGenerations + 1;
+  reply = client.round_trip(tune_frame(2, oversized));
+  ASSERT_EQ(reply.type, FrameType::kError);
+  EXPECT_EQ(parse_error_payload(reply.payload).code, ErrorCode::kBadPayload);
+
+  // The connection survives both and still serves good requests.
+  const Frame good = client.round_trip(tune_frame(3, small_tune_request()));
+  EXPECT_EQ(good.type, FrameType::kTuneReply);
+  server.stop();
+}
+
+TEST(ServeServerTest, TuneAndEncodeRequestsCoexistInMixedTraffic) {
+  ServerConfig config;
+  config.worker_threads = 2;
+  Server server(config);
+  TestClient client(server);
+
+  // Interleave: the scheduler may batch these together (tune requests ride
+  // the default spec); dispatch must still route each to its own handler.
+  const Frame enc1 = client.round_trip(encode_request(1, small_test_set()));
+  const Frame tun1 = client.round_trip(tune_frame(2, small_tune_request()));
+  const Frame enc2 = client.round_trip(encode_request(3, small_test_set()));
+  ASSERT_EQ(enc1.type, FrameType::kEncodeReply);
+  ASSERT_EQ(tun1.type, FrameType::kTuneReply);
+  ASSERT_EQ(enc2.type, FrameType::kEncodeReply);
+  EXPECT_EQ(enc1.payload, enc2.payload);
+
+  // Stats reply carries the tune counters.
+  Frame stats;
+  stats.type = FrameType::kStatsRequest;
+  stats.seq = 9;
+  const Frame sreply = client.round_trip(stats);
+  ASSERT_EQ(sreply.type, FrameType::kStatsReply);
+  const std::string json(sreply.payload.begin(), sreply.payload.end());
+  EXPECT_NE(json.find("\"tune\""), std::string::npos);
+  EXPECT_NE(json.find("\"searches\""), std::string::npos);
   server.stop();
 }
 

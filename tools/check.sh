@@ -7,8 +7,9 @@
 # slow-client timing, retrying client, chaos transport soak, and the
 # persistent artifact store: crash-recovery matrices plus compaction racing
 # concurrent readers, the erasure-coded sharded tier: degraded reads,
-# breaker probes and scrub repair under fault injection, and the
-# fault-parallel response analyzer of the X-compaction layer) to catch data
+# breaker probes and scrub repair under fault injection, the fault-parallel
+# response analyzer of the X-compaction layer, and the tune subsystem's
+# parallel fitness evaluation with its memoizing evaluator) to catch data
 # races in the parallel pipeline and the service.
 #
 #   tools/check.sh [--plain-only|--sanitize-only|--tsan-only]
@@ -54,11 +55,12 @@ if [[ "$mode" != "--plain-only" && "$mode" != "--sanitize-only" ]]; then
     fleet_test decoder_fuzz_test codec_diff_fuzz_test frame_fuzz_test \
     serve_cache_test serve_server_test serve_timing_test serve_client_test \
     serve_chaos_test retry_test crc_test hash_test \
+    tune_test tune_roundtrip_test \
     erasure_test store_test store_crash_test store_erasure_test \
     compact_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$builddir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|CodecDiffFuzz|Watchdog|FrameFuzz|ServeServer|ServeTiming|RetryingClient|ChaosSpec|ChaosStream|ChaosSoak|ArtifactCache|CacheKey|RetryHelper|Crc|Fnv128|ErasureCodec|Store|Analyzer|Signature'
+    -R 'ThreadPool|Parallel|ParallelPipeline|ShardedFormat|Fleet|DecoderFuzz|CodecDiffFuzz|Watchdog|FrameFuzz|ServeServer|ServeTiming|RetryingClient|ChaosSpec|ChaosStream|ChaosSoak|ArtifactCache|CacheKey|RetryHelper|Crc|Fnv128|Mix64|Tune|Genome|ErasureCodec|Store|Analyzer|Signature'
 fi
 
 echo "== check.sh: all suites green =="

@@ -24,9 +24,11 @@
 // decodes with --jobs workers. --jobs 0 means one per hardware thread.
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <functional>
 #include <iostream>
 #include <limits>
@@ -46,17 +48,21 @@
 #include "codec/sharded.h"
 #include "compact/roundtrip.h"
 #include "compact/xcode.h"
+#include "core/thread_pool.h"
 #include "gen/cube_gen.h"
 #include "report/json.h"
 #include "report/table.h"
 #include "rtl/verilog.h"
 #include "serve/chaos.h"
+#include "serve/client.h"
 #include "serve/loadgen.h"
 #include "serve/metrics.h"
 #include "serve/server.h"
 #include "serve/transport.h"
 #include "store/sharded_store.h"
 #include "store/store.h"
+#include "tune/genome.h"
+#include "tune/optimizer.h"
 
 namespace {
 
@@ -71,10 +77,27 @@ using nc::bits::TritVector;
       "  circuit    --out FILE [--gates N] [--inputs N] [--flops N] [--seed N]\n"
       "  atpg       --bench FILE --out FILE [--no-compact]\n"
       "  compress   --in FILE --out FILE [--k N] [--freq-directed]\n"
+      "             [--table tuned.json]  (encode with a tuned genome from\n"
+      "             ninec tune --out; excludes --k/--freq-directed/--shards)\n"
       "             [--shards N] [--jobs N]  (sharded container, parallel\n"
       "             encode; --jobs 0 = one per hardware thread)\n"
       "  decompress --in FILE --out FILE [--jobs N]\n"
       "  stats      --in FILE [--k-min N] [--k-max N]\n"
+      "  tune       --in FILE [--seed N] [--generations N] [--population N]\n"
+      "             [--weights CR:TAT:GATES] [--p N] [--jobs N]\n"
+      "             [--k-min N] [--k-max N] [--no-split] [--no-fill]\n"
+      "             [--out tuned.json] [--json FILE]\n"
+      "             [--socket PATH [--repeat N]]\n"
+      "             (evolutionary search over coding parameters -- codeword\n"
+      "             lengths, K, half split, X-fill -- scored by real encoder\n"
+      "             CR, TAT cycle accounting and synthesized decoder gates;\n"
+      "             seeded and jobs-invariant: the same --seed is\n"
+      "             bit-reproducible. --weights prices the axes (default\n"
+      "             1:0.25:0.05), --out writes the winning genome for\n"
+      "             compress --table, --json the per-generation trace.\n"
+      "             With --socket the search runs on a ninec serve instance\n"
+      "             as a content-addressed artifact: --repeat resends the\n"
+      "             identical request to demonstrate cache/store hits)\n"
       "  rtl        --out FILE [--k N] [--freq-directed --in FILE]\n"
       "             [--testbench FILE] [--module NAME]\n"
       "  roundtrip  --bench FILE [--tests FILE] [--k N] [--seed N]\n"
@@ -284,20 +307,34 @@ void save_tests(const std::string& path, const TestSet& ts) {
 // Sharded files share the same layout under magic "NC9S"; their trit payload
 // is the self-describing container of codec/sharded.h (pattern-aligned
 // shards behind an offset/length/CRC index).
+//
+// Tuned streams (compress --table with a genome outside the paper's default
+// shape) use the extended header "NC9T": magic | u8 k | u8 split | u8 fill |
+// u64 fill_seed | 9 x u8 lengths | u64 patterns | u64 width | trits. The
+// split reaches the decoder (asymmetric halves change the stream layout);
+// fill/fill_seed are provenance only -- the encoded payload is the filled
+// TD, so decoding needs neither.
 
 void save_stream(const std::string& path, const nc::codec::NineCoded& coder,
                  const TestSet& td, const TritVector& te,
-                 bool sharded = false) {
+                 bool sharded = false,
+                 const nc::tune::TuneGenome* genome = nullptr) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot write " + path);
-  out.write(sharded ? "NC9S" : "NC9C", 4);
+  const bool tuned = genome != nullptr && !genome->is_standard_shape();
+  out.write(tuned ? "NC9T" : (sharded ? "NC9S" : "NC9C"), 4);
   out.put(static_cast<char>(coder.block_size()));
-  for (std::size_t c = 0; c < nc::codec::kNumClasses; ++c)
-    out.put(static_cast<char>(
-        coder.table().length(static_cast<nc::codec::BlockClass>(c))));
   auto put_u64 = [&](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xFF));
   };
+  if (tuned) {
+    out.put(static_cast<char>(genome->split));
+    out.put(static_cast<char>(genome->fill));
+    put_u64(genome->fill_seed);
+  }
+  for (std::size_t c = 0; c < nc::codec::kNumClasses; ++c)
+    out.put(static_cast<char>(
+        coder.table().length(static_cast<nc::codec::BlockClass>(c))));
   put_u64(td.pattern_count());
   put_u64(td.pattern_length());
   nc::bits::save_trits(out, te);
@@ -319,11 +356,10 @@ LoadedStream load_stream(const std::string& path,
   char magic[4];
   in.read(magic, 4);
   const bool sharded = in && std::strncmp(magic, "NC9S", 4) == 0;
-  if (!in || (!sharded && std::strncmp(magic, "NC9C", 4) != 0))
+  const bool tuned = in && std::strncmp(magic, "NC9T", 4) == 0;
+  if (!in || (!sharded && !tuned && std::strncmp(magic, "NC9C", 4) != 0))
     throw std::runtime_error(path + " is not a ninec stream");
   const std::size_t k = static_cast<unsigned char>(in.get());
-  std::array<unsigned, nc::codec::kNumClasses> lengths{};
-  for (auto& len : lengths) len = static_cast<unsigned char>(in.get());
   auto get_u64 = [&] {
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
@@ -331,13 +367,21 @@ LoadedStream load_stream(const std::string& path,
            << (8 * i);
     return v;
   };
+  std::size_t split = 0;
+  if (tuned) {
+    split = static_cast<unsigned char>(in.get());
+    in.get();   // fill policy: provenance only, the payload is already filled
+    get_u64();  // fill seed, likewise
+  }
+  std::array<unsigned, nc::codec::kNumClasses> lengths{};
+  for (auto& len : lengths) len = static_cast<unsigned char>(in.get());
   const std::size_t patterns = static_cast<std::size_t>(get_u64());
   const std::size_t width = static_cast<std::size_t>(get_u64());
   if (!in) throw std::runtime_error(path + " is truncated");
   TritVector te = nc::bits::load_trits(in);
   return LoadedStream{
       nc::codec::NineCoded(k, nc::codec::CodewordTable::from_lengths(lengths),
-                           impl),
+                           impl, split),
       patterns, width, std::move(te), sharded};
 }
 
@@ -489,10 +533,41 @@ int cmd_roundtrip(const Args& args) {
                                                                         : 1;
 }
 
+/// Reads a whole file into a string (genome JSON tables are tiny).
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
 int cmd_compress(const Args& args) {
   const TestSet td = load_tests(args.require("in"));
-  const std::size_t k = args.get_count("k", 8);
   const nc::codec::CodecImpl impl = parse_codec_impl(args);
+  if (args.has("table")) {
+    // A tuned genome pins K, the lengths, the split and the fill policy;
+    // combining it with the knobs it replaces is a contradiction, and the
+    // sharded container does not carry the extended header.
+    if (args.has("k") || args.has("freq-directed") || args.has("shards") ||
+        args.has("jobs"))
+      usage("--table excludes --k/--freq-directed/--shards/--jobs");
+    const nc::tune::TuneGenome genome =
+        nc::tune::TuneGenome::from_json(slurp_file(args.require("table")));
+    const TestSet filled = genome.apply_fill(td);
+    const nc::codec::NineCoded coder = genome.make_coder(impl);
+    TritVector te;
+    const auto stats = coder.analyze(filled.flatten(), &te);
+    save_stream(args.require("out"), coder, filled, te, /*sharded=*/false,
+                &genome);
+    std::cout << coder.name() << " (tuned, fill "
+              << nc::tune::fill_policy_name(genome.fill) << "): "
+              << stats.original_bits << " -> " << stats.encoded_bits
+              << " bits, CR " << stats.compression_ratio()
+              << "%, leftover X " << stats.leftover_x_percent() << "%\n";
+    return 0;
+  }
+  const std::size_t k = args.get_count("k", 8);
   const TritVector stream = td.flatten();
   const nc::codec::NineCoded coder =
       args.has("freq-directed")
@@ -567,6 +642,232 @@ int cmd_stats(const Args& args) {
         .add(stats.encoded_bits);
   }
   table.print(std::cout);
+  return 0;
+}
+
+/// --weights CR:TAT:GATES plus --p; defaults are TuneWeights' own. Each
+/// field must be a finite non-negative decimal; anything else exits 2.
+nc::tune::TuneWeights parse_weights(const Args& args) {
+  nc::tune::TuneWeights w;
+  w.p = static_cast<unsigned>(args.get_count("p", w.p));
+  if (!args.has("weights")) return w;
+  const std::string text = args.require("weights");
+  std::array<double, 3> v{};
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t colon = i == 2 ? text.size() : text.find(':', start);
+    const std::string part =
+        text.substr(start, (colon == std::string::npos ? text.size() : colon) -
+                               start);
+    try {
+      if (colon == std::string::npos) throw std::invalid_argument(part);
+      std::size_t pos = 0;
+      v[i] = std::stod(part, &pos);
+      if (pos != part.size() || !(v[i] >= 0.0) || v[i] - v[i] != 0.0)
+        throw std::invalid_argument(part);
+    } catch (const std::exception&) {
+      usage("--weights expects three finite non-negative numbers "
+            "CR:TAT:GATES, got '" + text + "'");
+    }
+    start = colon + 1;
+  }
+  w.cr = v[0];
+  w.tat = v[1];
+  w.gates = v[2];
+  return w;
+}
+
+std::string genome_summary(const nc::tune::TuneGenome& g) {
+  std::string s = "K=" + std::to_string(g.k) +
+                  " split=" + std::to_string(g.resolved_split()) + "/" +
+                  std::to_string(g.k - g.resolved_split()) + " lengths=";
+  for (std::size_t i = 0; i < g.lengths.size(); ++i) {
+    if (i > 0) s += ',';
+    s += std::to_string(g.lengths[i]);
+  }
+  s += std::string(" fill=") + nc::tune::fill_policy_name(g.fill);
+  if (g.fill == nc::tune::FillPolicy::kRandom)
+    s += "(seed " + std::to_string(g.fill_seed) + ")";
+  return s;
+}
+
+nc::report::Json genome_json(const nc::tune::TuneGenome& g) {
+  nc::report::Json j = nc::report::Json::object();
+  j["k"] = std::uint64_t{g.k};
+  j["split"] = std::uint64_t{g.split};
+  nc::report::Json lens = nc::report::Json::array();
+  for (const unsigned len : g.lengths)
+    lens.push_back(nc::report::Json(std::uint64_t{len}));
+  j["lengths"] = std::move(lens);
+  j["fill"] = std::string(nc::tune::fill_policy_name(g.fill));
+  j["fill_seed"] = g.fill_seed;
+  return j;
+}
+
+nc::report::Json fitness_json(const nc::tune::FitnessReport& r) {
+  nc::report::Json j = nc::report::Json::object();
+  j["valid"] = r.valid;
+  // An invalid report's score is -infinity, which JSON cannot carry.
+  j["score"] = r.valid ? r.score : 0.0;
+  j["cr_percent"] = r.cr_percent;
+  j["tat_percent"] = r.tat_percent;
+  j["fsm_gates"] = std::uint64_t{r.fsm_gates};
+  j["datapath_gates"] = std::uint64_t{r.datapath_gates};
+  j["encoded_bits"] = std::uint64_t{r.encoded_bits};
+  return j;
+}
+
+void print_fitness(const std::string& label, const nc::tune::TuneGenome& g,
+                   const nc::tune::FitnessReport& r) {
+  std::cout << label << ": score " << r.score << " (CR " << r.cr_percent
+            << "%, TAT " << r.tat_percent << "%, FSM " << r.fsm_gates
+            << " GE, datapath " << r.datapath_gates << " GE)\n  "
+            << genome_summary(g) << '\n';
+}
+
+/// Remote mode: the search runs on a ninec serve instance and comes back as
+/// a content-addressed artifact. --repeat resends the byte-identical
+/// request; every reply must match the first byte for byte (the server
+/// either computed once or answered from a tier).
+int cmd_tune_remote(const Args& args) {
+  const std::string socket = args.require("socket");
+  nc::serve::TuneRequest req;
+  req.seed = args.get_size("seed", 1);
+  req.generations =
+      static_cast<std::uint32_t>(args.get_count("generations", 10));
+  req.population =
+      static_cast<std::uint32_t>(args.get_count("population", 24));
+  const nc::tune::TuneWeights w = parse_weights(args);
+  req.weight_cr = w.cr;
+  req.weight_tat = w.tat;
+  req.weight_gates = w.gates;
+  req.p = w.p;
+  req.tests = load_tests(args.require("in"));
+  const std::vector<std::uint8_t> payload = nc::serve::to_payload(req);
+
+  nc::serve::RetryingClient client(
+      [socket] { return nc::serve::connect_unix(socket); });
+  const std::size_t repeat = args.get_count("repeat", 1);
+  const auto overall =
+      std::chrono::milliseconds(args.get_size("deadline-ms", 300000));
+  std::vector<std::uint8_t> first_reply;
+  for (std::size_t i = 0; i < repeat; ++i) {
+    const auto outcome = client.call(nc::serve::FrameType::kTuneRequest,
+                                     payload, overall);
+    using Status = nc::serve::RetryingClient::Outcome::Status;
+    if (!outcome.has_value()) {
+      std::cerr << "error: tune request " << i + 1 << " timed out\n";
+      return 1;
+    }
+    if (outcome->status != Status::kReply) {
+      std::cerr << "error: tune request " << i + 1 << " failed: "
+                << (outcome->status == Status::kTypedError
+                        ? nc::serve::to_string(outcome->error) +
+                              (": " + outcome->detail)
+                        : std::string("retries exhausted"))
+                << '\n';
+      return 1;
+    }
+    const nc::serve::TuneReplyData reply =
+        nc::serve::parse_tune_reply(outcome->reply.payload);
+    if (i == 0) {
+      first_reply = outcome->reply.payload;
+      std::cout << "winner: score " << reply.score << " (CR "
+                << reply.cr_percent << "%, TAT " << reply.tat_percent
+                << "%, FSM " << reply.fsm_gates << " GE) after "
+                << reply.evaluations << " evaluations\n  "
+                << genome_summary(reply.genome) << '\n';
+      if (args.has("out")) {
+        std::ofstream out(args.require("out"));
+        if (!out) throw std::runtime_error("cannot write " + args.get("out"));
+        out << reply.genome.to_json();
+      }
+    } else if (outcome->reply.payload != first_reply) {
+      std::cerr << "error: repeat " << i + 1
+                << " returned a different artifact\n";
+      return 1;
+    }
+  }
+  if (repeat > 1)
+    std::cout << repeat << " identical requests, " << repeat
+              << " byte-identical replies\n";
+  const auto stats = client.call(nc::serve::FrameType::kStatsRequest, {},
+                                 std::chrono::milliseconds(10000));
+  if (stats.has_value() &&
+      stats->status == nc::serve::RetryingClient::Outcome::Status::kReply)
+    std::cout << std::string(stats->reply.payload.begin(),
+                             stats->reply.payload.end())
+              << '\n';
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  if (args.has("socket")) return cmd_tune_remote(args);
+  const TestSet td = load_tests(args.require("in"));
+  nc::tune::TuneConfig cfg;
+  cfg.seed = args.get_size("seed", cfg.seed);
+  cfg.generations = args.get_count("generations", cfg.generations);
+  cfg.population = args.get_count("population", cfg.population);
+  cfg.jobs = args.get_count("jobs", 1,
+                            nc::core::ThreadPool::hardware_threads());
+  cfg.weights = parse_weights(args);
+  cfg.impl = parse_codec_impl(args);
+  cfg.k_min = args.get_count("k-min", cfg.k_min);
+  cfg.k_max = args.get_count("k-max", cfg.k_max);
+  cfg.baseline_k = args.get_count("baseline-k", cfg.baseline_k);
+  cfg.tune_split = !args.has("no-split");
+  cfg.tune_fill = !args.has("no-fill");
+
+  const nc::tune::TuneResult r = nc::tune::run_tune(td, cfg);
+
+  std::cout << "tune: " << td.pattern_count() << " x "
+            << td.pattern_length() << " cubes, " << cfg.generations
+            << " generations x " << cfg.population << " candidates, seed "
+            << cfg.seed << " (" << r.evaluations << " evaluations, "
+            << r.invalid_genomes << " invalid)\n";
+  print_fitness("standard", nc::tune::TuneGenome::standard(cfg.baseline_k),
+                r.standard_report);
+  print_fitness("freq-directed", r.frequency_directed,
+                r.frequency_directed_report);
+  print_fitness("winner", r.best, r.best_report);
+  for (const nc::tune::GenerationTrace& t : r.trace)
+    std::cout << "  gen " << t.generation << ": best " << t.best_score
+              << ", mean " << t.mean_valid_score << ", invalid "
+              << t.invalid << '\n';
+
+  if (args.has("out")) {
+    std::ofstream out(args.require("out"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("out"));
+    out << r.best.to_json();
+    std::cout << "genome -> " << args.get("out") << '\n';
+  }
+  if (args.has("json")) {
+    nc::report::Json doc = nc::report::Json::object();
+    doc["seed"] = cfg.seed;
+    doc["generations"] = std::uint64_t{cfg.generations};
+    doc["population"] = std::uint64_t{cfg.population};
+    doc["weights_cr"] = cfg.weights.cr;
+    doc["weights_tat"] = cfg.weights.tat;
+    doc["weights_gates"] = cfg.weights.gates;
+    doc["p"] = std::uint64_t{cfg.weights.p};
+    doc["evaluations"] = std::uint64_t{r.evaluations};
+    doc["invalid_genomes"] = std::uint64_t{r.invalid_genomes};
+    doc["winner"] = genome_json(r.best);
+    doc["winner_fitness"] = fitness_json(r.best_report);
+    doc["standard_fitness"] = fitness_json(r.standard_report);
+    doc["freq_directed_fitness"] = fitness_json(r.frequency_directed_report);
+    nc::report::Json trace = nc::report::Json::array();
+    for (const nc::tune::GenerationTrace& t : r.trace) {
+      nc::report::Json g = nc::report::Json::object();
+      g["generation"] = std::uint64_t{t.generation};
+      g["best_score"] = t.best_score;
+      g["mean_valid_score"] = t.mean_valid_score;
+      g["invalid"] = std::uint64_t{t.invalid};
+      trace.push_back(std::move(g));
+    }
+    doc["trace"] = std::move(trace);
+    nc::report::write_json_file(args.require("json"), doc);
+  }
   return 0;
 }
 
@@ -1076,6 +1377,7 @@ int main(int argc, char** argv) {
     if (command == "compress") return cmd_compress(args);
     if (command == "decompress") return cmd_decompress(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "tune") return cmd_tune(args);
     if (command == "rtl") return cmd_rtl(args);
     if (command == "session") return cmd_session(args);
     if (command == "fleet") return cmd_fleet(args);
